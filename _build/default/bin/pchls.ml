@@ -1,0 +1,494 @@
+(* Command-line driver for the pchls library: synthesize benchmark CDFGs
+   under time and power constraints, sweep the design space, inspect power
+   profiles, estimate battery lifetimes and emit RTL. *)
+
+module Graph = Pchls_dfg.Graph
+module Benchmarks = Pchls_dfg.Benchmarks
+module Dot = Pchls_dfg.Dot
+module Library = Pchls_fulib.Library
+module Profile = Pchls_power.Profile
+module Schedule = Pchls_sched.Schedule
+module Engine = Pchls_core.Engine
+module Design = Pchls_core.Design
+module Cost_model = Pchls_core.Cost_model
+module Model = Pchls_battery.Model
+module Sim = Pchls_battery.Sim
+module Netlist = Pchls_rtl.Netlist
+
+open Cmdliner
+
+(* --- shared arguments -------------------------------------------------- *)
+
+let benchmark_conv =
+  let parse s =
+    match Benchmarks.find s with
+    | Some g -> Ok (s, g)
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown benchmark %S (try: %s)" s
+             (String.concat ", " (List.map fst Benchmarks.all))))
+  in
+  let print ppf (name, _) = Format.pp_print_string ppf name in
+  Arg.conv (parse, print)
+
+let benchmark_opt =
+  Arg.(
+    value
+    & opt (some benchmark_conv) None
+    & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc:"Benchmark CDFG to use.")
+
+let file_opt =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "file" ] ~docv:"PATH"
+        ~doc:"Read the CDFG from a text-format file instead (see \
+              Pchls_dfg.Text_format).")
+
+let beh_opt =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "beh" ] ~docv:"PATH"
+        ~doc:"Compile the CDFG from a behavioural program instead (see \
+              Pchls_lang).")
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  text
+
+(* A bundled benchmark, a CDFG text file, or a behavioural program; exactly
+   one must be given. *)
+let resolve_graph bench file beh =
+  match (bench, file, beh) with
+  | Some (name, g), None, None -> Ok (name, g)
+  | None, Some path, None -> (
+    match Pchls_dfg.Text_format.of_string (read_file path) with
+    | Ok g -> Ok (Pchls_dfg.Graph.name g, g)
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+  | None, None, Some path -> (
+    let name = Filename.remove_extension (Filename.basename path) in
+    match Pchls_lang.Elaborate.compile ~name (read_file path) with
+    | Ok { Pchls_lang.Elaborate.graph; _ } -> Ok (name, graph)
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+  | None, None, None -> Error "a CDFG is required: -b NAME, --file or --beh"
+  | _ -> Error "pass exactly one of -b, --file, --beh"
+
+let graph_source =
+  let combine bench file beh =
+    match resolve_graph bench file beh with
+    | Ok src -> `Ok src
+    | Error msg -> `Error (false, msg)
+  in
+  Term.(ret (const combine $ benchmark_opt $ file_opt $ beh_opt))
+
+let time_limit =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "t"; "time" ] ~docv:"CYCLES" ~doc:"Latency constraint in cycles.")
+
+let power_limit =
+  Arg.(
+    value
+    & opt float infinity
+    & info [ "p"; "power" ] ~docv:"P"
+        ~doc:"Maximum power per clock cycle (default: unconstrained).")
+
+let policy =
+  let policy_conv =
+    Arg.enum
+      [
+        ("min-power", Engine.Min_power);
+        ("min-area", Engine.Min_area);
+        ("min-latency", Engine.Min_latency);
+      ]
+  in
+  Arg.(
+    value
+    & opt policy_conv Engine.Min_power
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:"Default module selection: min-power, min-area or min-latency.")
+
+let register_area =
+  Arg.(
+    value
+    & opt float Cost_model.default.Cost_model.register_area
+    & info [ "reg-area" ] ~docv:"AREA" ~doc:"Area of one register.")
+
+let mux_input_area =
+  Arg.(
+    value
+    & opt float Cost_model.default.Cost_model.mux_input_area
+    & info [ "mux-area" ] ~docv:"AREA"
+        ~doc:"Area per extra multiplexer input.")
+
+let cost_model reg mux =
+  match Cost_model.make ~register_area:reg ~mux_input_area:mux with
+  | Ok cm -> cm
+  | Error msg -> failwith msg
+
+(* Optional user FU library (text format); defaults to the paper's Table 1. *)
+let library_opt =
+  let library_conv =
+    let parse path =
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      match Pchls_fulib.Text_format.of_string text with
+      | Ok lib -> Ok lib
+      | Error msg -> Error (`Msg (Printf.sprintf "%s: %s" path msg))
+    in
+    let print ppf _ = Format.pp_print_string ppf "<library>" in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value
+    & opt (some library_conv) None
+    & info [ "library" ] ~docv:"PATH"
+        ~doc:"Read the FU library from a text-format file (default: the \
+              paper's Table 1; see Pchls_fulib.Text_format).")
+
+let the_library = function Some lib -> lib | None -> Library.default
+
+let synthesize ?library (name, g) t p pol reg mux =
+  match
+    Engine.run ~cost_model:(cost_model reg mux) ~policy:pol
+      ~library:(the_library library) ~time_limit:t ~power_limit:p g
+  with
+  | Engine.Synthesized (d, stats) -> Ok (name, d, stats)
+  | Engine.Infeasible { reason } -> Error (name, reason)
+
+(* --- list -------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    Format.printf "%-12s %6s %6s %s@." "benchmark" "nodes" "edges" "kinds";
+    List.iter
+      (fun (name, g) ->
+        let kinds =
+          Graph.kind_counts g
+          |> List.map (fun (k, n) ->
+                 Printf.sprintf "%s:%d" (Pchls_dfg.Op.to_string k) n)
+          |> String.concat " "
+        in
+        Format.printf "%-12s %6d %6d %s@." name (Graph.node_count g)
+          (Graph.edge_count g) kinds)
+      Benchmarks.all;
+    0
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the bundled benchmark CDFGs.")
+    Term.(const run $ const ())
+
+(* --- synth ------------------------------------------------------------- *)
+
+let gantt_flag =
+  Arg.(value & flag & info [ "gantt" ] ~doc:"Also print a Gantt chart.")
+
+let tighten_flag =
+  Arg.(
+    value & flag
+    & info [ "tighten" ]
+        ~doc:"Refine area by retrying under tightened power budgets.")
+
+let rebind_flag =
+  Arg.(
+    value & flag
+    & info [ "rebind" ]
+        ~doc:"Run the post-synthesis rebinding improvement pass.")
+
+let synth_cmd =
+  let run bench t p pol reg mux library gantt tighten rebind =
+    let outcome =
+      if tighten then
+        match
+          Pchls_core.Explore.tighten ~cost_model:(cost_model reg mux)
+            ~policy:pol ~library:(the_library library) (snd bench)
+            ~time_limit:t ~power_limit:p
+        with
+        | Ok d -> Ok (fst bench, d, None)
+        | Error reason -> Error (fst bench, reason)
+      else
+        match synthesize ?library bench t p pol reg mux with
+        | Ok (name, d, stats) -> Ok (name, d, Some stats)
+        | Error _ as e -> e
+    in
+    match outcome with
+    | Ok (_, d, stats) ->
+      let d =
+        if rebind then
+          Pchls_core.Improve.rebind ~cost_model:(cost_model reg mux) d
+        else d
+      in
+      Format.printf "%a@." Design.pp d;
+      (match stats with
+      | Some stats -> Format.printf "stats: %a@." Engine.pp_stats stats
+      | None -> ());
+      if gantt then Format.printf "@.%s@." (Pchls_core.Gantt.render d);
+      0
+    | Error (name, reason) ->
+      Format.eprintf "%s: infeasible: %s@." name reason;
+      1
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Synthesize a benchmark under (T, P) constraints.")
+    Term.(
+      const run $ graph_source $ time_limit $ power_limit $ policy
+      $ register_area $ mux_input_area $ library_opt $ gantt_flag
+      $ tighten_flag $ rebind_flag)
+
+(* --- sweep ------------------------------------------------------------- *)
+
+let sweep_cmd =
+  let p_from =
+    Arg.(value & opt float 2.5 & info [ "p-from" ] ~docv:"P" ~doc:"Sweep start.")
+  in
+  let p_to =
+    Arg.(value & opt float 150. & info [ "p-to" ] ~docv:"P" ~doc:"Sweep end.")
+  in
+  let p_step =
+    Arg.(value & opt float 2.5 & info [ "p-step" ] ~docv:"DP" ~doc:"Sweep step.")
+  in
+  let pareto_flag =
+    Arg.(value & flag & info [ "pareto" ] ~doc:"Also print the Pareto front.")
+  in
+  let run (name, g) t p_from p_to p_step pol reg mux pareto =
+    let rec powers p = if p > p_to +. 1e-9 then [] else p :: powers (p +. p_step) in
+    let points =
+      Pchls_core.Explore.sweep ~cost_model:(cost_model reg mux) ~policy:pol
+        ~library:Library.default g ~times:[ t ] ~powers:(powers p_from)
+    in
+    Format.printf "# benchmark=%s@.%s@." name
+      (Pchls_core.Explore.render_table points);
+    if pareto then begin
+      Format.printf "@.pareto front (T, P<, area):@.";
+      List.iter
+        (fun pt ->
+          match pt.Pchls_core.Explore.result with
+          | Pchls_core.Explore.Feasible { area; _ } ->
+            Format.printf "  T=%d P<=%g area=%.0f@."
+              pt.Pchls_core.Explore.time_limit
+              pt.Pchls_core.Explore.power_limit area
+          | Pchls_core.Explore.Infeasible _ -> ())
+        (Pchls_core.Explore.pareto points)
+    end;
+    0
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Sweep the power constraint and report area (Figure 2 style).")
+    Term.(
+      const run $ graph_source $ time_limit $ p_from $ p_to $ p_step $ policy
+      $ register_area $ mux_input_area $ pareto_flag)
+
+(* --- profile ----------------------------------------------------------- *)
+
+let profile_cmd =
+  let run bench t p pol reg mux =
+    match synthesize bench t p pol reg mux with
+    | Ok (name, d, _) ->
+      Format.printf "power profile of %s (T=%d, P<=%g):@." name t p;
+      print_string
+        (Profile.render ~width:50
+           ?limit:(if Float.is_finite p then Some p else None)
+           (Design.profile d));
+      0
+    | Error (name, reason) ->
+      Format.eprintf "%s: infeasible: %s@." name reason;
+      1
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Synthesize and render the per-cycle power profile.")
+    Term.(
+      const run $ graph_source $ time_limit $ power_limit $ policy
+      $ register_area $ mux_input_area)
+
+(* --- battery ----------------------------------------------------------- *)
+
+let battery_cmd =
+  let capacity =
+    Arg.(
+      value & opt float 50_000.
+      & info [ "capacity" ] ~docv:"C" ~doc:"Battery capacity (power-cycles).")
+  in
+  let run bench t p pol reg mux capacity =
+    match synthesize bench t p pol reg mux with
+    | Ok (name, d, _) ->
+      let profile = Profile.to_array (Design.profile d) in
+      Format.printf "battery lifetimes for %s (T=%d, P<=%g):@." name t p;
+      List.iter
+        (fun model ->
+          let v = Sim.lifetime model ~profile ~max_cycles:1_000_000_000 in
+          Format.printf "  %-40s %a@."
+            (Format.asprintf "%a" Model.pp model)
+            Sim.pp_verdict v)
+        [
+          Model.ideal ~capacity;
+          Model.peukert ~capacity ~exponent:1.3 ~reference:5.;
+          Model.kibam ~capacity ~well_fraction:0.05 ~rate:0.01;
+          Model.kibam ~capacity ~well_fraction:0.001 ~rate:0.0005;
+        ];
+      let rak = Pchls_battery.Rakhmatov.create ~alpha:capacity ~beta:0.3 () in
+      let v =
+        Pchls_battery.Rakhmatov.lifetime rak ~profile ~max_cycles:1_000_000_000
+      in
+      Format.printf "  %-40s %a@."
+        (Format.asprintf "%a" Pchls_battery.Rakhmatov.pp rak)
+        Sim.pp_verdict v;
+      0
+    | Error (name, reason) ->
+      Format.eprintf "%s: infeasible: %s@." name reason;
+      1
+  in
+  Cmd.v
+    (Cmd.info "battery"
+       ~doc:"Estimate battery lifetime of the synthesized design.")
+    Term.(
+      const run $ graph_source $ time_limit $ power_limit $ policy
+      $ register_area $ mux_input_area $ capacity)
+
+(* --- report ------------------------------------------------------------ *)
+
+let report_cmd =
+  let summary_flag =
+    Arg.(
+      value & flag
+      & info [ "summary" ] ~doc:"Emit the one-row design summary instead.")
+  in
+  let run bench t p pol reg mux summary =
+    match synthesize bench t p pol reg mux with
+    | Ok (_, d, _) ->
+      print_string
+        (if summary then Pchls_core.Report.summary_csv d
+         else Pchls_core.Report.csv d);
+      0
+    | Error (name, reason) ->
+      Format.eprintf "%s: infeasible: %s@." name reason;
+      1
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Synthesize and emit a per-operation CSV report.")
+    Term.(
+      const run $ graph_source $ time_limit $ power_limit $ policy
+      $ register_area $ mux_input_area $ summary_flag)
+
+(* --- dot --------------------------------------------------------------- *)
+
+let dot_cmd =
+  let annotate =
+    Arg.(
+      value & flag
+      & info [ "schedule" ]
+          ~doc:"Annotate nodes with start times (requires -t).")
+  in
+  let time_opt =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "t"; "time" ] ~docv:"CYCLES" ~doc:"Latency constraint.")
+  in
+  let run (name, g) annotate time_opt p =
+    let annotate_fn =
+      match (annotate, time_opt) with
+      | true, Some t -> (
+        match
+          Engine.run ~library:Library.default ~time_limit:t ~power_limit:p g
+        with
+        | Engine.Synthesized (d, _) ->
+          fun id ->
+            Some
+              (Printf.sprintf "t=%d"
+                 (Schedule.start (Design.schedule d) id))
+        | Engine.Infeasible { reason } ->
+          Format.eprintf "%s: infeasible: %s@." name reason;
+          fun _ -> None)
+      | (true | false), _ -> fun _ -> None
+    in
+    print_string (Dot.to_string ~annotate:annotate_fn g);
+    0
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit the benchmark CDFG in Graphviz DOT syntax.")
+    Term.(const run $ graph_source $ annotate $ time_opt $ power_limit)
+
+(* --- rtl --------------------------------------------------------------- *)
+
+let rtl_cmd =
+  let lang =
+    Arg.(
+      value
+      & opt (enum [ ("vhdl", `Vhdl); ("verilog", `Verilog) ]) `Vhdl
+      & info [ "lang" ] ~docv:"LANG" ~doc:"Output language: vhdl or verilog.")
+  in
+  let width =
+    Arg.(
+      value & opt int 16
+      & info [ "width" ] ~docv:"BITS" ~doc:"Datapath width in bits.")
+  in
+  let testbench_flag =
+    Arg.(value & flag & info [ "testbench" ] ~doc:"Emit a testbench instead.")
+  in
+  let control_flag =
+    Arg.(
+      value & flag
+      & info [ "control" ] ~doc:"Emit the control-word CSV instead.")
+  in
+  let vcd_flag =
+    Arg.(
+      value & flag
+      & info [ "vcd" ] ~doc:"Emit a VCD waveform of one iteration instead.")
+  in
+  let functional_flag =
+    Arg.(
+      value & flag
+      & info [ "functional" ]
+          ~doc:"Emit functionally complete Verilog (real operation bodies, \
+                I/O ports) instead of the structural skeleton.")
+  in
+  let run bench t p pol reg mux lang width testbench control vcd functional =
+    match synthesize bench t p pol reg mux with
+    | Ok (_, d, _) ->
+      let n = Netlist.of_design d in
+      print_string
+        (if vcd then Pchls_rtl.Vcd.of_design d
+         else if control then Pchls_rtl.Control.csv n
+         else if functional then Pchls_rtl.Verilog_functional.emit ~width d
+         else
+           match (lang, testbench) with
+           | `Vhdl, false -> Pchls_rtl.Vhdl.emit ~width n
+           | `Verilog, false -> Pchls_rtl.Verilog.emit ~width n
+           | `Vhdl, true -> Pchls_rtl.Testbench.vhdl n
+           | `Verilog, true -> Pchls_rtl.Testbench.verilog n);
+      0
+    | Error (name, reason) ->
+      Format.eprintf "%s: infeasible: %s@." name reason;
+      1
+  in
+  Cmd.v
+    (Cmd.info "rtl" ~doc:"Synthesize and emit RTL (VHDL or Verilog).")
+    Term.(
+      const run $ graph_source $ time_limit $ power_limit $ policy
+      $ register_area $ mux_input_area $ lang $ width $ testbench_flag
+      $ control_flag $ vcd_flag $ functional_flag)
+
+(* --- main -------------------------------------------------------------- *)
+
+let () =
+  let doc = "power-constrained high-level synthesis (Nielsen & Madsen, DATE'03)" in
+  let info = Cmd.info "pchls" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [
+            list_cmd; synth_cmd; sweep_cmd; profile_cmd; battery_cmd;
+            report_cmd; dot_cmd; rtl_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/battery_lifetime.ml: Format List Pchls_battery Pchls_dfg Pchls_fulib Pchls_power Pchls_sched

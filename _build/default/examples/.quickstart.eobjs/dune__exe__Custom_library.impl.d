@@ -1,0 +1,1 @@
+examples/custom_library.ml: Format List Pchls_core Pchls_dfg Pchls_fulib Pchls_power Pchls_rtl String

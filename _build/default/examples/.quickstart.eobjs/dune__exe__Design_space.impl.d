@@ -1,0 +1,1 @@
+examples/design_space.ml: Format List Pchls_core Pchls_dfg Pchls_fulib

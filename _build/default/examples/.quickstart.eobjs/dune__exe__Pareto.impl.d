@@ -1,0 +1,1 @@
+examples/pareto.ml: Format List Pchls_core Pchls_dfg Pchls_fulib Pchls_power

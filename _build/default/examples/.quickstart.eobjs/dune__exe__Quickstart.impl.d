@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Pchls_core Pchls_dfg Pchls_fulib Pchls_power

@@ -1,0 +1,1 @@
+examples/source_to_rtl.ml: Format List Pchls_core Pchls_dfg Pchls_fulib Pchls_lang Pchls_power Pchls_rtl String

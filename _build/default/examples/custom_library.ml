@@ -1,0 +1,73 @@
+(* Synthesis with a user-defined functional-unit library and a hand-built
+   CDFG: a second-order IIR section with a slow/frugal and a fast/hungry
+   multiply-accumulate trade-off, showing how the engine picks modules under
+   different power budgets, and how to emit RTL for the result.
+
+   Run with: dune exec examples/custom_library.exe *)
+
+module Builder = Pchls_dfg.Builder
+module Op = Pchls_dfg.Op
+module Library = Pchls_fulib.Library
+module Module_spec = Pchls_fulib.Module_spec
+module Engine = Pchls_core.Engine
+module Design = Pchls_core.Design
+module Profile = Pchls_power.Profile
+
+(* y[n] = b0 x[n] + b1 x[n-1] - a1 y[n-1], with state passed in and out. *)
+let biquad1 =
+  let b = Builder.create "biquad1" in
+  let x = Builder.input b "x" in
+  let x1 = Builder.input b "x[n-1]" in
+  let y1 = Builder.input b "y[n-1]" in
+  let p0 = Builder.node b "b0*x" Op.Mult [ x ] in
+  let p1 = Builder.node b "b1*x1" Op.Mult [ x1 ] in
+  let p2 = Builder.node b "a1*y1" Op.Mult [ y1 ] in
+  let s0 = Builder.add b "ff" p0 p1 in
+  let y = Builder.sub b "y" s0 p2 in
+  ignore (Builder.output b "y_out" y);
+  ignore (Builder.output b "x_state" x);
+  ignore (Builder.output b "y_state" y);
+  Builder.finish_exn b
+
+let library =
+  let m = Module_spec.make_exn in
+  Library.of_list_exn
+    [
+      m ~name:"alu" ~ops:[ Op.Add; Op.Sub; Op.Comp ] ~area:95. ~latency:1
+        ~power:2.;
+      m ~name:"mac_slow" ~ops:[ Op.Mult ] ~area:110. ~latency:5 ~power:1.8;
+      m ~name:"mac_fast" ~ops:[ Op.Mult ] ~area:360. ~latency:1 ~power:9.5;
+      m ~name:"port_in" ~ops:[ Op.Input ] ~area:12. ~latency:1 ~power:0.3;
+      m ~name:"port_out" ~ops:[ Op.Output ] ~area:12. ~latency:1 ~power:1.5;
+    ]
+
+let synth ~time_limit ~power_limit =
+  Format.printf "--- T=%d, P< = %g ---@." time_limit power_limit;
+  match Engine.run ~library ~time_limit ~power_limit biquad1 with
+  | Engine.Infeasible { reason } -> Format.printf "infeasible: %s@.@." reason
+  | Engine.Synthesized (d, _) ->
+    List.iter
+      (fun i ->
+        Format.printf "  %-9s runs %d operation(s)@."
+          i.Design.spec.Module_spec.name
+          (List.length i.Design.ops))
+      (Design.instances d);
+    Format.printf "  area %.0f, peak power %.2f, makespan %d@.@."
+      (Design.area d).Design.total
+      (Profile.peak (Design.profile d))
+      (Design.makespan d)
+
+let () =
+  (* Slack abounds: slow multipliers and sharing win. *)
+  synth ~time_limit:25 ~power_limit:6.;
+  (* Tight latency: the fast multiplier must appear despite its power. *)
+  synth ~time_limit:6 ~power_limit:25.;
+  (* And emit the tight design as Verilog. *)
+  match Engine.run ~library ~time_limit:6 ~power_limit:25. biquad1 with
+  | Engine.Infeasible _ -> ()
+  | Engine.Synthesized (d, _) ->
+    let rtl = Pchls_rtl.Verilog.emit ~width:12 (Pchls_rtl.Netlist.of_design d) in
+    Format.printf "Verilog (first lines):@.";
+    String.split_on_char '\n' rtl
+    |> List.filteri (fun i _ -> i < 10)
+    |> List.iter print_endline

@@ -1,0 +1,42 @@
+(* Design-space exploration in the style of the paper's Figure 2: for one
+   benchmark and several time constraints, sweep the power constraint and
+   report the area of the synthesized design.
+
+   Run with: dune exec examples/design_space.exe *)
+
+module Engine = Pchls_core.Engine
+module Design = Pchls_core.Design
+module Library = Pchls_fulib.Library
+module Benchmarks = Pchls_dfg.Benchmarks
+
+let sweep graph ~time_limit ~powers =
+  List.map
+    (fun p ->
+      match
+        Engine.run ~library:Library.default ~time_limit ~power_limit:p graph
+      with
+      | Engine.Synthesized (d, _) -> (p, Some (Design.area d).Design.total)
+      | Engine.Infeasible _ -> (p, None))
+    powers
+
+let () =
+  let powers = [ 5.; 7.5; 10.; 15.; 20.; 30.; 50.; 100.; 150. ] in
+  Format.printf "power-constraint sweep on hal (areas; '-' = infeasible)@.@.";
+  Format.printf "%10s" "P<";
+  List.iter (fun p -> Format.printf "%8.1f" p) powers;
+  Format.printf "@.";
+  List.iter
+    (fun time_limit ->
+      Format.printf "%7s%3d" "T=" time_limit;
+      List.iter
+        (fun (_, area) ->
+          match area with
+          | Some a -> Format.printf "%8.0f" a
+          | None -> Format.printf "%8s" "-")
+        (sweep Benchmarks.hal ~time_limit ~powers);
+      Format.printf "@.")
+    [ 10; 13; 17; 25 ];
+  Format.printf
+    "@.Reading: tighter time constraints push the feasibility edge to higher \
+     power budgets and cost area; at a fixed T, meeting a tighter power \
+     budget trades a small amount of area.@."

@@ -1,0 +1,45 @@
+(* Design-space exploration with Pareto extraction and budget tightening:
+   load a CDFG from its text serialisation (as a user of the CLI would),
+   sweep the (T, P) grid, print the Pareto-optimal design points, and show
+   what Explore.tighten recovers at a loose power budget.
+
+   Run with: dune exec examples/pareto.exe *)
+
+module Explore = Pchls_core.Explore
+module Design = Pchls_core.Design
+module Library = Pchls_fulib.Library
+module Text_format = Pchls_dfg.Text_format
+module Benchmarks = Pchls_dfg.Benchmarks
+
+let () =
+  (* Round-trip elliptic through the text format, as external graphs come. *)
+  let graph =
+    match Text_format.of_string (Text_format.to_string Benchmarks.elliptic) with
+    | Ok g -> g
+    | Error msg -> failwith msg
+  in
+  let points =
+    Explore.sweep ~library:Library.default graph ~times:[ 18; 22; 28 ]
+      ~powers:[ 10.; 12.5; 15.; 20.; 30.; 60. ]
+  in
+  Format.printf "full grid (areas):@.%s@." (Explore.render_table points);
+  Format.printf "pareto-optimal (time, power, area) points:@.";
+  List.iter
+    (fun p ->
+      match p.Explore.result with
+      | Explore.Feasible { area; peak; _ } ->
+        Format.printf "  T=%-3d P<=%-5g area=%-6.0f (measured peak %.1f)@."
+          p.Explore.time_limit p.Explore.power_limit area peak
+      | Explore.Infeasible _ -> ())
+    (Explore.pareto points);
+  Format.printf "@.budget tightening at T=22, P<=60:@.";
+  match
+    Explore.tighten ~library:Library.default graph ~time_limit:22
+      ~power_limit:60.
+  with
+  | Ok d ->
+    Format.printf "  refined area %.0f with peak %.2f (any peak under 60 \
+                   still meets the budget)@."
+      (Design.area d).Design.total
+      (Pchls_power.Profile.peak (Design.profile d))
+  | Error msg -> Format.printf "  infeasible: %s@." msg

@@ -1,0 +1,29 @@
+(* Quickstart: synthesize the HAL differential-equation benchmark under a
+   latency constraint of 17 cycles and a peak-power cap of 10 per cycle,
+   using the paper's Table 1 module library, then print the design.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Engine = Pchls_core.Engine
+module Design = Pchls_core.Design
+module Library = Pchls_fulib.Library
+module Benchmarks = Pchls_dfg.Benchmarks
+module Profile = Pchls_power.Profile
+
+let () =
+  let graph = Benchmarks.hal in
+  match
+    Engine.run ~library:Library.default ~time_limit:17 ~power_limit:10. graph
+  with
+  | Engine.Infeasible { reason } ->
+    Format.printf "infeasible: %s@." reason
+  | Engine.Synthesized (design, stats) ->
+    Format.printf "%a@." Design.pp design;
+    Format.printf "engine: %a@." Engine.pp_stats stats;
+    let area = Design.area design in
+    Format.printf "total area %.0f (functional units %.0f, registers %.0f, \
+                   interconnect %.0f)@."
+      area.Design.total area.Design.fu area.Design.registers area.Design.mux;
+    Format.printf "peak power %.2f over %d control steps@."
+      (Profile.peak (Design.profile design))
+      (Design.time_limit design)

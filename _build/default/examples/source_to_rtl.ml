@@ -1,0 +1,67 @@
+(* The complete source-to-silicon flow: compile a behavioural program into a
+   CDFG, synthesize it under time and power constraints, verify the
+   resulting datapath computes what the source specifies, and emit Verilog.
+
+   Run with: dune exec examples/source_to_rtl.exe *)
+
+module Elaborate = Pchls_lang.Elaborate
+module Engine = Pchls_core.Engine
+module Design = Pchls_core.Design
+module Simulate = Pchls_core.Simulate
+module Library = Pchls_fulib.Library
+module Profile = Pchls_power.Profile
+
+let source =
+  {|
+# Complex multiply-accumulate: (ar + i*ai) * (br + i*bi) + (cr + i*ci)
+input ar, ai, br, bi, cr, ci;
+pr = ar * br - ai * bi;
+pi = ar * bi + ai * br;
+sr = pr + cr;
+si = pi + ci;
+output sr, si;
+|}
+
+let () =
+  Format.printf "source program:@.%s@." source;
+  let compiled =
+    match Elaborate.compile ~name:"cmac" source with
+    | Ok c -> c
+    | Error msg -> failwith msg
+  in
+  let { Elaborate.graph; coefficients; _ } = compiled in
+  Format.printf "compiled to %d nodes, %d edges@.@."
+    (Pchls_dfg.Graph.node_count graph)
+    (Pchls_dfg.Graph.edge_count graph);
+  match Engine.run ~library:Library.default ~time_limit:14 ~power_limit:9. graph with
+  | Engine.Infeasible { reason } -> Format.printf "infeasible: %s@." reason
+  | Engine.Synthesized (design, _) ->
+    Format.printf "synthesized: area %.0f, peak power %.2f (cap 9), %d cycles@.@."
+      (Design.area design).Design.total
+      (Profile.peak (Design.profile design))
+      (Design.makespan design);
+    Format.printf "%s@." (Pchls_core.Gantt.render design);
+    (* Verify on concrete values: (1 + 2i) * (3 + 4i) + (10 + 20i)
+       = (3 - 8) + (4 + 6)i + 10 + 20i = 5 + 30i *)
+    let inputs =
+      [ ("ar", 1.); ("ai", 2.); ("br", 3.); ("bi", 4.); ("cr", 10.); ("ci", 20.) ]
+    in
+    let coefficient id =
+      match List.assoc_opt id coefficients with Some k -> k | None -> 1.
+    in
+    (match
+       Simulate.run ~coefficient
+         ~operands:(Elaborate.operands_fn compiled)
+         design ~inputs
+     with
+    | Error f -> Format.printf "BUG: %a@." Simulate.pp_failure f
+    | Ok v ->
+      Format.printf "datapath check: (1+2i)(3+4i) + (10+20i) = %g + %gi@."
+        (List.assoc "sr" v.Simulate.outputs)
+        (List.assoc "si" v.Simulate.outputs));
+    let rtl = Pchls_rtl.Verilog.emit (Pchls_rtl.Netlist.of_design design) in
+    Format.printf "@.Verilog (%d lines) starts:@."
+      (List.length (String.split_on_char '\n' rtl));
+    String.split_on_char '\n' rtl
+    |> List.filteri (fun i _ -> i < 6)
+    |> List.iter print_endline

@@ -1,0 +1,1 @@
+lib/battery/rakhmatov.ml: Array Format Sim

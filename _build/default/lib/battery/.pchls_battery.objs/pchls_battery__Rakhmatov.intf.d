@@ -1,0 +1,1 @@
+lib/battery/rakhmatov.mli: Format Sim

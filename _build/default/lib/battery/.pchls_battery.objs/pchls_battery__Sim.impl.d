@@ -1,0 +1,1 @@
+lib/battery/sim.ml: Array Format Model

@@ -1,0 +1,1 @@
+lib/battery/sim.mli: Format Model

@@ -1,0 +1,85 @@
+type kind =
+  | Ideal
+  | Peukert of { exponent : float; reference : float }
+  | Kibam of { well_fraction : float; rate : float }
+
+type t = { name : string; capacity : float; kind : kind }
+
+let name m = m.name
+let capacity m = m.capacity
+
+let check_capacity capacity =
+  if capacity <= 0. then invalid_arg "Model: capacity must be positive"
+
+let ideal ~capacity =
+  check_capacity capacity;
+  { name = "ideal"; capacity; kind = Ideal }
+
+let peukert ~capacity ~exponent ~reference =
+  check_capacity capacity;
+  if exponent < 1. then invalid_arg "Model.peukert: exponent < 1";
+  if reference <= 0. then invalid_arg "Model.peukert: reference <= 0";
+  { name = "peukert"; capacity; kind = Peukert { exponent; reference } }
+
+let kibam ~capacity ~well_fraction ~rate =
+  check_capacity capacity;
+  if well_fraction <= 0. || well_fraction > 1. then
+    invalid_arg "Model.kibam: well_fraction outside (0, 1]";
+  if rate <= 0. then invalid_arg "Model.kibam: rate <= 0";
+  { name = "kibam"; capacity; kind = Kibam { well_fraction; rate } }
+
+(* [available] is the immediately deliverable charge; [bound] is only used
+   by the kinetic model. *)
+type state = { mutable available : float; mutable bound : float }
+
+let start m =
+  match m.kind with
+  | Ideal | Peukert _ -> { available = m.capacity; bound = 0. }
+  | Kibam { well_fraction; _ } ->
+    {
+      available = m.capacity *. well_fraction;
+      bound = m.capacity *. (1. -. well_fraction);
+    }
+
+let drain_of m load =
+  match m.kind with
+  | Ideal -> load
+  | Peukert { exponent; reference } ->
+    if load <= 0. then 0. else reference *. ((load /. reference) ** exponent)
+  | Kibam _ -> load
+
+let step m state ~load =
+  if load < 0. then invalid_arg "Model.step: negative load";
+  let drain = drain_of m load in
+  if drain > state.available then false
+  else begin
+    state.available <- state.available -. drain;
+    (match m.kind with
+    | Kibam { well_fraction; rate } ->
+      (* Charge flows towards the emptier well in proportion to the head
+         difference (heights are well charge over well width). *)
+      let c = well_fraction in
+      let h1 = state.available /. c in
+      let h2 = state.bound /. (1. -. c) in
+      let flow = rate *. (h2 -. h1) in
+      let flow = Float.min flow state.bound in
+      let flow = Float.max flow (-.state.available) in
+      state.available <- state.available +. flow;
+      state.bound <- state.bound -. flow
+    | Ideal | Peukert _ -> ());
+    true
+  end
+
+let remaining m state =
+  match m.kind with
+  | Ideal | Peukert _ -> state.available
+  | Kibam _ -> state.available +. state.bound
+
+let pp ppf m =
+  match m.kind with
+  | Ideal -> Format.fprintf ppf "ideal(C=%g)" m.capacity
+  | Peukert { exponent; reference } ->
+    Format.fprintf ppf "peukert(C=%g, k=%g, Iref=%g)" m.capacity exponent
+      reference
+  | Kibam { well_fraction; rate } ->
+    Format.fprintf ppf "kibam(C=%g, c=%g, k'=%g)" m.capacity well_fraction rate

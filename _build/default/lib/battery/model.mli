@@ -1,0 +1,59 @@
+(** Battery discharge models.
+
+    The paper motivates power-constrained synthesis with the rate-capacity
+    effect: the charge a battery delivers depends on the *shape* of the load,
+    not just its integral, and peak loads above a threshold shorten lifetime
+    disproportionately (paper refs [1, 2] report 20–30 % lifetime extensions
+    from peak-aware design). The paper itself uses no specific equations, so
+    this module provides three standard models reproducing that law:
+
+    - {!ideal}: charge = ∫ load; lifetime depends only on average power —
+      the null model the others are compared against;
+    - {!peukert}: drain grows superlinearly with instantaneous load
+      (Peukert's law with exponent > 1), penalising spikes;
+    - {!kibam}: the kinetic battery model — two charge wells with a rate
+      valve; sustained peaks exhaust the available well faster than the
+      bound well can refill it, and idle periods let the battery recover.
+
+    Loads are per-cycle power values; charge is in power·cycle units. *)
+
+type t
+
+val name : t -> string
+val capacity : t -> float
+
+(** [ideal ~capacity] — effective drain equals the load. *)
+val ideal : capacity:float -> t
+
+(** [peukert ~capacity ~exponent ~reference] — a load [p] drains
+    [reference *. (p /. reference) ** exponent] per cycle ([p = 0] drains
+    nothing). [exponent] is typically 1.1–1.3; [reference] is the rated load
+    at which the battery delivers exactly its nominal capacity.
+    @raise Invalid_argument unless [capacity > 0], [exponent >= 1],
+    [reference > 0]. *)
+val peukert : capacity:float -> exponent:float -> reference:float -> t
+
+(** [kibam ~capacity ~well_fraction ~rate] — kinetic battery model.
+    [well_fraction] (in (0, 1]) of the capacity is immediately available;
+    the rest is bound and flows towards the available well at valve
+    coefficient [rate] (per cycle, > 0) in proportion to the head
+    difference.
+    @raise Invalid_argument on out-of-range parameters. *)
+val kibam : capacity:float -> well_fraction:float -> rate:float -> t
+
+(** Mutable discharge state for step simulation. *)
+type state
+
+val start : t -> state
+
+(** [step model state ~load] advances one clock cycle under [load] (>= 0).
+    Returns [false] when the battery can no longer deliver [load] — the
+    cycle does not execute and the state is unchanged ("dead" is sticky for
+    any load above the remaining deliverable charge). *)
+val step : t -> state -> load:float -> bool
+
+(** [remaining model state] is the charge still deliverable under a
+    vanishing load. *)
+val remaining : t -> state -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+type t = {
+  alpha : float;
+  beta : float;
+  decay : float array; (* exp (-beta^2 m^2) per mode *)
+  gain : float array; (* (1 - decay_m) / (beta^2 m^2) per mode *)
+}
+
+let create ~alpha ~beta ?(modes = 10) () =
+  if alpha <= 0. then invalid_arg "Rakhmatov.create: alpha <= 0";
+  if beta <= 0. then invalid_arg "Rakhmatov.create: beta <= 0";
+  if modes < 1 then invalid_arg "Rakhmatov.create: modes < 1";
+  let decay = Array.make modes 0. in
+  let gain = Array.make modes 0. in
+  for m = 0 to modes - 1 do
+    let k = beta *. beta *. float_of_int ((m + 1) * (m + 1)) in
+    decay.(m) <- exp (-.k);
+    gain.(m) <- (1. -. decay.(m)) /. k
+  done;
+  { alpha; beta; decay; gain }
+
+let alpha t = t.alpha
+let beta t = t.beta
+
+let check_profile profile max_cycles =
+  if Array.length profile = 0 then invalid_arg "Rakhmatov: empty profile";
+  Array.iter
+    (fun v -> if v < 0. then invalid_arg "Rakhmatov: negative load")
+    profile;
+  if max_cycles < 1 then invalid_arg "Rakhmatov: max_cycles < 1"
+
+(* One simulation step: returns the new apparent charge. *)
+let step t u drawn load =
+  let drawn = drawn +. load in
+  let unavailable = ref 0. in
+  Array.iteri
+    (fun m um ->
+      let um = (um *. t.decay.(m)) +. (load *. t.gain.(m)) in
+      u.(m) <- um;
+      unavailable := !unavailable +. um)
+    u;
+  (drawn, drawn +. (2. *. !unavailable))
+
+let lifetime t ~profile ~max_cycles =
+  check_profile profile max_cycles;
+  let period = Array.length profile in
+  let u = Array.make (Array.length t.decay) 0. in
+  let rec go n drawn =
+    if n >= max_cycles then Sim.Survives max_cycles
+    else
+      let drawn, sigma = step t u drawn profile.(n mod period) in
+      if sigma >= t.alpha then Sim.Dies_at n else go (n + 1) drawn
+  in
+  go 0 0.
+
+let apparent_charge t ~profile ~cycles =
+  check_profile profile (max cycles 1);
+  let period = Array.length profile in
+  let u = Array.make (Array.length t.decay) 0. in
+  let rec go n drawn sigma =
+    if n >= cycles then sigma
+    else
+      let drawn, sigma = step t u drawn profile.(n mod period) in
+      go (n + 1) drawn sigma
+  in
+  go 0 0. 0.
+
+let pp ppf t =
+  Format.fprintf ppf "rakhmatov(alpha=%g, beta=%g, modes=%d)" t.alpha t.beta
+    (Array.length t.decay)

@@ -1,0 +1,41 @@
+(** The Rakhmatov–Vrudhula diffusion battery model.
+
+    The cell is a one-dimensional electrolyte diffusion process: besides the
+    charge actually drawn, a load leaves behind *unavailable* charge that
+    decays back (recovers) as a sum of exponential modes. The battery fails
+    when apparent charge — drawn plus unavailable — reaches the capacity
+    [alpha]:
+
+    [sigma(t) = drawn(t) + 2 * sum_m u_m(t)],
+
+    where each mode evolves per cycle under load [i] as
+
+    [u_m <- u_m * exp (-beta^2 m^2) + i * (1 - exp (-beta^2 m^2)) / (beta^2 m^2)].
+
+    Small [beta] means slow diffusion — a low-quality cell heavily penalised
+    by peaks; as [beta -> infinity] the model degenerates to an ideal
+    battery. The kinetic model of {!Model.kibam} is essentially the one-mode
+    version. *)
+
+type t
+
+(** [create ~alpha ~beta ?modes ()] — [alpha] is the apparent-charge
+    capacity (> 0), [beta] the diffusion rate (> 0), [modes] the number of
+    exponential modes retained (default 10, >= 1). *)
+val create : alpha:float -> beta:float -> ?modes:int -> unit -> t
+
+val alpha : t -> float
+val beta : t -> float
+
+(** [lifetime t ~profile ~max_cycles] repeats the per-cycle load [profile]
+    until the apparent charge reaches [alpha] or the budget runs out. Same
+    argument validation as {!Sim.lifetime}. *)
+val lifetime : t -> profile:float array -> max_cycles:int -> Sim.verdict
+
+(** [apparent_charge t ~profile ~cycles] is [sigma] after exactly [cycles]
+    cycles of the repeated profile (no death check). Monotone under constant
+    load; during idle cycles it decreases as unavailable charge diffuses
+    back — the recovery effect. *)
+val apparent_charge : t -> profile:float array -> cycles:int -> float
+
+val pp : Format.formatter -> t -> unit

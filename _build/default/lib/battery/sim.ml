@@ -1,0 +1,31 @@
+type verdict = Dies_at of int | Survives of int
+
+let cycles = function Dies_at n -> n | Survives n -> n
+
+let lifetime model ~profile ~max_cycles =
+  if Array.length profile = 0 then invalid_arg "Sim.lifetime: empty profile";
+  Array.iter
+    (fun v -> if v < 0. then invalid_arg "Sim.lifetime: negative load")
+    profile;
+  if max_cycles < 1 then invalid_arg "Sim.lifetime: max_cycles < 1";
+  let state = Model.start model in
+  let period = Array.length profile in
+  let rec go n =
+    if n >= max_cycles then Survives max_cycles
+    else if Model.step model state ~load:profile.(n mod period) then go (n + 1)
+    else Dies_at n
+  in
+  go 0
+
+let extension_percent model ~baseline ~improved ~max_cycles =
+  match
+    ( lifetime model ~profile:baseline ~max_cycles,
+      lifetime model ~profile:improved ~max_cycles )
+  with
+  | Dies_at b, Dies_at i when b > 0 ->
+    Some (100. *. (float_of_int i -. float_of_int b) /. float_of_int b)
+  | (Dies_at _ | Survives _), (Dies_at _ | Survives _) -> None
+
+let pp_verdict ppf = function
+  | Dies_at n -> Format.fprintf ppf "dies after %d cycles" n
+  | Survives n -> Format.fprintf ppf "survives %d cycles" n

@@ -1,0 +1,31 @@
+(** Battery-lifetime simulation under a periodic load.
+
+    The synthesized datapath repeats its schedule every [T] cycles, so the
+    system's load is the design's power profile applied periodically. The
+    simulator steps a {!Model.state} through that load until the battery can
+    no longer sustain it. *)
+
+type verdict =
+  | Dies_at of int  (** total cycles sustained before the first failure *)
+  | Survives of int  (** still alive after the cycle budget *)
+
+val cycles : verdict -> int
+
+(** [lifetime model ~profile ~max_cycles] repeats [profile] until death or
+    [max_cycles].
+    @raise Invalid_argument if [profile] is empty, contains a negative
+    entry, or [max_cycles < 1]. *)
+val lifetime : Model.t -> profile:float array -> max_cycles:int -> verdict
+
+(** [extension_percent model ~baseline ~improved ~max_cycles] is the
+    lifetime gain of [improved] over [baseline] in percent, e.g. [25.] for a
+    quarter longer. [None] when either survives the budget (gain unknown) or
+    the baseline dies immediately. *)
+val extension_percent :
+  Model.t ->
+  baseline:float array ->
+  improved:float array ->
+  max_cycles:int ->
+  float option
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,1 @@
+lib/compat/cgraph.ml: Array Fun List Option Printf

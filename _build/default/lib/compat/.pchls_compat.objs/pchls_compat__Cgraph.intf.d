@@ -1,0 +1,1 @@
+lib/compat/cgraph.mli:

@@ -1,0 +1,1 @@
+lib/compat/clique.ml: Cgraph Format Fun Int List String

@@ -1,0 +1,1 @@
+lib/compat/clique.mli: Cgraph Format

@@ -1,0 +1,1 @@
+lib/compat/exact.ml: Array Cgraph Clique List

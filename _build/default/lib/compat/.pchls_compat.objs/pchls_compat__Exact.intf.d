@@ -1,0 +1,1 @@
+lib/compat/exact.mli: Cgraph Clique

@@ -1,0 +1,58 @@
+type t = { n : int; w : float option array array }
+
+let create ~n =
+  if n < 0 then invalid_arg "Cgraph.create: negative size";
+  { n; w = Array.make_matrix n n None }
+
+let vertex_count g = g.n
+
+let check g u v who =
+  if u < 0 || u >= g.n || v < 0 || v >= g.n then
+    invalid_arg (Printf.sprintf "Cgraph.%s: vertex out of range" who);
+  if u = v then invalid_arg (Printf.sprintf "Cgraph.%s: self edge" who)
+
+let add_edge g u v w =
+  check g u v "add_edge";
+  g.w.(u).(v) <- Some w;
+  g.w.(v).(u) <- Some w
+
+let remove_edge g u v =
+  check g u v "remove_edge";
+  g.w.(u).(v) <- None;
+  g.w.(v).(u) <- None
+
+let weight g u v =
+  check g u v "weight";
+  g.w.(u).(v)
+
+let compatible g u v = Option.is_some (weight g u v)
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    for v = g.n - 1 downto u + 1 do
+      match g.w.(u).(v) with
+      | Some w -> acc := (u, v, w) :: !acc
+      | None -> ()
+    done
+  done;
+  !acc
+
+let edge_count g = List.length (edges g)
+
+let neighbours g u =
+  List.filter (fun v -> v <> u && compatible g u v) (List.init g.n Fun.id)
+
+let rec pairs = function
+  | [] -> []
+  | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+
+let is_clique g vs = List.for_all (fun (u, v) -> compatible g u v) (pairs vs)
+
+let clique_weight g vs =
+  List.fold_left
+    (fun acc (u, v) ->
+      match weight g u v with
+      | Some w -> acc +. w
+      | None -> invalid_arg "Cgraph.clique_weight: not a clique")
+    0. (pairs vs)

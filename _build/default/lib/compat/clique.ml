@@ -1,0 +1,73 @@
+type partition = int list list
+
+let normalise p =
+  List.map (List.sort Int.compare) p
+  |> List.sort (fun a b ->
+         match (a, b) with
+         | x :: _, y :: _ -> Int.compare x y
+         | [], _ -> -1
+         | _, [] -> 1)
+
+(* Cross weight of two clusters: the sum of pair weights when all pairs are
+   compatible, [None] otherwise. *)
+let cross_weight g a b =
+  let rec go acc = function
+    | [] -> Some acc
+    | (u, v) :: rest -> (
+      match Cgraph.weight g u v with
+      | Some w -> go (acc +. w) rest
+      | None -> None)
+  in
+  go 0. (List.concat_map (fun u -> List.map (fun v -> (u, v)) b) a)
+
+let greedy ?(merge_nonpositive = false) g =
+  let clusters = ref (List.init (Cgraph.vertex_count g) (fun v -> [ v ])) in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    let best = ref None in
+    let rec scan = function
+      | [] -> ()
+      | a :: rest ->
+        List.iter
+          (fun b ->
+            match cross_weight g a b with
+            | None -> ()
+            | Some w ->
+              let eligible = merge_nonpositive || w > 0. in
+              let better =
+                match !best with
+                | None -> true
+                | Some (w', _, _) -> w > w'
+              in
+              if eligible && better then best := Some (w, a, b))
+          rest;
+        scan rest
+    in
+    scan !clusters;
+    match !best with
+    | Some (_, a, b) ->
+      clusters :=
+        List.sort Int.compare (a @ b)
+        :: List.filter (fun c -> c != a && c != b) !clusters;
+      improved := true
+    | None -> ()
+  done;
+  normalise !clusters
+
+let total_weight g p =
+  List.fold_left (fun acc c -> acc +. Cgraph.clique_weight g c) 0. p
+
+let is_valid g p =
+  let vs = List.concat p |> List.sort Int.compare in
+  vs = List.init (Cgraph.vertex_count g) Fun.id
+  && List.for_all (Cgraph.is_clique g) p
+
+let pp ppf p =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i c ->
+      Format.fprintf ppf "clique %d: {%s}@," i
+        (String.concat ", " (List.map string_of_int c)))
+    p;
+  Format.fprintf ppf "@]"

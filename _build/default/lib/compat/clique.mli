@@ -1,0 +1,27 @@
+(** Greedy clique partitioning (Tseng–Siewiorek style).
+
+    A partition groups every vertex into disjoint cliques of the
+    compatibility graph; each clique maps to one shared resource. *)
+
+(** Cliques are sorted internally; the list is sorted by first element. *)
+type partition = int list list
+
+(** [greedy ?merge_nonpositive g] repeatedly merges the pair of clusters
+    with the largest total cross weight, provided every cross pair is
+    compatible. By default only strictly positive gains merge (the
+    max-weight objective); with [merge_nonpositive:true] any compatible pair
+    merges, greedily minimising the number of cliques (the classical
+    register-allocation objective). Deterministic: ties break towards
+    smaller vertex indices. *)
+val greedy : ?merge_nonpositive:bool -> Cgraph.t -> partition
+
+(** [total_weight g p] sums each clique's internal weight.
+    @raise Invalid_argument if some clique is invalid. *)
+val total_weight : Cgraph.t -> partition -> float
+
+(** [is_valid g p] checks [p] covers each vertex exactly once with genuine
+    cliques. *)
+val is_valid : Cgraph.t -> partition -> bool
+
+val normalise : partition -> partition
+val pp : Format.formatter -> partition -> unit

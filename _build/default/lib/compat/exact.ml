@@ -1,0 +1,90 @@
+type objective = Max_weight | Min_cliques
+
+(* Vertices are assigned in index order, so when vertex [v] is next, every
+   pair whose larger endpoint is >= v is still undecided. [suffix_pos.(v)]
+   sums the positive weights of those pairs — an optimistic bound on the
+   weight still collectable. *)
+let suffix_positive g =
+  let n = Cgraph.vertex_count g in
+  let s = Array.make (n + 1) 0. in
+  List.iter
+    (fun (_, b, w) -> if w > 0. then s.(b) <- s.(b) +. w)
+    (Cgraph.edges g);
+  for v = n - 1 downto 0 do
+    s.(v) <- s.(v) +. s.(v + 1)
+  done;
+  s
+
+let gain_into g v clique =
+  let rec go acc = function
+    | [] -> Some acc
+    | u :: rest -> (
+      match Cgraph.weight g u v with
+      | Some w -> go (acc +. w) rest
+      | None -> None)
+  in
+  go 0. clique
+
+let max_weight g =
+  let n = Cgraph.vertex_count g in
+  let suffix = suffix_positive g in
+  let best_w = ref neg_infinity in
+  let best_p = ref [] in
+  (* [cliques] is a list of reversed member lists. *)
+  let rec go v weight cliques =
+    if weight +. suffix.(v) < !best_w then ()
+    else if v = n then begin
+      if weight > !best_w then begin
+        best_w := weight;
+        best_p := cliques
+      end
+    end
+    else begin
+      let rec try_cliques before = function
+        | [] -> ()
+        | c :: after ->
+          (match gain_into g v c with
+          | Some gain ->
+            go (v + 1) (weight +. gain) (List.rev_append before ((v :: c) :: after))
+          | None -> ());
+          try_cliques (c :: before) after
+      in
+      try_cliques [] cliques;
+      go (v + 1) weight ([ v ] :: cliques)
+    end
+  in
+  go 0 0. [];
+  Clique.normalise !best_p
+
+let min_cliques g =
+  let n = Cgraph.vertex_count g in
+  let best_k = ref max_int in
+  let best_p = ref [] in
+  let rec go v cliques k =
+    if k >= !best_k then ()
+    else if v = n then begin
+      best_k := k;
+      best_p := cliques
+    end
+    else begin
+      let rec try_cliques before = function
+        | [] -> ()
+        | c :: after ->
+          (match gain_into g v c with
+          | Some _ ->
+            go (v + 1) (List.rev_append before ((v :: c) :: after)) k
+          | None -> ());
+          try_cliques (c :: before) after
+      in
+      try_cliques [] cliques;
+      go (v + 1) ([ v ] :: cliques) (k + 1)
+    end
+  in
+  go 0 [] 0;
+  Clique.normalise !best_p
+
+let partition ?(max_vertices = 18) ~objective g =
+  if Cgraph.vertex_count g > max_vertices then None
+  else if Cgraph.vertex_count g = 0 then Some []
+  else
+    Some (match objective with Max_weight -> max_weight g | Min_cliques -> min_cliques g)

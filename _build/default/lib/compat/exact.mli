@@ -1,0 +1,13 @@
+(** Exact clique partitioning by branch-and-bound, for ablation against
+    {!Clique.greedy} on small instances. *)
+
+type objective =
+  | Max_weight  (** maximise the summed internal weight *)
+  | Min_cliques  (** minimise the number of cliques *)
+
+(** [partition ~objective g] explores all assignments of vertices (in index
+    order) to cliques, pruning with an optimistic bound. Returns [None] when
+    [Cgraph.vertex_count g > max_vertices] (default [18]), since the search
+    is exponential. The empty graph yields [Some []]. *)
+val partition :
+  ?max_vertices:int -> objective:objective -> Cgraph.t -> Clique.partition option

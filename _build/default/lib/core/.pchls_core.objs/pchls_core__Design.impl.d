@@ -1,0 +1,1 @@
+lib/core/design.ml: Array Cost_model Format Int Interconnect List Map Pchls_dfg Pchls_fulib Pchls_power Pchls_sched Printf Regalloc Result String

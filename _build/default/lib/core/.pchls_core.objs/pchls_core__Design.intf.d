@@ -1,0 +1,1 @@
+lib/core/design.mli: Cost_model Format Interconnect Pchls_dfg Pchls_fulib Pchls_power Pchls_sched

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Cost_model Design Float Format Hashtbl Int List Logs Option Pchls_dfg Pchls_fulib Pchls_power Pchls_sched Printf String

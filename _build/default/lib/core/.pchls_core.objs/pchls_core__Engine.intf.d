@@ -1,0 +1,1 @@
+lib/core/engine.mli: Cost_model Design Format Pchls_dfg Pchls_fulib

@@ -1,0 +1,1 @@
+lib/core/explore.ml: Buffer Design Engine Float Int List Pchls_power Printf

@@ -1,0 +1,1 @@
+lib/core/explore.mli: Cost_model Design Engine Pchls_dfg Pchls_fulib Stdlib

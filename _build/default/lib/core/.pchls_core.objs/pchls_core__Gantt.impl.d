@@ -1,0 +1,1 @@
+lib/core/gantt.ml: Array Buffer Design List Pchls_dfg Pchls_fulib Printf String

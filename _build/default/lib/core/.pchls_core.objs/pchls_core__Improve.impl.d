@@ -1,0 +1,1 @@
+lib/core/improve.ml: Array Design List Pchls_dfg Pchls_fulib

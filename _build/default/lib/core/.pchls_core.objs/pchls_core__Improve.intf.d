@@ -1,0 +1,1 @@
+lib/core/improve.mli: Cost_model Design

@@ -1,0 +1,1 @@
+lib/core/interconnect.ml: Hashtbl Int List Pchls_dfg Set

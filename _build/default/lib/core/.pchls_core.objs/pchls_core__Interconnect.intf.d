@@ -1,0 +1,1 @@
+lib/core/interconnect.mli: Pchls_dfg

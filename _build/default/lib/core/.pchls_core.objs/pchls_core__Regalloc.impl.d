@@ -1,0 +1,1 @@
+lib/core/regalloc.ml: Array Int List Pchls_dfg Pchls_sched

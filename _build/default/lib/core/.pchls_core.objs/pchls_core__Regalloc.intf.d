@@ -1,0 +1,1 @@
+lib/core/regalloc.mli: Pchls_dfg Pchls_sched

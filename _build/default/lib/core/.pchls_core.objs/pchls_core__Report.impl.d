@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Design Interconnect List Pchls_dfg Pchls_fulib Pchls_power Pchls_sched Printf Regalloc

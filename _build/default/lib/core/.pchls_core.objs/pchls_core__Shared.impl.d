@@ -1,0 +1,1 @@
+lib/core/shared.ml: Design Engine Format List Pchls_dfg Pchls_fulib Printf

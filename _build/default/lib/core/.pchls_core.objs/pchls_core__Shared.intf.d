@@ -1,0 +1,1 @@
+lib/core/shared.mli: Cost_model Design Engine Format Pchls_dfg Pchls_fulib

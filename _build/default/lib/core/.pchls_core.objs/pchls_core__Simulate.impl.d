@@ -1,0 +1,1 @@
+lib/core/simulate.ml: Array Design Float Format Hashtbl Int List Map Option Pchls_dfg Pchls_sched Printf Regalloc

@@ -1,0 +1,12 @@
+type t = { register_area : float; mux_input_area : float }
+
+let default = { register_area = 16.; mux_input_area = 4. }
+let fu_only = { register_area = 0.; mux_input_area = 0. }
+
+let make ~register_area ~mux_input_area =
+  if register_area < 0. then Error "negative register area"
+  else if mux_input_area < 0. then Error "negative mux input area"
+  else Ok { register_area; mux_input_area }
+
+let pp ppf t =
+  Format.fprintf ppf "reg=%g mux-in=%g" t.register_area t.mux_input_area

@@ -1,0 +1,25 @@
+(** Datapath area cost model.
+
+    The paper minimises "area using least interconnect" but inherits the
+    concrete costs from Jou et al. [3] without restating them; this record
+    makes the ingredients explicit and overridable. Total area is
+
+    [sum of FU areas
+     + register_area * number of registers
+     + mux_input_area * number of extra multiplexer inputs]. *)
+
+type t = {
+  register_area : float;  (** area of one storage register *)
+  mux_input_area : float;  (** area per multiplexer input beyond the first *)
+}
+
+(** [default] is [{ register_area = 16.; mux_input_area = 4. }] — a register
+    priced like the paper's I/O transfer modules, and a mux input at a
+    quarter of that. *)
+val default : t
+
+(** [fu_only] zeroes both knobs, so area = FU area alone. *)
+val fu_only : t
+
+val make : register_area:float -> mux_input_area:float -> (t, string) result
+val pp : Format.formatter -> t -> unit

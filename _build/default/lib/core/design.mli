@@ -1,0 +1,70 @@
+(** A synthesized design: schedule + allocation + binding, with its derived
+    registers, interconnect and area breakdown. *)
+
+type instance = {
+  id : int;
+  spec : Pchls_fulib.Module_spec.t;
+  ops : (int * int) list;  (** (operation, start time), sorted by start *)
+}
+
+type area_breakdown = {
+  fu : float;
+  registers : float;
+  mux : float;
+  total : float;
+}
+
+type t
+
+(** [assemble ~cost_model ~graph ~time_limit ~power_limit ~instances] derives
+    the schedule from the instances' op lists, allocates registers, estimates
+    interconnect, and validates the whole design (totality, precedence, time
+    and power constraints, no overlap on any instance).
+
+    Errors with a human-readable message when the binding is inconsistent or
+    a constraint is violated. *)
+val assemble :
+  cost_model:Cost_model.t ->
+  graph:Pchls_dfg.Graph.t ->
+  time_limit:int ->
+  power_limit:float ->
+  instances:(Pchls_fulib.Module_spec.t * (int * int) list) list ->
+  (t, string) result
+
+val graph : t -> Pchls_dfg.Graph.t
+val time_limit : t -> int
+val power_limit : t -> float
+val instances : t -> instance list
+val schedule : t -> Pchls_sched.Schedule.t
+
+(** [instance_of d op] is the instance hosting [op]. *)
+val instance_of : t -> int -> instance
+
+(** [info d op] is the scheduling view (latency, power) of [op] under its
+    bound module. *)
+val info : t -> int -> Pchls_sched.Schedule.op_info
+
+(** [register_allocation d] — register index to producer nodes. *)
+val register_allocation : t -> int list array
+
+val register_count : t -> int
+val mux_inputs : t -> Interconnect.summary
+val area : t -> area_breakdown
+
+(** [profile d] is the per-cycle power profile over [time_limit] cycles. *)
+val profile : t -> Pchls_power.Profile.t
+
+(** [makespan d] is the finish time of the last operation. *)
+val makespan : t -> int
+
+(** [energy d] is the energy of one schedule iteration: each operation
+    contributes its module's power times its latency. Binding-dependent but
+    schedule-independent — power-constrained synthesis reshapes the profile
+    without changing the energy of a fixed binding. *)
+val energy : t -> float
+
+(** [energy_breakdown d] lists each instance's share of {!energy}, by
+    instance id. *)
+val energy_breakdown : t -> (int * float) list
+
+val pp : Format.formatter -> t -> unit

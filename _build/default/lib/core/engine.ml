@@ -1,0 +1,697 @@
+module Graph = Pchls_dfg.Graph
+module Op = Pchls_dfg.Op
+module Library = Pchls_fulib.Library
+module Module_spec = Pchls_fulib.Module_spec
+module Schedule = Pchls_sched.Schedule
+module Pasap = Pchls_sched.Pasap
+module Palap = Pchls_sched.Palap
+module Profile = Pchls_power.Profile
+
+let src = Logs.Src.create "pchls.engine" ~doc:"synthesis engine decisions"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type policy = Min_power | Min_area | Min_latency
+
+type stats = {
+  decisions : int;
+  merges : int;
+  retype_merges : int;
+  new_instances : int;
+  backtracks : int;
+  default_upgrades : int;
+}
+
+type outcome = Synthesized of Design.t * stats | Infeasible of { reason : string }
+
+let policy_to_string = function
+  | Min_power -> "min-power"
+  | Min_area -> "min-area"
+  | Min_latency -> "min-latency"
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "decisions=%d merges=%d retypes=%d new=%d backtracks=%d upgrades=%d"
+    s.decisions s.merges s.retype_merges s.new_instances s.backtracks
+    s.default_upgrades
+
+type inst_state = {
+  inst_id : int;
+  mutable spec : Module_spec.t;
+  mutable placed : (int * int) list; (* (op, start), unsorted *)
+}
+
+type decision =
+  | Merge of { op : int; inst : inst_state; start : int; retype : Module_spec.t option }
+  | Fresh of { op : int; spec : Module_spec.t; start : int }
+
+(* Mutable synthesis state threaded through one [run]. *)
+type state = {
+  g : Graph.t;
+  lib : Library.t;
+  time_limit : int;
+  power_limit : float;
+  cost_model : Cost_model.t;
+  default_spec : (int, Module_spec.t) Hashtbl.t; (* per unassigned op *)
+  assigned : (int, inst_state * int) Hashtbl.t; (* op -> instance, start *)
+  mutable instances : inst_state list; (* newest first *)
+  mutable next_inst : int;
+  caps : (string, int) Hashtbl.t; (* per-module instance caps *)
+  mutable time_locked : bool;
+  locked_times : (int, int) Hashtbl.t; (* valid once time_locked *)
+  assigned_profile : Profile.t; (* power of committed ops only *)
+  mutable n_merges : int;
+  mutable n_retypes : int;
+  mutable n_fresh : int;
+  mutable n_backtracks : int;
+  mutable n_upgrades : int;
+}
+
+let spec_info (m : Module_spec.t) =
+  { Schedule.latency = m.latency; power = m.power }
+
+let info st op =
+  match Hashtbl.find_opt st.assigned op with
+  | Some (inst, _) -> spec_info inst.spec
+  | None -> spec_info (Hashtbl.find st.default_spec op)
+
+let unassigned st =
+  List.filter (fun op -> not (Hashtbl.mem st.assigned op)) (Graph.node_ids st.g)
+
+let locked_list st =
+  let committed =
+    Hashtbl.fold (fun op (_, t) acc -> (op, t) :: acc) st.assigned []
+  in
+  if st.time_locked then
+    Hashtbl.fold
+      (fun op t acc ->
+        if Hashtbl.mem st.assigned op then acc else (op, t) :: acc)
+      st.locked_times committed
+  else committed
+
+let run_pasap st =
+  Pasap.run st.g ~info:(info st) ~horizon:st.time_limit
+    ~power_limit:st.power_limit ~locked:(locked_list st) ()
+
+let run_palap st =
+  Palap.run st.g ~info:(info st) ~horizon:st.time_limit
+    ~power_limit:st.power_limit ~locked:(locked_list st) ()
+
+(* --- initial default-module selection ------------------------------- *)
+
+let ancestors g op =
+  let seen = Hashtbl.create 16 in
+  let rec visit acc op =
+    List.fold_left
+      (fun acc p ->
+        if Hashtbl.mem seen p then acc
+        else begin
+          Hashtbl.replace seen p ();
+          visit (p :: acc) p
+        end)
+      acc (Graph.preds g op)
+  in
+  visit [] op
+
+(* If the default-policy schedule misses the time constraint, promote the
+   blocking operation (or one of its ancestors) to the fastest module whose
+   power still fits under the limit. *)
+let rec settle_defaults st attempts =
+  match run_pasap st with
+  | Pasap.Feasible s -> Ok s
+  | Pasap.Infeasible { node; reason } ->
+    if attempts <= 0 then
+      Error
+        (Printf.sprintf "default module selection cannot meet constraints: %s"
+           reason)
+    else
+      let upgradable op =
+        let current = Hashtbl.find st.default_spec op in
+        let faster =
+          List.filter
+            (fun (m : Module_spec.t) ->
+              m.latency < current.Module_spec.latency
+              && m.power <= st.power_limit +. Profile.eps)
+            (Library.candidates st.lib (Graph.kind st.g op))
+        in
+        match
+          List.sort
+            (fun (a : Module_spec.t) (b : Module_spec.t) ->
+              Int.compare a.latency b.latency)
+            faster
+        with
+        | m :: _ -> Some m
+        | [] -> None
+      in
+      let rec first_upgrade = function
+        | [] -> None
+        | op :: rest -> (
+          match upgradable op with
+          | Some m -> Some (op, m)
+          | None -> first_upgrade rest)
+      in
+      (match first_upgrade (node :: ancestors st.g node) with
+      | Some (op, m) ->
+        Hashtbl.replace st.default_spec op m;
+        st.n_upgrades <- st.n_upgrades + 1;
+        settle_defaults st (attempts - 1)
+      | None ->
+        Error
+          (Printf.sprintf
+             "infeasible: node %d (%s) cannot be scheduled (%s) and no faster \
+              module fits the power limit"
+             node (Graph.node_name st.g node) reason))
+
+(* --- candidate generation ------------------------------------------- *)
+
+let spec_count st name =
+  List.length
+    (List.filter (fun i -> i.spec.Module_spec.name = name) st.instances)
+
+(* Can another instance of module [name] exist? Used for fresh instances and
+   for retypes (which net one more instance of the target type). *)
+let under_cap st name =
+  match Hashtbl.find_opt st.caps name with
+  | None -> true
+  | Some cap -> spec_count st name < cap
+
+let arity st op = List.length (Graph.preds st.g op)
+
+let mux_penalty st op =
+  st.cost_model.Cost_model.mux_input_area *. float_of_int (arity st op)
+
+(* Earliest precedence-feasible start of [op], with predecessor latencies
+   optionally overridden for a retype trial on instance [trial]. *)
+let earliest_start st pasap ?trial op =
+  let latency p =
+    match trial with
+    | Some (inst, (m : Module_spec.t))
+      when List.exists (fun (q, _) -> q = p) inst.placed ->
+      m.latency
+    | Some _ | None -> (info st p).Schedule.latency
+  in
+  List.fold_left
+    (fun acc p -> max acc (Schedule.start pasap p + latency p))
+    0 (Graph.preds st.g op)
+
+(* Latest cycle by which [op] must have finished so that every successor can
+   still start at its palap time. *)
+let deadline st palap op =
+  List.fold_left
+    (fun acc s -> min acc (Schedule.start palap s))
+    st.time_limit (Graph.succs st.g op)
+
+(* Busy-interval check: can [op] run on [inst] (under latency [d]) starting
+   at some cycle in [lo, hi]? Returns the earliest such start. *)
+let earliest_slot inst ~d ~lo ~hi =
+  let busy = List.sort (fun (_, a) (_, b) -> Int.compare a b) inst.placed in
+  let rec scan t =
+    if t > hi then None
+    else
+      let clash =
+        List.find_opt (fun (_, tb) -> t < tb + d && tb < t + d) busy
+      in
+      match clash with
+      | None -> Some t
+      | Some (_, tb) -> scan (tb + d)
+  in
+  scan lo
+
+(* The latest such start instead. *)
+let latest_slot inst ~d ~lo ~hi =
+  let rec scan t =
+    if t < lo then None
+    else
+      let clash =
+        List.find_opt (fun (_, tb) -> t < tb + d && tb < t + d) inst.placed
+      in
+      match clash with
+      | None -> Some t
+      | Some (_, tb) -> scan (tb - d)
+  in
+  scan hi
+
+(* Committing an operation pins a start time, which caps the windows of its
+   still-unassigned neighbours. An operation whose predecessors are still
+   free but whose successors are all placed (or are primary outputs, which
+   are placed late anyway) should therefore sit as LATE as possible;
+   the default is as early as possible. This mirrors the palap placement of
+   sinks in [fresh_candidate]. *)
+let prefer_late st op =
+  (match Graph.succs st.g op with
+  | [] -> true
+  | succs ->
+    List.for_all
+      (fun s ->
+        Hashtbl.mem st.assigned s
+        || (match Graph.kind st.g s with
+           | Op.Output -> true
+           | Op.Add | Op.Sub | Op.Mult | Op.Comp | Op.Input -> false))
+      succs)
+  && List.exists (fun p -> not (Hashtbl.mem st.assigned p)) (Graph.preds st.g op)
+
+(* Power pre-check against the committed operations only. For a retype the
+   instance's existing operations change power and latency, so rebuild its
+   contribution on a scratch copy. *)
+let power_precheck st inst retype ~start ~d ~power =
+  match retype with
+  | None ->
+    Profile.fits st.assigned_profile ~start ~latency:d ~power
+      ~limit:st.power_limit
+  | Some (m : Module_spec.t) ->
+    let scratch = Profile.copy st.assigned_profile in
+    let old = inst.spec in
+    List.iter
+      (fun (_, t) ->
+        Profile.remove scratch ~start:t ~latency:old.Module_spec.latency
+          ~power:old.Module_spec.power)
+      inst.placed;
+    let ok = ref true in
+    List.iter
+      (fun (_, t) ->
+        if t + m.latency > st.time_limit then ok := false
+        else if
+          Profile.fits scratch ~start:t ~latency:m.latency ~power:m.power
+            ~limit:st.power_limit
+        then Profile.add scratch ~start:t ~latency:m.latency ~power:m.power
+        else ok := false)
+      inst.placed;
+    !ok
+    && Profile.fits scratch ~start ~latency:d ~power ~limit:st.power_limit
+
+(* The cheapest library module implementing every kind in [kinds], other
+   than [current]; [None] when none exists or none fits the power limit. *)
+let retype_spec st current kinds =
+  let implements_all (m : Module_spec.t) =
+    List.for_all (Module_spec.implements m) kinds
+  in
+  let candidates =
+    List.filter
+      (fun (m : Module_spec.t) ->
+        implements_all m
+        && (not (Module_spec.equal m current))
+        && m.power <= st.power_limit +. Profile.eps)
+      (Library.to_list st.lib)
+  in
+  match
+    List.sort
+      (fun (a : Module_spec.t) (b : Module_spec.t) -> Float.compare a.area b.area)
+      candidates
+  with
+  | m :: _ -> Some m
+  | [] -> None
+
+(* All timing constraints of a retype: every already-placed op keeps its
+   start but runs [m.latency] cycles, so intervals must stay disjoint and
+   each must still meet its successors' deadlines. *)
+let retype_timing_ok st palap inst (m : Module_spec.t) =
+  let d = m.latency in
+  let sorted = List.sort (fun (_, a) (_, b) -> Int.compare a b) inst.placed in
+  let rec disjoint = function
+    | (_, t1) :: ((_, t2) :: _ as rest) -> t1 + d <= t2 && disjoint rest
+    | [ _ ] | [] -> true
+  in
+  disjoint sorted
+  && List.for_all (fun (op, t) -> t + d <= deadline st palap op) sorted
+
+let gain_of st = function
+  | Fresh { op; _ } ->
+    -.(Hashtbl.find st.default_spec op).Module_spec.area
+  | Merge { op; inst; retype; _ } ->
+    let saved = (Hashtbl.find st.default_spec op).Module_spec.area in
+    let upgrade_cost =
+      match retype with
+      | Some (m : Module_spec.t) -> m.area -. inst.spec.Module_spec.area
+      | None -> 0.
+    in
+    saved -. upgrade_cost -. mux_penalty st op
+
+let merge_candidates st pasap palap op =
+  let kind = Graph.kind st.g op in
+  let locked_at = Hashtbl.find_opt st.locked_times op in
+  List.filter_map
+    (fun inst ->
+      let same_spec_ok = Module_spec.implements inst.spec kind in
+      let consider (m : Module_spec.t) retype =
+        let d = m.Module_spec.latency in
+        let lo = earliest_start st pasap ?trial:(Option.map (fun r -> (inst, r)) retype) op in
+        let hi = deadline st palap op - d in
+        let lo, hi =
+          match (st.time_locked, locked_at) with
+          | true, Some t -> (max lo t, min hi t)
+          | true, None | false, _ -> (lo, hi)
+        in
+        if st.time_locked && not (Module_spec.equal m (Hashtbl.find st.default_spec op))
+        then None (* locked mode must not change the power profile shape *)
+        else
+          let placements =
+            if (not st.time_locked) && prefer_late st op then
+              [ latest_slot inst ~d ~lo ~hi; earliest_slot inst ~d ~lo ~hi ]
+            else [ earliest_slot inst ~d ~lo ~hi ]
+          in
+          List.find_map
+            (fun slot ->
+              match slot with
+              | None -> None
+              | Some start ->
+                if
+                  power_precheck st inst retype ~start ~d
+                    ~power:m.Module_spec.power
+                then Some (Merge { op; inst; start; retype })
+                else None)
+            placements
+      in
+      if same_spec_ok then consider inst.spec None
+      else if st.time_locked then None
+      else
+        let kinds =
+          kind
+          :: List.map (fun (q, _) -> Graph.kind st.g q) inst.placed
+          |> List.sort_uniq Op.compare
+        in
+        match retype_spec st inst.spec kinds with
+        | Some m
+          when retype_timing_ok st palap inst m
+               && under_cap st m.Module_spec.name ->
+          consider m (Some m)
+        | Some _ | None -> None)
+    (List.rev st.instances)
+
+(* A fresh instance usually starts its operation at the pasap time (as early
+   as possible). When [prefer_late] holds (sinks, and operations whose only
+   unplaced neighbours are predecessors) it takes the palap time instead:
+   committing such an operation early would needlessly pin the makespan and
+   erase the predecessors' slack, killing future sharing. In locked mode the
+   pasap time *is* the locked time and must be kept. *)
+let fresh_candidate st pasap palap op =
+  let default = Hashtbl.find st.default_spec op in
+  let spec =
+    if under_cap st default.Module_spec.name then Some default
+    else if st.time_locked then None
+      (* a different module would change the locked power profile *)
+    else
+      (* The default module type is capped out: fall back to the cheapest
+         other candidate still under its cap and power limit. Its latency
+         may differ from the default used by pasap; the post-commit
+         revalidation guards the schedule. *)
+      Library.candidates st.lib (Graph.kind st.g op)
+      |> List.filter (fun (m : Module_spec.t) ->
+             under_cap st m.Module_spec.name
+             && m.power <= st.power_limit +. Profile.eps)
+      |> List.sort (fun (a : Module_spec.t) (b : Module_spec.t) ->
+             Float.compare a.area b.area)
+      |> function
+      | m :: _ -> Some m
+      | [] -> None
+  in
+  match spec with
+  | None -> None
+  | Some spec ->
+    let late = Schedule.start palap op in
+    let start =
+      if
+        (not st.time_locked)
+        && prefer_late st op
+        && Profile.fits st.assigned_profile ~start:late
+             ~latency:spec.Module_spec.latency ~power:spec.Module_spec.power
+             ~limit:st.power_limit
+      then late
+      else Schedule.start pasap op
+    in
+    Some (Fresh { op; spec; start })
+
+let slack pasap palap op = Schedule.start palap op - Schedule.start pasap op
+
+(* Equal-gain ties resolve in dataflow order (earlier pasap start first):
+   committing a consumer before its producer would cap the producer's
+   deadline and destroy sharing opportunities. *)
+let decision_order st pasap palap a b =
+  let ga = gain_of st a and gb = gain_of st b in
+  if not (Float.equal ga gb) then Float.compare gb ga
+  else
+    let op_of = function Merge { op; _ } | Fresh { op; _ } -> op in
+    let ta = Schedule.start pasap (op_of a)
+    and tb = Schedule.start pasap (op_of b) in
+    if ta <> tb then Int.compare ta tb
+    else
+    let sa = slack pasap palap (op_of a) and sb = slack pasap palap (op_of b) in
+    if sa <> sb then Int.compare sa sb
+    else if op_of a <> op_of b then Int.compare (op_of a) (op_of b)
+    else
+      let rank = function
+        | Merge { retype = None; _ } -> 0
+        | Merge { retype = Some _; _ } -> 1
+        | Fresh _ -> 2
+      in
+      let ra = rank a and rb = rank b in
+      if ra <> rb then Int.compare ra rb
+      else
+        let inst_rank = function
+          | Merge { inst; _ } -> inst.inst_id
+          | Fresh _ -> max_int
+        in
+        Int.compare (inst_rank a) (inst_rank b)
+
+let candidates st pasap palap =
+  let cands =
+    List.concat_map
+      (fun op ->
+        let merges = merge_candidates st pasap palap op in
+        match fresh_candidate st pasap palap op with
+        | Some fresh -> fresh :: merges
+        | None -> merges)
+      (unassigned st)
+  in
+  List.sort (decision_order st pasap palap) cands
+
+(* --- commit / undo --------------------------------------------------- *)
+
+type undo = { revert : unit -> unit }
+
+let commit st decision =
+  match decision with
+  | Fresh { op; spec; start } ->
+    let inst = { inst_id = st.next_inst; spec; placed = [ (op, start) ] } in
+    st.next_inst <- st.next_inst + 1;
+    st.instances <- inst :: st.instances;
+    Hashtbl.replace st.assigned op (inst, start);
+    Profile.add st.assigned_profile ~start ~latency:spec.Module_spec.latency
+      ~power:spec.Module_spec.power;
+    {
+      revert =
+        (fun () ->
+          Profile.remove st.assigned_profile ~start
+            ~latency:spec.Module_spec.latency ~power:spec.Module_spec.power;
+          Hashtbl.remove st.assigned op;
+          st.instances <- List.filter (fun i -> i != inst) st.instances;
+          st.next_inst <- st.next_inst - 1);
+    }
+  | Merge { op; inst; start; retype } ->
+    let old_spec = inst.spec in
+    (match retype with
+    | Some m ->
+      (* Re-account the existing operations under the new module. *)
+      List.iter
+        (fun (_, t) ->
+          Profile.remove st.assigned_profile ~start:t
+            ~latency:old_spec.Module_spec.latency
+            ~power:old_spec.Module_spec.power)
+        inst.placed;
+      inst.spec <- m;
+      List.iter
+        (fun (_, t) ->
+          Profile.add st.assigned_profile ~start:t ~latency:m.Module_spec.latency
+            ~power:m.Module_spec.power)
+        inst.placed
+    | None -> ());
+    inst.placed <- (op, start) :: inst.placed;
+    Hashtbl.replace st.assigned op (inst, start);
+    Profile.add st.assigned_profile ~start
+      ~latency:inst.spec.Module_spec.latency ~power:inst.spec.Module_spec.power;
+    {
+      revert =
+        (fun () ->
+          Profile.remove st.assigned_profile ~start
+            ~latency:inst.spec.Module_spec.latency
+            ~power:inst.spec.Module_spec.power;
+          inst.placed <- List.filter (fun (q, _) -> q <> op) inst.placed;
+          Hashtbl.remove st.assigned op;
+          match retype with
+          | Some m ->
+            List.iter
+              (fun (_, t) ->
+                Profile.remove st.assigned_profile ~start:t
+                  ~latency:m.Module_spec.latency ~power:m.Module_spec.power)
+              inst.placed;
+            inst.spec <- old_spec;
+            List.iter
+              (fun (_, t) ->
+                Profile.add st.assigned_profile ~start:t
+                  ~latency:old_spec.Module_spec.latency
+                  ~power:old_spec.Module_spec.power)
+              inst.placed
+          | None -> ());
+    }
+
+let note_commit st = function
+  | Fresh _ -> st.n_fresh <- st.n_fresh + 1
+  | Merge { retype = None; _ } -> st.n_merges <- st.n_merges + 1
+  | Merge { retype = Some _; _ } -> st.n_retypes <- st.n_retypes + 1
+
+(* --- main loop -------------------------------------------------------- *)
+
+let lock_unassigned st valid_pasap =
+  st.time_locked <- true;
+  Hashtbl.reset st.locked_times;
+  List.iter
+    (fun op -> Hashtbl.replace st.locked_times op (Schedule.start valid_pasap op))
+    (unassigned st)
+
+let run ?(cost_model = Cost_model.default) ?(policy = Min_power)
+    ?(max_instances = []) ?(seed_instances = []) ~library ~time_limit
+    ?(power_limit = infinity) g =
+  if time_limit < 1 then invalid_arg "Engine.run: time_limit < 1";
+  if power_limit <= 0. then invalid_arg "Engine.run: power_limit <= 0";
+  List.iter
+    (fun (name, cap) ->
+      if cap < 0 then
+        invalid_arg (Printf.sprintf "Engine.run: negative cap for %s" name);
+      if Library.find library name = None then
+        invalid_arg
+          (Printf.sprintf "Engine.run: cap names unknown module %s" name))
+    max_instances;
+  (match Library.covers library g with
+  | Ok () -> ()
+  | Error kinds ->
+    invalid_arg
+      (Printf.sprintf "Engine.run: library covers no module for: %s"
+         (String.concat ", " (List.map Op.to_string kinds))));
+  let select =
+    match policy with
+    | Min_power -> Library.min_power
+    | Min_area -> Library.min_area
+    | Min_latency -> Library.min_latency
+  in
+  let default_spec = Hashtbl.create 64 in
+  List.iter
+    (fun op ->
+      match select library (Graph.kind g op) with
+      | Some m -> Hashtbl.replace default_spec op m
+      | None -> assert false (* covered above *))
+    (Graph.node_ids g);
+  let seeds =
+    List.mapi
+      (fun i spec -> { inst_id = i; spec; placed = [] })
+      seed_instances
+  in
+  let st =
+    {
+      g;
+      lib = library;
+      time_limit;
+      power_limit;
+      cost_model;
+      default_spec;
+      assigned = Hashtbl.create 64;
+      instances = List.rev seeds;
+      next_inst = List.length seeds;
+      caps =
+        (let h = Hashtbl.create 8 in
+         List.iter (fun (name, cap) -> Hashtbl.replace h name cap) max_instances;
+         h);
+      time_locked = false;
+      locked_times = Hashtbl.create 64;
+      assigned_profile = Profile.create ~horizon:time_limit;
+      n_merges = 0;
+      n_retypes = 0;
+      n_fresh = 0;
+      n_backtracks = 0;
+      n_upgrades = 0;
+    }
+  in
+  match settle_defaults st (Graph.node_count g + 5) with
+  | Error reason -> Infeasible { reason }
+  | Ok first_pasap ->
+    let rec iterate valid_pasap =
+      if unassigned st = [] then Ok ()
+      else begin
+        let palap =
+          match run_palap st with
+          | Pasap.Feasible s -> s
+          | Pasap.Infeasible _ -> valid_pasap (* degenerate windows *)
+        in
+        match candidates st valid_pasap palap with
+        | [] ->
+          let op =
+            match unassigned st with op :: _ -> op | [] -> -1
+          in
+          Error
+            (Printf.sprintf
+               "no feasible decision for operation %d (%s): instance caps \
+                leave it no module to run on"
+               op
+               (Graph.node_name st.g op))
+        | best :: _ -> (
+          Log.debug (fun m ->
+              m "commit %s (gain %.1f)"
+                (match best with
+                | Merge { op; inst; start; retype } ->
+                  Printf.sprintf "merge op %d -> inst %d @%d%s" op inst.inst_id
+                    start
+                    (match retype with
+                    | Some r -> " retype " ^ r.Module_spec.name
+                    | None -> "")
+                | Fresh { op; spec; start } ->
+                  Printf.sprintf "fresh op %d : %s @%d" op
+                    spec.Module_spec.name start)
+                (gain_of st best));
+          let undo = commit st best in
+          match run_pasap st with
+          | Pasap.Feasible next_pasap ->
+            note_commit st best;
+            iterate next_pasap
+          | Pasap.Infeasible { node; reason } ->
+            Log.debug (fun m -> m "backtrack: node %d, %s" node reason);
+            undo.revert ();
+            st.n_backtracks <- st.n_backtracks + 1;
+            lock_unassigned st valid_pasap;
+            (* In locked mode decisions keep the valid pasap's times and
+               module choices, so the schedule stays feasible as-is. *)
+            (match candidates st valid_pasap valid_pasap with
+            | locked_best :: _ ->
+              let _ = commit st locked_best in
+              note_commit st locked_best;
+              iterate valid_pasap
+            | [] ->
+              Error
+                "no feasible decision after locking: instance caps leave \
+                 some operation no module to run on"))
+      end
+    in
+    (match iterate first_pasap with
+    | Error reason -> Infeasible { reason }
+    | Ok () -> (
+      let instances =
+        List.rev st.instances
+        |> List.filter (fun i -> i.placed <> [])
+        |> List.map (fun i ->
+               ( i.spec,
+                 List.sort (fun (_, a) (_, b) -> Int.compare a b) i.placed ))
+      in
+      match
+        Design.assemble ~cost_model ~graph:g ~time_limit ~power_limit
+          ~instances
+      with
+      | Ok design ->
+        Synthesized
+          ( design,
+            {
+              decisions = st.n_merges + st.n_retypes + st.n_fresh;
+              merges = st.n_merges;
+              retype_merges = st.n_retypes;
+              new_instances = st.n_fresh;
+              backtracks = st.n_backtracks;
+              default_upgrades = st.n_upgrades;
+            } )
+      | Error reason ->
+        Infeasible { reason = "final design validation failed: " ^ reason }))

@@ -1,0 +1,136 @@
+module Profile = Pchls_power.Profile
+
+type point = { time_limit : int; power_limit : float; result : result }
+
+and result =
+  | Feasible of { area : float; peak : float; design : Design.t }
+  | Infeasible of string
+
+let sweep ?cost_model ?policy ~library g ~times ~powers =
+  List.concat_map
+    (fun time_limit ->
+      List.map
+        (fun power_limit ->
+          let result =
+            match
+              Engine.run ?cost_model ?policy ~library ~time_limit
+                ~power_limit g
+            with
+            | Engine.Synthesized (design, _) ->
+              Feasible
+                {
+                  area = (Design.area design).Design.total;
+                  peak = Profile.peak (Design.profile design);
+                  design;
+                }
+            | Engine.Infeasible { reason } -> Infeasible reason
+          in
+          { time_limit; power_limit; result })
+        powers)
+    times
+
+let min_feasible_power points ~time_limit =
+  List.fold_left
+    (fun acc p ->
+      match (p.result, acc) with
+      | Feasible _, None when p.time_limit = time_limit -> Some p.power_limit
+      | Feasible _, Some best
+        when p.time_limit = time_limit && p.power_limit < best ->
+        Some p.power_limit
+      | (Feasible _ | Infeasible _), _ -> acc)
+    None points
+
+let dominates a b =
+  match (a.result, b.result) with
+  | Feasible fa, Feasible fb ->
+    a.time_limit <= b.time_limit
+    && a.power_limit <= b.power_limit
+    && fa.area <= fb.area
+    && (a.time_limit < b.time_limit
+       || a.power_limit < b.power_limit
+       || fa.area < fb.area)
+  | (Feasible _ | Infeasible _), _ -> false
+
+let pareto points =
+  let feasible =
+    List.filter (fun p -> match p.result with Feasible _ -> true | Infeasible _ -> false) points
+  in
+  List.filter
+    (fun p -> not (List.exists (fun q -> dominates q p) feasible))
+    feasible
+  |> List.sort (fun a b ->
+         if a.time_limit <> b.time_limit then
+           Int.compare a.time_limit b.time_limit
+         else Float.compare a.power_limit b.power_limit)
+
+let tighten ?cost_model ?policy ?(steps = 6) ~library g ~time_limit
+    ~power_limit =
+  let attempt budget =
+    match
+      Engine.run ?cost_model ?policy ~library ~time_limit ~power_limit:budget g
+    with
+    | Engine.Synthesized (d, _) -> Ok d
+    | Engine.Infeasible { reason } -> Error reason
+  in
+  match attempt power_limit with
+  | Error _ as e -> e
+  | Ok first ->
+    let area d = (Design.area d).Design.total in
+    let next_budget budget d =
+      let peak = Profile.peak (Design.profile d) in
+      let shrunk =
+        if Float.is_finite budget then Float.min (budget *. 0.75) (peak *. 0.99)
+        else peak *. 0.99
+      in
+      if shrunk > 0. then Some shrunk else None
+    in
+    let rec refine best budget d remaining =
+      if remaining = 0 then best
+      else
+        match next_budget budget d with
+        | None -> best
+        | Some budget -> (
+          match attempt budget with
+          | Error _ -> best
+          | Ok d' ->
+            let best = if area d' < area best then d' else best in
+            refine best budget d' (remaining - 1))
+    in
+    Ok (refine first power_limit first steps)
+
+let uniques key points =
+  List.fold_left
+    (fun acc p ->
+      let k = key p in
+      if List.mem k acc then acc else k :: acc)
+    [] points
+  |> List.rev
+
+let render_table points =
+  let buf = Buffer.create 512 in
+  let times = uniques (fun p -> p.time_limit) points in
+  let powers = uniques (fun p -> p.power_limit) points in
+  Buffer.add_string buf (Printf.sprintf "%-8s" "T \\ P<");
+  List.iter (fun p -> Buffer.add_string buf (Printf.sprintf "%8.1f" p)) powers;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun t ->
+      Buffer.add_string buf (Printf.sprintf "%-8d" t);
+      List.iter
+        (fun pw ->
+          let cell =
+            match
+              List.find_opt
+                (fun p -> p.time_limit = t && p.power_limit = pw)
+                points
+            with
+            | Some { result = Feasible { area; _ }; _ } ->
+              Printf.sprintf "%8.0f" area
+            | Some { result = Infeasible _; _ } -> Printf.sprintf "%8s" "-"
+            | None -> Printf.sprintf "%8s" "?"
+          in
+          Buffer.add_string buf cell)
+        powers;
+      Buffer.add_char buf '\n')
+    times;
+  Buffer.contents buf

@@ -1,0 +1,58 @@
+(** Design-space exploration over the (time, power) constraint grid — the
+    paper's "investigated different regions in the time-power-constraint
+    space", packaged as an API. Used by the CLI sweep command and the
+    Figure 2 harness. *)
+
+type point = {
+  time_limit : int;
+  power_limit : float;
+  result : result;
+}
+
+and result =
+  | Feasible of { area : float; peak : float; design : Design.t }
+  | Infeasible of string
+
+(** [sweep ~library g ~times ~powers] synthesizes every grid point, in row
+    (time) then column (power) order. Optional arguments as {!Engine.run}. *)
+val sweep :
+  ?cost_model:Cost_model.t ->
+  ?policy:Engine.policy ->
+  library:Pchls_fulib.Library.t ->
+  Pchls_dfg.Graph.t ->
+  times:int list ->
+  powers:float list ->
+  point list
+
+(** [min_feasible_power points ~time_limit] is the smallest power budget of
+    a feasible point at that time limit, if any. *)
+val min_feasible_power : point list -> time_limit:int -> float option
+
+(** [pareto points] keeps the non-dominated feasible points: point [a]
+    dominates [b] when [a] is no worse on time limit, power limit and area,
+    and strictly better on at least one. Result sorted by (time, power). *)
+val pareto : point list -> point list
+
+(** [render_table points] formats the grid as the area table printed by the
+    Figure 2 harness (['-'] marks infeasible points). Rows are time limits,
+    columns power limits, both in the order first encountered. *)
+val render_table : point list -> string
+
+(** [tighten ~library g ~time_limit ~power_limit] refines area by re-running
+    the engine under artificially *tightened* power budgets: a tighter budget
+    serialises operations, which often enables more sharing, and any design
+    meeting a tighter budget also meets [power_limit]. Budgets descend from
+    [power_limit] (or from the first design's measured peak when the limit is
+    infinite), each step taking the smaller of 3/4 of the previous budget and
+    just under the previous design's peak, for at most [steps] (default 6)
+    further syntheses. Returns the smallest-area design found; [Error] only
+    when even the original budget is infeasible. *)
+val tighten :
+  ?cost_model:Cost_model.t ->
+  ?policy:Engine.policy ->
+  ?steps:int ->
+  library:Pchls_fulib.Library.t ->
+  Pchls_dfg.Graph.t ->
+  time_limit:int ->
+  power_limit:float ->
+  (Design.t, string) Stdlib.result

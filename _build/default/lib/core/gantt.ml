@@ -1,0 +1,50 @@
+module Graph = Pchls_dfg.Graph
+module Module_spec = Pchls_fulib.Module_spec
+
+let cell_width = 5
+
+let render d =
+  let g = Design.graph d in
+  let steps = Design.time_limit d in
+  let buf = Buffer.create 1024 in
+  let pad s =
+    if String.length s >= cell_width then String.sub s 0 cell_width
+    else s ^ String.make (cell_width - String.length s) ' '
+  in
+  let label_width =
+    List.fold_left
+      (fun acc (i : Design.instance) ->
+        max acc
+          (String.length
+             (Printf.sprintf "[%d] %s" i.Design.id i.Design.spec.Module_spec.name)))
+      4
+      (Design.instances d)
+  in
+  let pad_label s =
+    if String.length s >= label_width then s
+    else s ^ String.make (label_width - String.length s) ' '
+  in
+  Buffer.add_string buf (pad_label "step");
+  for t = 0 to steps - 1 do
+    Buffer.add_string buf (pad (string_of_int t))
+  done;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (i : Design.instance) ->
+      Buffer.add_string buf
+        (pad_label
+           (Printf.sprintf "[%d] %s" i.Design.id i.Design.spec.Module_spec.name));
+      let d_lat = i.Design.spec.Module_spec.latency in
+      let cells = Array.make steps "." in
+      List.iter
+        (fun (op, t) ->
+          let name = Graph.node_name g op in
+          cells.(t) <- name;
+          for tau = t + 1 to min (steps - 1) (t + d_lat - 1) do
+            cells.(tau) <- String.make cell_width '-'
+          done)
+        i.Design.ops;
+      Array.iter (fun c -> Buffer.add_string buf (pad c)) cells;
+      Buffer.add_char buf '\n')
+    (Design.instances d);
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** ASCII Gantt chart of a synthesized design: one row per functional-unit
+    instance, one column per control step, showing which operation executes
+    when and how instances are shared. *)
+
+(** [render d] draws the chart. Each operation occupies its execution
+    interval, printed as its (truncated) node name followed by dashes; idle
+    cycles show as dots:
+
+    {v
+    step       0    1    2    3    4
+    [8] mult  .    m1---m1---m1---m1---
+    [0] ALU   .    a1   c1   .    .
+    v} *)
+val render : Design.t -> string

@@ -1,0 +1,81 @@
+module Graph = Pchls_dfg.Graph
+module Module_spec = Pchls_fulib.Module_spec
+
+(* The working representation mirrors Design.assemble's input. *)
+type binding = (Module_spec.t * (int * int) list) list
+
+let of_design d : binding =
+  List.map
+    (fun (i : Design.instance) -> (i.Design.spec, i.Design.ops))
+    (Design.instances d)
+
+let drop_empty (b : binding) = List.filter (fun (_, ops) -> ops <> []) b
+
+(* Move operation [op] (starting at [t]) from instance [src] to [dst]
+   (indices into the binding list). *)
+let move (b : binding) ~op ~src ~dst =
+  List.mapi
+    (fun i (spec, ops) ->
+      if i = src then (spec, List.filter (fun (o, _) -> o <> op) ops)
+      else if i = dst then
+        ( spec,
+          (op, List.assoc op (snd (List.nth b src)))
+          :: ops )
+      else (spec, ops))
+    b
+  |> drop_empty
+
+let candidate_moves g (b : binding) =
+  let arr = Array.of_list b in
+  let n = Array.length arr in
+  let moves = ref [] in
+  for src = n - 1 downto 0 do
+    let src_spec, src_ops = arr.(src) in
+    List.iter
+      (fun (op, t) ->
+        for dst = n - 1 downto 0 do
+          if dst <> src then begin
+            let dst_spec, dst_ops = arr.(dst) in
+            (* Same latency keeps the schedule intact; the slot must be
+               free on the destination. *)
+            if
+              Module_spec.implements dst_spec (Graph.kind g op)
+              && dst_spec.Module_spec.latency = src_spec.Module_spec.latency
+              && not
+                   (List.exists
+                      (fun (_, tb) ->
+                        t < tb + dst_spec.Module_spec.latency
+                        && tb < t + dst_spec.Module_spec.latency)
+                      dst_ops)
+            then moves := (op, src, dst) :: !moves
+          end
+        done)
+      src_ops
+  done;
+  !moves
+
+let rebind ?(max_moves = 1000) ~cost_model d =
+  let g = Design.graph d in
+  let time_limit = Design.time_limit d in
+  let power_limit = Design.power_limit d in
+  let assemble b =
+    Design.assemble ~cost_model ~graph:g ~time_limit ~power_limit ~instances:b
+  in
+  let area d = (Design.area d).Design.total in
+  let rec climb current current_binding moves_left =
+    if moves_left = 0 then current
+    else
+      let improvement =
+        List.find_map
+          (fun (op, src, dst) ->
+            let b' = move current_binding ~op ~src ~dst in
+            match assemble b' with
+            | Ok d' when area d' < area current -. 1e-9 -> Some (d', b')
+            | Ok _ | Error _ -> None)
+          (candidate_moves g current_binding)
+      in
+      match improvement with
+      | Some (d', b') -> climb d' b' (moves_left - 1)
+      | None -> current
+  in
+  climb d (of_design d) max_moves

@@ -1,0 +1,15 @@
+(** Post-synthesis rebinding improvement.
+
+    The greedy engine prices interconnect only coarsely when it commits a
+    sharing decision; once the full design exists, the exact register and
+    multiplexer costs are known. This pass hill-climbs on the *binding*
+    while keeping every start time fixed: it repeatedly moves one operation
+    to another instance whose module implements it with the same latency and
+    a free slot, re-assembles the design, and keeps the move if total area
+    strictly drops (instances left empty disappear). Deterministic; stops at
+    a local optimum or after [max_moves] accepted moves (default 1000).
+
+    Every intermediate design passes {!Design.assemble}'s full validation,
+    so the result meets the same time and power constraints as the input. *)
+
+val rebind : ?max_moves:int -> cost_model:Cost_model.t -> Design.t -> Design.t

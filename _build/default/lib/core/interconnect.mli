@@ -1,0 +1,30 @@
+(** Multiplexer (interconnect) estimation.
+
+    A shared functional unit needs multiplexers when its operand ports are
+    fed from more registers than it has ports, and a shared register needs
+    an input multiplexer when more than one functional unit writes it. The
+    estimate counts *extra* mux inputs:
+
+    - per FU instance: [max 0 (distinct source registers - operand ports)],
+      where the port count is the widest arity among the instance's
+      operations;
+    - per register: [max 0 (distinct writing instances - 1)]. *)
+
+type summary = {
+  fu_mux_inputs : int;  (** extra inputs in front of FU operand ports *)
+  register_mux_inputs : int;  (** extra inputs in front of registers *)
+}
+
+val total : summary -> int
+
+(** [estimate g ~binding ~instance_ops ~register_of] where [binding op] is
+    the instance hosting [op], [instance_ops i] lists the ops on instance
+    [i], and [register_of node] gives the register holding [node]'s value
+    (raising [Not_found] for valueless nodes, e.g. primary outputs). *)
+val estimate :
+  Pchls_dfg.Graph.t ->
+  binding:(int -> int) ->
+  instance_ops:(int -> int list) ->
+  register_of:(int -> int) ->
+  num_instances:int ->
+  summary

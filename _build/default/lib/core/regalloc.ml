@@ -1,0 +1,50 @@
+module Graph = Pchls_dfg.Graph
+module Schedule = Pchls_sched.Schedule
+
+type lifetime = { node : int; birth : int; death : int }
+
+let lifetimes g s ~info =
+  List.filter_map
+    (fun id ->
+      match Graph.succs g id with
+      | [] -> None
+      | succs ->
+        let birth = Schedule.start s id + (info id).Schedule.latency in
+        let death =
+          List.fold_left (fun acc j -> max acc (Schedule.start s j)) birth succs
+        in
+        Some { node = id; birth; death })
+    (Graph.node_ids g)
+
+let overlap a b = a.birth <= b.death && b.birth <= a.death
+
+(* Classical left-edge: scan values by increasing birth and drop each one
+   into the first register whose last value died before this one is born. *)
+let left_edge lifetimes =
+  let sorted =
+    List.sort
+      (fun a b ->
+        if a.birth <> b.birth then Int.compare a.birth b.birth
+        else Int.compare a.node b.node)
+      lifetimes
+  in
+  let registers : (int * int list) list ref = ref [] in
+  (* each register: (death of last value, producers in reverse) *)
+  List.iter
+    (fun lt ->
+      let rec place before = function
+        | (death, nodes) :: after when death < lt.birth ->
+          registers := List.rev_append before ((lt.death, lt.node :: nodes) :: after)
+        | r :: after -> place (r :: before) after
+        | [] -> registers := List.rev ((lt.death, [ lt.node ]) :: before)
+      in
+      place [] !registers)
+    sorted;
+  Array.of_list (List.map (fun (_, nodes) -> List.rev nodes) !registers)
+
+let register_of allocation node =
+  let found = ref None in
+  Array.iteri
+    (fun r nodes -> if !found = None && List.mem node nodes then found := Some r)
+    allocation;
+  match !found with Some r -> r | None -> raise Not_found

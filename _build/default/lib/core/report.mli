@@ -1,0 +1,24 @@
+(** Machine-readable design reports for downstream tooling. *)
+
+type row = {
+  op : int;
+  name : string;
+  kind : Pchls_dfg.Op.kind;
+  instance : int;  (** hosting instance id *)
+  module_name : string;
+  start : int;
+  finish : int;  (** start + module latency *)
+  register : int option;  (** register holding the op's value, if any *)
+}
+
+(** [rows d] tabulates every operation in increasing id order. *)
+val rows : Design.t -> row list
+
+(** [csv d] renders {!rows} as CSV with a header line
+    [op,name,kind,instance,module,start,finish,register]; a valueless
+    operation's register column is empty. *)
+val csv : Design.t -> string
+
+(** [summary_csv d] is a one-row CSV of the design-level numbers:
+    [graph,time_limit,power_limit,makespan,peak,energy,area_fu,area_reg,area_mux,area_total,instances,registers,mux_inputs]. *)
+val summary_csv : Design.t -> string

@@ -1,0 +1,99 @@
+module Module_spec = Pchls_fulib.Module_spec
+
+type behaviour = {
+  label : string;
+  graph : Pchls_dfg.Graph.t;
+  time_limit : int;
+}
+
+type t = {
+  designs : (string * Design.t) list;
+  pool : (Module_spec.t * int) list;
+  pool_fu_area : float;
+  separate_fu_area : float;
+  registers : int;
+}
+
+let saving_percent t =
+  if t.separate_fu_area <= 0. then 0.
+  else 100. *. (t.separate_fu_area -. t.pool_fu_area) /. t.separate_fu_area
+
+(* Multiset of module specs used by a design. *)
+let spec_counts d =
+  List.fold_left
+    (fun acc (i : Design.instance) ->
+      let spec = i.Design.spec in
+      let rec bump = function
+        | [] -> [ (spec, 1) ]
+        | (s, n) :: rest when Module_spec.equal s spec -> (s, n + 1) :: rest
+        | entry :: rest -> entry :: bump rest
+      in
+      bump acc)
+    [] (Design.instances d)
+
+(* Per-spec maximum across behaviours. *)
+let merge_pools pool counts =
+  List.fold_left
+    (fun pool (spec, n) ->
+      let rec update = function
+        | [] -> [ (spec, n) ]
+        | (s, m) :: rest when Module_spec.equal s spec -> (s, max m n) :: rest
+        | entry :: rest -> entry :: update rest
+      in
+      update pool)
+    pool counts
+
+let expand pool =
+  List.concat_map (fun (spec, n) -> List.init n (fun _ -> spec)) pool
+
+let fu_area counts =
+  List.fold_left
+    (fun acc ((spec : Module_spec.t), n) ->
+      acc +. (float_of_int n *. spec.Module_spec.area))
+    0. counts
+
+let synthesize ?cost_model ?policy ?power_limit ~library behaviours =
+  if behaviours = [] then Error "no behaviours given"
+  else
+    let rec go pool designs = function
+      | [] ->
+        let designs = List.rev designs in
+        let separate_fu_area =
+          List.fold_left
+            (fun acc (_, d) -> acc +. (Design.area d).Design.fu)
+            0. designs
+        in
+        Ok
+          {
+            designs;
+            pool;
+            pool_fu_area = fu_area pool;
+            separate_fu_area;
+            registers =
+              List.fold_left
+                (fun acc (_, d) -> max acc (Design.register_count d))
+                0 designs;
+          }
+      | b :: rest -> (
+        match
+          Engine.run ?cost_model ?policy ~seed_instances:(expand pool)
+            ~library ~time_limit:b.time_limit ?power_limit b.graph
+        with
+        | Engine.Synthesized (d, _) ->
+          go (merge_pools pool (spec_counts d)) ((b.label, d) :: designs) rest
+        | Engine.Infeasible { reason } ->
+          Error (Printf.sprintf "behaviour %s: %s" b.label reason))
+    in
+    go [] [] behaviours
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>shared datapath over %d behaviours:@,"
+    (List.length t.designs);
+  List.iter
+    (fun ((spec : Module_spec.t), n) ->
+      Format.fprintf ppf "  %dx %-10s (area %g)@," n spec.Module_spec.name
+        spec.Module_spec.area)
+    t.pool;
+  Format.fprintf ppf
+    "pool FU area %.0f vs %.0f separate (%.1f%% saved), %d registers@]"
+    t.pool_fu_area t.separate_fu_area (saving_percent t) t.registers

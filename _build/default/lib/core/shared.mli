@@ -1,0 +1,47 @@
+(** Multi-behaviour (mode-based) datapath sharing.
+
+    Many embedded datapaths execute several mutually exclusive behaviours —
+    operating modes, filter configurations — one at a time on one piece of
+    hardware. Because the behaviours never run concurrently, their
+    functional units can be shared freely; the hardware is the *union* of
+    what each behaviour needs.
+
+    [synthesize] runs the engine on each behaviour in turn, seeding every
+    run with the module types accumulated so far ({!Engine.run}'s
+    [seed_instances]), so later behaviours reuse earlier hardware whenever
+    their windows allow. The shared functional-unit pool is then the
+    per-module-type maximum across behaviours — an upper bound, since a
+    richer module (e.g. an ALU) could also subsume a poorer one's work. *)
+
+type behaviour = {
+  label : string;
+  graph : Pchls_dfg.Graph.t;
+  time_limit : int;
+}
+
+type t = {
+  designs : (string * Design.t) list;  (** per behaviour, in input order *)
+  pool : (Pchls_fulib.Module_spec.t * int) list;
+      (** shared pool: module spec and instance count *)
+  pool_fu_area : float;  (** FU area of the shared pool *)
+  separate_fu_area : float;
+      (** FU area if every behaviour had its own datapath *)
+  registers : int;  (** register count of the pool: max over behaviours *)
+}
+
+(** [saving_percent t] is the FU-area saving of sharing over separate
+    datapaths, in percent. *)
+val saving_percent : t -> float
+
+(** [synthesize ~library behaviours] — behaviours must be non-empty; each is
+    synthesized under the shared pool. [power_limit] applies to every
+    behaviour. Fails with the first behaviour's reason on infeasibility. *)
+val synthesize :
+  ?cost_model:Cost_model.t ->
+  ?policy:Engine.policy ->
+  ?power_limit:float ->
+  library:Pchls_fulib.Library.t ->
+  behaviour list ->
+  (t, string) result
+
+val pp : Format.formatter -> t -> unit

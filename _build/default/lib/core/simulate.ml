@@ -1,0 +1,164 @@
+module Graph = Pchls_dfg.Graph
+module Op = Pchls_dfg.Op
+module Schedule = Pchls_sched.Schedule
+module Int_map = Map.Make (Int)
+
+type verdict = { outputs : (string * float) list; cycles : int }
+
+type failure =
+  | Missing_input of string
+  | Register_mismatch of { op : int; operand : int; expected : float; got : float }
+  | Output_mismatch of { name : string; expected : float; got : float }
+
+exception Failed of failure
+
+(* A binary operation with a single operand reads that operand on both
+   ports: the builder collapses duplicate dependencies ([x + x]) into one
+   edge, and the random generator creates such nodes too. (A single-operand
+   [Mult] is different — a hardwired coefficient.) *)
+let semantics ~coefficient g node operands =
+  match (Graph.kind g node, operands) with
+  | Op.Add, [ a; b ] -> a +. b
+  | Op.Sub, [ a; b ] -> a -. b
+  | Op.Mult, [ a; b ] -> a *. b
+  | Op.Mult, [ a ] -> coefficient node *. a
+  | Op.Comp, [ a; b ] -> if a > b then 1. else 0.
+  | Op.Output, [ a ] -> a
+  | Op.Add, [ a ] -> a +. a
+  | Op.Sub, [ _ ] -> 0.
+  | Op.Comp, [ _ ] -> 0.
+  | (Op.Add | Op.Sub | Op.Mult | Op.Comp | Op.Input | Op.Output), _ ->
+    invalid_arg
+      (Printf.sprintf "Simulate: node %d (%s) has unsupported arity %d" node
+         (Op.to_string (Graph.kind g node))
+         (List.length operands))
+
+let input_value ~inputs g node =
+  let name = Graph.node_name g node in
+  match List.assoc_opt name inputs with
+  | Some v -> v
+  | None -> raise (Failed (Missing_input name))
+
+(* Operand order: explicit when the front end recorded it, else by id. *)
+let operand_list ~operands g node =
+  match operands node with
+  | Some order -> order
+  | None -> Graph.preds g node
+
+let reference_map ?(coefficient = fun _ -> 3.) ?(operands = fun _ -> None) g
+    ~inputs =
+  List.fold_left
+    (fun values node ->
+      let v =
+        match Graph.kind g node with
+        | Op.Input -> input_value ~inputs g node
+        | Op.Add | Op.Sub | Op.Mult | Op.Comp | Op.Output ->
+          semantics ~coefficient g node
+            (List.map
+               (fun p -> Int_map.find p values)
+               (operand_list ~operands g node))
+      in
+      Int_map.add node v values)
+    Int_map.empty (Graph.topological_order g)
+
+let reference ?coefficient ?operands g ~inputs () =
+  match reference_map ?coefficient ?operands g ~inputs with
+  | values -> Int_map.bindings values
+  | exception Failed (Missing_input name) ->
+    invalid_arg ("Simulate.reference: missing input " ^ name)
+
+(* The datapath simulation proper. Registers hold floats; a producer's
+   result is written into its register at the boundary entering cycle
+   [start + latency]; a consumer starting at cycle [t] reads its operands at
+   the beginning of [t]. Every read is cross-checked against the reference
+   value — a mismatch means a register was clobbered while live. *)
+let run ?(coefficient = fun _ -> 3.) ?(operands = fun _ -> None) d ~inputs =
+  let g = Design.graph d in
+  try
+    let expected = reference_map ~coefficient ~operands g ~inputs in
+    let allocation = Design.register_allocation d in
+    let reg_of = Regalloc.register_of allocation in
+    let registers = Array.make (Array.length allocation) Float.nan in
+    let schedule = Design.schedule d in
+    let info = Design.info d in
+    (* Events per cycle: reads (op starts) and writes (op results land). *)
+    let makespan = Design.makespan d in
+    let starts_at = Hashtbl.create 64 in
+    let lands_at = Hashtbl.create 64 in
+    List.iter
+      (fun node ->
+        let id = node.Graph.id in
+        let t = Schedule.start schedule id in
+        Hashtbl.replace starts_at t (id :: Option.value ~default:[] (Hashtbl.find_opt starts_at t));
+        let finish = t + (info id).Schedule.latency in
+        Hashtbl.replace lands_at finish
+          (id :: Option.value ~default:[] (Hashtbl.find_opt lands_at finish)))
+      (Graph.nodes g);
+    let computed = Hashtbl.create 64 in
+    let outputs = ref [] in
+    for cycle = 0 to makespan do
+      (* Results landing at this boundary become visible first. *)
+      List.iter
+        (fun id ->
+          match Graph.succs g id with
+          | [] ->
+            if Op.equal (Graph.kind g id) Op.Output then
+              outputs :=
+                (Graph.node_name g id, Hashtbl.find computed id) :: !outputs
+          | _ :: _ -> registers.(reg_of id) <- Hashtbl.find computed id)
+        (List.sort Int.compare
+           (Option.value ~default:[] (Hashtbl.find_opt lands_at cycle)));
+      (* Then operations starting this cycle read their operands. *)
+      List.iter
+        (fun id ->
+          let operand_values =
+            List.map
+              (fun p ->
+                let got = registers.(reg_of p) in
+                let want = Int_map.find p expected in
+                (* NaN marks a register never written: always a mismatch. *)
+                if
+                  Float.is_nan got
+                  || Float.abs (got -. want) > 1e-9 *. (1. +. Float.abs want)
+                then
+                  raise
+                    (Failed
+                       (Register_mismatch
+                          { op = id; operand = p; expected = want; got }));
+                got)
+              (operand_list ~operands g id)
+          in
+          let v =
+            match Graph.kind g id with
+            | Op.Input -> input_value ~inputs g id
+            | Op.Add | Op.Sub | Op.Mult | Op.Comp | Op.Output ->
+              semantics ~coefficient g id operand_values
+          in
+          Hashtbl.replace computed id v)
+        (List.sort Int.compare
+           (Option.value ~default:[] (Hashtbl.find_opt starts_at cycle)))
+    done;
+    (* Final cross-check of the primary outputs. *)
+    let outputs = List.rev !outputs in
+    List.iter
+      (fun (name, got) ->
+        let node =
+          List.find
+            (fun n -> n.Graph.name = name && Op.equal n.Graph.kind Op.Output)
+            (Graph.nodes g)
+        in
+        let want = Int_map.find node.Graph.id expected in
+        if Float.abs (got -. want) > 1e-9 *. (1. +. Float.abs want) then
+          raise (Failed (Output_mismatch { name; expected = want; got })))
+      outputs;
+    Ok { outputs; cycles = makespan }
+  with Failed f -> Error f
+
+let pp_failure ppf = function
+  | Missing_input name -> Format.fprintf ppf "missing input %S" name
+  | Register_mismatch { op; operand; expected; got } ->
+    Format.fprintf ppf
+      "operation %d read operand %d as %g, expected %g (register clobbered)"
+      op operand got expected
+  | Output_mismatch { name; expected; got } ->
+    Format.fprintf ppf "output %S is %g, expected %g" name got expected

@@ -1,0 +1,63 @@
+(** Functional simulation of a synthesized datapath.
+
+    The strongest correctness check the library offers: execute the design
+    cycle by cycle — functional units fire at their scheduled start times,
+    read their operands from the shared registers, and write results back
+    when they finish — and compare every value against a direct evaluation
+    of the data-flow graph. A pass proves the schedule, binding and register
+    sharing preserve the computation (e.g. that no shared register is
+    clobbered while still live).
+
+    Operation semantics: [Add]/[Sub]/[Mult] are the usual float arithmetic;
+    a single-operand [Mult] multiplies by a hardwired coefficient,
+    [coefficient node] (default [3.], matching the hal benchmark's
+    constant); [Comp a b] yields [1.] when [a > b] else [0.]; [Input] reads
+    [inputs] by node name; [Output] forwards its operand. A single-operand
+    [Add]/[Sub]/[Comp] reads its operand on both ports (the builder
+    collapses duplicate dependencies like [x + x] into one edge), giving
+    [a+a], [0.] and [0.] respectively.
+
+    Operands default to predecessor-id order — the graph stores dependency
+    sets, not port order. For order-sensitive operations ([Sub], [Comp])
+    whose source-level order differs, pass [operands]: a front end such as
+    {!Pchls_lang.Elaborate} records the true order per node. *)
+
+type verdict = {
+  outputs : (string * float) list;
+      (** output-node name and value, in node order *)
+  cycles : int;  (** makespan of the executed schedule *)
+}
+
+type failure =
+  | Missing_input of string  (** an [Input] node name absent from [inputs] *)
+  | Register_mismatch of {
+      op : int;
+      operand : int;
+      expected : float;
+      got : float;
+    }
+      (** operation [op] read [operand]'s value from its register and saw a
+          clobbered value — a register-sharing bug *)
+  | Output_mismatch of { name : string; expected : float; got : float }
+
+(** [run d ~inputs] simulates one iteration. [inputs] maps input-node names
+    to values. *)
+val run :
+  ?coefficient:(int -> float) ->
+  ?operands:(int -> int list option) ->
+  Design.t ->
+  inputs:(string * float) list ->
+  (verdict, failure) result
+
+(** [reference g ~inputs ?coefficient ()] evaluates the graph directly
+    (no datapath), returning every node's value.
+    @raise Invalid_argument on a missing input. *)
+val reference :
+  ?coefficient:(int -> float) ->
+  ?operands:(int -> int list option) ->
+  Pchls_dfg.Graph.t ->
+  inputs:(string * float) list ->
+  unit ->
+  (int * float) list
+
+val pp_failure : Format.formatter -> failure -> unit

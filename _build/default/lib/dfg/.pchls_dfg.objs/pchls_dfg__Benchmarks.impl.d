@@ -1,0 +1,1 @@
+lib/dfg/benchmarks.ml: Array Builder List Op Printf

@@ -1,0 +1,1 @@
+lib/dfg/generator.ml: Array Builder Int List Op Printf Random Set

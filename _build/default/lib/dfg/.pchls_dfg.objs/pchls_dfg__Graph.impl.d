@@ -1,0 +1,1 @@
+lib/dfg/graph.ml: Format Int List Map Op Printf Result Set String

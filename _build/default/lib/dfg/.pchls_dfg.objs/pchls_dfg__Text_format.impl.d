@@ -1,0 +1,1 @@
+lib/dfg/text_format.ml: Buffer Graph List Op Option Printf String

@@ -1,0 +1,1 @@
+lib/dfg/text_format.mli: Graph

@@ -1,0 +1,289 @@
+(* Multiplications by a filter coefficient are modelled as single-operand
+   [Mult] nodes (the constant is hardwired in the FU), which matches how the
+   classic HLS benchmark suites draw them. *)
+
+let hal =
+  let b = Builder.create "hal" in
+  let x = Builder.input b "x" in
+  let y = Builder.input b "y" in
+  let u = Builder.input b "u" in
+  let dx = Builder.input b "dx" in
+  let a = Builder.input b "a" in
+  let three = Builder.input b "3" in
+  let m1 = Builder.mult b "m1" three x in
+  let m2 = Builder.mult b "m2" u dx in
+  let m3 = Builder.mult b "m3" three y in
+  let m4 = Builder.mult b "m4" m1 m2 in
+  let m5 = Builder.mult b "m5" dx m3 in
+  let m6 = Builder.mult b "m6" u dx in
+  let s1 = Builder.sub b "s1" u m4 in
+  let s2 = Builder.sub b "s2" s1 m5 in
+  let a1 = Builder.add b "a1" x dx in
+  let a2 = Builder.add b "a2" y m6 in
+  let c1 = Builder.comp b "c1" a1 a in
+  let _ = Builder.output b "u1" s2 in
+  let _ = Builder.output b "y1" a2 in
+  let _ = Builder.output b "x1" a1 in
+  let _ = Builder.output b "c" c1 in
+  Builder.finish_exn b
+
+(* Chen-style 8-point FDCT butterfly network. The even part computes
+   y0/y4/y2/y6 from sums, the odd part y1/y3/y5/y7 from differences through
+   two rotation stages. Coefficients are hardwired. *)
+let cosine =
+  let b = Builder.create "cosine" in
+  let x = Array.init 8 (fun i -> Builder.input b (Printf.sprintf "x%d" i)) in
+  let cmul name v = Builder.node b name Op.Mult [ v ] in
+  (* Stage 1: butterflies x_i +/- x_{7-i}. *)
+  let a = Array.init 4 (fun i -> Builder.add b (Printf.sprintf "a%d" i) x.(i) x.(7 - i)) in
+  let s = Array.init 4 (fun i -> Builder.sub b (Printf.sprintf "s%d" i) x.(i) x.(7 - i)) in
+  (* Even part. *)
+  let b0 = Builder.add b "b0" a.(0) a.(3) in
+  let b1 = Builder.add b "b1" a.(1) a.(2) in
+  let b2 = Builder.sub b "b2" a.(1) a.(2) in
+  let b3 = Builder.sub b "b3" a.(0) a.(3) in
+  let e0 = Builder.add b "e0" b0 b1 in
+  let y0 = cmul "y0m" e0 in
+  let e1 = Builder.sub b "e1" b0 b1 in
+  let y4 = cmul "y4m" e1 in
+  let p0 = cmul "p0" b2 in
+  let p1 = cmul "p1" b3 in
+  let p2 = cmul "p2" b2 in
+  let p3 = cmul "p3" b3 in
+  let y2 = Builder.add b "y2a" p0 p1 in
+  let y6 = Builder.sub b "y6s" p3 p2 in
+  (* Odd part: first rotation. *)
+  let r0 = Builder.sub b "r0" s.(2) s.(1) in
+  let r1 = Builder.add b "r1" s.(2) s.(1) in
+  let t1 = cmul "t1" r0 in
+  let t2 = cmul "t2" r1 in
+  let u0 = Builder.add b "u0" s.(0) t1 in
+  let u1 = Builder.sub b "u1" s.(0) t1 in
+  let u2 = Builder.add b "u2" s.(3) t2 in
+  let u3 = Builder.sub b "u3" s.(3) t2 in
+  (* Odd part: final rotations. *)
+  let q0 = cmul "q0" u2 in
+  let q1 = cmul "q1" u0 in
+  let q2 = cmul "q2" u2 in
+  let q3 = cmul "q3" u0 in
+  let q4 = cmul "q4" u3 in
+  let q5 = cmul "q5" u1 in
+  let q6 = cmul "q6" u3 in
+  let q7 = cmul "q7" u1 in
+  let y1 = Builder.add b "y1a" q0 q1 in
+  let y7 = Builder.sub b "y7s" q2 q3 in
+  let y5 = Builder.add b "y5a" q4 q5 in
+  let y3 = Builder.sub b "y3s" q6 q7 in
+  List.iteri
+    (fun i v -> ignore (Builder.output b (Printf.sprintf "y%d" i) v))
+    [ y0; y1; y2; y3; y4; y5; y6; y7 ];
+  Builder.finish_exn b
+
+(* 5th-order elliptic wave filter reconstruction: 7 adaptor-like sections fed
+   by the state variables, combined by an adder tree, with the standard
+   26-add / 8-mult operation mix. *)
+let elliptic =
+  let b = Builder.create "elliptic" in
+  let inp = Builder.input b "in" in
+  let sv = Array.init 7 (fun i -> Builder.input b (Printf.sprintf "sv%d" i)) in
+  let cmul name v = Builder.node b name Op.Mult [ v ] in
+  let pre = Builder.add b "pre" inp sv.(0) in
+  let sections =
+    Array.init 7 (fun i ->
+        let a = Builder.add b (Printf.sprintf "a%d" i) sv.(i) pre in
+        let m = cmul (Printf.sprintf "m%d" i) a in
+        Builder.add b (Printf.sprintf "b%d" i) m a)
+  in
+  let m7 = cmul "m7" pre in
+  let b7 = Builder.add b "b7" m7 pre in
+  (* Adder tree over the eight section results. *)
+  let t0 = Builder.add b "t0" sections.(0) sections.(1) in
+  let t1 = Builder.add b "t1" sections.(2) sections.(3) in
+  let t2 = Builder.add b "t2" sections.(4) sections.(5) in
+  let t3 = Builder.add b "t3" sections.(6) b7 in
+  let t4 = Builder.add b "t4" t0 t1 in
+  let t5 = Builder.add b "t5" t2 t3 in
+  let t6 = Builder.add b "t6" t4 t5 in
+  let o1 = Builder.add b "o1" t6 inp in
+  let o2 = Builder.add b "o2" o1 pre in
+  let o3 = Builder.add b "o3" o2 sections.(0) in
+  ignore (Builder.output b "out" o3);
+  Array.iteri
+    (fun i v -> ignore (Builder.output b (Printf.sprintf "sv%d'" i) v))
+    sections;
+  Builder.finish_exn b
+
+(* 4-stage AR lattice: each stage cross-multiplies its two carriers and
+   recombines them. *)
+let ar_filter =
+  let b = Builder.create "ar_filter" in
+  let p0 = Builder.input b "p" in
+  let q0 = Builder.input b "q" in
+  let cmul name v = Builder.node b name Op.Mult [ v ] in
+  let stage i (p, q) =
+    let m1 = cmul (Printf.sprintf "s%d_m1" i) p in
+    let m2 = cmul (Printf.sprintf "s%d_m2" i) q in
+    let m3 = cmul (Printf.sprintf "s%d_m3" i) p in
+    let m4 = cmul (Printf.sprintf "s%d_m4" i) q in
+    let a1 = Builder.add b (Printf.sprintf "s%d_a1" i) m1 m2 in
+    let a2 = Builder.add b (Printf.sprintf "s%d_a2" i) m3 m4 in
+    (a1, a2)
+  in
+  let p1, q1 = stage 0 (p0, q0) in
+  let p2, q2 = stage 1 (p1, q1) in
+  let p3, q3 = stage 2 (p2, q2) in
+  let p4, q4 = stage 3 (p3, q3) in
+  let c1 = Builder.add b "c1" p1 q2 in
+  let c2 = Builder.add b "c2" p3 c1 in
+  let c3 = Builder.add b "c3" q4 c2 in
+  let c4 = Builder.add b "c4" p4 c3 in
+  ignore (Builder.output b "y" c4);
+  ignore (Builder.output b "p'" p4);
+  ignore (Builder.output b "q'" q4);
+  Builder.finish_exn b
+
+let fir16 =
+  let b = Builder.create "fir16" in
+  let x = Array.init 16 (fun i -> Builder.input b (Printf.sprintf "x%d" i)) in
+  let prods =
+    Array.mapi
+      (fun i v -> Builder.node b (Printf.sprintf "h%d" i) Op.Mult [ v ])
+      x
+  in
+  (* Balanced adder tree: 15 additions. *)
+  let rec reduce level vals =
+    match vals with
+    | [] -> invalid_arg "fir16: empty"
+    | [ v ] -> v
+    | vals ->
+      let rec pair i = function
+        | a :: c :: rest ->
+          Builder.add b (Printf.sprintf "t%d_%d" level i) a c :: pair (i + 1) rest
+        | [ a ] -> [ a ]
+        | [] -> []
+      in
+      reduce (level + 1) (pair 0 vals)
+  in
+  let y = reduce 0 (Array.to_list prods) in
+  ignore (Builder.output b "y" y);
+  Builder.finish_exn b
+
+let iir_biquad =
+  let b = Builder.create "iir_biquad" in
+  let x = Builder.input b "x" in
+  let s1 = Builder.input b "s1" in
+  let s2 = Builder.input b "s2" in
+  let cmul name v = Builder.node b name Op.Mult [ v ] in
+  let a1 = cmul "a1" s1 in
+  let a2 = cmul "a2" s2 in
+  let fb = Builder.add b "fb" a1 a2 in
+  let w = Builder.sub b "w" x fb in
+  let b0 = cmul "b0" w in
+  let b1 = cmul "b1" s1 in
+  let b2 = cmul "b2" s2 in
+  let ff = Builder.add b "ff" b1 b2 in
+  let y = Builder.add b "y" b0 ff in
+  ignore (Builder.output b "yo" y);
+  ignore (Builder.output b "s1'" w);
+  ignore (Builder.output b "s2'" s1);
+  Builder.finish_exn b
+
+(* Two chained HAL bodies sharing one builder; the second body consumes the
+   first body's x1/y1/u1 results. *)
+let diffeq2 =
+  let b = Builder.create "diffeq2" in
+  let dx = Builder.input b "dx" in
+  let a = Builder.input b "a" in
+  let three = Builder.input b "3" in
+  let body tag x y u =
+    let m1 = Builder.mult b (tag ^ "m1") three x in
+    let m2 = Builder.mult b (tag ^ "m2") u dx in
+    let m3 = Builder.mult b (tag ^ "m3") three y in
+    let m4 = Builder.mult b (tag ^ "m4") m1 m2 in
+    let m5 = Builder.mult b (tag ^ "m5") dx m3 in
+    let m6 = Builder.mult b (tag ^ "m6") u dx in
+    let s1 = Builder.sub b (tag ^ "s1") u m4 in
+    let u' = Builder.sub b (tag ^ "s2") s1 m5 in
+    let x' = Builder.add b (tag ^ "a1") x dx in
+    let y' = Builder.add b (tag ^ "a2") y m6 in
+    let c = Builder.comp b (tag ^ "c1") x' a in
+    (x', y', u', c)
+  in
+  let x0 = Builder.input b "x" in
+  let y0 = Builder.input b "y" in
+  let u0 = Builder.input b "u" in
+  let x1, y1, u1, c1 = body "i1_" x0 y0 u0 in
+  let x2, y2, u2, c2 = body "i2_" x1 y1 u1 in
+  ignore (Builder.output b "c1" c1);
+  ignore (Builder.output b "x2" x2);
+  ignore (Builder.output b "y2" y2);
+  ignore (Builder.output b "u2" u2);
+  ignore (Builder.output b "c2" c2);
+  Builder.finish_exn b
+
+(* 2x2 matrix product C = A * B: one mult per operand pair, one add per
+   output element. *)
+let matmul2 =
+  let b = Builder.create "matmul2" in
+  let a = Array.init 4 (fun i -> Builder.input b (Printf.sprintf "a%d%d" (i / 2) (i mod 2))) in
+  let m = Array.init 4 (fun i -> Builder.input b (Printf.sprintf "b%d%d" (i / 2) (i mod 2))) in
+  let cell i j =
+    let p1 = Builder.mult b (Printf.sprintf "p%d%d_1" i j) a.((i * 2) + 0) m.((0 * 2) + j) in
+    let p2 = Builder.mult b (Printf.sprintf "p%d%d_2" i j) a.((i * 2) + 1) m.((1 * 2) + j) in
+    Builder.add b (Printf.sprintf "c%d%d" i j) p1 p2
+  in
+  List.iter
+    (fun (i, j) ->
+      ignore (Builder.output b (Printf.sprintf "o%d%d" i j) (cell i j)))
+    [ (0, 0); (0, 1); (1, 0); (1, 1) ];
+  Builder.finish_exn b
+
+(* 4-point radix-2 FFT on real parts with hardwired twiddles: two butterfly
+   stages plus one twiddle multiplication. *)
+let fft4 =
+  let b = Builder.create "fft4" in
+  let x = Array.init 4 (fun i -> Builder.input b (Printf.sprintf "x%d" i)) in
+  let s0 = Builder.add b "s0" x.(0) x.(2) in
+  let d0 = Builder.sub b "d0" x.(0) x.(2) in
+  let s1 = Builder.add b "s1" x.(1) x.(3) in
+  let d1 = Builder.sub b "d1" x.(1) x.(3) in
+  let tw = Builder.node b "w1*d1" Op.Mult [ d1 ] in
+  let y0 = Builder.add b "y0" s0 s1 in
+  let y2 = Builder.sub b "y2" s0 s1 in
+  let y1 = Builder.add b "y1" d0 tw in
+  let y3 = Builder.sub b "y3" d0 tw in
+  List.iteri
+    (fun i y -> ignore (Builder.output b (Printf.sprintf "o%d" i) y))
+    [ y0; y1; y2; y3 ];
+  Builder.finish_exn b
+
+(* One level of a Haar lifting wavelet over 8 samples: predict (differences)
+   then update (scaled averages). *)
+let haar8 =
+  let b = Builder.create "haar8" in
+  let x = Array.init 8 (fun i -> Builder.input b (Printf.sprintf "x%d" i)) in
+  for i = 0 to 3 do
+    let even = x.(2 * i) and odd = x.((2 * i) + 1) in
+    let diff = Builder.sub b (Printf.sprintf "d%d" i) odd even in
+    let half = Builder.node b (Printf.sprintf "h%d" i) Op.Mult [ diff ] in
+    let approx = Builder.add b (Printf.sprintf "s%d" i) even half in
+    ignore (Builder.output b (Printf.sprintf "cd%d" i) diff);
+    ignore (Builder.output b (Printf.sprintf "ca%d" i) approx)
+  done;
+  Builder.finish_exn b
+
+let all =
+  [
+    ("hal", hal);
+    ("cosine", cosine);
+    ("elliptic", elliptic);
+    ("ar_filter", ar_filter);
+    ("fir16", fir16);
+    ("iir_biquad", iir_biquad);
+    ("diffeq2", diffeq2);
+    ("matmul2", matmul2);
+    ("fft4", fft4);
+    ("haar8", haar8);
+  ]
+
+let find name = List.assoc_opt name all

@@ -1,0 +1,53 @@
+(** The benchmark CDFGs used in the paper's evaluation, plus companions.
+
+    The paper benchmarks three graphs: [hal] (the classic differential
+    equation solver), [cosine] and [elliptic] (5th-order elliptic wave
+    filter). The paper does not publish its exact [cosine] and [elliptic]
+    netlists, so those two are documented reconstructions with the standard
+    operation mix — see DESIGN.md §2 for the substitution rationale.
+
+    All graphs model loop-carried state as explicit [Input]/[Output] transfer
+    nodes, matching the paper's FU library which prices [imp]/[xpt] modules. *)
+
+(** The HAL differential-equation benchmark (Paulin): solves
+    [y'' + 3xy' + 3y = 0] by Euler steps. 11 operations (6 mult, 2 add,
+    2 sub, 1 comp) plus 6 inputs and 4 outputs. *)
+val hal : Graph.t
+
+(** An 8-point fast discrete-cosine-transform butterfly network: 16 const
+    multiplications and 26 add/sub, plus 8 inputs and 8 outputs. *)
+val cosine : Graph.t
+
+(** A 5th-order elliptic wave filter reconstruction: 26 additions and 8
+    const multiplications, plus 8 inputs (sample + 7 state variables) and 8
+    outputs. *)
+val elliptic : Graph.t
+
+(** A 4-stage auto-regressive lattice filter: 16 mult, 12 add. *)
+val ar_filter : Graph.t
+
+(** A 16-tap finite-impulse-response filter: 16 const mult, 15-add tree. *)
+val fir16 : Graph.t
+
+(** A direct-form-II biquad IIR section: 5 mult, 4 add. *)
+val iir_biquad : Graph.t
+
+(** Two cascaded HAL bodies (the second consumes the first's results). *)
+val diffeq2 : Graph.t
+
+(** A 2x2 matrix product: 8 mult, 4 add. *)
+val matmul2 : Graph.t
+
+(** A 4-point radix-2 FFT skeleton: 1 twiddle mult, 4 add, 4 sub. *)
+val fft4 : Graph.t
+
+(** One Haar lifting level over 8 samples: 4 const mult, 4 add, 4 sub. *)
+val haar8 : Graph.t
+
+(** [all] associates each benchmark with its canonical name, in a stable
+    order: hal, cosine, elliptic, ar_filter, fir16, iir_biquad, diffeq2,
+    matmul2, fft4, haar8. *)
+val all : (string * Graph.t) list
+
+(** [find name] looks a benchmark up by canonical name. *)
+val find : string -> Graph.t option

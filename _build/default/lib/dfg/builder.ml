@@ -1,0 +1,37 @@
+type t = {
+  name : string;
+  mutable next_id : int;
+  mutable nodes : Graph.node list; (* reversed *)
+  mutable edges : (int * int) list; (* reversed *)
+}
+
+let create name = { name; next_id = 0; nodes = []; edges = [] }
+
+(* An operation reading the same value on both ports (e.g. [x + x]) depends
+   on that producer once, so duplicate deps collapse to one edge. *)
+let node b name kind deps =
+  let id = b.next_id in
+  b.next_id <- id + 1;
+  b.nodes <- { Graph.id; name; kind } :: b.nodes;
+  b.edges <-
+    List.fold_left
+      (fun acc d -> (d, id) :: acc)
+      b.edges
+      (List.sort_uniq Int.compare deps);
+  id
+
+let input b name = node b name Op.Input []
+let output b name v = node b name Op.Output [ v ]
+let add b name a c = node b name Op.Add [ a; c ]
+let sub b name a c = node b name Op.Sub [ a; c ]
+let mult b name a c = node b name Op.Mult [ a; c ]
+let comp b name a c = node b name Op.Comp [ a; c ]
+let edge b ~src ~dst = b.edges <- (src, dst) :: b.edges
+
+let finish b =
+  Graph.create ~name:b.name ~nodes:(List.rev b.nodes) ~edges:(List.rev b.edges)
+
+let finish_exn b =
+  match finish b with
+  | Ok g -> g
+  | Error msg -> invalid_arg (Printf.sprintf "Builder.finish_exn (%s): %s" b.name msg)

@@ -1,0 +1,37 @@
+(** Imperative construction DSL for {!Graph.t}.
+
+    A builder accumulates nodes and edges; ids are handed out sequentially
+    starting at 0. Each operation helper returns the id of the node it
+    created, so graphs read like straight-line code:
+
+    {[
+      let b = Builder.create "example" in
+      let x = Builder.input b "x" in
+      let y = Builder.input b "y" in
+      let s = Builder.add b "s" x y in
+      let _ = Builder.output b "out" s in
+      Builder.finish_exn b
+    ]} *)
+
+type t
+
+val create : string -> t
+
+(** [node b name kind deps] appends a node of arbitrary kind depending on
+    each id in [deps]. *)
+val node : t -> string -> Op.kind -> int list -> int
+
+val input : t -> string -> int
+val output : t -> string -> int -> int
+val add : t -> string -> int -> int -> int
+val sub : t -> string -> int -> int -> int
+val mult : t -> string -> int -> int -> int
+val comp : t -> string -> int -> int -> int
+
+(** [edge b ~src ~dst] appends an extra dependency between existing nodes. *)
+val edge : t -> src:int -> dst:int -> unit
+
+(** [finish b] validates and returns the graph. *)
+val finish : t -> (Graph.t, string) result
+
+val finish_exn : t -> Graph.t

@@ -1,0 +1,39 @@
+let shape_of_kind = function
+  | Op.Input -> "invtriangle"
+  | Op.Output -> "triangle"
+  | Op.Mult -> "doublecircle"
+  | Op.Add | Op.Sub | Op.Comp -> "circle"
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let to_string ?(annotate = fun _ -> None) g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n" (Graph.name g));
+  Buffer.add_string buf "  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n";
+  List.iter
+    (fun n ->
+      let extra =
+        match annotate n.Graph.id with
+        | Some s -> "\\n" ^ escape s
+        | None -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\\n%s%s\", shape=%s];\n" n.Graph.id
+           (escape n.Graph.name)
+           (escape (Op.symbol n.Graph.kind))
+           extra
+           (shape_of_kind n.Graph.kind)))
+    (Graph.nodes g);
+  List.iter
+    (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" a b))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,6 @@
+(** Graphviz export of data-flow graphs. *)
+
+(** [to_string ?annotate g] renders [g] in DOT syntax. Nodes are labelled
+    ["name\nsymbol"]; [annotate id] may append an extra line (e.g. a start
+    time) to a node's label. *)
+val to_string : ?annotate:(int -> string option) -> Graph.t -> string

@@ -1,0 +1,58 @@
+module Int_set = Set.Make (Int)
+
+let pick_kind rng mult_ratio =
+  if Random.State.float rng 1.0 < mult_ratio then Op.Mult
+  else
+    match Random.State.int rng 3 with
+    | 0 -> Op.Add
+    | 1 -> Op.Sub
+    | _ -> Op.Comp
+
+(* Operations are generated layer by layer; each op depends on one or two
+   earlier ops picked uniformly, so every node is reachable from layer 0 and
+   the graph is acyclic by construction. [used] tracks ops consumed by a later
+   op, so the leftovers can be terminated by Output nodes. *)
+let layered ~seed ~layers ~width ?(mult_ratio = 0.3) ?(io = true) () =
+  if layers < 1 then invalid_arg "Generator.layered: layers < 1";
+  if width < 1 then invalid_arg "Generator.layered: width < 1";
+  let rng = Random.State.make [| seed; layers; width |] in
+  let b = Builder.create (Printf.sprintf "rand_s%d_l%d_w%d" seed layers width) in
+  let used = ref Int_set.empty in
+  let first_layer =
+    let n = 1 + Random.State.int rng width in
+    List.init n (fun i ->
+        let deps =
+          if io then [ Builder.input b (Printf.sprintf "in%d" i) ] else []
+        in
+        Builder.node b (Printf.sprintf "l0_%d" i) (pick_kind rng mult_ratio) deps)
+  in
+  let rec grow layer pool =
+    if layer >= layers then pool
+    else
+      let n = 1 + Random.State.int rng width in
+      let arr = Array.of_list pool in
+      let pick () = arr.(Random.State.int rng (Array.length arr)) in
+      let fresh =
+        List.init n (fun i ->
+            let a = pick () in
+            let deps =
+              if Random.State.bool rng then
+                let c = pick () in
+                if c = a then [ a ] else [ a; c ]
+              else [ a ]
+            in
+            List.iter (fun d -> used := Int_set.add d !used) deps;
+            Builder.node b
+              (Printf.sprintf "l%d_%d" layer i)
+              (pick_kind rng mult_ratio) deps)
+      in
+      grow (layer + 1) (pool @ fresh)
+  in
+  let ops = grow 1 first_layer in
+  if io then
+    List.iteri
+      (fun i id ->
+        if not (Int_set.mem id !used) then
+          ignore (Builder.output b (Printf.sprintf "out%d" i) id))
+      ops;
+  Builder.finish_exn b

@@ -1,0 +1,17 @@
+(** Seeded random data-flow graph generation, for property tests and
+    scalability benchmarks. All output is deterministic in [seed]. *)
+
+(** [layered ~seed ~layers ~width ()] builds a layered DAG with [layers]
+    operation layers of at most [width] nodes each. Every operation depends on
+    one or two nodes from earlier layers, so the result is connected and
+    acyclic by construction.
+
+    [mult_ratio] (default [0.3]) is the probability that an operation is a
+    multiplication; the rest are an even mix of add/sub/comp. When [io] is
+    [true] (default), [Input] nodes feed the first layer and every sink gets
+    an [Output] consumer.
+
+    @raise Invalid_argument if [layers < 1] or [width < 1]. *)
+val layered :
+  seed:int -> layers:int -> width:int -> ?mult_ratio:float -> ?io:bool -> unit ->
+  Graph.t

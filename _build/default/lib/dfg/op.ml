@@ -1,0 +1,57 @@
+type kind =
+  | Add
+  | Sub
+  | Mult
+  | Comp
+  | Input
+  | Output
+
+let equal a b =
+  match a, b with
+  | Add, Add | Sub, Sub | Mult, Mult | Comp, Comp | Input, Input
+  | Output, Output ->
+    true
+  | (Add | Sub | Mult | Comp | Input | Output), _ -> false
+
+let index = function
+  | Add -> 0
+  | Sub -> 1
+  | Mult -> 2
+  | Comp -> 3
+  | Input -> 4
+  | Output -> 5
+
+let compare a b = Int.compare (index a) (index b)
+let all = [ Add; Sub; Mult; Comp; Input; Output ]
+
+let to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mult -> "mult"
+  | Comp -> "comp"
+  | Input -> "input"
+  | Output -> "output"
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "add" | "+" -> Ok Add
+  | "sub" | "-" -> Ok Sub
+  | "mult" | "mul" | "*" -> Ok Mult
+  | "comp" | "cmp" | ">" | "<" -> Ok Comp
+  | "input" | "in" | "imp" -> Ok Input
+  | "output" | "out" | "xpt" -> Ok Output
+  | other -> Error (Printf.sprintf "unknown operation kind %S" other)
+
+let symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mult -> "*"
+  | Comp -> ">"
+  | Input -> "i"
+  | Output -> "o"
+
+let is_transfer = function
+  | Input | Output -> true
+  | Add | Sub | Mult | Comp -> false
+
+let pp ppf k = Format.pp_print_string ppf (to_string k)

@@ -1,0 +1,36 @@
+(** Operation kinds of a control/data-flow graph node.
+
+    The kinds mirror the functional-unit library of the paper (Table 1):
+    arithmetic operations ([Add], [Sub], [Mult]), comparison ([Comp]), and the
+    explicit [Input]/[Output] transfer operations, which the paper models as
+    schedulable modules ([imp]/[xpt]) with their own area and power. *)
+
+type kind =
+  | Add
+  | Sub
+  | Mult
+  | Comp
+  | Input
+  | Output
+
+val equal : kind -> kind -> bool
+val compare : kind -> kind -> int
+
+(** [all] lists every kind once, in declaration order. *)
+val all : kind list
+
+(** [to_string k] is the canonical lower-case name, e.g. ["mult"]. *)
+val to_string : kind -> string
+
+(** [of_string s] parses the canonical name (case-insensitive) and the usual
+    symbols [+ - * >]. *)
+val of_string : string -> (kind, string) result
+
+(** [symbol k] is the one-character operator symbol used in diagrams, e.g.
+    ["*"] for [Mult], ["i"]/["o"] for transfers. *)
+val symbol : kind -> string
+
+(** [is_transfer k] is [true] for [Input] and [Output]. *)
+val is_transfer : kind -> bool
+
+val pp : Format.formatter -> kind -> unit

@@ -1,0 +1,68 @@
+let to_string g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph %s\n" (Graph.name g));
+  List.iter
+    (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "node %d %s %s\n" n.Graph.id n.Graph.name
+           (Op.to_string n.Graph.kind)))
+    (Graph.nodes g);
+  List.iter
+    (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "edge %d %d\n" a b))
+    (Graph.edges g);
+  Buffer.contents buf
+
+type accum = {
+  mutable graph_name : string option;
+  mutable nodes : Graph.node list; (* reversed *)
+  mutable edges : (int * int) list; (* reversed *)
+}
+
+let parse_line acc lineno line =
+  let fail fmt =
+    Printf.ksprintf (fun msg -> Error (Printf.sprintf "line %d: %s" lineno msg)) fmt
+  in
+  let words =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [] -> Ok ()
+  | comment :: _ when String.length comment > 0 && comment.[0] = '#' -> Ok ()
+  | [ "graph"; name ] -> (
+    match acc.graph_name with
+    | None ->
+      acc.graph_name <- Some name;
+      Ok ()
+    | Some _ -> fail "duplicate graph line")
+  | "graph" :: _ -> fail "graph line takes exactly one name"
+  | [ "node"; id; name; kind ] -> (
+    match (int_of_string_opt id, Op.of_string kind) with
+    | Some id, Ok kind ->
+      acc.nodes <- { Graph.id; name; kind } :: acc.nodes;
+      Ok ()
+    | None, _ -> fail "node id %S is not an integer" id
+    | _, Error msg -> fail "%s" msg)
+  | "node" :: _ -> fail "expected: node <id> <name> <kind>"
+  | [ "edge"; a; b ] -> (
+    match (int_of_string_opt a, int_of_string_opt b) with
+    | Some a, Some b ->
+      acc.edges <- (a, b) :: acc.edges;
+      Ok ()
+    | None, _ | _, None -> fail "edge endpoints must be integers")
+  | "edge" :: _ -> fail "expected: edge <src> <dst>"
+  | keyword :: _ -> fail "unknown keyword %S" keyword
+
+let of_string text =
+  let acc = { graph_name = None; nodes = []; edges = [] } in
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno = function
+    | [] ->
+      let name = Option.value acc.graph_name ~default:"unnamed" in
+      Graph.create ~name ~nodes:(List.rev acc.nodes) ~edges:(List.rev acc.edges)
+    | line :: rest -> (
+      match parse_line acc lineno line with
+      | Ok () -> go (lineno + 1) rest
+      | Error msg -> Error msg)
+  in
+  go 1 lines

@@ -1,0 +1,1 @@
+lib/fulib/library.ml: Format List Module_spec Pchls_dfg String

@@ -1,0 +1,1 @@
+lib/fulib/library.mli: Format Module_spec Pchls_dfg

@@ -1,0 +1,1 @@
+lib/fulib/module_spec.ml: Float Format List Pchls_dfg Printf String

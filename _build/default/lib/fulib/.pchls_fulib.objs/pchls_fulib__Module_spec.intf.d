@@ -1,0 +1,1 @@
+lib/fulib/module_spec.mli: Format Pchls_dfg

@@ -1,0 +1,1 @@
+lib/fulib/text_format.ml: Buffer Library List Module_spec Pchls_dfg Printf Result String

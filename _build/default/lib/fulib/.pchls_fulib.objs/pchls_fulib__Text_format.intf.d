@@ -1,0 +1,1 @@
+lib/fulib/text_format.mli: Library

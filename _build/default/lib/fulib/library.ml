@@ -1,0 +1,77 @@
+module Op = Pchls_dfg.Op
+module Graph = Pchls_dfg.Graph
+
+type t = { specs : Module_spec.t list }
+
+let of_list specs =
+  if specs = [] then Error "library must contain at least one module"
+  else
+    let names = List.map (fun (m : Module_spec.t) -> m.name) specs in
+    if List.length (List.sort_uniq String.compare names) <> List.length names
+    then Error "library contains duplicate module names"
+    else Ok { specs }
+
+let of_list_exn specs =
+  match of_list specs with
+  | Ok lib -> lib
+  | Error msg -> invalid_arg ("Library.of_list_exn: " ^ msg)
+
+let to_list lib = lib.specs
+
+let find lib name =
+  List.find_opt (fun (m : Module_spec.t) -> String.equal m.name name) lib.specs
+
+let find_exn lib name =
+  match find lib name with Some m -> m | None -> raise Not_found
+
+let candidates lib k =
+  List.filter (fun m -> Module_spec.implements m k) lib.specs
+
+let covers lib g =
+  let missing =
+    List.filter
+      (fun (k, _) -> candidates lib k = [])
+      (Graph.kind_counts g)
+    |> List.map fst
+  in
+  if missing = [] then Ok () else Error missing
+
+let best_by metric lib k =
+  match candidates lib k with
+  | [] -> None
+  | first :: rest ->
+    Some
+      (List.fold_left
+         (fun best m -> if metric m < metric best then m else best)
+         first rest)
+
+let min_power lib k = best_by (fun (m : Module_spec.t) -> m.power) lib k
+let min_area lib k = best_by (fun (m : Module_spec.t) -> m.area) lib k
+
+let min_latency lib k =
+  best_by (fun (m : Module_spec.t) -> float_of_int m.latency) lib k
+
+let default =
+  let m = Module_spec.make_exn in
+  of_list_exn
+    [
+      m ~name:"add" ~ops:[ Op.Add ] ~area:87. ~latency:1 ~power:2.5;
+      m ~name:"sub" ~ops:[ Op.Sub ] ~area:87. ~latency:1 ~power:2.5;
+      m ~name:"comp" ~ops:[ Op.Comp ] ~area:8. ~latency:1 ~power:2.5;
+      m ~name:"ALU" ~ops:[ Op.Add; Op.Sub; Op.Comp ] ~area:97. ~latency:1
+        ~power:2.5;
+      m ~name:"mult_ser" ~ops:[ Op.Mult ] ~area:103. ~latency:4 ~power:2.7;
+      m ~name:"mult_par" ~ops:[ Op.Mult ] ~area:339. ~latency:2 ~power:8.1;
+      m ~name:"input" ~ops:[ Op.Input ] ~area:16. ~latency:1 ~power:0.2;
+      m ~name:"output" ~ops:[ Op.Output ] ~area:16. ~latency:1 ~power:1.7;
+    ]
+
+let pp_table ppf lib =
+  Format.fprintf ppf "%-10s %-10s %8s %8s %6s@." "Module" "Oprs" "Area"
+    "Clk-cyc." "P";
+  List.iter
+    (fun (m : Module_spec.t) ->
+      Format.fprintf ppf "%-10s %-10s %8g %8d %6g@." m.name
+        ("{" ^ String.concat "," (List.map Op.symbol m.ops) ^ "}")
+        m.area m.latency m.power)
+    lib.specs

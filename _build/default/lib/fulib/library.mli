@@ -1,0 +1,52 @@
+(** A functional-unit library: the set of module types the synthesis engine
+    may allocate. {!default} is the paper's Table 1. *)
+
+type t
+
+(** [of_list specs] validates that names are unique and that the library is
+    non-empty. *)
+val of_list : Module_spec.t list -> (t, string) result
+
+val of_list_exn : Module_spec.t list -> t
+
+(** [to_list lib] lists the module specs in their registration order. *)
+val to_list : t -> Module_spec.t list
+
+(** [find lib name] looks a module type up by name. *)
+val find : t -> string -> Module_spec.t option
+
+(** [find_exn lib name] raises [Not_found]. *)
+val find_exn : t -> string -> Module_spec.t
+
+(** [candidates lib k] lists the module types implementing [k], in
+    registration order. *)
+val candidates : t -> Pchls_dfg.Op.kind -> Module_spec.t list
+
+(** [covers lib g] checks every operation kind of graph [g] has at least one
+    candidate, returning the uncovered kinds otherwise. *)
+val covers : t -> Pchls_dfg.Graph.t -> (unit, Pchls_dfg.Op.kind list) result
+
+(** Selection policies: each picks among [candidates lib k]; [None] when the
+    kind is not covered. Ties break towards the earlier registration. *)
+
+val min_power : t -> Pchls_dfg.Op.kind -> Module_spec.t option
+val min_area : t -> Pchls_dfg.Op.kind -> Module_spec.t option
+val min_latency : t -> Pchls_dfg.Op.kind -> Module_spec.t option
+
+(** [default] is the paper's Table 1:
+    {v
+    Module      Oprs     Area  Clk-cyc  P
+    add         {+}        87        1  2.5
+    sub         {-}        87        1  2.5
+    comp        {>}         8        1  2.5
+    ALU         {+,-,>}    97        1  2.5
+    mult_ser    {*}       103        4  2.7
+    mult_par    {*}       339        2  8.1
+    input       imp        16        1  0.2
+    output      xpt        16        1  1.7
+    v} *)
+val default : t
+
+(** [pp_table] renders the library as an aligned text table (used by the
+    Table 1 reproduction). *)
+val pp_table : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+module Op = Pchls_dfg.Op
+
+let to_string lib =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "# name  ops  area  latency  power\n";
+  List.iter
+    (fun (m : Module_spec.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "module %s %s %g %d %g\n" m.Module_spec.name
+           (String.concat "," (List.map Op.to_string m.Module_spec.ops))
+           m.Module_spec.area m.Module_spec.latency m.Module_spec.power))
+    (Library.to_list lib);
+  Buffer.contents buf
+
+let parse_ops s =
+  let names = String.split_on_char ',' s |> List.filter (fun w -> w <> "") in
+  List.fold_left
+    (fun acc name ->
+      match (acc, Op.of_string name) with
+      | Ok ops, Ok k -> Ok (k :: ops)
+      | (Error _ as e), _ -> e
+      | Ok _, Error msg -> Error msg)
+    (Ok []) names
+  |> Result.map List.rev
+
+let parse_line lineno line =
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+      fmt
+  in
+  let words =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [] -> Ok None
+  | comment :: _ when String.length comment > 0 && comment.[0] = '#' -> Ok None
+  | [ "module"; name; ops; area; latency; power ] -> (
+    match
+      ( parse_ops ops,
+        float_of_string_opt area,
+        int_of_string_opt latency,
+        float_of_string_opt power )
+    with
+    | Ok ops, Some area, Some latency, Some power -> (
+      match Module_spec.make ~name ~ops ~area ~latency ~power with
+      | Ok m -> Ok (Some m)
+      | Error msg -> fail "%s" msg)
+    | Error msg, _, _, _ -> fail "%s" msg
+    | Ok _, None, _, _ -> fail "area %S is not a number" area
+    | Ok _, Some _, None, _ -> fail "latency %S is not an integer" latency
+    | Ok _, Some _, Some _, None -> fail "power %S is not a number" power)
+  | "module" :: _ -> fail "expected: module <name> <ops> <area> <latency> <power>"
+  | keyword :: _ -> fail "unknown keyword %S" keyword
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Library.of_list (List.rev acc)
+    | line :: rest -> (
+      match parse_line lineno line with
+      | Ok (Some m) -> go (lineno + 1) (m :: acc) rest
+      | Ok None -> go (lineno + 1) acc rest
+      | Error msg -> Error msg)
+  in
+  go 1 [] lines

@@ -1,0 +1,18 @@
+(** Plain-text serialisation of functional-unit libraries, so the CLI can
+    take user libraries. One module per line; comments start with [#]:
+
+    {v
+    # name   ops       area  latency  power
+    module add      +        87    1  2.5
+    module ALU      +,-,>    97    1  2.5
+    module mult_ser *       103    4  2.7
+    v}
+
+    Operations are comma-separated {!Pchls_dfg.Op.of_string} names or
+    symbols. All {!Library.of_list} and {!Module_spec.make} validation
+    applies. *)
+
+val to_string : Library.t -> string
+
+(** [of_string text] parses, reporting the first offending line. *)
+val of_string : string -> (Library.t, string) result

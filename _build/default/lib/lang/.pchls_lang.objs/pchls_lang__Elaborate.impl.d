@@ -1,0 +1,1 @@
+lib/lang/elaborate.ml: Ast Hashtbl List Parser Pchls_dfg Printf

@@ -1,0 +1,1 @@
+lib/lang/elaborate.mli: Ast Pchls_dfg

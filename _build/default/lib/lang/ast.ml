@@ -1,0 +1,32 @@
+type binop = Add | Sub | Mul | Lt | Gt
+
+type expr = Var of string | Num of float | Binop of binop * expr * expr
+
+type stmt =
+  | Input of string list
+  | Const of string * float
+  | Assign of string * expr
+  | Output of string list
+
+type program = stmt list
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Lt -> "<"
+  | Gt -> ">"
+
+let rec pp_expr ppf = function
+  | Var v -> Format.pp_print_string ppf v
+  | Num n -> Format.fprintf ppf "%g" n
+  | Binop (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_to_string op) pp_expr b
+
+let pp_stmt ppf = function
+  | Input names ->
+    Format.fprintf ppf "input %s;" (String.concat ", " names)
+  | Const (name, v) -> Format.fprintf ppf "const %s = %g;" name v
+  | Assign (name, e) -> Format.fprintf ppf "%s = %a;" name pp_expr e
+  | Output names ->
+    Format.fprintf ppf "output %s;" (String.concat ", " names)

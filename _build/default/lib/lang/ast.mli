@@ -1,0 +1,43 @@
+(** Abstract syntax of the behavioural input language.
+
+    A program is a sequence of statements:
+
+    {v
+    # Euler step for y'' + 3xy' + 3y = 0
+    input x, y, u, dx, a;
+    const three = 3;
+    u1 = u - three * x * (u * dx) - three * y * dx;
+    y1 = y + u * dx;
+    x1 = x + dx;
+    c  = x1 < a;
+    output u1, y1, x1, c;
+    v}
+
+    Every assignment names a fresh value (single assignment). Numeric
+    literals and [const] names may appear only as multiplication
+    coefficients — they become the hardwired constants of single-operand
+    multiplier nodes, as in the classic HLS benchmarks. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Lt  (** [a < b] elaborates to the comparator as [b > a] *)
+  | Gt
+
+type expr =
+  | Var of string
+  | Num of float
+  | Binop of binop * expr * expr
+
+type stmt =
+  | Input of string list
+  | Const of string * float
+  | Assign of string * expr
+  | Output of string list
+
+type program = stmt list
+
+val binop_to_string : binop -> string
+val pp_expr : Format.formatter -> expr -> unit
+val pp_stmt : Format.formatter -> stmt -> unit

@@ -1,0 +1,154 @@
+module Graph = Pchls_dfg.Graph
+module Builder = Pchls_dfg.Builder
+module Op = Pchls_dfg.Op
+
+type compiled = {
+  graph : Graph.t;
+  coefficients : (int * float) list;
+  operand_order : (int * int list) list;
+}
+
+let operands_fn c node = List.assoc_opt node c.operand_order
+
+type value = Vnode of int | Vconst of float
+
+exception Elab_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Elab_error msg)) fmt
+
+(* CSE keys: kind of node, operands (sorted for commutative operations), and
+   the coefficient for constant multiplications. *)
+type key =
+  | Kbin of Op.kind * int * int
+  | Kcoeff of float * int
+
+type state = {
+  b : Builder.t;
+  env : (string, value) Hashtbl.t;
+  cse : bool;
+  memo : (key, int) Hashtbl.t;
+  mutable coefficients : (int * float) list;
+  mutable operand_order : (int * int list) list;
+  mutable fresh : int;
+}
+
+let fresh_name st prefix =
+  st.fresh <- st.fresh + 1;
+  Printf.sprintf "%s%d" prefix st.fresh
+
+let lookup st name =
+  match Hashtbl.find_opt st.env name with
+  | Some v -> v
+  | None -> fail "%S is used before being defined" name
+
+let define st name v =
+  if Hashtbl.mem st.env name then fail "%S is defined twice" name;
+  Hashtbl.replace st.env name v
+
+let build_node st key make =
+  if st.cse then
+    match Hashtbl.find_opt st.memo key with
+    | Some node -> node
+    | None ->
+      let node = make () in
+      Hashtbl.replace st.memo key node;
+      node
+  else make ()
+
+let coeff_mult st k node =
+  let key = Kcoeff (k, node) in
+  build_node st key (fun () ->
+      let id = Builder.node st.b (fresh_name st "m") Op.Mult [ node ] in
+      st.coefficients <- (id, k) :: st.coefficients;
+      id)
+
+let binary st kind a bnd =
+  (* Commutative operations memoise with unordered operands. *)
+  let commutative = match kind with
+    | Op.Add | Op.Mult -> true
+    | Op.Sub | Op.Comp | Op.Input | Op.Output -> false
+  in
+  let x, y = if commutative && bnd < a then (bnd, a) else (a, bnd) in
+  let key = Kbin (kind, x, y) in
+  let prefix =
+    match kind with
+    | Op.Add -> "a"
+    | Op.Sub -> "s"
+    | Op.Mult -> "m"
+    | Op.Comp -> "c"
+    | Op.Input | Op.Output -> "v"
+  in
+  build_node st key (fun () ->
+      let id = Builder.node st.b (fresh_name st prefix) kind [ a; bnd ] in
+      st.operand_order <- (id, [ a; bnd ]) :: st.operand_order;
+      id)
+
+let rec eval st (e : Ast.expr) =
+  match e with
+  | Ast.Num v -> Vconst v
+  | Ast.Var name -> lookup st name
+  | Ast.Binop (op, ea, eb) -> (
+    let va = eval st ea and vb = eval st eb in
+    match (op, va, vb) with
+    | Ast.Mul, Vconst a, Vconst b -> Vconst (a *. b)
+    | Ast.Add, Vconst a, Vconst b -> Vconst (a +. b)
+    | Ast.Sub, Vconst a, Vconst b -> Vconst (a -. b)
+    | Ast.Mul, Vconst k, Vnode n | Ast.Mul, Vnode n, Vconst k ->
+      Vnode (coeff_mult st k n)
+    | Ast.Mul, Vnode a, Vnode b -> Vnode (binary st Op.Mult a b)
+    | Ast.Add, Vnode a, Vnode b -> Vnode (binary st Op.Add a b)
+    | Ast.Sub, Vnode a, Vnode b -> Vnode (binary st Op.Sub a b)
+    | Ast.Gt, Vnode a, Vnode b -> Vnode (binary st Op.Comp a b)
+    | Ast.Lt, Vnode a, Vnode b -> Vnode (binary st Op.Comp b a)
+    | (Ast.Add | Ast.Sub | Ast.Lt | Ast.Gt), (Vconst _ as c), _
+    | (Ast.Add | Ast.Sub | Ast.Lt | Ast.Gt), _, (Vconst _ as c) ->
+      let v = match c with Vconst v -> v | Vnode _ -> assert false in
+      fail
+        "constant %g may only be used as a multiplication coefficient \
+         (model it as an explicit input instead)"
+        v)
+
+let statement st (s : Ast.stmt) =
+  match s with
+  | Ast.Input names ->
+    List.iter (fun n -> define st n (Vnode (Builder.input st.b n))) names
+  | Ast.Const (name, v) -> define st name (Vconst v)
+  | Ast.Assign (name, e) -> define st name (eval st e)
+  | Ast.Output names ->
+    List.iter
+      (fun n ->
+        match lookup st n with
+        | Vnode node -> ignore (Builder.output st.b n node)
+        | Vconst _ -> fail "cannot output the constant %S" n)
+      names
+
+let program ?(cse = false) ~name prog =
+  let st =
+    {
+      b = Builder.create name;
+      env = Hashtbl.create 32;
+      cse;
+      memo = Hashtbl.create 32;
+      coefficients = [];
+      operand_order = [];
+      fresh = 0;
+    }
+  in
+  match
+    List.iter (statement st) prog;
+    Builder.finish st.b
+  with
+  | Ok graph ->
+    Ok
+      {
+        graph;
+        coefficients = List.rev st.coefficients;
+        operand_order = List.rev st.operand_order;
+      }
+  | Error msg -> Error msg
+  | exception Elab_error msg -> Error msg
+
+let compile ?cse ~name text =
+  match Parser.parse text with
+  | Ok prog -> program ?cse ~name prog
+  | Error _ as e -> e

@@ -1,0 +1,36 @@
+(** Elaboration of a parsed program into a data-flow graph.
+
+    Numeric literals and [const] names become the hardwired coefficients of
+    single-operand multiplier nodes (constant folding applies when both
+    operands of an operator are constants); using a constant as an operand
+    of [+], [-], [<] or [>] is an error — classic HLS benchmarks model such
+    constants as explicit [input] transfers instead.
+
+    With [cse:true], structurally identical operations are built once
+    (commutative operands compare unordered). The default [cse:false]
+    matches the benchmark convention of keeping duplicated subexpressions —
+    the hal graph deliberately computes [u * dx] twice. *)
+
+type compiled = {
+  graph : Pchls_dfg.Graph.t;
+  coefficients : (int * float) list;
+      (** hardwired coefficient of each single-operand multiplier node —
+          feed to {!Pchls_core.Simulate.run}'s [coefficient] *)
+  operand_order : (int * int list) list;
+      (** source-level operand order of each binary operation (the graph
+          itself stores unordered dependency sets) — feed to
+          {!Pchls_core.Simulate.run}'s [operands] *)
+}
+
+(** [operands_fn c] packages {!compiled.operand_order} for
+    {!Pchls_core.Simulate.run}. *)
+val operands_fn : compiled -> int -> int list option
+
+(** [program ~name prog] builds the graph. Errors name the offending
+    identifier: use before definition, duplicate definition, output of a
+    non-value, constant in a non-coefficient position. *)
+val program :
+  ?cse:bool -> name:string -> Ast.program -> (compiled, string) result
+
+(** [compile ~name text] = parse then elaborate. *)
+val compile : ?cse:bool -> name:string -> string -> (compiled, string) result

@@ -1,0 +1,97 @@
+type token =
+  | Ident of string
+  | Number of float
+  | Kw_input
+  | Kw_const
+  | Kw_output
+  | Plus
+  | Minus
+  | Star
+  | Less
+  | Greater
+  | Equal
+  | Lparen
+  | Rparen
+  | Comma
+  | Semicolon
+
+type located = { token : token; line : int }
+
+let token_to_string = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Number n -> Printf.sprintf "number %g" n
+  | Kw_input -> "'input'"
+  | Kw_const -> "'const'"
+  | Kw_output -> "'output'"
+  | Plus -> "'+'"
+  | Minus -> "'-'"
+  | Star -> "'*'"
+  | Less -> "'<'"
+  | Greater -> "'>'"
+  | Equal -> "'='"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Comma -> "','"
+  | Semicolon -> "';'"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let keyword = function
+  | "input" -> Some Kw_input
+  | "const" -> Some Kw_const
+  | "output" -> Some Kw_output
+  | _ -> None
+
+let tokenize text =
+  let n = String.length text in
+  let rec go i line acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      let c = text.[i] in
+      if c = '\n' then go (i + 1) (line + 1) acc
+      else if c = ' ' || c = '\t' || c = '\r' then go (i + 1) line acc
+      else if c = '#' then begin
+        let rec skip j = if j < n && text.[j] <> '\n' then skip (j + 1) else j in
+        go (skip i) line acc
+      end
+      else if is_ident_start c then begin
+        let rec scan j = if j < n && is_ident_char text.[j] then scan (j + 1) else j in
+        let j = scan i in
+        let word = String.sub text i (j - i) in
+        let token =
+          match keyword word with Some kw -> kw | None -> Ident word
+        in
+        go j line ({ token; line } :: acc)
+      end
+      else if is_digit c || (c = '.' && i + 1 < n && is_digit text.[i + 1])
+      then begin
+        let rec scan j =
+          if j < n && (is_digit text.[j] || text.[j] = '.') then scan (j + 1)
+          else j
+        in
+        let j = scan i in
+        let word = String.sub text i (j - i) in
+        match float_of_string_opt word with
+        | Some v -> go j line ({ token = Number v; line } :: acc)
+        | None -> Error (Printf.sprintf "line %d: malformed number %S" line word)
+      end
+      else
+        let simple tok = go (i + 1) line ({ token = tok; line } :: acc) in
+        match c with
+        | '+' -> simple Plus
+        | '-' -> simple Minus
+        | '*' -> simple Star
+        | '<' -> simple Less
+        | '>' -> simple Greater
+        | '=' -> simple Equal
+        | '(' -> simple Lparen
+        | ')' -> simple Rparen
+        | ',' -> simple Comma
+        | ';' -> simple Semicolon
+        | c -> Error (Printf.sprintf "line %d: unexpected character %C" line c)
+  in
+  go 0 1 []

@@ -1,0 +1,28 @@
+(** Tokeniser for the behavioural language. [#] starts a comment running to
+    end of line. *)
+
+type token =
+  | Ident of string
+  | Number of float
+  | Kw_input
+  | Kw_const
+  | Kw_output
+  | Plus
+  | Minus
+  | Star
+  | Less
+  | Greater
+  | Equal
+  | Lparen
+  | Rparen
+  | Comma
+  | Semicolon
+
+(** Token paired with its 1-based source line, for error reporting. *)
+type located = { token : token; line : int }
+
+val token_to_string : token -> string
+
+(** [tokenize text] scans the whole input, reporting the first offending
+    character with its line. *)
+val tokenize : string -> (located list, string) result

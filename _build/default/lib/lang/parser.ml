@@ -1,0 +1,130 @@
+type stream = { mutable tokens : Lexer.located list; mutable last_line : int }
+
+exception Parse_error of string
+
+let fail line fmt =
+  Printf.ksprintf (fun msg -> raise (Parse_error (Printf.sprintf "line %d: %s" line msg))) fmt
+
+let peek s = match s.tokens with [] -> None | t :: _ -> Some t
+
+let advance s =
+  match s.tokens with
+  | [] -> fail s.last_line "unexpected end of input"
+  | t :: rest ->
+    s.tokens <- rest;
+    s.last_line <- t.Lexer.line;
+    t
+
+let expect s token =
+  let t = advance s in
+  if t.Lexer.token <> token then
+    fail t.Lexer.line "expected %s, found %s"
+      (Lexer.token_to_string token)
+      (Lexer.token_to_string t.Lexer.token)
+
+let ident s =
+  let t = advance s in
+  match t.Lexer.token with
+  | Lexer.Ident name -> name
+  | other -> fail t.Lexer.line "expected an identifier, found %s" (Lexer.token_to_string other)
+
+let number s =
+  let t = advance s in
+  match t.Lexer.token with
+  | Lexer.Number v -> v
+  | other -> fail t.Lexer.line "expected a number, found %s" (Lexer.token_to_string other)
+
+let rec names s acc =
+  let n = ident s in
+  match peek s with
+  | Some { Lexer.token = Lexer.Comma; _ } ->
+    ignore (advance s);
+    names s (n :: acc)
+  | Some _ | None -> List.rev (n :: acc)
+
+let rec expr s =
+  let lhs = additive s in
+  match peek s with
+  | Some { Lexer.token = Lexer.Less; _ } ->
+    ignore (advance s);
+    Ast.Binop (Ast.Lt, lhs, additive s)
+  | Some { Lexer.token = Lexer.Greater; _ } ->
+    ignore (advance s);
+    Ast.Binop (Ast.Gt, lhs, additive s)
+  | Some _ | None -> lhs
+
+and additive s =
+  let rec loop lhs =
+    match peek s with
+    | Some { Lexer.token = Lexer.Plus; _ } ->
+      ignore (advance s);
+      loop (Ast.Binop (Ast.Add, lhs, multiplicative s))
+    | Some { Lexer.token = Lexer.Minus; _ } ->
+      ignore (advance s);
+      loop (Ast.Binop (Ast.Sub, lhs, multiplicative s))
+    | Some _ | None -> lhs
+  in
+  loop (multiplicative s)
+
+and multiplicative s =
+  let rec loop lhs =
+    match peek s with
+    | Some { Lexer.token = Lexer.Star; _ } ->
+      ignore (advance s);
+      loop (Ast.Binop (Ast.Mul, lhs, primary s))
+    | Some _ | None -> lhs
+  in
+  loop (primary s)
+
+and primary s =
+  let t = advance s in
+  match t.Lexer.token with
+  | Lexer.Ident name -> Ast.Var name
+  | Lexer.Number v -> Ast.Num v
+  | Lexer.Lparen ->
+    let e = expr s in
+    expect s Lexer.Rparen;
+    e
+  | other ->
+    fail t.Lexer.line "expected an expression, found %s"
+      (Lexer.token_to_string other)
+
+let stmt s =
+  let t = advance s in
+  match t.Lexer.token with
+  | Lexer.Kw_input ->
+    let ns = names s [] in
+    expect s Lexer.Semicolon;
+    Ast.Input ns
+  | Lexer.Kw_output ->
+    let ns = names s [] in
+    expect s Lexer.Semicolon;
+    Ast.Output ns
+  | Lexer.Kw_const ->
+    let name = ident s in
+    expect s Lexer.Equal;
+    let v = number s in
+    expect s Lexer.Semicolon;
+    Ast.Const (name, v)
+  | Lexer.Ident name ->
+    expect s Lexer.Equal;
+    let e = expr s in
+    expect s Lexer.Semicolon;
+    Ast.Assign (name, e)
+  | other ->
+    fail t.Lexer.line "expected a statement, found %s"
+      (Lexer.token_to_string other)
+
+let parse text =
+  match Lexer.tokenize text with
+  | Error msg -> Error msg
+  | Ok tokens -> (
+    let s = { tokens; last_line = 1 } in
+    try
+      let rec program acc =
+        match peek s with
+        | None -> List.rev acc
+        | Some _ -> program (stmt s :: acc)
+      in
+      Ok (program [])
+    with Parse_error msg -> Error msg)

@@ -1,0 +1,18 @@
+(** Recursive-descent parser for the behavioural language.
+
+    Grammar (comparison binds loosest, multiplication tightest):
+
+    {v
+    program    ::= stmt*
+    stmt       ::= 'input' names ';' | 'const' ident '=' number ';'
+                 | 'output' names ';' | ident '=' expr ';'
+    names      ::= ident (',' ident)*
+    expr       ::= additive (('<' | '>') additive)?
+    additive   ::= multiplicative (('+' | '-') multiplicative)*
+    multiplicative ::= primary ('*' primary)*
+    primary    ::= ident | number | '(' expr ')'
+    v} *)
+
+(** [parse text] lexes and parses, reporting the first error with its
+    source line. *)
+val parse : string -> (Ast.program, string) result

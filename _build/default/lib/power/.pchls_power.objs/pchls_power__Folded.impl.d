@@ -1,0 +1,1 @@
+lib/power/folded.ml: Array Float Profile

@@ -1,0 +1,1 @@
+lib/power/profile.ml: Array Buffer Float Format Printf

@@ -1,0 +1,59 @@
+type t = { period : int; classes : float array }
+
+let create ~period =
+  if period < 1 then invalid_arg "Folded.create: period < 1";
+  { period; classes = Array.make period 0. }
+
+let period p = p.period
+let copy p = { p with classes = Array.copy p.classes }
+
+let get p c =
+  if c < 0 || c >= p.period then
+    invalid_arg "Folded.get: class out of range";
+  p.classes.(c)
+
+let check ~start ~latency ~power who =
+  if start < 0 then invalid_arg ("Folded." ^ who ^ ": negative start");
+  if latency < 1 then invalid_arg ("Folded." ^ who ^ ": latency < 1");
+  if power < 0. then invalid_arg ("Folded." ^ who ^ ": negative power")
+
+(* How many cycles of [start, start+latency) fall in congruence class [c]:
+   full wraps plus the remainder. *)
+let hits p ~start ~latency c =
+  let full = latency / p.period in
+  let rest = latency mod p.period in
+  let in_rest =
+    (* classes covered by the partial window [start, start+rest) *)
+    let offset = ((c - start) mod p.period + p.period) mod p.period in
+    if offset < rest then 1 else 0
+  in
+  full + in_rest
+
+let add p ~start ~latency ~power =
+  check ~start ~latency ~power "add";
+  for c = 0 to p.period - 1 do
+    p.classes.(c) <-
+      p.classes.(c) +. (power *. float_of_int (hits p ~start ~latency c))
+  done
+
+let remove p ~start ~latency ~power =
+  check ~start ~latency ~power "remove";
+  for c = 0 to p.period - 1 do
+    let v =
+      p.classes.(c) -. (power *. float_of_int (hits p ~start ~latency c))
+    in
+    p.classes.(c) <- (if Float.abs v < Profile.eps then 0. else v)
+  done
+
+let fits p ~start ~latency ~power ~limit =
+  check ~start ~latency ~power "fits";
+  let rec ok c =
+    c >= p.period
+    || (p.classes.(c) +. (power *. float_of_int (hits p ~start ~latency c))
+        <= limit +. Profile.eps
+       && ok (c + 1))
+  in
+  ok 0
+
+let peak p = Array.fold_left max 0. p.classes
+let to_array p = Array.copy p.classes

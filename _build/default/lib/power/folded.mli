@@ -1,0 +1,31 @@
+(** Folded (modulo) power profiles, for pipelined schedules.
+
+    When a schedule repeats every [period] cycles with successive iterations
+    overlapping (initiation interval = [period] < makespan), the power drawn
+    in steady state at congruence class [c] is the sum over all operations
+    executing in any cycle [t] with [t mod period = c]. This ledger is the
+    {!Profile} analogue over congruence classes; an operation longer than
+    the period overlaps itself and is counted once per wrap. *)
+
+type t
+
+val create : period:int -> t
+val period : t -> int
+val copy : t -> t
+
+(** [get p c] — steady-state power at congruence class [c] in [0, period). *)
+val get : t -> int -> float
+
+(** [add p ~start ~latency ~power] folds the execution interval
+    [start, start+latency) into the period.
+    @raise Invalid_argument if [start < 0], [latency < 1] or [power < 0]. *)
+val add : t -> start:int -> latency:int -> power:float -> unit
+
+val remove : t -> start:int -> latency:int -> power:float -> unit
+
+(** [fits p ~start ~latency ~power ~limit] — would {!add} keep every
+    congruence class at or below [limit] (within {!Profile.eps})? *)
+val fits : t -> start:int -> latency:int -> power:float -> limit:float -> bool
+
+val peak : t -> float
+val to_array : t -> float array

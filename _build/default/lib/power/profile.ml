@@ -1,0 +1,110 @@
+type t = { cycles : float array }
+
+let eps = 1e-9
+
+let create ~horizon =
+  if horizon < 0 then invalid_arg "Profile.create: negative horizon";
+  { cycles = Array.make horizon 0. }
+
+let horizon p = Array.length p.cycles
+let copy p = { cycles = Array.copy p.cycles }
+
+let check_cycle p c who =
+  if c < 0 || c >= horizon p then
+    invalid_arg (Printf.sprintf "Profile.%s: cycle %d outside [0, %d)" who c (horizon p))
+
+let get p c =
+  check_cycle p c "get";
+  p.cycles.(c)
+
+let check_interval p ~start ~latency ~power who =
+  if latency < 1 then invalid_arg (Printf.sprintf "Profile.%s: latency < 1" who);
+  if power < 0. then invalid_arg (Printf.sprintf "Profile.%s: negative power" who);
+  if start < 0 || start + latency > horizon p then
+    invalid_arg
+      (Printf.sprintf "Profile.%s: interval [%d, %d) outside [0, %d)" who start
+         (start + latency) (horizon p))
+
+let add p ~start ~latency ~power =
+  check_interval p ~start ~latency ~power "add";
+  for c = start to start + latency - 1 do
+    p.cycles.(c) <- p.cycles.(c) +. power
+  done
+
+let remove p ~start ~latency ~power =
+  check_interval p ~start ~latency ~power "remove";
+  for c = start to start + latency - 1 do
+    let v = p.cycles.(c) -. power in
+    p.cycles.(c) <- (if Float.abs v < eps then 0. else v)
+  done
+
+let fits p ~start ~latency ~power ~limit =
+  if latency < 1 || power < 0. then
+    invalid_arg "Profile.fits: latency < 1 or negative power"
+  else if start < 0 || start + latency > horizon p then false
+  else
+    let rec ok c =
+      c >= start + latency
+      || (p.cycles.(c) +. power <= limit +. eps && ok (c + 1))
+    in
+    ok start
+
+let peak p = Array.fold_left max 0. p.cycles
+
+let peak_cycle p =
+  let top = peak p in
+  if top <= eps then None
+  else
+    let rec find c = if p.cycles.(c) >= top -. eps then Some c else find (c + 1) in
+    find 0
+
+let busy_length p =
+  let rec last c = if c < 0 then 0 else if p.cycles.(c) > eps then c + 1 else last (c - 1) in
+  last (horizon p - 1)
+
+let energy p = Array.fold_left ( +. ) 0. p.cycles
+
+let average p =
+  let n = busy_length p in
+  if n = 0 then 0. else energy p /. float_of_int n
+
+let to_array p = Array.copy p.cycles
+
+let of_array a =
+  Array.iter
+    (fun v -> if v < 0. then invalid_arg "Profile.of_array: negative entry")
+    a;
+  { cycles = Array.copy a }
+
+let render ?(width = 50) ?limit p =
+  let scale_top =
+    match limit with
+    | Some l -> Float.max l (peak p)
+    | None -> peak p
+  in
+  let scale_top = if scale_top <= eps then 1. else scale_top in
+  let buf = Buffer.create 256 in
+  let mark =
+    match limit with
+    | Some l ->
+      Some (int_of_float (Float.round (l /. scale_top *. float_of_int width)))
+    | None -> None
+  in
+  Array.iteri
+    (fun c v ->
+      let bar = int_of_float (Float.round (v /. scale_top *. float_of_int width)) in
+      Buffer.add_string buf (Printf.sprintf "%3d %6.2f " c v);
+      for col = 1 to width do
+        if col <= bar then Buffer.add_char buf '#'
+        else
+          match mark with
+          | Some m when col = m -> Buffer.add_char buf '|'
+          | Some _ | None -> Buffer.add_char buf ' '
+      done;
+      Buffer.add_char buf '\n')
+    p.cycles;
+  Buffer.contents buf
+
+let pp ppf p =
+  Format.fprintf ppf "@[<v>profile over %d cycles, peak %.2f, avg %.2f@]"
+    (horizon p) (peak p) (average p)

@@ -1,0 +1,72 @@
+(** Per-cycle power profiles.
+
+    A profile records, for every control step in [0, horizon), the total
+    power drawn by the operations executing in that step. It doubles as the
+    power-budget ledger of the power-constrained schedulers: placing an
+    operation reserves its power over its execution interval, and the
+    feasibility test of the paper's pasap step 3 is {!fits}.
+
+    Values of this type are mutable buffers (the schedulers update them in
+    place); use {!copy} before speculative work. All power comparisons use
+    the tolerance {!eps} so accumulated floating-point error never flips a
+    feasibility decision. *)
+
+type t
+
+(** Comparison tolerance: [1e-9]. *)
+val eps : float
+
+(** [create ~horizon] is an all-zero profile over [horizon] cycles.
+    @raise Invalid_argument if [horizon < 0]. *)
+val create : horizon:int -> t
+
+val horizon : t -> int
+val copy : t -> t
+
+(** [get p c] is the power drawn in cycle [c].
+    @raise Invalid_argument if [c] is outside [0, horizon). *)
+val get : t -> int -> float
+
+(** [add p ~start ~latency ~power] reserves [power] in each cycle of
+    [start, start+latency).
+    @raise Invalid_argument if the interval leaves [0, horizon) or
+    [latency < 1] or [power < 0]. *)
+val add : t -> start:int -> latency:int -> power:float -> unit
+
+(** [remove p ~start ~latency ~power] undoes a matching {!add}. *)
+val remove : t -> start:int -> latency:int -> power:float -> unit
+
+(** [fits p ~start ~latency ~power ~limit] is [true] when adding the
+    operation would keep every cycle of its interval at or below [limit]
+    (within {!eps}). Intervals that leave [0, horizon) never fit. *)
+val fits : t -> start:int -> latency:int -> power:float -> limit:float -> bool
+
+(** [peak p] is the maximum per-cycle power ([0.] for an empty profile). *)
+val peak : t -> float
+
+(** [peak_cycle p] is the first cycle attaining {!peak}, or [None] when the
+    profile is all-zero. *)
+val peak_cycle : t -> int option
+
+(** [busy_length p] is one past the last cycle with non-zero power ([0] when
+    all-zero). *)
+val busy_length : t -> int
+
+(** [average p] is mean power over [0, busy_length p) — [0.] when idle. *)
+val average : t -> float
+
+(** [energy p] is the sum over all cycles (power × one cycle). *)
+val energy : t -> float
+
+val to_array : t -> float array
+
+(** [of_array a] copies [a].
+    @raise Invalid_argument on a negative entry. *)
+val of_array : float array -> t
+
+(** [render ?width ?limit p] draws one text row per cycle as a horizontal bar
+    chart scaled to [width] columns (default 50); [limit] adds a [|] marker
+    at the constraint position. *)
+val render : ?width:int -> ?limit:float -> t -> string
+
+val pp : Format.formatter -> t -> unit

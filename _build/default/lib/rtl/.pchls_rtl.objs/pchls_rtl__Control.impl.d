@@ -1,0 +1,1 @@
+lib/rtl/control.ml: Buffer Format List Netlist Printf String

@@ -1,0 +1,1 @@
+lib/rtl/netlist.ml: Array Format Int List Pchls_core Pchls_dfg Pchls_fulib Printf Set String

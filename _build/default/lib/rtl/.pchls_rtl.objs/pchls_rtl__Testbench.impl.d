@@ -1,0 +1,1 @@
+lib/rtl/testbench.ml: Buffer Netlist Printf String

@@ -1,0 +1,1 @@
+lib/rtl/vcd.ml: Array Buffer List Pchls_core Pchls_dfg Pchls_fulib Pchls_power Printf String

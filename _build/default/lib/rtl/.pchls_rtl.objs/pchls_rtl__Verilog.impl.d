@@ -1,0 +1,1 @@
+lib/rtl/verilog.ml: Buffer List Netlist Pchls_fulib Printf String

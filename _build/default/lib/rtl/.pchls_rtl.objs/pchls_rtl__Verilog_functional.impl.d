@@ -1,0 +1,1 @@
+lib/rtl/verilog_functional.ml: Array Buffer Format Hashtbl List Pchls_core Pchls_dfg Pchls_fulib Printf String

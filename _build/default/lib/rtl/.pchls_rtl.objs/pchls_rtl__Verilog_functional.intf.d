@@ -1,0 +1,1 @@
+lib/rtl/verilog_functional.mli: Pchls_core

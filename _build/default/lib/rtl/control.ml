@@ -1,0 +1,42 @@
+let words (n : Netlist.t) =
+  List.map
+    (fun (step, acts) -> (step, List.map fst acts))
+    n.Netlist.activations
+
+let csv (n : Netlist.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "step";
+  List.iter
+    (fun (f : Netlist.fu) ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf f.Netlist.label)
+    n.Netlist.fus;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (step, strobed) ->
+      Buffer.add_string buf (string_of_int step);
+      List.iter
+        (fun (f : Netlist.fu) ->
+          Buffer.add_string buf
+            (if List.mem f.Netlist.fu_id strobed then ",1" else ",0"))
+        n.Netlist.fus;
+      Buffer.add_char buf '\n')
+    (words n);
+  Buffer.contents buf
+
+let pp ppf (n : Netlist.t) =
+  Format.fprintf ppf "@[<v>control words for %s (%d steps):@,"
+    n.Netlist.design_name n.Netlist.steps;
+  List.iter
+    (fun (step, acts) ->
+      match acts with
+      | [] -> Format.fprintf ppf "  %3d (idle)@," step
+      | acts ->
+        let describe (fu, op) =
+          let f = List.find (fun f -> f.Netlist.fu_id = fu) n.Netlist.fus in
+          Printf.sprintf "%s<-op%d" f.Netlist.label op
+        in
+        Format.fprintf ppf "  %3d %s@," step
+          (String.concat " " (List.map describe acts)))
+    n.Netlist.activations;
+  Format.fprintf ppf "@]"

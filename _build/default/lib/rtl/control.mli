@@ -1,0 +1,14 @@
+(** Controller micro-code view of a netlist: one control word per step,
+    one bit per functional-unit start strobe. Useful for documentation and
+    for feeding external controller generators. *)
+
+(** [words n] gives, per control step, the list of FU ids strobed. *)
+val words : Netlist.t -> (int * int list) list
+
+(** [csv n] renders the strobe matrix as CSV: a [step] column then one 0/1
+    column per FU (named by its label), one row per control step. *)
+val csv : Netlist.t -> string
+
+(** [pp] renders a human-readable table: step, strobed units, and the
+    operations they start. *)
+val pp : Format.formatter -> Netlist.t -> unit

@@ -1,0 +1,10 @@
+(** Testbench skeleton generation: a clocked driver that resets the design,
+    pulses [start], and checks [done] asserts within the expected number of
+    control steps. *)
+
+(** [verilog n] is a self-checking Verilog testbench module named
+    [<design>_tb] around the module emitted by {!Verilog.emit}. *)
+val verilog : Netlist.t -> string
+
+(** [vhdl n] is the VHDL twin around {!Vhdl.emit}'s entity. *)
+val vhdl : Netlist.t -> string

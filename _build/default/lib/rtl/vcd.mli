@@ -1,0 +1,7 @@
+(** Value-change-dump (VCD) export of one schedule iteration, for waveform
+    viewers: a 1-bit busy signal per functional-unit instance, the per-cycle
+    total power as a real signal, and the control-step counter. One VCD time
+    unit per control step. *)
+
+(** [of_design d] renders the full dump, covering steps [0 .. T]. *)
+val of_design : Pchls_core.Design.t -> string

@@ -1,0 +1,5 @@
+(** Structural Verilog-2001 emission of a {!Netlist.t}; the Verilog twin of
+    {!Vhdl.emit} with the same structure: register signals, per-FU start
+    strobes, and a control-step counter. *)
+
+val emit : ?width:int -> Netlist.t -> string

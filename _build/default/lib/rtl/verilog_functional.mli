@@ -1,0 +1,38 @@
+(** Functionally complete Verilog emission.
+
+    Unlike {!Verilog.emit} (a structural skeleton), this emitter produces a
+    module that actually computes: one register per shared storage location,
+    per-FU operand latches fed by the static schedule's controller, real
+    operation bodies (signed add/sub/mult, comparison, hardwired-coefficient
+    multiplication), input ports latched by the scheduled [input] transfers
+    and output ports driven by the scheduled [output] transfers, with a
+    [done] strobe when the iteration completes.
+
+    Operand order follows the simulator's convention (predecessor id order
+    unless [operands] overrides it — pass
+    {!Pchls_lang.Elaborate.operands_fn} for compiled programs), and
+    coefficients default to 3 like {!Pchls_core.Simulate}. Arithmetic is
+    signed two's-complement at the chosen [width]; results agree with the
+    simulator whenever no intermediate value overflows. *)
+
+(** [emit ?width ?coefficients ?operands d] renders the module. *)
+val emit :
+  ?width:int ->
+  ?coefficients:(int -> int) ->
+  ?operands:(int -> int list option) ->
+  Pchls_core.Design.t ->
+  string
+
+(** [testbench ?width ?coefficients ?operands d ~inputs] renders a
+    self-checking testbench: it drives the given integer input vector,
+    waits for [done], and compares every output port against the value
+    {!Pchls_core.Simulate} predicts, printing PASS/FAIL per output.
+    @raise Invalid_argument when the simulation itself fails (e.g. a
+    missing input). *)
+val testbench :
+  ?width:int ->
+  ?coefficients:(int -> int) ->
+  ?operands:(int -> int list option) ->
+  Pchls_core.Design.t ->
+  inputs:(string * int) list ->
+  string

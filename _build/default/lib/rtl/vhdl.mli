@@ -1,0 +1,11 @@
+(** Structural VHDL emission of a {!Netlist.t}.
+
+    The generated architecture contains one signal per shared register, one
+    component instantiation per functional unit, and a control FSM stepping
+    through the schedule's control steps, asserting per-FU start strobes.
+    Data width is a generic (default 16). The output is self-contained
+    synthesizable-style VHDL-93 text; it is a faithful structural rendering
+    of the binding, intended for inspection and downstream elaboration. *)
+
+(** [emit ?width netlist] renders the full design file. *)
+val emit : ?width:int -> Netlist.t -> string

@@ -1,0 +1,1 @@
+lib/sched/alap.ml: Palap Pasap Printf

@@ -1,0 +1,1 @@
+lib/sched/alap.mli: Pchls_dfg Schedule

@@ -1,0 +1,1 @@
+lib/sched/asap.ml: Pasap Pchls_dfg Printf Schedule

@@ -1,0 +1,1 @@
+lib/sched/asap.mli: Pchls_dfg Schedule

@@ -1,0 +1,1 @@
+lib/sched/force_directed.ml: Array Float Hashtbl List Palap Pasap Pchls_dfg Schedule

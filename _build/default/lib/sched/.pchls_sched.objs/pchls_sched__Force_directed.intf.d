@@ -1,0 +1,1 @@
+lib/sched/force_directed.mli: Pasap Pchls_dfg Schedule

@@ -1,0 +1,1 @@
+lib/sched/list_sched.ml: Hashtbl Int List Pasap Pchls_dfg Schedule

@@ -1,0 +1,1 @@
+lib/sched/list_sched.mli: Pasap Pchls_dfg Schedule

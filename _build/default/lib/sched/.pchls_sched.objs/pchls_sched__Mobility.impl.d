@@ -1,0 +1,1 @@
+lib/sched/mobility.ml: List Pchls_dfg Printf Schedule

@@ -1,0 +1,1 @@
+lib/sched/mobility.mli: Pchls_dfg Schedule

@@ -1,0 +1,1 @@
+lib/sched/modulo.ml: Float Hashtbl List Pasap Pchls_dfg Pchls_power Printf Schedule

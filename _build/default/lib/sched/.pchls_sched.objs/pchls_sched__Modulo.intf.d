@@ -1,0 +1,1 @@
+lib/sched/modulo.mli: Pasap Pchls_dfg Schedule

@@ -1,0 +1,1 @@
+lib/sched/palap.ml: List Pasap Pchls_dfg Schedule

@@ -1,0 +1,1 @@
+lib/sched/palap.mli: Pasap Pchls_dfg Schedule

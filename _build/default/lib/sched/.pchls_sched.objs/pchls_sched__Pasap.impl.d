@@ -1,0 +1,1 @@
+lib/sched/pasap.ml: Hashtbl Int List Pchls_dfg Pchls_power Printf Schedule

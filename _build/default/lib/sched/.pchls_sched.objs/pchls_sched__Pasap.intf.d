@@ -1,0 +1,1 @@
+lib/sched/pasap.mli: Pchls_dfg Schedule

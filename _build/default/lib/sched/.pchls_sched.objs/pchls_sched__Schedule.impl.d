@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array Format Int List Map Pchls_dfg Pchls_power

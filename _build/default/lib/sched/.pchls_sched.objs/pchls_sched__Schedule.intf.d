@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Format Pchls_dfg Pchls_power

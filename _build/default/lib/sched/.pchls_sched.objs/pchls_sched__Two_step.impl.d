@@ -1,0 +1,1 @@
+lib/sched/two_step.ml: Asap Bool Int List Pasap Pchls_dfg Pchls_power Printf Schedule

@@ -1,0 +1,1 @@
+lib/sched/two_step.mli: Pasap Pchls_dfg Schedule

@@ -1,0 +1,6 @@
+let run g ~info ~horizon =
+  match Palap.run g ~info ~horizon () with
+  | Pasap.Feasible s -> s
+  | Pasap.Infeasible _ ->
+    invalid_arg
+      (Printf.sprintf "Alap.run: horizon %d is below the critical path" horizon)

@@ -1,0 +1,7 @@
+(** Classic unconstrained ALAP scheduling for a given horizon.
+
+    [run g ~info ~horizon] places every operation as late as possible so the
+    whole graph still finishes by [horizon]. Fails (raising
+    [Invalid_argument]) when [horizon] is below the critical path. *)
+val run :
+  Pchls_dfg.Graph.t -> info:(int -> Schedule.op_info) -> horizon:int -> Schedule.t

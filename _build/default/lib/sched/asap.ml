@@ -1,0 +1,12 @@
+module Graph = Pchls_dfg.Graph
+
+let run g ~info =
+  let horizon =
+    Graph.critical_path g ~latency:(fun id -> (info id).Schedule.latency)
+  in
+  match Pasap.run g ~info ~horizon () with
+  | Pasap.Feasible s -> s
+  | Pasap.Infeasible { node; reason } ->
+    (* Unreachable: an unconstrained run within the critical-path horizon
+       always succeeds on a validated DAG. *)
+    failwith (Printf.sprintf "Asap.run: node %d: %s" node reason)

@@ -1,0 +1,5 @@
+(** Classic unconstrained ASAP scheduling (no power limit).
+
+    [run g ~info] always succeeds with the precedence-minimal schedule; its
+    makespan equals the latency-weighted critical path of [g]. *)
+val run : Pchls_dfg.Graph.t -> info:(int -> Schedule.op_info) -> Schedule.t

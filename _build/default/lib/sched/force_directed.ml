@@ -1,0 +1,138 @@
+module Graph = Pchls_dfg.Graph
+
+type window = { lo : int; hi : int }
+
+let run g ~info ~class_of ?(weight = fun _ -> 1.) ~horizon () =
+  let latency id = (info id).Schedule.latency in
+  let exception Infeasible of int in
+  try
+    let fixed : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    let locked () = Hashtbl.fold (fun op t acc -> (op, t) :: acc) fixed [] in
+    (* ASAP/ALAP windows under the current commitments. *)
+    let windows () =
+      let early =
+        match Pasap.run g ~info ~horizon ~locked:(locked ()) () with
+        | Pasap.Feasible s -> s
+        | Pasap.Infeasible { node; _ } -> raise (Infeasible node)
+      in
+      let late =
+        match Palap.run g ~info ~horizon ~locked:(locked ()) () with
+        | Pasap.Feasible s -> s
+        | Pasap.Infeasible { node; _ } -> raise (Infeasible node)
+      in
+      fun id ->
+        { lo = Schedule.start early id; hi = Schedule.start late id }
+    in
+    (* Distribution graphs: per class, expected weighted usage per cycle,
+       assuming each unfixed op is uniform over its window. *)
+    let distribution window_of =
+      let dgs : (string, float array) Hashtbl.t = Hashtbl.create 8 in
+      let dg cls =
+        match Hashtbl.find_opt dgs cls with
+        | Some a -> a
+        | None ->
+          let a = Array.make horizon 0. in
+          Hashtbl.replace dgs cls a;
+          a
+      in
+      List.iter
+        (fun id ->
+          let w = window_of id in
+          let d = latency id in
+          let starts = w.hi - w.lo + 1 in
+          let p = weight id /. float_of_int starts in
+          let a = dg (class_of id) in
+          for t = w.lo to w.hi do
+            for tau = t to min (horizon - 1) (t + d - 1) do
+              a.(tau) <- a.(tau) +. p
+            done
+          done)
+        (Graph.node_ids g);
+      fun cls -> dg cls
+    in
+    (* Expected self-load of op [id] over a window, per the DG. *)
+    let interval_sum dg t d =
+      let acc = ref 0. in
+      for tau = t to min (horizon - 1) (t + d - 1) do
+        acc := !acc +. dg.(tau)
+      done;
+      !acc
+    in
+    let window_mean dg w d =
+      let acc = ref 0. in
+      for t = w.lo to w.hi do
+        acc := !acc +. interval_sum dg t d
+      done;
+      !acc /. float_of_int (w.hi - w.lo + 1)
+    in
+    let n = Graph.node_count g in
+    for _step = 1 to n do
+      let window_of = windows () in
+      let dg_of = distribution window_of in
+      (* Pick the unfixed (op, t) with the lowest total force. *)
+      let best = ref None in
+      List.iter
+        (fun id ->
+          if not (Hashtbl.mem fixed id) then begin
+            let w = window_of id in
+            let d = latency id in
+            let dg = dg_of (class_of id) in
+            let base = window_mean dg w d in
+            for t = w.lo to w.hi do
+              (* Self force: chosen interval load vs the window average. *)
+              let self = interval_sum dg t d -. base in
+              (* Neighbour forces: committing [id] at [t] clips each
+                 unfixed predecessor's window to end by [t - d_p] and each
+                 unfixed successor's to start at [t + d]. *)
+              let neighbour acc nb clip =
+                if Hashtbl.mem fixed nb then acc
+                else
+                  let wn = window_of nb in
+                  let wn' = clip wn in
+                  if wn'.lo > wn'.hi then infinity
+                  else
+                    let dgn = dg_of (class_of nb) in
+                    let dn = latency nb in
+                    acc +. window_mean dgn wn' dn -. window_mean dgn wn dn
+              in
+              let force =
+                List.fold_left
+                  (fun acc p ->
+                    neighbour acc p (fun wn ->
+                        { wn with hi = min wn.hi (t - latency p) }))
+                  self (Graph.preds g id)
+              in
+              let force =
+                List.fold_left
+                  (fun acc s ->
+                    neighbour acc s (fun wn -> { wn with lo = max wn.lo (t + d) }))
+                  force (Graph.succs g id)
+              in
+              let better =
+                match !best with
+                | None -> Float.is_finite force
+                | Some (f, id', t', _) ->
+                  Float.is_finite force
+                  && (force < f -. 1e-12
+                     || (Float.abs (force -. f) <= 1e-12
+                        && (id < id' || (id = id' && t < t'))))
+              in
+              if better then best := Some (force, id, t, ())
+            done
+          end)
+        (Graph.node_ids g);
+      match !best with
+      | Some (_, id, t, ()) -> Hashtbl.replace fixed id t
+      | None ->
+        (* All remaining candidates were window-breaking; fall back to the
+           earliest feasible start of the smallest unfixed op. *)
+        (match
+           List.find_opt (fun id -> not (Hashtbl.mem fixed id)) (Graph.node_ids g)
+         with
+        | Some id -> Hashtbl.replace fixed id (window_of id).lo
+        | None -> ())
+    done;
+    Pasap.Feasible (Schedule.of_alist (locked ()))
+  with Infeasible node ->
+    Pasap.Infeasible
+      { node; reason = "window propagation failed within the horizon" }

@@ -1,0 +1,25 @@
+(** Force-directed scheduling (Paulin & Knight), the classical
+    time-constrained scheduler that balances operation concurrency.
+
+    Each unscheduled operation is tentatively uniform over its ASAP–ALAP
+    window; per resource class a *distribution graph* accumulates the
+    expected usage of each control step. Scheduling repeatedly commits the
+    (operation, step) pair with the lowest total force — self force plus the
+    forces its commitment exerts on direct predecessors and successors —
+    then tightens the remaining windows.
+
+    [weight] generalises the distribution: the default [fun _ -> 1.]
+    balances unit counts (classic FDS); passing each operation's power turns
+    the scheduler into a power-balancing heuristic, a natural competitor to
+    {!Pasap} (exercised by the benchmark harness). *)
+
+(** [run g ~info ~class_of ?weight ~horizon ()] returns [Infeasible] when
+    the latency-weighted critical path exceeds [horizon]. *)
+val run :
+  Pchls_dfg.Graph.t ->
+  info:(int -> Schedule.op_info) ->
+  class_of:(int -> string) ->
+  ?weight:(int -> float) ->
+  horizon:int ->
+  unit ->
+  Pasap.outcome

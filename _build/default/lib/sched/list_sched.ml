@@ -1,0 +1,85 @@
+module Graph = Pchls_dfg.Graph
+
+let run g ~info ~class_of ~avail ~horizon =
+  let latency id = (info id).Schedule.latency in
+  let remaining_preds = Hashtbl.create 64 in
+  List.iter
+    (fun id -> Hashtbl.replace remaining_preds id (List.length (Graph.preds g id)))
+    (Graph.node_ids g);
+  let prio = Hashtbl.create 64 in
+  List.iter
+    (fun id -> Hashtbl.replace prio id (Graph.distance_to_sink g ~latency id))
+    (Graph.node_ids g);
+  (* [ready] holds issuable ops; [running] maps finish cycle -> ids. *)
+  let ready = ref [] in
+  let running : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let in_use : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let used cls = match Hashtbl.find_opt in_use cls with Some n -> n | None -> 0 in
+  List.iter
+    (fun id -> if Graph.preds g id = [] then ready := id :: !ready)
+    (Graph.node_ids g);
+  let sched = ref Schedule.empty in
+  let unscheduled = ref (Graph.node_count g) in
+  let cycle = ref 0 in
+  let issue id t =
+    let d = latency id in
+    sched := Schedule.set !sched id t;
+    decr unscheduled;
+    let cls = class_of id in
+    Hashtbl.replace in_use cls (used cls + 1);
+    let fin = t + d in
+    let l = match Hashtbl.find_opt running fin with Some l -> l | None -> [] in
+    Hashtbl.replace running fin (id :: l)
+  in
+  let release t =
+    match Hashtbl.find_opt running t with
+    | None -> ()
+    | Some ids ->
+      Hashtbl.remove running t;
+      List.iter
+        (fun id ->
+          let cls = class_of id in
+          Hashtbl.replace in_use cls (used cls - 1);
+          List.iter
+            (fun s ->
+              let n = Hashtbl.find remaining_preds s - 1 in
+              Hashtbl.replace remaining_preds s n;
+              if n = 0 then ready := s :: !ready)
+            (Graph.succs g id))
+        ids
+  in
+  let by_priority a b =
+    let pa = Hashtbl.find prio a and pb = Hashtbl.find prio b in
+    if pa <> pb then Int.compare pb pa else Int.compare a b
+  in
+  while !unscheduled > 0 && !cycle < horizon do
+    release !cycle;
+    let candidates = List.sort by_priority !ready in
+    ready := [];
+    List.iter
+      (fun id ->
+        let cls = class_of id in
+        if used cls < avail cls && !cycle + latency id <= horizon then
+          issue id !cycle
+        else ready := id :: !ready)
+      candidates;
+    incr cycle
+  done;
+  if !unscheduled = 0 then Pasap.Feasible !sched
+  else
+    let stuck =
+      match List.sort Int.compare !ready with
+      | id :: _ -> id
+      | [] ->
+        (* Everything issuable is running past the horizon; report the
+           smallest unscheduled node. *)
+        (match
+           List.find_opt
+             (fun id -> not (Schedule.mem !sched id))
+             (Graph.node_ids g)
+         with
+        | Some id -> id
+        | None -> -1)
+    in
+    Pasap.Infeasible
+      { node = stuck; reason = "resource-constrained schedule exceeds horizon" }

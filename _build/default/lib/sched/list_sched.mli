@@ -1,0 +1,18 @@
+(** Resource-constrained list scheduling (a classical baseline).
+
+    Operations are partitioned into resource classes by [class_of]; at each
+    control step the ready operations are issued in priority order (largest
+    distance-to-sink first) while their class has a free unit. Power plays no
+    role here — this is the "traditional time-constrained schedule" that the
+    two-step baseline starts from. *)
+
+(** [run g ~info ~class_of ~avail ~horizon] returns [Infeasible] when some
+    operation cannot be issued by [horizon] (including when its class has
+    [avail = 0]). *)
+val run :
+  Pchls_dfg.Graph.t ->
+  info:(int -> Schedule.op_info) ->
+  class_of:(int -> string) ->
+  avail:(string -> int) ->
+  horizon:int ->
+  Pasap.outcome

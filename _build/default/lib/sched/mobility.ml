@@ -1,0 +1,17 @@
+module Graph = Pchls_dfg.Graph
+
+type window = { earliest : int; latest : int }
+
+let window ~early ~late id =
+  let earliest = Schedule.start early id in
+  let latest = Schedule.start late id in
+  if latest < earliest then
+    invalid_arg
+      (Printf.sprintf "Mobility.window: node %d has latest %d < earliest %d" id
+         latest earliest);
+  { earliest; latest }
+
+let slack w = w.latest - w.earliest
+
+let windows g ~early ~late =
+  List.map (fun id -> (id, window ~early ~late id)) (Graph.node_ids g)

@@ -1,0 +1,19 @@
+(** Scheduling freedom of each operation between an early and a late
+    schedule (classically ASAP/ALAP; in the engine, pasap/palap). *)
+
+type window = {
+  earliest : int;  (** start time in the early schedule *)
+  latest : int;  (** start time in the late schedule *)
+}
+
+(** [window ~early ~late id] pairs the two start times.
+    @raise Not_found when [id] is missing from either schedule.
+    @raise Invalid_argument when [latest < earliest] (inconsistent pair). *)
+val window : early:Schedule.t -> late:Schedule.t -> int -> window
+
+(** [slack w] is [latest - earliest]. *)
+val slack : window -> int
+
+(** [windows g ~early ~late] tabulates every node, increasing id order. *)
+val windows :
+  Pchls_dfg.Graph.t -> early:Schedule.t -> late:Schedule.t -> (int * window) list

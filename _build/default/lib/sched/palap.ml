@@ -1,0 +1,16 @@
+module Graph = Pchls_dfg.Graph
+
+let run g ~info ~horizon ?power_limit ?(locked = []) () =
+  let mirror id t = horizon - t - (info id).Schedule.latency in
+  let locked_rev = List.map (fun (id, t) -> (id, mirror id t)) locked in
+  match
+    Pasap.run (Graph.reverse g) ~info ~horizon ?power_limit ~locked:locked_rev ()
+  with
+  | Pasap.Infeasible _ as inf -> inf
+  | Pasap.Feasible rev ->
+    let fwd =
+      List.fold_left
+        (fun acc (id, t_rev) -> Schedule.set acc id (mirror id t_rev))
+        Schedule.empty (Schedule.bindings rev)
+    in
+    Pasap.Feasible fwd

@@ -1,0 +1,18 @@
+(** Power-constrained ALAP scheduling — the paper's [palap], the
+    time-reversed dual of {!Pasap}.
+
+    Every operation is placed as late as possible within [horizon] while
+    respecting the per-cycle power limit. Implemented by running {!Pasap} on
+    the reversed graph and mirroring start times: [t = horizon - t_rev - d].
+    With the default infinite [power_limit] this is classic ALAP. *)
+
+(** [run g ~info ~horizon ?power_limit ?locked ()] — same contract as
+    {!Pasap.run}; [locked] times are in the original (forward) time domain. *)
+val run :
+  Pchls_dfg.Graph.t ->
+  info:(int -> Schedule.op_info) ->
+  horizon:int ->
+  ?power_limit:float ->
+  ?locked:(int * int) list ->
+  unit ->
+  Pasap.outcome

@@ -1,0 +1,158 @@
+module Graph = Pchls_dfg.Graph
+module Profile = Pchls_power.Profile
+
+type outcome =
+  | Feasible of Schedule.t
+  | Infeasible of { node : int; reason : string }
+
+let schedule_exn = function
+  | Feasible s -> s
+  | Infeasible { node; reason } ->
+    failwith (Printf.sprintf "pasap infeasible at node %d: %s" node reason)
+
+(* The scheduler keeps, for each ready operation, its earliest precedence-
+   feasible start [est] (fixed once all predecessors are placed) and its
+   power offset [o]; the tentative start is [est + o]. *)
+type ready = { id : int; est : int; mutable offset : int; priority : int }
+
+exception Stop of outcome
+
+let run g ~info ~horizon ?(power_limit = infinity) ?(locked = []) () =
+  if horizon < 0 then invalid_arg "Pasap.run: negative horizon";
+  List.iter
+    (fun (id, _) ->
+      if not (Graph.mem g id) then
+        invalid_arg (Printf.sprintf "Pasap.run: locked node %d not in graph" id))
+    locked;
+  if
+    List.length (List.sort_uniq Int.compare (List.map fst locked))
+    <> List.length locked
+  then invalid_arg "Pasap.run: node locked twice";
+  let latency id = (info id).Schedule.latency in
+  let profile = Profile.create ~horizon in
+  let sched = ref Schedule.empty in
+  let remaining_preds = Hashtbl.create 64 in
+  let ready : (int, ready) Hashtbl.t = Hashtbl.create 64 in
+  let locked_tbl = Hashtbl.create 16 in
+  List.iter (fun (id, t) -> Hashtbl.replace locked_tbl id t) locked;
+  let is_locked id = Hashtbl.mem locked_tbl id in
+  try
+    (* Reserve the locked operations first. *)
+    Hashtbl.iter
+      (fun id t ->
+        let { Schedule.latency = d; power } = info id in
+        if t < 0 || t + d > horizon then
+          raise
+            (Stop
+               (Infeasible
+                  { node = id; reason = "locked start leaves the horizon" }));
+        Profile.add profile ~start:t ~latency:d ~power;
+        sched := Schedule.set !sched id t)
+      locked_tbl;
+    if Profile.peak profile > power_limit +. Profile.eps then begin
+      let offender =
+        match locked with (id, _) :: _ -> id | [] -> -1
+      in
+      raise
+        (Stop
+           (Infeasible
+              {
+                node = offender;
+                reason = "locked operations alone exceed the power limit";
+              }))
+    end;
+    List.iter
+      (fun id ->
+        if not (is_locked id) then
+          let unplaced =
+            List.length (List.filter (fun p -> not (is_locked p)) (Graph.preds g id))
+          in
+          Hashtbl.replace remaining_preds id unplaced)
+      (Graph.node_ids g);
+    let est_of id =
+      List.fold_left
+        (fun acc p -> max acc (Schedule.start !sched p + latency p))
+        0 (Graph.preds g id)
+    in
+    let enter id =
+      if Hashtbl.find remaining_preds id = 0 then
+        Hashtbl.replace ready id
+          { id; est = est_of id; offset = 0;
+            priority = Graph.distance_to_sink g ~latency id }
+    in
+    List.iter
+      (fun id -> if not (is_locked id) then enter id)
+      (Graph.node_ids g);
+    let better a b =
+      let ta = a.est + a.offset and tb = b.est + b.offset in
+      if ta <> tb then ta < tb
+      else if a.priority <> b.priority then a.priority > b.priority
+      else a.id < b.id
+    in
+    let pick () =
+      Hashtbl.fold
+        (fun _ r best ->
+          match best with
+          | None -> Some r
+          | Some b -> if better r b then Some r else best)
+        ready None
+    in
+    let place r =
+      let t = r.est + r.offset in
+      let { Schedule.latency = d; power } = info r.id in
+      sched := Schedule.set !sched r.id t;
+      Profile.add profile ~start:t ~latency:d ~power;
+      Hashtbl.remove ready r.id;
+      List.iter
+        (fun s ->
+          if not (is_locked s) then begin
+            let n = Hashtbl.find remaining_preds s - 1 in
+            Hashtbl.replace remaining_preds s n;
+            if n = 0 then enter s
+          end)
+        (Graph.succs g r.id)
+    in
+    let rec loop () =
+      match pick () with
+      | None -> ()
+      | Some r ->
+        let t = r.est + r.offset in
+        let { Schedule.latency = d; power } = info r.id in
+        if t + d > horizon then
+          raise
+            (Stop
+               (Infeasible
+                  {
+                    node = r.id;
+                    reason =
+                      Printf.sprintf
+                        "no power-feasible start in [%d, %d] within horizon %d"
+                        r.est (horizon - d) horizon;
+                  }));
+        if Profile.fits profile ~start:t ~latency:d ~power ~limit:power_limit
+        then place r
+        else r.offset <- r.offset + 1;
+        loop ()
+    in
+    loop ();
+    (* Locked operations may have been placed inconsistently with their
+       (possibly later-scheduled) predecessors; reject such schedules. *)
+    List.iter
+      (fun (pred, succ) ->
+        if
+          is_locked succ
+          && Schedule.start !sched pred + latency pred
+             > Schedule.start !sched succ
+        then
+          raise
+            (Stop
+               (Infeasible
+                  {
+                    node = succ;
+                    reason =
+                      Printf.sprintf "locked start precedes end of predecessor %d"
+                        pred;
+                  })))
+      (Graph.edges g);
+    Feasible !sched
+  with Stop o -> o

@@ -1,0 +1,41 @@
+(** Power-constrained ASAP scheduling — the paper's [pasap] algorithm (§2).
+
+    Operations are scheduled as soon as possible, but an operation may only
+    occupy cycles whose remaining power budget admits it: when the interval
+    [[t_i+o_i, t_i+o_i+d_i)] would overflow the per-cycle limit, the
+    operation's offset [o_i] grows one cycle at a time until the interval
+    fits or leaves the horizon (infeasible).
+
+    With [power_limit = infinity] (the default) this degenerates to classic
+    ASAP. Ready operations are chosen deterministically: smallest tentative
+    start first, then largest latency-weighted distance to a sink, then
+    smallest id. *)
+
+type outcome =
+  | Feasible of Schedule.t
+  | Infeasible of { node : int; reason : string }
+      (** [node] could not be placed within the horizon *)
+
+(** [run g ~info ~horizon ?power_limit ?locked ()] schedules every node of
+    [g].
+
+    [locked] pre-places operations at fixed start times (the paper's
+    backtracking locks all unscheduled operations to the last valid pasap
+    schedule); their power is reserved before anything else is placed, and a
+    locked operation violating a precedence or the horizon makes the run
+    infeasible.
+
+    @raise Invalid_argument if [horizon < 0], or a locked id is not in [g],
+    or is locked twice. *)
+val run :
+  Pchls_dfg.Graph.t ->
+  info:(int -> Schedule.op_info) ->
+  horizon:int ->
+  ?power_limit:float ->
+  ?locked:(int * int) list ->
+  unit ->
+  outcome
+
+(** [schedule_exn outcome] extracts the schedule.
+    @raise Failure on [Infeasible]. *)
+val schedule_exn : outcome -> Schedule.t

@@ -1,0 +1,86 @@
+module Graph = Pchls_dfg.Graph
+module Profile = Pchls_power.Profile
+module Int_map = Map.Make (Int)
+
+type op_info = { latency : int; power : float }
+type t = int Int_map.t
+
+type violation =
+  | Unscheduled of int
+  | Negative_start of int
+  | Precedence of { pred : int; succ : int }
+  | Latency_exceeded of { makespan : int; limit : int }
+  | Power_exceeded of { cycle : int; power : float; limit : float }
+
+let empty = Int_map.empty
+let of_alist l = List.fold_left (fun m (k, v) -> Int_map.add k v m) empty l
+let set s id t = Int_map.add id t s
+let mem s id = Int_map.mem id s
+let find s id = Int_map.find_opt id s
+
+let start s id =
+  match find s id with Some t -> t | None -> raise Not_found
+
+let cardinal s = Int_map.cardinal s
+let bindings s = Int_map.bindings s
+let finish s ~info id = start s id + (info id).latency
+
+let makespan s ~info =
+  Int_map.fold (fun id t acc -> max acc (t + (info id).latency)) s 0
+
+let profile s ~info ~horizon =
+  let p = Profile.create ~horizon in
+  Int_map.iter
+    (fun id t ->
+      let { latency; power } = info id in
+      Profile.add p ~start:t ~latency ~power)
+    s;
+  p
+
+let validate g s ~info ?time_limit ?power_limit () =
+  let violations = ref [] in
+  let push v = violations := v :: !violations in
+  List.iter
+    (fun id ->
+      match find s id with
+      | None -> push (Unscheduled id)
+      | Some t -> if t < 0 then push (Negative_start id))
+    (Graph.node_ids g);
+  List.iter
+    (fun (pred, succ) ->
+      match (find s pred, find s succ) with
+      | Some tp, Some ts ->
+        if tp + (info pred).latency > ts then push (Precedence { pred; succ })
+      | None, _ | _, None -> ())
+    (Graph.edges g);
+  let ms = makespan s ~info in
+  (match time_limit with
+  | Some limit when ms > limit -> push (Latency_exceeded { makespan = ms; limit })
+  | Some _ | None -> ());
+  (match power_limit with
+  | Some limit ->
+    let p = profile s ~info ~horizon:(max ms 1) in
+    let arr = Profile.to_array p in
+    Array.iteri
+      (fun cycle power ->
+        if power > limit +. Profile.eps then
+          push (Power_exceeded { cycle; power; limit }))
+      arr
+  | None -> ());
+  match List.rev !violations with [] -> Ok () | vs -> Error vs
+
+let pp_violation ppf = function
+  | Unscheduled id -> Format.fprintf ppf "node %d unscheduled" id
+  | Negative_start id -> Format.fprintf ppf "node %d starts before cycle 0" id
+  | Precedence { pred; succ } ->
+    Format.fprintf ppf "node %d starts before predecessor %d finishes" succ pred
+  | Latency_exceeded { makespan; limit } ->
+    Format.fprintf ppf "makespan %d exceeds time constraint %d" makespan limit
+  | Power_exceeded { cycle; power; limit } ->
+    Format.fprintf ppf "cycle %d draws %.3f > power constraint %.3f" cycle power
+      limit
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>";
+  Int_map.iter (fun id t -> Format.fprintf ppf "%3d @@ %d@," id t) s;
+  Format.fprintf ppf "@]"

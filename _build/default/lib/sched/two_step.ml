@@ -1,0 +1,83 @@
+module Graph = Pchls_dfg.Graph
+module Profile = Pchls_power.Profile
+
+(* Move [id] one cycle later in [sched], rippling successors so precedences
+   hold. Returns [None] when the ripple pushes any finish past [horizon]. *)
+let try_move g ~info ~horizon sched id =
+  let latency i = (info i).Schedule.latency in
+  let rec ripple sched = function
+    | [] -> Some sched
+    | (i, t) :: rest ->
+      if t + latency i > horizon then None
+      else
+        let sched = Schedule.set sched i t in
+        let pushed =
+          List.filter_map
+            (fun s ->
+              let need = t + latency i in
+              if Schedule.start sched s < need then Some (s, need) else None)
+            (Graph.succs g i)
+        in
+        ripple sched (rest @ pushed)
+  in
+  ripple sched [ (id, Schedule.start sched id + 1) ]
+
+let run g ~info ~horizon ~power_limit =
+  let latency i = (info i).Schedule.latency in
+  if Graph.critical_path g ~latency > horizon then
+    Pasap.Infeasible
+      { node = -1; reason = "critical path exceeds the time constraint" }
+  else begin
+    let sched = ref (Asap.run g ~info) in
+    let outcome = ref None in
+    while !outcome = None do
+      let profile = Schedule.profile !sched ~info ~horizon in
+      if Profile.peak profile <= power_limit +. Profile.eps then
+        outcome := Some (Pasap.Feasible !sched)
+      else begin
+        let peak_cycle =
+          match Profile.peak_cycle profile with
+          | Some c -> c
+          | None -> 0 (* unreachable: peak above a non-negative limit *)
+        in
+        let executing_here id =
+          let t = Schedule.start !sched id in
+          t <= peak_cycle && peak_cycle < t + latency id
+        in
+        let candidates =
+          Graph.node_ids g
+          |> List.filter executing_here
+          |> List.sort (fun a b ->
+                 (* Largest slack first; prefer ops starting exactly at the
+                    peak cycle so a move actually relieves it. *)
+                 let sa = Schedule.start !sched a
+                 and sb = Schedule.start !sched b in
+                 if (sa = peak_cycle) <> (sb = peak_cycle) then
+                   Bool.compare (sb = peak_cycle) (sa = peak_cycle)
+                 else Int.compare a b)
+        in
+        let rec attempt = function
+          | [] ->
+            outcome :=
+              Some
+                (Pasap.Infeasible
+                   {
+                     node = (match candidates with c :: _ -> c | [] -> -1);
+                     reason =
+                       Printf.sprintf
+                         "cannot relieve power peak at cycle %d within time \
+                          constraint %d"
+                         peak_cycle horizon;
+                   })
+          | id :: rest -> (
+            match try_move g ~info ~horizon !sched id with
+            | Some moved -> sched := moved
+            | None -> attempt rest)
+        in
+        attempt candidates
+      end
+    done;
+    match !outcome with
+    | Some o -> o
+    | None -> assert false
+  end

@@ -1,0 +1,22 @@
+(** The two-step baseline from the paper's related work ([1, 2] in the
+    paper): first construct a traditional time-constrained schedule, then
+    reorder operations to meet the power constraint.
+
+    Step 1 is plain ASAP. Step 2 repeatedly finds the peak-power cycle and
+    moves one operation executing there one cycle later, choosing the
+    operation with the largest remaining slack; successors are rippled
+    forward as needed. The pass fails when no executing operation can move
+    without violating the time constraint.
+
+    This reproduces the structural weakness the paper motivates its
+    simultaneous approach with: binding happens after the schedule is fixed,
+    so the baseline cannot trade module types against the power budget. *)
+
+(** [run g ~info ~horizon ~power_limit] returns a schedule meeting both
+    constraints, or [Infeasible] naming an operation stuck in a peak cycle. *)
+val run :
+  Pchls_dfg.Graph.t ->
+  info:(int -> Schedule.op_info) ->
+  horizon:int ->
+  power_limit:float ->
+  Pasap.outcome

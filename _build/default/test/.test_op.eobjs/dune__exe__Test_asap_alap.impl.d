@@ -1,0 +1,1 @@
+test/test_asap_alap.ml: Alcotest List Pchls_dfg Pchls_sched Printf Test_helpers

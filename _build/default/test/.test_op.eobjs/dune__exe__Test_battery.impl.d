@@ -1,0 +1,1 @@
+test/test_battery.ml: Alcotest Array Pchls_battery Printf

@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest List Pchls_dfg Printf

@@ -1,0 +1,1 @@
+test/test_builder.ml: Alcotest List Pchls_dfg Printf

@@ -1,0 +1,1 @@
+test/test_clique.ml: Alcotest List Pchls_compat

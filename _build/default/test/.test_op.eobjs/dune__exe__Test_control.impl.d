@@ -1,0 +1,1 @@
+test/test_control.ml: Alcotest Format List Pchls_core Pchls_dfg Pchls_fulib Pchls_rtl String

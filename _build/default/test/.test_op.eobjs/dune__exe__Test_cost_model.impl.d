@@ -1,0 +1,1 @@
+test/test_cost_model.ml: Alcotest Format Pchls_core String

@@ -1,0 +1,1 @@
+test/test_dot.ml: Alcotest List Pchls_dfg Printf String

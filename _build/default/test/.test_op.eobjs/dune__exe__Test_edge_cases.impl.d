@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Format List Pchls_core Pchls_dfg Pchls_fulib Pchls_power Pchls_rtl Pchls_sched String

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest List Pchls_core Pchls_dfg Pchls_fulib Pchls_power Pchls_sched String Test_helpers

@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest List Pchls_compat Random

@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Float List Pchls_core Pchls_dfg Pchls_fulib Pchls_power Printf String

@@ -1,0 +1,1 @@
+test/test_figure2_pin.ml: Alcotest Pchls_core Pchls_dfg Pchls_fulib

@@ -1,0 +1,1 @@
+test/test_figure2_pin.mli:

@@ -1,0 +1,1 @@
+test/test_force_directed.ml: Alcotest Array List Pchls_dfg Pchls_power Pchls_sched Printf Test_helpers

@@ -1,0 +1,1 @@
+test/test_force_directed.mli:

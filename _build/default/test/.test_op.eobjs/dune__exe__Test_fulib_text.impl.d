@@ -1,0 +1,1 @@
+test/test_fulib_text.ml: Alcotest List Pchls_core Pchls_dfg Pchls_fulib String

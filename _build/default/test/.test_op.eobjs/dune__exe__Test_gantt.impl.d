@@ -1,0 +1,1 @@
+test/test_gantt.ml: Alcotest List Pchls_core Pchls_dfg Pchls_fulib Printf String

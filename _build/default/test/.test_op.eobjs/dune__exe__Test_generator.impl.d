@@ -1,0 +1,1 @@
+test/test_generator.ml: Alcotest List Pchls_dfg

@@ -1,0 +1,1 @@
+test/test_improve.ml: Alcotest List Pchls_core Pchls_dfg Pchls_fulib Pchls_power Pchls_sched Printf

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest List Pchls_battery Pchls_core Pchls_dfg Pchls_fulib Pchls_power Pchls_rtl Pchls_sched Printf String Test_helpers

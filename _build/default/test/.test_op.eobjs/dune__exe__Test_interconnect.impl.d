@@ -1,0 +1,1 @@
+test/test_interconnect.ml: Alcotest Pchls_core Pchls_dfg Test_helpers

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Format List Pchls_core Pchls_dfg Pchls_fulib Pchls_lang String

@@ -1,0 +1,1 @@
+test/test_library.ml: Alcotest Format List Pchls_dfg Pchls_fulib String

@@ -1,0 +1,1 @@
+test/test_list_sched.ml: Alcotest List Pchls_dfg Pchls_sched Printf Test_helpers

@@ -1,0 +1,1 @@
+test/test_mobility.ml: Alcotest List Pchls_dfg Pchls_sched Test_helpers

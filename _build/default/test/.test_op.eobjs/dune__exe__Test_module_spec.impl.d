@@ -1,0 +1,1 @@
+test/test_module_spec.ml: Alcotest Format List Pchls_dfg Pchls_fulib String

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Format List Pchls_core Pchls_dfg Pchls_fulib Pchls_rtl Pchls_sched Printf String

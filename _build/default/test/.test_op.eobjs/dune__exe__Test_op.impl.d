@@ -1,0 +1,1 @@
+test/test_op.ml: Alcotest Format List Pchls_dfg Printf String

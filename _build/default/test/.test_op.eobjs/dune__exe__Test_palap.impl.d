@@ -1,0 +1,1 @@
+test/test_palap.ml: Alcotest List Pchls_dfg Pchls_power Pchls_sched Printf Test_helpers

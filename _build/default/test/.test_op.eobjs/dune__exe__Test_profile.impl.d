@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Array List Pchls_power String

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Float Format Hashtbl List Pchls_battery Pchls_compat Pchls_core Pchls_dfg Pchls_fulib Pchls_power Pchls_sched Printf QCheck QCheck_alcotest Test_helpers

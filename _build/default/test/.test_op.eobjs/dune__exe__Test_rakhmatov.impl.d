@@ -1,0 +1,1 @@
+test/test_rakhmatov.ml: Alcotest Pchls_battery Printf

@@ -1,0 +1,1 @@
+test/test_regalloc.ml: Alcotest Array List Pchls_core Pchls_dfg Pchls_sched Test_helpers

@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Format List Pchls_dfg Pchls_power Pchls_sched String

@@ -1,0 +1,1 @@
+test/test_shared.ml: Alcotest Format Hashtbl List Option Pchls_core Pchls_dfg Pchls_fulib Pchls_power String

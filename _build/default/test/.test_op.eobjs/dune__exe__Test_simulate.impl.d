@@ -1,0 +1,1 @@
+test/test_simulate.ml: Alcotest Format List Pchls_core Pchls_dfg Pchls_fulib Printf

@@ -1,0 +1,1 @@
+test/test_text_format.ml: Alcotest List Pchls_dfg Printf String

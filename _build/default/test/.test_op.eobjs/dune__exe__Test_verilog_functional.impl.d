@@ -1,0 +1,1 @@
+test/test_verilog_functional.ml: Alcotest List Pchls_core Pchls_dfg Pchls_fulib Pchls_rtl Printf String

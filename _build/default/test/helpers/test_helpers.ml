@@ -1,0 +1,71 @@
+(* Shared fixtures for the test suites. *)
+
+module Graph = Pchls_dfg.Graph
+module Op = Pchls_dfg.Op
+module Schedule = Pchls_sched.Schedule
+module Library = Pchls_fulib.Library
+module Module_spec = Pchls_fulib.Module_spec
+
+(* Uniform single-cycle operations drawing [power] each. *)
+let uniform_info ?(latency = 1) ?(power = 1.) () _ = { Schedule.latency; power }
+
+(* Scheduling view backed by the paper's Table 1 under a selection policy. *)
+let table1_info ?(select = Library.min_power) () g id =
+  match select Library.default (Graph.kind g id) with
+  | Some m -> { Schedule.latency = m.Module_spec.latency; power = m.Module_spec.power }
+  | None -> Alcotest.fail "table1_info: kind not covered"
+
+(* in -> a -> o chain. *)
+let chain3 () =
+  Graph.create_exn ~name:"chain3"
+    ~nodes:
+      [
+        { Graph.id = 0; name = "i"; kind = Op.Input };
+        { Graph.id = 1; name = "a"; kind = Op.Add };
+        { Graph.id = 2; name = "o"; kind = Op.Output };
+      ]
+    ~edges:[ (0, 1); (1, 2) ]
+
+(* Four independent adds fed by one input, merged into one output:
+   a fork-join that loves to spike power. *)
+let fork4 () =
+  let b = Pchls_dfg.Builder.create "fork4" in
+  let x = Pchls_dfg.Builder.input b "x" in
+  let adds =
+    List.init 4 (fun i -> Pchls_dfg.Builder.add b (Printf.sprintf "a%d" i) x x)
+  in
+  let rec tree = function
+    | [ v ] -> v
+    | v1 :: v2 :: rest ->
+      tree (rest @ [ Pchls_dfg.Builder.add b "t" v1 v2 ])
+    | [] -> Alcotest.fail "fork4"
+  in
+  let y = tree adds in
+  ignore (Pchls_dfg.Builder.output b "y" y);
+  Pchls_dfg.Builder.finish_exn b
+
+(* Two parallel chains sharing input and output; good for sharing tests. *)
+let two_chains () =
+  let b = Pchls_dfg.Builder.create "two_chains" in
+  let x = Pchls_dfg.Builder.input b "x" in
+  let a1 = Pchls_dfg.Builder.add b "a1" x x in
+  let a2 = Pchls_dfg.Builder.add b "a2" a1 x in
+  let s1 = Pchls_dfg.Builder.sub b "s1" x x in
+  let s2 = Pchls_dfg.Builder.sub b "s2" s1 x in
+  let m = Pchls_dfg.Builder.mult b "m" a2 s2 in
+  ignore (Pchls_dfg.Builder.output b "y" m);
+  Pchls_dfg.Builder.finish_exn b
+
+let check_precedences g sched ~info =
+  List.iter
+    (fun (p, s) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "edge %d->%d respected" p s)
+        true
+        (Schedule.start sched p + (info p).Schedule.latency
+         <= Schedule.start sched s))
+    (Graph.edges g)
+
+let check_total g sched =
+  Alcotest.(check int) "schedule is total" (Graph.node_count g)
+    (Schedule.cardinal sched)

@@ -1,0 +1,122 @@
+module H = Test_helpers
+module Asap = Pchls_sched.Asap
+module Alap = Pchls_sched.Alap
+module Schedule = Pchls_sched.Schedule
+module Graph = Pchls_dfg.Graph
+module B = Pchls_dfg.Benchmarks
+
+let info = H.uniform_info ()
+
+let test_asap_chain () =
+  let g = H.chain3 () in
+  let s = Asap.run g ~info in
+  Alcotest.(check (list (pair int int)))
+    "each node right after its pred"
+    [ (0, 0); (1, 1); (2, 2) ]
+    (Schedule.bindings s)
+
+let test_asap_total_and_valid () =
+  List.iter
+    (fun (_, g) ->
+      let info = H.table1_info () g in
+      let s = Asap.run g ~info in
+      H.check_total g s;
+      H.check_precedences g s ~info)
+    B.all
+
+let test_asap_matches_critical_path () =
+  List.iter
+    (fun (_, g) ->
+      let info = H.table1_info () g in
+      let s = Asap.run g ~info in
+      Alcotest.(check int) "makespan = critical path"
+        (Graph.critical_path g ~latency:(fun id -> (info id).Schedule.latency))
+        (Schedule.makespan s ~info))
+    B.all
+
+let test_asap_sources_at_zero () =
+  let g = B.hal in
+  let info = H.table1_info () g in
+  let s = Asap.run g ~info in
+  List.iter
+    (fun id -> Alcotest.(check int) "source at 0" 0 (Schedule.start s id))
+    (Graph.sources g)
+
+let test_alap_chain () =
+  let g = H.chain3 () in
+  let s = Alap.run g ~info ~horizon:5 in
+  Alcotest.(check (list (pair int int)))
+    "pushed to the end"
+    [ (0, 2); (1, 3); (2, 4) ]
+    (Schedule.bindings s)
+
+let test_alap_valid_and_meets_horizon () =
+  List.iter
+    (fun (_, g) ->
+      let info = H.table1_info () g in
+      let horizon =
+        Graph.critical_path g ~latency:(fun id -> (info id).Schedule.latency) + 3
+      in
+      let s = Alap.run g ~info ~horizon in
+      H.check_total g s;
+      H.check_precedences g s ~info;
+      Alcotest.(check bool) "within horizon" true
+        (Schedule.makespan s ~info <= horizon))
+    B.all
+
+let test_alap_below_critical_path_raises () =
+  let g = H.chain3 () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Alap.run g ~info ~horizon:2);
+       false
+     with Invalid_argument _ -> true)
+
+let test_alap_never_before_asap () =
+  List.iter
+    (fun (_, g) ->
+      let info = H.table1_info () g in
+      let asap = Asap.run g ~info in
+      let horizon = Schedule.makespan asap ~info + 4 in
+      let alap = Alap.run g ~info ~horizon in
+      List.iter
+        (fun id ->
+          Alcotest.(check bool)
+            (Printf.sprintf "alap >= asap for %d" id)
+            true
+            (Schedule.start alap id >= Schedule.start asap id))
+        (Graph.node_ids g))
+    B.all
+
+let test_alap_sink_at_horizon () =
+  let g = H.chain3 () in
+  let s = Alap.run g ~info ~horizon:7 in
+  Alcotest.(check int) "last op finishes at horizon" 7
+    (Schedule.makespan s ~info)
+
+let () =
+  Alcotest.run "asap_alap"
+    [
+      ( "asap",
+        [
+          Alcotest.test_case "chain packs left" `Quick test_asap_chain;
+          Alcotest.test_case "total and precedence-valid on all benchmarks"
+            `Quick test_asap_total_and_valid;
+          Alcotest.test_case "makespan equals critical path" `Quick
+            test_asap_matches_critical_path;
+          Alcotest.test_case "sources start at zero" `Quick
+            test_asap_sources_at_zero;
+        ] );
+      ( "alap",
+        [
+          Alcotest.test_case "chain packs right" `Quick test_alap_chain;
+          Alcotest.test_case "valid and within horizon on all benchmarks"
+            `Quick test_alap_valid_and_meets_horizon;
+          Alcotest.test_case "horizon below critical path raises" `Quick
+            test_alap_below_critical_path_raises;
+          Alcotest.test_case "alap never precedes asap" `Quick
+            test_alap_never_before_asap;
+          Alcotest.test_case "some sink finishes at horizon" `Quick
+            test_alap_sink_at_horizon;
+        ] );
+    ]

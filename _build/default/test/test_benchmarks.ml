@@ -1,0 +1,136 @@
+module B = Pchls_dfg.Benchmarks
+module Graph = Pchls_dfg.Graph
+module Op = Pchls_dfg.Op
+
+let count g k = List.length (Graph.nodes_of_kind g k)
+
+let ops g =
+  Graph.node_count g - count g Op.Input - count g Op.Output
+
+let test_hal_operation_mix () =
+  let g = B.hal in
+  Alcotest.(check int) "6 mult" 6 (count g Op.Mult);
+  Alcotest.(check int) "2 add" 2 (count g Op.Add);
+  Alcotest.(check int) "2 sub" 2 (count g Op.Sub);
+  Alcotest.(check int) "1 comp" 1 (count g Op.Comp);
+  Alcotest.(check int) "11 operations" 11 (ops g);
+  Alcotest.(check int) "6 inputs" 6 (count g Op.Input);
+  Alcotest.(check int) "4 outputs" 4 (count g Op.Output)
+
+let test_hal_critical_path () =
+  (* With 1-cycle ops and 1-cycle I/O: in -> m1 -> m4 -> s1 -> s2 -> out. *)
+  Alcotest.(check int) "unit critical path" 6
+    (Graph.critical_path B.hal ~latency:(fun _ -> 1));
+  (* Serial multiplier (4 cycles): 1 + 4 + 4 + 1 + 1 + 1 = 12 > 10, so the
+     paper's T=10 budget forces parallel multipliers on the critical path. *)
+  let latency id =
+    if Op.equal (Graph.kind B.hal id) Op.Mult then 4 else 1
+  in
+  Alcotest.(check int) "serial-mult critical path" 12
+    (Graph.critical_path B.hal ~latency)
+
+let test_cosine_operation_mix () =
+  let g = B.cosine in
+  Alcotest.(check int) "16 mult" 16 (count g Op.Mult);
+  Alcotest.(check int) "26 add/sub" 26 (count g Op.Add + count g Op.Sub);
+  Alcotest.(check int) "8 inputs" 8 (count g Op.Input);
+  Alcotest.(check int) "8 outputs" 8 (count g Op.Output);
+  Alcotest.(check int) "42 operations" 42 (ops g)
+
+let test_elliptic_operation_mix () =
+  let g = B.elliptic in
+  Alcotest.(check int) "26 add" 26 (count g Op.Add);
+  Alcotest.(check int) "8 mult" 8 (count g Op.Mult);
+  Alcotest.(check int) "34 operations" 34 (ops g);
+  Alcotest.(check int) "8 inputs" 8 (count g Op.Input);
+  Alcotest.(check int) "8 outputs" 8 (count g Op.Output)
+
+let test_elliptic_fits_t22 () =
+  (* The paper synthesizes elliptic at T=22; even with serial multipliers the
+     critical path must fit. *)
+  let latency id =
+    if Op.equal (Graph.kind B.elliptic id) Op.Mult then 4 else 1
+  in
+  Alcotest.(check bool) "critical path <= 22" true
+    (Graph.critical_path B.elliptic ~latency <= 22)
+
+let test_ar_filter_mix () =
+  let g = B.ar_filter in
+  Alcotest.(check int) "16 mult" 16 (count g Op.Mult);
+  Alcotest.(check int) "12 add" 12 (count g Op.Add)
+
+let test_fir16_mix () =
+  let g = B.fir16 in
+  Alcotest.(check int) "16 taps" 16 (count g Op.Mult);
+  Alcotest.(check int) "15-add tree" 15 (count g Op.Add);
+  Alcotest.(check int) "one output" 1 (count g Op.Output)
+
+let test_iir_biquad_mix () =
+  let g = B.iir_biquad in
+  Alcotest.(check int) "5 mult" 5 (count g Op.Mult);
+  Alcotest.(check int) "adds and subs" 4 (count g Op.Add + count g Op.Sub)
+
+let test_diffeq2_is_two_hal_bodies () =
+  let g = B.diffeq2 in
+  Alcotest.(check int) "12 mult" 12 (count g Op.Mult);
+  Alcotest.(check int) "22 operations" 22 (ops g)
+
+let test_all_registered () =
+  Alcotest.(check int) "ten benchmarks" 10 (List.length B.all);
+  List.iter
+    (fun (name, g) ->
+      Alcotest.(check string) "name matches graph" name (Graph.name g))
+    B.all
+
+let test_find () =
+  Alcotest.(check bool) "find hal" true (B.find "hal" <> None);
+  Alcotest.(check bool) "find nothing" true (B.find "nonesuch" = None)
+
+let test_every_benchmark_io_terminated () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun id ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: sink %d is output" name id)
+            true
+            (Op.equal (Graph.kind g id) Op.Output))
+        (Graph.sinks g);
+      List.iter
+        (fun id ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: source %d is input" name id)
+            true
+            (Op.equal (Graph.kind g id) Op.Input))
+        (Graph.sources g))
+    B.all
+
+let () =
+  Alcotest.run "benchmarks"
+    [
+      ( "paper graphs",
+        [
+          Alcotest.test_case "hal operation mix" `Quick test_hal_operation_mix;
+          Alcotest.test_case "hal critical path" `Quick test_hal_critical_path;
+          Alcotest.test_case "cosine operation mix" `Quick
+            test_cosine_operation_mix;
+          Alcotest.test_case "elliptic operation mix" `Quick
+            test_elliptic_operation_mix;
+          Alcotest.test_case "elliptic fits T=22" `Quick test_elliptic_fits_t22;
+        ] );
+      ( "companions",
+        [
+          Alcotest.test_case "ar_filter mix" `Quick test_ar_filter_mix;
+          Alcotest.test_case "fir16 mix" `Quick test_fir16_mix;
+          Alcotest.test_case "iir_biquad mix" `Quick test_iir_biquad_mix;
+          Alcotest.test_case "diffeq2 doubles hal" `Quick
+            test_diffeq2_is_two_hal_bodies;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "all registered" `Quick test_all_registered;
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "sources/sinks are transfers" `Quick
+            test_every_benchmark_io_terminated;
+        ] );
+    ]

@@ -1,0 +1,90 @@
+module Builder = Pchls_dfg.Builder
+module Graph = Pchls_dfg.Graph
+module Op = Pchls_dfg.Op
+
+let small () =
+  let b = Builder.create "small" in
+  let x = Builder.input b "x" in
+  let y = Builder.input b "y" in
+  let s = Builder.add b "s" x y in
+  let d = Builder.sub b "d" x y in
+  let p = Builder.mult b "p" s d in
+  let c = Builder.comp b "c" p s in
+  let _ = Builder.output b "o1" p in
+  let _ = Builder.output b "o2" c in
+  Builder.finish_exn b
+
+let test_sequential_ids () =
+  let b = Builder.create "ids" in
+  let a = Builder.input b "a" in
+  let c = Builder.input b "c" in
+  let s = Builder.add b "s" a c in
+  Alcotest.(check (list int)) "0,1,2" [ 0; 1; 2 ] [ a; c; s ]
+
+let test_kinds () =
+  let g = small () in
+  Alcotest.(check int) "2 inputs" 2 (List.length (Graph.nodes_of_kind g Op.Input));
+  Alcotest.(check int) "1 add" 1 (List.length (Graph.nodes_of_kind g Op.Add));
+  Alcotest.(check int) "1 sub" 1 (List.length (Graph.nodes_of_kind g Op.Sub));
+  Alcotest.(check int) "1 mult" 1 (List.length (Graph.nodes_of_kind g Op.Mult));
+  Alcotest.(check int) "1 comp" 1 (List.length (Graph.nodes_of_kind g Op.Comp));
+  Alcotest.(check int) "2 outputs" 2
+    (List.length (Graph.nodes_of_kind g Op.Output))
+
+let test_dependencies () =
+  let g = small () in
+  Alcotest.(check (list int)) "add preds" [ 0; 1 ] (Graph.preds g 2);
+  Alcotest.(check (list int)) "mult preds" [ 2; 3 ] (Graph.preds g 4)
+
+let test_extra_edge () =
+  let b = Builder.create "extra" in
+  let x = Builder.input b "x" in
+  let a = Builder.node b "a" Op.Add [] in
+  Builder.edge b ~src:x ~dst:a;
+  let g = Builder.finish_exn b in
+  Alcotest.(check bool) "edge present" true (Graph.is_edge g ~src:x ~dst:a)
+
+let test_node_with_many_deps () =
+  let b = Builder.create "many" in
+  let xs = List.init 4 (fun i -> Builder.input b (Printf.sprintf "x%d" i)) in
+  let a = Builder.node b "wide" Op.Add xs in
+  let g = Builder.finish_exn b in
+  Alcotest.(check int) "four preds" 4 (List.length (Graph.preds g a))
+
+let test_finish_validates () =
+  let b = Builder.create "bad" in
+  let o = Builder.output b "o" (Builder.input b "x") in
+  let a = Builder.node b "after" Op.Add [] in
+  Builder.edge b ~src:o ~dst:a;
+  match Builder.finish b with
+  | Ok _ -> Alcotest.fail "output with successor should be rejected"
+  | Error _ -> ()
+
+let test_finish_exn_raises () =
+  let b = Builder.create "bad2" in
+  let x = Builder.input b "x" in
+  Builder.edge b ~src:x ~dst:99;
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Builder.finish_exn b);
+       false
+     with Invalid_argument _ -> true)
+
+let test_graph_name () =
+  Alcotest.(check string) "name kept" "small" (Graph.name (small ()))
+
+let () =
+  Alcotest.run "builder"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "ids are sequential" `Quick test_sequential_ids;
+          Alcotest.test_case "kinds as constructed" `Quick test_kinds;
+          Alcotest.test_case "dependencies become edges" `Quick test_dependencies;
+          Alcotest.test_case "explicit extra edge" `Quick test_extra_edge;
+          Alcotest.test_case "n-ary node" `Quick test_node_with_many_deps;
+          Alcotest.test_case "finish validates" `Quick test_finish_validates;
+          Alcotest.test_case "finish_exn raises" `Quick test_finish_exn_raises;
+          Alcotest.test_case "graph keeps builder name" `Quick test_graph_name;
+        ] );
+    ]

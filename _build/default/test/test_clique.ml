@@ -1,0 +1,115 @@
+module Cgraph = Pchls_compat.Cgraph
+module Clique = Pchls_compat.Clique
+
+let partition_t = Alcotest.(list (list int))
+
+let test_empty_graph () =
+  let g = Cgraph.create ~n:0 in
+  Alcotest.check partition_t "empty" [] (Clique.greedy g)
+
+let test_no_edges_all_singletons () =
+  let g = Cgraph.create ~n:3 in
+  Alcotest.check partition_t "singletons" [ [ 0 ]; [ 1 ]; [ 2 ] ] (Clique.greedy g)
+
+let test_positive_pair_merges () =
+  let g = Cgraph.create ~n:3 in
+  Cgraph.add_edge g 0 2 5.;
+  Alcotest.check partition_t "merged" [ [ 0; 2 ]; [ 1 ] ] (Clique.greedy g)
+
+let test_negative_pair_stays_split () =
+  let g = Cgraph.create ~n:2 in
+  Cgraph.add_edge g 0 1 (-1.);
+  Alcotest.check partition_t "not merged" [ [ 0 ]; [ 1 ] ] (Clique.greedy g);
+  Alcotest.check partition_t "merged when asked"
+    [ [ 0; 1 ] ]
+    (Clique.greedy ~merge_nonpositive:true g)
+
+let test_greedy_picks_heaviest_first () =
+  (* 0-1 (1.0), 1-2 (10.0), 0-2 missing: the heavy pair wins; 0 stays alone
+     because {0,1,2} is not a clique. *)
+  let g = Cgraph.create ~n:3 in
+  Cgraph.add_edge g 0 1 1.;
+  Cgraph.add_edge g 1 2 10.;
+  Alcotest.check partition_t "heavy pair" [ [ 0 ]; [ 1; 2 ] ] (Clique.greedy g)
+
+let test_triangle_fully_merges () =
+  let g = Cgraph.create ~n:3 in
+  Cgraph.add_edge g 0 1 1.;
+  Cgraph.add_edge g 1 2 1.;
+  Cgraph.add_edge g 0 2 1.;
+  Alcotest.check partition_t "one clique" [ [ 0; 1; 2 ] ] (Clique.greedy g)
+
+let test_cross_negative_blocks_growth () =
+  (* 0-1 positive, both connect to 2 but with a big negative on one side:
+     cluster weight to {0,1} is 1 + (-10) < 0, so 2 stays out. *)
+  let g = Cgraph.create ~n:3 in
+  Cgraph.add_edge g 0 1 5.;
+  Cgraph.add_edge g 0 2 1.;
+  Cgraph.add_edge g 1 2 (-10.);
+  Alcotest.check partition_t "2 excluded" [ [ 0; 1 ]; [ 2 ] ] (Clique.greedy g)
+
+let test_valid_and_weight () =
+  let g = Cgraph.create ~n:4 in
+  Cgraph.add_edge g 0 1 2.;
+  Cgraph.add_edge g 2 3 3.;
+  let p = Clique.greedy g in
+  Alcotest.(check bool) "valid" true (Clique.is_valid g p);
+  Alcotest.(check (float 1e-9)) "total weight" 5. (Clique.total_weight g p)
+
+let test_is_valid_rejects_bad_partitions () =
+  let g = Cgraph.create ~n:3 in
+  Cgraph.add_edge g 0 1 1.;
+  Alcotest.(check bool) "missing vertex" false (Clique.is_valid g [ [ 0; 1 ] ]);
+  Alcotest.(check bool) "duplicated vertex" false
+    (Clique.is_valid g [ [ 0; 1 ]; [ 1; 2 ] ]);
+  Alcotest.(check bool) "non-clique group" false
+    (Clique.is_valid g [ [ 0; 2 ]; [ 1 ] ])
+
+let test_normalise () =
+  Alcotest.check partition_t "sorted inside and out"
+    [ [ 0; 3 ]; [ 1; 2 ] ]
+    (Clique.normalise [ [ 2; 1 ]; [ 3; 0 ] ])
+
+let test_merge_nonpositive_minimises_cliques () =
+  (* An interval-graph-like structure: 0-1, 1-2 incompatible chain where
+     0 and 2 are compatible with weight 0. *)
+  let g = Cgraph.create ~n:3 in
+  Cgraph.add_edge g 0 2 0.;
+  let p = Clique.greedy ~merge_nonpositive:true g in
+  Alcotest.(check int) "two cliques" 2 (List.length p)
+
+let test_deterministic () =
+  let g = Cgraph.create ~n:6 in
+  List.iter
+    (fun (a, b, w) -> Cgraph.add_edge g a b w)
+    [ (0, 1, 1.); (1, 2, 1.); (0, 2, 1.); (3, 4, 1.); (4, 5, 1.); (3, 5, 1.) ];
+  Alcotest.check partition_t "stable result" (Clique.greedy g) (Clique.greedy g)
+
+let () =
+  Alcotest.run "clique"
+    [
+      ( "greedy",
+        [
+          Alcotest.test_case "empty graph" `Quick test_empty_graph;
+          Alcotest.test_case "edgeless graph gives singletons" `Quick
+            test_no_edges_all_singletons;
+          Alcotest.test_case "positive pair merges" `Quick
+            test_positive_pair_merges;
+          Alcotest.test_case "negative pair stays split" `Quick
+            test_negative_pair_stays_split;
+          Alcotest.test_case "heaviest pair first" `Quick
+            test_greedy_picks_heaviest_first;
+          Alcotest.test_case "triangle fully merges" `Quick
+            test_triangle_fully_merges;
+          Alcotest.test_case "negative cross weight blocks growth" `Quick
+            test_cross_negative_blocks_growth;
+          Alcotest.test_case "valid partition with total weight" `Quick
+            test_valid_and_weight;
+          Alcotest.test_case "is_valid rejects bad partitions" `Quick
+            test_is_valid_rejects_bad_partitions;
+          Alcotest.test_case "normalise" `Quick test_normalise;
+          Alcotest.test_case "merge_nonpositive minimises cliques" `Quick
+            test_merge_nonpositive_minimises_cliques;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+        ] );
+    ]

@@ -1,0 +1,92 @@
+module Control = Pchls_rtl.Control
+module Netlist = Pchls_rtl.Netlist
+module Engine = Pchls_core.Engine
+module Library = Pchls_fulib.Library
+module Graph = Pchls_dfg.Graph
+module B = Pchls_dfg.Benchmarks
+
+let netlist g t p =
+  match Engine.run ~library:Library.default ~time_limit:t ~power_limit:p g with
+  | Engine.Synthesized (d, _) -> Netlist.of_design d
+  | Engine.Infeasible { reason } -> Alcotest.fail reason
+
+let test_words_cover_every_step () =
+  let n = netlist B.hal 17 20. in
+  let w = Control.words n in
+  Alcotest.(check int) "one word per step" n.Netlist.steps (List.length w);
+  List.iteri
+    (fun i (step, _) -> Alcotest.(check int) "steps in order" i step)
+    w
+
+let test_words_strobe_count_matches_ops () =
+  let n = netlist B.hal 17 20. in
+  let total =
+    List.fold_left (fun acc (_, fus) -> acc + List.length fus) 0
+      (Control.words n)
+  in
+  Alcotest.(check int) "one strobe per operation" (Graph.node_count B.hal)
+    total
+
+let test_csv_shape () =
+  let n = netlist B.hal 17 20. in
+  let csv = Control.csv n in
+  let lines = String.split_on_char '\n' csv |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "header + steps" (1 + n.Netlist.steps)
+    (List.length lines);
+  let header = List.hd lines in
+  Alcotest.(check int) "columns = 1 + fus"
+    (1 + List.length n.Netlist.fus)
+    (List.length (String.split_on_char ',' header));
+  (* every data cell is 0 or 1 *)
+  List.iteri
+    (fun i line ->
+      if i > 0 then
+        match String.split_on_char ',' line with
+        | _step :: cells ->
+          List.iter
+            (fun c ->
+              Alcotest.(check bool) "binary cell" true (c = "0" || c = "1"))
+            cells
+        | [] -> Alcotest.fail "empty row")
+    lines
+
+let test_csv_row_sums () =
+  let n = netlist B.hal 17 20. in
+  let csv = Control.csv n in
+  let lines = String.split_on_char '\n' csv |> List.filter (fun l -> l <> "") in
+  let ones =
+    List.fold_left
+      (fun acc line ->
+        match String.split_on_char ',' line with
+        | _ :: cells ->
+          acc + List.length (List.filter (fun c -> c = "1") cells)
+        | [] -> acc)
+      0 (List.tl lines)
+  in
+  Alcotest.(check int) "total ones = operations" (Graph.node_count B.hal) ones
+
+let test_pp_mentions_idle_and_ops () =
+  let n = netlist B.hal 17 20. in
+  let s = Format.asprintf "%a" Control.pp n in
+  let contains needle =
+    let nl = String.length needle and h = String.length s in
+    let rec go i = i + nl <= h && (String.sub s i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions design" true (contains "hal");
+  Alcotest.(check bool) "mentions an op strobe" true (contains "<-op")
+
+let () =
+  Alcotest.run "control"
+    [
+      ( "control",
+        [
+          Alcotest.test_case "words cover every step" `Quick
+            test_words_cover_every_step;
+          Alcotest.test_case "strobes = operations" `Quick
+            test_words_strobe_count_matches_ops;
+          Alcotest.test_case "csv shape" `Quick test_csv_shape;
+          Alcotest.test_case "csv row sums" `Quick test_csv_row_sums;
+          Alcotest.test_case "pp" `Quick test_pp_mentions_idle_and_ops;
+        ] );
+    ]

@@ -1,0 +1,41 @@
+module Cost_model = Pchls_core.Cost_model
+
+let test_default () =
+  Alcotest.(check (float 0.)) "register" 16. Cost_model.default.Cost_model.register_area;
+  Alcotest.(check (float 0.)) "mux input" 4. Cost_model.default.Cost_model.mux_input_area
+
+let test_fu_only () =
+  Alcotest.(check (float 0.)) "register" 0. Cost_model.fu_only.Cost_model.register_area;
+  Alcotest.(check (float 0.)) "mux input" 0. Cost_model.fu_only.Cost_model.mux_input_area
+
+let test_make_valid () =
+  match Cost_model.make ~register_area:8. ~mux_input_area:2. with
+  | Ok cm ->
+    Alcotest.(check (float 0.)) "register" 8. cm.Cost_model.register_area
+  | Error e -> Alcotest.fail e
+
+let test_make_invalid () =
+  (match Cost_model.make ~register_area:(-1.) ~mux_input_area:2. with
+  | Ok _ -> Alcotest.fail "negative register area accepted"
+  | Error _ -> ());
+  match Cost_model.make ~register_area:1. ~mux_input_area:(-2.) with
+  | Ok _ -> Alcotest.fail "negative mux area accepted"
+  | Error _ -> ()
+
+let test_pp () =
+  let s = Format.asprintf "%a" Cost_model.pp Cost_model.default in
+  Alcotest.(check bool) "mentions both knobs" true
+    (String.length s > 0 && String.contains s '1' && String.contains s '4')
+
+let () =
+  Alcotest.run "cost_model"
+    [
+      ( "cost_model",
+        [
+          Alcotest.test_case "default values" `Quick test_default;
+          Alcotest.test_case "fu_only zeroes knobs" `Quick test_fu_only;
+          Alcotest.test_case "make validates" `Quick test_make_valid;
+          Alcotest.test_case "make rejects negatives" `Quick test_make_invalid;
+          Alcotest.test_case "pp" `Quick test_pp;
+        ] );
+    ]

@@ -1,0 +1,249 @@
+module H = Test_helpers
+module Design = Pchls_core.Design
+module Cost_model = Pchls_core.Cost_model
+module Library = Pchls_fulib.Library
+module Module_spec = Pchls_fulib.Module_spec
+module Graph = Pchls_dfg.Graph
+module Schedule = Pchls_sched.Schedule
+module Profile = Pchls_power.Profile
+
+let spec name = Library.find_exn Library.default name
+
+(* Hand binding for chain3: input@0, add@1, output@2, each on its own FU. *)
+let chain_design ?(cost_model = Cost_model.default) () =
+  Design.assemble ~cost_model ~graph:(H.chain3 ()) ~time_limit:5
+    ~power_limit:10.
+    ~instances:
+      [
+        (spec "input", [ (0, 0) ]);
+        (spec "add", [ (1, 1) ]);
+        (spec "output", [ (2, 2) ]);
+      ]
+
+let ok = function
+  | Ok d -> d
+  | Error e -> Alcotest.fail e
+
+let err what = function
+  | Ok _ -> Alcotest.fail ("expected error: " ^ what)
+  | Error _ -> ()
+
+let test_assemble_valid () =
+  let d = ok (chain_design ()) in
+  Alcotest.(check int) "3 instances" 3 (List.length (Design.instances d));
+  Alcotest.(check int) "makespan" 3 (Design.makespan d);
+  Alcotest.(check int) "time limit" 5 (Design.time_limit d)
+
+let test_area_breakdown () =
+  let d = ok (chain_design ()) in
+  let a = Design.area d in
+  (* FU: 16 + 87 + 16 = 119. The input's value lives [1,1] and the add's
+     value [2,2]: disjoint, so left-edge shares one register (16), which is
+     then written by two instances: one extra mux input (4). *)
+  Alcotest.(check (float 1e-9)) "fu" 119. a.Design.fu;
+  Alcotest.(check (float 1e-9)) "registers" 16. a.Design.registers;
+  Alcotest.(check (float 1e-9)) "mux" 4. a.Design.mux;
+  Alcotest.(check (float 1e-9)) "total" 139. a.Design.total
+
+let test_cost_model_respected () =
+  let cm =
+    match Cost_model.make ~register_area:100. ~mux_input_area:0. with
+    | Ok cm -> cm
+    | Error e -> Alcotest.fail e
+  in
+  let d = ok (chain_design ~cost_model:cm ()) in
+  Alcotest.(check (float 1e-9)) "the shared register costs 100" 100.
+    (Design.area d).Design.registers
+
+let test_instance_of_and_info () =
+  let d = ok (chain_design ()) in
+  let inst = Design.instance_of d 1 in
+  Alcotest.(check string) "add hosts op 1" "add"
+    inst.Design.spec.Module_spec.name;
+  let i = Design.info d 1 in
+  Alcotest.(check int) "latency" 1 i.Schedule.latency;
+  Alcotest.(check (float 0.)) "power" 2.5 i.Schedule.power
+
+let test_profile () =
+  let d = ok (chain_design ()) in
+  let p = Design.profile d in
+  Alcotest.(check int) "horizon = T" 5 (Profile.horizon p);
+  Alcotest.(check (float 1e-9)) "cycle1 = add power" 2.5 (Profile.get p 1)
+
+let test_rejects_double_binding () =
+  err "double binding"
+    (Design.assemble ~cost_model:Cost_model.default ~graph:(H.chain3 ())
+       ~time_limit:5 ~power_limit:10.
+       ~instances:
+         [
+           (spec "input", [ (0, 0) ]);
+           (spec "add", [ (1, 1); (1, 2) ]);
+           (spec "output", [ (2, 2) ]);
+         ])
+
+let test_rejects_unbound_op () =
+  err "unbound op"
+    (Design.assemble ~cost_model:Cost_model.default ~graph:(H.chain3 ())
+       ~time_limit:5 ~power_limit:10.
+       ~instances:[ (spec "input", [ (0, 0) ]); (spec "add", [ (1, 1) ]) ])
+
+let test_rejects_wrong_module_kind () =
+  err "add on multiplier"
+    (Design.assemble ~cost_model:Cost_model.default ~graph:(H.chain3 ())
+       ~time_limit:5 ~power_limit:10.
+       ~instances:
+         [
+           (spec "input", [ (0, 0) ]);
+           (spec "mult_ser", [ (1, 1) ]);
+           (spec "output", [ (2, 2) ]);
+         ])
+
+let test_rejects_overlap_on_instance () =
+  (* Two inputs on one transfer unit in the same cycle. *)
+  let g =
+    Graph.create_exn ~name:"two_inputs"
+      ~nodes:
+        [
+          { Graph.id = 0; name = "i0"; kind = Pchls_dfg.Op.Input };
+          { Graph.id = 1; name = "i1"; kind = Pchls_dfg.Op.Input };
+        ]
+      ~edges:[]
+  in
+  err "overlap"
+    (Design.assemble ~cost_model:Cost_model.default ~graph:g ~time_limit:3
+       ~power_limit:10.
+       ~instances:[ (spec "input", [ (0, 0); (1, 0) ]) ])
+
+let test_rejects_precedence_violation () =
+  err "precedence"
+    (Design.assemble ~cost_model:Cost_model.default ~graph:(H.chain3 ())
+       ~time_limit:5 ~power_limit:10.
+       ~instances:
+         [
+           (spec "input", [ (0, 0) ]);
+           (spec "add", [ (1, 0) ]);
+           (spec "output", [ (2, 2) ]);
+         ])
+
+let test_rejects_time_limit_violation () =
+  err "latency"
+    (Design.assemble ~cost_model:Cost_model.default ~graph:(H.chain3 ())
+       ~time_limit:2 ~power_limit:10.
+       ~instances:
+         [
+           (spec "input", [ (0, 0) ]);
+           (spec "add", [ (1, 1) ]);
+           (spec "output", [ (2, 2) ]);
+         ])
+
+let test_rejects_power_violation () =
+  err "power"
+    (Design.assemble ~cost_model:Cost_model.default ~graph:(H.chain3 ())
+       ~time_limit:5 ~power_limit:2.
+       ~instances:
+         [
+           (spec "input", [ (0, 0) ]);
+           (spec "add", [ (1, 1) ]);
+           (spec "output", [ (2, 2) ]);
+         ])
+
+let test_rejects_unknown_op () =
+  err "unknown op"
+    (Design.assemble ~cost_model:Cost_model.default ~graph:(H.chain3 ())
+       ~time_limit:5 ~power_limit:10.
+       ~instances:
+         [
+           (spec "input", [ (0, 0); (99, 3) ]);
+           (spec "add", [ (1, 1) ]);
+           (spec "output", [ (2, 2) ]);
+         ])
+
+let test_shared_instance_allowed () =
+  (* Two inputs sharing one transfer unit at different cycles. *)
+  let g =
+    Graph.create_exn ~name:"two_inputs"
+      ~nodes:
+        [
+          { Graph.id = 0; name = "i0"; kind = Pchls_dfg.Op.Input };
+          { Graph.id = 1; name = "i1"; kind = Pchls_dfg.Op.Input };
+        ]
+      ~edges:[]
+  in
+  let d =
+    ok
+      (Design.assemble ~cost_model:Cost_model.default ~graph:g ~time_limit:3
+         ~power_limit:10.
+         ~instances:[ (spec "input", [ (0, 0); (1, 1) ]) ])
+  in
+  Alcotest.(check int) "one instance" 1 (List.length (Design.instances d));
+  Alcotest.(check (float 1e-9)) "fu area 16" 16. (Design.area d).Design.fu
+
+let test_energy () =
+  let d = ok (chain_design ()) in
+  (* input 0.2x1 + add 2.5x1 + output 1.7x1 *)
+  Alcotest.(check (float 1e-9)) "energy" 4.4 (Design.energy d);
+  let breakdown = Design.energy_breakdown d in
+  Alcotest.(check int) "one entry per instance" 3 (List.length breakdown);
+  Alcotest.(check (float 1e-9)) "breakdown sums to energy" 4.4
+    (List.fold_left (fun acc (_, e) -> acc +. e) 0. breakdown)
+
+let test_energy_multicycle () =
+  (* A serial multiplier draws 2.7 for 4 cycles: energy 10.8 per use. *)
+  let g =
+    Graph.create_exn ~name:"m"
+      ~nodes:
+        [
+          { Graph.id = 0; name = "i"; kind = Pchls_dfg.Op.Input };
+          { Graph.id = 1; name = "m"; kind = Pchls_dfg.Op.Mult };
+        ]
+      ~edges:[ (0, 1) ]
+  in
+  let d =
+    ok
+      (Design.assemble ~cost_model:Cost_model.default ~graph:g ~time_limit:6
+         ~power_limit:10.
+         ~instances:
+           [ (spec "input", [ (0, 0) ]); (spec "mult_ser", [ (1, 1) ]) ])
+  in
+  Alcotest.(check (float 1e-9)) "0.2 + 10.8" 11. (Design.energy d)
+
+let test_pp_smoke () =
+  let d = ok (chain_design ()) in
+  let s = Format.asprintf "%a" Design.pp d in
+  Alcotest.(check bool) "mentions design" true (String.length s > 20)
+
+let () =
+  Alcotest.run "design"
+    [
+      ( "assemble",
+        [
+          Alcotest.test_case "valid design" `Quick test_assemble_valid;
+          Alcotest.test_case "area breakdown" `Quick test_area_breakdown;
+          Alcotest.test_case "cost model respected" `Quick
+            test_cost_model_respected;
+          Alcotest.test_case "instance_of and info" `Quick
+            test_instance_of_and_info;
+          Alcotest.test_case "profile" `Quick test_profile;
+          Alcotest.test_case "shared instance allowed" `Quick
+            test_shared_instance_allowed;
+          Alcotest.test_case "energy" `Quick test_energy;
+          Alcotest.test_case "energy of multi-cycle op" `Quick
+            test_energy_multicycle;
+          Alcotest.test_case "pp" `Quick test_pp_smoke;
+        ] );
+      ( "rejection",
+        [
+          Alcotest.test_case "double binding" `Quick test_rejects_double_binding;
+          Alcotest.test_case "unbound op" `Quick test_rejects_unbound_op;
+          Alcotest.test_case "wrong module kind" `Quick
+            test_rejects_wrong_module_kind;
+          Alcotest.test_case "overlap on instance" `Quick
+            test_rejects_overlap_on_instance;
+          Alcotest.test_case "precedence violation" `Quick
+            test_rejects_precedence_violation;
+          Alcotest.test_case "time-limit violation" `Quick
+            test_rejects_time_limit_violation;
+          Alcotest.test_case "power violation" `Quick test_rejects_power_violation;
+          Alcotest.test_case "unknown op" `Quick test_rejects_unknown_op;
+        ] );
+    ]

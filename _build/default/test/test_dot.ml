@@ -1,0 +1,69 @@
+module Dot = Pchls_dfg.Dot
+module Benchmarks = Pchls_dfg.Benchmarks
+module Graph = Pchls_dfg.Graph
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_header_and_footer () =
+  let s = Dot.to_string Benchmarks.hal in
+  Alcotest.(check bool) "digraph" true (contains ~needle:"digraph \"hal\"" s);
+  Alcotest.(check bool) "closing brace" true
+    (String.length s > 0 && s.[String.length s - 2] = '}')
+
+let test_every_node_and_edge_present () =
+  let g = Benchmarks.hal in
+  let s = Dot.to_string g in
+  List.iter
+    (fun node ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d" node.Graph.id)
+        true
+        (contains ~needle:(Printf.sprintf "n%d [" node.Graph.id) s))
+    (Graph.nodes g);
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "edge %d->%d" a b)
+        true
+        (contains ~needle:(Printf.sprintf "n%d -> n%d;" a b) s))
+    (Graph.edges g)
+
+let test_annotation () =
+  let s =
+    Dot.to_string
+      ~annotate:(fun id -> if id = 0 then Some "t=0" else None)
+      Benchmarks.hal
+  in
+  Alcotest.(check bool) "annotation present" true (contains ~needle:"t=0" s)
+
+let test_escaping () =
+  let g =
+    Graph.create_exn ~name:"quo\"te"
+      ~nodes:[ { Graph.id = 0; name = "a\"b"; kind = Pchls_dfg.Op.Add } ]
+      ~edges:[]
+  in
+  let s = Dot.to_string g in
+  Alcotest.(check bool) "label escaped" true (contains ~needle:"a\\\"b" s)
+
+let test_shapes_by_kind () =
+  let s = Dot.to_string Benchmarks.hal in
+  Alcotest.(check bool) "inputs" true (contains ~needle:"invtriangle" s);
+  Alcotest.(check bool) "outputs" true (contains ~needle:"triangle" s);
+  Alcotest.(check bool) "mults" true (contains ~needle:"doublecircle" s)
+
+let () =
+  Alcotest.run "dot"
+    [
+      ( "dot",
+        [
+          Alcotest.test_case "header and footer" `Quick test_header_and_footer;
+          Alcotest.test_case "all nodes and edges rendered" `Quick
+            test_every_node_and_edge_present;
+          Alcotest.test_case "annotations appended" `Quick test_annotation;
+          Alcotest.test_case "quotes escaped" `Quick test_escaping;
+          Alcotest.test_case "kind-specific shapes" `Quick test_shapes_by_kind;
+        ] );
+    ]

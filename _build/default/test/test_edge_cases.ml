@@ -1,0 +1,138 @@
+(* Degenerate and tiny designs pushed through the entire pipeline: engine,
+   register allocation, netlist, all RTL emitters, VCD, Gantt, report and
+   simulation. Exercises empty-register, single-node and chain-only paths. *)
+
+module Engine = Pchls_core.Engine
+module Design = Pchls_core.Design
+module Library = Pchls_fulib.Library
+module Graph = Pchls_dfg.Graph
+module Op = Pchls_dfg.Op
+
+let design g t p =
+  match Engine.run ~library:Library.default ~time_limit:t ~power_limit:p g with
+  | Engine.Synthesized (d, _) -> d
+  | Engine.Infeasible { reason } -> Alcotest.fail reason
+
+let single_input =
+  Graph.create_exn ~name:"lone"
+    ~nodes:[ { Graph.id = 0; name = "x"; kind = Op.Input } ]
+    ~edges:[]
+
+let wire =
+  Graph.create_exn ~name:"wire"
+    ~nodes:
+      [
+        { Graph.id = 0; name = "x"; kind = Op.Input };
+        { Graph.id = 1; name = "y"; kind = Op.Output };
+      ]
+    ~edges:[ (0, 1) ]
+
+let full_pipeline d =
+  let n = Pchls_rtl.Netlist.of_design d in
+  ignore (Pchls_rtl.Vhdl.emit n);
+  ignore (Pchls_rtl.Verilog.emit n);
+  ignore (Pchls_rtl.Testbench.verilog n);
+  ignore (Pchls_rtl.Testbench.vhdl n);
+  ignore (Pchls_rtl.Control.csv n);
+  ignore (Pchls_rtl.Vcd.of_design d);
+  ignore (Pchls_rtl.Verilog_functional.emit d);
+  ignore (Pchls_core.Gantt.render d);
+  ignore (Pchls_core.Report.csv d);
+  ignore (Pchls_core.Report.summary_csv d)
+
+let test_single_input_node () =
+  let d = design single_input 2 5. in
+  Alcotest.(check int) "one instance" 1 (List.length (Design.instances d));
+  Alcotest.(check int) "no registers (value unused)" 0 (Design.register_count d);
+  full_pipeline d
+
+let test_wire_design () =
+  let d = design wire 3 5. in
+  Alcotest.(check int) "one register" 1 (Design.register_count d);
+  full_pipeline d;
+  (* the wire forwards its input *)
+  match Pchls_core.Simulate.run d ~inputs:[ ("x", 42.) ] with
+  | Ok v ->
+    Alcotest.(check (float 0.)) "forwarded" 42.
+      (List.assoc "y" v.Pchls_core.Simulate.outputs)
+  | Error f ->
+    Alcotest.fail (Format.asprintf "%a" Pchls_core.Simulate.pp_failure f)
+
+let test_minimal_time_limit () =
+  (* T exactly equals the critical path: zero slack everywhere. *)
+  let d = design wire 2 5. in
+  Alcotest.(check int) "makespan = 2" 2 (Design.makespan d);
+  full_pipeline d
+
+let test_exact_power_boundary () =
+  (* Power limit exactly equal to the sum of the only feasible overlap. *)
+  let g = Pchls_dfg.Benchmarks.iir_biquad in
+  let d = design g 40 2.7 in
+  (* 2.7 admits one serial multiplier at a time and rules out everything
+     running beside it; input transfers (0.2) beside nothing. *)
+  Alcotest.(check bool) "peak within limit" true
+    (Pchls_power.Profile.peak (Design.profile d) <= 2.7 +. 1e-9);
+  full_pipeline d
+
+let test_single_instance_cap_one_everything () =
+  (* Force everything onto minimal hardware: one of each module type. *)
+  let g = Pchls_dfg.Benchmarks.haar8 in
+  match
+    Engine.run
+      ~max_instances:
+        [ ("add", 1); ("sub", 1); ("ALU", 1); ("mult_ser", 1); ("mult_par", 0);
+          ("input", 1); ("output", 1); ("comp", 1) ]
+      ~library:Library.default ~time_limit:60 ~power_limit:20. g
+  with
+  | Engine.Synthesized (d, _) ->
+    List.iter
+      (fun (i : Design.instance) -> ignore i.Design.spec)
+      (Design.instances d);
+    full_pipeline d
+  | Engine.Infeasible { reason } ->
+    (* acceptable: caps may be too tight; but the reason must say so *)
+    Alcotest.(check bool) "clear reason" true (String.length reason > 10)
+
+let test_gantt_empty_design () =
+  let g = Graph.create_exn ~name:"none" ~nodes:[] ~edges:[] in
+  let d = design g 1 5. in
+  let s = Pchls_core.Gantt.render d in
+  Alcotest.(check bool) "renders header" true (String.length s > 0)
+
+let test_two_step_on_wire () =
+  let info _ = { Pchls_sched.Schedule.latency = 1; power = 1. } in
+  match Pchls_sched.Two_step.run wire ~info ~horizon:2 ~power_limit:1. with
+  | Pchls_sched.Pasap.Feasible s ->
+    Alcotest.(check int) "sequential" 2
+      (Pchls_sched.Schedule.makespan s ~info)
+  | Pchls_sched.Pasap.Infeasible { reason; _ } -> Alcotest.fail reason
+
+let test_fds_single_node () =
+  let info _ = { Pchls_sched.Schedule.latency = 1; power = 1. } in
+  match
+    Pchls_sched.Force_directed.run single_input ~info
+      ~class_of:(fun _ -> "io")
+      ~horizon:3 ()
+  with
+  | Pchls_sched.Pasap.Feasible s ->
+    Alcotest.(check int) "scheduled" 1 (Pchls_sched.Schedule.cardinal s)
+  | Pchls_sched.Pasap.Infeasible { reason; _ } -> Alcotest.fail reason
+
+let () =
+  Alcotest.run "edge_cases"
+    [
+      ( "edge_cases",
+        [
+          Alcotest.test_case "single input node" `Quick test_single_input_node;
+          Alcotest.test_case "wire design" `Quick test_wire_design;
+          Alcotest.test_case "minimal time limit" `Quick test_minimal_time_limit;
+          Alcotest.test_case "exact power boundary" `Quick
+            test_exact_power_boundary;
+          Alcotest.test_case "cap one of everything" `Quick
+            test_single_instance_cap_one_everything;
+          Alcotest.test_case "gantt of empty design" `Quick
+            test_gantt_empty_design;
+          Alcotest.test_case "two-step on a wire" `Quick test_two_step_on_wire;
+          Alcotest.test_case "fds on a single node" `Quick test_fds_single_node;
+        ] );
+    ]

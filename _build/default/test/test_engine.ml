@@ -1,0 +1,296 @@
+module H = Test_helpers
+module Engine = Pchls_core.Engine
+module Design = Pchls_core.Design
+module Cost_model = Pchls_core.Cost_model
+module Library = Pchls_fulib.Library
+module Module_spec = Pchls_fulib.Module_spec
+module Graph = Pchls_dfg.Graph
+module Op = Pchls_dfg.Op
+module Schedule = Pchls_sched.Schedule
+module Profile = Pchls_power.Profile
+module B = Pchls_dfg.Benchmarks
+
+let lib = Library.default
+
+let synth ?cost_model ?policy ~t ?p g =
+  match Engine.run ?cost_model ?policy ~library:lib ~time_limit:t ?power_limit:p g with
+  | Engine.Synthesized (d, s) -> (d, s)
+  | Engine.Infeasible { reason } -> Alcotest.fail ("infeasible: " ^ reason)
+
+let infeasible ?policy ~t ?p g =
+  match Engine.run ?policy ~library:lib ~time_limit:t ?power_limit:p g with
+  | Engine.Synthesized _ -> Alcotest.fail "expected infeasible"
+  | Engine.Infeasible { reason } -> reason
+
+(* Every synthesized design is already validated by Design.assemble; these
+   checks re-state the user-facing contract. *)
+let check_design g d ~t ~p =
+  Alcotest.(check bool) "makespan within T" true (Design.makespan d <= t);
+  Alcotest.(check bool) "peak within P" true
+    (Profile.peak (Design.profile d) <= p +. Profile.eps);
+  Alcotest.(check int) "all ops bound" (Graph.node_count g)
+    (List.fold_left
+       (fun acc i -> acc + List.length i.Design.ops)
+       0 (Design.instances d))
+
+let test_chain_minimal () =
+  let g = H.chain3 () in
+  let d, stats = synth ~t:5 ~p:10. g in
+  check_design g d ~t:5 ~p:10.;
+  Alcotest.(check int) "three decisions" 3 stats.Engine.decisions;
+  (* three different kinds: no sharing possible *)
+  Alcotest.(check int) "three instances" 3 (List.length (Design.instances d))
+
+let test_sharing_two_adds () =
+  (* fork4 has 7 adds; with a loose T they share one adder. *)
+  let g = H.fork4 () in
+  let d, _ = synth ~t:20 ~p:100. g in
+  let adders =
+    List.filter
+      (fun i -> Module_spec.implements i.Design.spec Op.Add)
+      (Design.instances d)
+  in
+  Alcotest.(check int) "one shared adder" 1 (List.length adders)
+
+let test_tight_time_forces_more_adders () =
+  let g = H.fork4 () in
+  (* critical path is 5 (in + 3 tree levels + out); at T=5 the four parallel
+     adds cannot share one unit. *)
+  let d5, _ = synth ~t:5 ~p:1000. g in
+  let d20, _ = synth ~t:20 ~p:1000. g in
+  let adders d =
+    List.length
+      (List.filter
+         (fun i -> Module_spec.implements i.Design.spec Op.Add)
+         (Design.instances d))
+  in
+  Alcotest.(check bool) "tight T needs more adders" true (adders d5 > adders d20)
+
+let test_hal_t10_needs_parallel_mult () =
+  (* Serial-mult critical path is 12 > 10, so T=10 must allocate at least
+     one parallel multiplier (upgrades > 0). *)
+  let d, stats = synth ~t:10 ~p:100. B.hal in
+  check_design B.hal d ~t:10 ~p:100.;
+  Alcotest.(check bool) "upgrades happened" true (stats.Engine.default_upgrades > 0);
+  let has_par =
+    List.exists
+      (fun i -> i.Design.spec.Module_spec.name = "mult_par")
+      (Design.instances d)
+  in
+  Alcotest.(check bool) "parallel multiplier present" true has_par
+
+let test_hal_t17_serial_only () =
+  (* At T=17 the serial-mult critical path (12) fits: no upgrade needed. *)
+  let d, stats = synth ~t:17 ~p:100. B.hal in
+  Alcotest.(check int) "no upgrades" 0 stats.Engine.default_upgrades;
+  let has_par =
+    List.exists
+      (fun i -> i.Design.spec.Module_spec.name = "mult_par")
+      (Design.instances d)
+  in
+  Alcotest.(check bool) "serial multipliers suffice" false has_par
+
+let test_power_constraint_enforced () =
+  let p = 8. in
+  let d, _ = synth ~t:17 ~p B.hal in
+  check_design B.hal d ~t:17 ~p
+
+let test_infeasible_time () =
+  (* T=3 cannot fit hal's critical path even with the fastest modules. *)
+  let reason = infeasible ~t:3 ~p:1000. B.hal in
+  Alcotest.(check bool) "has reason" true (String.length reason > 0)
+
+let test_infeasible_power () =
+  (* No input module draws less than 0.2; a limit of 0.1 kills any graph. *)
+  let reason = infeasible ~t:100 ~p:0.1 B.hal in
+  Alcotest.(check bool) "has reason" true (String.length reason > 0)
+
+let test_all_benchmarks_unconstrained () =
+  List.iter
+    (fun (name, g) ->
+      let info = H.table1_info () g in
+      let cp =
+        Graph.critical_path g ~latency:(fun id -> (info id).Schedule.latency)
+      in
+      let d, _ = synth ~t:(cp * 2) g in
+      check_design g d ~t:(cp * 2) ~p:infinity;
+      ignore name)
+    B.all
+
+let test_paper_operating_points () =
+  (* The six Figure 2 series at a comfortably feasible power point. *)
+  List.iter
+    (fun (g, t) ->
+      let d, _ = synth ~t ~p:50. g in
+      check_design g d ~t ~p:50.)
+    [
+      (B.hal, 10); (B.hal, 17); (B.cosine, 12); (B.cosine, 15); (B.cosine, 19);
+      (B.elliptic, 22);
+    ]
+
+let test_area_decreases_with_time_budget () =
+  (* More slack -> more sharing -> no more area. *)
+  let area t =
+    let d, _ = synth ~t ~p:1000. B.hal in
+    (Design.area d).Design.total
+  in
+  Alcotest.(check bool) "T=30 no larger than T=10" true (area 30 <= area 10)
+
+let test_policies_differ_or_agree_but_valid () =
+  List.iter
+    (fun policy ->
+      let d, _ = synth ~policy ~t:17 ~p:20. B.hal in
+      check_design B.hal d ~t:17 ~p:20.)
+    [ Engine.Min_power; Engine.Min_area; Engine.Min_latency ]
+
+let test_cost_model_changes_area () =
+  let d_default, _ = synth ~t:17 ~p:50. B.hal in
+  let d_fu, _ = synth ~cost_model:Cost_model.fu_only ~t:17 ~p:50. B.hal in
+  Alcotest.(check (float 1e-9)) "fu_only has no reg/mux area" 0.
+    ((Design.area d_fu).Design.registers +. (Design.area d_fu).Design.mux);
+  Alcotest.(check bool) "default prices registers" true
+    ((Design.area d_default).Design.registers > 0.)
+
+let test_deterministic () =
+  let run () =
+    let d, _ = synth ~t:19 ~p:20. B.cosine in
+    ( (Design.area d).Design.total,
+      List.map
+        (fun i -> (i.Design.spec.Module_spec.name, i.Design.ops))
+        (Design.instances d) )
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical designs" true (a = b)
+
+let test_invalid_arguments () =
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "t=0" true
+    (raises (fun () -> Engine.run ~library:lib ~time_limit:0 B.hal));
+  Alcotest.(check bool) "p<=0" true
+    (raises (fun () ->
+         Engine.run ~library:lib ~time_limit:5 ~power_limit:0. B.hal));
+  let tiny =
+    Library.of_list_exn
+      [
+        Module_spec.make_exn ~name:"add" ~ops:[ Op.Add ] ~area:1. ~latency:1
+          ~power:1.;
+      ]
+  in
+  Alcotest.(check bool) "uncovered kind" true
+    (raises (fun () -> Engine.run ~library:tiny ~time_limit:50 B.hal))
+
+let test_empty_graph () =
+  let g = Graph.create_exn ~name:"nothing" ~nodes:[] ~edges:[] in
+  let d, stats = synth ~t:1 g in
+  Alcotest.(check int) "no instances" 0 (List.length (Design.instances d));
+  Alcotest.(check int) "no decisions" 0 stats.Engine.decisions
+
+let test_stats_consistency () =
+  let _, s = synth ~t:19 ~p:20. B.cosine in
+  Alcotest.(check int) "decision breakdown sums"
+    s.Engine.decisions
+    (s.Engine.merges + s.Engine.retype_merges + s.Engine.new_instances);
+  Alcotest.(check int) "one decision per op" (Graph.node_count B.cosine)
+    s.Engine.decisions
+
+let count_spec d name =
+  List.length
+    (List.filter
+       (fun i -> i.Design.spec.Module_spec.name = name)
+       (Design.instances d))
+
+let test_instance_caps_respected () =
+  (* Unconstrained, hal T=17 uses two serial multipliers; cap it to one. *)
+  let d, _ =
+    match
+      Engine.run ~max_instances:[ ("mult_ser", 1) ] ~library:lib
+        ~time_limit:30 ~power_limit:50. B.hal
+    with
+    | Engine.Synthesized (d, s) -> (d, s)
+    | Engine.Infeasible { reason } -> Alcotest.fail reason
+  in
+  Alcotest.(check bool) "at most one mult_ser" true
+    (count_spec d "mult_ser" <= 1);
+  check_design B.hal d ~t:30 ~p:50.
+
+let test_instance_caps_can_be_infeasible () =
+  (* No multiplier of either kind allowed: hal cannot bind its mults. *)
+  match
+    Engine.run
+      ~max_instances:[ ("mult_ser", 0); ("mult_par", 0) ]
+      ~library:lib ~time_limit:30 ~power_limit:50. B.hal
+  with
+  | Engine.Synthesized _ -> Alcotest.fail "mults have nowhere to run"
+  | Engine.Infeasible { reason } ->
+    Alcotest.(check bool) "explains the cap" true (String.length reason > 10)
+
+let test_instance_caps_validation () =
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "negative cap" true
+    (raises (fun () ->
+         Engine.run ~max_instances:[ ("add", -1) ] ~library:lib ~time_limit:9
+           B.hal));
+  Alcotest.(check bool) "unknown module" true
+    (raises (fun () ->
+         Engine.run ~max_instances:[ ("frobnicator", 1) ] ~library:lib
+           ~time_limit:9 B.hal))
+
+let test_retype_builds_alu () =
+  (* two_chains has adds and subs with heavy slack: merging them into one
+     ALU is cheaper than an adder plus a subtracter. *)
+  let g = H.two_chains () in
+  let d, _ = synth ~t:20 ~p:100. g in
+  let names =
+    List.map (fun i -> i.Design.spec.Module_spec.name) (Design.instances d)
+  in
+  Alcotest.(check bool) "ALU allocated" true (List.mem "ALU" names)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "minimal chain" `Quick test_chain_minimal;
+          Alcotest.test_case "adds share one adder" `Quick test_sharing_two_adds;
+          Alcotest.test_case "tight T forces more adders" `Quick
+            test_tight_time_forces_more_adders;
+          Alcotest.test_case "empty graph" `Quick test_empty_graph;
+          Alcotest.test_case "stats consistent" `Quick test_stats_consistency;
+          Alcotest.test_case "retype merge builds an ALU" `Quick
+            test_retype_builds_alu;
+          Alcotest.test_case "instance caps respected" `Quick
+            test_instance_caps_respected;
+          Alcotest.test_case "instance caps can be infeasible" `Quick
+            test_instance_caps_can_be_infeasible;
+          Alcotest.test_case "instance caps validated" `Quick
+            test_instance_caps_validation;
+        ] );
+      ( "constraints",
+        [
+          Alcotest.test_case "hal T=10 needs mult_par" `Quick
+            test_hal_t10_needs_parallel_mult;
+          Alcotest.test_case "hal T=17 stays serial" `Quick
+            test_hal_t17_serial_only;
+          Alcotest.test_case "power constraint enforced" `Quick
+            test_power_constraint_enforced;
+          Alcotest.test_case "impossible T infeasible" `Quick test_infeasible_time;
+          Alcotest.test_case "impossible P infeasible" `Quick
+            test_infeasible_power;
+          Alcotest.test_case "invalid arguments rejected" `Quick
+            test_invalid_arguments;
+        ] );
+      ( "quality",
+        [
+          Alcotest.test_case "all benchmarks, unconstrained" `Quick
+            test_all_benchmarks_unconstrained;
+          Alcotest.test_case "paper operating points" `Quick
+            test_paper_operating_points;
+          Alcotest.test_case "area monotone-ish in T" `Quick
+            test_area_decreases_with_time_budget;
+          Alcotest.test_case "all policies give valid designs" `Quick
+            test_policies_differ_or_agree_but_valid;
+          Alcotest.test_case "cost model changes area" `Quick
+            test_cost_model_changes_area;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+        ] );
+    ]

@@ -1,0 +1,125 @@
+module Cgraph = Pchls_compat.Cgraph
+module Clique = Pchls_compat.Clique
+module Exact = Pchls_compat.Exact
+
+let partition_t = Alcotest.(list (list int))
+
+let some = function
+  | Some p -> p
+  | None -> Alcotest.fail "expected a partition"
+
+let test_empty () =
+  let g = Cgraph.create ~n:0 in
+  Alcotest.check partition_t "empty" []
+    (some (Exact.partition ~objective:Exact.Max_weight g))
+
+let test_size_guard () =
+  let g = Cgraph.create ~n:25 in
+  Alcotest.(check bool) "too large" true
+    (Exact.partition ~objective:Exact.Max_weight g = None);
+  Alcotest.(check bool) "explicit cap" true
+    (Exact.partition ~max_vertices:30 ~objective:Exact.Max_weight g <> None)
+
+let test_max_weight_simple () =
+  let g = Cgraph.create ~n:3 in
+  Cgraph.add_edge g 0 1 2.;
+  Cgraph.add_edge g 1 2 3.;
+  (* 0-2 incompatible: best is {1,2} + {0} with weight 3. *)
+  let p = some (Exact.partition ~objective:Exact.Max_weight g) in
+  Alcotest.(check bool) "valid" true (Clique.is_valid g p);
+  Alcotest.(check (float 1e-9)) "weight 3" 3. (Clique.total_weight g p)
+
+let test_max_weight_skips_negative () =
+  let g = Cgraph.create ~n:2 in
+  Cgraph.add_edge g 0 1 (-5.);
+  let p = some (Exact.partition ~objective:Exact.Max_weight g) in
+  Alcotest.(check (float 1e-9)) "keeps zero" 0. (Clique.total_weight g p)
+
+let test_max_weight_mixed_signs () =
+  (* Triangle where taking all three is worse than the best pair:
+     w(0,1)=5, w(1,2)=4, w(0,2)=-8; best = {0,1},{2} with 5. *)
+  let g = Cgraph.create ~n:3 in
+  Cgraph.add_edge g 0 1 5.;
+  Cgraph.add_edge g 1 2 4.;
+  Cgraph.add_edge g 0 2 (-8.);
+  let p = some (Exact.partition ~objective:Exact.Max_weight g) in
+  Alcotest.(check (float 1e-9)) "weight 5" 5. (Clique.total_weight g p);
+  Alcotest.check partition_t "pair and singleton" [ [ 0; 1 ]; [ 2 ] ] p
+
+let test_min_cliques () =
+  (* Path 0-1-2-3: min clique cover is 2. *)
+  let g = Cgraph.create ~n:4 in
+  Cgraph.add_edge g 0 1 0.;
+  Cgraph.add_edge g 1 2 0.;
+  Cgraph.add_edge g 2 3 0.;
+  let p = some (Exact.partition ~objective:Exact.Min_cliques g) in
+  Alcotest.(check bool) "valid" true (Clique.is_valid g p);
+  Alcotest.(check int) "two cliques" 2 (List.length p)
+
+let test_min_cliques_complete_graph () =
+  let n = 6 in
+  let g = Cgraph.create ~n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      Cgraph.add_edge g u v 1.
+    done
+  done;
+  let p = some (Exact.partition ~objective:Exact.Min_cliques g) in
+  Alcotest.(check int) "single clique" 1 (List.length p)
+
+(* Exhaustive cross-check: exact >= greedy on random graphs. *)
+let test_exact_dominates_greedy () =
+  let rng = Random.State.make [| 7 |] in
+  for _trial = 1 to 25 do
+    let n = 4 + Random.State.int rng 5 in
+    let g = Cgraph.create ~n in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        if Random.State.bool rng then
+          Cgraph.add_edge g u v (Random.State.float rng 10. -. 3.)
+      done
+    done;
+    let greedy = Clique.greedy g in
+    let exact = some (Exact.partition ~objective:Exact.Max_weight g) in
+    Alcotest.(check bool) "exact valid" true (Clique.is_valid g exact);
+    Alcotest.(check bool) "exact >= greedy" true
+      (Clique.total_weight g exact >= Clique.total_weight g greedy -. 1e-9)
+  done
+
+let test_min_cliques_dominates_greedy () =
+  let rng = Random.State.make [| 11 |] in
+  for _trial = 1 to 25 do
+    let n = 4 + Random.State.int rng 5 in
+    let g = Cgraph.create ~n in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        if Random.State.int rng 3 > 0 then Cgraph.add_edge g u v 0.
+      done
+    done;
+    let greedy = Clique.greedy ~merge_nonpositive:true g in
+    let exact = some (Exact.partition ~objective:Exact.Min_cliques g) in
+    Alcotest.(check bool) "exact uses no more cliques" true
+      (List.length exact <= List.length greedy)
+  done
+
+let () =
+  Alcotest.run "exact"
+    [
+      ( "exact",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "size guard" `Quick test_size_guard;
+          Alcotest.test_case "max weight, simple" `Quick test_max_weight_simple;
+          Alcotest.test_case "max weight skips negative edges" `Quick
+            test_max_weight_skips_negative;
+          Alcotest.test_case "max weight with mixed signs" `Quick
+            test_max_weight_mixed_signs;
+          Alcotest.test_case "min cliques on a path" `Quick test_min_cliques;
+          Alcotest.test_case "min cliques on complete graph" `Quick
+            test_min_cliques_complete_graph;
+          Alcotest.test_case "exact dominates greedy (max weight)" `Quick
+            test_exact_dominates_greedy;
+          Alcotest.test_case "exact dominates greedy (min cliques)" `Quick
+            test_min_cliques_dominates_greedy;
+        ] );
+    ]

@@ -1,0 +1,48 @@
+(* Regression pin for the Figure 2 reproduction: the engine is fully
+   deterministic, so these exact areas must not drift unnoticed. If an
+   intentional engine change moves them, update both this table and the
+   figures quoted in EXPERIMENTS.md. *)
+
+module Engine = Pchls_core.Engine
+module Design = Pchls_core.Design
+module Library = Pchls_fulib.Library
+module B = Pchls_dfg.Benchmarks
+
+let area g t p =
+  match Engine.run ~library:Library.default ~time_limit:t ~power_limit:p g with
+  | Engine.Synthesized (d, _) -> Some (Design.area d).Design.total
+  | Engine.Infeasible _ -> None
+
+let check name g t p expected =
+  Alcotest.(check (option (float 0.5))) name expected (area g t p)
+
+let test_hal_series () =
+  check "hal T=10 P=15 infeasible" B.hal 10 15. None;
+  check "hal T=10 P=20" B.hal 10 20. (Some 1312.);
+  check "hal T=10 P=150" B.hal 10 150. (Some 1683.);
+  check "hal T=17 P=5 infeasible" B.hal 17 5. None;
+  check "hal T=17 P=7.5" B.hal 17 7.5 (Some 785.);
+  check "hal T=17 P=10" B.hal 17 10. (Some 710.);
+  check "hal T=17 P=150" B.hal 17 150. (Some 678.)
+
+let test_cosine_series () =
+  check "cosine T=12 P=30 infeasible" B.cosine 12 30. None;
+  check "cosine T=12 P=40" B.cosine 12 40. (Some 3442.);
+  check "cosine T=19 P=20" B.cosine 19 20. (Some 1567.);
+  check "cosine T=19 P=150" B.cosine 19 150. (Some 1982.)
+
+let test_elliptic_series () =
+  check "elliptic T=22 P=10 infeasible" B.elliptic 22 10. None;
+  check "elliptic T=22 P=15" B.elliptic 22 15. (Some 1093.);
+  check "elliptic T=22 P=150" B.elliptic 22 150. (Some 1386.)
+
+let () =
+  Alcotest.run "figure2_pin"
+    [
+      ( "figure2_pin",
+        [
+          Alcotest.test_case "hal series" `Quick test_hal_series;
+          Alcotest.test_case "cosine series" `Quick test_cosine_series;
+          Alcotest.test_case "elliptic series" `Quick test_elliptic_series;
+        ] );
+    ]

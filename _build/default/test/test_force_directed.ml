@@ -1,0 +1,126 @@
+module H = Test_helpers
+module Fds = Pchls_sched.Force_directed
+module Pasap = Pchls_sched.Pasap
+module Schedule = Pchls_sched.Schedule
+module Graph = Pchls_dfg.Graph
+module Op = Pchls_dfg.Op
+module Profile = Pchls_power.Profile
+module B = Pchls_dfg.Benchmarks
+
+let kind_class g id = Op.to_string (Graph.kind g id)
+
+let feasible = function
+  | Pasap.Feasible s -> s
+  | Pasap.Infeasible { node; reason } ->
+    Alcotest.fail (Printf.sprintf "infeasible at %d: %s" node reason)
+
+let test_valid_on_all_benchmarks () =
+  List.iter
+    (fun (name, g) ->
+      let info = H.table1_info () g in
+      let cp =
+        Graph.critical_path g ~latency:(fun id -> (info id).Schedule.latency)
+      in
+      let horizon = cp + 5 in
+      let s =
+        feasible (Fds.run g ~info ~class_of:(kind_class g) ~horizon ())
+      in
+      H.check_total g s;
+      H.check_precedences g s ~info;
+      Alcotest.(check bool)
+        (name ^ " within horizon")
+        true
+        (Schedule.makespan s ~info <= horizon))
+    B.all
+
+let test_infeasible_below_critical_path () =
+  let g = H.chain3 () in
+  let info = H.uniform_info () in
+  match Fds.run g ~info ~class_of:(kind_class g) ~horizon:2 () with
+  | Pasap.Feasible _ -> Alcotest.fail "horizon below critical path"
+  | Pasap.Infeasible _ -> ()
+
+(* The defining property: with slack, FDS spreads same-class operations
+   instead of stacking them, unlike ASAP. *)
+let test_balances_concurrency () =
+  let g = H.fork4 () in
+  let info = H.uniform_info () in
+  let horizon = 12 in
+  let s = feasible (Fds.run g ~info ~class_of:(kind_class g) ~horizon ()) in
+  let max_concurrent =
+    let counts = Array.make horizon 0 in
+    List.iter
+      (fun id ->
+        if Op.equal (Graph.kind g id) Op.Add then
+          counts.(Schedule.start s id) <- counts.(Schedule.start s id) + 1)
+      (Graph.node_ids g);
+    Array.fold_left max 0 counts
+  in
+  let asap = Pchls_sched.Asap.run g ~info in
+  let asap_concurrent =
+    let counts = Array.make horizon 0 in
+    List.iter
+      (fun id ->
+        if Op.equal (Graph.kind g id) Op.Add then
+          counts.(Schedule.start asap id) <- counts.(Schedule.start asap id) + 1)
+      (Graph.node_ids g);
+    Array.fold_left max 0 counts
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "FDS max adds/cycle %d < ASAP's %d" max_concurrent
+       asap_concurrent)
+    true
+    (max_concurrent < asap_concurrent)
+
+(* Power-weighted FDS lowers the peak power versus ASAP at equal horizon. *)
+let test_power_weight_flattens () =
+  let g = B.hal in
+  let info = H.table1_info () g in
+  let horizon = 17 in
+  let weight id = (info id).Schedule.power in
+  let s =
+    feasible (Fds.run g ~info ~class_of:(fun _ -> "power") ~weight ~horizon ())
+  in
+  let asap = Pchls_sched.Asap.run g ~info in
+  let peak sched = Profile.peak (Schedule.profile sched ~info ~horizon) in
+  Alcotest.(check bool)
+    (Printf.sprintf "FDS-power peak %.2f < ASAP peak %.2f" (peak s) (peak asap))
+    true
+    (peak s < peak asap)
+
+let test_deterministic () =
+  let g = B.elliptic in
+  let info = H.table1_info () g in
+  let run () =
+    Schedule.bindings
+      (feasible (Fds.run g ~info ~class_of:(kind_class g) ~horizon:25 ()))
+  in
+  Alcotest.(check (list (pair int int))) "same twice" (run ()) (run ())
+
+let test_exact_horizon_matches_critical_path () =
+  let g = H.chain3 () in
+  let info = H.uniform_info () in
+  let s = feasible (Fds.run g ~info ~class_of:(kind_class g) ~horizon:3 ()) in
+  Alcotest.(check (list (pair int int)))
+    "zero-slack chain is fully determined"
+    [ (0, 0); (1, 1); (2, 2) ]
+    (Schedule.bindings s)
+
+let () =
+  Alcotest.run "force_directed"
+    [
+      ( "force_directed",
+        [
+          Alcotest.test_case "valid on all benchmarks" `Quick
+            test_valid_on_all_benchmarks;
+          Alcotest.test_case "infeasible below critical path" `Quick
+            test_infeasible_below_critical_path;
+          Alcotest.test_case "balances concurrency" `Quick
+            test_balances_concurrency;
+          Alcotest.test_case "power weighting flattens the profile" `Quick
+            test_power_weight_flattens;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "zero-slack chain" `Quick
+            test_exact_horizon_matches_critical_path;
+        ] );
+    ]

@@ -1,0 +1,72 @@
+module Gantt = Pchls_core.Gantt
+module Engine = Pchls_core.Engine
+module Design = Pchls_core.Design
+module Library = Pchls_fulib.Library
+module Graph = Pchls_dfg.Graph
+module B = Pchls_dfg.Benchmarks
+
+let design g t p =
+  match Engine.run ~library:Library.default ~time_limit:t ~power_limit:p g with
+  | Engine.Synthesized (d, _) -> d
+  | Engine.Infeasible { reason } -> Alcotest.fail reason
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_one_row_per_instance () =
+  let d = design B.hal 17 20. in
+  let s = Gantt.render d in
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "header + instances"
+    (1 + List.length (Design.instances d))
+    (List.length lines)
+
+let test_instance_labels_present () =
+  let d = design B.hal 17 20. in
+  let s = Gantt.render d in
+  List.iter
+    (fun (i : Design.instance) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "instance %d labelled" i.Design.id)
+        true
+        (contains ~needle:(Printf.sprintf "[%d]" i.Design.id) s))
+    (Design.instances d)
+
+let test_operations_appear () =
+  let d = design B.hal 17 20. in
+  let s = Gantt.render d in
+  (* every graph node name (possibly truncated to the cell width) shows up *)
+  List.iter
+    (fun node ->
+      let name = node.Graph.name in
+      let shown = if String.length name > 5 then String.sub name 0 5 else name in
+      Alcotest.(check bool) (name ^ " shown") true (contains ~needle:shown s))
+    (Graph.nodes (Design.graph d))
+
+let test_multicycle_ops_marked () =
+  (* hal at T=17 uses serial multipliers (4 cycles): continuation dashes. *)
+  let d = design B.hal 17 20. in
+  let s = Gantt.render d in
+  Alcotest.(check bool) "continuation dashes" true (contains ~needle:"-----" s)
+
+let test_deterministic () =
+  let d = design B.elliptic 22 15. in
+  Alcotest.(check string) "same render" (Gantt.render d) (Gantt.render d)
+
+let () =
+  Alcotest.run "gantt"
+    [
+      ( "gantt",
+        [
+          Alcotest.test_case "one row per instance" `Quick
+            test_one_row_per_instance;
+          Alcotest.test_case "instance labels" `Quick
+            test_instance_labels_present;
+          Alcotest.test_case "operations appear" `Quick test_operations_appear;
+          Alcotest.test_case "multi-cycle ops marked" `Quick
+            test_multicycle_ops_marked;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+        ] );
+    ]

@@ -1,0 +1,92 @@
+module Generator = Pchls_dfg.Generator
+module Graph = Pchls_dfg.Graph
+module Op = Pchls_dfg.Op
+
+let test_deterministic () =
+  let a = Generator.layered ~seed:42 ~layers:5 ~width:4 () in
+  let b = Generator.layered ~seed:42 ~layers:5 ~width:4 () in
+  Alcotest.(check int) "same nodes" (Graph.node_count a) (Graph.node_count b);
+  Alcotest.(check (list (pair int int))) "same edges" (Graph.edges a)
+    (Graph.edges b)
+
+let test_seed_changes_output () =
+  let a = Generator.layered ~seed:1 ~layers:6 ~width:5 () in
+  let b = Generator.layered ~seed:2 ~layers:6 ~width:5 () in
+  Alcotest.(check bool) "different graphs" true
+    (Graph.edges a <> Graph.edges b || Graph.node_count a <> Graph.node_count b)
+
+let test_acyclic_by_construction () =
+  (* create_exn inside the generator already validates; make sure several
+     seeds survive it. *)
+  List.iter
+    (fun seed ->
+      let g = Generator.layered ~seed ~layers:8 ~width:6 () in
+      Alcotest.(check bool) "nonempty" true (Graph.node_count g > 0))
+    [ 0; 1; 2; 3; 99; 1234 ]
+
+let test_io_nodes () =
+  let g = Generator.layered ~seed:7 ~layers:4 ~width:3 () in
+  Alcotest.(check bool) "has inputs" true
+    (Graph.nodes_of_kind g Op.Input <> []);
+  Alcotest.(check bool) "has outputs" true
+    (Graph.nodes_of_kind g Op.Output <> []);
+  (* Every sink must be an Output: ops are all consumed or terminated. *)
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "sink is output" true
+        (Op.equal (Graph.kind g id) Op.Output))
+    (Graph.sinks g)
+
+let test_no_io_mode () =
+  let g = Generator.layered ~seed:7 ~layers:4 ~width:3 ~io:false () in
+  Alcotest.(check (list int)) "no inputs" [] (Graph.nodes_of_kind g Op.Input);
+  Alcotest.(check (list int)) "no outputs" [] (Graph.nodes_of_kind g Op.Output)
+
+let test_mult_ratio_extremes () =
+  let all_mult = Generator.layered ~seed:3 ~layers:5 ~width:4 ~mult_ratio:1.0 ()
+  and no_mult = Generator.layered ~seed:3 ~layers:5 ~width:4 ~mult_ratio:0.0 () in
+  Alcotest.(check (list int)) "ratio 0 has no mult" []
+    (Graph.nodes_of_kind no_mult Op.Mult);
+  let ops g =
+    Graph.node_count g
+    - List.length (Graph.nodes_of_kind g Op.Input)
+    - List.length (Graph.nodes_of_kind g Op.Output)
+  in
+  Alcotest.(check int)
+    "ratio 1 is all mult" (ops all_mult)
+    (List.length (Graph.nodes_of_kind all_mult Op.Mult))
+
+let test_invalid_params () =
+  Alcotest.(check bool) "layers 0 rejected" true
+    (try
+       ignore (Generator.layered ~seed:1 ~layers:0 ~width:3 ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "width 0 rejected" true
+    (try
+       ignore (Generator.layered ~seed:1 ~layers:3 ~width:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_size_scales () =
+  let small = Generator.layered ~seed:5 ~layers:2 ~width:2 () in
+  let large = Generator.layered ~seed:5 ~layers:12 ~width:8 () in
+  Alcotest.(check bool) "more layers, more nodes" true
+    (Graph.node_count large > Graph.node_count small)
+
+let () =
+  Alcotest.run "generator"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic in seed" `Quick test_deterministic;
+          Alcotest.test_case "seed changes output" `Quick test_seed_changes_output;
+          Alcotest.test_case "always acyclic" `Quick test_acyclic_by_construction;
+          Alcotest.test_case "io mode terminates sinks" `Quick test_io_nodes;
+          Alcotest.test_case "io:false has no transfers" `Quick test_no_io_mode;
+          Alcotest.test_case "mult_ratio extremes" `Quick test_mult_ratio_extremes;
+          Alcotest.test_case "invalid parameters rejected" `Quick
+            test_invalid_params;
+          Alcotest.test_case "size scales with layers" `Quick test_size_scales;
+        ] );
+    ]

@@ -1,0 +1,95 @@
+module Improve = Pchls_core.Improve
+module Engine = Pchls_core.Engine
+module Design = Pchls_core.Design
+module Cost_model = Pchls_core.Cost_model
+module Library = Pchls_fulib.Library
+module Profile = Pchls_power.Profile
+module Graph = Pchls_dfg.Graph
+module B = Pchls_dfg.Benchmarks
+
+let design ?max_instances g t p =
+  match
+    Engine.run ?max_instances ~library:Library.default ~time_limit:t
+      ~power_limit:p g
+  with
+  | Engine.Synthesized (d, _) -> d
+  | Engine.Infeasible { reason } -> Alcotest.fail reason
+
+let area d = (Design.area d).Design.total
+
+let test_never_worse_on_benchmarks () =
+  List.iter
+    (fun (g, t, p) ->
+      let d = design g t p in
+      let d' = Improve.rebind ~cost_model:Cost_model.default d in
+      Alcotest.(check bool)
+        (Printf.sprintf "area %.0f <= %.0f" (area d') (area d))
+        true
+        (area d' <= area d +. 1e-9))
+    [
+      (B.hal, 17, 10.); (B.hal, 10, 25.); (B.cosine, 19, 25.);
+      (B.elliptic, 22, 15.); (B.fir16, 25, 15.); (B.iir_biquad, 16, 12.);
+    ]
+
+let test_constraints_preserved () =
+  let d = design B.elliptic 22 15. in
+  let d' = Improve.rebind ~cost_model:Cost_model.default d in
+  Alcotest.(check bool) "time" true (Design.makespan d' <= 22);
+  Alcotest.(check bool) "power" true
+    (Profile.peak (Design.profile d') <= 15. +. Profile.eps);
+  (* same schedule: every op keeps its start time *)
+  Alcotest.(check (list (pair int int)))
+    "start times unchanged"
+    (Pchls_sched.Schedule.bindings (Design.schedule d))
+    (Pchls_sched.Schedule.bindings (Design.schedule d'))
+
+let test_known_improvement () =
+  (* The greedy leaves mux/register savings on elliptic at this point. *)
+  let d = design B.elliptic 22 15. in
+  let d' = Improve.rebind ~cost_model:Cost_model.default d in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.0f < %.0f" (area d') (area d))
+    true
+    (area d' < area d)
+
+let test_idempotent_at_local_optimum () =
+  let d = design B.hal 17 10. in
+  let d' = Improve.rebind ~cost_model:Cost_model.default d in
+  let d'' = Improve.rebind ~cost_model:Cost_model.default d' in
+  Alcotest.(check (float 1e-9)) "fixed point" (area d') (area d'')
+
+let test_max_moves_zero_is_identity () =
+  let d = design B.elliptic 22 15. in
+  let d' = Improve.rebind ~max_moves:0 ~cost_model:Cost_model.default d in
+  Alcotest.(check (float 1e-9)) "untouched" (area d) (area d')
+
+let test_all_ops_still_bound () =
+  let d = design B.cosine 19 25. in
+  let d' = Improve.rebind ~cost_model:Cost_model.default d in
+  let bound =
+    List.fold_left
+      (fun acc (i : Design.instance) -> acc + List.length i.Design.ops)
+      0 (Design.instances d')
+  in
+  Alcotest.(check int) "every op bound once"
+    (Graph.node_count (Design.graph d'))
+    bound
+
+let () =
+  Alcotest.run "improve"
+    [
+      ( "rebind",
+        [
+          Alcotest.test_case "never worse on benchmarks" `Quick
+            test_never_worse_on_benchmarks;
+          Alcotest.test_case "constraints preserved" `Quick
+            test_constraints_preserved;
+          Alcotest.test_case "known improvement" `Quick test_known_improvement;
+          Alcotest.test_case "idempotent at local optimum" `Quick
+            test_idempotent_at_local_optimum;
+          Alcotest.test_case "max_moves 0 is identity" `Quick
+            test_max_moves_zero_is_identity;
+          Alcotest.test_case "all ops still bound" `Quick
+            test_all_ops_still_bound;
+        ] );
+    ]

@@ -1,0 +1,191 @@
+(* End-to-end scenarios crossing all libraries: synthesize with the engine,
+   inspect power, feed the battery simulator, emit RTL — the full pipeline a
+   user of the library would run. *)
+
+module H = Test_helpers
+module Engine = Pchls_core.Engine
+module Design = Pchls_core.Design
+module Library = Pchls_fulib.Library
+module Module_spec = Pchls_fulib.Module_spec
+module Graph = Pchls_dfg.Graph
+module Op = Pchls_dfg.Op
+module Schedule = Pchls_sched.Schedule
+module Profile = Pchls_power.Profile
+module Model = Pchls_battery.Model
+module Sim = Pchls_battery.Sim
+module B = Pchls_dfg.Benchmarks
+
+let synth ?(lib = Library.default) g t p =
+  match Engine.run ~library:lib ~time_limit:t ~power_limit:p g with
+  | Engine.Synthesized (d, s) -> (d, s)
+  | Engine.Infeasible { reason } -> Alcotest.fail ("infeasible: " ^ reason)
+
+(* The paper's Figure 1 story: at the same time constraint, a power-capped
+   synthesis flattens the profile and extends battery life. *)
+let test_figure1_pipeline () =
+  let t = 17 in
+  let unconstrained, _ = synth B.hal t 1000. in
+  let capped, _ = synth B.hal t 10. in
+  let p_unc = Design.profile unconstrained in
+  let p_cap = Design.profile capped in
+  Alcotest.(check bool) "cap flattens the peak" true
+    (Profile.peak p_cap < Profile.peak p_unc);
+  Alcotest.(check bool) "capped peak within 10" true
+    (Profile.peak p_cap <= 10. +. Profile.eps);
+  (* Figure 1 proper is about schedules: the plain ASAP schedule spikes,
+     pasap under the cap stretches. Same operations, same modules — same
+     energy — so the flat profile must live longer on a rate-capacity
+     battery. *)
+  let info = H.table1_info () B.hal in
+  let asap = Pchls_sched.Asap.run B.hal ~info in
+  let pasap =
+    match
+      Pchls_sched.Pasap.run B.hal ~info ~horizon:t ~power_limit:10. ()
+    with
+    | Pchls_sched.Pasap.Feasible s -> s
+    | Pchls_sched.Pasap.Infeasible _ -> Alcotest.fail "pasap infeasible"
+  in
+  let profile s = Profile.to_array (Schedule.profile s ~info ~horizon:t) in
+  Alcotest.(check bool) "asap spikes above the cap" true
+    (Profile.peak (Schedule.profile asap ~info ~horizon:t) > 10.);
+  let battery = Model.kibam ~capacity:20_000. ~well_fraction:0.05 ~rate:0.01 in
+  let life p = Sim.cycles (Sim.lifetime battery ~profile:p ~max_cycles:100_000_000) in
+  Alcotest.(check bool) "flattened profile lives longer" true
+    (life (profile pasap) > life (profile asap))
+
+(* The paper's headline experiment: sweeping the power constraint trades
+   area; very tight constraints become infeasible. *)
+let test_figure2_sweep_hal () =
+  let t = 17 in
+  let points =
+    List.map
+      (fun p ->
+        match
+          Engine.run ~library:Library.default ~time_limit:t ~power_limit:p B.hal
+        with
+        | Engine.Synthesized (d, _) -> (p, Some (Design.area d).Design.total)
+        | Engine.Infeasible _ -> (p, None))
+      [ 2.; 5.; 8.; 12.; 20.; 50.; 150. ]
+  in
+  (* Feasibility is monotone in the power budget. *)
+  let rec check_monotone seen_feasible = function
+    | [] -> ()
+    | (p, Some _) :: rest ->
+      ignore p;
+      check_monotone true rest
+    | (p, None) :: rest ->
+      Alcotest.(check bool)
+        (Printf.sprintf "no infeasible point above a feasible one (P=%g)" p)
+        false seen_feasible;
+      check_monotone seen_feasible rest
+  in
+  check_monotone false points;
+  Alcotest.(check bool) "some point feasible" true
+    (List.exists (fun (_, a) -> a <> None) points);
+  Alcotest.(check bool) "some point infeasible" true
+    (List.exists (fun (_, a) -> a = None) points)
+
+let test_custom_library_flow () =
+  (* A user-defined library with a single universal ALU and one multiplier. *)
+  let lib =
+    Library.of_list_exn
+      [
+        Module_spec.make_exn ~name:"uber_alu" ~ops:[ Op.Add; Op.Sub; Op.Comp ]
+          ~area:120. ~latency:1 ~power:3.;
+        Module_spec.make_exn ~name:"mult" ~ops:[ Op.Mult ] ~area:200. ~latency:3
+          ~power:4.;
+        Module_spec.make_exn ~name:"io" ~ops:[ Op.Input; Op.Output ] ~area:10.
+          ~latency:1 ~power:0.5;
+      ]
+  in
+  let d, _ = synth ~lib B.hal 25 15. in
+  Alcotest.(check bool) "design produced" true
+    (List.length (Design.instances d) > 0);
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) "modules from the custom library" true
+        (List.mem i.Design.spec.Module_spec.name [ "uber_alu"; "mult"; "io" ]))
+    (Design.instances d)
+
+let test_generated_graphs_synthesize () =
+  List.iter
+    (fun seed ->
+      let g = Pchls_dfg.Generator.layered ~seed ~layers:4 ~width:3 () in
+      let info = H.table1_info () g in
+      let cp =
+        Graph.critical_path g ~latency:(fun id -> (info id).Schedule.latency)
+      in
+      let d, _ = synth g (cp * 3) 15. in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d synthesizes" seed)
+        true
+        (Design.makespan d <= cp * 3))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_rtl_roundtrip_all_benchmarks () =
+  List.iter
+    (fun (name, g) ->
+      let info = H.table1_info () g in
+      let cp =
+        Graph.critical_path g ~latency:(fun id -> (info id).Schedule.latency)
+      in
+      let d, _ = synth g (cp * 2) 20. in
+      let n = Pchls_rtl.Netlist.of_design d in
+      let vhdl = Pchls_rtl.Vhdl.emit n in
+      let verilog = Pchls_rtl.Verilog.emit n in
+      Alcotest.(check bool) (name ^ " vhdl nonempty") true
+        (String.length vhdl > 200);
+      Alcotest.(check bool) (name ^ " verilog nonempty") true
+        (String.length verilog > 200))
+    B.all
+
+(* The engine's simultaneous approach should solve every (T, P) point the
+   two-step baseline solves (on the default-module schedule), usually with
+   area to spare. *)
+let test_engine_dominates_two_step_feasibility () =
+  let g = B.elliptic in
+  let info = H.table1_info () g in
+  List.iter
+    (fun (t, p) ->
+      let two_step_ok =
+        match Pchls_sched.Two_step.run g ~info ~horizon:t ~power_limit:p with
+        | Pchls_sched.Pasap.Feasible _ -> true
+        | Pchls_sched.Pasap.Infeasible _ -> false
+      in
+      if two_step_ok then
+        match Engine.run ~library:Library.default ~time_limit:t ~power_limit:p g with
+        | Engine.Synthesized _ -> ()
+        | Engine.Infeasible { reason } ->
+          Alcotest.fail
+            (Printf.sprintf "engine lost a two-step-solvable point T=%d P=%g: %s"
+               t p reason))
+    [ (22, 15.); (22, 20.); (30, 12.); (40, 10.) ]
+
+let test_dot_export_of_synthesized_schedule () =
+  let d, _ = synth B.hal 17 20. in
+  let annotate id =
+    Some (Printf.sprintf "t=%d" (Schedule.start (Design.schedule d) id))
+  in
+  let dot = Pchls_dfg.Dot.to_string ~annotate B.hal in
+  Alcotest.(check bool) "annotated dot" true (String.length dot > 100)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipelines",
+        [
+          Alcotest.test_case "figure-1 story end to end" `Quick
+            test_figure1_pipeline;
+          Alcotest.test_case "figure-2 sweep on hal" `Quick
+            test_figure2_sweep_hal;
+          Alcotest.test_case "custom library flow" `Quick test_custom_library_flow;
+          Alcotest.test_case "generated graphs synthesize" `Quick
+            test_generated_graphs_synthesize;
+          Alcotest.test_case "rtl roundtrip on all benchmarks" `Quick
+            test_rtl_roundtrip_all_benchmarks;
+          Alcotest.test_case "engine dominates two-step feasibility" `Quick
+            test_engine_dominates_two_step_feasibility;
+          Alcotest.test_case "dot export of synthesized schedule" `Quick
+            test_dot_export_of_synthesized_schedule;
+        ] );
+    ]

@@ -1,0 +1,244 @@
+module Parser = Pchls_lang.Parser
+module Ast = Pchls_lang.Ast
+module Elaborate = Pchls_lang.Elaborate
+module Graph = Pchls_dfg.Graph
+module Op = Pchls_dfg.Op
+
+let hal_source =
+  {|
+# Euler step for y'' + 3xy' + 3y = 0 (the hal benchmark)
+input x, y, u, dx, a;
+const three = 3;
+u1 = u - three * x * (u * dx) - dx * (three * y);
+y1 = y + u * dx;
+x1 = x + dx;
+c  = x1 < a;
+output u1, y1, x1, c;
+|}
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail e
+
+let err what = function
+  | Ok _ -> Alcotest.fail ("expected error: " ^ what)
+  | Error msg -> msg
+
+let compile ?cse src = Elaborate.compile ?cse ~name:"t" src
+
+let count g k = List.length (Graph.nodes_of_kind g k)
+
+(* --- parser ------------------------------------------------------------- *)
+
+let test_parse_hal_shape () =
+  let prog = ok (Parser.parse hal_source) in
+  Alcotest.(check int) "7 statements" 7 (List.length prog);
+  match prog with
+  | Ast.Input names :: Ast.Const ("three", 3.) :: _ ->
+    Alcotest.(check (list string)) "inputs" [ "x"; "y"; "u"; "dx"; "a" ] names
+  | _ -> Alcotest.fail "unexpected statement structure"
+
+let test_precedence () =
+  match ok (Parser.parse "r = a + b * c;") with
+  | [ Ast.Assign ("r", Ast.Binop (Ast.Add, Ast.Var "a", Ast.Binop (Ast.Mul, Ast.Var "b", Ast.Var "c"))) ] -> ()
+  | _ -> Alcotest.fail "multiplication must bind tighter than addition"
+
+let test_parens_override () =
+  match ok (Parser.parse "r = (a + b) * c;") with
+  | [ Ast.Assign (_, Ast.Binop (Ast.Mul, Ast.Binop (Ast.Add, _, _), Ast.Var "c")) ] -> ()
+  | _ -> Alcotest.fail "parentheses must override precedence"
+
+let test_comparison_loosest () =
+  match ok (Parser.parse "r = a + b < c * d;") with
+  | [ Ast.Assign (_, Ast.Binop (Ast.Lt, Ast.Binop (Ast.Add, _, _), Ast.Binop (Ast.Mul, _, _))) ] -> ()
+  | _ -> Alcotest.fail "comparison must bind loosest"
+
+let test_left_associativity () =
+  match ok (Parser.parse "r = a - b - c;") with
+  | [ Ast.Assign (_, Ast.Binop (Ast.Sub, Ast.Binop (Ast.Sub, Ast.Var "a", Ast.Var "b"), Ast.Var "c")) ] -> ()
+  | _ -> Alcotest.fail "subtraction must associate left"
+
+let contains needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_parse_errors_located () =
+  Alcotest.(check bool) "line 1" true
+    (contains "line 1" (err "stray" (Parser.parse "= x;")));
+  Alcotest.(check bool) "line 2" true
+    (contains "line 2" (err "bad stmt" (Parser.parse "input a;\n3 = x;")));
+  Alcotest.(check bool) "missing semicolon" true
+    (contains "expected" (err "semi" (Parser.parse "r = a + b")));
+  Alcotest.(check bool) "bad char" true
+    (contains "unexpected character" (err "char" (Parser.parse "r = a % b;")))
+
+(* --- elaboration -------------------------------------------------------- *)
+
+let test_hal_elaborates_to_hal_shape () =
+  let { Elaborate.graph = g; coefficients; _ } = ok (compile hal_source) in
+  Alcotest.(check int) "5 inputs" 5 (count g Op.Input);
+  Alcotest.(check int) "4 outputs" 4 (count g Op.Output);
+  (* u*dx appears twice (no CSE): mults = 2x(u*dx) + three*x, three*y,
+     (three*x)*(u*dx), dx*(three*y) = 6, like the real hal graph *)
+  Alcotest.(check int) "6 mults" 6 (count g Op.Mult);
+  Alcotest.(check int) "2 subs" 2 (count g Op.Sub);
+  Alcotest.(check int) "2 adds" 2 (count g Op.Add);
+  Alcotest.(check int) "1 comp" 1 (count g Op.Comp);
+  (* the two coefficient multiplications by three *)
+  Alcotest.(check int) "2 coefficient mults" 2 (List.length coefficients);
+  List.iter
+    (fun (_, k) -> Alcotest.(check (float 0.)) "coefficient 3" 3. k)
+    coefficients
+
+let test_cse_merges_duplicates () =
+  let { Elaborate.graph = g; _ } = ok (compile ~cse:true hal_source) in
+  (* u*dx now built once: 5 mults instead of 6 *)
+  Alcotest.(check int) "5 mults with cse" 5 (count g Op.Mult)
+
+let test_constant_folding () =
+  let { Elaborate.graph = g; coefficients; _ } =
+    ok (compile "input x;\nr = 2 * 3 * x;\noutput r;")
+  in
+  Alcotest.(check int) "single coefficient mult" 1 (count g Op.Mult);
+  (match coefficients with
+  | [ (_, k) ] -> Alcotest.(check (float 0.)) "folded to 6" 6. k
+  | _ -> Alcotest.fail "expected one coefficient");
+  ignore g
+
+let test_lt_swaps_operands () =
+  let { Elaborate.graph = g; _ } =
+    ok (compile "input a, b;\nr = a < b;\noutput r;")
+  in
+  let comp =
+    match Graph.nodes_of_kind g Op.Comp with
+    | [ c ] -> c
+    | _ -> Alcotest.fail "one comparator"
+  in
+  Alcotest.(check int) "two operands" 2 (List.length (Graph.preds g comp))
+
+let test_synthesis_of_compiled_program () =
+  let { Elaborate.graph = g; coefficients; _ } = ok (compile hal_source) in
+  match
+    Pchls_core.Engine.run ~library:Pchls_fulib.Library.default ~time_limit:20
+      ~power_limit:10. g
+  with
+  | Pchls_core.Engine.Infeasible { reason } -> Alcotest.fail reason
+  | Pchls_core.Engine.Synthesized (d, _) -> (
+    (* and the compiled datapath computes what the source says *)
+    let coefficient id =
+      match List.assoc_opt id coefficients with Some k -> k | None -> 3.
+    in
+    let inputs = [ ("x", 1.); ("y", 2.); ("u", 10.); ("dx", 0.5); ("a", 4.) ] in
+    match Pchls_core.Simulate.run ~coefficient d ~inputs with
+    | Error f ->
+      Alcotest.fail (Format.asprintf "%a" Pchls_core.Simulate.pp_failure f)
+    | Ok v ->
+      (* y1 = y + u*dx = 4.5... wait: 2 + 5 = 7 *)
+      Alcotest.(check (float 1e-9)) "y1" 7.
+        (List.assoc "y1" v.Pchls_core.Simulate.outputs);
+      Alcotest.(check (float 1e-9)) "x1" 1.5
+        (List.assoc "x1" v.Pchls_core.Simulate.outputs))
+
+let test_elaboration_errors () =
+  let check_msg what src needle =
+    Alcotest.(check bool) what true (contains needle (err what (compile src)))
+  in
+  check_msg "undefined" "r = a + b;" "used before";
+  check_msg "duplicate" "input a, a;" "defined twice";
+  check_msg "const in add" "input x;\nr = x + 3;\noutput r;"
+    "multiplication coefficient";
+  check_msg "output const" "const k = 1;\noutput k;" "constant";
+  check_msg "reassignment" "input a, b;\nr = a;\nr = b;" "defined twice"
+
+let test_operand_order_faithful () =
+  (* x (id 0) is older than a*b, so plain id-order semantics would compute
+     x - a*b; the recorded operand order restores the source meaning. *)
+  let c =
+    ok (compile "input x, a, b;\nr = a * b - x;\noutput r;")
+  in
+  let inputs = [ ("x", 1.); ("a", 2.); ("b", 3.) ] in
+  let reference =
+    Pchls_core.Simulate.reference
+      ~operands:(Elaborate.operands_fn c)
+      c.Elaborate.graph ~inputs ()
+  in
+  let r_node =
+    List.find
+      (fun n -> n.Graph.name = "r")
+      (Graph.nodes c.Elaborate.graph)
+  in
+  Alcotest.(check (float 1e-9)) "a*b - x = 5"
+    5.
+    (List.assoc r_node.Graph.id reference);
+  (* end to end through a synthesized datapath too *)
+  match
+    Pchls_core.Engine.run ~library:Pchls_fulib.Library.default ~time_limit:15
+      ~power_limit:10. c.Elaborate.graph
+  with
+  | Pchls_core.Engine.Infeasible { reason } -> Alcotest.fail reason
+  | Pchls_core.Engine.Synthesized (d, _) -> (
+    match
+      Pchls_core.Simulate.run ~operands:(Elaborate.operands_fn c) d ~inputs
+    with
+    | Error f ->
+      Alcotest.fail (Format.asprintf "%a" Pchls_core.Simulate.pp_failure f)
+    | Ok v ->
+      Alcotest.(check (float 1e-9)) "datapath agrees" 5.
+        (List.assoc "r" v.Pchls_core.Simulate.outputs))
+
+let test_same_operand_twice () =
+  (* x + x: one graph edge, but the recorded order carries both reads. *)
+  let c = ok (compile "input x;\nr = x + x;\noutput r;") in
+  let reference =
+    Pchls_core.Simulate.reference
+      ~operands:(Elaborate.operands_fn c)
+      c.Elaborate.graph ~inputs:[ ("x", 4.) ] ()
+  in
+  let r_node =
+    List.find (fun n -> n.Graph.name = "r") (Graph.nodes c.Elaborate.graph)
+  in
+  Alcotest.(check (float 1e-9)) "x + x = 8" 8.
+    (List.assoc r_node.Graph.id reference)
+
+let test_pp_roundtrip_smoke () =
+  let prog = ok (Parser.parse hal_source) in
+  let printed =
+    String.concat "\n"
+      (List.map (fun s -> Format.asprintf "%a" Ast.pp_stmt s) prog)
+  in
+  let reparsed = ok (Parser.parse printed) in
+  Alcotest.(check int) "same statement count" (List.length prog)
+    (List.length reparsed)
+
+let () =
+  Alcotest.run "lang"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "hal program shape" `Quick test_parse_hal_shape;
+          Alcotest.test_case "precedence" `Quick test_precedence;
+          Alcotest.test_case "parentheses" `Quick test_parens_override;
+          Alcotest.test_case "comparison loosest" `Quick test_comparison_loosest;
+          Alcotest.test_case "left associativity" `Quick test_left_associativity;
+          Alcotest.test_case "errors carry line numbers" `Quick
+            test_parse_errors_located;
+          Alcotest.test_case "pp/parse roundtrip" `Quick test_pp_roundtrip_smoke;
+        ] );
+      ( "elaboration",
+        [
+          Alcotest.test_case "hal source gives hal-shaped graph" `Quick
+            test_hal_elaborates_to_hal_shape;
+          Alcotest.test_case "cse merges duplicates" `Quick
+            test_cse_merges_duplicates;
+          Alcotest.test_case "constant folding" `Quick test_constant_folding;
+          Alcotest.test_case "a < b swaps operands" `Quick test_lt_swaps_operands;
+          Alcotest.test_case "compiled program synthesizes and simulates"
+            `Quick test_synthesis_of_compiled_program;
+          Alcotest.test_case "elaboration errors" `Quick test_elaboration_errors;
+          Alcotest.test_case "operand order is source-faithful" `Quick
+            test_operand_order_faithful;
+          Alcotest.test_case "same operand on both ports" `Quick
+            test_same_operand_twice;
+        ] );
+    ]

@@ -1,0 +1,133 @@
+module Library = Pchls_fulib.Library
+module Module_spec = Pchls_fulib.Module_spec
+module Op = Pchls_dfg.Op
+module Benchmarks = Pchls_dfg.Benchmarks
+
+let spec = Module_spec.make_exn
+
+let test_default_matches_table1 () =
+  let lib = Library.default in
+  let check name area latency power =
+    match Library.find lib name with
+    | None -> Alcotest.fail (name ^ " missing")
+    | Some m ->
+      Alcotest.(check (float 0.)) (name ^ " area") area m.Module_spec.area;
+      Alcotest.(check int) (name ^ " latency") latency m.Module_spec.latency;
+      Alcotest.(check (float 0.)) (name ^ " power") power m.Module_spec.power
+  in
+  check "add" 87. 1 2.5;
+  check "sub" 87. 1 2.5;
+  check "comp" 8. 1 2.5;
+  check "ALU" 97. 1 2.5;
+  check "mult_ser" 103. 4 2.7;
+  check "mult_par" 339. 2 8.1;
+  check "input" 16. 1 0.2;
+  check "output" 16. 1 1.7;
+  Alcotest.(check int) "8 modules" 8 (List.length (Library.to_list lib))
+
+let test_alu_implements_three_kinds () =
+  match Library.find Library.default "ALU" with
+  | None -> Alcotest.fail "ALU missing"
+  | Some alu ->
+    List.iter
+      (fun k ->
+        Alcotest.(check bool) (Op.to_string k) true (Module_spec.implements alu k))
+      [ Op.Add; Op.Sub; Op.Comp ]
+
+let test_candidates () =
+  let mult_cands = Library.candidates Library.default Op.Mult in
+  Alcotest.(check (list string)) "two multipliers" [ "mult_ser"; "mult_par" ]
+    (List.map (fun m -> m.Module_spec.name) mult_cands);
+  let add_cands = Library.candidates Library.default Op.Add in
+  Alcotest.(check (list string)) "add and ALU" [ "add"; "ALU" ]
+    (List.map (fun m -> m.Module_spec.name) add_cands)
+
+let test_selection_policies () =
+  let name f k =
+    match f Library.default k with
+    | Some m -> m.Module_spec.name
+    | None -> "(none)"
+  in
+  Alcotest.(check string) "min_power mult" "mult_ser"
+    (name Library.min_power Op.Mult);
+  Alcotest.(check string) "min_area mult" "mult_ser"
+    (name Library.min_area Op.Mult);
+  Alcotest.(check string) "min_latency mult" "mult_par"
+    (name Library.min_latency Op.Mult);
+  Alcotest.(check string) "min_area comp" "comp" (name Library.min_area Op.Comp);
+  (* Power ties between add and ALU break towards registration order. *)
+  Alcotest.(check string) "min_power add" "add" (name Library.min_power Op.Add)
+
+let test_covers () =
+  (match Library.covers Library.default Benchmarks.hal with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "default library must cover hal");
+  let tiny =
+    Library.of_list_exn
+      [ spec ~name:"add" ~ops:[ Op.Add ] ~area:1. ~latency:1 ~power:1. ]
+  in
+  match Library.covers tiny Benchmarks.hal with
+  | Ok () -> Alcotest.fail "tiny library cannot cover hal"
+  | Error missing ->
+    Alcotest.(check bool) "mult uncovered" true (List.mem Op.Mult missing)
+
+let test_of_list_validation () =
+  (match Library.of_list [] with
+  | Ok _ -> Alcotest.fail "empty library accepted"
+  | Error _ -> ());
+  let dup =
+    [
+      spec ~name:"x" ~ops:[ Op.Add ] ~area:1. ~latency:1 ~power:1.;
+      spec ~name:"x" ~ops:[ Op.Sub ] ~area:1. ~latency:1 ~power:1.;
+    ]
+  in
+  match Library.of_list dup with
+  | Ok _ -> Alcotest.fail "duplicate names accepted"
+  | Error _ -> ()
+
+let test_find () =
+  Alcotest.(check bool) "missing" true (Library.find Library.default "nope" = None);
+  Alcotest.(check bool) "find_exn raises" true
+    (try
+       ignore (Library.find_exn Library.default "nope");
+       false
+     with Not_found -> true)
+
+let test_no_candidate_policy () =
+  let tiny =
+    Library.of_list_exn
+      [ spec ~name:"add" ~ops:[ Op.Add ] ~area:1. ~latency:1 ~power:1. ]
+  in
+  Alcotest.(check bool) "none" true (Library.min_power tiny Op.Mult = None)
+
+let test_pp_table () =
+  let s = Format.asprintf "%a" Library.pp_table Library.default in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true
+        (let n = String.length needle and h = String.length s in
+         let rec go i =
+           i + n <= h && (String.sub s i n = needle || go (i + 1))
+         in
+         go 0))
+    [ "Module"; "mult_ser"; "339"; "8.1"; "ALU" ]
+
+let () =
+  Alcotest.run "library"
+    [
+      ( "library",
+        [
+          Alcotest.test_case "default matches paper Table 1" `Quick
+            test_default_matches_table1;
+          Alcotest.test_case "ALU implements +,-,>" `Quick
+            test_alu_implements_three_kinds;
+          Alcotest.test_case "candidates per kind" `Quick test_candidates;
+          Alcotest.test_case "selection policies" `Quick test_selection_policies;
+          Alcotest.test_case "coverage check" `Quick test_covers;
+          Alcotest.test_case "of_list validation" `Quick test_of_list_validation;
+          Alcotest.test_case "find / find_exn" `Quick test_find;
+          Alcotest.test_case "policy without candidates" `Quick
+            test_no_candidate_policy;
+          Alcotest.test_case "pp_table renders Table 1" `Quick test_pp_table;
+        ] );
+    ]

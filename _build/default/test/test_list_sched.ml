@@ -1,0 +1,117 @@
+module H = Test_helpers
+module List_sched = Pchls_sched.List_sched
+module Pasap = Pchls_sched.Pasap
+module Schedule = Pchls_sched.Schedule
+module Graph = Pchls_dfg.Graph
+module Op = Pchls_dfg.Op
+module B = Pchls_dfg.Benchmarks
+
+let feasible = function
+  | Pasap.Feasible s -> s
+  | Pasap.Infeasible { node; reason } ->
+    Alcotest.fail (Printf.sprintf "infeasible at %d: %s" node reason)
+
+let kind_class g id = Op.to_string (Graph.kind g id)
+
+let test_single_adder_serializes () =
+  let g = H.fork4 () in
+  let info = H.uniform_info () in
+  let avail = function "add" -> 1 | _ -> 10 in
+  let s =
+    feasible
+      (List_sched.run g ~info ~class_of:(kind_class g) ~avail ~horizon:20)
+  in
+  H.check_total g s;
+  H.check_precedences g s ~info;
+  (* seven adds on one unit: all start cycles distinct *)
+  let adds = Graph.nodes_of_kind g Op.Add in
+  let starts = List.sort_uniq compare (List.map (Schedule.start s) adds) in
+  Alcotest.(check int) "distinct starts" (List.length adds) (List.length starts)
+
+let test_two_adders_halve_makespan () =
+  let g = H.fork4 () in
+  let info = H.uniform_info () in
+  let run n =
+    let avail = function "add" -> n | _ -> 10 in
+    Schedule.makespan
+      (feasible
+         (List_sched.run g ~info ~class_of:(kind_class g) ~avail ~horizon:30))
+      ~info
+  in
+  Alcotest.(check bool) "2 adders not slower than 1" true (run 2 <= run 1);
+  Alcotest.(check bool) "1 adder strictly slower" true (run 1 > run 4)
+
+let test_respects_multicycle_occupancy () =
+  let g = B.hal in
+  let info = H.table1_info () g in
+  (* one serial multiplier: its 4-cycle executions must not overlap *)
+  let avail = function "mult" -> 1 | _ -> 10 in
+  let s =
+    feasible
+      (List_sched.run g ~info ~class_of:(kind_class g) ~avail ~horizon:60)
+  in
+  let mult_starts =
+    List.sort compare (List.map (Schedule.start s) (Graph.nodes_of_kind g Op.Mult))
+  in
+  let rec disjoint = function
+    | a :: (b :: _ as rest) -> a + 4 <= b && disjoint rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "no overlap on the single multiplier" true
+    (disjoint mult_starts)
+
+let test_infeasible_when_no_units () =
+  let g = H.chain3 () in
+  let info = H.uniform_info () in
+  let avail = function "add" -> 0 | _ -> 1 in
+  match List_sched.run g ~info ~class_of:(kind_class g) ~avail ~horizon:10 with
+  | Pasap.Feasible _ -> Alcotest.fail "no adder available"
+  | Pasap.Infeasible { node; _ } ->
+    Alcotest.(check int) "blames the add" 1 node
+
+let test_infeasible_when_horizon_short () =
+  let g = H.fork4 () in
+  let info = H.uniform_info () in
+  let avail = function "add" -> 1 | _ -> 10 in
+  match List_sched.run g ~info ~class_of:(kind_class g) ~avail ~horizon:4 with
+  | Pasap.Feasible _ -> Alcotest.fail "7 serialized adds cannot fit in 4"
+  | Pasap.Infeasible _ -> ()
+
+let test_benchmarks_with_ample_resources () =
+  List.iter
+    (fun (name, g) ->
+      let info = H.table1_info () g in
+      let cp =
+        Graph.critical_path g ~latency:(fun id -> (info id).Schedule.latency)
+      in
+      let s =
+        feasible
+          (List_sched.run g ~info ~class_of:(kind_class g)
+             ~avail:(fun _ -> 100)
+             ~horizon:cp)
+      in
+      Alcotest.(check int)
+        (name ^ ": ample resources reach critical path")
+        cp
+        (Schedule.makespan s ~info))
+    B.all
+
+let () =
+  Alcotest.run "list_sched"
+    [
+      ( "list_sched",
+        [
+          Alcotest.test_case "single adder serializes" `Quick
+            test_single_adder_serializes;
+          Alcotest.test_case "more units never slower" `Quick
+            test_two_adders_halve_makespan;
+          Alcotest.test_case "multi-cycle occupancy respected" `Quick
+            test_respects_multicycle_occupancy;
+          Alcotest.test_case "zero units infeasible" `Quick
+            test_infeasible_when_no_units;
+          Alcotest.test_case "short horizon infeasible" `Quick
+            test_infeasible_when_horizon_short;
+          Alcotest.test_case "ample resources reach critical path" `Quick
+            test_benchmarks_with_ample_resources;
+        ] );
+    ]

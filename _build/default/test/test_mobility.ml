@@ -1,0 +1,95 @@
+module H = Test_helpers
+module Mobility = Pchls_sched.Mobility
+module Asap = Pchls_sched.Asap
+module Alap = Pchls_sched.Alap
+module Schedule = Pchls_sched.Schedule
+module Graph = Pchls_dfg.Graph
+module B = Pchls_dfg.Benchmarks
+
+let info = H.uniform_info ()
+
+let test_window_and_slack () =
+  let g = H.two_chains () in
+  let early = Asap.run g ~info in
+  let late = Alap.run g ~info ~horizon:10 in
+  let w = Mobility.window ~early ~late 1 in
+  Alcotest.(check bool) "earliest <= latest" true (w.Mobility.earliest <= w.Mobility.latest);
+  Alcotest.(check int) "slack formula"
+    (w.Mobility.latest - w.Mobility.earliest)
+    (Mobility.slack w)
+
+let test_critical_ops_have_zero_slack () =
+  let g = B.hal in
+  let info = H.table1_info () g in
+  let early = Asap.run g ~info in
+  let horizon = Schedule.makespan early ~info in
+  let late = Alap.run g ~info ~horizon in
+  (* With horizon = critical path, at least one full path has zero slack. *)
+  let zero_slack =
+    List.filter
+      (fun id -> Mobility.slack (Mobility.window ~early ~late id) = 0)
+      (Graph.node_ids g)
+  in
+  Alcotest.(check bool) "some critical op" true (zero_slack <> []);
+  (* and the critical ops must form a source-to-sink chain; check endpoints *)
+  Alcotest.(check bool) "a source is critical" true
+    (List.exists (fun id -> List.mem id zero_slack) (Graph.sources g));
+  Alcotest.(check bool) "a sink is critical" true
+    (List.exists (fun id -> List.mem id zero_slack) (Graph.sinks g))
+
+let test_slack_grows_with_horizon () =
+  let g = B.hal in
+  let info = H.table1_info () g in
+  let early = Asap.run g ~info in
+  let cp = Schedule.makespan early ~info in
+  let slack_sum horizon =
+    let late = Alap.run g ~info ~horizon in
+    List.fold_left
+      (fun acc id -> acc + Mobility.slack (Mobility.window ~early ~late id))
+      0 (Graph.node_ids g)
+  in
+  Alcotest.(check bool) "more horizon, more slack" true
+    (slack_sum (cp + 5) > slack_sum cp)
+
+let test_window_missing_node () =
+  Alcotest.check_raises "missing" Not_found (fun () ->
+      ignore (Mobility.window ~early:Schedule.empty ~late:Schedule.empty 0))
+
+let test_window_inconsistent () =
+  let early = Schedule.of_alist [ (0, 5) ] in
+  let late = Schedule.of_alist [ (0, 2) ] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Mobility.window ~early ~late 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_windows_tabulation () =
+  let g = H.chain3 () in
+  let early = Asap.run g ~info in
+  let late = Alap.run g ~info ~horizon:6 in
+  let ws = Mobility.windows g ~early ~late in
+  Alcotest.(check int) "all nodes" (Graph.node_count g) (List.length ws);
+  List.iter
+    (fun (id, w) ->
+      Alcotest.(check int) "slack is uniform on a chain" 3 (Mobility.slack w);
+      ignore id)
+    ws
+
+let () =
+  Alcotest.run "mobility"
+    [
+      ( "mobility",
+        [
+          Alcotest.test_case "window and slack" `Quick test_window_and_slack;
+          Alcotest.test_case "critical path has zero slack" `Quick
+            test_critical_ops_have_zero_slack;
+          Alcotest.test_case "slack grows with horizon" `Quick
+            test_slack_grows_with_horizon;
+          Alcotest.test_case "missing node raises" `Quick test_window_missing_node;
+          Alcotest.test_case "inconsistent pair rejected" `Quick
+            test_window_inconsistent;
+          Alcotest.test_case "windows tabulates all nodes" `Quick
+            test_windows_tabulation;
+        ] );
+    ]

@@ -1,0 +1,114 @@
+module Engine = Pchls_core.Engine
+module Design = Pchls_core.Design
+module Netlist = Pchls_rtl.Netlist
+module Library = Pchls_fulib.Library
+module B = Pchls_dfg.Benchmarks
+module Graph = Pchls_dfg.Graph
+
+let design_of g t p =
+  match Engine.run ~library:Library.default ~time_limit:t ~power_limit:p g with
+  | Engine.Synthesized (d, _) -> d
+  | Engine.Infeasible { reason } -> Alcotest.fail reason
+
+let hal_netlist () = Netlist.of_design (design_of B.hal 17 20.)
+
+let test_structure () =
+  let d = design_of B.hal 17 20. in
+  let n = Netlist.of_design d in
+  Alcotest.(check string) "name" "hal" n.Netlist.design_name;
+  Alcotest.(check int) "steps = T" 17 n.Netlist.steps;
+  Alcotest.(check int) "one fu per instance"
+    (List.length (Design.instances d))
+    (List.length n.Netlist.fus);
+  Alcotest.(check int) "register count"
+    (Design.register_count d)
+    n.Netlist.register_count
+
+let test_labels_unique () =
+  let n = hal_netlist () in
+  let labels = List.map (fun f -> f.Netlist.label) n.Netlist.fus in
+  Alcotest.(check int) "unique" (List.length labels)
+    (List.length (List.sort_uniq String.compare labels))
+
+let test_activations_cover_all_ops () =
+  let d = design_of B.hal 17 20. in
+  let n = Netlist.of_design d in
+  let total =
+    List.fold_left (fun acc (_, acts) -> acc + List.length acts) 0
+      n.Netlist.activations
+  in
+  Alcotest.(check int) "one activation per op" (Graph.node_count B.hal) total
+
+let test_activations_match_schedule () =
+  let d = design_of B.hal 17 20. in
+  let n = Netlist.of_design d in
+  List.iter
+    (fun (step, acts) ->
+      List.iter
+        (fun (_, op) ->
+          Alcotest.(check int)
+            (Printf.sprintf "op %d starts at %d" op step)
+            step
+            (Pchls_sched.Schedule.start (Design.schedule d) op))
+        acts)
+    n.Netlist.activations
+
+let test_sources_within_register_range () =
+  let n = hal_netlist () in
+  List.iter
+    (fun (_, sources) ->
+      List.iter
+        (fun r ->
+          Alcotest.(check bool) "register in range" true
+            (r >= 0 && r < n.Netlist.register_count))
+        sources)
+    n.Netlist.fu_sources
+
+let test_writers_within_fu_range () =
+  let n = hal_netlist () in
+  let fu_ids = List.map (fun f -> f.Netlist.fu_id) n.Netlist.fus in
+  List.iter
+    (fun (_, writers) ->
+      List.iter
+        (fun w ->
+          Alcotest.(check bool) "writer is a known fu" true (List.mem w fu_ids))
+        writers)
+    n.Netlist.register_writers
+
+let test_every_register_written () =
+  let n = hal_netlist () in
+  List.iter
+    (fun (r, writers) ->
+      Alcotest.(check bool) (Printf.sprintf "register %d written" r) true
+        (writers <> []))
+    n.Netlist.register_writers
+
+let test_mux_count_nonnegative () =
+  let n = hal_netlist () in
+  Alcotest.(check bool) "non-negative" true (Netlist.mux_count n >= 0)
+
+let test_pp_smoke () =
+  let s = Format.asprintf "%a" Netlist.pp (hal_netlist ()) in
+  Alcotest.(check bool) "prints" true (String.length s > 40)
+
+let () =
+  Alcotest.run "netlist"
+    [
+      ( "netlist",
+        [
+          Alcotest.test_case "structure mirrors design" `Quick test_structure;
+          Alcotest.test_case "labels unique" `Quick test_labels_unique;
+          Alcotest.test_case "activations cover all ops" `Quick
+            test_activations_cover_all_ops;
+          Alcotest.test_case "activations match schedule" `Quick
+            test_activations_match_schedule;
+          Alcotest.test_case "sources in register range" `Quick
+            test_sources_within_register_range;
+          Alcotest.test_case "writers are known fus" `Quick
+            test_writers_within_fu_range;
+          Alcotest.test_case "every register written" `Quick
+            test_every_register_written;
+          Alcotest.test_case "mux count sane" `Quick test_mux_count_nonnegative;
+          Alcotest.test_case "pp" `Quick test_pp_smoke;
+        ] );
+    ]

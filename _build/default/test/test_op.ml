@@ -1,0 +1,101 @@
+module Op = Pchls_dfg.Op
+
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let test_equal_reflexive () =
+  List.iter (fun k -> check "k = k" true (Op.equal k k)) Op.all
+
+let test_equal_distinct () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if Op.compare a b <> 0 then check "distinct" false (Op.equal a b))
+        Op.all)
+    Op.all
+
+let test_compare_total_order () =
+  let sorted = List.sort Op.compare Op.all in
+  Alcotest.(check int) "all kinds kept" (List.length Op.all) (List.length sorted);
+  let rec strictly_increasing = function
+    | a :: (b :: _ as rest) -> Op.compare a b < 0 && strictly_increasing rest
+    | [ _ ] | [] -> true
+  in
+  check "strict order" true (strictly_increasing sorted)
+
+let test_all_complete () = Alcotest.(check int) "six kinds" 6 (List.length Op.all)
+
+let test_to_string_unique () =
+  let names = List.map Op.to_string Op.all in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq String.compare names))
+
+let test_roundtrip () =
+  List.iter
+    (fun k ->
+      match Op.of_string (Op.to_string k) with
+      | Ok k' -> check "roundtrip" true (Op.equal k k')
+      | Error e -> Alcotest.fail e)
+    Op.all
+
+let test_of_string_symbols () =
+  let expect s k =
+    match Op.of_string s with
+    | Ok k' -> check (Printf.sprintf "%S parses" s) true (Op.equal k k')
+    | Error e -> Alcotest.fail e
+  in
+  expect "+" Op.Add;
+  expect "-" Op.Sub;
+  expect "*" Op.Mult;
+  expect ">" Op.Comp;
+  expect "imp" Op.Input;
+  expect "xpt" Op.Output
+
+let test_of_string_case_insensitive () =
+  match Op.of_string "  MULT " with
+  | Ok k -> check "MULT" true (Op.equal k Op.Mult)
+  | Error e -> Alcotest.fail e
+
+let test_of_string_unknown () =
+  match Op.of_string "divide" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error msg -> check "mentions input" true (String.length msg > 0)
+
+let test_symbols () =
+  check_str "mult symbol" "*" (Op.symbol Op.Mult);
+  check_str "add symbol" "+" (Op.symbol Op.Add);
+  check_str "comp symbol" ">" (Op.symbol Op.Comp)
+
+let test_is_transfer () =
+  check "input" true (Op.is_transfer Op.Input);
+  check "output" true (Op.is_transfer Op.Output);
+  check "add" false (Op.is_transfer Op.Add);
+  check "mult" false (Op.is_transfer Op.Mult)
+
+let test_pp () =
+  check_str "pp" "mult" (Format.asprintf "%a" Op.pp Op.Mult)
+
+let () =
+  Alcotest.run "op"
+    [
+      ( "op",
+        [
+          Alcotest.test_case "equal is reflexive" `Quick test_equal_reflexive;
+          Alcotest.test_case "equal distinguishes kinds" `Quick test_equal_distinct;
+          Alcotest.test_case "compare is a strict total order" `Quick
+            test_compare_total_order;
+          Alcotest.test_case "all lists every kind" `Quick test_all_complete;
+          Alcotest.test_case "names are unique" `Quick test_to_string_unique;
+          Alcotest.test_case "to_string/of_string roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "of_string accepts symbols" `Quick
+            test_of_string_symbols;
+          Alcotest.test_case "of_string is case-insensitive" `Quick
+            test_of_string_case_insensitive;
+          Alcotest.test_case "of_string rejects unknown" `Quick
+            test_of_string_unknown;
+          Alcotest.test_case "operator symbols" `Quick test_symbols;
+          Alcotest.test_case "is_transfer" `Quick test_is_transfer;
+          Alcotest.test_case "pp prints the name" `Quick test_pp;
+        ] );
+    ]

@@ -1,0 +1,213 @@
+module H = Test_helpers
+module Pasap = Pchls_sched.Pasap
+module Schedule = Pchls_sched.Schedule
+module Graph = Pchls_dfg.Graph
+module Profile = Pchls_power.Profile
+module B = Pchls_dfg.Benchmarks
+
+let feasible = function
+  | Pasap.Feasible s -> s
+  | Pasap.Infeasible { node; reason } ->
+    Alcotest.fail (Printf.sprintf "infeasible at %d: %s" node reason)
+
+let infeasible_node = function
+  | Pasap.Feasible _ -> Alcotest.fail "expected infeasible"
+  | Pasap.Infeasible { node; _ } -> node
+
+let check_power g s ~info ~limit =
+  let horizon = Schedule.makespan s ~info in
+  let p = Schedule.profile s ~info ~horizon in
+  Alcotest.(check bool)
+    (Printf.sprintf "peak %.2f <= %.2f" (Profile.peak p) limit)
+    true
+    (Profile.peak p <= limit +. Profile.eps);
+  ignore g
+
+let test_unconstrained_equals_asap () =
+  let g = B.hal in
+  let info = H.table1_info () g in
+  let asap = Pchls_sched.Asap.run g ~info in
+  let s = feasible (Pasap.run g ~info ~horizon:40 ()) in
+  Alcotest.(check (list (pair int int)))
+    "same schedule" (Schedule.bindings asap) (Schedule.bindings s)
+
+(* fork4 has four independent adds; with power for only one add per cycle
+   they must serialize. *)
+let test_power_serializes () =
+  let g = H.fork4 () in
+  let info = H.uniform_info ~power:2. () in
+  let s = feasible (Pasap.run g ~info ~horizon:20 ~power_limit:2. ()) in
+  H.check_total g s;
+  H.check_precedences g s ~info;
+  check_power g s ~info ~limit:2.;
+  (* the four parallel adds now occupy four distinct cycles *)
+  let starts = List.sort compare (List.map (Schedule.start s) [ 1; 2; 3; 4 ]) in
+  Alcotest.(check (list int)) "serialized" [ 1; 2; 3; 4 ] starts
+
+let test_power_loose_keeps_parallel () =
+  let g = H.fork4 () in
+  let info = H.uniform_info ~power:2. () in
+  let s = feasible (Pasap.run g ~info ~horizon:20 ~power_limit:8. ()) in
+  let starts = List.sort_uniq compare (List.map (Schedule.start s) [ 1; 2; 3; 4 ]) in
+  Alcotest.(check (list int)) "all four in cycle 1" [ 1 ] starts
+
+let test_infeasible_when_op_exceeds_limit () =
+  let g = H.chain3 () in
+  let info = H.uniform_info ~power:5. () in
+  let node = infeasible_node (Pasap.run g ~info ~horizon:10 ~power_limit:4. ()) in
+  Alcotest.(check bool) "some node blamed" true (Graph.mem g node)
+
+let test_infeasible_when_horizon_too_small () =
+  let g = H.chain3 () in
+  let info = H.uniform_info () in
+  let node = infeasible_node (Pasap.run g ~info ~horizon:2 ()) in
+  Alcotest.(check bool) "blames a node" true (Graph.mem g node)
+
+let test_all_benchmarks_feasible_with_budget () =
+  List.iter
+    (fun (name, g) ->
+      let info = H.table1_info () g in
+      let cp =
+        Graph.critical_path g ~latency:(fun id -> (info id).Schedule.latency)
+      in
+      let limit = 12. in
+      let s =
+        feasible (Pasap.run g ~info ~horizon:(cp * 4) ~power_limit:limit ())
+      in
+      H.check_total g s;
+      H.check_precedences g s ~info;
+      check_power g s ~info ~limit;
+      ignore name)
+    B.all
+
+let test_locked_respected () =
+  let g = H.chain3 () in
+  let info = H.uniform_info () in
+  let s = feasible (Pasap.run g ~info ~horizon:10 ~locked:[ (1, 5) ] ()) in
+  Alcotest.(check int) "locked op kept" 5 (Schedule.start s 1);
+  Alcotest.(check bool) "succ after locked" true (Schedule.start s 2 >= 6)
+
+let test_locked_power_reserved () =
+  (* Locked op occupies the only power slot of cycle 0, pushing source away. *)
+  let g =
+    Graph.create_exn ~name:"pair"
+      ~nodes:
+        [
+          { Graph.id = 0; name = "i1"; kind = Pchls_dfg.Op.Input };
+          { Graph.id = 1; name = "i2"; kind = Pchls_dfg.Op.Input };
+        ]
+      ~edges:[]
+  in
+  let info = H.uniform_info ~power:3. () in
+  let s =
+    feasible (Pasap.run g ~info ~horizon:5 ~power_limit:3. ~locked:[ (0, 0) ] ())
+  in
+  Alcotest.(check int) "unlocked shifted" 1 (Schedule.start s 1)
+
+let test_locked_outside_horizon_infeasible () =
+  let g = H.chain3 () in
+  let info = H.uniform_info () in
+  Alcotest.(check int) "blames locked node" 1
+    (infeasible_node (Pasap.run g ~info ~horizon:5 ~locked:[ (1, 9) ] ()))
+
+let test_locked_precedence_violation_detected () =
+  let g = H.chain3 () in
+  let info = H.uniform_info () in
+  (* node 1 locked at 0 but its predecessor 0 needs cycle 0 too *)
+  Alcotest.(check int) "blames succ" 1
+    (infeasible_node (Pasap.run g ~info ~horizon:5 ~locked:[ (1, 0) ] ()))
+
+let test_locked_overload_detected () =
+  let g =
+    Graph.create_exn ~name:"pair"
+      ~nodes:
+        [
+          { Graph.id = 0; name = "i1"; kind = Pchls_dfg.Op.Input };
+          { Graph.id = 1; name = "i2"; kind = Pchls_dfg.Op.Input };
+        ]
+      ~edges:[]
+  in
+  let info = H.uniform_info ~power:3. () in
+  match
+    Pasap.run g ~info ~horizon:5 ~power_limit:4. ~locked:[ (0, 0); (1, 0) ] ()
+  with
+  | Pasap.Feasible _ -> Alcotest.fail "locked ops exceed budget together"
+  | Pasap.Infeasible _ -> ()
+
+let test_locked_validation () =
+  let g = H.chain3 () in
+  let info = H.uniform_info () in
+  Alcotest.(check bool) "unknown locked id" true
+    (try
+       ignore (Pasap.run g ~info ~horizon:5 ~locked:[ (99, 0) ] ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "double lock" true
+    (try
+       ignore (Pasap.run g ~info ~horizon:5 ~locked:[ (1, 1); (1, 2) ] ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_deterministic () =
+  let g = B.elliptic in
+  let info = H.table1_info () g in
+  let a = feasible (Pasap.run g ~info ~horizon:40 ~power_limit:15. ()) in
+  let b = feasible (Pasap.run g ~info ~horizon:40 ~power_limit:15. ()) in
+  Alcotest.(check (list (pair int int)))
+    "same run twice" (Schedule.bindings a) (Schedule.bindings b)
+
+let test_schedule_exn () =
+  Alcotest.(check bool) "raises on infeasible" true
+    (try
+       ignore
+         (Pasap.schedule_exn (Pasap.Infeasible { node = 1; reason = "x" }));
+       false
+     with Failure _ -> true)
+
+let test_tighter_budget_never_shorter () =
+  let g = B.hal in
+  let info = H.table1_info () g in
+  let ms limit =
+    let s = feasible (Pasap.run g ~info ~horizon:60 ~power_limit:limit ()) in
+    Schedule.makespan s ~info
+  in
+  Alcotest.(check bool) "monotone stretch" true (ms 6. >= ms 12.);
+  Alcotest.(check bool) "monotone stretch 2" true (ms 12. >= ms 100.)
+
+let () =
+  Alcotest.run "pasap"
+    [
+      ( "pasap",
+        [
+          Alcotest.test_case "infinite budget equals asap" `Quick
+            test_unconstrained_equals_asap;
+          Alcotest.test_case "tight budget serializes parallel ops" `Quick
+            test_power_serializes;
+          Alcotest.test_case "loose budget keeps parallelism" `Quick
+            test_power_loose_keeps_parallel;
+          Alcotest.test_case "op above limit is infeasible" `Quick
+            test_infeasible_when_op_exceeds_limit;
+          Alcotest.test_case "horizon too small is infeasible" `Quick
+            test_infeasible_when_horizon_too_small;
+          Alcotest.test_case "all benchmarks under a 12-power budget" `Quick
+            test_all_benchmarks_feasible_with_budget;
+          Alcotest.test_case "tighter budget never shortens makespan" `Quick
+            test_tighter_budget_never_shorter;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "schedule_exn raises" `Quick test_schedule_exn;
+        ] );
+      ( "locking",
+        [
+          Alcotest.test_case "locked times respected" `Quick test_locked_respected;
+          Alcotest.test_case "locked power reserved" `Quick
+            test_locked_power_reserved;
+          Alcotest.test_case "locked outside horizon rejected" `Quick
+            test_locked_outside_horizon_infeasible;
+          Alcotest.test_case "locked precedence violation rejected" `Quick
+            test_locked_precedence_violation_detected;
+          Alcotest.test_case "locked overload rejected" `Quick
+            test_locked_overload_detected;
+          Alcotest.test_case "locked argument validation" `Quick
+            test_locked_validation;
+        ] );
+    ]

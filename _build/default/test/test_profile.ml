@@ -1,0 +1,172 @@
+module Profile = Pchls_power.Profile
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_create_zero () =
+  let p = Profile.create ~horizon:5 in
+  Alcotest.(check int) "horizon" 5 (Profile.horizon p);
+  for c = 0 to 4 do
+    feq "zero" 0. (Profile.get p c)
+  done;
+  feq "peak" 0. (Profile.peak p);
+  feq "energy" 0. (Profile.energy p);
+  Alcotest.(check (option int)) "no peak cycle" None (Profile.peak_cycle p)
+
+let test_negative_horizon () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Profile.create ~horizon:(-1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_add_and_get () =
+  let p = Profile.create ~horizon:6 in
+  Profile.add p ~start:1 ~latency:3 ~power:2.5;
+  feq "before" 0. (Profile.get p 0);
+  feq "in 1" 2.5 (Profile.get p 1);
+  feq "in 3" 2.5 (Profile.get p 3);
+  feq "after" 0. (Profile.get p 4)
+
+let test_add_accumulates () =
+  let p = Profile.create ~horizon:4 in
+  Profile.add p ~start:0 ~latency:2 ~power:2.;
+  Profile.add p ~start:1 ~latency:2 ~power:3.;
+  feq "cycle 0" 2. (Profile.get p 0);
+  feq "cycle 1" 5. (Profile.get p 1);
+  feq "cycle 2" 3. (Profile.get p 2)
+
+let test_remove_restores () =
+  let p = Profile.create ~horizon:4 in
+  Profile.add p ~start:0 ~latency:2 ~power:2.;
+  Profile.add p ~start:1 ~latency:2 ~power:3.;
+  Profile.remove p ~start:1 ~latency:2 ~power:3.;
+  feq "cycle 1 back" 2. (Profile.get p 1);
+  feq "cycle 2 back" 0. (Profile.get p 2)
+
+let test_remove_clamps_float_noise () =
+  let p = Profile.create ~horizon:1 in
+  Profile.add p ~start:0 ~latency:1 ~power:0.1;
+  Profile.add p ~start:0 ~latency:1 ~power:0.2;
+  Profile.remove p ~start:0 ~latency:1 ~power:0.2;
+  Profile.remove p ~start:0 ~latency:1 ~power:0.1;
+  feq "exactly zero" 0. (Profile.get p 0)
+
+let test_interval_validation () =
+  let p = Profile.create ~horizon:3 in
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "start < 0" true
+    (raises (fun () -> Profile.add p ~start:(-1) ~latency:1 ~power:1.));
+  Alcotest.(check bool) "beyond horizon" true
+    (raises (fun () -> Profile.add p ~start:2 ~latency:2 ~power:1.));
+  Alcotest.(check bool) "zero latency" true
+    (raises (fun () -> Profile.add p ~start:0 ~latency:0 ~power:1.));
+  Alcotest.(check bool) "negative power" true
+    (raises (fun () -> Profile.add p ~start:0 ~latency:1 ~power:(-1.)))
+
+let test_fits_basic () =
+  let p = Profile.create ~horizon:4 in
+  Profile.add p ~start:0 ~latency:4 ~power:3.;
+  Alcotest.(check bool) "fits under limit" true
+    (Profile.fits p ~start:1 ~latency:2 ~power:2. ~limit:5.);
+  Alcotest.(check bool) "exceeds limit" false
+    (Profile.fits p ~start:1 ~latency:2 ~power:2.5 ~limit:5.)
+
+let test_fits_boundary_epsilon () =
+  let p = Profile.create ~horizon:2 in
+  Profile.add p ~start:0 ~latency:2 ~power:2.5;
+  Alcotest.(check bool) "exact boundary fits" true
+    (Profile.fits p ~start:0 ~latency:2 ~power:2.5 ~limit:5.)
+
+let test_fits_outside_horizon () =
+  let p = Profile.create ~horizon:3 in
+  Alcotest.(check bool) "spills out" false
+    (Profile.fits p ~start:2 ~latency:2 ~power:1. ~limit:10.);
+  Alcotest.(check bool) "negative start" false
+    (Profile.fits p ~start:(-1) ~latency:1 ~power:1. ~limit:10.)
+
+let test_peak_and_cycle () =
+  let p = Profile.create ~horizon:5 in
+  Profile.add p ~start:0 ~latency:1 ~power:1.;
+  Profile.add p ~start:2 ~latency:2 ~power:4.;
+  feq "peak" 4. (Profile.peak p);
+  Alcotest.(check (option int)) "first peak cycle" (Some 2) (Profile.peak_cycle p)
+
+let test_busy_length_and_average () =
+  let p = Profile.create ~horizon:10 in
+  Profile.add p ~start:0 ~latency:2 ~power:3.;
+  Profile.add p ~start:3 ~latency:1 ~power:3.;
+  Alcotest.(check int) "busy length" 4 (Profile.busy_length p);
+  feq "energy" 9. (Profile.energy p);
+  feq "average over busy prefix" 2.25 (Profile.average p)
+
+let test_average_idle () =
+  feq "idle average" 0. (Profile.average (Profile.create ~horizon:4))
+
+let test_copy_independent () =
+  let p = Profile.create ~horizon:2 in
+  Profile.add p ~start:0 ~latency:1 ~power:1.;
+  let q = Profile.copy p in
+  Profile.add q ~start:0 ~latency:1 ~power:1.;
+  feq "original untouched" 1. (Profile.get p 0);
+  feq "copy changed" 2. (Profile.get q 0)
+
+let test_array_roundtrip () =
+  let a = [| 1.; 0.; 2.5 |] in
+  let p = Profile.of_array a in
+  Alcotest.(check (array (float 0.))) "roundtrip" a (Profile.to_array p);
+  a.(0) <- 99.;
+  feq "defensive copy" 1. (Profile.get p 0)
+
+let test_of_array_negative () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Profile.of_array [| -1. |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_render () =
+  let p = Profile.create ~horizon:3 in
+  Profile.add p ~start:0 ~latency:1 ~power:4.;
+  Profile.add p ~start:1 ~latency:1 ~power:2.;
+  let s = Profile.render ~width:10 ~limit:4. p in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "one line per cycle plus trailing" 4 (List.length lines);
+  Alcotest.(check bool) "bars drawn" true
+    (String.contains s '#' && String.contains s '|')
+
+let () =
+  Alcotest.run "profile"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "fresh profile is zero" `Quick test_create_zero;
+          Alcotest.test_case "negative horizon rejected" `Quick
+            test_negative_horizon;
+          Alcotest.test_case "of_array roundtrip" `Quick test_array_roundtrip;
+          Alcotest.test_case "of_array rejects negatives" `Quick
+            test_of_array_negative;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "add covers the interval" `Quick test_add_and_get;
+          Alcotest.test_case "adds accumulate" `Quick test_add_accumulates;
+          Alcotest.test_case "remove undoes add" `Quick test_remove_restores;
+          Alcotest.test_case "remove clamps float noise" `Quick
+            test_remove_clamps_float_noise;
+          Alcotest.test_case "interval validation" `Quick test_interval_validation;
+          Alcotest.test_case "copy is independent" `Quick test_copy_independent;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "fits respects budget" `Quick test_fits_basic;
+          Alcotest.test_case "fits exact boundary" `Quick
+            test_fits_boundary_epsilon;
+          Alcotest.test_case "fits rejects out-of-horizon" `Quick
+            test_fits_outside_horizon;
+          Alcotest.test_case "peak and peak cycle" `Quick test_peak_and_cycle;
+          Alcotest.test_case "busy length, energy, average" `Quick
+            test_busy_length_and_average;
+          Alcotest.test_case "idle average" `Quick test_average_idle;
+          Alcotest.test_case "render" `Quick test_render;
+        ] );
+    ]

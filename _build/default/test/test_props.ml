@@ -1,0 +1,375 @@
+(* Property-based tests (qcheck) on the core data structures and the
+   scheduling/synthesis invariants, over seeded random data-flow graphs. *)
+
+module H = Test_helpers
+module Generator = Pchls_dfg.Generator
+module Graph = Pchls_dfg.Graph
+module Profile = Pchls_power.Profile
+module Schedule = Pchls_sched.Schedule
+module Pasap = Pchls_sched.Pasap
+module Palap = Pchls_sched.Palap
+module Cgraph = Pchls_compat.Cgraph
+module Clique = Pchls_compat.Clique
+module Exact = Pchls_compat.Exact
+module Regalloc = Pchls_core.Regalloc
+module Engine = Pchls_core.Engine
+module Design = Pchls_core.Design
+module Library = Pchls_fulib.Library
+module Model = Pchls_battery.Model
+module Sim = Pchls_battery.Sim
+
+let graph_gen =
+  QCheck.Gen.(
+    map3
+      (fun seed layers width ->
+        Generator.layered ~seed ~layers:(1 + layers) ~width:(1 + width) ())
+      (int_bound 10_000) (int_bound 5) (int_bound 4))
+
+let arbitrary_graph =
+  QCheck.make graph_gen ~print:(fun g ->
+      Format.asprintf "%a" Graph.pp g)
+
+let table1_info g id = H.table1_info () g id
+
+let prop_topo_order_respects_edges =
+  QCheck.Test.make ~name:"topological order respects every edge" ~count:100
+    arbitrary_graph (fun g ->
+      let position = Hashtbl.create 64 in
+      List.iteri
+        (fun i id -> Hashtbl.replace position id i)
+        (Graph.topological_order g);
+      List.for_all
+        (fun (a, b) -> Hashtbl.find position a < Hashtbl.find position b)
+        (Graph.edges g))
+
+let prop_critical_path_at_least_longest_latency =
+  QCheck.Test.make ~name:"critical path >= any single latency" ~count:100
+    arbitrary_graph (fun g ->
+      let latency id = (table1_info g id).Schedule.latency in
+      let cp = Graph.critical_path g ~latency in
+      List.for_all (fun id -> cp >= latency id) (Graph.node_ids g))
+
+let prop_reverse_involutive =
+  QCheck.Test.make ~name:"reverse (reverse g) has g's edges" ~count:100
+    arbitrary_graph (fun g ->
+      Graph.edges (Graph.reverse (Graph.reverse g)) = Graph.edges g)
+
+(* Profile: a batch of adds followed by matching removes is the identity. *)
+let ops_gen =
+  QCheck.Gen.(
+    list_size (int_bound 20)
+      (triple (int_bound 30) (1 -- 4) (float_bound_inclusive 10.)))
+
+let prop_profile_add_remove_identity =
+  QCheck.Test.make ~name:"profile add/remove identity" ~count:200
+    (QCheck.make ops_gen) (fun ops ->
+      let p = Profile.create ~horizon:40 in
+      List.iter
+        (fun (start, latency, power) -> Profile.add p ~start ~latency ~power)
+        ops;
+      List.iter
+        (fun (start, latency, power) -> Profile.remove p ~start ~latency ~power)
+        ops;
+      Array.for_all (fun v -> Float.abs v < 1e-6) (Profile.to_array p))
+
+let prop_profile_energy_additive =
+  QCheck.Test.make ~name:"profile energy = sum of op energies" ~count:200
+    (QCheck.make ops_gen) (fun ops ->
+      let p = Profile.create ~horizon:40 in
+      List.iter
+        (fun (start, latency, power) -> Profile.add p ~start ~latency ~power)
+        ops;
+      let expect =
+        List.fold_left
+          (fun acc (_, latency, power) -> acc +. (float_of_int latency *. power))
+          0. ops
+      in
+      Float.abs (Profile.energy p -. expect) < 1e-6)
+
+(* pasap: every feasible outcome validates against the same constraints. *)
+let prop_pasap_feasible_is_valid =
+  QCheck.Test.make ~name:"pasap feasible schedules validate" ~count:60
+    QCheck.(pair arbitrary_graph (QCheck.make (QCheck.Gen.float_range 6. 30.)))
+    (fun (g, limit) ->
+      let info = table1_info g in
+      let cp =
+        Graph.critical_path g ~latency:(fun id -> (info id).Schedule.latency)
+      in
+      let horizon = cp * 4 in
+      match Pasap.run g ~info ~horizon ~power_limit:limit () with
+      | Pasap.Infeasible _ -> true (* allowed: limit may be below an op *)
+      | Pasap.Feasible s -> (
+        match
+          Schedule.validate g s ~info ~time_limit:horizon ~power_limit:limit ()
+        with
+        | Ok () -> true
+        | Error _ -> false))
+
+let prop_palap_feasible_is_valid =
+  QCheck.Test.make ~name:"palap feasible schedules validate" ~count:60
+    QCheck.(pair arbitrary_graph (QCheck.make (QCheck.Gen.float_range 6. 30.)))
+    (fun (g, limit) ->
+      let info = table1_info g in
+      let cp =
+        Graph.critical_path g ~latency:(fun id -> (info id).Schedule.latency)
+      in
+      let horizon = cp * 4 in
+      match Palap.run g ~info ~horizon ~power_limit:limit () with
+      | Pasap.Infeasible _ -> true
+      | Pasap.Feasible s -> (
+        match
+          Schedule.validate g s ~info ~time_limit:horizon ~power_limit:limit ()
+        with
+        | Ok () -> true
+        | Error _ -> false))
+
+(* Register allocation: left-edge never stores overlapping values together
+   and its count is exactly the maximum number of concurrently-live values. *)
+let prop_left_edge_optimal =
+  QCheck.Test.make ~name:"left-edge register count is optimal" ~count:60
+    arbitrary_graph (fun g ->
+      let info = table1_info g in
+      let s = Pchls_sched.Asap.run g ~info in
+      let ls = Regalloc.lifetimes g s ~info in
+      let regs = Regalloc.left_edge ls in
+      let horizon = Schedule.makespan s ~info + 1 in
+      let max_live = ref 0 in
+      for c = 0 to horizon do
+        let live =
+          List.length
+            (List.filter
+               (fun l -> l.Regalloc.birth <= c && c <= l.Regalloc.death)
+               ls)
+        in
+        max_live := max !max_live live
+      done;
+      Array.length regs = !max_live)
+
+(* Clique partitioning over random compatibility graphs. *)
+let cgraph_gen =
+  QCheck.Gen.(
+    let* n = 1 -- 9 in
+    let* edges =
+      list_size (int_bound (n * 2))
+        (triple (int_bound (n - 1)) (int_bound (n - 1))
+           (float_range (-5.) 10.))
+    in
+    return
+      (let g = Cgraph.create ~n in
+       List.iter (fun (u, v, w) -> if u <> v then Cgraph.add_edge g u v w) edges;
+       g))
+
+let arbitrary_cgraph =
+  QCheck.make cgraph_gen ~print:(fun g ->
+      Printf.sprintf "cgraph n=%d edges=%d" (Cgraph.vertex_count g)
+        (Cgraph.edge_count g))
+
+let prop_greedy_partition_valid =
+  QCheck.Test.make ~name:"greedy clique partition is valid" ~count:200
+    arbitrary_cgraph (fun g -> Clique.is_valid g (Clique.greedy g))
+
+let prop_greedy_weight_nonnegative =
+  QCheck.Test.make ~name:"greedy never merges into negative weight" ~count:200
+    arbitrary_cgraph (fun g ->
+      Clique.total_weight g (Clique.greedy g) >= -1e-9)
+
+let prop_exact_dominates_greedy =
+  QCheck.Test.make ~name:"exact max-weight >= greedy" ~count:100
+    arbitrary_cgraph (fun g ->
+      match Exact.partition ~objective:Exact.Max_weight g with
+      | None -> true
+      | Some exact ->
+        Clique.is_valid g exact
+        && Clique.total_weight g exact
+           >= Clique.total_weight g (Clique.greedy g) -. 1e-9)
+
+(* Engine: on any generated graph, a synthesized design respects both
+   constraints (Design.assemble re-validates, so reaching Synthesized is the
+   property; we double-check the externally visible numbers). *)
+let prop_engine_output_valid =
+  QCheck.Test.make ~name:"engine output respects T and P" ~count:40
+    QCheck.(pair arbitrary_graph (QCheck.make (QCheck.Gen.float_range 9. 40.)))
+    (fun (g, limit) ->
+      let info = table1_info g in
+      let cp =
+        Graph.critical_path g ~latency:(fun id -> (info id).Schedule.latency)
+      in
+      let t = cp * 3 in
+      match
+        Engine.run ~library:Library.default ~time_limit:t ~power_limit:limit g
+      with
+      | Engine.Infeasible _ -> true
+      | Engine.Synthesized (d, _) ->
+        Design.makespan d <= t
+        && Profile.peak (Design.profile d) <= limit +. Profile.eps)
+
+(* Text format: parse (print g) = g for arbitrary generated graphs. *)
+let prop_text_format_roundtrip =
+  QCheck.Test.make ~name:"text format roundtrip" ~count:100 arbitrary_graph
+    (fun g ->
+      match
+        Pchls_dfg.Text_format.of_string (Pchls_dfg.Text_format.to_string g)
+      with
+      | Ok g' ->
+        Graph.edges g' = Graph.edges g
+        && List.for_all2
+             (fun (a : Graph.node) (b : Graph.node) ->
+               a.Graph.id = b.Graph.id
+               && a.Graph.name = b.Graph.name
+               && Pchls_dfg.Op.equal a.Graph.kind b.Graph.kind)
+             (Graph.nodes g) (Graph.nodes g')
+      | Error _ -> false)
+
+(* Engine with a single-multiplier cap: any synthesized design really uses
+   at most one serial multiplier and stays valid. *)
+let prop_engine_caps_respected =
+  QCheck.Test.make ~name:"engine respects instance caps" ~count:25
+    arbitrary_graph (fun g ->
+      let info = table1_info g in
+      let cp =
+        Graph.critical_path g ~latency:(fun id -> (info id).Schedule.latency)
+      in
+      match
+        Engine.run
+          ~max_instances:[ ("mult_ser", 1) ]
+          ~library:Library.default ~time_limit:(cp * 4) ~power_limit:25. g
+      with
+      | Engine.Infeasible _ -> true
+      | Engine.Synthesized (d, _) ->
+        let count =
+          List.length
+            (List.filter
+               (fun (i : Design.instance) ->
+                 i.Design.spec.Pchls_fulib.Module_spec.name = "mult_ser")
+               (Design.instances d))
+        in
+        count <= 1)
+
+(* Functional verification over random graphs: the synthesized datapath
+   computes exactly what the graph specifies for arbitrary inputs. *)
+let prop_datapath_computes_reference =
+  QCheck.Test.make ~name:"synthesized datapath = reference evaluation"
+    ~count:30
+    QCheck.(pair arbitrary_graph (QCheck.make (QCheck.Gen.float_range 0.1 3.)))
+    (fun (g, scale) ->
+      let info = table1_info g in
+      let cp =
+        Graph.critical_path g ~latency:(fun id -> (info id).Schedule.latency)
+      in
+      match
+        Engine.run ~library:Library.default ~time_limit:(cp * 3)
+          ~power_limit:20. g
+      with
+      | Engine.Infeasible _ -> true
+      | Engine.Synthesized (d, _) -> (
+        let inputs =
+          List.mapi
+            (fun i id ->
+              (Graph.node_name g id, scale *. float_of_int (i + 1)))
+            (Graph.nodes_of_kind g Pchls_dfg.Op.Input)
+        in
+        match Pchls_core.Simulate.run d ~inputs with
+        | Error _ -> false
+        | Ok v ->
+          let reference = Pchls_core.Simulate.reference g ~inputs () in
+          List.for_all
+            (fun (name, got) ->
+              let node =
+                List.find
+                  (fun (n : Graph.node) ->
+                    n.Graph.name = name
+                    && Pchls_dfg.Op.equal n.Graph.kind Pchls_dfg.Op.Output)
+                  (Graph.nodes g)
+              in
+              let want = List.assoc node.Graph.id reference in
+              Float.abs (got -. want) <= 1e-6 *. (1. +. Float.abs want))
+            v.Pchls_core.Simulate.outputs))
+
+(* Rebinding improvement: never increases area, never breaks constraints. *)
+let prop_rebind_safe =
+  QCheck.Test.make ~name:"rebind never worse and stays valid" ~count:20
+    arbitrary_graph (fun g ->
+      let info = table1_info g in
+      let cp =
+        Graph.critical_path g ~latency:(fun id -> (info id).Schedule.latency)
+      in
+      let t = cp * 3 in
+      match
+        Engine.run ~library:Library.default ~time_limit:t ~power_limit:15. g
+      with
+      | Engine.Infeasible _ -> true
+      | Engine.Synthesized (d, _) ->
+        let d' =
+          Pchls_core.Improve.rebind
+            ~cost_model:Pchls_core.Cost_model.default d
+        in
+        (Design.area d').Design.total <= (Design.area d).Design.total +. 1e-9
+        && Design.makespan d' <= t
+        && Profile.peak (Design.profile d') <= 15. +. Profile.eps)
+
+(* Battery: lifetime is monotone in capacity for every model. *)
+let prop_battery_monotone_capacity =
+  QCheck.Test.make ~name:"battery lifetime monotone in capacity" ~count:100
+    (QCheck.make
+       QCheck.Gen.(
+         pair (float_range 10. 100.)
+           (list_size (1 -- 8) (float_range 0.5 5.))))
+    (fun (cap, profile) ->
+      let profile = Array.of_list profile in
+      let life model = Sim.cycles (Sim.lifetime model ~profile ~max_cycles:1_000_000) in
+      life (Model.ideal ~capacity:(2. *. cap)) >= life (Model.ideal ~capacity:cap)
+      && life (Model.peukert ~capacity:(2. *. cap) ~exponent:1.2 ~reference:2.)
+         >= life (Model.peukert ~capacity:cap ~exponent:1.2 ~reference:2.)
+      && life (Model.kibam ~capacity:(2. *. cap) ~well_fraction:0.3 ~rate:0.05)
+         >= life (Model.kibam ~capacity:cap ~well_fraction:0.3 ~rate:0.05))
+
+(* Peukert: among same-energy two-phase profiles, the flatter one never
+   lives shorter. *)
+let prop_peukert_prefers_flat =
+  QCheck.Test.make ~name:"peukert prefers flat profiles" ~count:100
+    (QCheck.make QCheck.Gen.(float_range 0.5 4.))
+    (fun base ->
+      let m () = Model.peukert ~capacity:500. ~exponent:1.3 ~reference:2. in
+      let flat = [| base; base |] in
+      let peaky = [| 2. *. base; 0. |] in
+      Sim.cycles (Sim.lifetime (m ()) ~profile:flat ~max_cycles:10_000_000)
+      >= Sim.cycles (Sim.lifetime (m ()) ~profile:peaky ~max_cycles:10_000_000))
+
+let () =
+  let to_alcotest = QCheck_alcotest.to_alcotest in
+  Alcotest.run "props"
+    [
+      ( "graphs",
+        List.map to_alcotest
+          [
+            prop_topo_order_respects_edges;
+            prop_critical_path_at_least_longest_latency;
+            prop_reverse_involutive;
+          ] );
+      ( "profiles",
+        List.map to_alcotest
+          [ prop_profile_add_remove_identity; prop_profile_energy_additive ] );
+      ( "schedulers",
+        List.map to_alcotest
+          [ prop_pasap_feasible_is_valid; prop_palap_feasible_is_valid ] );
+      ( "allocation",
+        List.map to_alcotest
+          [
+            prop_left_edge_optimal;
+            prop_greedy_partition_valid;
+            prop_greedy_weight_nonnegative;
+            prop_exact_dominates_greedy;
+          ] );
+      ( "engine",
+        List.map to_alcotest
+          [
+            prop_engine_output_valid;
+            prop_engine_caps_respected;
+            prop_datapath_computes_reference;
+            prop_rebind_safe;
+          ] );
+      ("formats", List.map to_alcotest [ prop_text_format_roundtrip ]);
+      ( "battery",
+        List.map to_alcotest
+          [ prop_battery_monotone_capacity; prop_peukert_prefers_flat ] );
+    ]

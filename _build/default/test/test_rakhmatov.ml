@@ -1,0 +1,113 @@
+module R = Pchls_battery.Rakhmatov
+module Sim = Pchls_battery.Sim
+
+let test_validation () =
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "alpha <= 0" true
+    (raises (fun () -> R.create ~alpha:0. ~beta:1. ()));
+  Alcotest.(check bool) "beta <= 0" true
+    (raises (fun () -> R.create ~alpha:1. ~beta:0. ()));
+  Alcotest.(check bool) "modes < 1" true
+    (raises (fun () -> R.create ~alpha:1. ~beta:1. ~modes:0 ()));
+  let t = R.create ~alpha:5. ~beta:2. () in
+  Alcotest.(check bool) "empty profile" true
+    (raises (fun () -> R.lifetime t ~profile:[||] ~max_cycles:5));
+  Alcotest.(check bool) "negative load" true
+    (raises (fun () -> R.lifetime t ~profile:[| -1. |] ~max_cycles:5))
+
+let test_accessors () =
+  let t = R.create ~alpha:42. ~beta:0.5 () in
+  Alcotest.(check (float 0.)) "alpha" 42. (R.alpha t);
+  Alcotest.(check (float 0.)) "beta" 0.5 (R.beta t)
+
+let test_large_beta_is_ideal () =
+  (* With beta huge, unavailable charge vanishes: lifetime = alpha / load. *)
+  let t = R.create ~alpha:100. ~beta:50. () in
+  match R.lifetime t ~profile:[| 2. |] ~max_cycles:1000 with
+  | Sim.Dies_at n -> Alcotest.(check int) "alpha/I - 1 cycles run" 49 n
+  | Sim.Survives _ -> Alcotest.fail "must die"
+
+let test_small_beta_penalises_load () =
+  (* Slow diffusion: apparent charge per unit drawn is much higher. *)
+  let slow = R.create ~alpha:100. ~beta:0.1 () in
+  let fast = R.create ~alpha:100. ~beta:10. () in
+  let life t = Sim.cycles (R.lifetime t ~profile:[| 2. |] ~max_cycles:100_000) in
+  Alcotest.(check bool) "slow cell dies first" true (life slow < life fast)
+
+let test_flat_outlives_peaky () =
+  let t () = R.create ~alpha:2_000. ~beta:0.3 () in
+  let flat = Sim.cycles (R.lifetime (t ()) ~profile:[| 3.; 3. |] ~max_cycles:1_000_000) in
+  let peaky = Sim.cycles (R.lifetime (t ()) ~profile:[| 6.; 0. |] ~max_cycles:1_000_000) in
+  Alcotest.(check bool)
+    (Printf.sprintf "flat %d >= peaky %d" flat peaky)
+    true (flat >= peaky)
+
+let test_monotone_in_alpha () =
+  let life alpha =
+    Sim.cycles
+      (R.lifetime (R.create ~alpha ~beta:0.5 ()) ~profile:[| 1.; 4. |]
+         ~max_cycles:1_000_000)
+  in
+  Alcotest.(check bool) "more capacity, longer life" true
+    (life 2000. >= life 1000.)
+
+let test_apparent_charge_monotone_under_load () =
+  (* Under a constant positive load sigma only grows; during idle cycles it
+     may shrink (recovery), which test_apparent_charge_exceeds_drawn covers. *)
+  let t = R.create ~alpha:1e9 ~beta:0.4 () in
+  let profile = [| 2.; 3. |] in
+  let sigma c = R.apparent_charge t ~profile ~cycles:c in
+  Alcotest.(check bool) "monotone under load" true
+    (sigma 1 <= sigma 2 && sigma 2 <= sigma 10 && sigma 10 <= sigma 50)
+
+let test_apparent_charge_exceeds_drawn () =
+  let t = R.create ~alpha:1e9 ~beta:0.4 () in
+  let sigma = R.apparent_charge t ~profile:[| 3. |] ~cycles:10 in
+  Alcotest.(check bool) "sigma >= drawn" true (sigma >= 30.);
+  (* and recovery: after load stops, sigma decays towards drawn *)
+  let with_rest =
+    R.apparent_charge t ~profile:[| 3.; 3.; 3.; 3.; 3.; 0.; 0.; 0.; 0.; 0. |]
+      ~cycles:10
+  in
+  let without_rest = R.apparent_charge t ~profile:[| 3. |] ~cycles:5 in
+  Alcotest.(check bool) "recovery during idle tail" true
+    (with_rest -. 15. < without_rest -. 15. +. 1e-9 || with_rest < sigma)
+
+let test_survives_budget () =
+  let t = R.create ~alpha:1e12 ~beta:1. () in
+  match R.lifetime t ~profile:[| 1. |] ~max_cycles:100 with
+  | Sim.Survives 100 -> ()
+  | Sim.Survives _ | Sim.Dies_at _ -> Alcotest.fail "should survive the budget"
+
+let test_more_modes_never_optimistic () =
+  (* Adding modes adds unavailable charge, shortening (or keeping) life. *)
+  let life modes =
+    Sim.cycles
+      (R.lifetime
+         (R.create ~alpha:2000. ~beta:0.3 ~modes ())
+         ~profile:[| 4.; 1. |] ~max_cycles:1_000_000)
+  in
+  Alcotest.(check bool) "10 modes <= 1 mode" true (life 10 <= life 1)
+
+let () =
+  Alcotest.run "rakhmatov"
+    [
+      ( "rakhmatov",
+        [
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "accessors" `Quick test_accessors;
+          Alcotest.test_case "large beta degenerates to ideal" `Quick
+            test_large_beta_is_ideal;
+          Alcotest.test_case "small beta penalises load" `Quick
+            test_small_beta_penalises_load;
+          Alcotest.test_case "flat outlives peaky" `Quick test_flat_outlives_peaky;
+          Alcotest.test_case "monotone in alpha" `Quick test_monotone_in_alpha;
+          Alcotest.test_case "apparent charge monotone under load" `Quick
+            test_apparent_charge_monotone_under_load;
+          Alcotest.test_case "apparent charge exceeds drawn; recovers" `Quick
+            test_apparent_charge_exceeds_drawn;
+          Alcotest.test_case "survives the budget" `Quick test_survives_budget;
+          Alcotest.test_case "more modes never optimistic" `Quick
+            test_more_modes_never_optimistic;
+        ] );
+    ]

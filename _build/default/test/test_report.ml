@@ -1,0 +1,100 @@
+module Report = Pchls_core.Report
+module Engine = Pchls_core.Engine
+module Design = Pchls_core.Design
+module Library = Pchls_fulib.Library
+module Graph = Pchls_dfg.Graph
+module Op = Pchls_dfg.Op
+module Schedule = Pchls_sched.Schedule
+module B = Pchls_dfg.Benchmarks
+
+let design () =
+  match
+    Engine.run ~library:Library.default ~time_limit:17 ~power_limit:10. B.hal
+  with
+  | Engine.Synthesized (d, _) -> d
+  | Engine.Infeasible { reason } -> Alcotest.fail reason
+
+let test_rows_cover_all_ops () =
+  let d = design () in
+  let rows = Report.rows d in
+  Alcotest.(check int) "one row per op" (Graph.node_count B.hal)
+    (List.length rows);
+  List.iteri
+    (fun i r ->
+      ignore i;
+      Alcotest.(check bool) "increasing op ids" true
+        (i = 0 || (List.nth rows (i - 1)).Report.op < r.Report.op))
+    rows
+
+let test_rows_match_schedule_and_binding () =
+  let d = design () in
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "start matches schedule" r.Report.start
+        (Schedule.start (Design.schedule d) r.Report.op);
+      let inst = Design.instance_of d r.Report.op in
+      Alcotest.(check int) "instance matches binding" inst.Design.id
+        r.Report.instance;
+      Alcotest.(check int) "finish = start + latency"
+        (r.Report.start + inst.Design.spec.Pchls_fulib.Module_spec.latency)
+        r.Report.finish)
+    (Report.rows d)
+
+let test_register_column () =
+  let d = design () in
+  List.iter
+    (fun r ->
+      match (Graph.succs B.hal r.Report.op, r.Report.register) with
+      | [], None -> ()
+      | [], Some _ -> Alcotest.fail "valueless op has a register"
+      | _ :: _, Some reg ->
+        Alcotest.(check bool) "register in range" true
+          (reg >= 0 && reg < Design.register_count d)
+      | _ :: _, None -> Alcotest.fail "valued op lacks a register")
+    (Report.rows d)
+
+let test_csv_shape () =
+  let d = design () in
+  let csv = Report.csv d in
+  let lines = String.split_on_char '\n' csv |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "header + one per op"
+    (1 + Graph.node_count B.hal)
+    (List.length lines);
+  Alcotest.(check string) "header"
+    "op,name,kind,instance,module,start,finish,register" (List.hd lines);
+  List.iter
+    (fun line ->
+      Alcotest.(check int) "8 columns" 8
+        (List.length (String.split_on_char ',' line)))
+    lines
+
+let test_summary_csv () =
+  let d = design () in
+  let csv = Report.summary_csv d in
+  match String.split_on_char '\n' csv with
+  | [ header; data; "" ] | [ header; data ] ->
+    Alcotest.(check int) "13 columns" 13
+      (List.length (String.split_on_char ',' header));
+    let cells = String.split_on_char ',' data in
+    Alcotest.(check int) "13 values" 13 (List.length cells);
+    Alcotest.(check string) "graph name" "hal" (List.hd cells)
+  | _ -> Alcotest.fail "unexpected summary shape"
+
+let test_deterministic () =
+  let d = design () in
+  Alcotest.(check string) "stable" (Report.csv d) (Report.csv d)
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "report",
+        [
+          Alcotest.test_case "rows cover all ops" `Quick test_rows_cover_all_ops;
+          Alcotest.test_case "rows match schedule/binding" `Quick
+            test_rows_match_schedule_and_binding;
+          Alcotest.test_case "register column" `Quick test_register_column;
+          Alcotest.test_case "csv shape" `Quick test_csv_shape;
+          Alcotest.test_case "summary csv" `Quick test_summary_csv;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+        ] );
+    ]

@@ -1,0 +1,144 @@
+module Shared = Pchls_core.Shared
+module Engine = Pchls_core.Engine
+module Design = Pchls_core.Design
+module Library = Pchls_fulib.Library
+module Module_spec = Pchls_fulib.Module_spec
+module Profile = Pchls_power.Profile
+module B = Pchls_dfg.Benchmarks
+
+let behaviours =
+  [
+    { Shared.label = "fir"; graph = B.fir16; time_limit = 25 };
+    { Shared.label = "biquad"; graph = B.iir_biquad; time_limit = 16 };
+    { Shared.label = "haar"; graph = B.haar8; time_limit = 12 };
+  ]
+
+let shared () =
+  match Shared.synthesize ~library:Library.default ~power_limit:15. behaviours with
+  | Ok t -> t
+  | Error e -> Alcotest.fail e
+
+let test_one_design_per_behaviour () =
+  let t = shared () in
+  Alcotest.(check (list string)) "labels in order" [ "fir"; "biquad"; "haar" ]
+    (List.map fst t.Shared.designs)
+
+let test_each_design_valid () =
+  let t = shared () in
+  List.iter2
+    (fun b (label, d) ->
+      Alcotest.(check string) "label matches" b.Shared.label label;
+      Alcotest.(check bool) "deadline met" true
+        (Design.makespan d <= b.Shared.time_limit);
+      Alcotest.(check bool) "power met" true
+        (Profile.peak (Design.profile d) <= 15. +. Profile.eps))
+    behaviours t.Shared.designs
+
+let test_pool_covers_every_design () =
+  let t = shared () in
+  let pool_count spec =
+    List.fold_left
+      (fun acc (s, n) -> if Module_spec.equal s spec then acc + n else acc)
+      0 t.Shared.pool
+  in
+  List.iter
+    (fun (_, d) ->
+      (* Each design's per-spec instance count fits within the pool. *)
+      let counts = Hashtbl.create 8 in
+      List.iter
+        (fun (i : Design.instance) ->
+          let key = i.Design.spec.Module_spec.name in
+          Hashtbl.replace counts key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
+        (Design.instances d);
+      List.iter
+        (fun (i : Design.instance) ->
+          Alcotest.(check bool)
+            (i.Design.spec.Module_spec.name ^ " within pool")
+            true
+            (pool_count i.Design.spec
+             >= Hashtbl.find counts i.Design.spec.Module_spec.name))
+        (Design.instances d))
+    t.Shared.designs
+
+let test_sharing_saves_area () =
+  let t = shared () in
+  Alcotest.(check bool) "pool cheaper than separate datapaths" true
+    (t.Shared.pool_fu_area < t.Shared.separate_fu_area);
+  Alcotest.(check bool) "saving percent positive" true
+    (Shared.saving_percent t > 0.);
+  Alcotest.(check (float 1e-9)) "pool area consistent"
+    t.Shared.pool_fu_area
+    (List.fold_left
+       (fun acc ((s : Module_spec.t), n) ->
+         acc +. (float_of_int n *. s.Module_spec.area))
+       0. t.Shared.pool)
+
+let test_registers_is_max () =
+  let t = shared () in
+  let max_regs =
+    List.fold_left
+      (fun acc (_, d) -> max acc (Design.register_count d))
+      0 t.Shared.designs
+  in
+  Alcotest.(check int) "max over behaviours" max_regs t.Shared.registers
+
+let test_single_behaviour_matches_engine () =
+  let t =
+    match
+      Shared.synthesize ~library:Library.default ~power_limit:15.
+        [ { Shared.label = "only"; graph = B.iir_biquad; time_limit = 16 } ]
+    with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  match
+    Engine.run ~library:Library.default ~time_limit:16 ~power_limit:15.
+      B.iir_biquad
+  with
+  | Engine.Synthesized (d, _) ->
+    Alcotest.(check (float 1e-9)) "same fu area" (Design.area d).Design.fu
+      t.Shared.pool_fu_area
+  | Engine.Infeasible { reason } -> Alcotest.fail reason
+
+let test_empty_behaviour_list () =
+  match Shared.synthesize ~library:Library.default [] with
+  | Ok _ -> Alcotest.fail "empty list accepted"
+  | Error _ -> ()
+
+let test_infeasible_behaviour_reported () =
+  match
+    Shared.synthesize ~library:Library.default ~power_limit:15.
+      [ { Shared.label = "impossible"; graph = B.hal; time_limit = 3 } ]
+  with
+  | Ok _ -> Alcotest.fail "T=3 hal accepted"
+  | Error msg ->
+    Alcotest.(check bool) "names the behaviour" true
+      (String.length msg > 10
+       && String.sub msg 0 9 = "behaviour")
+
+let test_pp () =
+  let s = Format.asprintf "%a" Shared.pp (shared ()) in
+  Alcotest.(check bool) "mentions pool" true (String.length s > 60)
+
+let () =
+  Alcotest.run "shared"
+    [
+      ( "shared",
+        [
+          Alcotest.test_case "one design per behaviour" `Quick
+            test_one_design_per_behaviour;
+          Alcotest.test_case "each design valid" `Quick test_each_design_valid;
+          Alcotest.test_case "pool covers every design" `Quick
+            test_pool_covers_every_design;
+          Alcotest.test_case "sharing saves area" `Quick test_sharing_saves_area;
+          Alcotest.test_case "registers is max" `Quick test_registers_is_max;
+          Alcotest.test_case "single behaviour matches engine" `Quick
+            test_single_behaviour_matches_engine;
+          Alcotest.test_case "empty list rejected" `Quick
+            test_empty_behaviour_list;
+          Alcotest.test_case "infeasible behaviour reported" `Quick
+            test_infeasible_behaviour_reported;
+          Alcotest.test_case "pp" `Quick test_pp;
+        ] );
+    ]

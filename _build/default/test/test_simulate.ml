@@ -1,0 +1,148 @@
+module Simulate = Pchls_core.Simulate
+module Engine = Pchls_core.Engine
+module Design = Pchls_core.Design
+module Library = Pchls_fulib.Library
+module Graph = Pchls_dfg.Graph
+module Op = Pchls_dfg.Op
+module B = Pchls_dfg.Benchmarks
+
+let design ?policy g t p =
+  match Engine.run ?policy ~library:Library.default ~time_limit:t ~power_limit:p g with
+  | Engine.Synthesized (d, _) -> d
+  | Engine.Infeasible { reason } -> Alcotest.fail reason
+
+let hal_inputs =
+  [ ("x", 1.); ("y", 2.); ("u", 10.); ("dx", 0.5); ("a", 4.); ("3", 3.) ]
+
+let ok = function
+  | Ok v -> v
+  | Error f -> Alcotest.fail (Format.asprintf "%a" Simulate.pp_failure f)
+
+let test_reference_hal () =
+  let values = Simulate.reference B.hal ~inputs:hal_inputs () in
+  let value_of name =
+    let node = List.find (fun n -> n.Graph.name = name) (Graph.nodes B.hal) in
+    List.assoc node.Graph.id values
+  in
+  (* Operands are ordered by predecessor id (the graph stores dependency
+     sets, not port order), so the documented semantics give
+     s1 = u - m4 = 10 - 15 = -5, then s2 = m5 - s1 = 3 - (-5) = 8 (m5's id
+     precedes s1's), and c1 = a > x1 = (4 > 1.5) = 1. *)
+  Alcotest.(check (float 1e-9)) "u1" 8. (value_of "u1");
+  Alcotest.(check (float 1e-9)) "y1" 7. (value_of "y1");
+  Alcotest.(check (float 1e-9)) "x1" 1.5 (value_of "x1");
+  Alcotest.(check (float 1e-9)) "c" 1. (value_of "c")
+
+let test_reference_missing_input () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Simulate.reference B.hal ~inputs:[ ("x", 1.) ] ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_datapath_matches_reference_hal () =
+  let d = design B.hal 17 10. in
+  let v = ok (Simulate.run d ~inputs:hal_inputs) in
+  Alcotest.(check (float 1e-9)) "u1 via datapath" 8.
+    (List.assoc "u1" v.Simulate.outputs);
+  Alcotest.(check (float 1e-9)) "y1 via datapath" 7.
+    (List.assoc "y1" v.Simulate.outputs);
+  Alcotest.(check int) "cycle count" (Design.makespan d) v.Simulate.cycles
+
+let test_missing_input_reported () =
+  let d = design B.hal 17 10. in
+  match Simulate.run d ~inputs:[ ("x", 1.) ] with
+  | Ok _ -> Alcotest.fail "missing inputs accepted"
+  | Error (Simulate.Missing_input _) -> ()
+  | Error f -> Alcotest.fail (Format.asprintf "%a" Simulate.pp_failure f)
+
+(* The headline property: across benchmarks, operating points, policies and
+   input vectors, the synthesized datapath computes exactly what the graph
+   specifies — register sharing never clobbers a live value. *)
+let test_all_benchmarks_compute_correctly () =
+  List.iter
+    (fun (name, g) ->
+      let info id =
+        match Library.min_power Library.default (Graph.kind g id) with
+        | Some m -> m.Pchls_fulib.Module_spec.latency
+        | None -> 1
+      in
+      let cp = Graph.critical_path g ~latency:info in
+      let inputs =
+        List.mapi
+          (fun i id -> (Graph.node_name g id, float_of_int (i + 1) *. 0.75))
+          (Graph.nodes_of_kind g Op.Input)
+      in
+      List.iter
+        (fun (t, p) ->
+          let d = design g t p in
+          let v = ok (Simulate.run d ~inputs) in
+          (* every primary output matches the reference *)
+          let reference = Simulate.reference g ~inputs () in
+          List.iter
+            (fun out ->
+              let node =
+                List.find
+                  (fun n ->
+                    n.Graph.name = fst out
+                    && Op.equal n.Graph.kind Op.Output)
+                  (Graph.nodes g)
+              in
+              Alcotest.(check (float 1e-9))
+                (Printf.sprintf "%s/%s" name (fst out))
+                (List.assoc node.Graph.id reference)
+                (snd out))
+            v.Simulate.outputs)
+        [ (cp * 2, 15.); (cp * 3, 10.) ])
+    B.all
+
+let test_custom_coefficient () =
+  let d = design B.fir16 30 15. in
+  let inputs =
+    List.map
+      (fun id -> (Graph.node_name B.fir16 id, 1.))
+      (Graph.nodes_of_kind B.fir16 Op.Input)
+  in
+  let v = ok (Simulate.run ~coefficient:(fun _ -> 0.5) d ~inputs) in
+  (* 16 taps of 1.0 scaled by 0.5 summed = 8 *)
+  Alcotest.(check (float 1e-9)) "fir output" 8.
+    (List.assoc "y" v.Simulate.outputs)
+
+let test_rebound_design_still_correct () =
+  let d = design B.elliptic 22 15. in
+  let d' =
+    Pchls_core.Improve.rebind ~cost_model:Pchls_core.Cost_model.default d
+  in
+  let inputs =
+    List.mapi
+      (fun i id -> (Graph.node_name B.elliptic id, float_of_int i +. 0.25))
+      (Graph.nodes_of_kind B.elliptic Op.Input)
+  in
+  let before = ok (Simulate.run d ~inputs) in
+  let after = ok (Simulate.run d' ~inputs) in
+  List.iter2
+    (fun (n1, v1) (n2, v2) ->
+      Alcotest.(check string) "same output order" n1 n2;
+      Alcotest.(check (float 1e-9)) ("rebind preserves " ^ n1) v1 v2)
+    before.Simulate.outputs after.Simulate.outputs
+
+let () =
+  Alcotest.run "simulate"
+    [
+      ( "simulate",
+        [
+          Alcotest.test_case "reference semantics on hal" `Quick
+            test_reference_hal;
+          Alcotest.test_case "reference missing input" `Quick
+            test_reference_missing_input;
+          Alcotest.test_case "datapath matches reference (hal)" `Quick
+            test_datapath_matches_reference_hal;
+          Alcotest.test_case "missing input reported" `Quick
+            test_missing_input_reported;
+          Alcotest.test_case "all benchmarks compute correctly" `Quick
+            test_all_benchmarks_compute_correctly;
+          Alcotest.test_case "custom coefficient" `Quick test_custom_coefficient;
+          Alcotest.test_case "rebound design still correct" `Quick
+            test_rebound_design_still_correct;
+        ] );
+    ]

@@ -1,0 +1,70 @@
+module Testbench = Pchls_rtl.Testbench
+module Netlist = Pchls_rtl.Netlist
+module Engine = Pchls_core.Engine
+module Library = Pchls_fulib.Library
+module B = Pchls_dfg.Benchmarks
+
+let netlist () =
+  match
+    Engine.run ~library:Library.default ~time_limit:17 ~power_limit:20. B.hal
+  with
+  | Engine.Synthesized (d, _) -> Netlist.of_design d
+  | Engine.Infeasible { reason } -> Alcotest.fail reason
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_verilog_structure () =
+  let s = Testbench.verilog (netlist ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (contains ~needle s))
+    [
+      "module hal_tb;";
+      "hal dut";
+      "always #5 clk = ~clk;";
+      "start = 1'b1;";
+      "$finish;";
+      "endmodule";
+    ]
+
+let test_verilog_waits_for_all_steps () =
+  let n = netlist () in
+  let s = Testbench.verilog n in
+  Alcotest.(check bool) "waits steps+2" true
+    (contains ~needle:(Printf.sprintf "repeat (%d)" (n.Netlist.steps + 2)) s)
+
+let test_vhdl_structure () =
+  let s = Testbench.vhdl (netlist ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (contains ~needle s))
+    [
+      "entity hal_tb is";
+      "entity work.hal port map";
+      "clk <= not clk after 5 ns;";
+      "start <= '1';";
+      "severity failure";
+      "end architecture sim;";
+    ]
+
+let test_deterministic () =
+  let n = netlist () in
+  Alcotest.(check string) "verilog stable" (Testbench.verilog n)
+    (Testbench.verilog n);
+  Alcotest.(check string) "vhdl stable" (Testbench.vhdl n) (Testbench.vhdl n)
+
+let () =
+  Alcotest.run "testbench"
+    [
+      ( "testbench",
+        [
+          Alcotest.test_case "verilog structure" `Quick test_verilog_structure;
+          Alcotest.test_case "verilog waits all steps" `Quick
+            test_verilog_waits_for_all_steps;
+          Alcotest.test_case "vhdl structure" `Quick test_vhdl_structure;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+        ] );
+    ]

@@ -1,0 +1,95 @@
+module Text_format = Pchls_dfg.Text_format
+module Graph = Pchls_dfg.Graph
+module B = Pchls_dfg.Benchmarks
+
+let ok = function
+  | Ok g -> g
+  | Error e -> Alcotest.fail e
+
+let err what = function
+  | Ok _ -> Alcotest.fail ("expected parse error: " ^ what)
+  | Error msg -> msg
+
+let test_roundtrip_all_benchmarks () =
+  List.iter
+    (fun (name, g) ->
+      let g' = ok (Text_format.of_string (Text_format.to_string g)) in
+      Alcotest.(check string) (name ^ " name") (Graph.name g) (Graph.name g');
+      Alcotest.(check int) (name ^ " nodes") (Graph.node_count g)
+        (Graph.node_count g');
+      Alcotest.(check (list (pair int int)))
+        (name ^ " edges") (Graph.edges g) (Graph.edges g');
+      List.iter
+        (fun n ->
+          let n' = Graph.node g' n.Graph.id in
+          Alcotest.(check string) "node name" n.Graph.name n'.Graph.name;
+          Alcotest.(check bool) "node kind" true
+            (Pchls_dfg.Op.equal n.Graph.kind n'.Graph.kind))
+        (Graph.nodes g))
+    B.all
+
+let test_minimal_graph () =
+  let g = ok (Text_format.of_string "node 0 x input\n") in
+  Alcotest.(check string) "default name" "unnamed" (Graph.name g);
+  Alcotest.(check int) "one node" 1 (Graph.node_count g)
+
+let test_comments_and_blanks () =
+  let text = "# a comment\n\ngraph g\n node 0 x input \n# another\nnode 1 o output\nedge 0 1\n" in
+  let g = ok (Text_format.of_string text) in
+  Alcotest.(check int) "two nodes" 2 (Graph.node_count g);
+  Alcotest.(check int) "one edge" 1 (Graph.edge_count g)
+
+let test_symbol_kinds () =
+  let g = ok (Text_format.of_string "node 0 a +\nnode 1 m *\nedge 0 1") in
+  Alcotest.(check bool) "add parsed" true
+    (Pchls_dfg.Op.equal (Graph.kind g 0) Pchls_dfg.Op.Add);
+  Alcotest.(check bool) "mult parsed" true
+    (Pchls_dfg.Op.equal (Graph.kind g 1) Pchls_dfg.Op.Mult)
+
+let expect_line_number needle text =
+  let msg = err needle (Text_format.of_string text) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%S mentions %s" msg needle)
+    true
+    (let n = String.length needle and h = String.length msg in
+     let rec go i = i + n <= h && (String.sub msg i n = needle || go (i + 1)) in
+     go 0)
+
+let test_error_reporting () =
+  expect_line_number "line 1" "bogus 0 x input";
+  expect_line_number "line 2" "node 0 x input\nnode zero y input";
+  expect_line_number "line 3" "node 0 x input\nnode 1 y input\nedge 0 q";
+  expect_line_number "line 2" "graph a\ngraph b";
+  expect_line_number "line 1" "node 0 x divider"
+
+let test_graph_validation_applies () =
+  (match Text_format.of_string "node 0 x input\nnode 0 y input" with
+  | Ok _ -> Alcotest.fail "duplicate id accepted"
+  | Error _ -> ());
+  match Text_format.of_string "node 0 a add\nnode 1 b add\nedge 0 1\nedge 1 0" with
+  | Ok _ -> Alcotest.fail "cycle accepted"
+  | Error _ -> ()
+
+let test_malformed_node_arity () =
+  ignore (err "short node" (Text_format.of_string "node 0 x"));
+  ignore (err "long node" (Text_format.of_string "node 0 x input extra"));
+  ignore (err "short edge" (Text_format.of_string "edge 0"))
+
+let () =
+  Alcotest.run "text_format"
+    [
+      ( "text_format",
+        [
+          Alcotest.test_case "roundtrip on all benchmarks" `Quick
+            test_roundtrip_all_benchmarks;
+          Alcotest.test_case "minimal graph" `Quick test_minimal_graph;
+          Alcotest.test_case "comments and blanks" `Quick
+            test_comments_and_blanks;
+          Alcotest.test_case "symbol kinds" `Quick test_symbol_kinds;
+          Alcotest.test_case "error line numbers" `Quick test_error_reporting;
+          Alcotest.test_case "graph validation applies" `Quick
+            test_graph_validation_applies;
+          Alcotest.test_case "malformed directives" `Quick
+            test_malformed_node_arity;
+        ] );
+    ]

@@ -1,0 +1,85 @@
+module Vcd = Pchls_rtl.Vcd
+module Engine = Pchls_core.Engine
+module Design = Pchls_core.Design
+module Library = Pchls_fulib.Library
+module B = Pchls_dfg.Benchmarks
+
+let design () =
+  match
+    Engine.run ~library:Library.default ~time_limit:16 ~power_limit:12.
+      B.iir_biquad
+  with
+  | Engine.Synthesized (d, _) -> d
+  | Engine.Infeasible { reason } -> Alcotest.fail reason
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_header () =
+  let s = Vcd.of_design (design ()) in
+  List.iter
+    (fun needle -> Alcotest.(check bool) needle true (contains ~needle s))
+    [
+      "$timescale 1ns $end";
+      "$scope module iir_biquad $end";
+      "$enddefinitions $end";
+      "$dumpvars";
+      "$var real 64";
+      "$var integer 32";
+    ]
+
+let test_one_var_per_instance () =
+  let d = design () in
+  let s = Vcd.of_design d in
+  List.iter
+    (fun (i : Design.instance) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "busy var for instance %d" i.Design.id)
+        true
+        (contains ~needle:(Printf.sprintf "fu%d_" i.Design.id) s))
+    (Design.instances d)
+
+let test_time_markers_cover_schedule () =
+  let d = design () in
+  let s = Vcd.of_design d in
+  for t = 0 to Design.time_limit d do
+    Alcotest.(check bool)
+      (Printf.sprintf "timestamp #%d" t)
+      true
+      (contains ~needle:(Printf.sprintf "\n#%d\n" t) s || t = 0)
+  done
+
+let test_busy_toggles_match_activity () =
+  let d = design () in
+  let s = Vcd.of_design d in
+  (* Some instance must go busy and idle again: both polarities appear. *)
+  Alcotest.(check bool) "a rising toggle" true (contains ~needle:"\n1!" s);
+  Alcotest.(check bool) "a falling toggle" true (contains ~needle:"\n0!" s)
+
+let test_power_values_present () =
+  let d = design () in
+  let s = Vcd.of_design d in
+  Alcotest.(check bool) "real value changes" true (contains ~needle:"\nr" s)
+
+let test_deterministic () =
+  let d = design () in
+  Alcotest.(check string) "stable" (Vcd.of_design d) (Vcd.of_design d)
+
+let () =
+  Alcotest.run "vcd"
+    [
+      ( "vcd",
+        [
+          Alcotest.test_case "header" `Quick test_header;
+          Alcotest.test_case "one var per instance" `Quick
+            test_one_var_per_instance;
+          Alcotest.test_case "time markers" `Quick
+            test_time_markers_cover_schedule;
+          Alcotest.test_case "busy toggles" `Quick
+            test_busy_toggles_match_activity;
+          Alcotest.test_case "power values" `Quick test_power_values_present;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+        ] );
+    ]

@@ -1,0 +1,85 @@
+module Engine = Pchls_core.Engine
+module Netlist = Pchls_rtl.Netlist
+module Verilog = Pchls_rtl.Verilog
+module Library = Pchls_fulib.Library
+module B = Pchls_dfg.Benchmarks
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let netlist g t p =
+  match Engine.run ~library:Library.default ~time_limit:t ~power_limit:p g with
+  | Engine.Synthesized (d, _) -> Netlist.of_design d
+  | Engine.Infeasible { reason } -> Alcotest.fail reason
+
+let verilog () = Verilog.emit (netlist B.hal 17 20.)
+
+let test_module_brackets () =
+  let s = verilog () in
+  Alcotest.(check bool) "module" true (contains ~needle:"module hal" s);
+  Alcotest.(check bool) "endmodule" true (contains ~needle:"endmodule" s)
+
+let test_ports () =
+  let s = verilog () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (contains ~needle s))
+    [ "input  wire clk"; "input  wire rst"; "input  wire start"; "output reg  done" ]
+
+let test_width_parameter () =
+  let s = Verilog.emit ~width:8 (netlist B.hal 17 20.) in
+  Alcotest.(check bool) "parameter" true
+    (contains ~needle:"parameter WIDTH = 8" s)
+
+let test_declarations () =
+  let n = netlist B.hal 17 20. in
+  let s = Verilog.emit n in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) (f.Netlist.label ^ " wire") true
+        (contains ~needle:(Printf.sprintf "wire %s_go;" f.Netlist.label) s))
+    n.Netlist.fus;
+  List.iter
+    (fun (r, _) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "r%d reg" r)
+        true
+        (contains ~needle:(Printf.sprintf "reg [WIDTH-1:0] r%d;" r) s))
+    n.Netlist.register_writers
+
+let test_fsm_counter () =
+  let s = verilog () in
+  Alcotest.(check bool) "posedge block" true
+    (contains ~needle:"always @(posedge clk)" s);
+  Alcotest.(check bool) "wraps at T-1" true (contains ~needle:"step == 16" s)
+
+let test_strobes () =
+  let n = netlist B.hal 17 20. in
+  let s = Verilog.emit n in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (f.Netlist.label ^ " strobe")
+        true
+        (contains ~needle:(Printf.sprintf "assign %s_go" f.Netlist.label) s))
+    n.Netlist.fus
+
+let test_deterministic () =
+  Alcotest.(check string) "same text" (verilog ()) (verilog ())
+
+let () =
+  Alcotest.run "verilog"
+    [
+      ( "verilog",
+        [
+          Alcotest.test_case "module brackets" `Quick test_module_brackets;
+          Alcotest.test_case "ports" `Quick test_ports;
+          Alcotest.test_case "width parameter" `Quick test_width_parameter;
+          Alcotest.test_case "declarations" `Quick test_declarations;
+          Alcotest.test_case "fsm counter" `Quick test_fsm_counter;
+          Alcotest.test_case "strobes" `Quick test_strobes;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+        ] );
+    ]

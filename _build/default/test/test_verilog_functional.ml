@@ -1,0 +1,183 @@
+module VF = Pchls_rtl.Verilog_functional
+module Engine = Pchls_core.Engine
+module Design = Pchls_core.Design
+module Library = Pchls_fulib.Library
+module Graph = Pchls_dfg.Graph
+module Op = Pchls_dfg.Op
+module B = Pchls_dfg.Benchmarks
+
+let design g t p =
+  match Engine.run ~library:Library.default ~time_limit:t ~power_limit:p g with
+  | Engine.Synthesized (d, _) -> d
+  | Engine.Infeasible { reason } -> Alcotest.fail reason
+
+let hal () = design B.hal 17 10.
+
+let hal_inputs =
+  [ ("x", 1); ("y", 2); ("u", 10); ("dx", 1); ("a", 4); ("3", 3) ]
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let count_substring ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i acc =
+    if i + n > h then acc
+    else if String.sub haystack i n = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let test_module_interface () =
+  let s = VF.emit (hal ()) in
+  List.iter
+    (fun needle -> Alcotest.(check bool) needle true (contains ~needle s))
+    [
+      "module hal #(parameter WIDTH = 32)";
+      "input  wire signed [WIDTH-1:0] in_x";
+      "input  wire signed [WIDTH-1:0] in_dx";
+      "output reg  signed [WIDTH-1:0] out_u1";
+      "output reg  signed [WIDTH-1:0] out_c";
+      "output reg  done";
+      "endmodule";
+    ]
+
+let test_register_declarations () =
+  let d = hal () in
+  let s = VF.emit d in
+  for r = 0 to Design.register_count d - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "r%d declared" r)
+      true
+      (contains ~needle:(Printf.sprintf "reg signed [WIDTH-1:0] r%d;" r) s)
+  done
+
+let test_every_register_written () =
+  let d = hal () in
+  let s = VF.emit d in
+  for r = 0 to Design.register_count d - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "r%d assigned" r)
+      true
+      (contains ~needle:(Printf.sprintf "r%d <= " r) s)
+  done
+
+let test_every_output_driven () =
+  let s = VF.emit (hal ()) in
+  List.iter
+    (fun out ->
+      Alcotest.(check bool) (out ^ " driven") true
+        (contains ~needle:(Printf.sprintf "out_%s <= " out) s))
+    [ "u1"; "y1"; "x1"; "c" ]
+
+let test_multicycle_ops_latch () =
+  (* hal at T=17 uses serial multipliers: their operand latches must be
+     loaded at the start steps. *)
+  let s = VF.emit (hal ()) in
+  Alcotest.(check bool) "latches assigned" true
+    (contains ~needle:"_mult_ser_a <= r" s);
+  Alcotest.(check bool) "multiplication bodies" true
+    (contains ~needle:"_mult_ser_a * " s)
+
+let test_coefficient_override () =
+  (* fir16 taps are single-operand mults: coefficient appears literally. *)
+  let d = design B.fir16 30 15. in
+  let s = VF.emit ~coefficients:(fun _ -> 7) d in
+  Alcotest.(check bool) "7 * operand" true (contains ~needle:"7 * " s);
+  Alcotest.(check bool) "default 3 absent" false (contains ~needle:"3 * " s)
+
+let test_comparison_body () =
+  let s = VF.emit (hal ()) in
+  Alcotest.(check bool) "comparison zero-extended" true
+    (contains ~needle:"{{(WIDTH-1){1'b0}}," s)
+
+let test_done_after_last_step () =
+  let s = VF.emit (hal ()) in
+  Alcotest.(check bool) "wraps at T-1" true (contains ~needle:"step == 16" s)
+
+let test_deterministic () =
+  let d = hal () in
+  Alcotest.(check string) "stable" (VF.emit d) (VF.emit d)
+
+let test_testbench_embeds_simulated_values () =
+  let d = hal () in
+  let s = VF.testbench d ~inputs:hal_inputs in
+  (* With dx = 1: y1 = y + u*dx = 12, x1 = x + dx = 2.
+     u1 (id-order semantics) = m5 - s1 = dx*(3y) - (u - (3x)(u dx)) = 26. *)
+  List.iter
+    (fun needle -> Alcotest.(check bool) needle true (contains ~needle s))
+    [
+      "module hal_tb;";
+      "in_x = 1;";
+      "in_u = 10;";
+      "wait (done);";
+      "if (out_y1 === 12)";
+      "if (out_x1 === 2)";
+      "if (out_u1 === 26)";
+      "$finish;";
+    ]
+
+let test_testbench_checks_every_output () =
+  let d = hal () in
+  let s = VF.testbench d ~inputs:hal_inputs in
+  Alcotest.(check int) "four PASS checks" 4 (count_substring ~needle:"PASS out_" s)
+
+let test_testbench_missing_input_raises () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (VF.testbench (hal ()) ~inputs:[ ("x", 1) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_all_benchmarks_emit () =
+  List.iter
+    (fun (name, g) ->
+      let info id =
+        match Library.min_power Library.default (Graph.kind g id) with
+        | Some m -> m.Pchls_fulib.Module_spec.latency
+        | None -> 1
+      in
+      let cp = Graph.critical_path g ~latency:info in
+      let d = design g (cp * 2) 15. in
+      let s = VF.emit d in
+      Alcotest.(check bool) (name ^ " emits") true (String.length s > 500);
+      (* one register write or output drive per non-input operation *)
+      Alcotest.(check bool) (name ^ " has a case table") true
+        (contains ~needle:"case (step)" s))
+    B.all
+
+let () =
+  Alcotest.run "verilog_functional"
+    [
+      ( "emit",
+        [
+          Alcotest.test_case "module interface" `Quick test_module_interface;
+          Alcotest.test_case "register declarations" `Quick
+            test_register_declarations;
+          Alcotest.test_case "every register written" `Quick
+            test_every_register_written;
+          Alcotest.test_case "every output driven" `Quick
+            test_every_output_driven;
+          Alcotest.test_case "multi-cycle ops latch operands" `Quick
+            test_multicycle_ops_latch;
+          Alcotest.test_case "coefficient override" `Quick
+            test_coefficient_override;
+          Alcotest.test_case "comparison body" `Quick test_comparison_body;
+          Alcotest.test_case "done after last step" `Quick
+            test_done_after_last_step;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "all benchmarks emit" `Quick
+            test_all_benchmarks_emit;
+        ] );
+      ( "testbench",
+        [
+          Alcotest.test_case "embeds simulated values" `Quick
+            test_testbench_embeds_simulated_values;
+          Alcotest.test_case "checks every output" `Quick
+            test_testbench_checks_every_output;
+          Alcotest.test_case "missing input raises" `Quick
+            test_testbench_missing_input_raises;
+        ] );
+    ]

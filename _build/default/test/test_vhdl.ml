@@ -1,0 +1,91 @@
+module Engine = Pchls_core.Engine
+module Netlist = Pchls_rtl.Netlist
+module Vhdl = Pchls_rtl.Vhdl
+module Library = Pchls_fulib.Library
+module B = Pchls_dfg.Benchmarks
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let netlist g t p =
+  match Engine.run ~library:Library.default ~time_limit:t ~power_limit:p g with
+  | Engine.Synthesized (d, _) -> Netlist.of_design d
+  | Engine.Infeasible { reason } -> Alcotest.fail reason
+
+let vhdl () = Vhdl.emit (netlist B.hal 17 20.)
+
+let test_entity_architecture () =
+  let s = vhdl () in
+  Alcotest.(check bool) "entity" true (contains ~needle:"entity hal is" s);
+  Alcotest.(check bool) "architecture" true
+    (contains ~needle:"architecture rtl of hal is" s);
+  Alcotest.(check bool) "end arch" true
+    (contains ~needle:"end architecture rtl;" s)
+
+let test_ieee_headers () =
+  let s = vhdl () in
+  Alcotest.(check bool) "library ieee" true (contains ~needle:"library ieee;" s);
+  Alcotest.(check bool) "std_logic" true
+    (contains ~needle:"use ieee.std_logic_1164.all;" s)
+
+let test_width_generic () =
+  let s = Vhdl.emit ~width:32 (netlist B.hal 17 20.) in
+  Alcotest.(check bool) "generic width" true
+    (contains ~needle:"WIDTH : integer := 32" s)
+
+let test_every_fu_and_register_declared () =
+  let n = netlist B.hal 17 20. in
+  let s = Vhdl.emit n in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) (f.Netlist.label ^ " declared") true
+        (contains ~needle:(Printf.sprintf "signal %s_go" f.Netlist.label) s))
+    n.Netlist.fus;
+  List.iter
+    (fun (r, _) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "r%d declared" r)
+        true
+        (contains ~needle:(Printf.sprintf "signal r%d : word" r) s))
+    n.Netlist.register_writers
+
+let test_control_fsm () =
+  let s = vhdl () in
+  Alcotest.(check bool) "control process" true
+    (contains ~needle:"control : process (clk)" s);
+  Alcotest.(check bool) "step range" true
+    (contains ~needle:"type step_t is range 0 to 16;" s)
+
+let test_strobes_reference_steps () =
+  let n = netlist B.hal 17 20. in
+  let s = Vhdl.emit n in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (f.Netlist.label ^ " strobe assigned")
+        true
+        (contains ~needle:(Printf.sprintf "%s_go <=" f.Netlist.label) s))
+    n.Netlist.fus
+
+let test_deterministic () =
+  Alcotest.(check string) "same text" (vhdl ()) (vhdl ())
+
+let () =
+  Alcotest.run "vhdl"
+    [
+      ( "vhdl",
+        [
+          Alcotest.test_case "entity and architecture" `Quick
+            test_entity_architecture;
+          Alcotest.test_case "ieee headers" `Quick test_ieee_headers;
+          Alcotest.test_case "width generic" `Quick test_width_generic;
+          Alcotest.test_case "fus and registers declared" `Quick
+            test_every_fu_and_register_declared;
+          Alcotest.test_case "control fsm" `Quick test_control_fsm;
+          Alcotest.test_case "start strobes assigned" `Quick
+            test_strobes_reference_steps;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+        ] );
+    ]
