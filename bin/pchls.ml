@@ -14,6 +14,8 @@ module Cost_model = Pchls_core.Cost_model
 module Model = Pchls_battery.Model
 module Sim = Pchls_battery.Sim
 module Netlist = Pchls_rtl.Netlist
+module Diag = Pchls_diag.Diag
+module Analysis = Pchls_analysis.Analysis
 
 open Cmdliner
 
@@ -156,9 +158,9 @@ let library_opt =
 
 let the_library = function Some lib -> lib | None -> Library.default
 
-let synthesize ?library (name, g) t p pol reg mux =
+let synthesize ?library ?self_check (name, g) t p pol reg mux =
   match
-    Engine.run ~cost_model:(cost_model reg mux) ~policy:pol
+    Engine.run ~cost_model:(cost_model reg mux) ~policy:pol ?self_check
       ~library:(the_library library) ~time_limit:t ~power_limit:p g
   with
   | Engine.Synthesized (d, stats) -> Ok (name, d, stats)
@@ -203,8 +205,16 @@ let rebind_flag =
     & info [ "rebind" ]
         ~doc:"Run the post-synthesis rebinding improvement pass.")
 
+let self_check_flag =
+  Arg.(
+    value & flag
+    & info [ "self-check" ]
+        ~doc:"Re-lint the engine's schedule after every backtrack-and-lock \
+              event and run every Pchls_analysis checker over the final \
+              design; any error diagnostic fails the run.")
+
 let synth_cmd =
-  let run bench t p pol reg mux library gantt tighten rebind =
+  let run bench t p pol reg mux library gantt tighten rebind self_check =
     let outcome =
       if tighten then
         match
@@ -215,12 +225,12 @@ let synth_cmd =
         | Ok d -> Ok (fst bench, d, None)
         | Error reason -> Error (fst bench, reason)
       else
-        match synthesize ?library bench t p pol reg mux with
+        match synthesize ?library ~self_check bench t p pol reg mux with
         | Ok (name, d, stats) -> Ok (name, d, Some stats)
         | Error _ as e -> e
     in
     match outcome with
-    | Ok (_, d, stats) ->
+    | Ok (name, d, stats) ->
       let d =
         if rebind then
           Pchls_core.Improve.rebind ~cost_model:(cost_model reg mux) d
@@ -231,7 +241,20 @@ let synth_cmd =
       | Some stats -> Format.printf "stats: %a@." Engine.pp_stats stats
       | None -> ());
       if gantt then Format.printf "@.%s@." (Pchls_core.Gantt.render d);
-      0
+      if self_check then begin
+        let ds = Analysis.run_all ~library:(the_library library) d in
+        List.iter (fun diag -> Format.eprintf "%a@." Diag.pp diag) ds;
+        if Diag.has_errors ds then begin
+          Format.eprintf "%s: self-check failed: %s@." name
+            (Analysis.summary ds);
+          1
+        end
+        else begin
+          Format.printf "self-check: %s@." (Analysis.summary ds);
+          0
+        end
+      end
+      else 0
     | Error (name, reason) ->
       Format.eprintf "%s: infeasible: %s@." name reason;
       1
@@ -241,7 +264,40 @@ let synth_cmd =
     Term.(
       const run $ graph_source $ time_limit $ power_limit $ policy
       $ register_area $ mux_input_area $ library_opt $ gantt_flag
-      $ tighten_flag $ rebind_flag)
+      $ tighten_flag $ rebind_flag $ self_check_flag)
+
+(* --- check ------------------------------------------------------------- *)
+
+let check_cmd =
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit diagnostics as a JSON array instead of text.")
+  in
+  let run bench t p pol reg mux library json =
+    match synthesize ?library bench t p pol reg mux with
+    | Ok (name, d, _) ->
+      let ds = Analysis.run_all ~library:(the_library library) d in
+      if json then print_endline (Diag.list_to_json ds)
+      else begin
+        List.iter (fun diag -> Format.printf "%a@." Diag.pp diag) ds;
+        Format.printf "%s (T=%d, P<=%g): %s@." name t p (Analysis.summary ds)
+      end;
+      if Diag.has_errors ds then 1 else 0
+    | Error (name, reason) ->
+      Format.eprintf "%s: infeasible: %s@." name reason;
+      1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Synthesize, then statically verify every layer of the result \
+             (DFG, schedule, binding, registers, netlist) and report \
+             machine-readable diagnostics. Exits 1 when any error-severity \
+             diagnostic fires.")
+    Term.(
+      const run $ graph_source $ time_limit $ power_limit $ policy
+      $ register_area $ mux_input_area $ library_opt $ json_flag)
 
 (* --- sweep ------------------------------------------------------------- *)
 
@@ -489,6 +545,6 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [
-            list_cmd; synth_cmd; sweep_cmd; profile_cmd; battery_cmd;
-            report_cmd; dot_cmd; rtl_cmd;
+            list_cmd; synth_cmd; check_cmd; sweep_cmd; profile_cmd;
+            battery_cmd; report_cmd; dot_cmd; rtl_cmd;
           ]))

@@ -1,0 +1,24 @@
+module Diag = Pchls_diag.Diag
+module Design = Pchls_core.Design
+module Netlist = Pchls_rtl.Netlist
+
+let run_all ?library ?max_instances d =
+  let dfg = Dfg_lint.lint ?library (Design.graph d) in
+  let sched = Sched_lint.lint_design d in
+  let bind = Bind_lint.lint ?max_instances d in
+  let net = Netlist_lint.lint ~design:d (Netlist.of_design d) in
+  Diag.sort (dfg @ sched @ bind @ net)
+
+let summary ds =
+  let errors = Diag.count Diag.Error ds in
+  let warnings = Diag.count Diag.Warning ds in
+  let infos = Diag.count Diag.Info ds in
+  if errors = 0 && warnings = 0 && infos = 0 then "clean"
+  else
+    let plural n what =
+      Printf.sprintf "%d %s%s" n what (if n = 1 then "" else "s")
+    in
+    String.concat ", "
+      (List.filter_map
+         (fun (n, what) -> if n > 0 then Some (plural n what) else None)
+         [ (errors, "error"); (warnings, "warning"); (infos, "info") ])

@@ -1,0 +1,25 @@
+(** One-call cross-layer verification of a synthesized design.
+
+    [run_all] re-derives nothing the design does not already claim: it lints
+    the DFG (with library coverage when a library is given), the schedule
+    against the design's own (T, P<) constraints, the binding and register
+    allocation, and the netlist derived by {!Pchls_rtl.Netlist.of_design} —
+    and returns every diagnostic, deterministically ordered.
+
+    This is the correctness gate behind the [pchls check] subcommand and the
+    engine's [--self-check] mode: a clean engine output produces zero
+    [Error]-severity diagnostics. *)
+
+module Diag = Pchls_diag.Diag
+
+(** [run_all ?library ?max_instances d] runs every checker over [d]. With
+    [library], DFG lint also verifies operation-kind coverage ([DFG006]);
+    with [max_instances], binding lint enforces the caps ([BND003]). *)
+val run_all :
+  ?library:Pchls_fulib.Library.t ->
+  ?max_instances:(string * int) list ->
+  Pchls_core.Design.t ->
+  Diag.t list
+
+(** [summary ds] — e.g. ["2 errors, 1 warning"]; ["clean"] when empty. *)
+val summary : Diag.t list -> string

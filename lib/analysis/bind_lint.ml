@@ -1,0 +1,137 @@
+module Graph = Pchls_dfg.Graph
+module Op = Pchls_dfg.Op
+module Module_spec = Pchls_fulib.Module_spec
+module Schedule = Pchls_sched.Schedule
+module Design = Pchls_core.Design
+module Regalloc = Pchls_core.Regalloc
+module Diag = Pchls_diag.Diag
+module Int_map = Map.Make (Int)
+
+let lint_instances ~graph ?(max_instances = []) ~instances () =
+  let diags = ref [] in
+  let push d = diags := d :: !diags in
+  let instances = List.mapi (fun id (spec, ops) -> (id, spec, ops)) instances in
+  (* Per-instance checks: kind compatibility and execution overlap. *)
+  List.iter
+    (fun (id, (spec : Module_spec.t), ops) ->
+      if ops = [] then
+        push
+          (Diag.warningf ~code:"BND008" ~layer:Binding ~entity:(Instance id)
+             "instance %d (%s) hosts no operation" id spec.name);
+      List.iter
+        (fun (op, _) ->
+          if Graph.mem graph op then
+            let kind = Graph.kind graph op in
+            if not (Module_spec.implements spec kind) then
+              push
+                (Diag.errorf ~code:"BND002" ~layer:Binding ~entity:(Node op)
+                   "op %d (%s) not implementable by module %s of instance %d"
+                   op (Op.to_string kind) spec.name id))
+        ops;
+      let d = spec.latency in
+      let sorted = List.sort (fun (_, a) (_, b) -> Int.compare a b) ops in
+      let rec scan = function
+        | (op1, t1) :: ((op2, t2) :: _ as rest) ->
+          if t1 + d > t2 then
+            push
+              (Diag.errorf ~code:"BND001" ~layer:Binding ~entity:(Instance id)
+                 "ops %d and %d overlap on instance %d (%s): [%d,%d) vs [%d,%d)"
+                 op1 op2 id spec.name t1 (t1 + d) t2 (t2 + d));
+          scan rest
+        | [ _ ] | [] -> ()
+      in
+      scan sorted)
+    instances;
+  (* Cross-instance: every graph op bound exactly once, no unknown ops. *)
+  let bound =
+    List.fold_left
+      (fun acc (id, (spec : Module_spec.t), ops) ->
+        List.fold_left
+          (fun acc (op, _) ->
+            if not (Graph.mem graph op) then begin
+              push
+                (Diag.errorf ~code:"BND006" ~layer:Binding ~entity:(Instance id)
+                   "instance %d (%s) binds unknown op %d" id spec.name op);
+              acc
+            end
+            else
+              match Int_map.find_opt op acc with
+              | Some first ->
+                push
+                  (Diag.errorf ~code:"BND005" ~layer:Binding ~entity:(Node op)
+                     "op %d bound to instances %d and %d" op first id);
+                acc
+              | None -> Int_map.add op id acc)
+          acc ops)
+      Int_map.empty instances
+  in
+  List.iter
+    (fun op ->
+      if not (Int_map.mem op bound) then
+        push
+          (Diag.errorf ~code:"BND007" ~layer:Binding ~entity:(Node op)
+             "op %d (%s) is bound to no instance" op (Graph.node_name graph op)))
+    (Graph.node_ids graph);
+  (* max_instances caps, counting only instances that host work. *)
+  List.iter
+    (fun (name, cap) ->
+      let used =
+        List.length
+          (List.filter
+             (fun (_, (spec : Module_spec.t), ops) ->
+               spec.name = name && ops <> [])
+             instances)
+      in
+      if used > cap then
+        push
+          (Diag.errorf ~code:"BND003" ~layer:Binding ~entity:(Kind name)
+             "module type %s has %d instances, exceeding its cap of %d" name
+             used cap))
+    max_instances;
+  Diag.sort !diags
+
+let lint_allocation ~graph ~schedule ~info allocation =
+  let diags = ref [] in
+  let push d = diags := d :: !diags in
+  let lifetimes = Regalloc.lifetimes graph schedule ~info in
+  let of_node =
+    List.fold_left
+      (fun acc (l : Regalloc.lifetime) -> Int_map.add l.node l acc)
+      Int_map.empty lifetimes
+  in
+  Array.iteri
+    (fun r nodes ->
+      let rec pairs = function
+        | a :: rest ->
+          List.iter
+            (fun b ->
+              match (Int_map.find_opt a of_node, Int_map.find_opt b of_node) with
+              | Some la, Some lb when Regalloc.overlap la lb ->
+                push
+                  (Diag.errorf ~code:"BND004" ~layer:Binding
+                     ~entity:(Register r)
+                     "values of ops %d and %d share register %d but their \
+                      lifetimes overlap ([%d,%d] vs [%d,%d])"
+                     a b r la.Regalloc.birth la.Regalloc.death
+                     lb.Regalloc.birth lb.Regalloc.death
+                     )
+              | _, _ -> ())
+            rest;
+          pairs rest
+        | [] -> ()
+      in
+      pairs nodes)
+    allocation;
+  Diag.sort !diags
+
+let lint ?max_instances d =
+  let graph = Design.graph d in
+  let instances =
+    List.map (fun (i : Design.instance) -> (i.spec, i.ops)) (Design.instances d)
+  in
+  let binding = lint_instances ~graph ?max_instances ~instances () in
+  let allocation =
+    lint_allocation ~graph ~schedule:(Design.schedule d) ~info:(Design.info d)
+      (Design.register_allocation d)
+  in
+  Diag.sort (binding @ allocation)

@@ -1,0 +1,36 @@
+(** Binding and register-allocation lint.
+
+    Checks a binding — functional-unit instances with their (operation,
+    start) assignments, in the same raw form [Design.assemble] consumes —
+    plus, at design level, the register allocation produced by [Regalloc].
+
+    Codes: [BND001] execution overlap on a shared instance, [BND002]
+    operation kind not implementable by the bound module, [BND003]
+    [max_instances] cap exceeded, [BND004] register lifetime overlap,
+    [BND005] operation bound twice, [BND006] unknown operation bound,
+    [BND007] unbound operation, [BND008] (warning) empty instance. *)
+
+(** [lint_instances ~graph ?max_instances ~instances ()] checks the raw
+    binding alone (no allocation): BND001/2/3/5/6/7/8. *)
+val lint_instances :
+  graph:Pchls_dfg.Graph.t ->
+  ?max_instances:(string * int) list ->
+  instances:(Pchls_fulib.Module_spec.t * (int * int) list) list ->
+  unit ->
+  Pchls_diag.Diag.t list
+
+(** [lint_allocation ~graph ~schedule ~info allocation] checks that no two
+    values sharing a register have overlapping lifetimes ([BND004]), per
+    {!Pchls_core.Regalloc.lifetimes}. *)
+val lint_allocation :
+  graph:Pchls_dfg.Graph.t ->
+  schedule:Pchls_sched.Schedule.t ->
+  info:(int -> Pchls_sched.Schedule.op_info) ->
+  int list array ->
+  Pchls_diag.Diag.t list
+
+(** [lint ?max_instances d] runs both passes over a synthesized design. *)
+val lint :
+  ?max_instances:(string * int) list ->
+  Pchls_core.Design.t ->
+  Pchls_diag.Diag.t list

@@ -1,0 +1,130 @@
+module Graph = Pchls_dfg.Graph
+module Op = Pchls_dfg.Op
+module Library = Pchls_fulib.Library
+module Diag = Pchls_diag.Diag
+module Int_set = Set.Make (Int)
+
+let lint_raw ~nodes ~edges =
+  let diags = ref [] in
+  let push d = diags := d :: !diags in
+  let ids = Hashtbl.create 64 in
+  List.iter
+    (fun (n : Graph.node) ->
+      if n.id < 0 then
+        push
+          (Diag.errorf ~code:"DFG005" ~layer:Dfg ~entity:(Node n.id)
+             "node %S has negative id %d" n.name n.id)
+      else if Hashtbl.mem ids n.id then
+        push
+          (Diag.errorf ~code:"DFG005" ~layer:Dfg ~entity:(Node n.id)
+             "node id %d is duplicated" n.id)
+      else Hashtbl.replace ids n.id ())
+    nodes;
+  let seen_edges = Hashtbl.create 64 in
+  let valid_edges =
+    List.filter
+      (fun (src, dst) ->
+        let ok = ref true in
+        List.iter
+          (fun endpoint ->
+            if not (Hashtbl.mem ids endpoint) then begin
+              ok := false;
+              push
+                (Diag.errorf ~code:"DFG002" ~layer:Dfg ~entity:(Edge (src, dst))
+                   "edge %d->%d references unknown node %d" src dst endpoint)
+            end)
+          (List.sort_uniq Int.compare [ src; dst ]);
+        if src = dst && Hashtbl.mem ids src then begin
+          ok := false;
+          push
+            (Diag.errorf ~code:"DFG004" ~layer:Dfg ~entity:(Edge (src, dst))
+               "edge %d->%d is a self-loop" src dst)
+        end;
+        if Hashtbl.mem seen_edges (src, dst) then begin
+          ok := false;
+          push
+            (Diag.errorf ~code:"DFG003" ~layer:Dfg ~entity:(Edge (src, dst))
+               "edge %d->%d is duplicated" src dst)
+        end;
+        Hashtbl.replace seen_edges (src, dst) ();
+        !ok)
+      edges
+  in
+  (* Kahn's algorithm over the well-formed subset: whatever cannot be
+     topologically ordered sits on a cycle. *)
+  let indegree = Hashtbl.create 64 in
+  Hashtbl.iter (fun id () -> Hashtbl.replace indegree id 0) ids;
+  List.iter
+    (fun (_, dst) ->
+      Hashtbl.replace indegree dst (Hashtbl.find indegree dst + 1))
+    valid_edges;
+  let succs = Hashtbl.create 64 in
+  List.iter
+    (fun (src, dst) ->
+      Hashtbl.replace succs src
+        (dst :: Option.value ~default:[] (Hashtbl.find_opt succs src)))
+    valid_edges;
+  let ready =
+    Hashtbl.fold (fun id d acc -> if d = 0 then id :: acc else acc) indegree []
+  in
+  let removed = ref 0 in
+  let rec drain = function
+    | [] -> ()
+    | id :: rest ->
+      incr removed;
+      let next =
+        List.fold_left
+          (fun acc s ->
+            let d = Hashtbl.find indegree s - 1 in
+            Hashtbl.replace indegree s d;
+            if d = 0 then s :: acc else acc)
+          rest
+          (Option.value ~default:[] (Hashtbl.find_opt succs id))
+      in
+      drain next
+  in
+  drain ready;
+  if !removed < Hashtbl.length ids then begin
+    let cyclic =
+      Hashtbl.fold
+        (fun id d acc -> if d > 0 then Int_set.add id acc else acc)
+        indegree Int_set.empty
+    in
+    push
+      (Diag.errorf ~code:"DFG001" ~layer:Dfg
+         ~entity:(Node (Int_set.min_elt cyclic))
+         "dependency cycle through nodes: %s"
+         (String.concat ", "
+            (List.map string_of_int (Int_set.elements cyclic))))
+  end;
+  Diag.sort !diags
+
+let lint ?library g =
+  let diags = ref [] in
+  let push d = diags := d :: !diags in
+  (match library with
+  | None -> ()
+  | Some lib -> (
+    match Library.covers lib g with
+    | Ok () -> ()
+    | Error kinds ->
+      List.iter
+        (fun k ->
+          push
+            (Diag.errorf ~code:"DFG006" ~layer:Dfg ~entity:(Kind (Op.to_string k))
+               "operation kind %s has no implementing module in the library"
+               (Op.to_string k)))
+        kinds));
+  List.iter
+    (fun id ->
+      match Graph.kind g id with
+      | Op.Output -> ()
+      | Op.Add | Op.Sub | Op.Mult | Op.Comp | Op.Input ->
+        push
+          (Diag.warningf ~code:"DFG007" ~layer:Dfg ~entity:(Node id)
+             "node %d (%s) is a sink but not an output: its value is never \
+              consumed"
+             id
+             (Graph.node_name g id)))
+    (Graph.sinks g);
+  Diag.sort !diags

@@ -1,0 +1,26 @@
+(** Structural lint for data-flow graphs.
+
+    {!Pchls_dfg.Graph.t} values are validated at construction, so most
+    structural defects can only exist in {e raw} node/edge lists — the form
+    every front end (text format, behavioural compiler, generators) produces
+    before calling [Graph.create]. {!lint_raw} checks that raw form and
+    reports through the shared diagnostics channel instead of
+    [Graph.create]'s first-error string. {!lint} checks properties a valid
+    graph can still get wrong with respect to a library and flags suspicious
+    shapes.
+
+    Codes: [DFG001] cycle, [DFG002] dangling edge endpoint, [DFG003]
+    duplicate edge, [DFG004] self-loop, [DFG005] bad node id, [DFG006]
+    uncovered operation kind, [DFG007] (warning) non-output sink. *)
+
+val lint_raw :
+  nodes:Pchls_dfg.Graph.node list ->
+  edges:(int * int) list ->
+  Pchls_diag.Diag.t list
+
+(** [lint ?library g] — with [library], every operation kind of [g] must
+    have at least one implementing module ([DFG006]); sinks that are not
+    [Output] operations warn ([DFG007]): their value is computed and then
+    dropped. *)
+val lint :
+  ?library:Pchls_fulib.Library.t -> Pchls_dfg.Graph.t -> Pchls_diag.Diag.t list

@@ -1,0 +1,188 @@
+module Graph = Pchls_dfg.Graph
+module Design = Pchls_core.Design
+module Regalloc = Pchls_core.Regalloc
+module Netlist = Pchls_rtl.Netlist
+module Diag = Pchls_diag.Diag
+module Int_set = Set.Make (Int)
+
+let set_to_string s =
+  "{" ^ String.concat ", " (List.map string_of_int (Int_set.elements s)) ^ "}"
+
+let lint ~design (n : Netlist.t) =
+  let diags = ref [] in
+  let push d = diags := d :: !diags in
+  let g = Design.graph design in
+  let allocation = Design.register_allocation design in
+  let reg_of = Regalloc.register_of allocation in
+  let instances = Design.instances design in
+  let inst_ids =
+    List.fold_left
+      (fun acc (i : Design.instance) -> Int_set.add i.Design.id acc)
+      Int_set.empty instances
+  in
+  let fu_ids =
+    List.fold_left
+      (fun acc (f : Netlist.fu) -> Int_set.add f.Netlist.fu_id acc)
+      Int_set.empty n.Netlist.fus
+  in
+  let reg_count = Array.length allocation in
+  (* NET005: the netlist's id universe must match the design's. *)
+  if n.Netlist.register_count <> reg_count then
+    push
+      (Diag.errorf ~code:"NET005" ~layer:Netlist ~entity:Design
+         "netlist declares %d registers but the design allocates %d"
+         n.Netlist.register_count reg_count);
+  Int_set.iter
+    (fun id ->
+      if not (Int_set.mem id inst_ids) then
+        push
+          (Diag.errorf ~code:"NET005" ~layer:Netlist ~entity:(Instance id)
+             "netlist FU %d does not correspond to any design instance" id))
+    fu_ids;
+  Int_set.iter
+    (fun id ->
+      if not (Int_set.mem id fu_ids) then
+        push
+          (Diag.errorf ~code:"NET005" ~layer:Netlist ~entity:(Instance id)
+             "design instance %d has no FU in the netlist" id))
+    inst_ids;
+  let check_reg_ref ~what r =
+    if r < 0 || r >= n.Netlist.register_count then
+      push
+        (Diag.errorf ~code:"NET005" ~layer:Netlist ~entity:(Register r)
+           "%s references unknown register %d" what r)
+  in
+  let check_fu_ref ~what f =
+    if not (Int_set.mem f fu_ids) then
+      push
+        (Diag.errorf ~code:"NET005" ~layer:Netlist ~entity:(Instance f)
+           "%s references unknown FU %d" what f)
+  in
+  List.iter
+    (fun (f, sources) ->
+      check_fu_ref ~what:"fu_sources" f;
+      List.iter (check_reg_ref ~what:(Printf.sprintf "fu %d sources" f)) sources)
+    n.Netlist.fu_sources;
+  List.iter
+    (fun (r, writers) ->
+      check_reg_ref ~what:"register_writers" r;
+      List.iter
+        (check_fu_ref ~what:(Printf.sprintf "register %d writers" r))
+        writers)
+    n.Netlist.register_writers;
+  (* NET002: per-FU source registers must be exactly what the bound
+     operations' predecessors imply — otherwise the operand muxes select
+     from the wrong registers (or a >2-source over-subscription goes
+     unaccounted). *)
+  List.iter
+    (fun (i : Design.instance) ->
+      let expected =
+        List.fold_left
+          (fun acc (op, _) ->
+            List.fold_left
+              (fun acc p -> Int_set.add (reg_of p) acc)
+              acc (Graph.preds g op))
+          Int_set.empty i.Design.ops
+      in
+      let recorded =
+        match List.assoc_opt i.Design.id n.Netlist.fu_sources with
+        | Some rs -> Int_set.of_list rs
+        | None -> Int_set.empty
+      in
+      if not (Int_set.equal expected recorded) then
+        push
+          (Diag.errorf ~code:"NET002" ~layer:Netlist ~entity:(Instance i.Design.id)
+             "FU %d is wired to source registers %s but the design implies %s"
+             i.Design.id (set_to_string recorded) (set_to_string expected)))
+    instances;
+  (* NET001: register writer sets (the input-mux select wiring). *)
+  Array.iteri
+    (fun r producers ->
+      let expected =
+        List.fold_left
+          (fun acc p ->
+            Int_set.add (Design.instance_of design p).Design.id acc)
+          Int_set.empty producers
+      in
+      let recorded =
+        match List.assoc_opt r n.Netlist.register_writers with
+        | Some ws -> Int_set.of_list ws
+        | None -> Int_set.empty
+      in
+      if not (Int_set.equal expected recorded) then
+        push
+          (Diag.errorf ~code:"NET001" ~layer:Netlist ~entity:(Register r)
+             "register %d%s records writers %s but the design implies %s" r
+             (if Int_set.cardinal expected > 1 then
+                " (multiply-written: its input mux wiring)"
+              else "")
+             (set_to_string recorded) (set_to_string expected)))
+    allocation;
+  (* NET003: the activation table drives the FSM control words; it must
+     list exactly the schedule's (instance, op) starts, at their steps. *)
+  if n.Netlist.steps <> Design.time_limit design then
+    push
+      (Diag.errorf ~code:"NET003" ~layer:Netlist ~entity:Design
+         "netlist spans %d control steps but the design's time limit is %d"
+         n.Netlist.steps (Design.time_limit design));
+  let expected_start =
+    List.concat_map
+      (fun (i : Design.instance) ->
+        List.map (fun (op, t) -> (op, (i.Design.id, t))) i.Design.ops)
+      instances
+  in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (step, pairs) ->
+      List.iter
+        (fun (fu, op) ->
+          if Hashtbl.mem seen op then
+            push
+              (Diag.errorf ~code:"NET003" ~layer:Netlist ~entity:(Node op)
+                 "op %d is activated more than once" op)
+          else begin
+            Hashtbl.replace seen op ();
+            match List.assoc_opt op expected_start with
+            | None ->
+              push
+                (Diag.errorf ~code:"NET003" ~layer:Netlist ~entity:(Node op)
+                   "activation at step %d names op %d, which the design does \
+                    not schedule"
+                   step op)
+            | Some (exp_fu, exp_t) ->
+              if exp_t <> step || exp_fu <> fu then
+                push
+                  (Diag.errorf ~code:"NET003" ~layer:Netlist ~entity:(Node op)
+                     "op %d activates on FU %d at step %d but the design \
+                      schedules it on instance %d at step %d"
+                     op fu step exp_fu exp_t)
+          end)
+        pairs)
+    n.Netlist.activations;
+  List.iter
+    (fun (op, (fu, t)) ->
+      if not (Hashtbl.mem seen op) then
+        push
+          (Diag.errorf ~code:"NET003" ~layer:Netlist ~entity:(Node op)
+             "op %d (instance %d, step %d) is missing from the activation \
+              table"
+             op fu t))
+    expected_start;
+  (* NET004: every register should be written and read by someone. *)
+  let sourced =
+    List.fold_left
+      (fun acc (_, rs) -> List.fold_left (fun acc r -> Int_set.add r acc) acc rs)
+      Int_set.empty n.Netlist.fu_sources
+  in
+  List.iter
+    (fun (r, writers) ->
+      if writers = [] then
+        push
+          (Diag.warningf ~code:"NET004" ~layer:Netlist ~entity:(Register r)
+             "register %d is never written" r)
+      else if not (Int_set.mem r sourced) then
+        push
+          (Diag.warningf ~code:"NET004" ~layer:Netlist ~entity:(Register r)
+             "register %d is never read by any FU" r))
+    n.Netlist.register_writers;
+  Diag.sort !diags

@@ -1,0 +1,18 @@
+(** Netlist lint: cross-checks a structural netlist against the design it
+    claims to implement.
+
+    The netlist record ({!Pchls_rtl.Netlist.t}) duplicates design facts —
+    register writer sets, per-FU source registers, the control-step
+    activation table — precisely so RTL backends need no further queries.
+    That redundancy is what this lint verifies: a divergence means the
+    emitted mux wiring or FSM control words would silently disagree with the
+    validated schedule/binding.
+
+    Codes: [NET001] wrong writer set on a (multiply-written) register,
+    [NET002] wrong per-FU source registers / unaccounted port
+    over-subscription, [NET003] activation table inconsistent with the
+    schedule, [NET004] (warning) dangling register, [NET005] reference to an
+    unknown FU or register. *)
+
+val lint :
+  design:Pchls_core.Design.t -> Pchls_rtl.Netlist.t -> Pchls_diag.Diag.t list

@@ -1,0 +1,12 @@
+module Schedule = Pchls_sched.Schedule
+module Design = Pchls_core.Design
+
+let lint g s ~info ?time_limit ?power_limit () =
+  Schedule.lint g s ~info ?time_limit ?power_limit ()
+
+let lint_design d =
+  let power_limit = Design.power_limit d in
+  Schedule.lint (Design.graph d) (Design.schedule d) ~info:(Design.info d)
+    ~time_limit:(Design.time_limit d)
+    ?power_limit:(if Float.is_finite power_limit then Some power_limit else None)
+    ()

@@ -1,0 +1,20 @@
+(** Schedule lint: wraps and supersedes [Schedule.validate].
+
+    The checks live in {!Pchls_sched.Schedule.lint} (totality [SCH001],
+    start sanity [SCH002], precedence [SCH003], latency [SCH004], per-cycle
+    power [SCH005], non-positive [op_info] latency [SCH006], stray entries
+    [SCH007]); this module adds the design-level entry point so callers lint
+    a synthesized design without re-deriving its [info] view. *)
+
+val lint :
+  Pchls_dfg.Graph.t ->
+  Pchls_sched.Schedule.t ->
+  info:(int -> Pchls_sched.Schedule.op_info) ->
+  ?time_limit:int ->
+  ?power_limit:float ->
+  unit ->
+  Pchls_diag.Diag.t list
+
+(** [lint_design d] lints [d]'s schedule under its own binding-derived
+    [info], time limit and power limit. *)
+val lint_design : Pchls_core.Design.t -> Pchls_diag.Diag.t list

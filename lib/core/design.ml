@@ -2,6 +2,7 @@ module Graph = Pchls_dfg.Graph
 module Module_spec = Pchls_fulib.Module_spec
 module Schedule = Pchls_sched.Schedule
 module Profile = Pchls_power.Profile
+module Diag = Pchls_diag.Diag
 module Int_map = Map.Make (Int)
 
 type instance = {
@@ -77,6 +78,9 @@ let overlap_on_instance spec ops =
 
 let assemble ~cost_model ~graph ~time_limit ~power_limit ~instances =
   let ( let* ) = Result.bind in
+  (* Every assembly error renders a diagnostic, so messages carry the same
+     stable codes as the Pchls_analysis checkers (see docs/DIAGNOSTICS.md). *)
+  let err d = Error (Diag.to_string d) in
   let instances =
     List.mapi
       (fun id (spec, ops) ->
@@ -92,16 +96,30 @@ let assemble ~cost_model ~graph ~time_limit ~power_limit ~instances =
           (fun acc (op, _) ->
             let* b = acc in
             if not (Graph.mem graph op) then
-              Error (Printf.sprintf "instance %d binds unknown op %d" inst.id op)
-            else if Int_map.mem op b then
-              Error (Printf.sprintf "op %d bound twice" op)
-            else if not (Module_spec.implements inst.spec (Graph.kind graph op))
-            then
-              Error
-                (Printf.sprintf "op %d (%s) not implementable by module %s" op
-                   (Pchls_dfg.Op.to_string (Graph.kind graph op))
-                   inst.spec.Module_spec.name)
-            else Ok (Int_map.add op inst.id b))
+              err
+                (Diag.errorf ~code:"BND006" ~layer:Binding
+                   ~entity:(Instance inst.id)
+                   "instance %d (%s) binds unknown op %d" inst.id
+                   inst.spec.Module_spec.name op)
+            else
+              match Int_map.find_opt op b with
+              | Some first ->
+                err
+                  (Diag.errorf ~code:"BND005" ~layer:Binding ~entity:(Node op)
+                     "op %d bound to instances %d and %d" op first inst.id)
+              | None ->
+                if
+                  not (Module_spec.implements inst.spec (Graph.kind graph op))
+                then
+                  err
+                    (Diag.errorf ~code:"BND002" ~layer:Binding
+                       ~entity:(Node op)
+                       "op %d (%s) not implementable by module %s of instance \
+                        %d"
+                       op
+                       (Pchls_dfg.Op.to_string (Graph.kind graph op))
+                       inst.spec.Module_spec.name inst.id)
+                else Ok (Int_map.add op inst.id b))
           (Ok b) inst.ops)
       (Ok Int_map.empty) instances
   in
@@ -111,8 +129,9 @@ let assemble ~cost_model ~graph ~time_limit ~power_limit ~instances =
       let missing =
         List.filter (fun id -> not (Int_map.mem id binding)) (Graph.node_ids graph)
       in
-      Error
-        (Printf.sprintf "unbound operations: %s"
+      err
+        (Diag.errorf ~code:"BND007" ~layer:Binding ~entity:Diag.Design
+           "unbound operations: %s"
            (String.concat ", " (List.map string_of_int missing)))
   in
   let* () =
@@ -121,9 +140,11 @@ let assemble ~cost_model ~graph ~time_limit ~power_limit ~instances =
         let* () = acc in
         match overlap_on_instance inst.spec inst.ops with
         | Some (a, b) ->
-          Error
-            (Printf.sprintf "ops %d and %d overlap on instance %d (%s)" a b
-               inst.id inst.spec.Module_spec.name)
+          err
+            (Diag.errorf ~code:"BND001" ~layer:Binding
+               ~entity:(Instance inst.id)
+               "ops %d and %d overlap on instance %d (%s)" a b inst.id
+               inst.spec.Module_spec.name)
         | None -> Ok ())
       (Ok ()) instances
   in
@@ -146,8 +167,10 @@ let assemble ~cost_model ~graph ~time_limit ~power_limit ~instances =
       Schedule.validate graph schedule ~info ~time_limit ~power_limit ()
     with
     | Ok () -> Ok ()
-    | Error (v :: _) -> Error (Format.asprintf "%a" Schedule.pp_violation v)
-    | Error [] -> Error "validation failed"
+    | Error ds -> (
+      match List.filter (fun d -> d.Diag.severity = Diag.Error) ds with
+      | d :: _ -> Error (Diag.to_string d)
+      | [] -> Error "validation failed")
   in
   let register_allocation =
     Regalloc.left_edge (Regalloc.lifetimes graph schedule ~info)

@@ -22,7 +22,11 @@ type t
     and power constraints, no overlap on any instance).
 
     Errors with a human-readable message when the binding is inconsistent or
-    a constraint is violated. *)
+    a constraint is violated. Every message is a rendered
+    {!Pchls_diag.Diag.t}, so it leads with a stable diagnostic code
+    ([BND001] instance overlap, [BND002] kind not implementable, [BND005]
+    op bound twice, [BND006] unknown op, [BND007] unbound op, [SCH0xx]
+    schedule violations) and names the offending instance/op ids. *)
 val assemble :
   cost_model:Cost_model.t ->
   graph:Pchls_dfg.Graph.t ->

@@ -547,9 +547,26 @@ let lock_unassigned st valid_pasap =
     (fun op -> Hashtbl.replace st.locked_times op (Schedule.start valid_pasap op))
     (unassigned st)
 
+(* Self-check: after a backtrack-and-lock event the engine trusts
+   [valid_pasap] as-is for every remaining decision, so a silently invalid
+   schedule here would corrupt everything downstream. Re-lint it. *)
+let self_check_lock st s =
+  match
+    Schedule.validate st.g s ~info:(info st) ~time_limit:st.time_limit
+      ~power_limit:st.power_limit ()
+  with
+  | Ok () -> Ok ()
+  | Error ds ->
+    Error
+      (Printf.sprintf
+         "self-check: schedule locked after backtrack fails lint: %s"
+         (String.concat "; "
+            (List.map Pchls_diag.Diag.to_string
+               (List.filteri (fun i _ -> i < 3) ds))))
+
 let run ?(cost_model = Cost_model.default) ?(policy = Min_power)
-    ?(max_instances = []) ?(seed_instances = []) ~library ~time_limit
-    ?(power_limit = infinity) g =
+    ?(max_instances = []) ?(seed_instances = []) ?(self_check = false) ~library
+    ~time_limit ?(power_limit = infinity) g =
   if time_limit < 1 then invalid_arg "Engine.run: time_limit < 1";
   if power_limit <= 0. then invalid_arg "Engine.run: power_limit <= 0";
   List.iter
@@ -655,17 +672,22 @@ let run ?(cost_model = Cost_model.default) ?(policy = Min_power)
             undo.revert ();
             st.n_backtracks <- st.n_backtracks + 1;
             lock_unassigned st valid_pasap;
-            (* In locked mode decisions keep the valid pasap's times and
-               module choices, so the schedule stays feasible as-is. *)
-            (match candidates st valid_pasap valid_pasap with
-            | locked_best :: _ ->
-              let _ = commit st locked_best in
-              note_commit st locked_best;
-              iterate valid_pasap
-            | [] ->
-              Error
-                "no feasible decision after locking: instance caps leave \
-                 some operation no module to run on"))
+            (match
+               if self_check then self_check_lock st valid_pasap else Ok ()
+             with
+            | Error _ as e -> e
+            | Ok () -> (
+              (* In locked mode decisions keep the valid pasap's times and
+                 module choices, so the schedule stays feasible as-is. *)
+              match candidates st valid_pasap valid_pasap with
+              | locked_best :: _ ->
+                let _ = commit st locked_best in
+                note_commit st locked_best;
+                iterate valid_pasap
+              | [] ->
+                Error
+                  "no feasible decision after locking: instance caps leave \
+                   some operation no module to run on")))
       end
     in
     (match iterate first_pasap with

@@ -50,6 +50,12 @@ type outcome =
     mechanism behind {!Shared} multi-behaviour synthesis. Seeds that end up
     hosting no operation are dropped from the resulting design.
 
+    [self_check] re-lints the locked schedule after every
+    backtrack-and-lock event via {!Pchls_sched.Schedule.validate}; a failed
+    check aborts synthesis as [Infeasible] with the diagnostic codes in the
+    reason (defence in depth — it should never fire, and the run also ends
+    with [Design.assemble]'s full validation either way).
+
     @raise Invalid_argument when [time_limit < 1], [power_limit <= 0], a
     cap is negative or names an unknown module, or the library does not
     cover some operation kind of [g]. *)
@@ -58,6 +64,7 @@ val run :
   ?policy:policy ->
   ?max_instances:(string * int) list ->
   ?seed_instances:Pchls_fulib.Module_spec.t list ->
+  ?self_check:bool ->
   library:Pchls_fulib.Library.t ->
   time_limit:int ->
   ?power_limit:float ->

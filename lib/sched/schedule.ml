@@ -37,7 +37,17 @@ let profile s ~info ~horizon =
     s;
   p
 
-let validate g s ~info ?time_limit ?power_limit () =
+(* Makespan over the nodes of [g] only, so a stray schedule entry never has
+   its [info] consulted. *)
+let graph_makespan g s ~info =
+  List.fold_left
+    (fun acc id ->
+      match find s id with
+      | Some t -> max acc (t + (info id).latency)
+      | None -> acc)
+    0 (Graph.node_ids g)
+
+let violations g s ~info ?time_limit ?power_limit () =
   let violations = ref [] in
   let push v = violations := v :: !violations in
   List.iter
@@ -53,21 +63,87 @@ let validate g s ~info ?time_limit ?power_limit () =
         if tp + (info pred).latency > ts then push (Precedence { pred; succ })
       | None, _ | _, None -> ())
     (Graph.edges g);
-  let ms = makespan s ~info in
+  let ms = graph_makespan g s ~info in
   (match time_limit with
   | Some limit when ms > limit -> push (Latency_exceeded { makespan = ms; limit })
   | Some _ | None -> ());
   (match power_limit with
   | Some limit ->
-    let p = profile s ~info ~horizon:(max ms 1) in
-    let arr = Profile.to_array p in
+    let p = Profile.create ~horizon:(max ms 1) in
+    List.iter
+      (fun id ->
+        match find s id with
+        | Some t when t >= 0 ->
+          let { latency; power } = info id in
+          if t + latency <= max ms 1 then Profile.add p ~start:t ~latency ~power
+        | Some _ | None -> ())
+      (Graph.node_ids g);
     Array.iteri
       (fun cycle power ->
         if power > limit +. Profile.eps then
           push (Power_exceeded { cycle; power; limit }))
-      arr
+      (Profile.to_array p)
   | None -> ());
-  match List.rev !violations with [] -> Ok () | vs -> Error vs
+  List.rev !violations
+
+let validate_violations g s ~info ?time_limit ?power_limit () =
+  match violations g s ~info ?time_limit ?power_limit () with
+  | [] -> Ok ()
+  | vs -> Error vs
+
+let diag_of_violation v =
+  let open Pchls_diag.Diag in
+  match v with
+  | Unscheduled id ->
+    errorf ~code:"SCH001" ~layer:Schedule ~entity:(Node id)
+      "node %d has no start time" id
+  | Negative_start id ->
+    errorf ~code:"SCH002" ~layer:Schedule ~entity:(Node id)
+      "node %d starts before cycle 0" id
+  | Precedence { pred; succ } ->
+    errorf ~code:"SCH003" ~layer:Schedule ~entity:(Edge (pred, succ))
+      "node %d starts before predecessor %d finishes" succ pred
+  | Latency_exceeded { makespan; limit } ->
+    errorf ~code:"SCH004" ~layer:Schedule ~entity:Design
+      "makespan %d exceeds time constraint %d" makespan limit
+  | Power_exceeded { cycle; power; limit } ->
+    errorf ~code:"SCH005" ~layer:Schedule ~entity:(Step cycle)
+      "cycle %d draws %.3f > power constraint %.3f" cycle power limit
+
+let lint g s ~info ?time_limit ?power_limit () =
+  let open Pchls_diag.Diag in
+  let bad_latency =
+    List.filter_map
+      (fun id ->
+        let { latency; _ } = info id in
+        if latency < 1 then
+          Some
+            (errorf ~code:"SCH006" ~layer:Schedule ~entity:(Node id)
+               "op_info reports latency %d for node %d (must be >= 1)" latency
+               id)
+        else None)
+      (Graph.node_ids g)
+  in
+  let stray =
+    List.filter_map
+      (fun (id, t) ->
+        if Graph.mem g id then None
+        else
+          Some
+            (warningf ~code:"SCH007" ~layer:Schedule ~entity:(Node id)
+               "schedule holds start %d for node %d, which is not in graph %s"
+               t id (Graph.name g)))
+      (bindings s)
+  in
+  (* A non-positive latency poisons the power profile; report it alone and
+     skip the per-cycle check rather than crash on it. *)
+  let power_limit = if bad_latency = [] then power_limit else None in
+  let vs = violations g s ~info ?time_limit ?power_limit () in
+  sort (bad_latency @ stray @ List.map diag_of_violation vs)
+
+let validate g s ~info ?time_limit ?power_limit () =
+  let ds = lint g s ~info ?time_limit ?power_limit () in
+  if Pchls_diag.Diag.has_errors ds then Error ds else Ok ()
 
 let pp_violation ppf = function
   | Unscheduled id -> Format.fprintf ppf "node %d unscheduled" id

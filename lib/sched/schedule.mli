@@ -47,10 +47,26 @@ val makespan : t -> info:(int -> op_info) -> int
     @raise Invalid_argument if an operation's interval leaves the horizon. *)
 val profile : t -> info:(int -> op_info) -> horizon:int -> Pchls_power.Profile.t
 
-(** [validate g s ~info ?time_limit ?power_limit ()] checks the schedule is
+(** [lint g s ~info ?time_limit ?power_limit ()] checks the schedule is
     total over [g], respects precedences, and fits the optional latency and
-    peak-power limits. Returns all violations found, deterministically
-    ordered. *)
+    peak-power limits, reporting through the shared diagnostics channel:
+    [SCH001] unscheduled node, [SCH002] negative start, [SCH003] precedence
+    violation, [SCH004] latency exceeded, [SCH005] per-cycle power exceeded,
+    [SCH006] non-positive [op_info] latency, [SCH007] (warning) stray
+    schedule entry for a node not in [g]. The list is deterministically
+    ordered ({!Pchls_diag.Diag.sort}) and empty for a clean schedule. *)
+val lint :
+  Pchls_dfg.Graph.t ->
+  t ->
+  info:(int -> op_info) ->
+  ?time_limit:int ->
+  ?power_limit:float ->
+  unit ->
+  Pchls_diag.Diag.t list
+
+(** [validate g s ~info ?time_limit ?power_limit ()] is {!lint} as a result:
+    [Ok ()] when no [Error]-severity diagnostic fired, otherwise [Error ds]
+    with the full diagnostic list. *)
 val validate :
   Pchls_dfg.Graph.t ->
   t ->
@@ -58,7 +74,21 @@ val validate :
   ?time_limit:int ->
   ?power_limit:float ->
   unit ->
+  (unit, Pchls_diag.Diag.t list) result
+
+(** Deprecated: the pre-diagnostics interface, kept as a thin wrapper during
+    the transition. Use {!validate} (or {!lint}) instead. *)
+val validate_violations :
+  Pchls_dfg.Graph.t ->
+  t ->
+  info:(int -> op_info) ->
+  ?time_limit:int ->
+  ?power_limit:float ->
+  unit ->
   (unit, violation list) result
+
+(** [diag_of_violation v] maps a legacy {!violation} to its diagnostic. *)
+val diag_of_violation : violation -> Pchls_diag.Diag.t
 
 val pp_violation : Format.formatter -> violation -> unit
 val pp : Format.formatter -> t -> unit

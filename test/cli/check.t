@@ -1,0 +1,22 @@
+Cross-layer static verification: `pchls check` synthesizes a design and
+lints the DFG, schedule, binding and netlist in one pass. A clean design
+exits 0; Error-severity diagnostics exit 1.
+
+  $ pchls check -b hal -t 17 -p 10
+  hal (T=17, P<=10): clean
+
+  $ pchls check -b cosine -t 19 -p 20 --json
+  []
+
+An infeasible operating point is reported on stderr and exits 1:
+
+  $ pchls check -b hal -t 3 -p 5
+  hal: infeasible: infeasible: node 6 (m1) cannot be scheduled (no power-feasible start in [1, -1] within horizon 3) and no faster module fits the power limit
+  [1]
+
+`synth --self-check` additionally re-validates the locked schedule after
+every backtrack-and-lock event inside the engine (hal at T=17, P<=10
+exercises a real backtrack):
+
+  $ pchls synth -b hal -t 17 -p 10 --self-check | tail -n 1
+  self-check: clean

@@ -63,62 +63,72 @@ let test_validate_ok () =
   let s = Schedule.of_alist [ (0, 0); (1, 1); (2, 2) ] in
   match Schedule.validate g s ~info:info1 ~time_limit:3 ~power_limit:2. () with
   | Ok () -> ()
-  | Error vs ->
+  | Error ds ->
     Alcotest.fail
-      (Format.asprintf "%a"
-         (Format.pp_print_list Schedule.pp_violation)
-         vs)
+      (String.concat "; " (List.map Pchls_diag.Diag.to_string ds))
 
-let has_violation pred = function
+let has_code code = function
   | Ok () -> false
-  | Error vs -> List.exists pred vs
+  | Error ds -> List.exists (fun d -> d.Pchls_diag.Diag.code = code) ds
 
 let test_validate_unscheduled () =
   let g = chain () in
   let s = Schedule.of_alist [ (0, 0); (2, 2) ] in
   let r = Schedule.validate g s ~info:info1 () in
-  Alcotest.(check bool) "unscheduled 1" true
-    (has_violation
-       (function Schedule.Unscheduled 1 -> true | _ -> false)
-       r)
+  Alcotest.(check bool) "unscheduled 1 -> SCH001" true (has_code "SCH001" r)
 
 let test_validate_precedence () =
   let g = chain () in
   let s = Schedule.of_alist [ (0, 0); (1, 0); (2, 2) ] in
   let r = Schedule.validate g s ~info:info1 () in
-  Alcotest.(check bool) "precedence 0->1" true
-    (has_violation
-       (function
-         | Schedule.Precedence { pred = 0; succ = 1 } -> true
-         | _ -> false)
-       r)
+  Alcotest.(check bool) "precedence 0->1 -> SCH003" true (has_code "SCH003" r)
 
 let test_validate_latency () =
   let g = chain () in
   let s = Schedule.of_alist [ (0, 0); (1, 1); (2, 2) ] in
   let r = Schedule.validate g s ~info:info1 ~time_limit:2 () in
-  Alcotest.(check bool) "latency exceeded" true
-    (has_violation
-       (function Schedule.Latency_exceeded _ -> true | _ -> false)
-       r)
+  Alcotest.(check bool) "latency exceeded -> SCH004" true (has_code "SCH004" r)
 
 let test_validate_power () =
   let g = chain () in
   let s = Schedule.of_alist [ (0, 0); (1, 1); (2, 2) ] in
   let r = Schedule.validate g s ~info:info1 ~power_limit:1.5 () in
-  Alcotest.(check bool) "power exceeded" true
-    (has_violation
-       (function Schedule.Power_exceeded _ -> true | _ -> false)
-       r)
+  Alcotest.(check bool) "power exceeded -> SCH005" true (has_code "SCH005" r)
 
 let test_validate_negative_start () =
   let g = chain () in
   let s = Schedule.of_alist [ (0, -1); (1, 1); (2, 2) ] in
   let r = Schedule.validate g s ~info:info1 () in
-  Alcotest.(check bool) "negative start" true
-    (has_violation
-       (function Schedule.Negative_start 0 -> true | _ -> false)
-       r)
+  Alcotest.(check bool) "negative start -> SCH002" true (has_code "SCH002" r)
+
+let test_validate_bad_latency () =
+  let g = chain () in
+  let s = Schedule.of_alist [ (0, 0); (1, 1); (2, 2) ] in
+  let info _ = { Schedule.latency = 0; power = 1. } in
+  let r = Schedule.validate g s ~info ~power_limit:0.5 () in
+  Alcotest.(check bool) "zero latency -> SCH006" true (has_code "SCH006" r);
+  Alcotest.(check bool) "power check suppressed" false (has_code "SCH005" r)
+
+let test_lint_stray_entry () =
+  let g = chain () in
+  let s = Schedule.of_alist [ (0, 0); (1, 1); (2, 2); (9, 0) ] in
+  let ds = Schedule.lint g s ~info:info1 () in
+  Alcotest.(check bool) "stray node -> SCH007 warning" true
+    (List.exists (fun d -> d.Pchls_diag.Diag.code = "SCH007") ds);
+  (* A stray entry is a warning, so validate still accepts. *)
+  (match Schedule.validate g s ~info:info1 () with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "warnings must not fail validate")
+
+(* The legacy interface stays as a thin wrapper over the same checks. *)
+let test_validate_violations_wrapper () =
+  let g = chain () in
+  let s = Schedule.of_alist [ (0, 0); (2, 2) ] in
+  (match Schedule.validate_violations g s ~info:info1 () with
+  | Error [ Schedule.Unscheduled 1 ] -> ()
+  | Error _ | Ok () -> Alcotest.fail "expected [Unscheduled 1]");
+  let d = Schedule.diag_of_violation (Schedule.Unscheduled 1) in
+  Alcotest.(check string) "maps to SCH001" "SCH001" d.Pchls_diag.Diag.code
 
 let test_pp_violation () =
   let s =
@@ -153,6 +163,11 @@ let () =
           Alcotest.test_case "power violation flagged" `Quick test_validate_power;
           Alcotest.test_case "negative start flagged" `Quick
             test_validate_negative_start;
+          Alcotest.test_case "non-positive latency flagged" `Quick
+            test_validate_bad_latency;
+          Alcotest.test_case "stray entry warned" `Quick test_lint_stray_entry;
+          Alcotest.test_case "legacy violations wrapper" `Quick
+            test_validate_violations_wrapper;
           Alcotest.test_case "violation printing" `Quick test_pp_violation;
         ] );
     ]
