@@ -3,7 +3,10 @@
 
    Usage: dune exec bench/main.exe [-- section ...]
    Sections: table1 figure1 figure2 ablation-clique ablation-twostep
-             ablation-policy ablation-battery timing (default: all). *)
+             ablation-policy ablation-battery sweep timing (default: all).
+
+   Grid-shaped sections run through the Pchls_par.Pool domain pool and
+   append wall-time/grid/cache records to BENCH_sweep.json. *)
 
 module Graph = Pchls_dfg.Graph
 module Op = Pchls_dfg.Op
@@ -25,8 +28,61 @@ module Model = Pchls_battery.Model
 module Rakhmatov = Pchls_battery.Rakhmatov
 module Sim = Pchls_battery.Sim
 module Force_directed = Pchls_sched.Force_directed
+module Explore = Pchls_core.Explore
+module Pool = Pchls_par.Pool
+module Store = Pchls_cache.Store
 
 let section_header name = Format.printf "@.======== %s ========@.@." name
+
+(* Grid sections append one record each; written to BENCH_sweep.json at the
+   end of the run so the perf trajectory is tracked across PRs. *)
+type grid_record = {
+  section : string;
+  wall_s : float;
+  grid : int;
+  pool_jobs : int;
+  cache_stats : Store.stats option;
+}
+
+let grid_records : grid_record list ref = ref []
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let record ?cache_stats ~section ~wall_s ~grid ~pool_jobs () =
+  grid_records :=
+    { section; wall_s; grid; pool_jobs; cache_stats } :: !grid_records
+
+let hit_rate = function
+  | Some { Store.hits; misses; _ } when hits + misses > 0 ->
+    float_of_int hits /. float_of_int (hits + misses)
+  | Some _ | None -> 0.
+
+let write_grid_records path =
+  let json_of_record r =
+    let cache =
+      match r.cache_stats with
+      | None -> "null"
+      | Some { Store.hits; misses; stores } ->
+        Printf.sprintf "{\"hits\": %d, \"misses\": %d, \"stores\": %d}" hits
+          misses stores
+    in
+    Printf.sprintf
+      "    {\"section\": \"%s\", \"wall_s\": %.6f, \"grid\": %d, \"jobs\": \
+       %d, \"hit_rate\": %.4f, \"cache\": %s}"
+      (String.escaped r.section) r.wall_s r.grid r.pool_jobs
+      (hit_rate r.cache_stats) cache
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"recommended_domains\": %d,\n  \"sections\": [\n%s\n  ]\n}\n"
+    (Domain.recommended_domain_count ())
+    (String.concat ",\n" (List.map json_of_record (List.rev !grid_records)));
+  close_out oc;
+  Format.printf "@.wrote %s (%d grid records)@." path
+    (List.length !grid_records)
 
 let table1_info g id =
   match Library.min_power Library.default (Graph.kind g id) with
@@ -98,23 +154,33 @@ let figure2_series =
 let figure2_powers =
   [ 2.5; 5.; 7.5; 10.; 12.5; 15.; 20.; 25.; 30.; 40.; 50.; 75.; 100.; 150. ]
 
+(* Both figure-2 grids run through the domain pool: the plain grid as one
+   Explore.sweep per series row, the tightening grid as pooled rows (each
+   ladder is inherently sequential, rows are independent). *)
 let figure2 () =
   section_header "Figure 2: power vs area under different time constraints";
+  let jobs = Domain.recommended_domain_count () in
   Format.printf "%-14s" "series \\ P<";
   List.iter (fun p -> Format.printf "%7.1f" p) figure2_powers;
   Format.printf "@.";
-  List.iter
-    (fun (name, g, t) ->
-      Format.printf "%-8s T=%-3d" name t;
-      List.iter
-        (fun p ->
-          match synth g t p with
-          | Engine.Synthesized (d, _) ->
-            Format.printf "%7.0f" (Design.area d).Design.total
-          | Engine.Infeasible _ -> Format.printf "%7s" "-")
-        figure2_powers;
-      Format.printf "@.")
-    figure2_series;
+  let (), wall_s =
+    timed (fun () ->
+        List.iter
+          (fun (name, g, t) ->
+            Format.printf "%-8s T=%-3d" name t;
+            List.iter
+              (fun pt ->
+                match pt.Explore.result with
+                | Explore.Feasible { area; _ } -> Format.printf "%7.0f" area
+                | Explore.Infeasible _ -> Format.printf "%7s" "-")
+              (Explore.sweep ~jobs ~library:Library.default g ~times:[ t ]
+                 ~powers:figure2_powers);
+            Format.printf "@.")
+          figure2_series)
+  in
+  record ~section:"figure2" ~wall_s
+    ~grid:(List.length figure2_series * List.length figure2_powers)
+    ~pool_jobs:jobs ();
   Format.printf
     "@.(areas; '-' = infeasible under that power budget; compare the shape \
      with the paper's Figure 2: curves for tighter T sit higher and start at \
@@ -126,20 +192,30 @@ let figure2 () =
   Format.printf "%-14s" "series \\ P<";
   List.iter (fun p -> Format.printf "%7.1f" p) figure2_powers;
   Format.printf "@.";
-  List.iter
-    (fun (name, g, t) ->
-      Format.printf "%-8s T=%-3d" name t;
-      List.iter
-        (fun p ->
-          match
-            Pchls_core.Explore.tighten ~library:Library.default g ~time_limit:t
-              ~power_limit:p
-          with
-          | Ok d -> Format.printf "%7.0f" (Design.area d).Design.total
-          | Error _ -> Format.printf "%7s" "-")
-        figure2_powers;
-      Format.printf "@.")
-    figure2_series
+  let rows, wall_s =
+    timed (fun () ->
+        Pool.with_pool ~jobs (fun pool ->
+            Pool.map pool
+              (fun (name, g, t) ->
+                let cells =
+                  List.map
+                    (fun p ->
+                      match
+                        Explore.tighten ~library:Library.default g
+                          ~time_limit:t ~power_limit:p
+                      with
+                      | Ok d ->
+                        Printf.sprintf "%7.0f" (Design.area d).Design.total
+                      | Error _ -> Printf.sprintf "%7s" "-")
+                    figure2_powers
+                in
+                Printf.sprintf "%-8s T=%-3d%s" name t (String.concat "" cells))
+              figure2_series))
+  in
+  List.iter (fun row -> Format.printf "%s@." row) rows;
+  record ~section:"figure2-tighten" ~wall_s
+    ~grid:(List.length figure2_series * List.length figure2_powers)
+    ~pool_jobs:jobs ()
 
 (* --- Ablation A1: greedy vs exact clique partitioning ------------------ *)
 
@@ -208,22 +284,22 @@ let ablation_twostep () =
   section_header "Ablation A2: simultaneous synthesis vs two-step baseline";
   Format.printf "%-10s %4s %7s | %9s | %9s %9s@." "benchmark" "T" "P<"
     "two-step" "engine" "area";
-  List.iter
-    (fun (name, g, t, p) ->
-      let info = table1_info g in
-      let two =
-        match Two_step.run g ~info ~horizon:t ~power_limit:p with
-        | Pasap.Feasible _ -> "feasible"
-        | Pasap.Infeasible _ -> "fails"
-      in
-      let engine, area =
-        match synth g t p with
-        | Engine.Synthesized (d, _) ->
-          ("feasible", Printf.sprintf "%.0f" (Design.area d).Design.total)
-        | Engine.Infeasible _ -> ("fails", "-")
-      in
-      Format.printf "%-10s %4d %7.1f | %9s | %9s %9s@." name t p two engine
-        area)
+  let row (name, g, t, p) =
+    let info = table1_info g in
+    let two =
+      match Two_step.run g ~info ~horizon:t ~power_limit:p with
+      | Pasap.Feasible _ -> "feasible"
+      | Pasap.Infeasible _ -> "fails"
+    in
+    let engine, area =
+      match synth g t p with
+      | Engine.Synthesized (d, _) ->
+        ("feasible", Printf.sprintf "%.0f" (Design.area d).Design.total)
+      | Engine.Infeasible _ -> ("fails", "-")
+    in
+    Printf.sprintf "%-10s %4d %7.1f | %9s | %9s %9s" name t p two engine area
+  in
+  let grid =
     [
       ("hal", Benchmarks.hal, 17, 8.);
       ("hal", Benchmarks.hal, 17, 12.);
@@ -235,7 +311,15 @@ let ablation_twostep () =
       ("ar_filter", Benchmarks.ar_filter, 30, 12.);
       ("fir16", Benchmarks.fir16, 30, 15.);
       ("diffeq2", Benchmarks.diffeq2, 30, 15.);
-    ];
+    ]
+  in
+  let jobs = Domain.recommended_domain_count () in
+  let rows, wall_s =
+    timed (fun () -> Pool.with_pool ~jobs (fun pool -> Pool.map pool row grid))
+  in
+  List.iter (fun r -> Format.printf "%s@." r) rows;
+  record ~section:"ablation-twostep" ~wall_s ~grid:(List.length grid)
+    ~pool_jobs:jobs ();
   Format.printf
     "@.(the two-step baseline separates scheduling from binding, so it can \
      only reorder a fixed-module schedule; the engine can also retrade \
@@ -247,17 +331,17 @@ let ablation_policy () =
   section_header "Ablation A3: default module selection policy";
   Format.printf "%-10s %4s %7s %12s %12s %12s@." "benchmark" "T" "P<"
     "min-power" "min-area" "min-latency";
-  List.iter
-    (fun (name, g, t, p) ->
-      let area policy =
-        match synth ~policy g t p with
-        | Engine.Synthesized (d, _) ->
-          Printf.sprintf "%.0f" (Design.area d).Design.total
-        | Engine.Infeasible _ -> "-"
-      in
-      Format.printf "%-10s %4d %7.1f %12s %12s %12s@." name t p
-        (area Engine.Min_power) (area Engine.Min_area)
-        (area Engine.Min_latency))
+  let row (name, g, t, p) =
+    let area policy =
+      match synth ~policy g t p with
+      | Engine.Synthesized (d, _) ->
+        Printf.sprintf "%.0f" (Design.area d).Design.total
+      | Engine.Infeasible _ -> "-"
+    in
+    Printf.sprintf "%-10s %4d %7.1f %12s %12s %12s" name t p
+      (area Engine.Min_power) (area Engine.Min_area) (area Engine.Min_latency)
+  in
+  let grid =
     [
       ("hal", Benchmarks.hal, 17, 10.);
       ("hal", Benchmarks.hal, 10, 25.);
@@ -265,6 +349,14 @@ let ablation_policy () =
       ("elliptic", Benchmarks.elliptic, 22, 15.);
       ("iir_biquad", Benchmarks.iir_biquad, 15, 10.);
     ]
+  in
+  let jobs = Domain.recommended_domain_count () in
+  let rows, wall_s =
+    timed (fun () -> Pool.with_pool ~jobs (fun pool -> Pool.map pool row grid))
+  in
+  List.iter (fun r -> Format.printf "%s@." r) rows;
+  record ~section:"ablation-policy" ~wall_s ~grid:(List.length grid)
+    ~pool_jobs:jobs ()
 
 (* --- Ablation A4: battery models on the Figure 1 profiles --------------- *)
 
@@ -446,6 +538,94 @@ let ablation_modulo () =
      pipelining buys throughput without raising the peak — the paper's \
      approach extended to overlapped iterations)@."
 
+(* --- Parallel, cache-backed sweep --------------------------------------- *)
+
+(* The figure-2 grid grouped per graph, as (name, graph, times) so one
+   Explore.sweep covers a whole times x powers rectangle. *)
+let sweep_grids =
+  [
+    ("hal", Benchmarks.hal, [ 10; 17 ]);
+    ("cosine", Benchmarks.cosine, [ 12; 15; 19 ]);
+    ("elliptic", Benchmarks.elliptic, [ 22 ]);
+  ]
+
+let point_signature pt =
+  Printf.sprintf "T=%d P<=%h %s" pt.Explore.time_limit pt.Explore.power_limit
+    (match pt.Explore.result with
+    | Explore.Feasible { area; peak; design } ->
+      Printf.sprintf "area=%h peak=%h makespan=%d" area peak
+        (Design.makespan design)
+    | Explore.Infeasible reason -> "infeasible: " ^ reason)
+
+(* The parallel leg uses recommended_domain_count: more domains than cores
+   makes OCaml 5 minor-GC synchronization dominate, so oversubscribing
+   would benchmark the scheduler, not the sweep. On a single-core host the
+   pool therefore runs inline and the speedup reads ~1.0x; the
+   jobs-invariance of the results is covered by the qcheck properties. *)
+let sweep_bench () =
+  section_header "Parallel, cache-backed design-space sweep";
+  let jobs = Domain.recommended_domain_count () in
+  let grid_size =
+    List.fold_left
+      (fun acc (_, _, times) ->
+        acc + (List.length times * List.length figure2_powers))
+      0 sweep_grids
+  in
+  let run_all ?cache ~jobs () =
+    List.concat_map
+      (fun (_, g, times) ->
+        Explore.sweep ~jobs ?cache ~library:Library.default g ~times
+          ~powers:figure2_powers)
+      sweep_grids
+  in
+  let sequential, t_seq = timed (fun () -> run_all ~jobs:1 ()) in
+  record ~section:"sweep-sequential" ~wall_s:t_seq ~grid:grid_size
+    ~pool_jobs:1 ();
+  let parallel, t_par = timed (fun () -> run_all ~jobs ()) in
+  record ~section:"sweep-parallel" ~wall_s:t_par ~grid:grid_size
+    ~pool_jobs:jobs ();
+  let identical =
+    List.for_all2
+      (fun a b -> String.equal (point_signature a) (point_signature b))
+      sequential parallel
+  in
+  let store = Store.in_memory () in
+  let _, t_cold = timed (fun () -> run_all ~cache:store ~jobs ()) in
+  let cold = Store.stats store in
+  record ~section:"sweep-cache-cold" ~cache_stats:cold ~wall_s:t_cold
+    ~grid:grid_size ~pool_jobs:jobs ();
+  let rerun, t_warm = timed (fun () -> run_all ~cache:store ~jobs ()) in
+  let warm = Store.stats store in
+  let warm_only =
+    {
+      Store.hits = warm.Store.hits - cold.Store.hits;
+      misses = warm.Store.misses - cold.Store.misses;
+      stores = warm.Store.stores - cold.Store.stores;
+    }
+  in
+  record ~section:"sweep-cache-warm" ~cache_stats:warm_only ~wall_s:t_warm
+    ~grid:grid_size ~pool_jobs:jobs ();
+  let cached_identical =
+    List.for_all2
+      (fun a b -> String.equal (point_signature a) (point_signature b))
+      sequential rerun
+  in
+  Format.printf "grid: %d points (figure-2 series), jobs=%d@." grid_size jobs;
+  Format.printf "sequential            %8.3f s@." t_seq;
+  Format.printf "parallel              %8.3f s  (speedup %.2fx, identical: %b)@."
+    t_par (t_seq /. t_par) identical;
+  Format.printf "cache cold (parallel) %8.3f s  (%a)@." t_cold Store.pp_stats
+    cold;
+  Format.printf
+    "cache warm (parallel) %8.3f s  (%a, hit rate %.0f%%, identical: %b)@."
+    t_warm Store.pp_stats warm_only
+    (100. *. hit_rate (Some warm_only))
+    cached_identical;
+  if not (identical && cached_identical) then begin
+    Format.eprintf "sweep-bench: parallel or cached sweep diverged!@.";
+    exit 1
+  end
+
 (* --- Timing ------------------------------------------------------------- *)
 
 let timing () =
@@ -517,6 +697,7 @@ let sections =
     ("ablation-shared", ablation_shared);
     ("ablation-rebind", ablation_rebind);
     ("ablation-modulo", ablation_modulo);
+    ("sweep", sweep_bench);
     ("timing", timing);
   ]
 
@@ -534,4 +715,5 @@ let () =
         Format.eprintf "unknown section %S; available: %s@." name
           (String.concat ", " (List.map fst sections));
         exit 1)
-    requested
+    requested;
+  if !grid_records <> [] then write_grid_records "BENCH_sweep.json"

@@ -16,6 +16,8 @@ module Sim = Pchls_battery.Sim
 module Netlist = Pchls_rtl.Netlist
 module Diag = Pchls_diag.Diag
 module Analysis = Pchls_analysis.Analysis
+module Explore = Pchls_core.Explore
+module Store = Pchls_cache.Store
 
 open Cmdliner
 
@@ -158,6 +160,50 @@ let library_opt =
 
 let the_library = function Some lib -> lib | None -> Library.default
 
+(* --- exploration options (pool + cache) -------------------------------- *)
+
+let jobs_opt =
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker domains used to synthesize grid points in parallel \
+              (default: the number of cores). Results are identical to a \
+              sequential run.")
+
+let cache_dir_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:"Persist synthesis results in a content-addressed cache under \
+              $(docv); identical (graph, library, cost model, policy, T, \
+              P<) configurations are then never re-synthesized, even \
+              across runs.")
+
+let no_cache_flag =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Disable result caching entirely (also ignores --cache-dir).")
+
+(* Sweeps default to an in-memory cache (gives hit/miss statistics and
+   deduplicates repeated grid points); --cache-dir adds the disk tier and
+   --no-cache turns the whole thing off. *)
+let sweep_store no_cache cache_dir =
+  if no_cache then None else Some (Store.create ?dir:cache_dir ())
+
+(* Single-point commands only cache when asked to persist. *)
+let synth_store no_cache cache_dir =
+  if no_cache then None
+  else Option.map (fun dir -> Store.create ~dir ()) cache_dir
+
+let print_cache_line ~jobs = function
+  | None -> ()
+  | Some store ->
+    Format.printf "# jobs=%d cache: %a@." jobs Store.pp_stats
+      (Store.stats store)
+
 let synthesize ?library ?self_check (name, g) t p pol reg mux =
   match
     Engine.run ~cost_model:(cost_model reg mux) ~policy:pol ?self_check
@@ -214,21 +260,41 @@ let self_check_flag =
               design; any error diagnostic fails the run.")
 
 let synth_cmd =
-  let run bench t p pol reg mux library gantt tighten rebind self_check =
+  let run bench t p pol reg mux library gantt tighten rebind self_check
+      cache_dir no_cache =
+    let cache = synth_store no_cache cache_dir in
     let outcome =
       if tighten then
         match
-          Pchls_core.Explore.tighten ~cost_model:(cost_model reg mux)
-            ~policy:pol ~library:(the_library library) (snd bench)
-            ~time_limit:t ~power_limit:p
+          Explore.tighten ~cost_model:(cost_model reg mux) ~policy:pol ?cache
+            ~library:(the_library library) (snd bench) ~time_limit:t
+            ~power_limit:p
         with
         | Ok d -> Ok (fst bench, d, None)
         | Error reason -> Error (fst bench, reason)
       else
-        match synthesize ?library ~self_check bench t p pol reg mux with
-        | Ok (name, d, stats) -> Ok (name, d, Some stats)
-        | Error _ as e -> e
+        match cache with
+        | Some _ -> (
+          (* Cached single-point synthesis goes through Explore so hits
+             skip the engine; engine stats are not available on a hit. *)
+          match
+            Explore.sweep ~cost_model:(cost_model reg mux) ~policy:pol ?cache
+              ~library:(the_library library) (snd bench) ~times:[ t ]
+              ~powers:[ p ]
+          with
+          | [ { Explore.result = Explore.Feasible { design; _ }; _ } ] ->
+            Ok (fst bench, design, None)
+          | [ { Explore.result = Explore.Infeasible reason; _ } ] ->
+            Error (fst bench, reason)
+          | _ -> assert false)
+        | None -> (
+          match synthesize ?library ~self_check bench t p pol reg mux with
+          | Ok (name, d, stats) -> Ok (name, d, Some stats)
+          | Error _ as e -> e)
     in
+    (match cache with
+    | Some store -> Format.printf "# cache: %a@." Store.pp_stats (Store.stats store)
+    | None -> ());
     match outcome with
     | Ok (name, d, stats) ->
       let d =
@@ -264,7 +330,8 @@ let synth_cmd =
     Term.(
       const run $ graph_source $ time_limit $ power_limit $ policy
       $ register_area $ mux_input_area $ library_opt $ gantt_flag
-      $ tighten_flag $ rebind_flag $ self_check_flag)
+      $ tighten_flag $ rebind_flag $ self_check_flag $ cache_dir_opt
+      $ no_cache_flag)
 
 (* --- check ------------------------------------------------------------- *)
 
@@ -301,39 +368,45 @@ let check_cmd =
 
 (* --- sweep ------------------------------------------------------------- *)
 
+let p_from =
+  Arg.(value & opt float 2.5 & info [ "p-from" ] ~docv:"P" ~doc:"Sweep start.")
+
+let p_to =
+  Arg.(value & opt float 150. & info [ "p-to" ] ~docv:"P" ~doc:"Sweep end.")
+
+let p_step =
+  Arg.(value & opt float 2.5 & info [ "p-step" ] ~docv:"DP" ~doc:"Sweep step.")
+
+let power_range p_from p_to p_step =
+  let rec powers p = if p > p_to +. 1e-9 then [] else p :: powers (p +. p_step) in
+  powers p_from
+
+let print_pareto points =
+  Format.printf "@.pareto front (T, P<, area):@.";
+  List.iter
+    (fun pt ->
+      match pt.Explore.result with
+      | Explore.Feasible { area; _ } ->
+        Format.printf "  T=%d P<=%g area=%.0f@." pt.Explore.time_limit
+          pt.Explore.power_limit area
+      | Explore.Infeasible _ -> ())
+    (Explore.pareto points)
+
 let sweep_cmd =
-  let p_from =
-    Arg.(value & opt float 2.5 & info [ "p-from" ] ~docv:"P" ~doc:"Sweep start.")
-  in
-  let p_to =
-    Arg.(value & opt float 150. & info [ "p-to" ] ~docv:"P" ~doc:"Sweep end.")
-  in
-  let p_step =
-    Arg.(value & opt float 2.5 & info [ "p-step" ] ~docv:"DP" ~doc:"Sweep step.")
-  in
   let pareto_flag =
     Arg.(value & flag & info [ "pareto" ] ~doc:"Also print the Pareto front.")
   in
-  let run (name, g) t p_from p_to p_step pol reg mux pareto =
-    let rec powers p = if p > p_to +. 1e-9 then [] else p :: powers (p +. p_step) in
+  let run (name, g) t p_from p_to p_step pol reg mux pareto jobs cache_dir
+      no_cache =
+    let cache = sweep_store no_cache cache_dir in
     let points =
-      Pchls_core.Explore.sweep ~cost_model:(cost_model reg mux) ~policy:pol
-        ~library:Library.default g ~times:[ t ] ~powers:(powers p_from)
+      Explore.sweep ~cost_model:(cost_model reg mux) ~policy:pol ~jobs ?cache
+        ~library:Library.default g ~times:[ t ]
+        ~powers:(power_range p_from p_to p_step)
     in
-    Format.printf "# benchmark=%s@.%s@." name
-      (Pchls_core.Explore.render_table points);
-    if pareto then begin
-      Format.printf "@.pareto front (T, P<, area):@.";
-      List.iter
-        (fun pt ->
-          match pt.Pchls_core.Explore.result with
-          | Pchls_core.Explore.Feasible { area; _ } ->
-            Format.printf "  T=%d P<=%g area=%.0f@."
-              pt.Pchls_core.Explore.time_limit
-              pt.Pchls_core.Explore.power_limit area
-          | Pchls_core.Explore.Infeasible _ -> ())
-        (Pchls_core.Explore.pareto points)
-    end;
+    Format.printf "# benchmark=%s@.%s@." name (Explore.render_table points);
+    if pareto then print_pareto points;
+    print_cache_line ~jobs cache;
     0
   in
   Cmd.v
@@ -341,7 +414,76 @@ let sweep_cmd =
        ~doc:"Sweep the power constraint and report area (Figure 2 style).")
     Term.(
       const run $ graph_source $ time_limit $ p_from $ p_to $ p_step $ policy
-      $ register_area $ mux_input_area $ pareto_flag)
+      $ register_area $ mux_input_area $ pareto_flag $ jobs_opt
+      $ cache_dir_opt $ no_cache_flag)
+
+(* --- pareto ------------------------------------------------------------- *)
+
+let pareto_cmd =
+  let times =
+    Arg.(
+      non_empty
+      & opt (list int) []
+      & info [ "times" ] ~docv:"T1,T2,..."
+          ~doc:"Latency constraints (cycles) spanning the grid rows.")
+  in
+  let run (name, g) times p_from p_to p_step pol reg mux jobs cache_dir
+      no_cache =
+    let cache = sweep_store no_cache cache_dir in
+    let points =
+      Explore.sweep ~cost_model:(cost_model reg mux) ~policy:pol ~jobs ?cache
+        ~library:Library.default g ~times
+        ~powers:(power_range p_from p_to p_step)
+    in
+    Format.printf "# benchmark=%s@.%s@." name (Explore.render_table points);
+    print_pareto points;
+    print_cache_line ~jobs cache;
+    0
+  in
+  Cmd.v
+    (Cmd.info "pareto"
+       ~doc:"Synthesize a full (T, P<) constraint grid in parallel and \
+             report the non-dominated (time, power, area) trade-off front.")
+    Term.(
+      const run $ graph_source $ times $ p_from $ p_to $ p_step $ policy
+      $ register_area $ mux_input_area $ jobs_opt $ cache_dir_opt
+      $ no_cache_flag)
+
+(* --- cache -------------------------------------------------------------- *)
+
+let cache_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Cache directory to inspect.")
+  in
+  let stats_cmd =
+    let run dir =
+      let entries, bytes = Store.disk_usage ~dir in
+      Format.printf "cache %s: %d entries, %d bytes@." dir entries bytes;
+      0
+    in
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Report on-disk cache entry count and size.")
+      Term.(const run $ dir_arg)
+  in
+  let clear_cmd =
+    let run dir =
+      let entries, _ = Store.disk_usage ~dir in
+      Store.clear (Store.create ~dir ());
+      Format.printf "cache %s: cleared %d entries@." dir entries;
+      0
+    in
+    Cmd.v
+      (Cmd.info "clear" ~doc:"Delete every on-disk cache entry.")
+      Term.(const run $ dir_arg)
+  in
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:"Inspect or clear the on-disk synthesis cache used by \
+             sweep/pareto/synth --cache-dir.")
+    [ stats_cmd; clear_cmd ]
 
 (* --- profile ----------------------------------------------------------- *)
 
@@ -537,7 +679,20 @@ let rtl_cmd =
 
 (* --- main -------------------------------------------------------------- *)
 
+(* Debug logging (cache hits/misses, engine decisions) is opt-in via the
+   environment so golden-output tests stay byte-stable:
+   PCHLS_LOG=debug pchls sweep ... *)
+let setup_logs () =
+  match Sys.getenv_opt "PCHLS_LOG" with
+  | None -> ()
+  | Some level ->
+    Logs.set_reporter (Logs_fmt.reporter ());
+    (match Logs.level_of_string level with
+    | Ok l -> Logs.set_level l
+    | Error _ -> Logs.set_level (Some Logs.Debug))
+
 let () =
+  setup_logs ();
   let doc = "power-constrained high-level synthesis (Nielsen & Madsen, DATE'03)" in
   let info = Cmd.info "pchls" ~version:"1.0.0" ~doc in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -545,6 +700,6 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [
-            list_cmd; synth_cmd; check_cmd; sweep_cmd; profile_cmd;
-            battery_cmd; report_cmd; dot_cmd; rtl_cmd;
+            list_cmd; synth_cmd; check_cmd; sweep_cmd; pareto_cmd; cache_cmd;
+            profile_cmd; battery_cmd; report_cmd; dot_cmd; rtl_cmd;
           ]))

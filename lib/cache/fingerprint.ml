@@ -1,0 +1,76 @@
+module Graph = Pchls_dfg.Graph
+module Op = Pchls_dfg.Op
+module Library = Pchls_fulib.Library
+module Module_spec = Pchls_fulib.Module_spec
+module Int_map = Map.Make (Int)
+
+type t = string
+
+let of_string s = Digest.to_hex (Digest.string s)
+let combine parts = of_string (String.concat "\n" parts)
+let float_repr f = Printf.sprintf "%h" f
+
+(* Weisfeiler-Lehman label refinement. Node ids are used only as map keys,
+   never as label content, so the result is invariant under renumbering.
+   Enough rounds to propagate position information along chains of
+   identically-labelled nodes; capped so huge graphs stay cheap (beyond the
+   cap, only nodes further than [max_rounds] hops from any distinguishing
+   feature could alias — collisions, not false splits). *)
+let max_rounds = 32
+
+let graph g =
+  let ids = Graph.node_ids g in
+  let initial =
+    List.fold_left
+      (fun m id ->
+        let n = Graph.node g id in
+        Int_map.add id
+          (of_string
+             (Printf.sprintf "n:%s:%s" (Op.to_string n.Graph.kind) n.Graph.name))
+          m)
+      Int_map.empty ids
+  in
+  let refine labels =
+    List.fold_left
+      (fun m id ->
+        let around neighbours =
+          List.map (fun j -> Int_map.find j labels) (neighbours g id)
+          |> List.sort String.compare
+          |> String.concat ","
+        in
+        Int_map.add id
+          (of_string
+             (Int_map.find id labels ^ "|p:" ^ around Graph.preds ^ "|s:"
+            ^ around Graph.succs))
+          m)
+      Int_map.empty ids
+  in
+  let rec iterate n labels =
+    if n = 0 then labels else iterate (n - 1) (refine labels)
+  in
+  let final = iterate (min (Graph.node_count g) max_rounds) initial in
+  let node_sigs =
+    List.map (fun id -> Int_map.find id final) ids |> List.sort String.compare
+  in
+  let edge_sigs =
+    Graph.edges g
+    |> List.map (fun (a, b) ->
+           Int_map.find a final ^ ">" ^ Int_map.find b final)
+    |> List.sort String.compare
+  in
+  of_string
+    (String.concat "\n"
+       (Printf.sprintf "g:%s" (Graph.name g)
+       :: Printf.sprintf "n=%d;e=%d" (Graph.node_count g) (Graph.edge_count g)
+       :: (node_sigs @ edge_sigs)))
+
+let library lib =
+  Library.to_list lib
+  |> List.map (fun (m : Module_spec.t) ->
+         Printf.sprintf "m:%s:%s:%s:%d:%s" m.Module_spec.name
+           (String.concat ","
+              (List.map Op.to_string m.Module_spec.ops))
+           (float_repr m.Module_spec.area)
+           m.Module_spec.latency
+           (float_repr m.Module_spec.power))
+  |> String.concat "\n" |> of_string

@@ -1,0 +1,39 @@
+(** Content-addressed fingerprints of synthesis inputs.
+
+    A fingerprint is a stable hex digest of the {e content} of a synthesis
+    input — the graph structure, the FU library, free-form context strings —
+    such that equal content yields equal digests across processes and runs.
+    Fingerprints key the {!Store} synthesis cache.
+
+    {!graph} is canonical: it is invariant under any renumbering of node
+    ids (only structure, kinds, node names and the graph name matter), so a
+    graph rebuilt with fresh ids hits the same cache entries. *)
+
+type t = string
+(** A hex digest. *)
+
+(** [of_string s] digests an arbitrary string, e.g. a serialized engine
+    policy or cost model. *)
+val of_string : string -> t
+
+(** [combine parts] digests a list of fingerprints (or raw strings) into
+    one key; order matters. *)
+val combine : t list -> t
+
+(** [graph g] is a canonical digest of [g]: node kinds, node names, the
+    graph name and the edge structure, but {e not} the numeric node ids.
+    Computed by Weisfeiler–Lehman-style label refinement: every node starts
+    from a label of its kind and name, then repeatedly absorbs the sorted
+    labels of its predecessors and successors; the digest hashes the sorted
+    multiset of final node labels plus all edge label pairs. Renumbering
+    node ids therefore never changes the digest, while changing a kind, a
+    name, or rewiring an edge does. *)
+val graph : Pchls_dfg.Graph.t -> t
+
+(** [library lib] digests the module specs in registration order (order
+    matters: the engine breaks ties towards earlier registration). *)
+val library : Pchls_fulib.Library.t -> t
+
+(** [float_repr f] is the exact textual representation used inside
+    fingerprints (hexadecimal notation — no rounding). *)
+val float_repr : float -> string

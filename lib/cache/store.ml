@@ -1,0 +1,275 @@
+let src = Logs.Src.create "pchls.cache" ~doc:"synthesis result cache"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+module Op = Pchls_dfg.Op
+module Module_spec = Pchls_fulib.Module_spec
+
+type key = { fingerprint : Fingerprint.t; time_limit : int; power_limit : float }
+
+type summary =
+  | Feasible of {
+      area : float;
+      peak : float;
+      instances : (Module_spec.t * (int * int) list) list;
+    }
+  | Infeasible of string
+
+type stats = { hits : int; misses : int; stores : int }
+
+type t = {
+  mutex : Mutex.t;
+  table : (string, summary) Hashtbl.t;
+  disk : string option;  (** the versioned subdirectory *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable stores : int;
+}
+
+let version = "v1"
+let extension = ".pchls-cache"
+let header = "pchls-cache " ^ version
+
+(* Key to entry id: the power limit goes in by its IEEE bits so infinities
+   and negative zeros stay distinct and filenames stay safe. *)
+let key_id k =
+  Printf.sprintf "%s-t%d-p%Lx" k.fingerprint k.time_limit
+    (Int64.bits_of_float k.power_limit)
+
+let rec mkdirs path =
+  if path = "" || path = "." || path = "/" || Sys.file_exists path then ()
+  else begin
+    mkdirs (Filename.dirname path);
+    try Sys.mkdir path 0o755 with Sys_error _ -> ()
+  end
+
+let create ?dir () =
+  {
+    mutex = Mutex.create ();
+    table = Hashtbl.create 64;
+    disk = Option.map (fun d -> Filename.concat d version) dir;
+    hits = 0;
+    misses = 0;
+    stores = 0;
+  }
+
+let in_memory () = create ()
+let dir t = t.disk
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* --- serialization ------------------------------------------------------ *)
+
+let render_summary = function
+  | Feasible { area; peak; instances } ->
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf "%s\nfeasible %h %h %d\n" header area peak
+         (List.length instances));
+    List.iter
+      (fun ((m : Module_spec.t), ops) ->
+        Buffer.add_string buf
+          (Printf.sprintf "module %d %h %h %s %s\n" m.Module_spec.latency
+             m.Module_spec.area m.Module_spec.power
+             (String.concat "," (List.map Op.to_string m.Module_spec.ops))
+             m.Module_spec.name);
+        Buffer.add_string buf
+          (Printf.sprintf "ops%s\n"
+             (String.concat ""
+                (List.map (fun (op, t) -> Printf.sprintf " %d:%d" op t) ops))))
+      instances;
+    Buffer.contents buf
+  | Infeasible reason ->
+    Printf.sprintf "%s\ninfeasible %s\n" header (String.escaped reason)
+
+(* Defensive parse: [None] on any malformed shape; callers treat that as a
+   miss (corrupt or stale entry). *)
+let parse_summary text =
+  let ( let* ) = Option.bind in
+  let parse_instance = function
+    | [ mline; oline ] ->
+      let* () =
+        if String.length mline > 7 && String.sub mline 0 7 = "module " then
+          Some ()
+        else None
+      in
+      (match String.split_on_char ' ' mline with
+      | "module" :: lat :: area :: power :: ops :: name_words
+        when name_words <> [] ->
+        let name = String.concat " " name_words in
+        let* latency = int_of_string_opt lat in
+        let* area = float_of_string_opt area in
+        let* power = float_of_string_opt power in
+        let* kinds =
+          List.fold_left
+            (fun acc s ->
+              let* acc = acc in
+              match Op.of_string s with
+              | Ok k -> Some (k :: acc)
+              | Error _ -> None)
+            (Some []) (String.split_on_char ',' ops)
+        in
+        let* spec =
+          match
+            Module_spec.make ~name ~ops:(List.rev kinds) ~area ~latency ~power
+          with
+          | Ok m -> Some m
+          | Error _ -> None
+        in
+        let* ops =
+          match String.split_on_char ' ' oline with
+          | "ops" :: pairs ->
+            List.fold_left
+              (fun acc pair ->
+                let* acc = acc in
+                match String.split_on_char ':' pair with
+                | [ op; start ] ->
+                  let* op = int_of_string_opt op in
+                  let* start = int_of_string_opt start in
+                  Some ((op, start) :: acc)
+                | _ -> None)
+              (Some []) pairs
+            |> Option.map List.rev
+          | _ -> None
+        in
+        Some (spec, ops)
+      | _ -> None)
+    | _ -> None
+  in
+  let rec chunks2 = function
+    | [] -> Some []
+    | a :: b :: rest ->
+      let* i = parse_instance [ a; b ] in
+      let* is = chunks2 rest in
+      Some (i :: is)
+    | [ _ ] -> None
+  in
+  match String.split_on_char '\n' (String.trim text) with
+  | h :: first :: rest when h = header -> (
+    match String.split_on_char ' ' first with
+    | [ "feasible"; area; peak; n ] ->
+      let* area = float_of_string_opt area in
+      let* peak = float_of_string_opt peak in
+      let* n = int_of_string_opt n in
+      let* instances = chunks2 rest in
+      if List.length instances = n then Some (Feasible { area; peak; instances })
+      else None
+    | "infeasible" :: reason_words -> (
+      match Scanf.unescaped (String.concat " " reason_words) with
+      | reason -> Some (Infeasible reason)
+      | exception Scanf.Scan_failure _ -> None)
+    | _ -> None)
+  | _ -> None
+
+(* --- tiers -------------------------------------------------------------- *)
+
+let entry_path disk id = Filename.concat disk (id ^ extension)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let disk_find disk id =
+  let path = entry_path disk id in
+  if not (Sys.file_exists path) then None
+  else
+    match read_file path with
+    | exception Sys_error _ -> None
+    | text -> (
+      match parse_summary text with
+      | Some _ as s -> s
+      | None ->
+        Log.debug (fun m -> m "skipping corrupt/stale entry %s" path);
+        None)
+
+let disk_add disk id summary =
+  try
+    mkdirs disk;
+    let tmp = Filename.temp_file ~temp_dir:disk "entry" ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (render_summary summary));
+    Sys.rename tmp (entry_path disk id)
+  with Sys_error msg ->
+    Log.debug (fun m -> m "disk tier write failed, continuing: %s" msg)
+
+let find t k =
+  locked t @@ fun () ->
+  let id = key_id k in
+  let outcome =
+    match Hashtbl.find_opt t.table id with
+    | Some _ as s -> s
+    | None -> (
+      match t.disk with
+      | None -> None
+      | Some disk -> (
+        match disk_find disk id with
+        | Some s ->
+          Hashtbl.replace t.table id s;
+          Some s
+        | None -> None))
+  in
+  (match outcome with
+  | Some _ ->
+    t.hits <- t.hits + 1;
+    Log.debug (fun m ->
+        m "hit %s (T=%d, P<=%g)" k.fingerprint k.time_limit k.power_limit)
+  | None ->
+    t.misses <- t.misses + 1;
+    Log.debug (fun m ->
+        m "miss %s (T=%d, P<=%g)" k.fingerprint k.time_limit k.power_limit));
+  outcome
+
+let add t k summary =
+  locked t @@ fun () ->
+  let id = key_id k in
+  Hashtbl.replace t.table id summary;
+  t.stores <- t.stores + 1;
+  Log.debug (fun m ->
+      m "store %s (T=%d, P<=%g)" k.fingerprint k.time_limit k.power_limit);
+  Option.iter (fun disk -> disk_add disk id summary) t.disk
+
+let stats t =
+  locked t @@ fun () -> { hits = t.hits; misses = t.misses; stores = t.stores }
+
+let size t = locked t @@ fun () -> Hashtbl.length t.table
+
+let entries_of_disk disk =
+  match Sys.readdir disk with
+  | exception Sys_error _ -> []
+  | files ->
+    Array.to_list files
+    |> List.filter (fun f -> Filename.check_suffix f extension)
+    |> List.map (Filename.concat disk)
+
+let clear t =
+  locked t @@ fun () ->
+  Hashtbl.reset t.table;
+  match t.disk with
+  | None -> ()
+  | Some disk ->
+    List.iter
+      (fun path -> try Sys.remove path with Sys_error _ -> ())
+      (entries_of_disk disk)
+
+let disk_usage ~dir =
+  let disk = Filename.concat dir version in
+  List.fold_left
+    (fun (n, bytes) path ->
+      let size =
+        match open_in_bin path with
+        | exception Sys_error _ -> 0
+        | ic ->
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> in_channel_length ic)
+      in
+      (n + 1, bytes + size))
+    (0, 0) (entries_of_disk disk)
+
+let pp_stats ppf ({ hits; misses; stores } : stats) =
+  Format.fprintf ppf "hits=%d misses=%d stores=%d" hits misses stores

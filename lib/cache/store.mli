@@ -1,0 +1,71 @@
+(** Content-addressed memoization of synthesis results.
+
+    A store maps [(fingerprint, time_limit, power_limit)] keys to a
+    {!summary} of the engine outcome: either the area/peak plus the exact
+    instance binding (enough to rebuild the full design via
+    [Design.assemble]), or the infeasibility reason. Two tiers:
+
+    - an in-memory hash table, always on;
+    - an optional on-disk tier under [dir/v1/] (one small text file per
+      entry, written atomically via rename). Entries whose header does not
+      match the current format version, or that fail to parse, are skipped
+      as corrupt/stale — a cache never errors, it only misses.
+
+    All operations are thread-safe: a store may be shared by the worker
+    domains of a {!Pchls_par.Pool} sweep. Hits, misses and stores are
+    counted ({!stats}) and additionally logged through {!Logs} at debug
+    level under the ["pchls.cache"] source. *)
+
+type key = {
+  fingerprint : Fingerprint.t;
+      (** digest of graph + library + cost model + policy *)
+  time_limit : int;
+  power_limit : float;
+}
+
+type summary =
+  | Feasible of {
+      area : float;
+      peak : float;
+      instances : (Pchls_fulib.Module_spec.t * (int * int) list) list;
+          (** module spec and its [(operation, start time)] bindings — the
+              exact shape [Design.assemble] consumes *)
+    }
+  | Infeasible of string  (** the engine's infeasibility reason *)
+
+type stats = { hits : int; misses : int; stores : int }
+
+type t
+
+(** [create ?dir ()] makes a store; [dir] enables the on-disk tier (the
+    versioned subdirectory is created on demand). *)
+val create : ?dir:string -> unit -> t
+
+(** [in_memory ()] is [create ()]. *)
+val in_memory : unit -> t
+
+(** [dir t] is the versioned on-disk directory, if the disk tier is on. *)
+val dir : t -> string option
+
+(** [find t key] looks the key up in memory, then on disk (promoting disk
+    hits to memory). Counts a hit or a miss. *)
+val find : t -> key -> summary option
+
+(** [add t key summary] stores in memory and, when enabled, on disk.
+    Counts a store. Disk write failures are logged and ignored. *)
+val add : t -> key -> summary -> unit
+
+val stats : t -> stats
+
+(** [size t] is the number of in-memory entries. *)
+val size : t -> int
+
+(** [clear t] drops every in-memory entry and deletes every on-disk entry.
+    Counters are not reset. *)
+val clear : t -> unit
+
+(** [disk_usage ~dir] is [(entries, bytes)] for the current-version tier
+    under [dir]; [(0, 0)] when absent. *)
+val disk_usage : dir:string -> int * int
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,4 +1,7 @@
 module Profile = Pchls_power.Profile
+module Fingerprint = Pchls_cache.Fingerprint
+module Store = Pchls_cache.Store
+module Pool = Pchls_par.Pool
 
 type point = { time_limit : int; power_limit : float; result : result }
 
@@ -6,28 +9,108 @@ and result =
   | Feasible of { area : float; peak : float; design : Design.t }
   | Infeasible of string
 
-let sweep ?cost_model ?policy ~library g ~times ~powers =
-  List.concat_map
-    (fun time_limit ->
-      List.map
-        (fun power_limit ->
-          let result =
-            match
-              Engine.run ?cost_model ?policy ~library ~time_limit
-                ~power_limit g
-            with
-            | Engine.Synthesized (design, _) ->
-              Feasible
-                {
-                  area = (Design.area design).Design.total;
-                  peak = Profile.peak (Design.profile design);
-                  design;
-                }
-            | Engine.Infeasible { reason } -> Infeasible reason
-          in
-          { time_limit; power_limit; result })
-        powers)
-    times
+(* Bump whenever an engine change makes previously cached results wrong:
+   every key embeds the salt, so old on-disk entries silently go stale. *)
+let cache_salt = "pchls-engine-v1"
+
+let fingerprint ?(cost_model = Cost_model.default) ?(policy = Engine.Min_power)
+    ~library g =
+  Fingerprint.combine
+    [
+      Fingerprint.of_string cache_salt;
+      Fingerprint.graph g;
+      Fingerprint.library library;
+      Fingerprint.of_string
+        (Printf.sprintf "cost:%s:%s"
+           (Fingerprint.float_repr cost_model.Cost_model.register_area)
+           (Fingerprint.float_repr cost_model.Cost_model.mux_input_area));
+      Fingerprint.of_string ("policy:" ^ Engine.policy_to_string policy);
+    ]
+
+let result_of_outcome = function
+  | Engine.Synthesized (design, _) ->
+    Feasible
+      {
+        area = (Design.area design).Design.total;
+        peak = Profile.peak (Design.profile design);
+        design;
+      }
+  | Engine.Infeasible { reason } -> Infeasible reason
+
+let summary_of_result = function
+  | Feasible { area; peak; design } ->
+    Store.Feasible
+      {
+        area;
+        peak;
+        instances =
+          List.map
+            (fun (i : Design.instance) -> (i.Design.spec, i.Design.ops))
+            (Design.instances design);
+      }
+  | Infeasible reason -> Store.Infeasible reason
+
+(* Solve one grid point, consulting the cache when given. A cached feasible
+   entry is rebuilt into a full design via [Design.assemble]; should that
+   ever fail (a semantically stale entry), the engine runs and the entry is
+   overwritten. *)
+let solve ?cost_model ?policy ~library ?cache ?fp g ~time_limit ~power_limit =
+  let engine () =
+    result_of_outcome
+      (Engine.run ?cost_model ?policy ~library ~time_limit ~power_limit g)
+  in
+  match cache with
+  | None -> engine ()
+  | Some store -> (
+    let fp =
+      match fp with
+      | Some fp -> fp
+      | None -> fingerprint ?cost_model ?policy ~library g
+    in
+    let key = { Store.fingerprint = fp; time_limit; power_limit } in
+    let miss () =
+      let r = engine () in
+      Store.add store key (summary_of_result r);
+      r
+    in
+    match Store.find store key with
+    | None -> miss ()
+    | Some (Store.Infeasible reason) -> Infeasible reason
+    | Some (Store.Feasible { instances; _ }) -> (
+      let cost_model =
+        match cost_model with Some c -> c | None -> Cost_model.default
+      in
+      match
+        Design.assemble ~cost_model ~graph:g ~time_limit ~power_limit
+          ~instances
+      with
+      | Ok design ->
+        Feasible
+          {
+            area = (Design.area design).Design.total;
+            peak = Profile.peak (Design.profile design);
+            design;
+          }
+      | Error _ -> miss ()))
+
+let sweep ?cost_model ?policy ?(jobs = 1) ?cache ~library g ~times ~powers =
+  let fp =
+    Option.map (fun _ -> fingerprint ?cost_model ?policy ~library g) cache
+  in
+  let grid =
+    List.concat_map (fun t -> List.map (fun p -> (t, p)) powers) times
+  in
+  let eval (time_limit, power_limit) =
+    {
+      time_limit;
+      power_limit;
+      result =
+        solve ?cost_model ?policy ~library ?cache ?fp g ~time_limit
+          ~power_limit;
+    }
+  in
+  if jobs <= 1 then List.map eval grid
+  else Pool.with_pool ~jobs (fun pool -> Pool.map pool eval grid)
 
 let min_feasible_power points ~time_limit =
   List.fold_left
@@ -63,14 +146,18 @@ let pareto points =
            Int.compare a.time_limit b.time_limit
          else Float.compare a.power_limit b.power_limit)
 
-let tighten ?cost_model ?policy ?(steps = 6) ~library g ~time_limit
+let tighten ?cost_model ?policy ?(steps = 6) ?cache ~library g ~time_limit
     ~power_limit =
+  let fp =
+    Option.map (fun _ -> fingerprint ?cost_model ?policy ~library g) cache
+  in
   let attempt budget =
     match
-      Engine.run ?cost_model ?policy ~library ~time_limit ~power_limit:budget g
+      solve ?cost_model ?policy ~library ?cache ?fp g ~time_limit
+        ~power_limit:budget
     with
-    | Engine.Synthesized (d, _) -> Ok d
-    | Engine.Infeasible { reason } -> Error reason
+    | Feasible { design; _ } -> Ok design
+    | Infeasible reason -> Error reason
   in
   match attempt power_limit with
   | Error _ as e -> e
@@ -98,18 +185,15 @@ let tighten ?cost_model ?policy ?(steps = 6) ~library g ~time_limit
     in
     Ok (refine first power_limit first steps)
 
-let uniques key points =
-  List.fold_left
-    (fun acc p ->
-      let k = key p in
-      if List.mem k acc then acc else k :: acc)
-    [] points
-  |> List.rev
+(* Sorted ascending and deduplicated, so tables render identically whatever
+   order (or multiplicity) the sweep's times/powers were given in. *)
+let uniques compare key points =
+  List.map key points |> List.sort_uniq compare
 
 let render_table points =
   let buf = Buffer.create 512 in
-  let times = uniques (fun p -> p.time_limit) points in
-  let powers = uniques (fun p -> p.power_limit) points in
+  let times = uniques Int.compare (fun p -> p.time_limit) points in
+  let powers = uniques Float.compare (fun p -> p.power_limit) points in
   Buffer.add_string buf (Printf.sprintf "%-8s" "T \\ P<");
   List.iter (fun p -> Buffer.add_string buf (Printf.sprintf "%8.1f" p)) powers;
   Buffer.add_char buf '\n';

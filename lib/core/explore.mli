@@ -13,11 +13,35 @@ and result =
   | Feasible of { area : float; peak : float; design : Design.t }
   | Infeasible of string
 
+(** [fingerprint ~library g] is the content-addressed cache key context of
+    one synthesis configuration: an engine-version salt combined with
+    canonical digests of the graph ({!Pchls_cache.Fingerprint.graph} — so
+    node-id renumberings share entries), the FU library, the cost model and
+    the policy. {!Store.key}s pair it with the (T, P<) grid coordinates.
+    Defaults as {!Engine.run}. *)
+val fingerprint :
+  ?cost_model:Cost_model.t ->
+  ?policy:Engine.policy ->
+  library:Pchls_fulib.Library.t ->
+  Pchls_dfg.Graph.t ->
+  Pchls_cache.Fingerprint.t
+
 (** [sweep ~library g ~times ~powers] synthesizes every grid point, in row
-    (time) then column (power) order. Optional arguments as {!Engine.run}. *)
+    (time) then column (power) order. Optional arguments as {!Engine.run}.
+
+    [jobs] (default 1) evaluates grid points on a {!Pchls_par.Pool} of that
+    many domains — synthesis is pure, so the result is point-for-point
+    identical to the sequential sweep, whatever the completion order.
+
+    [cache] memoizes each point under {!fingerprint}: hits skip the engine
+    entirely (feasible entries are rebuilt into full designs via
+    [Design.assemble]); misses are solved and stored. The store is
+    thread-safe, so the same cache may serve a parallel sweep. *)
 val sweep :
   ?cost_model:Cost_model.t ->
   ?policy:Engine.policy ->
+  ?jobs:int ->
+  ?cache:Pchls_cache.Store.t ->
   library:Pchls_fulib.Library.t ->
   Pchls_dfg.Graph.t ->
   times:int list ->
@@ -35,7 +59,9 @@ val pareto : point list -> point list
 
 (** [render_table points] formats the grid as the area table printed by the
     Figure 2 harness (['-'] marks infeasible points). Rows are time limits,
-    columns power limits, both in the order first encountered. *)
+    columns power limits, both sorted ascending with duplicates collapsed,
+    so the rendering is stable whatever order or multiplicity the sweep's
+    inputs had. *)
 val render_table : point list -> string
 
 (** [tighten ~library g ~time_limit ~power_limit] refines area by re-running
@@ -46,11 +72,15 @@ val render_table : point list -> string
     infinite), each step taking the smaller of 3/4 of the previous budget and
     just under the previous design's peak, for at most [steps] (default 6)
     further syntheses. Returns the smallest-area design found; [Error] only
-    when even the original budget is infeasible. *)
+    when even the original budget is infeasible.
+
+    [cache] memoizes every ladder attempt exactly as in {!sweep}, so
+    repeated tightenings of the same configuration re-run nothing. *)
 val tighten :
   ?cost_model:Cost_model.t ->
   ?policy:Engine.policy ->
   ?steps:int ->
+  ?cache:Pchls_cache.Store.t ->
   library:Pchls_fulib.Library.t ->
   Pchls_dfg.Graph.t ->
   time_limit:int ->

@@ -1,0 +1,133 @@
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (* signalled when a task is queued or on shutdown *)
+  tasks : (unit -> unit) Queue.t;  (* tasks never raise; see [map] *)
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+(* Workers drain the queue even while stopping, so pending tasks are never
+   dropped; they exit only once the queue is empty and [stopping] is set. *)
+let worker pool () =
+  let rec next () =
+    if not (Queue.is_empty pool.tasks) then Some (Queue.pop pool.tasks)
+    else if pool.stopping then None
+    else begin
+      Condition.wait pool.work pool.mutex;
+      next ()
+    end
+  in
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    let task = next () in
+    Mutex.unlock pool.mutex;
+    match task with
+    | None -> ()
+    | Some task ->
+      task ();
+      loop ()
+  in
+  loop ()
+
+let create ?jobs () =
+  let jobs =
+    match jobs with
+    | Some j -> j
+    | None -> Domain.recommended_domain_count ()
+  in
+  if jobs < 1 then
+    invalid_arg (Printf.sprintf "Pool.create: jobs must be >= 1, got %d" jobs);
+  let pool =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      tasks = Queue.create ();
+      stopping = false;
+      domains = [];
+    }
+  in
+  if jobs > 1 then
+    pool.domains <- List.init jobs (fun _ -> Domain.spawn (worker pool));
+  pool
+
+let jobs pool = pool.jobs
+
+let submit pool task =
+  Mutex.lock pool.mutex;
+  if pool.stopping then begin
+    Mutex.unlock pool.mutex;
+    invalid_arg "Pool: pool has been shut down"
+  end;
+  Queue.push task pool.tasks;
+  Condition.signal pool.work;
+  Mutex.unlock pool.mutex
+
+let check_alive pool =
+  Mutex.lock pool.mutex;
+  let stopping = pool.stopping in
+  Mutex.unlock pool.mutex;
+  if stopping then invalid_arg "Pool: pool has been shut down"
+
+let map pool f xs =
+  check_alive pool;
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  if n = 0 then []
+  else if pool.jobs = 1 || n = 1 then List.map f xs
+  else begin
+    let results = Array.make n None in
+    (* First failure by *input* index, so the surfaced error is independent
+       of completion order. *)
+    let failure = ref None in
+    let remaining = ref n in
+    let join_mutex = Mutex.create () in
+    let joined = Condition.create () in
+    let run i x () =
+      let outcome =
+        match f x with
+        | y -> Ok y
+        | exception e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock join_mutex;
+      (match outcome with
+      | Ok y -> results.(i) <- Some y
+      | Error (e, bt) -> (
+        match !failure with
+        | Some (j, _, _) when j < i -> ()
+        | Some _ | None -> failure := Some (i, e, bt)));
+      decr remaining;
+      if !remaining = 0 then Condition.signal joined;
+      Mutex.unlock join_mutex
+    in
+    Array.iteri (fun i x -> submit pool (run i x)) arr;
+    Mutex.lock join_mutex;
+    while !remaining > 0 do
+      Condition.wait joined join_mutex
+    done;
+    Mutex.unlock join_mutex;
+    match !failure with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+      Array.to_list
+        (Array.map
+           (function Some y -> y | None -> assert false (* all joined *))
+           results)
+  end
+
+let map_reduce pool ~map:f ~reduce ~init xs =
+  List.fold_left reduce init (map pool f xs)
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let domains = pool.domains in
+  pool.stopping <- true;
+  pool.domains <- [];
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join domains
+
+let with_pool ?jobs f =
+  let pool = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -1,0 +1,50 @@
+(** A fixed-size pool of OCaml 5 domains with a mutex/condition work queue.
+
+    Engine synthesis is pure, so design-space grid points parallelize
+    embarrassingly: {!map} distributes independent evaluations over the
+    pool's worker domains while preserving the input order of the results,
+    making a parallel sweep bit-identical to a sequential one.
+
+    A pool may be reused for any number of {!map}/{!map_reduce} calls and
+    must eventually be released with {!shutdown} (or use {!with_pool}).
+    Submitting work from inside a pool task is not supported — a task that
+    calls {!map} on its own pool may deadlock. *)
+
+type t
+
+(** [create ~jobs ()] starts a pool of [jobs] worker domains (default:
+    [Domain.recommended_domain_count ()]). With [jobs = 1] no domain is
+    spawned and all work runs inline on the calling domain.
+
+    @raise Invalid_argument when [jobs < 1]. *)
+val create : ?jobs:int -> unit -> t
+
+(** [jobs pool] is the worker count the pool was created with. *)
+val jobs : t -> int
+
+(** [map pool f xs] applies [f] to every element of [xs] on the pool and
+    returns the results in the order of [xs], regardless of completion
+    order. If one or more applications raise, the exception raised by the
+    {e earliest} input (smallest index) is re-raised at the join point with
+    its backtrace, after all tasks have finished — so the error surfaced is
+    deterministic.
+
+    @raise Invalid_argument when the pool has been shut down. *)
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [map_reduce pool ~map ~reduce ~init xs] maps in parallel like {!map},
+    then folds the results sequentially in input order:
+    [reduce (... (reduce init y0) ...) yn]. The fold order is deterministic,
+    so non-commutative reductions are safe. *)
+val map_reduce :
+  t -> map:('a -> 'b) -> reduce:('acc -> 'b -> 'acc) -> init:'acc ->
+  'a list -> 'acc
+
+(** [shutdown pool] drains the queue, stops and joins every worker domain.
+    Idempotent: further calls return immediately. Subsequent {!map} calls
+    raise [Invalid_argument]. *)
+val shutdown : t -> unit
+
+(** [with_pool ~jobs f] runs [f] with a fresh pool and shuts it down when
+    [f] returns or raises. *)
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a

@@ -1,0 +1,406 @@
+(* The synthesis cache: canonical graph fingerprints (invariant under
+   node-id renumbering, sensitive to structural mutation), the two-tier
+   store, and the end-to-end guarantee that a cached sweep re-runs zero
+   engine invocations while returning identical designs. *)
+
+module Fingerprint = Pchls_cache.Fingerprint
+module Store = Pchls_cache.Store
+module Explore = Pchls_core.Explore
+module Design = Pchls_core.Design
+module Graph = Pchls_dfg.Graph
+module Op = Pchls_dfg.Op
+module Generator = Pchls_dfg.Generator
+module Library = Pchls_fulib.Library
+module Module_spec = Pchls_fulib.Module_spec
+
+(* --- fingerprints ------------------------------------------------------- *)
+
+let diamond ~ids =
+  match ids with
+  | [ a; b; c; d ] ->
+    Graph.create_exn ~name:"diamond"
+      ~nodes:
+        [
+          { Graph.id = a; name = "x"; kind = Op.Input };
+          { Graph.id = b; name = "a1"; kind = Op.Add };
+          { Graph.id = c; name = "m1"; kind = Op.Mult };
+          { Graph.id = d; name = "y"; kind = Op.Output };
+        ]
+      ~edges:[ (a, b); (a, c); (b, d); (c, d) ]
+  | _ -> assert false
+
+let test_graph_fingerprint_id_invariant () =
+  let fp ids = Fingerprint.graph (diamond ~ids) in
+  Alcotest.(check string)
+    "renumbered ids digest equally"
+    (fp [ 0; 1; 2; 3 ])
+    (fp [ 42; 7; 100; 3 ])
+
+let test_graph_fingerprint_sensitive () =
+  let base = Fingerprint.graph (diamond ~ids:[ 0; 1; 2; 3 ]) in
+  let kind_flipped =
+    Graph.create_exn ~name:"diamond"
+      ~nodes:
+        [
+          { Graph.id = 0; name = "x"; kind = Op.Input };
+          { Graph.id = 1; name = "a1"; kind = Op.Sub };
+          { Graph.id = 2; name = "m1"; kind = Op.Mult };
+          { Graph.id = 3; name = "y"; kind = Op.Output };
+        ]
+      ~edges:[ (0, 1); (0, 2); (1, 3); (2, 3) ]
+  in
+  let rewired =
+    Graph.create_exn ~name:"diamond"
+      ~nodes:
+        [
+          { Graph.id = 0; name = "x"; kind = Op.Input };
+          { Graph.id = 1; name = "a1"; kind = Op.Add };
+          { Graph.id = 2; name = "m1"; kind = Op.Mult };
+          { Graph.id = 3; name = "y"; kind = Op.Output };
+        ]
+      ~edges:[ (0, 1); (0, 2); (1, 2); (2, 3) ]
+  in
+  Alcotest.(check bool) "kind flip changes digest" false
+    (String.equal base (Fingerprint.graph kind_flipped));
+  Alcotest.(check bool) "rewiring changes digest" false
+    (String.equal base (Fingerprint.graph rewired))
+
+let test_library_fingerprint_order_sensitive () =
+  let a = Module_spec.make_exn ~name:"a" ~ops:[ Op.Add ] ~area:1. ~latency:1 ~power:1. in
+  let b = Module_spec.make_exn ~name:"b" ~ops:[ Op.Add ] ~area:2. ~latency:1 ~power:1. in
+  Alcotest.(check bool)
+    "registration order matters (engine ties break on it)" false
+    (String.equal
+       (Fingerprint.library (Library.of_list_exn [ a; b ]))
+       (Fingerprint.library (Library.of_list_exn [ b; a ])))
+
+(* Random graphs with randomly renumbered ids must fingerprint equally;
+   a mutated kind or a dropped edge must not. *)
+let graph_gen =
+  QCheck.Gen.(
+    map3
+      (fun seed layers width ->
+        (seed, Generator.layered ~seed ~layers:(1 + layers) ~width:(1 + width) ()))
+      (int_bound 10_000) (int_bound 4) (int_bound 3))
+
+let arbitrary_seeded_graph =
+  QCheck.make graph_gen ~print:(fun (seed, g) ->
+      Format.asprintf "seed %d:@ %a" seed Graph.pp g)
+
+let permute_ids ~seed g =
+  let rng = Random.State.make [| seed; 0xbeef |] in
+  let ids = Array.of_list (Graph.node_ids g) in
+  let shuffled = Array.copy ids in
+  for i = Array.length shuffled - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = shuffled.(i) in
+    shuffled.(i) <- shuffled.(j);
+    shuffled.(j) <- t
+  done;
+  (* Old id -> fresh non-contiguous id, so renumbering is not a no-op. *)
+  let map = Hashtbl.create 16 in
+  Array.iteri (fun i _ -> Hashtbl.replace map shuffled.(i) ((i * 7) + 3)) ids;
+  let tr id = Hashtbl.find map id in
+  Graph.create_exn ~name:(Graph.name g)
+    ~nodes:
+      (List.map
+         (fun (n : Graph.node) -> { n with Graph.id = tr n.Graph.id })
+         (Graph.nodes g))
+    ~edges:(List.map (fun (a, b) -> (tr a, tr b)) (Graph.edges g))
+
+let prop_fingerprint_invariant_under_renumbering =
+  QCheck.Test.make ~count:50
+    ~name:"Fingerprint.graph is invariant under node-id permutation"
+    arbitrary_seeded_graph (fun (seed, g) ->
+      String.equal (Fingerprint.graph g)
+        (Fingerprint.graph (permute_ids ~seed g)))
+
+let flip_kind = function
+  | Op.Add -> Op.Sub
+  | Op.Sub | Op.Mult | Op.Comp -> Op.Add
+  | (Op.Input | Op.Output) as k -> k
+
+let prop_fingerprint_distinguishes_mutations =
+  QCheck.Test.make ~count:50
+    ~name:"Fingerprint.graph distinguishes mutated graphs"
+    arbitrary_seeded_graph (fun (_, g) ->
+      let base = Fingerprint.graph g in
+      let nodes = Graph.nodes g in
+      let mutable_node =
+        List.find_opt
+          (fun (n : Graph.node) -> not (Op.is_transfer n.Graph.kind))
+          nodes
+      in
+      let kind_differs =
+        match mutable_node with
+        | None -> true (* no operation to flip; nothing to check *)
+        | Some victim ->
+          let mutated =
+            Graph.create_exn ~name:(Graph.name g)
+              ~nodes:
+                (List.map
+                   (fun (n : Graph.node) ->
+                     if n.Graph.id = victim.Graph.id then
+                       { n with Graph.kind = flip_kind n.Graph.kind }
+                     else n)
+                   nodes)
+              ~edges:(Graph.edges g)
+          in
+          not (String.equal base (Fingerprint.graph mutated))
+      in
+      let edge_differs =
+        match Graph.edges g with
+        | [] -> true
+        | dropped :: _ ->
+          let mutated =
+            Graph.create_exn ~name:(Graph.name g) ~nodes
+              ~edges:(List.filter (fun e -> e <> dropped) (Graph.edges g))
+          in
+          not (String.equal base (Fingerprint.graph mutated))
+      in
+      kind_differs && edge_differs)
+
+(* --- store -------------------------------------------------------------- *)
+
+let key fp t p = { Store.fingerprint = fp; time_limit = t; power_limit = p }
+
+let sample_summary =
+  Store.Feasible
+    {
+      area = 194.;
+      peak = 5.2;
+      instances =
+        [
+          ( Module_spec.make_exn ~name:"ALU" ~ops:[ Op.Add; Op.Sub; Op.Comp ]
+              ~area:97. ~latency:1 ~power:2.5,
+            [ (1, 0); (2, 3) ] );
+          ( Module_spec.make_exn ~name:"mult_ser" ~ops:[ Op.Mult ] ~area:103.
+              ~latency:4 ~power:2.7,
+            [ (3, 1) ] );
+        ];
+    }
+
+let check_summary msg expected actual =
+  match (expected, actual) with
+  | Store.Infeasible a, Some (Store.Infeasible b) ->
+    Alcotest.(check string) msg a b
+  | Store.Feasible e, Some (Store.Feasible a) ->
+    Alcotest.(check (float 0.)) (msg ^ " area") e.area a.area;
+    Alcotest.(check (float 0.)) (msg ^ " peak") e.peak a.peak;
+    Alcotest.(check int)
+      (msg ^ " instances")
+      (List.length e.instances) (List.length a.instances);
+    List.iter2
+      (fun (em, eops) (am, aops) ->
+        Alcotest.(check bool) (msg ^ " spec") true (Module_spec.equal em am);
+        Alcotest.(check (list (pair int int))) (msg ^ " ops") eops aops)
+      e.instances a.instances
+  | _, None -> Alcotest.fail (msg ^ ": unexpected miss")
+  | _, Some _ -> Alcotest.fail (msg ^ ": feasibility mismatch")
+
+let test_memory_roundtrip () =
+  let store = Store.in_memory () in
+  let k = key "abc" 17 10. in
+  Alcotest.(check bool) "initial miss" true (Store.find store k = None);
+  Store.add store k sample_summary;
+  check_summary "feasible roundtrip" sample_summary (Store.find store k);
+  Store.add store (key "abc" 17 infinity) (Store.Infeasible "no\nway");
+  check_summary "infeasible roundtrip (reason with newline)"
+    (Store.Infeasible "no\nway")
+    (Store.find store (key "abc" 17 infinity));
+  Alcotest.(check bool) "different T misses" true
+    (Store.find store (key "abc" 18 10.) = None);
+  Alcotest.(check bool) "different P misses" true
+    (Store.find store (key "abc" 17 12.) = None);
+  Alcotest.(check bool) "different fingerprint misses" true
+    (Store.find store (key "abd" 17 10.) = None);
+  let s = Store.stats store in
+  Alcotest.(check int) "hits" 2 s.Store.hits;
+  Alcotest.(check int) "misses" 4 s.Store.misses;
+  Alcotest.(check int) "stores" 2 s.Store.stores;
+  Alcotest.(check int) "size" 2 (Store.size store)
+
+(* A unique scratch path: temp_file guarantees uniqueness, the store
+   creates the directory itself. *)
+let fresh_dir () =
+  let path = Filename.temp_file "pchls-cache-test" "" in
+  Sys.remove path;
+  path
+
+let test_disk_roundtrip () =
+  let dir = fresh_dir () in
+  let store = Store.create ~dir () in
+  let k = key "feedface" 12 25. in
+  Store.add store k sample_summary;
+  Store.add store (key "feedface" 12 5.) (Store.Infeasible "too tight");
+  (* A *new* store over the same directory sees both entries. *)
+  let reopened = Store.create ~dir () in
+  check_summary "disk hit survives process boundary" sample_summary
+    (Store.find reopened k);
+  check_summary "infeasible survives too" (Store.Infeasible "too tight")
+    (Store.find reopened (key "feedface" 12 5.));
+  let entries, bytes = Store.disk_usage ~dir in
+  Alcotest.(check int) "2 entries on disk" 2 entries;
+  Alcotest.(check bool) "non-empty files" true (bytes > 0);
+  Store.clear reopened;
+  Alcotest.(check int) "cleared memory" 0 (Store.size reopened);
+  Alcotest.(check (pair int int)) "cleared disk" (0, 0) (Store.disk_usage ~dir);
+  Alcotest.(check bool) "post-clear miss" true (Store.find reopened k = None)
+
+let test_corrupt_and_stale_entries_skipped () =
+  let dir = fresh_dir () in
+  let store = Store.create ~dir () in
+  let k = key "cafe" 9 50. in
+  Store.add store k sample_summary;
+  (* Corrupt every on-disk entry in place. *)
+  (match Store.dir store with
+  | None -> Alcotest.fail "disk tier expected"
+  | Some disk ->
+    Array.iter
+      (fun f ->
+        let path = Filename.concat disk f in
+        let oc = open_out path in
+        output_string oc "pchls-cache v0\ngarbage entry\n";
+        close_out oc)
+      (Sys.readdir disk));
+  let reopened = Store.create ~dir () in
+  Alcotest.(check bool) "stale version is a miss" true
+    (Store.find reopened k = None);
+  (* Storing again overwrites the corrupt entry and read-back works. *)
+  Store.add reopened k sample_summary;
+  let again = Store.create ~dir () in
+  check_summary "overwritten entry parses" sample_summary (Store.find again k)
+
+(* --- cached exploration ------------------------------------------------- *)
+
+module B = Pchls_dfg.Benchmarks
+
+let point_signature pt =
+  Printf.sprintf "T=%d P<=%h %s" pt.Explore.time_limit pt.Explore.power_limit
+    (match pt.Explore.result with
+    | Explore.Feasible { area; peak; design } ->
+      Printf.sprintf "area=%h peak=%h makespan=%d" area peak
+        (Design.makespan design)
+    | Explore.Infeasible reason -> "infeasible: " ^ reason)
+
+let test_cached_sweep_identical_and_engine_free () =
+  let times = [ 10; 17 ] and powers = [ 5.; 20.; 100. ] in
+  let plain =
+    Explore.sweep ~library:Library.default B.hal ~times ~powers
+    |> List.map point_signature
+  in
+  let store = Store.in_memory () in
+  let first =
+    Explore.sweep ~cache:store ~library:Library.default B.hal ~times ~powers
+    |> List.map point_signature
+  in
+  Alcotest.(check (list string)) "cached sweep == plain sweep" plain first;
+  let cold = Store.stats store in
+  Alcotest.(check int) "cold run: all misses" 6 cold.Store.misses;
+  Alcotest.(check int) "cold run: no hits" 0 cold.Store.hits;
+  Alcotest.(check int) "cold run: all stored" 6 cold.Store.stores;
+  let second =
+    Explore.sweep ~cache:store ~library:Library.default B.hal ~times ~powers
+    |> List.map point_signature
+  in
+  Alcotest.(check (list string)) "warm sweep == plain sweep" plain second;
+  let warm = Store.stats store in
+  Alcotest.(check int) "warm run: 100% hits" (cold.Store.hits + 6)
+    warm.Store.hits;
+  (* Misses unchanged means the engine ran zero times on the warm sweep
+     (the engine is only ever invoked on a miss). *)
+  Alcotest.(check int) "warm run: zero engine invocations" cold.Store.misses
+    warm.Store.misses;
+  Alcotest.(check int) "warm run: nothing re-stored" cold.Store.stores
+    warm.Store.stores
+
+let test_cache_rebuilds_full_design () =
+  let store = Store.in_memory () in
+  let sweep () =
+    Explore.sweep ~cache:store ~library:Library.default B.hal ~times:[ 17 ]
+      ~powers:[ 10. ]
+  in
+  let fresh = sweep () and cached = sweep () in
+  match (fresh, cached) with
+  | ( [
+        {
+          Explore.result =
+            Explore.Feasible { area = fa; peak = fpk; design = fd };
+          _;
+        };
+      ],
+      [
+        {
+          Explore.result =
+            Explore.Feasible { area = ca; peak = cpk; design = cd };
+          _;
+        };
+      ] ) ->
+    Alcotest.(check (float 0.)) "area" fa ca;
+    Alcotest.(check (float 0.)) "peak" fpk cpk;
+    Alcotest.(check int) "instance count"
+      (List.length (Design.instances fd))
+      (List.length (Design.instances cd));
+    Alcotest.(check (float 0.))
+      "register+mux area identical" (Design.area fd).Design.total
+      (Design.area cd).Design.total
+  | _ -> Alcotest.fail "hal T=17 P<=10 should be feasible"
+
+let test_cached_tighten_identical () =
+  let plain =
+    Explore.tighten ~library:Library.default B.hal ~time_limit:17
+      ~power_limit:20.
+  in
+  let store = Store.in_memory () in
+  let tighten () =
+    Explore.tighten ~cache:store ~library:Library.default B.hal ~time_limit:17
+      ~power_limit:20.
+  in
+  let first = tighten () in
+  let cold = Store.stats store in
+  let second = tighten () in
+  let warm = Store.stats store in
+  match (plain, first, second) with
+  | Ok a, Ok b, Ok c ->
+    Alcotest.(check (float 0.))
+      "cached tighten == plain"
+      (Design.area a).Design.total (Design.area b).Design.total;
+    Alcotest.(check (float 0.))
+      "warm tighten identical"
+      (Design.area a).Design.total (Design.area c).Design.total;
+    Alcotest.(check int) "warm ladder: zero engine invocations"
+      cold.Store.misses warm.Store.misses
+  | _ -> Alcotest.fail "hal T=17 P<=20 should be feasible"
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "fingerprint",
+        [
+          Alcotest.test_case "id-invariant" `Quick
+            test_graph_fingerprint_id_invariant;
+          Alcotest.test_case "mutation-sensitive" `Quick
+            test_graph_fingerprint_sensitive;
+          Alcotest.test_case "library order" `Quick
+            test_library_fingerprint_order_sensitive;
+          QCheck_alcotest.to_alcotest
+            prop_fingerprint_invariant_under_renumbering;
+          QCheck_alcotest.to_alcotest prop_fingerprint_distinguishes_mutations;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "memory roundtrip" `Quick test_memory_roundtrip;
+          Alcotest.test_case "disk roundtrip" `Quick test_disk_roundtrip;
+          Alcotest.test_case "corrupt/stale skipped" `Quick
+            test_corrupt_and_stale_entries_skipped;
+        ] );
+      ( "exploration",
+        [
+          Alcotest.test_case "cached sweep identical, engine-free" `Quick
+            test_cached_sweep_identical_and_engine_free;
+          Alcotest.test_case "rebuilds full design" `Quick
+            test_cache_rebuilds_full_design;
+          Alcotest.test_case "cached tighten identical" `Quick
+            test_cached_tighten_identical;
+        ] );
+    ]

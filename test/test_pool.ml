@@ -1,0 +1,172 @@
+(* The domain pool: order preservation, exception capture, shutdown
+   semantics, and the qcheck property that a parallel Explore.sweep is
+   point-for-point identical to a sequential one. *)
+
+module Pool = Pchls_par.Pool
+module Explore = Pchls_core.Explore
+module Design = Pchls_core.Design
+module Generator = Pchls_dfg.Generator
+module Graph = Pchls_dfg.Graph
+module Library = Pchls_fulib.Library
+
+let test_map_preserves_order () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let xs = List.init 100 Fun.id in
+      Alcotest.(check (list int))
+        "squares in input order"
+        (List.map (fun x -> x * x) xs)
+        (Pool.map pool (fun x -> x * x) xs))
+
+let test_map_empty_and_singleton () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check (list int)) "empty" [] (Pool.map pool succ []);
+      Alcotest.(check (list int)) "singleton" [ 2 ] (Pool.map pool succ [ 1 ]))
+
+let test_sequential_pool_runs_inline () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check int) "jobs" 1 (Pool.jobs pool);
+      Alcotest.(check (list int))
+        "inline map" [ 2; 3; 4 ]
+        (Pool.map pool succ [ 1; 2; 3 ]))
+
+let test_default_jobs_positive () =
+  Pool.with_pool (fun pool ->
+      Alcotest.(check bool) "jobs >= 1" true (Pool.jobs pool >= 1))
+
+let test_create_rejects_nonpositive_jobs () =
+  Alcotest.check_raises "jobs=0"
+    (Invalid_argument "Pool.create: jobs must be >= 1, got 0") (fun () ->
+      ignore (Pool.create ~jobs:0 ()))
+
+let test_exception_is_earliest_input () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      (* Several tasks fail; whatever finishes first, the surfaced
+         exception must be the one from the smallest input index. *)
+      Alcotest.check_raises "earliest failure wins" (Failure "boom 2")
+        (fun () ->
+          ignore
+            (Pool.map pool
+               (fun x ->
+                 if x mod 2 = 0 then failwith (Printf.sprintf "boom %d" x)
+                 else x)
+               [ 1; 2; 3; 4; 5; 6 ])))
+
+let test_pool_survives_task_failure () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      (try ignore (Pool.map pool (fun _ -> failwith "boom") [ 1; 2; 3 ])
+       with Failure _ -> ());
+      Alcotest.(check (list int))
+        "pool still works" [ 10; 20 ]
+        (Pool.map pool (fun x -> 10 * x) [ 1; 2 ]))
+
+let test_map_reduce_order () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let xs = List.init 50 Fun.id in
+      (* A non-commutative reduction distinguishes fold orders. *)
+      let expected =
+        List.fold_left (fun acc x -> (31 * acc) + (x * x)) 7 xs
+      in
+      Alcotest.(check int) "deterministic fold" expected
+        (Pool.map_reduce pool
+           ~map:(fun x -> x * x)
+           ~reduce:(fun acc y -> (31 * acc) + y)
+           ~init:7 xs))
+
+let test_shutdown_idempotent () =
+  let pool = Pool.create ~jobs:3 () in
+  Alcotest.(check (list int)) "works" [ 1 ] (Pool.map pool Fun.id [ 1 ]);
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Alcotest.check_raises "map after shutdown"
+    (Invalid_argument "Pool: pool has been shut down") (fun () ->
+      ignore (Pool.map pool Fun.id [ 1 ]))
+
+let test_pool_reuse_across_maps () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      for i = 1 to 5 do
+        let xs = List.init (10 * i) Fun.id in
+        Alcotest.(check (list int))
+          (Printf.sprintf "round %d" i)
+          (List.map (fun x -> x + i) xs)
+          (Pool.map pool (fun x -> x + i) xs)
+      done)
+
+(* --- parallel sweep equivalence ----------------------------------------- *)
+
+let point_signature pt =
+  Printf.sprintf "T=%d P<=%h %s" pt.Explore.time_limit pt.Explore.power_limit
+    (match pt.Explore.result with
+    | Explore.Feasible { area; peak; design } ->
+      Printf.sprintf "area=%h peak=%h makespan=%d instances=%s" area peak
+        (Design.makespan design)
+        (String.concat ";"
+           (List.map
+              (fun (i : Design.instance) ->
+                Printf.sprintf "%d:%s:%s" i.Design.id
+                  i.Design.spec.Pchls_fulib.Module_spec.name
+                  (String.concat ","
+                     (List.map
+                        (fun (op, t) -> Printf.sprintf "%d@%d" op t)
+                        i.Design.ops)))
+              (Design.instances design)))
+    | Explore.Infeasible reason -> "infeasible: " ^ reason)
+
+let graph_gen =
+  QCheck.Gen.(
+    map3
+      (fun seed layers width ->
+        Generator.layered ~seed ~layers:(1 + layers) ~width:(1 + width) ())
+      (int_bound 10_000) (int_bound 2) (int_bound 2))
+
+let arbitrary_graph =
+  QCheck.make graph_gen ~print:(fun g -> Format.asprintf "%a" Graph.pp g)
+
+let prop_parallel_sweep_identical =
+  QCheck.Test.make ~count:10
+    ~name:"Explore.sweep ~jobs:4 is point-for-point identical to ~jobs:1"
+    arbitrary_graph (fun g ->
+      let sweep ~jobs ?cache () =
+        Explore.sweep ~jobs ?cache ~library:Library.default g
+          ~times:[ 10; 25 ] ~powers:[ 8.; 30. ]
+      in
+      let reference = List.map point_signature (sweep ~jobs:1 ()) in
+      let parallel = List.map point_signature (sweep ~jobs:4 ()) in
+      let cached =
+        let store = Pchls_cache.Store.in_memory () in
+        List.map point_signature (sweep ~jobs:4 ~cache:store ())
+      in
+      reference = parallel && reference = cached)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "preserves order" `Quick test_map_preserves_order;
+          Alcotest.test_case "empty and singleton" `Quick
+            test_map_empty_and_singleton;
+          Alcotest.test_case "jobs=1 runs inline" `Quick
+            test_sequential_pool_runs_inline;
+          Alcotest.test_case "default jobs" `Quick test_default_jobs_positive;
+          Alcotest.test_case "rejects jobs<1" `Quick
+            test_create_rejects_nonpositive_jobs;
+          Alcotest.test_case "reuse across maps" `Quick
+            test_pool_reuse_across_maps;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "earliest failure wins" `Quick
+            test_exception_is_earliest_input;
+          Alcotest.test_case "survives task failure" `Quick
+            test_pool_survives_task_failure;
+        ] );
+      ( "reduce",
+        [ Alcotest.test_case "fold order" `Quick test_map_reduce_order ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "shutdown idempotent" `Quick
+            test_shutdown_idempotent;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_parallel_sweep_identical ] );
+    ]
