@@ -3,7 +3,8 @@
 
    Usage: dune exec bench/main.exe [-- section ...]
    Sections: table1 figure1 figure2 ablation-clique ablation-twostep
-             ablation-policy ablation-battery sweep timing (default: all).
+             ablation-policy ablation-battery sweep obs timing
+             (default: all).
 
    Grid-shaped sections run through the Pchls_par.Pool domain pool and
    append wall-time/grid/cache records to BENCH_sweep.json. *)
@@ -31,6 +32,8 @@ module Force_directed = Pchls_sched.Force_directed
 module Explore = Pchls_core.Explore
 module Pool = Pchls_par.Pool
 module Store = Pchls_cache.Store
+module Trace = Pchls_obs.Trace
+module Metrics = Pchls_obs.Metrics
 
 let section_header name = Format.printf "@.======== %s ========@.@." name
 
@@ -65,9 +68,11 @@ let write_grid_records path =
     let cache =
       match r.cache_stats with
       | None -> "null"
-      | Some { Store.hits; misses; stores } ->
-        Printf.sprintf "{\"hits\": %d, \"misses\": %d, \"stores\": %d}" hits
-          misses stores
+      | Some { Store.hits; misses; stores; memory_hits; disk_hits } ->
+        Printf.sprintf
+          "{\"hits\": %d, \"misses\": %d, \"stores\": %d, \"memory_hits\": \
+           %d, \"disk_hits\": %d}"
+          hits misses stores memory_hits disk_hits
     in
     Printf.sprintf
       "    {\"section\": \"%s\", \"wall_s\": %.6f, \"grid\": %d, \"jobs\": \
@@ -601,6 +606,8 @@ let sweep_bench () =
       Store.hits = warm.Store.hits - cold.Store.hits;
       misses = warm.Store.misses - cold.Store.misses;
       stores = warm.Store.stores - cold.Store.stores;
+      memory_hits = warm.Store.memory_hits - cold.Store.memory_hits;
+      disk_hits = warm.Store.disk_hits - cold.Store.disk_hits;
     }
   in
   record ~section:"sweep-cache-warm" ~cache_stats:warm_only ~wall_s:t_warm
@@ -625,6 +632,54 @@ let sweep_bench () =
     Format.eprintf "sweep-bench: parallel or cached sweep diverged!@.";
     exit 1
   end
+
+(* --- Observability: tracing overhead and metrics dump ------------------- *)
+
+(* Measures what a trace sink costs: the same synthesis with tracing off
+   (the zero-observer path), then with a sink installed; writes the traced
+   run's counters to BENCH_obs.json. *)
+let obs_bench () =
+  section_header "Observability: tracing overhead (elliptic, T=22, P<=15)";
+  let g = Benchmarks.elliptic and t = 22 and p = 15. in
+  let reps = 5 in
+  let run () =
+    for _ = 1 to reps do
+      ignore (synth g t p)
+    done
+  in
+  let recorded_before = Trace.total_recorded () in
+  let (), plain_s = timed run in
+  assert (Trace.total_recorded () = recorded_before);
+  Metrics.reset ();
+  let sink = Trace.make () in
+  let (), traced_s = timed (fun () -> Trace.with_sink sink run) in
+  let events = Trace.count sink in
+  let overhead_pct = 100. *. ((traced_s /. plain_s) -. 1.) in
+  Format.printf "untraced (%d runs)  %8.3f s@." reps plain_s;
+  Format.printf "traced   (%d runs)  %8.3f s  (%+.1f%%, %d events)@." reps
+    traced_s overhead_pct events;
+  let counter name =
+    Metrics.counter_value (Metrics.counter name)
+  in
+  List.iter
+    (fun name -> Format.printf "%-24s %8d@." name (counter name))
+    [
+      "engine.iterations"; "engine.backtracks"; "clique.gain_evaluated";
+      "pasap.offset_delays";
+    ];
+  let oc = open_out "BENCH_obs.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"elliptic\", \"t\": %d, \"p\": %g, \"reps\": %d,\n\
+    \  \"plain_s\": %.6f,\n\
+    \  \"traced_s\": %.6f,\n\
+    \  \"overhead_pct\": %.2f,\n\
+    \  \"trace_events\": %d,\n\
+    \  \"metrics\": %s\n\
+     }\n"
+    t p reps plain_s traced_s overhead_pct events (Metrics.to_json ());
+  close_out oc;
+  Format.printf "@.wrote BENCH_obs.json@."
 
 (* --- Timing ------------------------------------------------------------- *)
 
@@ -698,6 +753,7 @@ let sections =
     ("ablation-rebind", ablation_rebind);
     ("ablation-modulo", ablation_modulo);
     ("sweep", sweep_bench);
+    ("obs", obs_bench);
     ("timing", timing);
   ]
 

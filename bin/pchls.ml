@@ -18,6 +18,9 @@ module Diag = Pchls_diag.Diag
 module Analysis = Pchls_analysis.Analysis
 module Explore = Pchls_core.Explore
 module Store = Pchls_cache.Store
+module Trace = Pchls_obs.Trace
+module Metrics = Pchls_obs.Metrics
+module Style = Pchls_obs.Style
 
 open Cmdliner
 
@@ -160,6 +163,58 @@ let library_opt =
 
 let the_library = function Some lib -> lib | None -> Library.default
 
+(* --- observability options (trace + metrics + color) -------------------- *)
+
+let trace_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE.json"
+        ~doc:"Write a Chrome trace_event JSON profile of the run to $(docv) \
+              (load it in Perfetto or chrome://tracing; validate it with \
+              $(b,pchls trace validate)).")
+
+let metrics_flag =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the metrics registry (counters, histograms) after the \
+              run.")
+
+let no_color_flag =
+  Arg.(
+    value & flag
+    & info [ "no-color" ]
+        ~doc:"Disable ANSI colors (equivalent to setting PCHLS_NO_COLOR or \
+              NO_COLOR).")
+
+let apply_color no_color = if no_color then Style.set_enabled (Some false)
+
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+(* Wraps a command body: installs a trace sink when --trace was given and
+   writes the Chrome JSON afterwards; dumps the metrics registry when
+   --metrics was given. The body's exit code passes through. *)
+let with_obs ~trace ~metrics f =
+  let code =
+    match trace with
+    | None -> f ()
+    | Some path ->
+      let sink = Trace.make () in
+      let code = Trace.with_sink sink f in
+      write_file path (Trace.to_chrome sink);
+      Format.printf "# trace: %d events -> %s@." (Trace.count sink) path;
+      code
+  in
+  if metrics then print_string (Metrics.dump ());
+  code
+
+let err_infeasible name reason =
+  Format.eprintf "%s: %s: %s@." name (Style.red "infeasible") reason
+
 (* --- exploration options (pool + cache) -------------------------------- *)
 
 let jobs_opt =
@@ -261,7 +316,8 @@ let self_check_flag =
 
 let synth_cmd =
   let run bench t p pol reg mux library gantt tighten rebind self_check
-      cache_dir no_cache =
+      cache_dir no_cache trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let cache = synth_store no_cache cache_dir in
     let outcome =
       if tighten then
@@ -322,7 +378,7 @@ let synth_cmd =
       end
       else 0
     | Error (name, reason) ->
-      Format.eprintf "%s: infeasible: %s@." name reason;
+      err_infeasible name reason;
       1
   in
   Cmd.v
@@ -331,9 +387,18 @@ let synth_cmd =
       const run $ graph_source $ time_limit $ power_limit $ policy
       $ register_area $ mux_input_area $ library_opt $ gantt_flag
       $ tighten_flag $ rebind_flag $ self_check_flag $ cache_dir_opt
-      $ no_cache_flag)
+      $ no_cache_flag $ trace_opt $ metrics_flag)
 
 (* --- check ------------------------------------------------------------- *)
+
+(* A diagnostic line, colored by severity when stdout allows it. *)
+let print_diag diag =
+  let line = Format.asprintf "%a" Diag.pp diag in
+  print_endline
+    (match diag.Diag.severity with
+    | Diag.Error -> Style.red line
+    | Diag.Warning -> Style.yellow line
+    | Diag.Info -> Style.cyan line)
 
 let check_cmd =
   let json_flag =
@@ -342,18 +407,41 @@ let check_cmd =
       & info [ "json" ]
           ~doc:"Emit diagnostics as a JSON array instead of text.")
   in
-  let run bench t p pol reg mux library json =
+  let timings_flag =
+    Arg.(
+      value & flag
+      & info [ "timings" ]
+          ~doc:"Also report per-checker wall time (with --json: wraps the \
+                diagnostics in an object with a timings_ns field).")
+  in
+  let run bench t p pol reg mux library json timings no_color =
+    apply_color no_color;
     match synthesize ?library bench t p pol reg mux with
     | Ok (name, d, _) ->
-      let ds = Analysis.run_all ~library:(the_library library) d in
-      if json then print_endline (Diag.list_to_json ds)
+      let ds, times = Analysis.run_all_timed ~library:(the_library library) d in
+      if json then
+        if timings then
+          Format.printf "{\"diagnostics\": %s, \"timings_ns\": {%s}}@."
+            (String.trim (Diag.list_to_json ds))
+            (String.concat ", "
+               (List.map
+                  (fun (pass, ns) -> Printf.sprintf "\"%s\": %.0f" pass ns)
+                  times))
+        else print_endline (Diag.list_to_json ds)
       else begin
-        List.iter (fun diag -> Format.printf "%a@." Diag.pp diag) ds;
+        List.iter print_diag ds;
+        if timings then
+          List.iter
+            (fun (pass, ns) ->
+              Format.printf "%s@."
+                (Style.dim
+                   (Printf.sprintf "# check.%-8s %8.0f ns" pass ns)))
+            times;
         Format.printf "%s (T=%d, P<=%g): %s@." name t p (Analysis.summary ds)
       end;
       if Diag.has_errors ds then 1 else 0
     | Error (name, reason) ->
-      Format.eprintf "%s: infeasible: %s@." name reason;
+      err_infeasible name reason;
       1
   in
   Cmd.v
@@ -364,7 +452,8 @@ let check_cmd =
              diagnostic fires.")
     Term.(
       const run $ graph_source $ time_limit $ power_limit $ policy
-      $ register_area $ mux_input_area $ library_opt $ json_flag)
+      $ register_area $ mux_input_area $ library_opt $ json_flag
+      $ timings_flag $ no_color_flag)
 
 (* --- sweep ------------------------------------------------------------- *)
 
@@ -397,7 +486,8 @@ let sweep_cmd =
     Arg.(value & flag & info [ "pareto" ] ~doc:"Also print the Pareto front.")
   in
   let run (name, g) t p_from p_to p_step pol reg mux pareto jobs cache_dir
-      no_cache =
+      no_cache trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let cache = sweep_store no_cache cache_dir in
     let points =
       Explore.sweep ~cost_model:(cost_model reg mux) ~policy:pol ~jobs ?cache
@@ -415,7 +505,7 @@ let sweep_cmd =
     Term.(
       const run $ graph_source $ time_limit $ p_from $ p_to $ p_step $ policy
       $ register_area $ mux_input_area $ pareto_flag $ jobs_opt
-      $ cache_dir_opt $ no_cache_flag)
+      $ cache_dir_opt $ no_cache_flag $ trace_opt $ metrics_flag)
 
 (* --- pareto ------------------------------------------------------------- *)
 
@@ -428,7 +518,8 @@ let pareto_cmd =
           ~doc:"Latency constraints (cycles) spanning the grid rows.")
   in
   let run (name, g) times p_from p_to p_step pol reg mux jobs cache_dir
-      no_cache =
+      no_cache trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let cache = sweep_store no_cache cache_dir in
     let points =
       Explore.sweep ~cost_model:(cost_model reg mux) ~policy:pol ~jobs ?cache
@@ -447,7 +538,7 @@ let pareto_cmd =
     Term.(
       const run $ graph_source $ times $ p_from $ p_to $ p_step $ policy
       $ register_area $ mux_input_area $ jobs_opt $ cache_dir_opt
-      $ no_cache_flag)
+      $ no_cache_flag $ trace_opt $ metrics_flag)
 
 (* --- cache -------------------------------------------------------------- *)
 
@@ -488,25 +579,85 @@ let cache_cmd =
 (* --- profile ----------------------------------------------------------- *)
 
 let profile_cmd =
-  let run bench t p pol reg mux =
-    match synthesize bench t p pol reg mux with
-    | Ok (name, d, _) ->
-      Format.printf "power profile of %s (T=%d, P<=%g):@." name t p;
+  let run (name, g) t p pol reg mux library trace no_color =
+    apply_color no_color;
+    (* A profiling run: always trace, always report. Synthesis goes through
+       Explore.solve with a fresh in-memory store so the trace also shows
+       the cache tier (one find miss, one add). *)
+    Metrics.reset ();
+    let sink = Trace.make () in
+    let result =
+      Trace.with_sink sink (fun () ->
+          Explore.solve ~cost_model:(cost_model reg mux) ~policy:pol
+            ~library:(the_library library) ~cache:(Store.in_memory ()) g
+            ~time_limit:t ~power_limit:p)
+    in
+    (match trace with
+    | None -> ()
+    | Some path ->
+      write_file path (Trace.to_chrome sink);
+      Format.printf "# trace: %d events -> %s@." (Trace.count sink) path);
+    let report () =
+      Format.printf "@.%s@." (Style.bold "spans:");
+      print_string (Trace.render_tree sink);
+      Format.printf "@.%s@." (Style.bold "metrics:");
+      print_string (Metrics.dump ())
+    in
+    match result with
+    | Explore.Feasible { design = d; _ } ->
+      Format.printf "%s@."
+        (Style.bold
+           (Printf.sprintf "power profile of %s (T=%d, P<=%g):" name t p));
       print_string
         (Profile.render ~width:50
            ?limit:(if Float.is_finite p then Some p else None)
            (Design.profile d));
+      report ();
       0
-    | Error (name, reason) ->
-      Format.eprintf "%s: infeasible: %s@." name reason;
+    | Explore.Infeasible reason ->
+      err_infeasible name reason;
+      report ();
       1
   in
   Cmd.v
     (Cmd.info "profile"
-       ~doc:"Synthesize and render the per-cycle power profile.")
+       ~doc:"Synthesize under a tracing sink, render the per-cycle power \
+             profile, the span tree and the metrics table; --trace also \
+             writes the Chrome trace_event JSON.")
     Term.(
       const run $ graph_source $ time_limit $ power_limit $ policy
-      $ register_area $ mux_input_area)
+      $ register_area $ mux_input_area $ library_opt $ trace_opt
+      $ no_color_flag)
+
+(* --- trace -------------------------------------------------------------- *)
+
+let trace_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some Arg.file) None
+      & info [] ~docv:"FILE.json" ~doc:"Trace file to validate.")
+  in
+  let validate_cmd =
+    let run path =
+      match Trace.validate_chrome (read_file path) with
+      | Ok n ->
+        Format.printf "%s: valid Chrome trace, %d events@." path n;
+        0
+      | Error msg ->
+        Format.eprintf "%s: %s: %s@." path (Style.red "invalid trace") msg;
+        1
+    in
+    Cmd.v
+      (Cmd.info "validate"
+         ~doc:"Strictly parse a Chrome trace_event JSON file and check the \
+               schema pchls emits; exits 1 on any violation.")
+      Term.(const run $ file_arg)
+  in
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:"Work with Chrome trace_event JSON profiles written by --trace.")
+    [ validate_cmd ]
 
 (* --- battery ----------------------------------------------------------- *)
 
@@ -542,7 +693,7 @@ let battery_cmd =
         Sim.pp_verdict v;
       0
     | Error (name, reason) ->
-      Format.eprintf "%s: infeasible: %s@." name reason;
+      err_infeasible name reason;
       1
   in
   Cmd.v
@@ -560,7 +711,8 @@ let report_cmd =
       value & flag
       & info [ "summary" ] ~doc:"Emit the one-row design summary instead.")
   in
-  let run bench t p pol reg mux summary =
+  let run bench t p pol reg mux summary no_color =
+    apply_color no_color;
     match synthesize bench t p pol reg mux with
     | Ok (_, d, _) ->
       print_string
@@ -568,7 +720,7 @@ let report_cmd =
          else Pchls_core.Report.csv d);
       0
     | Error (name, reason) ->
-      Format.eprintf "%s: infeasible: %s@." name reason;
+      err_infeasible name reason;
       1
   in
   Cmd.v
@@ -576,7 +728,7 @@ let report_cmd =
        ~doc:"Synthesize and emit a per-operation CSV report.")
     Term.(
       const run $ graph_source $ time_limit $ power_limit $ policy
-      $ register_area $ mux_input_area $ summary_flag)
+      $ register_area $ mux_input_area $ summary_flag $ no_color_flag)
 
 (* --- dot --------------------------------------------------------------- *)
 
@@ -606,7 +758,7 @@ let dot_cmd =
               (Printf.sprintf "t=%d"
                  (Schedule.start (Design.schedule d) id))
         | Engine.Infeasible { reason } ->
-          Format.eprintf "%s: infeasible: %s@." name reason;
+          err_infeasible name reason;
           fun _ -> None)
       | (true | false), _ -> fun _ -> None
     in
@@ -667,7 +819,7 @@ let rtl_cmd =
            | `Verilog, true -> Pchls_rtl.Testbench.verilog n);
       0
     | Error (name, reason) ->
-      Format.eprintf "%s: infeasible: %s@." name reason;
+      err_infeasible name reason;
       1
   in
   Cmd.v
@@ -701,5 +853,5 @@ let () =
        (Cmd.group ~default info
           [
             list_cmd; synth_cmd; check_cmd; sweep_cmd; pareto_cmd; cache_cmd;
-            profile_cmd; battery_cmd; report_cmd; dot_cmd; rtl_cmd;
+            profile_cmd; trace_cmd; battery_cmd; report_cmd; dot_cmd; rtl_cmd;
           ]))

@@ -1,13 +1,42 @@
 module Diag = Pchls_diag.Diag
 module Design = Pchls_core.Design
 module Netlist = Pchls_rtl.Netlist
+module Trace = Pchls_obs.Trace
+module Metrics = Pchls_obs.Metrics
+module Clock = Pchls_obs.Clock
+
+(* One histogram per lint pass, registered once: [run_all_timed] feeds them
+   so repeated checks accumulate into the same registry entries. *)
+let lint_hist name =
+  Metrics.histogram ~buckets:Metrics.ns_buckets ("check." ^ name ^ "_ns")
+
+let h_dfg = lint_hist "dfg"
+let h_sched = lint_hist "sched"
+let h_bind = lint_hist "bind"
+let h_netlist = lint_hist "netlist"
+
+let run_all_timed ?library ?max_instances d =
+  let timings = ref [] in
+  let pass name hist f =
+    Trace.span ~cat:"check" ("check." ^ name) @@ fun () ->
+    let t0 = Clock.now_ns () in
+    let r = f () in
+    let dt = Clock.elapsed_ns ~since:t0 in
+    Metrics.observe hist dt;
+    timings := (name, dt) :: !timings;
+    r
+  in
+  let dfg = pass "dfg" h_dfg (fun () -> Dfg_lint.lint ?library (Design.graph d)) in
+  let sched = pass "sched" h_sched (fun () -> Sched_lint.lint_design d) in
+  let bind = pass "bind" h_bind (fun () -> Bind_lint.lint ?max_instances d) in
+  let net =
+    pass "netlist" h_netlist (fun () ->
+        Netlist_lint.lint ~design:d (Netlist.of_design d))
+  in
+  (Diag.sort (dfg @ sched @ bind @ net), List.rev !timings)
 
 let run_all ?library ?max_instances d =
-  let dfg = Dfg_lint.lint ?library (Design.graph d) in
-  let sched = Sched_lint.lint_design d in
-  let bind = Bind_lint.lint ?max_instances d in
-  let net = Netlist_lint.lint ~design:d (Netlist.of_design d) in
-  Diag.sort (dfg @ sched @ bind @ net)
+  fst (run_all_timed ?library ?max_instances d)
 
 let summary ds =
   let errors = Diag.count Diag.Error ds in

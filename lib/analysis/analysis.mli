@@ -21,5 +21,16 @@ val run_all :
   Pchls_core.Design.t ->
   Diag.t list
 
+(** [run_all_timed] is {!run_all} plus per-pass wall time: [(name, ns)] in
+    run order — ["dfg"], ["sched"], ["bind"], ["netlist"]. Each pass also
+    runs under a ["check.<name>"] trace span and feeds the
+    ["check.<name>_ns"] histogram in the {!Pchls_obs.Metrics} registry.
+    Powers [pchls check --timings]. *)
+val run_all_timed :
+  ?library:Pchls_fulib.Library.t ->
+  ?max_instances:(string * int) list ->
+  Pchls_core.Design.t ->
+  Diag.t list * (string * float) list
+
 (** [summary ds] — e.g. ["2 errors, 1 warning"]; ["clean"] when empty. *)
 val summary : Diag.t list -> string

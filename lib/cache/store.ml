@@ -3,6 +3,21 @@ let src = Logs.Src.create "pchls.cache" ~doc:"synthesis result cache"
 module Log = (val Logs.src_log src : Logs.LOG)
 module Op = Pchls_dfg.Op
 module Module_spec = Pchls_fulib.Module_spec
+module Trace = Pchls_obs.Trace
+module Metrics = Pchls_obs.Metrics
+module Clock = Pchls_obs.Clock
+
+let m_hit = Metrics.counter "cache.hit"
+let m_hit_memory = Metrics.counter "cache.hit.memory"
+let m_hit_disk = Metrics.counter "cache.hit.disk"
+let m_miss = Metrics.counter "cache.miss"
+let m_store = Metrics.counter "cache.store"
+
+let h_memory_lookup_ns =
+  Metrics.histogram ~buckets:Metrics.ns_buckets "cache.memory_lookup_ns"
+
+let h_disk_lookup_ns =
+  Metrics.histogram ~buckets:Metrics.ns_buckets "cache.disk_lookup_ns"
 
 type key = { fingerprint : Fingerprint.t; time_limit : int; power_limit : float }
 
@@ -14,7 +29,13 @@ type summary =
     }
   | Infeasible of string
 
-type stats = { hits : int; misses : int; stores : int }
+type stats = {
+  hits : int;  (** total, [memory_hits + disk_hits] *)
+  misses : int;
+  stores : int;
+  memory_hits : int;
+  disk_hits : int;
+}
 
 type t = {
   mutex : Mutex.t;
@@ -23,6 +44,8 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable stores : int;
+  mutable memory_hits : int;
+  mutable disk_hits : int;
 }
 
 let version = "v1"
@@ -50,6 +73,8 @@ let create ?dir () =
     hits = 0;
     misses = 0;
     stores = 0;
+    memory_hits = 0;
+    disk_hits = 0;
   }
 
 let in_memory () = create ()
@@ -197,44 +222,77 @@ let disk_add disk id summary =
   with Sys_error msg ->
     Log.debug (fun m -> m "disk tier write failed, continuing: %s" msg)
 
+(* Which tier satisfied a lookup; [None] on miss. *)
+type tier = Memory | Disk
+
 let find t k =
+  Trace.span ~cat:"cache" "cache.find" @@ fun () ->
   locked t @@ fun () ->
   let id = key_id k in
-  let outcome =
-    match Hashtbl.find_opt t.table id with
-    | Some _ as s -> s
+  let memory_start = Clock.now_ns () in
+  let memory = Hashtbl.find_opt t.table id in
+  Metrics.observe h_memory_lookup_ns (Clock.elapsed_ns ~since:memory_start);
+  let outcome, tier =
+    match memory with
+    | Some _ as s -> (s, Some Memory)
     | None -> (
       match t.disk with
-      | None -> None
+      | None -> (None, None)
       | Some disk -> (
-        match disk_find disk id with
+        let disk_start = Clock.now_ns () in
+        let found = disk_find disk id in
+        Metrics.observe h_disk_lookup_ns (Clock.elapsed_ns ~since:disk_start);
+        match found with
         | Some s ->
           Hashtbl.replace t.table id s;
-          Some s
-        | None -> None))
+          (Some s, Some Disk)
+        | None -> (None, None)))
   in
-  (match outcome with
-  | Some _ ->
+  (match tier with
+  | Some tier ->
     t.hits <- t.hits + 1;
+    Metrics.incr m_hit;
+    let tier_name =
+      match tier with
+      | Memory ->
+        t.memory_hits <- t.memory_hits + 1;
+        Metrics.incr m_hit_memory;
+        "memory"
+      | Disk ->
+        t.disk_hits <- t.disk_hits + 1;
+        Metrics.incr m_hit_disk;
+        "disk"
+    in
     Log.debug (fun m ->
-        m "hit %s (T=%d, P<=%g)" k.fingerprint k.time_limit k.power_limit)
+        m "%s hit %s (T=%d, P<=%g)" tier_name k.fingerprint k.time_limit
+          k.power_limit)
   | None ->
     t.misses <- t.misses + 1;
+    Metrics.incr m_miss;
     Log.debug (fun m ->
         m "miss %s (T=%d, P<=%g)" k.fingerprint k.time_limit k.power_limit));
   outcome
 
 let add t k summary =
+  Trace.span ~cat:"cache" "cache.add" @@ fun () ->
   locked t @@ fun () ->
   let id = key_id k in
   Hashtbl.replace t.table id summary;
   t.stores <- t.stores + 1;
+  Metrics.incr m_store;
   Log.debug (fun m ->
       m "store %s (T=%d, P<=%g)" k.fingerprint k.time_limit k.power_limit);
   Option.iter (fun disk -> disk_add disk id summary) t.disk
 
 let stats t =
-  locked t @@ fun () -> { hits = t.hits; misses = t.misses; stores = t.stores }
+  locked t @@ fun () ->
+  {
+    hits = t.hits;
+    misses = t.misses;
+    stores = t.stores;
+    memory_hits = t.memory_hits;
+    disk_hits = t.disk_hits;
+  }
 
 let size t = locked t @@ fun () -> Hashtbl.length t.table
 
@@ -271,5 +329,6 @@ let disk_usage ~dir =
       (n + 1, bytes + size))
     (0, 0) (entries_of_disk disk)
 
-let pp_stats ppf ({ hits; misses; stores } : stats) =
-  Format.fprintf ppf "hits=%d misses=%d stores=%d" hits misses stores
+let pp_stats ppf ({ hits; misses; stores; memory_hits; disk_hits } : stats) =
+  Format.fprintf ppf "hits=%d (memory=%d disk=%d) misses=%d stores=%d" hits
+    memory_hits disk_hits misses stores

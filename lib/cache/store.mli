@@ -33,7 +33,13 @@ type summary =
     }
   | Infeasible of string  (** the engine's infeasibility reason *)
 
-type stats = { hits : int; misses : int; stores : int }
+type stats = {
+  hits : int;  (** total across tiers, [memory_hits + disk_hits] *)
+  misses : int;
+  stores : int;
+  memory_hits : int;  (** hits satisfied by the in-memory table *)
+  disk_hits : int;  (** hits satisfied (and promoted) from the disk tier *)
+}
 
 type t
 
@@ -48,7 +54,7 @@ val in_memory : unit -> t
 val dir : t -> string option
 
 (** [find t key] looks the key up in memory, then on disk (promoting disk
-    hits to memory). Counts a hit or a miss. *)
+    hits to memory). Counts a hit (per tier) or a miss. *)
 val find : t -> key -> summary option
 
 (** [add t key summary] stores in memory and, when enabled, on disk.

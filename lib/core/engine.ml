@@ -6,10 +6,22 @@ module Schedule = Pchls_sched.Schedule
 module Pasap = Pchls_sched.Pasap
 module Palap = Pchls_sched.Palap
 module Profile = Pchls_power.Profile
+module Trace = Pchls_obs.Trace
+module Metrics = Pchls_obs.Metrics
 
 let src = Logs.Src.create "pchls.engine" ~doc:"synthesis engine decisions"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+
+let m_runs = Metrics.counter "engine.runs"
+let m_iterations = Metrics.counter "engine.iterations"
+let m_gain_evaluated = Metrics.counter "clique.gain_evaluated"
+let m_backtracks = Metrics.counter "engine.backtracks"
+let m_merges = Metrics.counter "engine.merges"
+let m_retypes = Metrics.counter "engine.retype_merges"
+let m_fresh = Metrics.counter "engine.new_instances"
+let m_upgrades = Metrics.counter "engine.default_upgrades"
+let m_infeasible = Metrics.counter "engine.infeasible"
 
 type policy = Min_power | Min_area | Min_latency
 
@@ -154,6 +166,7 @@ let rec settle_defaults st attempts =
       | Some (op, m) ->
         Hashtbl.replace st.default_spec op m;
         st.n_upgrades <- st.n_upgrades + 1;
+        Metrics.incr m_upgrades;
         settle_defaults st (attempts - 1)
       | None ->
         Error
@@ -533,10 +546,32 @@ let commit st decision =
           | None -> ());
     }
 
-let note_commit st = function
-  | Fresh _ -> st.n_fresh <- st.n_fresh + 1
-  | Merge { retype = None; _ } -> st.n_merges <- st.n_merges + 1
-  | Merge { retype = Some _; _ } -> st.n_retypes <- st.n_retypes + 1
+let note_commit st decision =
+  (match decision with
+  | Fresh _ ->
+    st.n_fresh <- st.n_fresh + 1;
+    Metrics.incr m_fresh
+  | Merge { retype = None; _ } ->
+    st.n_merges <- st.n_merges + 1;
+    Metrics.incr m_merges
+  | Merge { retype = Some _; _ } ->
+    st.n_retypes <- st.n_retypes + 1;
+    Metrics.incr m_retypes);
+  if Trace.enabled () then
+    Trace.instant ~cat:"engine"
+      ~args:
+        [
+          ( "decision",
+            match decision with
+            | Merge { retype = None; _ } -> "merge"
+            | Merge { retype = Some _; _ } -> "retype-merge"
+            | Fresh _ -> "fresh" );
+          ( "op",
+            string_of_int
+              (match decision with Merge { op; _ } | Fresh { op; _ } -> op) );
+          ("gain", Printf.sprintf "%.1f" (gain_of st decision));
+        ]
+      "engine.commit"
 
 (* --- main loop -------------------------------------------------------- *)
 
@@ -583,6 +618,9 @@ let run ?(cost_model = Cost_model.default) ?(policy = Min_power)
     invalid_arg
       (Printf.sprintf "Engine.run: library covers no module for: %s"
          (String.concat ", " (List.map Op.to_string kinds))));
+  Metrics.incr m_runs;
+  Trace.span ~cat:"engine" ~args:[ ("graph", Graph.name g) ] "engine.run"
+  @@ fun () ->
   let select =
     match policy with
     | Min_power -> Library.min_power
@@ -627,71 +665,97 @@ let run ?(cost_model = Cost_model.default) ?(policy = Min_power)
     }
   in
   match settle_defaults st (Graph.node_count g + 5) with
-  | Error reason -> Infeasible { reason }
+  | Error reason ->
+    Metrics.incr m_infeasible;
+    Infeasible { reason }
   | Ok first_pasap ->
+    (* One clique-partition iteration: evaluate every candidate gain, commit
+       the best, re-schedule, and fall back to backtrack-and-lock when the
+       commit kills feasibility. Pulled out of [iterate] so each iteration
+       is its own trace span without nesting the whole tail under it. *)
+    let step valid_pasap =
+      let palap =
+        match run_palap st with
+        | Pasap.Feasible s -> s
+        | Pasap.Infeasible _ -> valid_pasap (* degenerate windows *)
+      in
+      let cands = candidates st valid_pasap palap in
+      Metrics.incr ~by:(List.length cands) m_gain_evaluated;
+      match cands with
+      | [] ->
+        let op =
+          match unassigned st with op :: _ -> op | [] -> -1
+        in
+        `Error
+          (Printf.sprintf
+             "no feasible decision for operation %d (%s): instance caps \
+              leave it no module to run on"
+             op
+             (Graph.node_name st.g op))
+      | best :: _ -> (
+        Log.debug (fun m ->
+            m "commit %s (gain %.1f)"
+              (match best with
+              | Merge { op; inst; start; retype } ->
+                Printf.sprintf "merge op %d -> inst %d @%d%s" op inst.inst_id
+                  start
+                  (match retype with
+                  | Some r -> " retype " ^ r.Module_spec.name
+                  | None -> "")
+              | Fresh { op; spec; start } ->
+                Printf.sprintf "fresh op %d : %s @%d" op
+                  spec.Module_spec.name start)
+              (gain_of st best));
+        let undo = commit st best in
+        match run_pasap st with
+        | Pasap.Feasible next_pasap ->
+          note_commit st best;
+          `Continue next_pasap
+        | Pasap.Infeasible { node; reason } ->
+          Log.debug (fun m -> m "backtrack: node %d, %s" node reason);
+          undo.revert ();
+          st.n_backtracks <- st.n_backtracks + 1;
+          Metrics.incr m_backtracks;
+          if Trace.enabled () then
+            Trace.instant ~cat:"engine"
+              ~args:[ ("node", string_of_int node); ("reason", reason) ]
+              "engine.backtrack";
+          lock_unassigned st valid_pasap;
+          (match
+             if self_check then self_check_lock st valid_pasap else Ok ()
+           with
+          | Error e -> `Error e
+          | Ok () -> (
+            (* In locked mode decisions keep the valid pasap's times and
+               module choices, so the schedule stays feasible as-is. *)
+            let locked_cands = candidates st valid_pasap valid_pasap in
+            Metrics.incr ~by:(List.length locked_cands) m_gain_evaluated;
+            match locked_cands with
+            | locked_best :: _ ->
+              let _ = commit st locked_best in
+              note_commit st locked_best;
+              `Continue valid_pasap
+            | [] ->
+              `Error
+                "no feasible decision after locking: instance caps leave \
+                 some operation no module to run on")))
+    in
     let rec iterate valid_pasap =
       if unassigned st = [] then Ok ()
       else begin
-        let palap =
-          match run_palap st with
-          | Pasap.Feasible s -> s
-          | Pasap.Infeasible _ -> valid_pasap (* degenerate windows *)
-        in
-        match candidates st valid_pasap palap with
-        | [] ->
-          let op =
-            match unassigned st with op :: _ -> op | [] -> -1
-          in
-          Error
-            (Printf.sprintf
-               "no feasible decision for operation %d (%s): instance caps \
-                leave it no module to run on"
-               op
-               (Graph.node_name st.g op))
-        | best :: _ -> (
-          Log.debug (fun m ->
-              m "commit %s (gain %.1f)"
-                (match best with
-                | Merge { op; inst; start; retype } ->
-                  Printf.sprintf "merge op %d -> inst %d @%d%s" op inst.inst_id
-                    start
-                    (match retype with
-                    | Some r -> " retype " ^ r.Module_spec.name
-                    | None -> "")
-                | Fresh { op; spec; start } ->
-                  Printf.sprintf "fresh op %d : %s @%d" op
-                    spec.Module_spec.name start)
-                (gain_of st best));
-          let undo = commit st best in
-          match run_pasap st with
-          | Pasap.Feasible next_pasap ->
-            note_commit st best;
-            iterate next_pasap
-          | Pasap.Infeasible { node; reason } ->
-            Log.debug (fun m -> m "backtrack: node %d, %s" node reason);
-            undo.revert ();
-            st.n_backtracks <- st.n_backtracks + 1;
-            lock_unassigned st valid_pasap;
-            (match
-               if self_check then self_check_lock st valid_pasap else Ok ()
-             with
-            | Error _ as e -> e
-            | Ok () -> (
-              (* In locked mode decisions keep the valid pasap's times and
-                 module choices, so the schedule stays feasible as-is. *)
-              match candidates st valid_pasap valid_pasap with
-              | locked_best :: _ ->
-                let _ = commit st locked_best in
-                note_commit st locked_best;
-                iterate valid_pasap
-              | [] ->
-                Error
-                  "no feasible decision after locking: instance caps leave \
-                   some operation no module to run on")))
+        Metrics.incr m_iterations;
+        match
+          Trace.span ~cat:"engine" "engine.iterate" (fun () ->
+              step valid_pasap)
+        with
+        | `Continue next_pasap -> iterate next_pasap
+        | `Error reason -> Error reason
       end
     in
     (match iterate first_pasap with
-    | Error reason -> Infeasible { reason }
+    | Error reason ->
+      Metrics.incr m_infeasible;
+      Infeasible { reason }
     | Ok () -> (
       let instances =
         List.rev st.instances
@@ -716,4 +780,5 @@ let run ?(cost_model = Cost_model.default) ?(policy = Min_power)
               default_upgrades = st.n_upgrades;
             } )
       | Error reason ->
+        Metrics.incr m_infeasible;
         Infeasible { reason = "final design validation failed: " ^ reason }))

@@ -2,6 +2,13 @@ module Profile = Pchls_power.Profile
 module Fingerprint = Pchls_cache.Fingerprint
 module Store = Pchls_cache.Store
 module Pool = Pchls_par.Pool
+module Trace = Pchls_obs.Trace
+module Metrics = Pchls_obs.Metrics
+
+let m_points = Metrics.counter "explore.points"
+
+let h_point_ns =
+  Metrics.histogram ~buckets:Metrics.ns_buckets "explore.point_ns"
 
 type point = { time_limit : int; power_limit : float; result : result }
 
@@ -55,6 +62,18 @@ let summary_of_result = function
    ever fail (a semantically stale entry), the engine runs and the entry is
    overwritten. *)
 let solve ?cost_model ?policy ~library ?cache ?fp g ~time_limit ~power_limit =
+  Metrics.incr m_points;
+  Trace.span ~cat:"explore"
+    ~args:
+      (if Trace.enabled () then
+         [
+           ("T", string_of_int time_limit);
+           ("P<", Printf.sprintf "%g" power_limit);
+         ]
+       else [])
+    "explore.point"
+  @@ fun () ->
+  Metrics.time h_point_ns @@ fun () ->
   let engine () =
     result_of_outcome
       (Engine.run ?cost_model ?policy ~library ~time_limit ~power_limit g)
@@ -109,6 +128,16 @@ let sweep ?cost_model ?policy ?(jobs = 1) ?cache ~library g ~times ~powers =
           ~power_limit;
     }
   in
+  Trace.span ~cat:"explore"
+    ~args:
+      (if Trace.enabled () then
+         [
+           ("grid", string_of_int (List.length grid));
+           ("jobs", string_of_int jobs);
+         ]
+       else [])
+    "explore.sweep"
+  @@ fun () ->
   if jobs <= 1 then List.map eval grid
   else Pool.with_pool ~jobs (fun pool -> Pool.map pool eval grid)
 
@@ -148,6 +177,7 @@ let pareto points =
 
 let tighten ?cost_model ?policy ?(steps = 6) ?cache ~library g ~time_limit
     ~power_limit =
+  Trace.span ~cat:"explore" "explore.tighten" @@ fun () ->
   let fp =
     Option.map (fun _ -> fingerprint ?cost_model ?policy ~library g) cache
   in

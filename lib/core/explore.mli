@@ -26,6 +26,22 @@ val fingerprint :
   Pchls_dfg.Graph.t ->
   Pchls_cache.Fingerprint.t
 
+(** [solve ~library g ~time_limit ~power_limit] synthesizes one grid point,
+    consulting [cache] when given (as in {!sweep}); [fp] skips re-deriving
+    the {!fingerprint}. This is the unit of work behind {!sweep} and
+    {!tighten} — exposed so callers (e.g. [pchls profile]) can run a single
+    cache-backed point under a tracing sink. *)
+val solve :
+  ?cost_model:Cost_model.t ->
+  ?policy:Engine.policy ->
+  library:Pchls_fulib.Library.t ->
+  ?cache:Pchls_cache.Store.t ->
+  ?fp:Pchls_cache.Fingerprint.t ->
+  Pchls_dfg.Graph.t ->
+  time_limit:int ->
+  power_limit:float ->
+  result
+
 (** [sweep ~library g ~times ~powers] synthesizes every grid point, in row
     (time) then column (power) order. Optional arguments as {!Engine.run}.
 

@@ -1,0 +1,15 @@
+let last_ns = Atomic.make 0L
+
+let rec monotonize t =
+  let prev = Atomic.get last_ns in
+  if Int64.compare t prev <= 0 then begin
+    (* Clock stood still or stepped back: hand out the next tick so
+       ordering stays strict even within one gettimeofday quantum. *)
+    let next = Int64.add prev 1L in
+    if Atomic.compare_and_set last_ns prev next then next else monotonize t
+  end
+  else if Atomic.compare_and_set last_ns prev t then t
+  else monotonize t
+
+let now_ns () = monotonize (Int64.of_float (Unix.gettimeofday () *. 1e9))
+let elapsed_ns ~since = Int64.to_float (Int64.sub (now_ns ()) since)

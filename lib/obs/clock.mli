@@ -1,0 +1,15 @@
+(** Process-wide monotonic nanosecond clock.
+
+    The wall clock can step backwards (NTP adjustments); observability
+    timestamps must not, or span durations go negative and trace viewers
+    render garbage. [now_ns] therefore clamps to strictly increasing
+    values across all domains: concurrent callers each get a distinct,
+    ordered timestamp. *)
+
+(** [now_ns ()] — nanoseconds since an arbitrary process-local epoch,
+    strictly increasing across every call in the process. *)
+val now_ns : unit -> int64
+
+(** [elapsed_ns ~since] is [now_ns () - since] as a float (for metric
+    histograms, which observe floats). *)
+val elapsed_ns : since:int64 -> float

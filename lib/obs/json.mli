@@ -1,0 +1,26 @@
+(** A strict, dependency-free JSON reader and string escaper.
+
+    Used to validate the Chrome-trace files {!Trace.to_chrome} emits (the
+    test suite and [pchls trace validate] both round-trip through it) and
+    by the metrics JSON dumps. Strict means: exactly the RFC 8259 grammar,
+    no trailing commas, no comments, no garbage after the top-level
+    value. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** fields in source order *)
+
+(** [parse text] — [Error] carries a byte offset and reason. *)
+val parse : string -> (t, string) result
+
+(** [member key json] is the value of field [key] when [json] is an
+    object that has one. *)
+val member : string -> t -> t option
+
+(** [escape s] backslash-escapes [s] for embedding inside a JSON string
+    literal (without the surrounding quotes). *)
+val escape : string -> string

@@ -1,0 +1,193 @@
+type counter = int Atomic.t
+type gauge = float Atomic.t
+
+type histogram = {
+  bounds : float array;  (* ascending upper bounds *)
+  buckets : int Atomic.t array;  (* length bounds + 1; last = overflow *)
+  h_count : int Atomic.t;
+  h_sum : float Atomic.t;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let reg_mutex = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock reg_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg_mutex) f
+
+let register name make cast kind =
+  with_registry @@ fun () ->
+  match Hashtbl.find_opt registry name with
+  | Some m -> (
+    match cast m with
+    | Some v -> v
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %S is already registered as another kind"
+           name))
+  | None ->
+    let v = make () in
+    Hashtbl.replace registry name (kind v);
+    v
+
+let counter name =
+  register name
+    (fun () -> Atomic.make 0)
+    (function C c -> Some c | G _ | H _ -> None)
+    (fun c -> C c)
+
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c by)
+let counter_value c = Atomic.get c
+
+let gauge name =
+  register name
+    (fun () -> Atomic.make 0.)
+    (function G g -> Some g | C _ | H _ -> None)
+    (fun g -> G g)
+
+let set g v = Atomic.set g v
+let gauge_value g = Atomic.get g
+
+let rec atomic_add_float a x =
+  let old = Atomic.get a in
+  if not (Atomic.compare_and_set a old (old +. x)) then atomic_add_float a x
+
+let histogram ~buckets name =
+  let bounds = Array.of_list buckets in
+  if Array.length bounds = 0 then invalid_arg "Metrics.histogram: no buckets";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && b <= bounds.(i - 1) then
+        invalid_arg "Metrics.histogram: buckets not strictly ascending")
+    bounds;
+  let h =
+    register name
+      (fun () ->
+        {
+          bounds;
+          buckets = Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
+          h_count = Atomic.make 0;
+          h_sum = Atomic.make 0.;
+        })
+      (function H h -> Some h | C _ | G _ -> None)
+      (fun h -> H h)
+  in
+  if h.bounds <> bounds then
+    invalid_arg
+      (Printf.sprintf "Metrics: histogram %S re-registered with different \
+                       buckets" name);
+  h
+
+let observe h v =
+  let n = Array.length h.bounds in
+  let rec slot i = if i >= n || v <= h.bounds.(i) then i else slot (i + 1) in
+  ignore (Atomic.fetch_and_add h.buckets.(slot 0) 1);
+  ignore (Atomic.fetch_and_add h.h_count 1);
+  atomic_add_float h.h_sum v
+
+let time h f =
+  let t0 = Clock.now_ns () in
+  Fun.protect ~finally:(fun () -> observe h (Clock.elapsed_ns ~since:t0)) f
+
+let ns_buckets = [ 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9; 1e10 ]
+
+type hist_snapshot = {
+  bounds : float list;
+  counts : int list;
+  overflow : int;
+  count : int;
+  sum : float;
+}
+
+type value = Counter of int | Gauge of float | Histogram of hist_snapshot
+
+let snapshot_hist h =
+  let per_bucket = Array.map Atomic.get h.buckets in
+  {
+    bounds = Array.to_list h.bounds;
+    counts = Array.to_list (Array.sub per_bucket 0 (Array.length h.bounds));
+    overflow = per_bucket.(Array.length h.bounds);
+    count = Atomic.get h.h_count;
+    sum = Atomic.get h.h_sum;
+  }
+
+let snapshot () =
+  let entries =
+    with_registry @@ fun () ->
+    Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
+  in
+  entries
+  |> List.map (fun (name, m) ->
+         ( name,
+           match m with
+           | C c -> Counter (Atomic.get c)
+           | G g -> Gauge (Atomic.get g)
+           | H h -> Histogram (snapshot_hist h) ))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset () =
+  with_registry @@ fun () ->
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | C c -> Atomic.set c 0
+      | G g -> Atomic.set g 0.
+      | H h ->
+        Array.iter (fun b -> Atomic.set b 0) h.buckets;
+        Atomic.set h.h_count 0;
+        Atomic.set h.h_sum 0.)
+    registry
+
+(* --- rendering ---------------------------------------------------------- *)
+
+let pp_bound b =
+  if Float.is_integer b && Float.abs b < 1e15 then
+    Printf.sprintf "%.0f" b
+  else Printf.sprintf "%g" b
+
+let hist_line s =
+  let mean = if s.count = 0 then 0. else s.sum /. float_of_int s.count in
+  let cells =
+    List.map2
+      (fun b n -> Printf.sprintf "<=%s:%d" (pp_bound b) n)
+      s.bounds s.counts
+    @ [ Printf.sprintf ">:%d" s.overflow ]
+  in
+  Printf.sprintf "count=%d mean=%.1f [%s]" s.count mean
+    (String.concat " " cells)
+
+let dump () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let kind, rendered =
+        match v with
+        | Counter n -> ("counter", string_of_int n)
+        | Gauge f -> ("gauge", Printf.sprintf "%g" f)
+        | Histogram s -> ("histogram", hist_line s)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-9s %-28s %s\n" kind name rendered))
+    (snapshot ());
+  Buffer.contents buf
+
+let to_json () =
+  let field (name, v) =
+    let rendered =
+      match v with
+      | Counter n -> string_of_int n
+      | Gauge f -> Printf.sprintf "%.6g" f
+      | Histogram s ->
+        Printf.sprintf
+          "{\"count\":%d,\"sum\":%.6g,\"overflow\":%d,\"buckets\":[%s]}"
+          s.count s.sum s.overflow
+          (String.concat ","
+             (List.map2
+                (fun b n -> Printf.sprintf "{\"le\":%.6g,\"n\":%d}" b n)
+                s.bounds s.counts))
+    in
+    Printf.sprintf "\"%s\":%s" (Json.escape name) rendered
+  in
+  "{" ^ String.concat "," (List.map field (snapshot ())) ^ "}"

@@ -1,0 +1,21 @@
+let forced : bool option Atomic.t = Atomic.make None
+
+let auto =
+  lazy
+    (Sys.getenv_opt "PCHLS_NO_COLOR" = None
+    && Sys.getenv_opt "NO_COLOR" = None
+    && Sys.getenv_opt "TERM" <> Some "dumb"
+    && (try Unix.isatty Unix.stdout with Unix.Unix_error _ -> false))
+
+let enabled () =
+  match Atomic.get forced with Some b -> b | None -> Lazy.force auto
+
+let set_enabled b = Atomic.set forced b
+
+let wrap code s = if enabled () then "\027[" ^ code ^ "m" ^ s ^ "\027[0m" else s
+let bold = wrap "1"
+let dim = wrap "2"
+let red = wrap "31"
+let green = wrap "32"
+let yellow = wrap "33"
+let cyan = wrap "36"

@@ -1,0 +1,21 @@
+(** Shared ANSI styling with a uniform escape hatch.
+
+    Color is on only when stdout is a TTY, neither [PCHLS_NO_COLOR] nor
+    [NO_COLOR] is set, and [TERM] is not ["dumb"]; any CLI [--no-color]
+    flag forces it off via {!set_enabled}. Piped output (golden tests,
+    [check --json], CSV reports) therefore stays byte-clean without every
+    caller re-implementing the check. *)
+
+(** [enabled ()] — the current effective setting. *)
+val enabled : unit -> bool
+
+(** [set_enabled (Some b)] forces color on/off; [None] restores
+    auto-detection. *)
+val set_enabled : bool option -> unit
+
+val bold : string -> string
+val dim : string -> string
+val red : string -> string
+val green : string -> string
+val yellow : string -> string
+val cyan : string -> string

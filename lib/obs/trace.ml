@@ -1,0 +1,255 @@
+type phase = Complete of { dur_ns : int64 } | Instant
+
+type event = {
+  name : string;
+  cat : string;
+  phase : phase;
+  ts_ns : int64;
+  tid : int;
+  args : (string * string) list;
+}
+
+type sink = {
+  mutex : Mutex.t;
+  epoch_ns : int64;
+  mutable rev_events : event list;
+  mutable n : int;
+}
+
+let installed : sink option Atomic.t = Atomic.make None
+let total : int Atomic.t = Atomic.make 0
+
+let make () =
+  {
+    mutex = Mutex.create ();
+    epoch_ns = Clock.now_ns ();
+    rev_events = [];
+    n = 0;
+  }
+
+let install sink = Atomic.set installed (Some sink)
+let uninstall () = Atomic.set installed None
+
+let with_sink sink f =
+  install sink;
+  Fun.protect ~finally:uninstall f
+
+let enabled () = Atomic.get installed <> None
+let tid () = (Domain.self () :> int)
+
+let record sink ev =
+  Mutex.lock sink.mutex;
+  sink.rev_events <- ev :: sink.rev_events;
+  sink.n <- sink.n + 1;
+  Mutex.unlock sink.mutex;
+  Atomic.incr total
+
+let span ?(cat = "pchls") ?(args = []) name f =
+  match Atomic.get installed with
+  | None -> f ()
+  | Some sink ->
+    let t0 = Clock.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = Clock.now_ns () in
+        record sink
+          {
+            name;
+            cat;
+            phase = Complete { dur_ns = Int64.sub t1 t0 };
+            ts_ns = Int64.sub t0 sink.epoch_ns;
+            tid = tid ();
+            args;
+          })
+      f
+
+let instant ?(cat = "pchls") ?(args = []) name =
+  match Atomic.get installed with
+  | None -> ()
+  | Some sink ->
+    record sink
+      {
+        name;
+        cat;
+        phase = Instant;
+        ts_ns = Int64.sub (Clock.now_ns ()) sink.epoch_ns;
+        tid = tid ();
+        args;
+      }
+
+let end_ns ev =
+  match ev.phase with
+  | Complete { dur_ns } -> Int64.add ev.ts_ns dur_ns
+  | Instant -> ev.ts_ns
+
+(* Spans are recorded when they *finish*, so the raw list is in completion
+   order; sort by start time, longer spans first on ties, so a parent
+   always precedes the children it encloses. *)
+let events sink =
+  Mutex.lock sink.mutex;
+  let evs = List.rev sink.rev_events in
+  Mutex.unlock sink.mutex;
+  List.stable_sort
+    (fun a b ->
+      let c = Int64.compare a.ts_ns b.ts_ns in
+      if c <> 0 then c else Int64.compare (end_ns b) (end_ns a))
+    evs
+
+let count sink =
+  Mutex.lock sink.mutex;
+  let n = sink.n in
+  Mutex.unlock sink.mutex;
+  n
+
+let total_recorded () = Atomic.get total
+
+(* --- Chrome trace_event JSON ------------------------------------------- *)
+
+let us ns = Printf.sprintf "%.3f" (Int64.to_float ns /. 1e3)
+
+let args_json args =
+  if args = [] then ""
+  else
+    Printf.sprintf ",\"args\":{%s}"
+      (String.concat ","
+         (List.map
+            (fun (k, v) ->
+              Printf.sprintf "\"%s\":\"%s\"" (Json.escape k) (Json.escape v))
+            args))
+
+let event_json ev =
+  let common =
+    Printf.sprintf "\"name\":\"%s\",\"cat\":\"%s\",\"pid\":0,\"tid\":%d,\"ts\":%s"
+      (Json.escape ev.name) (Json.escape ev.cat) ev.tid (us ev.ts_ns)
+  in
+  match ev.phase with
+  | Complete { dur_ns } ->
+    Printf.sprintf "{%s,\"ph\":\"X\",\"dur\":%s%s}" common (us dur_ns)
+      (args_json ev.args)
+  | Instant ->
+    Printf.sprintf "{%s,\"ph\":\"i\",\"s\":\"t\"%s}" common (args_json ev.args)
+
+let to_chrome sink =
+  let evs = events sink in
+  let buf = Buffer.create (256 * (1 + List.length evs)) in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n  ";
+      Buffer.add_string buf (event_json ev))
+    evs;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+(* --- validation --------------------------------------------------------- *)
+
+let validate_chrome text =
+  let ( let* ) = Result.bind in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let* json = Json.parse text in
+  let* evs =
+    match Json.member "traceEvents" json with
+    | Some (Json.List evs) -> Ok evs
+    | Some _ -> fail "traceEvents is not an array"
+    | None -> fail "missing traceEvents"
+  in
+  let non_negative_number i field ev =
+    match Json.member field ev with
+    | Some (Json.Number f) when f >= 0. -> Ok ()
+    | Some (Json.Number _) -> fail "event %d: negative %s" i field
+    | Some _ -> fail "event %d: %s is not a number" i field
+    | None -> fail "event %d: missing %s" i field
+  in
+  let check i ev =
+    let* () =
+      match Json.member "name" ev with
+      | Some (Json.String s) when s <> "" -> Ok ()
+      | Some (Json.String _) -> fail "event %d: empty name" i
+      | Some _ -> fail "event %d: name is not a string" i
+      | None -> fail "event %d: missing name" i
+    in
+    let* () =
+      match Json.member "cat" ev with
+      | Some (Json.String _) -> Ok ()
+      | Some _ -> fail "event %d: cat is not a string" i
+      | None -> fail "event %d: missing cat" i
+    in
+    let* () = non_negative_number i "ts" ev in
+    let* () = non_negative_number i "pid" ev in
+    let* () = non_negative_number i "tid" ev in
+    let* () =
+      match Json.member "args" ev with
+      | None -> Ok ()
+      | Some (Json.Obj fields) ->
+        if
+          List.for_all
+            (fun (_, v) -> match v with Json.String _ -> true | _ -> false)
+            fields
+        then Ok ()
+        else fail "event %d: non-string arg value" i
+      | Some _ -> fail "event %d: args is not an object" i
+    in
+    match Json.member "ph" ev with
+    | Some (Json.String "X") -> non_negative_number i "dur" ev
+    | Some (Json.String "i") -> (
+      match Json.member "s" ev with
+      | Some (Json.String ("t" | "p" | "g")) -> Ok ()
+      | Some _ -> fail "event %d: bad instant scope" i
+      | None -> fail "event %d: instant without scope" i)
+    | Some (Json.String ph) -> fail "event %d: unknown phase %S" i ph
+    | Some _ -> fail "event %d: ph is not a string" i
+    | None -> fail "event %d: missing ph" i
+  in
+  let rec all i = function
+    | [] -> Ok (List.length evs)
+    | ev :: rest ->
+      let* () = check i ev in
+      all (i + 1) rest
+  in
+  all 0 evs
+
+(* --- human-readable tree ------------------------------------------------ *)
+
+let pp_dur ns =
+  let f = Int64.to_float ns in
+  if f >= 1e9 then Printf.sprintf "%.2f s" (f /. 1e9)
+  else if f >= 1e6 then Printf.sprintf "%.2f ms" (f /. 1e6)
+  else if f >= 1e3 then Printf.sprintf "%.1f us" (f /. 1e3)
+  else Printf.sprintf "%Ld ns" ns
+
+let render_tree sink =
+  let evs = events sink in
+  let tids = List.sort_uniq Int.compare (List.map (fun e -> e.tid) evs) in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun tid ->
+      Buffer.add_string buf (Printf.sprintf "domain %d\n" tid);
+      let stack = ref [] in
+      List.iter
+        (fun ev ->
+          if ev.tid = tid then begin
+            (* Pop finished ancestors: ev starts at or after their end. *)
+            stack :=
+              List.filter (fun e -> Int64.compare ev.ts_ns e < 0) !stack;
+            let indent = String.make (2 * (1 + List.length !stack)) ' ' in
+            let args =
+              if ev.args = [] then ""
+              else
+                Printf.sprintf "  [%s]"
+                  (String.concat " "
+                     (List.map (fun (k, v) -> k ^ "=" ^ v) ev.args))
+            in
+            (match ev.phase with
+            | Complete { dur_ns } ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s%-40s %10s%s\n" indent ev.name
+                   (pp_dur dur_ns) args);
+              stack := end_ns ev :: !stack
+            | Instant ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s- %s%s\n" indent ev.name args))
+          end)
+        evs)
+    tids;
+  Buffer.contents buf

@@ -1,0 +1,84 @@
+(** Low-overhead span/event tracing for the synthesis pipeline.
+
+    A {!sink} collects events; at most one sink is installed process-wide
+    at a time. With no sink installed the tracer is off: {!span} runs its
+    thunk directly and records nothing — the zero-observer path allocates
+    no trace events (asserted by the test suite via {!total_recorded}).
+    Hot call sites that would build argument lists should guard them with
+    {!enabled}.
+
+    Timestamps come from {!Clock.now_ns} (monotonic, strictly increasing
+    across domains); events carry the recording domain's id, so traces
+    from a parallel {!Pchls_par.Pool} sweep interleave correctly. Sinks
+    are mutex-protected and may be written from any domain.
+
+    Export formats: Chrome [trace_event] JSON ({!to_chrome} — open it in
+    Perfetto or [chrome://tracing]) and a human-readable nested tree
+    ({!render_tree}). See docs/OBSERVABILITY.md. *)
+
+type phase =
+  | Complete of { dur_ns : int64 }  (** a span: [ts_ns .. ts_ns + dur_ns] *)
+  | Instant  (** a point event *)
+
+type event = {
+  name : string;
+  cat : string;  (** coarse subsystem: ["engine"], ["sched"], ["cache"]… *)
+  phase : phase;
+  ts_ns : int64;  (** relative to the sink's creation *)
+  tid : int;  (** recording domain id *)
+  args : (string * string) list;
+}
+
+type sink
+
+val make : unit -> sink
+
+(** [install sink] makes [sink] the process-wide collector; [uninstall]
+    turns tracing back off. *)
+val install : sink -> unit
+
+val uninstall : unit -> unit
+
+(** [with_sink sink f] installs, runs [f], uninstalls (also on raise). *)
+val with_sink : sink -> (unit -> 'a) -> 'a
+
+(** [enabled ()] — is any sink installed? Guard eager argument-list
+    construction with this in hot loops. *)
+val enabled : unit -> bool
+
+(** [span ?cat ?args name f] times [f] and records a [Complete] event on
+    the installed sink (none → just runs [f]). The event is recorded even
+    when [f] raises, so aborted phases still show up in the trace. *)
+val span : ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** [instant ?cat ?args name] records a point event (no sink → no-op). *)
+val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
+
+(** [events sink] — chronological (start time, then longer spans first, so
+    a parent always precedes its children). *)
+val events : sink -> event list
+
+(** [count sink] is the number of recorded events. *)
+val count : sink -> int
+
+(** [total_recorded ()] — process-lifetime count of events recorded on any
+    sink. A synthesis run with no sink installed must leave it unchanged. *)
+val total_recorded : unit -> int
+
+(** [to_chrome sink] renders the Chrome [trace_event] JSON document:
+    [{"traceEvents": [...]}] with [ts]/[dur] in microseconds, complete
+    events as [ph:"X"] and instants as [ph:"i"]. *)
+val to_chrome : sink -> string
+
+(** [validate_chrome text] strictly parses [text] ({!Json.parse}) and
+    checks the [trace_event] schema [to_chrome] promises: a top-level
+    object with a [traceEvents] array whose every element has a non-empty
+    string [name], string [cat], [ph] of ["X"] or ["i"], non-negative
+    numbers [ts] and [pid]/[tid], a non-negative [dur] when [ph] is
+    ["X"], a scope [s] when [ph] is ["i"], and string-valued [args].
+    Returns the event count. *)
+val validate_chrome : string -> (int, string) result
+
+(** [render_tree sink] — an indented per-domain span tree with durations
+    and arguments, for terminal consumption ([pchls profile]). *)
+val render_tree : sink -> string

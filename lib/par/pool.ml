@@ -1,3 +1,14 @@
+module Metrics = Pchls_obs.Metrics
+module Clock = Pchls_obs.Clock
+
+let m_tasks = Metrics.counter "pool.tasks"
+
+let h_task_wait_ns =
+  Metrics.histogram ~buckets:Metrics.ns_buckets "pool.task_wait_ns"
+
+let h_task_run_ns =
+  Metrics.histogram ~buckets:Metrics.ns_buckets "pool.task_run_ns"
+
 type t = {
   jobs : int;
   mutex : Mutex.t;
@@ -84,12 +95,20 @@ let map pool f xs =
     let remaining = ref n in
     let join_mutex = Mutex.create () in
     let joined = Condition.create () in
-    let run i x () =
+    let run i x queued_ns () =
+      (* Queue wait (submit → start) vs run time, per task: the gap between
+         the two is the pool's scheduling overhead, visible in the
+         pool.task_*_ns histograms. *)
+      let started_ns = Clock.now_ns () in
+      Metrics.incr m_tasks;
+      Metrics.observe h_task_wait_ns
+        (Int64.to_float (Int64.sub started_ns queued_ns));
       let outcome =
         match f x with
         | y -> Ok y
         | exception e -> Error (e, Printexc.get_raw_backtrace ())
       in
+      Metrics.observe h_task_run_ns (Clock.elapsed_ns ~since:started_ns);
       Mutex.lock join_mutex;
       (match outcome with
       | Ok y -> results.(i) <- Some y
@@ -101,7 +120,7 @@ let map pool f xs =
       if !remaining = 0 then Condition.signal joined;
       Mutex.unlock join_mutex
     in
-    Array.iteri (fun i x -> submit pool (run i x)) arr;
+    Array.iteri (fun i x -> submit pool (run i x (Clock.now_ns ()))) arr;
     Mutex.lock join_mutex;
     while !remaining > 0 do
       Condition.wait joined join_mutex

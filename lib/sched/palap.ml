@@ -1,6 +1,15 @@
 module Graph = Pchls_dfg.Graph
+module Trace = Pchls_obs.Trace
+module Metrics = Pchls_obs.Metrics
 
+let m_runs = Metrics.counter "palap.runs"
+
+(* palap is pasap on the reversed graph, so its span encloses a pasap.run
+   span and its delay bumps land in the shared pasap.offset_delays
+   counter. *)
 let run g ~info ~horizon ?power_limit ?(locked = []) () =
+  Metrics.incr m_runs;
+  Trace.span ~cat:"sched" "palap.run" @@ fun () ->
   let mirror id t = horizon - t - (info id).Schedule.latency in
   let locked_rev = List.map (fun (id, t) -> (id, mirror id t)) locked in
   match

@@ -1,5 +1,11 @@
 module Graph = Pchls_dfg.Graph
 module Profile = Pchls_power.Profile
+module Trace = Pchls_obs.Trace
+module Metrics = Pchls_obs.Metrics
+
+let m_runs = Metrics.counter "pasap.runs"
+let m_offset_delays = Metrics.counter "pasap.offset_delays"
+let m_infeasible = Metrics.counter "pasap.infeasible"
 
 type outcome =
   | Feasible of Schedule.t
@@ -28,6 +34,8 @@ let run g ~info ~horizon ?(power_limit = infinity) ?(locked = []) () =
     List.length (List.sort_uniq Int.compare (List.map fst locked))
     <> List.length locked
   then invalid_arg "Pasap.run: node locked twice";
+  Metrics.incr m_runs;
+  Trace.span ~cat:"sched" "pasap.run" @@ fun () ->
   let latency id = (info id).Schedule.latency in
   let profile = Profile.create ~horizon in
   let sched = ref Schedule.empty in
@@ -131,7 +139,13 @@ let run g ~info ~horizon ?(power_limit = infinity) ?(locked = []) () =
                   }));
         if Profile.fits profile ~start:t ~latency:d ~power ~limit:power_limit
         then place r
-        else r.offset <- r.offset + 1;
+        else begin
+          (* The paper's power-feasibility delay loop: each bump pushes the
+             tentative start one cycle right. Its count is the direct
+             measure of how power-bound a schedule is. *)
+          Metrics.incr m_offset_delays;
+          r.offset <- r.offset + 1
+        end;
         loop ()
     in
     loop ();
@@ -155,4 +169,13 @@ let run g ~info ~horizon ?(power_limit = infinity) ?(locked = []) () =
                   })))
       (Graph.edges g);
     Feasible !sched
-  with Stop o -> o
+  with Stop o ->
+    Metrics.incr m_infeasible;
+    (match o with
+    | Infeasible { node; reason } ->
+      if Trace.enabled () then
+        Trace.instant ~cat:"sched"
+          ~args:[ ("node", string_of_int node); ("reason", reason) ]
+          "pasap.infeasible"
+    | Feasible _ -> ());
+    o

@@ -218,6 +218,8 @@ let test_memory_roundtrip () =
   Alcotest.(check int) "hits" 2 s.Store.hits;
   Alcotest.(check int) "misses" 4 s.Store.misses;
   Alcotest.(check int) "stores" 2 s.Store.stores;
+  Alcotest.(check int) "all hits from memory tier" 2 s.Store.memory_hits;
+  Alcotest.(check int) "no disk tier" 0 s.Store.disk_hits;
   Alcotest.(check int) "size" 2 (Store.size store)
 
 (* A unique scratch path: temp_file guarantees uniqueness, the store
@@ -239,6 +241,16 @@ let test_disk_roundtrip () =
     (Store.find reopened k);
   check_summary "infeasible survives too" (Store.Infeasible "too tight")
     (Store.find reopened (key "feedface" 12 5.));
+  let s = Store.stats reopened in
+  Alcotest.(check int) "both hits came from the disk tier" 2 s.Store.disk_hits;
+  Alcotest.(check int) "no memory hits yet" 0 s.Store.memory_hits;
+  (* Disk hits were promoted: the repeat lookup is a memory-tier hit. *)
+  check_summary "promoted to memory" sample_summary (Store.find reopened k);
+  let s = Store.stats reopened in
+  Alcotest.(check int) "repeat hit is memory-tier" 1 s.Store.memory_hits;
+  Alcotest.(check int) "disk hits unchanged" 2 s.Store.disk_hits;
+  Alcotest.(check int) "total = memory + disk" s.Store.hits
+    (s.Store.memory_hits + s.Store.disk_hits);
   let entries, bytes = Store.disk_usage ~dir in
   Alcotest.(check int) "2 entries on disk" 2 entries;
   Alcotest.(check bool) "non-empty files" true (bytes > 0);

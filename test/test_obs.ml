@@ -1,0 +1,254 @@
+(* The observability layer: span nesting and ordering, the Chrome-trace
+   JSON round-trip through the strict parser, histogram bucket semantics,
+   domain-safety of counters under Pool.map, and the zero-observer
+   guarantee (no sink => synthesis records no trace events). *)
+
+module Trace = Pchls_obs.Trace
+module Metrics = Pchls_obs.Metrics
+module Json = Pchls_obs.Json
+module Clock = Pchls_obs.Clock
+module Pool = Pchls_par.Pool
+module Engine = Pchls_core.Engine
+module Explore = Pchls_core.Explore
+module Store = Pchls_cache.Store
+module Benchmarks = Pchls_dfg.Benchmarks
+module Library = Pchls_fulib.Library
+
+let hal = Option.get (Benchmarks.find "hal")
+
+let event_names sink =
+  List.map (fun e -> e.Trace.name) (Trace.events sink)
+
+(* --- clock --------------------------------------------------------------- *)
+
+let test_clock_monotonic () =
+  let rec go prev = function
+    | 0 -> ()
+    | n ->
+      let t = Clock.now_ns () in
+      Alcotest.(check bool) "strictly increasing" true (Int64.compare t prev > 0);
+      go t (n - 1)
+  in
+  go (Clock.now_ns ()) 1000
+
+(* --- spans --------------------------------------------------------------- *)
+
+let test_span_nesting_and_order () =
+  let sink = Trace.make () in
+  Trace.with_sink sink (fun () ->
+      Trace.span "outer" (fun () ->
+          Trace.span ~cat:"x" "first" (fun () -> ignore (Sys.opaque_identity 1));
+          Trace.instant ~args:[ ("k", "v") ] "tick";
+          Trace.span "second" (fun () -> ignore (Sys.opaque_identity 2))));
+  (* [events] sorts parents before children: outer spans both inner ones. *)
+  Alcotest.(check (list string))
+    "parent first, then children in time order"
+    [ "outer"; "first"; "tick"; "second" ]
+    (event_names sink);
+  Alcotest.(check int) "count" 4 (Trace.count sink);
+  let by_name n =
+    List.find (fun e -> e.Trace.name = n) (Trace.events sink)
+  in
+  let dur e =
+    match e.Trace.phase with
+    | Trace.Complete { dur_ns } -> dur_ns
+    | Trace.Instant -> Alcotest.fail (e.Trace.name ^ ": expected a span")
+  in
+  let outer = by_name "outer" and first = by_name "first" in
+  Alcotest.(check bool)
+    "outer starts no later than first" true
+    (Int64.compare outer.Trace.ts_ns first.Trace.ts_ns <= 0);
+  Alcotest.(check bool)
+    "outer contains first" true
+    (Int64.compare
+       (Int64.add outer.Trace.ts_ns (dur outer))
+       (Int64.add first.Trace.ts_ns (dur first))
+    >= 0);
+  Alcotest.(check string) "cat recorded" "x" first.Trace.cat;
+  Alcotest.(check (list (pair string string)))
+    "instant args" [ ("k", "v") ]
+    (by_name "tick").Trace.args
+
+let test_span_records_on_raise () =
+  let sink = Trace.make () in
+  (try
+     Trace.with_sink sink (fun () ->
+         Trace.span "doomed" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  Alcotest.(check (list string)) "aborted span recorded" [ "doomed" ]
+    (event_names sink);
+  Alcotest.(check bool) "sink uninstalled on raise" false (Trace.enabled ())
+
+(* --- Chrome trace_event round-trip --------------------------------------- *)
+
+let test_chrome_roundtrip () =
+  let sink = Trace.make () in
+  Trace.with_sink sink (fun () ->
+      Trace.span ~cat:"engine" ~args:[ ("graph", "g\"1\n") ] "run" (fun () ->
+          Trace.instant "mark"));
+  let text = Trace.to_chrome sink in
+  (match Json.parse text with
+  | Error msg -> Alcotest.fail ("strict parse failed: " ^ msg)
+  | Ok json -> (
+    match Json.member "traceEvents" json with
+    | Some (Json.List evs) ->
+      Alcotest.(check int) "one element per event" (Trace.count sink)
+        (List.length evs);
+      let names =
+        List.filter_map
+          (fun ev ->
+            match Json.member "name" ev with
+            | Some (Json.String s) -> Some s
+            | _ -> None)
+          evs
+      in
+      Alcotest.(check (list string))
+        "names survive (escaped args round-trip)" [ "run"; "mark" ] names
+    | _ -> Alcotest.fail "no traceEvents array"));
+  match Trace.validate_chrome text with
+  | Ok n -> Alcotest.(check int) "validator counts both events" 2 n
+  | Error msg -> Alcotest.fail ("schema validation failed: " ^ msg)
+
+let test_validate_rejects_garbage () =
+  let reject text =
+    match Trace.validate_chrome text with
+    | Ok _ -> Alcotest.fail ("accepted: " ^ text)
+    | Error _ -> ()
+  in
+  reject "";
+  reject "[]";
+  reject "{\"traceEvents\": 3}";
+  reject "{\"traceEvents\": [{\"name\": \"x\"}]}";
+  (* dur required for ph=X *)
+  reject
+    "{\"traceEvents\": [{\"name\": \"x\", \"cat\": \"c\", \"ph\": \"X\", \
+     \"ts\": 0, \"pid\": 1, \"tid\": 0, \"args\": {}}]}";
+  reject "{\"traceEvents\": []} trailing"
+
+let test_metrics_json_parses () =
+  Metrics.reset ();
+  Metrics.incr (Metrics.counter "engine.backtracks");
+  Metrics.observe (Metrics.histogram ~buckets:Metrics.ns_buckets "t_ns") 42.;
+  match Json.parse (Metrics.to_json ()) with
+  | Ok (Json.Obj fields) ->
+    Alcotest.(check bool) "has engine.backtracks" true
+      (List.mem_assoc "engine.backtracks" fields)
+  | Ok _ -> Alcotest.fail "metrics JSON is not an object"
+  | Error msg -> Alcotest.fail ("metrics JSON unparseable: " ^ msg)
+
+(* --- histogram buckets --------------------------------------------------- *)
+
+let test_histogram_bucket_boundaries () =
+  Metrics.reset ();
+  let h = Metrics.histogram ~buckets:[ 10.; 100. ] "obs_test.bounds" in
+  (* v lands in the first bucket with v <= bound; past the last bound it
+     overflows. *)
+  List.iter (Metrics.observe h) [ 0.; 10.; 10.5; 100.; 100.1; 1e9 ];
+  let snap =
+    match List.assoc "obs_test.bounds" (Metrics.snapshot ()) with
+    | Metrics.Histogram s -> s
+    | _ -> Alcotest.fail "not a histogram"
+  in
+  Alcotest.(check (list int)) "per-bucket counts" [ 2; 2 ] snap.Metrics.counts;
+  Alcotest.(check int) "overflow" 2 snap.Metrics.overflow;
+  Alcotest.(check int) "total" 6 snap.Metrics.count;
+  Alcotest.(check (float 1e-6)) "sum" 1000000220.6 snap.Metrics.sum
+
+let test_metric_kind_mismatch () =
+  Metrics.reset ();
+  ignore (Metrics.counter "obs_test.kind");
+  Alcotest.(check bool) "re-registering as histogram raises" true
+    (match Metrics.histogram ~buckets:[ 1. ] "obs_test.kind" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- counters are domain-safe under Pool.map ----------------------------- *)
+
+let prop_counter_domain_safe =
+  QCheck.Test.make ~count:25
+    ~name:"Pool.map increments never lose updates"
+    QCheck.(list_of_size (Gen.int_range 0 50) (int_range 1 20))
+    (fun increments ->
+      let c = Metrics.counter "obs_test.concurrent" in
+      let before = Metrics.counter_value c in
+      Pool.with_pool ~jobs:4 (fun pool ->
+          ignore
+            (Pool.map pool
+               (fun n ->
+                 for _ = 1 to n do
+                   Metrics.incr c
+                 done;
+                 n)
+               increments));
+      Metrics.counter_value c - before
+      = List.fold_left ( + ) 0 increments)
+
+(* --- zero-observer path -------------------------------------------------- *)
+
+let test_no_sink_records_nothing () =
+  Alcotest.(check bool) "tracing off" false (Trace.enabled ());
+  let before = Trace.total_recorded () in
+  (match
+     Engine.run ~library:Library.default ~time_limit:17 ~power_limit:10. hal
+   with
+  | Engine.Synthesized _ -> ()
+  | Engine.Infeasible { reason } -> Alcotest.fail reason);
+  Alcotest.(check int)
+    "an untraced synthesis allocates no trace events" before
+    (Trace.total_recorded ())
+
+(* --- integration: a traced cache-backed synthesis ------------------------ *)
+
+let test_traced_synthesis_spans () =
+  let sink = Trace.make () in
+  let store = Store.in_memory () in
+  (match
+     Trace.with_sink sink (fun () ->
+         Explore.solve ~library:Library.default ~cache:store hal
+           ~time_limit:17 ~power_limit:10.)
+   with
+  | Explore.Feasible _ -> ()
+  | Explore.Infeasible reason -> Alcotest.fail reason);
+  let names = event_names sink in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) (expected ^ " span present") true
+        (List.mem expected names))
+    [
+      "explore.point"; "cache.find"; "cache.add"; "engine.run";
+      "engine.iterate"; "pasap.run"; "palap.run";
+    ];
+  match Trace.validate_chrome (Trace.to_chrome sink) with
+  | Ok n -> Alcotest.(check int) "full trace validates" (Trace.count sink) n
+  | Error msg -> Alcotest.fail ("trace invalid: " ^ msg)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ("clock", [ Alcotest.test_case "monotonic" `Quick test_clock_monotonic ]);
+      ( "trace",
+        [
+          Alcotest.test_case "nesting and order" `Quick
+            test_span_nesting_and_order;
+          Alcotest.test_case "span survives raise" `Quick
+            test_span_records_on_raise;
+          Alcotest.test_case "chrome round-trip" `Quick test_chrome_roundtrip;
+          Alcotest.test_case "validator rejects garbage" `Quick
+            test_validate_rejects_garbage;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "json parses" `Quick test_metrics_json_parses;
+          Alcotest.test_case "bucket boundaries" `Quick
+            test_histogram_bucket_boundaries;
+          Alcotest.test_case "kind mismatch" `Quick test_metric_kind_mismatch;
+          QCheck_alcotest.to_alcotest prop_counter_domain_safe;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "zero-observer allocates nothing" `Quick
+            test_no_sink_records_nothing;
+          Alcotest.test_case "traced cache-backed synthesis" `Quick
+            test_traced_synthesis_spans;
+        ] );
+    ]
