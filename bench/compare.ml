@@ -1,0 +1,77 @@
+(* Wall-time regression gate over BENCH_sweep.json records.
+
+   Usage: dune exec bench/compare.exe -- <baseline.json> <current.json>
+
+   Matches sections by name and fails (exit 1) when a section's wall time
+   regressed by more than 25% against the baseline. Sections whose
+   baseline is below a 50 ms noise floor are reported but never gate:
+   at that scale scheduler jitter dominates and a ratio is meaningless.
+   Sections present on only one side are reported as added/removed and
+   do not gate either, so the baseline does not have to be regenerated
+   in the same commit that introduces a new bench. *)
+
+module Json = Pchls_obs.Json
+
+let noise_floor_s = 0.05
+let max_regression = 0.25
+
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 2) fmt
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> die "%s" msg
+  | text -> (
+    match Json.parse text with
+    | Error msg -> die "%s: %s" path msg
+    | Ok json -> json)
+
+let sections path json =
+  match Json.member "sections" json with
+  | Some (Json.List items) ->
+    List.filter_map
+      (fun item ->
+        match (Json.member "section" item, Json.member "wall_s" item) with
+        | Some (Json.String name), Some (Json.Number wall_s) ->
+          Some (name, wall_s)
+        | _ -> None)
+      items
+  | _ -> die "%s: no \"sections\" array" path
+
+let () =
+  let baseline_path, current_path =
+    match Sys.argv with
+    | [| _; b; c |] -> (b, c)
+    | _ -> die "usage: compare <baseline.json> <current.json>"
+  in
+  let baseline = sections baseline_path (load baseline_path) in
+  let current = sections current_path (load current_path) in
+  let regressions = ref 0 in
+  Printf.printf "%-24s %10s %10s %8s  %s\n" "section" "baseline" "current"
+    "delta" "verdict";
+  List.iter
+    (fun (name, base_s) ->
+      match List.assoc_opt name current with
+      | None -> Printf.printf "%-24s %9.3fs %10s %8s  removed\n" name base_s "-" "-"
+      | Some cur_s ->
+        let delta = (cur_s -. base_s) /. base_s in
+        let verdict =
+          if base_s < noise_floor_s then "ok (below noise floor)"
+          else if delta > max_regression then begin
+            incr regressions;
+            "REGRESSED"
+          end
+          else "ok"
+        in
+        Printf.printf "%-24s %9.3fs %9.3fs %+7.1f%%  %s\n" name base_s cur_s
+          (100. *. delta) verdict)
+    baseline;
+  List.iter
+    (fun (name, cur_s) ->
+      if not (List.mem_assoc name baseline) then
+        Printf.printf "%-24s %10s %9.3fs %8s  added\n" name "-" cur_s "-")
+    current;
+  if !regressions > 0 then begin
+    Printf.printf "%d section(s) regressed more than %.0f%%\n" !regressions
+      (100. *. max_regression);
+    exit 1
+  end

@@ -659,6 +659,120 @@ let trace_cmd =
        ~doc:"Work with Chrome trace_event JSON profiles written by --trace.")
     [ validate_cmd ]
 
+(* --- fuzz --------------------------------------------------------------- *)
+
+module Fuzz = Pchls_fuzz.Fuzz
+
+let corpus_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "corpus" ] ~docv:"DIR"
+        ~doc:"Persist minimized repros under $(docv), one sub-directory per \
+              failure bucket. $(b,pchls fuzz replay) re-checks them.")
+
+let exact_max_vertices_opt =
+  Arg.(
+    value
+    & opt int Fuzz.default_config.Fuzz.exact_max_vertices
+    & info [ "exact-max-vertices" ] ~docv:"N"
+        ~doc:"Run the exact branch-and-bound area oracle only on designs \
+              with at most $(docv) operations; larger instances are counted \
+              as exact-skipped (never as passes).")
+
+let fuzz_run_term =
+  let runs_opt =
+    Arg.(
+      value
+      & opt int Fuzz.default_config.Fuzz.runs
+      & info [ "runs" ] ~docv:"N" ~doc:"Number of fuzz cases to execute.")
+  in
+  let seed_opt =
+    Arg.(
+      value
+      & opt int Fuzz.default_config.Fuzz.seed
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Campaign seed; the same seed replays the same cases, \
+                whatever --jobs is.")
+  in
+  let max_nodes_opt =
+    Arg.(
+      value
+      & opt int Fuzz.default_config.Fuzz.max_nodes
+      & info [ "max-nodes" ] ~docv:"N"
+          ~doc:"Cap on generated operation nodes per case (I/O nodes come \
+                on top).")
+  in
+  let run runs seed jobs max_nodes exact_max_vertices library corpus trace
+      metrics no_color =
+    apply_color no_color;
+    with_obs ~trace ~metrics @@ fun () ->
+    let config =
+      {
+        Fuzz.runs;
+        seed;
+        jobs;
+        max_nodes;
+        exact_max_vertices;
+        library = the_library library;
+        corpus;
+      }
+    in
+    match Fuzz.run config with
+    | Error msg ->
+      Format.eprintf "%s: %s@." (Style.red "fuzz") msg;
+      2
+    | Ok summary ->
+      Format.printf "# seed=%d runs=%d max-nodes=%d exact-max-vertices=%d@."
+        seed runs max_nodes exact_max_vertices;
+      print_string (Fuzz.render_summary summary);
+      if summary.Fuzz.findings = [] then 0 else 1
+  in
+  Term.(
+    const run $ runs_opt $ seed_opt $ jobs_opt $ max_nodes_opt
+    $ exact_max_vertices_opt $ library_opt $ corpus_opt $ trace_opt
+    $ metrics_flag $ no_color_flag)
+
+let fuzz_cmd =
+  let replay_cmd =
+    let corpus_req =
+      Arg.(
+        required
+        & opt (some string) None
+        & info [ "corpus" ] ~docv:"DIR" ~doc:"Corpus directory to replay.")
+    in
+    let run corpus exact_max_vertices library no_color =
+      apply_color no_color;
+      match
+        Fuzz.replay ~exact_max_vertices ~library:(the_library library) ~corpus
+          ()
+      with
+      | Error msg ->
+        Format.eprintf "%s: %s@." (Style.red "replay") msg;
+        2
+      | Ok summary ->
+        print_string (Fuzz.render_replay summary);
+        if summary.Fuzz.still_failing = 0 && summary.Fuzz.unreadable = 0 then 0
+        else 1
+    in
+    Cmd.v
+      (Cmd.info "replay"
+         ~doc:"Re-check every minimized repro in a corpus against the \
+               current engine (the corpus regression gate). Exits 1 when \
+               any repro fails again.")
+      Term.(
+        const run $ corpus_req $ exact_max_vertices_opt $ library_opt
+        $ no_color_flag)
+  in
+  Cmd.group ~default:fuzz_run_term
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing: sample random (DFG, T, P<) instances \
+             near the feasibility boundary, cross-check the engine against \
+             the lint, latency, power and exact-area oracles, and shrink \
+             any failure to a minimal repro. Deterministic per --seed; \
+             exits 1 when a failure is found.")
+    [ replay_cmd ]
+
 (* --- battery ----------------------------------------------------------- *)
 
 let battery_cmd =
@@ -853,5 +967,6 @@ let () =
        (Cmd.group ~default info
           [
             list_cmd; synth_cmd; check_cmd; sweep_cmd; pareto_cmd; cache_cmd;
-            profile_cmd; trace_cmd; battery_cmd; report_cmd; dot_cmd; rtl_cmd;
+            profile_cmd; trace_cmd; fuzz_cmd; battery_cmd; report_cmd;
+            dot_cmd; rtl_cmd;
           ]))

@@ -83,8 +83,55 @@ let min_cliques g =
   go 0 [] 0;
   Clique.normalise !best_p
 
+(* Like [min_cliques], but each clique is priced by [cost] instead of
+   counting 1. Since [cost] is monotone in clique membership, the partial
+   sum over the cliques built so far never exceeds the final cost, so it
+   prunes like the other objectives' bounds. Cliques carry their own cost to
+   avoid re-pricing untouched cliques on every branch. *)
+let min_area_search ~cost g =
+  let n = Cgraph.vertex_count g in
+  let best_c = ref infinity in
+  let best_p = ref [] in
+  (* [cliques] is a list of (reversed member list, clique cost). *)
+  let rec go v total cliques =
+    if total >= !best_c then ()
+    else if v = n then begin
+      best_c := total;
+      best_p := List.map fst cliques
+    end
+    else begin
+      let rec try_cliques before = function
+        | [] -> ()
+        | ((members, c) as cl) :: after ->
+          (match gain_into g v members with
+          | Some _ -> (
+            match cost (v :: members) with
+            | Some c' ->
+              go (v + 1)
+                (total -. c +. c')
+                (List.rev_append before ((v :: members, c') :: after))
+            | None -> ())
+          | None -> ());
+          try_cliques (cl :: before) after
+      in
+      try_cliques [] cliques;
+      match cost [ v ] with
+      | Some c -> go (v + 1) (total +. c) (([ v ], c) :: cliques)
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Exact.min_area: vertex %d has no host (cost [v] = None)" v)
+    end
+  in
+  go 0 0. [];
+  (Clique.normalise !best_p, !best_c)
+
 let partition ?(max_vertices = 18) ~objective g =
   if Cgraph.vertex_count g > max_vertices then None
   else if Cgraph.vertex_count g = 0 then Some []
   else
     Some (match objective with Max_weight -> max_weight g | Min_cliques -> min_cliques g)
+
+let min_area ?(max_vertices = 18) ~cost g =
+  if Cgraph.vertex_count g > max_vertices then None
+  else if Cgraph.vertex_count g = 0 then Some ([], 0.)
+  else Some (min_area_search ~cost g)

@@ -11,3 +11,26 @@ type objective =
     is exponential. The empty graph yields [Some []]. *)
 val partition :
   ?max_vertices:int -> objective:objective -> Cgraph.t -> Clique.partition option
+
+(** [min_area ~cost g] is the clique partition of [g] minimising the summed
+    per-clique cost — the exact resource-area oracle behind [pchls fuzz]'s
+    differential check against the heuristic engine.
+
+    [cost members] prices hosting the clique [members] on one resource
+    (e.g. the cheapest library module implementing every member's operation
+    kind) and returns [None] when no single resource can host them all.
+    [cost] must be monotone: adding a vertex to a clique never lowers its
+    cost — the branch-and-bound prunes on the partial sum, which is only a
+    valid lower bound under monotonicity.
+
+    Returns [None] above [max_vertices] (default [18], as {!partition});
+    otherwise [Some (partition, total_cost)] with the optimum. The empty
+    graph yields [Some ([], 0.)].
+
+    @raise Invalid_argument when some vertex cannot be placed at all, i.e.
+    [cost [v]] is [None] — no partition exists in that case. *)
+val min_area :
+  ?max_vertices:int ->
+  cost:(int list -> float option) ->
+  Cgraph.t ->
+  (Clique.partition * float) option

@@ -618,6 +618,13 @@ let run ?(cost_model = Cost_model.default) ?(policy = Min_power)
     invalid_arg
       (Printf.sprintf "Engine.run: library covers no module for: %s"
          (String.concat ", " (List.map Op.to_string kinds))));
+  (* Fault injection (Chaos): dropping the limit here poisons every
+     downstream consumer consistently — schedulers, gain tests and final
+     assembly validation all agree the budget is unbounded, so the bug is
+     invisible to self-checks and only a differential oracle catches it. *)
+  let power_limit =
+    if Chaos.armed "no-power-check" then infinity else power_limit
+  in
   Metrics.incr m_runs;
   Trace.span ~cat:"engine" ~args:[ ("graph", Graph.name g) ] "engine.run"
   @@ fun () ->

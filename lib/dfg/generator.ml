@@ -56,3 +56,20 @@ let layered ~seed ~layers ~width ?(mult_ratio = 0.3) ?(io = true) () =
           ignore (Builder.output b (Printf.sprintf "out%d" i) id))
       ops;
   Builder.finish_exn b
+
+(* The shape rng is seeded separately from the layer rng ([layered] re-mixes
+   its own seed with layers/width), so nearby seeds still explore different
+   shapes. [width <= max_nodes / layers] caps the operation count at
+   [max_nodes]. *)
+let sized ~seed ~max_nodes ?io () =
+  if max_nodes < 1 then invalid_arg "Generator.sized: max_nodes < 1";
+  let rng = Random.State.make [| 0x51ED; seed; max_nodes |] in
+  let layers = 1 + Random.State.int rng (min 4 max_nodes) in
+  let width_cap = max 1 (max_nodes / layers) in
+  let width = 1 + Random.State.int rng (min 6 width_cap) in
+  let mult_ratio = 0.1 +. Random.State.float rng 0.5 in
+  let io =
+    match io with Some io -> io | None -> Random.State.bool rng
+  in
+  layered ~seed:(Random.State.int rng 0x3FFFFFFF) ~layers ~width ~mult_ratio
+    ~io ()

@@ -15,3 +15,16 @@
 val layered :
   seed:int -> layers:int -> width:int -> ?mult_ratio:float -> ?io:bool -> unit ->
   Graph.t
+
+(** [sized ~seed ~max_nodes ()] draws a random {e shape} (layer count, layer
+    width, multiplication ratio, and — unless [io] is forced — whether the
+    graph carries Input/Output nodes) and builds the corresponding
+    {!layered} graph. The fuzzer's instance sampler uses it to cover many
+    topologies from a single size knob.
+
+    At most [max_nodes] operation nodes are generated; when I/O is on, the
+    Input/Output nodes come on top (at most one input per first-layer node
+    and one output per sink). Deterministic in [(seed, max_nodes)].
+
+    @raise Invalid_argument if [max_nodes < 1]. *)
+val sized : seed:int -> max_nodes:int -> ?io:bool -> unit -> Graph.t

@@ -1,0 +1,114 @@
+module Graph = Pchls_dfg.Graph
+module Text_format = Pchls_dfg.Text_format
+module Fingerprint = Pchls_cache.Fingerprint
+
+let rec mkdirs path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
+  then begin
+    mkdirs (Filename.dirname path);
+    try Sys.mkdir path 0o755 with Sys_error _ -> ()
+  end
+
+(* Shortest representation that still round-trips exactly. *)
+let float_to_text p =
+  if p = infinity then "inf"
+  else
+    let short = Printf.sprintf "%.12g" p in
+    if float_of_string short = p then short else Printf.sprintf "%.17g" p
+
+let float_of_text s =
+  if s = "inf" then Some infinity
+  else match float_of_string_opt s with Some p when p > 0. -> Some p | _ -> None
+
+(* Details are free-form engine text; headers are line-oriented. *)
+let one_line s =
+  String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) s
+
+let fingerprint inst =
+  Fingerprint.combine
+    [
+      Fingerprint.graph inst.Sampler.graph;
+      Fingerprint.of_string (string_of_int inst.Sampler.time_limit);
+      Fingerprint.of_string (Fingerprint.float_repr inst.Sampler.power_limit);
+    ]
+
+let write ~dir inst failure =
+  let bucket = Oracle.bucket failure in
+  let bucket_dir = Filename.concat dir bucket in
+  mkdirs bucket_dir;
+  let name = String.sub (fingerprint inst) 0 12 ^ ".repro" in
+  let path = Filename.concat bucket_dir name in
+  let oc = open_out path in
+  Printf.fprintf oc "# pchls-fuzz repro v1\n";
+  Printf.fprintf oc "# bucket: %s\n" bucket;
+  Printf.fprintf oc "# oracle: %s\n" failure.Oracle.oracle;
+  Printf.fprintf oc "# code: %s\n" failure.Oracle.code;
+  Printf.fprintf oc "# detail: %s\n" (one_line failure.Oracle.detail);
+  Printf.fprintf oc "# case: %d\n" inst.Sampler.case;
+  Printf.fprintf oc "# time_limit: %d\n" inst.Sampler.time_limit;
+  Printf.fprintf oc "# power_limit: %s\n"
+    (float_to_text inst.Sampler.power_limit);
+  output_string oc (Text_format.to_string inst.Sampler.graph);
+  close_out oc;
+  path
+
+let header_value lines key =
+  let prefix = "# " ^ key ^ ": " in
+  List.find_map
+    (fun line ->
+      if String.length line >= String.length prefix
+         && String.sub line 0 (String.length prefix) = prefix
+      then
+        Some
+          (String.sub line (String.length prefix)
+             (String.length line - String.length prefix))
+      else None)
+    lines
+
+let read path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+    let lines = String.split_on_char '\n' text in
+    let require key =
+      match header_value lines key with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "%s: missing '# %s:' header" path key)
+    in
+    let ( let* ) = Result.bind in
+    let* oracle = require "oracle" in
+    let* code = require "code" in
+    let detail = Option.value ~default:"" (header_value lines "detail") in
+    let* t_text = require "time_limit" in
+    let* p_text = require "power_limit" in
+    let* time_limit =
+      match int_of_string_opt t_text with
+      | Some t when t >= 1 -> Ok t
+      | _ -> Error (Printf.sprintf "%s: bad time_limit %S" path t_text)
+    in
+    let* power_limit =
+      match float_of_text p_text with
+      | Some p -> Ok p
+      | None -> Error (Printf.sprintf "%s: bad power_limit %S" path p_text)
+    in
+    match Text_format.of_string text with
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+    | Ok graph ->
+      Ok
+        ( { Sampler.case = -1; graph; time_limit; power_limit },
+          { Oracle.oracle; code; detail } ))
+
+let files ~dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    Error (Printf.sprintf "corpus directory %s does not exist" dir)
+  else begin
+    let rec walk acc path =
+      if Sys.is_directory path then
+        Array.fold_left
+          (fun acc entry -> walk acc (Filename.concat path entry))
+          acc (Sys.readdir path)
+      else if Filename.check_suffix path ".repro" then path :: acc
+      else acc
+    in
+    Ok (List.sort String.compare (walk [] dir))
+  end

@@ -1,0 +1,33 @@
+(** On-disk corpus of minimized repros.
+
+    Layout: one directory per failure bucket, one [.repro] file per
+    distinct minimized instance:
+
+    {v
+    corpus/
+      power-peak/
+        1a2b3c4d5e6f.repro
+      lint-SCH005/
+        0f9e8d7c6b5a.repro
+    v}
+
+    A repro file is the instance's DFG in {!Pchls_dfg.Text_format} syntax,
+    preceded by [# key: value] header comments carrying the constraints and
+    the failure that produced it — so any repro can also be fed straight to
+    [pchls synth --file]. File names are the first 12 hex digits of the
+    content fingerprint ({!Pchls_cache.Fingerprint}) of (graph, T, P<):
+    re-finding the same minimized instance never duplicates an entry, and
+    names are stable across runs and machines. *)
+
+(** [write ~dir inst failure] persists [inst] under its failure's bucket
+    (creating directories as needed) and returns the file path. *)
+val write : dir:string -> Sampler.instance -> Oracle.failure -> string
+
+(** [read path] parses a repro file back into the instance (with
+    [case = -1]) and the recorded failure. *)
+val read : string -> (Sampler.instance * Oracle.failure, string) result
+
+(** [files ~dir] lists every [.repro] file under [dir] (recursively),
+    sorted by path for deterministic replay order. [Error] when [dir] does
+    not exist. *)
+val files : dir:string -> (string list, string) result

@@ -1,0 +1,254 @@
+module Graph = Pchls_dfg.Graph
+module Builder = Pchls_dfg.Builder
+module Library = Pchls_fulib.Library
+module Pool = Pchls_par.Pool
+module Trace = Pchls_obs.Trace
+module Metrics = Pchls_obs.Metrics
+
+type config = {
+  runs : int;
+  seed : int;
+  jobs : int;
+  max_nodes : int;
+  exact_max_vertices : int;
+  library : Library.t;
+  corpus : string option;
+}
+
+let default_config =
+  {
+    runs = 100;
+    seed = 0;
+    jobs = 1;
+    max_nodes = 10;
+    exact_max_vertices = 12;
+    library = Library.default;
+    corpus = None;
+  }
+
+type finding = {
+  case : int;
+  original : Sampler.instance;
+  shrunk : Sampler.instance;
+  failure : Oracle.failure;
+  bucket : string;
+  path : string option;
+}
+
+type summary = {
+  runs : int;
+  feasible : int;
+  infeasible : int;
+  exact_checked : int;
+  exact_skipped : int;
+  findings : finding list;
+}
+
+let m_cases = Metrics.counter "fuzz.cases"
+let m_feasible = Metrics.counter "fuzz.feasible"
+let m_infeasible = Metrics.counter "fuzz.infeasible"
+let m_failures = Metrics.counter "fuzz.failures"
+let m_exact_skips = Metrics.counter "fuzz.exact_skips"
+let m_case_ns = Metrics.histogram ~buckets:Metrics.ns_buckets "fuzz.case_ns"
+
+(* The generator only emits these kinds; a library that cannot host them
+   would turn every case into a spurious crash finding, so refuse upfront. *)
+let coverage_probe =
+  let b = Builder.create "coverage_probe" in
+  let x = Builder.input b "x" in
+  let y = Builder.input b "y" in
+  let s = Builder.add b "s" x y in
+  let d = Builder.sub b "d" x y in
+  let m = Builder.mult b "m" s d in
+  let c = Builder.comp b "c" m s in
+  let _ = Builder.output b "out" c in
+  Builder.finish_exn b
+
+type case_outcome = {
+  o_case : int;
+  verdict : Oracle.verdict;
+  (* (original, (shrunk, shrunk's failure)) when the case failed *)
+  minimized : (Sampler.instance * (Sampler.instance * Oracle.failure)) option;
+}
+
+let check_case config case =
+  Metrics.time m_case_ns @@ fun () ->
+  Trace.span ~cat:"fuzz"
+    ~args:(if Trace.enabled () then [ ("case", string_of_int case) ] else [])
+    "fuzz.case"
+  @@ fun () ->
+  Metrics.incr m_cases;
+  let inst =
+    Sampler.sample ~library:config.library ~seed:config.seed ~case
+      ~max_nodes:config.max_nodes ()
+  in
+  let check i =
+    Oracle.check ~exact_max_vertices:config.exact_max_vertices
+      ~library:config.library i
+  in
+  match check inst with
+  | Oracle.Pass { feasible; exact } as verdict ->
+    Metrics.incr (if feasible then m_feasible else m_infeasible);
+    if exact = Oracle.Skipped then Metrics.incr m_exact_skips;
+    { o_case = case; verdict; minimized = None }
+  | Oracle.Fail failure as verdict ->
+    Metrics.incr m_failures;
+    let bucket = Oracle.bucket failure in
+    let predicate i =
+      match check i with Oracle.Fail f -> Some f | Oracle.Pass _ -> None
+    in
+    Trace.instant ~cat:"fuzz" ~args:[ ("bucket", bucket) ] "fuzz.failure";
+    let minimized = Shrink.minimize ~predicate ~bucket inst in
+    { o_case = case; verdict; minimized = Some (inst, minimized) }
+
+let run (config : config) =
+  if config.runs < 1 then Error "fuzz: runs must be >= 1"
+  else if config.jobs < 1 then Error "fuzz: jobs must be >= 1"
+  else
+    match Library.covers config.library coverage_probe with
+    | Error kinds ->
+      Error
+        (Printf.sprintf "fuzz: library covers no module for: %s"
+           (String.concat ", " (List.map Pchls_dfg.Op.to_string kinds)))
+    | Ok () ->
+      let outcomes =
+        Trace.span ~cat:"fuzz" "fuzz.campaign" @@ fun () ->
+        Pool.with_pool ~jobs:config.jobs (fun pool ->
+            Pool.map pool (check_case config) (List.init config.runs Fun.id))
+      in
+      let summary =
+        List.fold_left
+          (fun acc o ->
+            match o.verdict with
+            | Oracle.Pass { feasible; exact } ->
+              {
+                acc with
+                feasible = (acc.feasible + if feasible then 1 else 0);
+                infeasible = (acc.infeasible + if feasible then 0 else 1);
+                exact_checked =
+                  (acc.exact_checked
+                  + match exact with Oracle.Checked -> 1 | _ -> 0);
+                exact_skipped =
+                  (acc.exact_skipped
+                  + match exact with Oracle.Skipped -> 1 | _ -> 0);
+              }
+            | Oracle.Fail _ ->
+              let original, (shrunk, failure) =
+                match o.minimized with
+                | Some (original, m) -> (original, m)
+                | None -> assert false
+              in
+              let bucket = Oracle.bucket failure in
+              (* Exact-oracle skips are re-counted from the shrink side as
+                 passes; a failing case contributes to no pass counter. *)
+              let path =
+                Option.map
+                  (fun dir -> Corpus.write ~dir shrunk failure)
+                  config.corpus
+              in
+              {
+                acc with
+                findings =
+                  { case = o.o_case; original; shrunk; failure; bucket; path }
+                  :: acc.findings;
+              })
+          {
+            runs = config.runs;
+            feasible = 0;
+            infeasible = 0;
+            exact_checked = 0;
+            exact_skipped = 0;
+            findings = [];
+          }
+          outcomes
+      in
+      Ok { summary with findings = List.rev summary.findings }
+
+let render_summary s =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "fuzz: %d runs: %d feasible, %d infeasible, %d exact-checked, %d \
+        exact-skipped, %d failures\n"
+       s.runs s.feasible s.infeasible s.exact_checked s.exact_skipped
+       (List.length s.findings));
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "FAIL case %d [%s]: %s\n" f.case f.bucket
+           f.failure.Oracle.detail);
+      Buffer.add_string buf
+        (Format.asprintf "  original: %a\n" Sampler.pp f.original);
+      Buffer.add_string buf
+        (Format.asprintf "  shrunk:   %a\n" Sampler.pp f.shrunk);
+      match f.path with
+      | Some path -> Buffer.add_string buf ("  repro: " ^ path ^ "\n")
+      | None -> ())
+    s.findings;
+  Buffer.contents buf
+
+type replay_result = {
+  path : string;
+  outcome : [ `Fixed | `Still_failing of Oracle.failure | `Unreadable of string ];
+}
+
+type replay_summary = {
+  total : int;
+  still_failing : int;
+  unreadable : int;
+  results : replay_result list;
+}
+
+let replay ?(exact_max_vertices = 12) ~library ~corpus () =
+  match Corpus.files ~dir:corpus with
+  | Error _ as e -> e |> Result.map_error Fun.id
+  | Ok paths ->
+    let results =
+      List.map
+        (fun path ->
+          match Corpus.read path with
+          | Error msg -> { path; outcome = `Unreadable msg }
+          | Ok (inst, _recorded) -> (
+            match Oracle.check ~exact_max_vertices ~library inst with
+            | Oracle.Pass _ -> { path; outcome = `Fixed }
+            | Oracle.Fail f -> { path; outcome = `Still_failing f }))
+        paths
+    in
+    Ok
+      {
+        total = List.length results;
+        still_failing =
+          List.length
+            (List.filter
+               (fun r ->
+                 match r.outcome with `Still_failing _ -> true | _ -> false)
+               results);
+        unreadable =
+          List.length
+            (List.filter
+               (fun r ->
+                 match r.outcome with `Unreadable _ -> true | _ -> false)
+               results);
+        results;
+      }
+
+let render_replay s =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun r ->
+      match r.outcome with
+      | `Fixed -> Buffer.add_string buf (Printf.sprintf "PASS %s\n" r.path)
+      | `Still_failing f ->
+        Buffer.add_string buf
+          (Printf.sprintf "FAIL %s: %s\n" r.path f.Oracle.detail)
+      | `Unreadable msg ->
+        Buffer.add_string buf (Printf.sprintf "ERROR %s: %s\n" r.path msg))
+    s.results;
+  Buffer.add_string buf
+    (Printf.sprintf "replay: %d repros, %d fixed, %d still failing%s\n"
+       s.total
+       (s.total - s.still_failing - s.unreadable)
+       s.still_failing
+       (if s.unreadable > 0 then Printf.sprintf ", %d unreadable" s.unreadable
+        else ""));
+  Buffer.contents buf

@@ -1,0 +1,79 @@
+(** The fuzzing campaign driver behind [pchls fuzz].
+
+    A campaign is [runs] independent cases. Case [i] samples an instance
+    ({!Sampler.sample}, deterministic in [(seed, i)]), checks it against
+    every oracle ({!Oracle.check}), and on failure minimizes it
+    ({!Shrink.minimize}) and persists the repro ({!Corpus.write}). Cases
+    run in parallel on a {!Pchls_par.Pool} — every step is a pure function
+    of the case index, so the campaign's result and rendering are
+    byte-identical whatever [jobs] is.
+
+    Observability: each case runs under a ["fuzz.case"] trace span, and the
+    campaign feeds the [fuzz.cases], [fuzz.feasible], [fuzz.infeasible],
+    [fuzz.failures] and [fuzz.exact_skips] counters plus the
+    [fuzz.case_ns] histogram in {!Pchls_obs.Metrics}. *)
+
+type config = {
+  runs : int;  (** cases to execute, >= 1 *)
+  seed : int;  (** campaign seed; same seed = same campaign *)
+  jobs : int;  (** worker domains, >= 1 *)
+  max_nodes : int;  (** sampler size cap, see {!Sampler.sample} *)
+  exact_max_vertices : int;  (** exact-oracle cutoff, see {!Oracle.check} *)
+  library : Pchls_fulib.Library.t;
+  corpus : string option;  (** where to persist minimized repros *)
+}
+
+(** [runs = 100], [seed = 0], [jobs = 1], [max_nodes = 10],
+    [exact_max_vertices = 12], the paper's library, no corpus. *)
+val default_config : config
+
+type finding = {
+  case : int;
+  original : Sampler.instance;
+  shrunk : Sampler.instance;
+  failure : Oracle.failure;  (** the shrunk instance's failure *)
+  bucket : string;
+  path : string option;  (** corpus file, when a corpus dir was given *)
+}
+
+type summary = {
+  runs : int;
+  feasible : int;
+  infeasible : int;
+  exact_checked : int;
+  exact_skipped : int;  (** instances above the exact-oracle cutoff *)
+  findings : finding list;  (** in case order *)
+}
+
+(** [run config] executes the campaign. [Error] on an unusable config
+    (e.g. a library that does not cover the generator's operation kinds)
+    without running anything. *)
+val run : config -> (summary, string) result
+
+(** Deterministic multi-line report: one summary line, then one block per
+    finding. Exactly the [pchls fuzz] output. *)
+val render_summary : summary -> string
+
+type replay_result = {
+  path : string;
+  outcome : [ `Fixed | `Still_failing of Oracle.failure | `Unreadable of string ];
+}
+
+type replay_summary = {
+  total : int;
+  still_failing : int;
+  unreadable : int;
+  results : replay_result list;  (** in path order *)
+}
+
+(** [replay ~library ~corpus] re-checks every corpus repro against the
+    current engine — the corpus regression gate: a repro that fails again
+    means a fixed bug came back. [Error] when [corpus] does not exist. *)
+val replay :
+  ?exact_max_vertices:int ->
+  library:Pchls_fulib.Library.t ->
+  corpus:string ->
+  unit ->
+  (replay_summary, string) result
+
+val render_replay : replay_summary -> string

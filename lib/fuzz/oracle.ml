@@ -1,0 +1,138 @@
+module Graph = Pchls_dfg.Graph
+module Op = Pchls_dfg.Op
+module Library = Pchls_fulib.Library
+module Module_spec = Pchls_fulib.Module_spec
+module Schedule = Pchls_sched.Schedule
+module Profile = Pchls_power.Profile
+module Cgraph = Pchls_compat.Cgraph
+module Exact = Pchls_compat.Exact
+module Engine = Pchls_core.Engine
+module Design = Pchls_core.Design
+module Analysis = Pchls_analysis.Analysis
+module Diag = Pchls_diag.Diag
+
+type exact_status = Checked | Skipped | Not_run
+
+type failure = { oracle : string; code : string; detail : string }
+
+type verdict = Pass of { feasible : bool; exact : exact_status } | Fail of failure
+
+let bucket f =
+  let sanitize s =
+    String.map
+      (fun c ->
+        match c with
+        | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | '-' -> c
+        | _ -> '_')
+      s
+  in
+  sanitize f.oracle ^ "-" ^ sanitize f.code
+
+let exact_fu_floor ?(max_vertices = 12) ~library d =
+  let g = Design.graph d in
+  let ids = Array.of_list (Graph.node_ids g) in
+  let n = Array.length ids in
+  if n > max_vertices then None
+  else begin
+    let sched = Design.schedule d in
+    let interval i =
+      let id = ids.(i) in
+      let s = Schedule.start sched id in
+      (s, s + (Design.info d id).Schedule.latency)
+    in
+    let kind i = Graph.kind g ids.(i) in
+    let specs = Library.to_list library in
+    let cg = Cgraph.create ~n in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        let su, eu = interval u and sv, ev = interval v in
+        let disjoint = eu <= sv || ev <= su in
+        let shareable =
+          List.exists
+            (fun m ->
+              Module_spec.implements m (kind u)
+              && Module_spec.implements m (kind v))
+            specs
+        in
+        if disjoint && shareable then Cgraph.add_edge cg u v 1.0
+      done
+    done;
+    let cost members =
+      let kinds = List.sort_uniq Op.compare (List.map kind members) in
+      let area =
+        List.fold_left
+          (fun acc m ->
+            if List.for_all (Module_spec.implements m) kinds then
+              Float.min acc m.Module_spec.area
+            else acc)
+          infinity specs
+      in
+      if Float.is_finite area then Some area else None
+    in
+    Option.map snd (Exact.min_area ~max_vertices ~cost cg)
+  end
+
+(* [eps] headroom on float comparisons so the oracle never flags
+   accumulated rounding as a violation. *)
+let area_eps = 1e-6
+
+let check ?(exact_max_vertices = 12) ~library inst =
+  let { Sampler.graph; time_limit; power_limit; _ } = inst in
+  match
+    Engine.run ~library ~time_limit ~power_limit graph
+  with
+  | exception e ->
+    let code =
+      String.map (fun c -> if c = '.' then '_' else c) (Printexc.exn_slot_name e)
+    in
+    Fail { oracle = "crash"; code; detail = Printexc.to_string e }
+  | Engine.Infeasible _ -> Pass { feasible = false; exact = Not_run }
+  | Engine.Synthesized (d, _) -> (
+    let ds = Analysis.run_all ~library d in
+    match List.filter (fun d -> d.Diag.severity = Diag.Error) ds with
+    | first :: _ ->
+      Fail
+        {
+          oracle = "lint";
+          code = first.Diag.code;
+          detail = Diag.to_string first;
+        }
+    | [] ->
+      let makespan = Design.makespan d in
+      if makespan > time_limit then
+        Fail
+          {
+            oracle = "latency";
+            code = "makespan";
+            detail =
+              Printf.sprintf "makespan %d exceeds requested T=%d" makespan
+                time_limit;
+          }
+      else
+        let peak = Profile.peak (Design.profile d) in
+        if peak > power_limit +. Profile.eps then
+          Fail
+            {
+              oracle = "power";
+              code = "peak";
+              detail =
+                Printf.sprintf "peak power %g exceeds requested P<=%g" peak
+                  power_limit;
+            }
+        else
+          (match exact_fu_floor ~max_vertices:exact_max_vertices ~library d with
+          | None -> Pass { feasible = true; exact = Skipped }
+          | Some floor ->
+            let fu = (Design.area d).Design.fu in
+            if fu < floor -. area_eps then
+              Fail
+                {
+                  oracle = "exact";
+                  code = "fu_area";
+                  detail =
+                    Printf.sprintf
+                      "FU area %g beats the exact optimum %g — sharing is \
+                       mis-counted"
+                      fu floor;
+                }
+            else Pass { feasible = true; exact = Checked }))

@@ -1,0 +1,88 @@
+module Graph = Pchls_dfg.Graph
+module Generator = Pchls_dfg.Generator
+module Library = Pchls_fulib.Library
+module Module_spec = Pchls_fulib.Module_spec
+module Schedule = Pchls_sched.Schedule
+module Asap = Pchls_sched.Asap
+module Profile = Pchls_power.Profile
+
+type instance = {
+  case : int;
+  graph : Graph.t;
+  time_limit : int;
+  power_limit : float;
+}
+
+let equal a b =
+  Graph.name a.graph = Graph.name b.graph
+  && Graph.nodes a.graph = Graph.nodes b.graph
+  && Graph.edges a.graph = Graph.edges b.graph
+  && a.time_limit = b.time_limit
+  && a.power_limit = b.power_limit
+
+let pp ppf i =
+  Format.fprintf ppf "%d nodes, %d edges, T=%d, P<=%g"
+    (Graph.node_count i.graph) (Graph.edge_count i.graph) i.time_limit
+    i.power_limit
+
+let min_over_candidates ~library ~f k =
+  match Library.candidates library k with
+  | [] -> invalid_arg "Sampler: library does not cover a generated kind"
+  | ms -> List.fold_left (fun acc m -> Float.min acc (f m)) infinity ms
+
+let round1 x = Float.max 0.1 (Float.round (x *. 10.) /. 10.)
+
+let sample ~library ~seed ~case ?(max_nodes = 10) () =
+  let rng = Random.State.make [| 0xFA22; seed; case |] in
+  let graph =
+    Generator.sized ~seed:(Random.State.int rng 0x3FFFFFFF) ~max_nodes ()
+  in
+  let min_latency id =
+    int_of_float
+      (min_over_candidates ~library
+         ~f:(fun m -> float_of_int m.Module_spec.latency)
+         (Graph.kind graph id))
+  in
+  let min_power_info id =
+    match Library.min_power library (Graph.kind graph id) with
+    | Some m ->
+      { Schedule.latency = m.Module_spec.latency; power = m.Module_spec.power }
+    | None -> invalid_arg "Sampler: library does not cover a generated kind"
+  in
+  (* Feasibility landmarks: the min-latency critical path bounds T from
+     below; the unconstrained min-power ASAP peak is the power level above
+     which P< stops binding; the largest per-operation power floor is the
+     level below which some operation cannot run at all. *)
+  let cp = Graph.critical_path graph ~latency:min_latency in
+  let asap = Asap.run graph ~info:min_power_info in
+  let horizon = Schedule.makespan asap ~info:min_power_info in
+  let peak =
+    Profile.peak (Schedule.profile asap ~info:min_power_info ~horizon)
+  in
+  let power_floor =
+    List.fold_left
+      (fun acc id ->
+        Float.max acc
+          (min_over_candidates ~library
+             ~f:(fun m -> m.Module_spec.power)
+             (Graph.kind graph id)))
+      0. (Graph.node_ids graph)
+  in
+  let time_limit =
+    let r = Random.State.float rng 1.0 in
+    if r < 0.2 then max 1 (cp - 1 - Random.State.int rng 2)
+    else if r < 0.7 then cp + Random.State.int rng 3
+    else cp + 1 + Random.State.int rng (cp + 5)
+  in
+  let power_limit =
+    let r = Random.State.float rng 1.0 in
+    if r < 0.15 then infinity
+    else if r < 0.35 then
+      round1 (power_floor *. (0.3 +. Random.State.float rng 0.65))
+    else if r < 0.8 then
+      round1
+        (power_floor
+        +. Random.State.float rng (Float.max 0.5 (peak -. power_floor)))
+    else round1 (peak *. (1.0 +. Random.State.float rng 1.0))
+  in
+  { case; graph; time_limit; power_limit }

@@ -1,0 +1,44 @@
+(** Deterministic sampling of synthesis instances for the differential
+    fuzzer: a random DFG plus a (T, P<) constraint pair drawn to sit near
+    the feasibility boundary, where the engine's backtracking heuristics
+    actually fire.
+
+    Everything is a pure function of [(seed, case)] — re-running a campaign
+    with the same seed replays the exact same instances, whatever the
+    worker-pool parallelism. *)
+
+type instance = {
+  case : int;  (** index within the campaign; [-1] for corpus repros *)
+  graph : Pchls_dfg.Graph.t;
+  time_limit : int;  (** >= 1 *)
+  power_limit : float;  (** > 0; [infinity] = unconstrained *)
+}
+
+(** Structural equality: graph name, nodes, edges, and both constraints. *)
+val equal : instance -> instance -> bool
+
+(** ["14 nodes, 18 edges, T=9, P<=10.5"] *)
+val pp : Format.formatter -> instance -> unit
+
+(** [sample ~library ~seed ~case ()] draws the [case]-th instance of the
+    campaign [seed]. The DFG comes from {!Pchls_dfg.Generator.sized} (at
+    most [max_nodes] operation nodes, default [10], plus I/O nodes when the
+    drawn shape has them). The constraint sampler computes the graph's
+    min-latency critical path [cp] and the peak of an unconstrained
+    min-power ASAP schedule, then draws:
+
+    - [T]: below [cp] (likely infeasible), in [cp, cp+2] (tight), or loose;
+    - [P<]: [infinity], below the largest per-operation power floor (likely
+      infeasible), inside the tight [floor, peak] band, or above [peak].
+
+    Finite power limits are rounded to one decimal so repro files stay
+    readable. [library] supplies the module characteristics the boundary
+    estimates are computed from — use the same library the engine will be
+    run with. *)
+val sample :
+  library:Pchls_fulib.Library.t ->
+  seed:int ->
+  case:int ->
+  ?max_nodes:int ->
+  unit ->
+  instance

@@ -1,0 +1,89 @@
+Differential fuzzing: a clean engine yields a clean, deterministic
+campaign. `--jobs 1` pins the worker count so the run is cheap; the
+report is jobs-invariant anyway.
+
+  $ pchls fuzz --runs 25 --seed 42 --jobs 1
+  # seed=42 runs=25 max-nodes=10 exact-max-vertices=12
+  fuzz: 25 runs: 6 feasible, 19 infeasible, 6 exact-checked, 0 exact-skipped, 0 failures
+
+  $ pchls fuzz --runs 25 --seed 42 --jobs 1 > first.out
+  $ pchls fuzz --runs 25 --seed 42 --jobs 4 > second.out
+  $ cmp first.out second.out
+
+Shrinking the exact-oracle budget to zero skips every exact check and
+says so:
+
+  $ pchls fuzz --runs 25 --seed 42 --jobs 1 --exact-max-vertices 0
+  # seed=42 runs=25 max-nodes=10 exact-max-vertices=0
+  fuzz: 25 runs: 6 feasible, 19 infeasible, 0 exact-checked, 6 exact-skipped, 0 failures
+
+A seeded engine fault (the power check disabled via PCHLS_CHAOS) is
+caught by the differential power oracle, minimized, and persisted to
+the corpus; the campaign exits 1:
+
+  $ PCHLS_CHAOS=no-power-check pchls fuzz --runs 12 --seed 42 --jobs 1 --corpus corpus
+  # seed=42 runs=12 max-nodes=10 exact-max-vertices=12
+  fuzz: 12 runs: 2 feasible, 4 infeasible, 2 exact-checked, 0 exact-skipped, 6 failures
+  FAIL case 2 [power-peak]: peak power 2.5 exceeds requested P<=1.8
+    original: 1 nodes, 0 edges, T=2, P<=1.8
+    shrunk:   1 nodes, 0 edges, T=64, P<=1.8
+    repro: corpus/power-peak/959b9773e96a.repro
+  FAIL case 4 [power-peak]: peak power 2.5 exceeds requested P<=2.4
+    original: 7 nodes, 5 edges, T=6, P<=2.4
+    shrunk:   1 nodes, 0 edges, T=96, P<=2.4
+    repro: corpus/power-peak/41f94fa00446.repro
+  FAIL case 6 [power-peak]: peak power 2.5 exceeds requested P<=1.2
+    original: 5 nodes, 0 edges, T=3, P<=1.2
+    shrunk:   1 nodes, 0 edges, T=96, P<=1.2
+    repro: corpus/power-peak/62caa8cb8808.repro
+  FAIL case 8 [power-peak]: peak power 5.4 exceeds requested P<=3.3
+    original: 10 nodes, 9 edges, T=6, P<=3.3
+    shrunk:   2 nodes, 0 edges, T=6, P<=3.3
+    repro: corpus/power-peak/4b5bbbed53a7.repro
+  FAIL case 10 [power-peak]: peak power 8.1 exceeds requested P<=7.7
+    original: 18 nodes, 16 edges, T=7, P<=7.7
+    shrunk:   2 nodes, 1 edges, T=7, P<=7.7
+    repro: corpus/power-peak/fd4f2c750346.repro
+  FAIL case 11 [power-peak]: peak power 2.5 exceeds requested P<=1.6
+    original: 9 nodes, 6 edges, T=4, P<=1.6
+    shrunk:   1 nodes, 0 edges, T=64, P<=1.6
+    repro: corpus/power-peak/f5082b51ac28.repro
+  [1]
+
+With the fault gone, every stored repro passes again:
+
+  $ pchls fuzz replay --corpus corpus
+  PASS corpus/power-peak/41f94fa00446.repro
+  PASS corpus/power-peak/4b5bbbed53a7.repro
+  PASS corpus/power-peak/62caa8cb8808.repro
+  PASS corpus/power-peak/959b9773e96a.repro
+  PASS corpus/power-peak/f5082b51ac28.repro
+  PASS corpus/power-peak/fd4f2c750346.repro
+  replay: 6 repros, 6 fixed, 0 still failing
+
+With the fault still armed, replay keeps failing and exits 1:
+
+  $ PCHLS_CHAOS=no-power-check pchls fuzz replay --corpus corpus
+  FAIL corpus/power-peak/41f94fa00446.repro: peak power 2.5 exceeds requested P<=2.4
+  FAIL corpus/power-peak/4b5bbbed53a7.repro: peak power 5.4 exceeds requested P<=3.3
+  FAIL corpus/power-peak/62caa8cb8808.repro: peak power 2.5 exceeds requested P<=1.2
+  FAIL corpus/power-peak/959b9773e96a.repro: peak power 2.5 exceeds requested P<=1.8
+  FAIL corpus/power-peak/f5082b51ac28.repro: peak power 2.5 exceeds requested P<=1.6
+  FAIL corpus/power-peak/fd4f2c750346.repro: peak power 8.1 exceeds requested P<=7.7
+  replay: 6 repros, 0 fixed, 6 still failing
+  [1]
+
+A repro file is a plain text-format DFG with `# key: value` headers, so
+`pchls synth --file` can consume it directly:
+
+  $ head -n 4 corpus/power-peak/*.repro | head -n 4
+  ==> corpus/power-peak/41f94fa00446.repro <==
+  # pchls-fuzz repro v1
+  # bucket: power-peak
+  # oracle: power
+
+A missing corpus directory is a usage error (exit 2):
+
+  $ pchls fuzz replay --corpus no-such-dir
+  replay: corpus directory no-such-dir does not exist
+  [2]

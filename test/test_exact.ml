@@ -102,9 +102,96 @@ let test_min_cliques_dominates_greedy () =
       (List.length exact <= List.length greedy)
   done
 
+(* --- min_area ----------------------------------------------------------- *)
+
+(* Unit cost per clique reduces min_area to min_cliques. *)
+let unit_cost _members = Some 1.
+
+let test_min_area_empty () =
+  let g = Cgraph.create ~n:0 in
+  match Exact.min_area ~cost:unit_cost g with
+  | Some ([], 0.) -> ()
+  | _ -> Alcotest.fail "empty graph should cost 0"
+
+let test_min_area_size_guard () =
+  let g = Cgraph.create ~n:25 in
+  Alcotest.(check bool) "too large" true
+    (Exact.min_area ~cost:unit_cost g = None);
+  Alcotest.(check bool) "explicit cap" true
+    (Exact.min_area ~max_vertices:30 ~cost:unit_cost g <> None)
+
+let test_min_area_matches_min_cliques () =
+  let rng = Random.State.make [| 13 |] in
+  for _trial = 1 to 25 do
+    let n = 3 + Random.State.int rng 6 in
+    let g = Cgraph.create ~n in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        if Random.State.int rng 3 > 0 then Cgraph.add_edge g u v 0.
+      done
+    done;
+    let exact = some (Exact.partition ~objective:Exact.Min_cliques g) in
+    match Exact.min_area ~cost:unit_cost g with
+    | None -> Alcotest.fail "min_area returned None below the cap"
+    | Some (p, cost) ->
+      Alcotest.(check bool) "valid" true (Clique.is_valid g p);
+      Alcotest.(check (float 1e-9))
+        "cost = clique count" (float_of_int (List.length exact)) cost
+  done
+
+let test_min_area_infeasible_clique () =
+  (* 0-1 compatible, but no single host can take both: the pair clique is
+     priced None, so the optimum is two singletons. *)
+  let g = Cgraph.create ~n:2 in
+  Cgraph.add_edge g 0 1 1.;
+  let cost = function
+    | [ _ ] -> Some 3.
+    | _ -> None
+  in
+  match Exact.min_area ~cost g with
+  | Some (p, c) ->
+    Alcotest.check partition_t "singletons" [ [ 0 ]; [ 1 ] ] p;
+    Alcotest.(check (float 1e-9)) "cost 6" 6. c
+  | None -> Alcotest.fail "expected a partition"
+
+let test_min_area_prefers_cheap_merge () =
+  (* Merging 0,1 onto one 5.0-host beats two 3.0-singletons; vertex 2 is
+     incompatible and stays alone. *)
+  let g = Cgraph.create ~n:3 in
+  Cgraph.add_edge g 0 1 1.;
+  let cost = function
+    | [ _ ] -> Some 3.
+    | [ _; _ ] -> Some 5.
+    | _ -> None
+  in
+  match Exact.min_area ~cost g with
+  | Some (p, c) ->
+    Alcotest.check partition_t "merge 0,1" [ [ 0; 1 ]; [ 2 ] ] p;
+    Alcotest.(check (float 1e-9)) "cost 8" 8. c
+  | None -> Alcotest.fail "expected a partition"
+
+let test_min_area_unhostable_vertex () =
+  let g = Cgraph.create ~n:1 in
+  Alcotest.check_raises "no host"
+    (Invalid_argument "Exact.min_area: vertex 0 has no host (cost [v] = None)")
+    (fun () -> ignore (Exact.min_area ~cost:(fun _ -> None) g))
+
 let () =
   Alcotest.run "exact"
     [
+      ( "min_area",
+        [
+          Alcotest.test_case "empty" `Quick test_min_area_empty;
+          Alcotest.test_case "size guard" `Quick test_min_area_size_guard;
+          Alcotest.test_case "unit cost = min cliques" `Quick
+            test_min_area_matches_min_cliques;
+          Alcotest.test_case "unpriceable clique splits" `Quick
+            test_min_area_infeasible_clique;
+          Alcotest.test_case "cheap merge wins" `Quick
+            test_min_area_prefers_cheap_merge;
+          Alcotest.test_case "unhostable vertex raises" `Quick
+            test_min_area_unhostable_vertex;
+        ] );
       ( "exact",
         [
           Alcotest.test_case "empty" `Quick test_empty;
