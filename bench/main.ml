@@ -68,7 +68,7 @@ let write_grid_records path =
     let cache =
       match r.cache_stats with
       | None -> "null"
-      | Some { Store.hits; misses; stores; memory_hits; disk_hits } ->
+      | Some { Store.hits; misses; stores; memory_hits; disk_hits; _ } ->
         Printf.sprintf
           "{\"hits\": %d, \"misses\": %d, \"stores\": %d, \"memory_hits\": \
            %d, \"disk_hits\": %d}"
@@ -177,7 +177,8 @@ let figure2 () =
               (fun pt ->
                 match pt.Explore.result with
                 | Explore.Feasible { area; _ } -> Format.printf "%7.0f" area
-                | Explore.Infeasible _ -> Format.printf "%7s" "-")
+                | Explore.Infeasible _ -> Format.printf "%7s" "-"
+                | Explore.Failed _ -> Format.printf "%7s" "!")
               (Explore.sweep ~jobs ~library:Library.default g ~times:[ t ]
                  ~powers:figure2_powers);
             Format.printf "@.")
@@ -560,7 +561,8 @@ let point_signature pt =
     | Explore.Feasible { area; peak; design } ->
       Printf.sprintf "area=%h peak=%h makespan=%d" area peak
         (Design.makespan design)
-    | Explore.Infeasible reason -> "infeasible: " ^ reason)
+    | Explore.Infeasible reason -> "infeasible: " ^ reason
+    | Explore.Failed reason -> "failed: " ^ reason)
 
 (* The parallel leg uses recommended_domain_count: more domains than cores
    makes OCaml 5 minor-GC synchronization dominate, so oversubscribing
@@ -608,6 +610,8 @@ let sweep_bench () =
       stores = warm.Store.stores - cold.Store.stores;
       memory_hits = warm.Store.memory_hits - cold.Store.memory_hits;
       disk_hits = warm.Store.disk_hits - cold.Store.disk_hits;
+      corrupt = warm.Store.corrupt - cold.Store.corrupt;
+      degraded = warm.Store.degraded;
     }
   in
   record ~section:"sweep-cache-warm" ~cache_stats:warm_only ~wall_s:t_warm

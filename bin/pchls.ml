@@ -21,6 +21,7 @@ module Store = Pchls_cache.Store
 module Trace = Pchls_obs.Trace
 module Metrics = Pchls_obs.Metrics
 module Style = Pchls_obs.Style
+module Budget = Pchls_resil.Budget
 
 open Cmdliner
 
@@ -215,6 +216,53 @@ let with_obs ~trace ~metrics f =
 let err_infeasible name reason =
   Format.eprintf "%s: %s: %s@." name (Style.red "infeasible") reason
 
+(* --- budget options (deadline + iteration cap) -------------------------- *)
+
+let deadline_ms_opt =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:"Wall-clock budget in milliseconds. When it expires the run \
+              stops at the next safe point and reports the best partial \
+              (anytime) result found so far, exiting 3 instead of hanging.")
+
+let max_iters_opt =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-iters" ] ~docv:"N"
+        ~doc:"Engine iteration budget (move-and-commit steps). Like \
+              $(b,--deadline-ms), expiry yields a partial result and exit \
+              code 3.")
+
+let the_budget deadline_ms max_iters =
+  match (deadline_ms, max_iters) with
+  | None, None -> None
+  | _ -> Some (Budget.make ?deadline_ms ?max_iters ())
+
+(* Budgeted commands end through here: an exhausted budget downgrades the
+   run to a partial (anytime) result, reported with exit code 3 so scripts
+   can tell "finished" from "ran out of budget". Usage/internal errors (2)
+   stay errors. *)
+let finish ?budget code =
+  match budget with
+  | Some b when code <> 2 -> (
+    match Budget.check b with
+    | Some reason ->
+      Format.printf "# deadline: partial results (%s)@."
+        (Budget.reason_to_string reason);
+      3
+    | None -> code)
+  | _ -> code
+
+let budget_exits =
+  Cmd.Exit.info 1 ~doc:"on an infeasible instance or a failing check."
+  :: Cmd.Exit.info 3
+       ~doc:"when the $(b,--deadline-ms) / $(b,--max-iters) budget expired \
+             and only a partial (anytime) result was reported."
+  :: Cmd.Exit.defaults
+
 (* --- exploration options (pool + cache) -------------------------------- *)
 
 let jobs_opt =
@@ -259,10 +307,10 @@ let print_cache_line ~jobs = function
     Format.printf "# jobs=%d cache: %a@." jobs Store.pp_stats
       (Store.stats store)
 
-let synthesize ?library ?self_check (name, g) t p pol reg mux =
+let synthesize ?library ?self_check ?deadline (name, g) t p pol reg mux =
   match
     Engine.run ~cost_model:(cost_model reg mux) ~policy:pol ?self_check
-      ~library:(the_library library) ~time_limit:t ~power_limit:p g
+      ?deadline ~library:(the_library library) ~time_limit:t ~power_limit:p g
   with
   | Engine.Synthesized (d, stats) -> Ok (name, d, stats)
   | Engine.Infeasible { reason } -> Error (name, reason)
@@ -316,15 +364,16 @@ let self_check_flag =
 
 let synth_cmd =
   let run bench t p pol reg mux library gantt tighten rebind self_check
-      cache_dir no_cache trace metrics =
+      cache_dir no_cache deadline_ms max_iters trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     let cache = synth_store no_cache cache_dir in
+    let budget = the_budget deadline_ms max_iters in
     let outcome =
       if tighten then
         match
           Explore.tighten ~cost_model:(cost_model reg mux) ~policy:pol ?cache
-            ~library:(the_library library) (snd bench) ~time_limit:t
-            ~power_limit:p
+            ?deadline:budget ~library:(the_library library) (snd bench)
+            ~time_limit:t ~power_limit:p
         with
         | Ok d -> Ok (fst bench, d, None)
         | Error reason -> Error (fst bench, reason)
@@ -335,22 +384,33 @@ let synth_cmd =
              skip the engine; engine stats are not available on a hit. *)
           match
             Explore.sweep ~cost_model:(cost_model reg mux) ~policy:pol ?cache
-              ~library:(the_library library) (snd bench) ~times:[ t ]
-              ~powers:[ p ]
+              ?deadline:budget ~library:(the_library library) (snd bench)
+              ~times:[ t ] ~powers:[ p ]
           with
           | [ { Explore.result = Explore.Feasible { design; _ }; _ } ] ->
             Ok (fst bench, design, None)
-          | [ { Explore.result = Explore.Infeasible reason; _ } ] ->
+          | [
+           {
+             Explore.result =
+               Explore.Infeasible reason | Explore.Failed reason;
+             _;
+           };
+          ] ->
             Error (fst bench, reason)
           | _ -> assert false)
         | None -> (
-          match synthesize ?library ~self_check bench t p pol reg mux with
+          match
+            synthesize ?library ~self_check ?deadline:budget bench t p pol reg
+              mux
+          with
           | Ok (name, d, stats) -> Ok (name, d, Some stats)
           | Error _ as e -> e)
     in
     (match cache with
     | Some store -> Format.printf "# cache: %a@." Store.pp_stats (Store.stats store)
     | None -> ());
+    finish ?budget
+    @@
     match outcome with
     | Ok (name, d, stats) ->
       let d =
@@ -382,12 +442,14 @@ let synth_cmd =
       1
   in
   Cmd.v
-    (Cmd.info "synth" ~doc:"Synthesize a benchmark under (T, P) constraints.")
+    (Cmd.info "synth" ~exits:budget_exits
+       ~doc:"Synthesize a benchmark under (T, P) constraints.")
     Term.(
       const run $ graph_source $ time_limit $ power_limit $ policy
       $ register_area $ mux_input_area $ library_opt $ gantt_flag
       $ tighten_flag $ rebind_flag $ self_check_flag $ cache_dir_opt
-      $ no_cache_flag $ trace_opt $ metrics_flag)
+      $ no_cache_flag $ deadline_ms_opt $ max_iters_opt $ trace_opt
+      $ metrics_flag)
 
 (* --- check ------------------------------------------------------------- *)
 
@@ -478,7 +540,7 @@ let print_pareto points =
       | Explore.Feasible { area; _ } ->
         Format.printf "  T=%d P<=%g area=%.0f@." pt.Explore.time_limit
           pt.Explore.power_limit area
-      | Explore.Infeasible _ -> ())
+      | Explore.Infeasible _ | Explore.Failed _ -> ())
     (Explore.pareto points)
 
 let sweep_cmd =
@@ -486,26 +548,28 @@ let sweep_cmd =
     Arg.(value & flag & info [ "pareto" ] ~doc:"Also print the Pareto front.")
   in
   let run (name, g) t p_from p_to p_step pol reg mux pareto jobs cache_dir
-      no_cache trace metrics =
+      no_cache deadline_ms max_iters trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     let cache = sweep_store no_cache cache_dir in
+    let budget = the_budget deadline_ms max_iters in
     let points =
       Explore.sweep ~cost_model:(cost_model reg mux) ~policy:pol ~jobs ?cache
-        ~library:Library.default g ~times:[ t ]
+        ?deadline:budget ~library:Library.default g ~times:[ t ]
         ~powers:(power_range p_from p_to p_step)
     in
     Format.printf "# benchmark=%s@.%s@." name (Explore.render_table points);
     if pareto then print_pareto points;
     print_cache_line ~jobs cache;
-    0
+    finish ?budget 0
   in
   Cmd.v
-    (Cmd.info "sweep"
+    (Cmd.info "sweep" ~exits:budget_exits
        ~doc:"Sweep the power constraint and report area (Figure 2 style).")
     Term.(
       const run $ graph_source $ time_limit $ p_from $ p_to $ p_step $ policy
       $ register_area $ mux_input_area $ pareto_flag $ jobs_opt
-      $ cache_dir_opt $ no_cache_flag $ trace_opt $ metrics_flag)
+      $ cache_dir_opt $ no_cache_flag $ deadline_ms_opt $ max_iters_opt
+      $ trace_opt $ metrics_flag)
 
 (* --- pareto ------------------------------------------------------------- *)
 
@@ -518,27 +582,29 @@ let pareto_cmd =
           ~doc:"Latency constraints (cycles) spanning the grid rows.")
   in
   let run (name, g) times p_from p_to p_step pol reg mux jobs cache_dir
-      no_cache trace metrics =
+      no_cache deadline_ms max_iters trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     let cache = sweep_store no_cache cache_dir in
+    let budget = the_budget deadline_ms max_iters in
     let points =
       Explore.sweep ~cost_model:(cost_model reg mux) ~policy:pol ~jobs ?cache
-        ~library:Library.default g ~times
+        ?deadline:budget ~library:Library.default g ~times
         ~powers:(power_range p_from p_to p_step)
     in
     Format.printf "# benchmark=%s@.%s@." name (Explore.render_table points);
     print_pareto points;
     print_cache_line ~jobs cache;
-    0
+    finish ?budget 0
   in
   Cmd.v
-    (Cmd.info "pareto"
+    (Cmd.info "pareto" ~exits:budget_exits
        ~doc:"Synthesize a full (T, P<) constraint grid in parallel and \
              report the non-dominated (time, power, area) trade-off front.")
     Term.(
       const run $ graph_source $ times $ p_from $ p_to $ p_step $ policy
       $ register_area $ mux_input_area $ jobs_opt $ cache_dir_opt
-      $ no_cache_flag $ trace_opt $ metrics_flag)
+      $ no_cache_flag $ deadline_ms_opt $ max_iters_opt $ trace_opt
+      $ metrics_flag)
 
 (* --- cache -------------------------------------------------------------- *)
 
@@ -618,6 +684,10 @@ let profile_cmd =
       err_infeasible name reason;
       report ();
       1
+    | Explore.Failed reason ->
+      Format.eprintf "%s: %s@." (Style.red "error") reason;
+      report ();
+      2
   in
   Cmd.v
     (Cmd.info "profile"
@@ -703,10 +773,11 @@ let fuzz_run_term =
           ~doc:"Cap on generated operation nodes per case (I/O nodes come \
                 on top).")
   in
-  let run runs seed jobs max_nodes exact_max_vertices library corpus trace
-      metrics no_color =
+  let run runs seed jobs max_nodes exact_max_vertices library corpus
+      deadline_ms max_iters trace metrics no_color =
     apply_color no_color;
     with_obs ~trace ~metrics @@ fun () ->
+    let budget = the_budget deadline_ms max_iters in
     let config =
       {
         Fuzz.runs;
@@ -716,6 +787,7 @@ let fuzz_run_term =
         exact_max_vertices;
         library = the_library library;
         corpus;
+        deadline = budget;
       }
     in
     match Fuzz.run config with
@@ -726,12 +798,14 @@ let fuzz_run_term =
       Format.printf "# seed=%d runs=%d max-nodes=%d exact-max-vertices=%d@."
         seed runs max_nodes exact_max_vertices;
       print_string (Fuzz.render_summary summary);
-      if summary.Fuzz.findings = [] then 0 else 1
+      if summary.Fuzz.findings <> [] then 1
+      else if summary.Fuzz.deadline_skipped > 0 then 3
+      else finish ?budget 0
   in
   Term.(
     const run $ runs_opt $ seed_opt $ jobs_opt $ max_nodes_opt
-    $ exact_max_vertices_opt $ library_opt $ corpus_opt $ trace_opt
-    $ metrics_flag $ no_color_flag)
+    $ exact_max_vertices_opt $ library_opt $ corpus_opt $ deadline_ms_opt
+    $ max_iters_opt $ trace_opt $ metrics_flag $ no_color_flag)
 
 let fuzz_cmd =
   let replay_cmd =
@@ -765,7 +839,7 @@ let fuzz_cmd =
         $ no_color_flag)
   in
   Cmd.group ~default:fuzz_run_term
-    (Cmd.info "fuzz"
+    (Cmd.info "fuzz" ~exits:budget_exits
        ~doc:"Differential fuzzing: sample random (DFG, T, P<) instances \
              near the feasibility boundary, cross-check the engine against \
              the lint, latency, power and exact-area oracles, and shrink \

@@ -6,12 +6,16 @@ module Module_spec = Pchls_fulib.Module_spec
 module Trace = Pchls_obs.Trace
 module Metrics = Pchls_obs.Metrics
 module Clock = Pchls_obs.Clock
+module Fault = Pchls_resil.Fault
+module Atomic_io = Pchls_resil.Atomic_io
 
 let m_hit = Metrics.counter "cache.hit"
 let m_hit_memory = Metrics.counter "cache.hit.memory"
 let m_hit_disk = Metrics.counter "cache.hit.disk"
 let m_miss = Metrics.counter "cache.miss"
 let m_store = Metrics.counter "cache.store"
+let m_corrupt = Metrics.counter "cache.corrupt_entries"
+let m_degraded = Metrics.counter "cache.degraded"
 
 let h_memory_lookup_ns =
   Metrics.histogram ~buckets:Metrics.ns_buckets "cache.memory_lookup_ns"
@@ -35,6 +39,8 @@ type stats = {
   stores : int;
   memory_hits : int;
   disk_hits : int;
+  corrupt : int;
+  degraded : bool;
 }
 
 type t = {
@@ -46,6 +52,8 @@ type t = {
   mutable stores : int;
   mutable memory_hits : int;
   mutable disk_hits : int;
+  mutable corrupt : int;
+  mutable disk_failed : bool;  (** disk tier permanently off after an error *)
 }
 
 let version = "v1"
@@ -58,13 +66,6 @@ let key_id k =
   Printf.sprintf "%s-t%d-p%Lx" k.fingerprint k.time_limit
     (Int64.bits_of_float k.power_limit)
 
-let rec mkdirs path =
-  if path = "" || path = "." || path = "/" || Sys.file_exists path then ()
-  else begin
-    mkdirs (Filename.dirname path);
-    try Sys.mkdir path 0o755 with Sys_error _ -> ()
-  end
-
 let create ?dir () =
   {
     mutex = Mutex.create ();
@@ -75,6 +76,8 @@ let create ?dir () =
     stores = 0;
     memory_hits = 0;
     disk_hits = 0;
+    corrupt = 0;
+    disk_failed = false;
   }
 
 let in_memory () = create ()
@@ -197,30 +200,57 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let disk_find disk id =
+(* A disk I/O error turns the disk tier off for the rest of the store's
+   life — the memory tier keeps working, so synthesis degrades to
+   cache-off rather than aborting or hammering a broken filesystem. Called
+   with the store mutex held. *)
+let degrade t msg =
+  if not t.disk_failed then begin
+    t.disk_failed <- true;
+    Metrics.incr m_degraded;
+    Log.warn (fun m -> m "disk tier disabled: %s" msg);
+    Printf.eprintf
+      "pchls: warning: cache disk tier disabled, continuing without it: %s\n%!"
+      msg
+  end
+
+(* A corrupt entry is renamed aside rather than deleted (its bytes may
+   matter for debugging) or left in place (it would be re-parsed on every
+   lookup). The [".bad"] suffix keeps it off the [extension] filter. *)
+let quarantine t path =
+  t.corrupt <- t.corrupt + 1;
+  Metrics.incr m_corrupt;
+  let bad = path ^ ".bad" in
+  (try Sys.rename path bad
+   with Sys_error msg -> degrade t ("quarantine failed: " ^ msg));
+  Log.warn (fun m -> m "quarantined corrupt/stale entry to %s" bad)
+
+let disk_find t disk id =
   let path = entry_path disk id in
-  if not (Sys.file_exists path) then None
+  if Fault.fires "cache.read" then begin
+    degrade t "injected fault: cache.read";
+    None
+  end
+  else if not (Sys.file_exists path) then None
   else
     match read_file path with
-    | exception Sys_error _ -> None
+    | exception Sys_error msg ->
+      degrade t msg;
+      None
     | text -> (
       match parse_summary text with
       | Some _ as s -> s
       | None ->
-        Log.debug (fun m -> m "skipping corrupt/stale entry %s" path);
+        quarantine t path;
         None)
 
-let disk_add disk id summary =
-  try
-    mkdirs disk;
-    let tmp = Filename.temp_file ~temp_dir:disk "entry" ".tmp" in
-    let oc = open_out_bin tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> output_string oc (render_summary summary));
-    Sys.rename tmp (entry_path disk id)
-  with Sys_error msg ->
-    Log.debug (fun m -> m "disk tier write failed, continuing: %s" msg)
+let disk_add t disk id summary =
+  if Fault.fires "cache.write" then degrade t "injected fault: cache.write"
+  else
+    try
+      Atomic_io.mkdirs disk;
+      Atomic_io.write_file (entry_path disk id) (render_summary summary)
+    with Sys_error msg -> degrade t msg
 
 (* Which tier satisfied a lookup; [None] on miss. *)
 type tier = Memory | Disk
@@ -238,9 +268,10 @@ let find t k =
     | None -> (
       match t.disk with
       | None -> (None, None)
+      | Some _ when t.disk_failed -> (None, None)
       | Some disk -> (
         let disk_start = Clock.now_ns () in
-        let found = disk_find disk id in
+        let found = disk_find t disk id in
         Metrics.observe h_disk_lookup_ns (Clock.elapsed_ns ~since:disk_start);
         match found with
         | Some s ->
@@ -282,7 +313,8 @@ let add t k summary =
   Metrics.incr m_store;
   Log.debug (fun m ->
       m "store %s (T=%d, P<=%g)" k.fingerprint k.time_limit k.power_limit);
-  Option.iter (fun disk -> disk_add disk id summary) t.disk
+  if not t.disk_failed then
+    Option.iter (fun disk -> disk_add t disk id summary) t.disk
 
 let stats t =
   locked t @@ fun () ->
@@ -292,6 +324,8 @@ let stats t =
     stores = t.stores;
     memory_hits = t.memory_hits;
     disk_hits = t.disk_hits;
+    corrupt = t.corrupt;
+    degraded = t.disk_failed;
   }
 
 let size t = locked t @@ fun () -> Hashtbl.length t.table
@@ -329,6 +363,12 @@ let disk_usage ~dir =
       (n + 1, bytes + size))
     (0, 0) (entries_of_disk disk)
 
-let pp_stats ppf ({ hits; misses; stores; memory_hits; disk_hits } : stats) =
+let pp_stats ppf
+    ({ hits; misses; stores; memory_hits; disk_hits; corrupt; degraded } :
+      stats) =
   Format.fprintf ppf "hits=%d (memory=%d disk=%d) misses=%d stores=%d" hits
-    memory_hits disk_hits misses stores
+    memory_hits disk_hits misses stores;
+  (* Degradation facts only appear when something went wrong, keeping the
+     healthy-path rendering (and the golden CLI outputs) unchanged. *)
+  if corrupt > 0 then Format.fprintf ppf " corrupt=%d" corrupt;
+  if degraded then Format.fprintf ppf " degraded"

@@ -7,9 +7,14 @@
 
     - an in-memory hash table, always on;
     - an optional on-disk tier under [dir/v1/] (one small text file per
-      entry, written atomically via rename). Entries whose header does not
-      match the current format version, or that fail to parse, are skipped
-      as corrupt/stale — a cache never errors, it only misses.
+      entry, written atomically via {!Pchls_resil.Atomic_io}). Entries
+      whose header does not match the current format version, or that fail
+      to parse, are quarantined to [<entry>.bad] and counted in
+      [stats.corrupt] — a cache never errors, it only misses. A disk I/O
+      error (or an armed ["cache.read"] / ["cache.write"] fault point)
+      permanently disables the disk tier for this store with a one-shot
+      stderr warning ([stats.degraded]); the memory tier keeps working, so
+      synthesis degrades to cache-off instead of aborting.
 
     All operations are thread-safe: a store may be shared by the worker
     domains of a {!Pchls_par.Pool} sweep. Hits, misses and stores are
@@ -39,6 +44,8 @@ type stats = {
   stores : int;
   memory_hits : int;  (** hits satisfied by the in-memory table *)
   disk_hits : int;  (** hits satisfied (and promoted) from the disk tier *)
+  corrupt : int;  (** entries quarantined to [*.bad] on parse failure *)
+  degraded : bool;  (** disk tier disabled after an I/O error *)
 }
 
 type t
@@ -58,7 +65,8 @@ val dir : t -> string option
 val find : t -> key -> summary option
 
 (** [add t key summary] stores in memory and, when enabled, on disk.
-    Counts a store. Disk write failures are logged and ignored. *)
+    Counts a store. A disk write failure disables the disk tier
+    ([stats.degraded]) and is otherwise ignored. *)
 val add : t -> key -> summary -> unit
 
 val stats : t -> stats

@@ -1,14 +1,4 @@
-(* The override is an [Atomic] so test domains spawned after [set] observe
-   it without a data race. *)
-let override : string option Atomic.t = Atomic.make None
+module Fault = Pchls_resil.Fault
 
-let set faults = Atomic.set override faults
-
-let armed fault =
-  let listed = function
-    | None -> false
-    | Some spec -> List.mem fault (String.split_on_char ',' spec)
-  in
-  match Atomic.get override with
-  | Some _ as o -> listed o
-  | None -> listed (Sys.getenv_opt "PCHLS_CHAOS")
+let set = Fault.set
+let armed = Fault.armed

@@ -1,23 +1,19 @@
-(** Opt-in fault injection, for proving that the differential fuzzer
-    ([pchls fuzz]) actually catches engine bugs.
+(** Opt-in fault injection — thin compatibility shim over
+    {!Pchls_resil.Fault}, which owns the [PCHLS_CHAOS] spec grammar
+    ([name[:prob[:seed]]], comma-separated), the fault-point catalog and
+    the deterministic seeded draws.
 
-    A fault is a short name armed through the [PCHLS_CHAOS] environment
-    variable (comma-separated list) or, in-process, through {!set}. Faults
-    are consulted by the code under test via {!armed} and deliberately break
-    an invariant end to end; nothing is armed by default, and production
-    paths pay one environment lookup per {!armed} call.
+    The historical fault name ["no-power-check"] is an alias for
+    ["engine.power-check"]: {!Engine.run} silently drops the per-cycle
+    power constraint — pasap/palap, the gain tests and the final
+    [Design.assemble] all see an unconstrained budget, so every internal
+    validation stays green and only an external oracle comparing against
+    the {e requested} limit can notice. See docs/ROBUSTNESS.md for the
+    full catalog. *)
 
-    Known faults (see docs/FUZZING.md):
-    - ["no-power-check"]: {!Engine.run} silently drops the per-cycle power
-      constraint — pasap/palap, the gain tests and the final
-      [Design.assemble] all see an unconstrained budget, so every internal
-      validation stays green and only an external oracle comparing against
-      the {e requested} limit can notice. *)
-
-(** [armed fault] — is [fault] listed in the in-process override ({!set}),
-    or, when no override is installed, in [PCHLS_CHAOS]? *)
+(** [armed fault] is {!Pchls_resil.Fault.armed} (alias-aware). *)
 val armed : string -> bool
 
-(** [set faults] installs ([Some "a,b"]) or removes ([None]) an in-process
-    override of [PCHLS_CHAOS]. Intended for tests; thread-safe. *)
+(** [set faults] is {!Pchls_resil.Fault.set}. Intended for tests;
+    thread-safe. *)
 val set : string option -> unit

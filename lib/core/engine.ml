@@ -8,6 +8,7 @@ module Palap = Pchls_sched.Palap
 module Profile = Pchls_power.Profile
 module Trace = Pchls_obs.Trace
 module Metrics = Pchls_obs.Metrics
+module Budget = Pchls_resil.Budget
 
 let src = Logs.Src.create "pchls.engine" ~doc:"synthesis engine decisions"
 
@@ -22,8 +23,14 @@ let m_retypes = Metrics.counter "engine.retype_merges"
 let m_fresh = Metrics.counter "engine.new_instances"
 let m_upgrades = Metrics.counter "engine.default_upgrades"
 let m_infeasible = Metrics.counter "engine.infeasible"
+let m_forced = Metrics.counter "engine.forced_commits"
+let m_partials = Metrics.counter "engine.deadline_partials"
 
 type policy = Min_power | Min_area | Min_latency
+
+type completion =
+  | Complete
+  | Deadline_exceeded of { reason : Budget.reason; forced : int }
 
 type stats = {
   decisions : int;
@@ -32,6 +39,7 @@ type stats = {
   new_instances : int;
   backtracks : int;
   default_upgrades : int;
+  completion : completion;
 }
 
 type outcome = Synthesized of Design.t * stats | Infeasible of { reason : string }
@@ -41,11 +49,22 @@ let policy_to_string = function
   | Min_area -> "min-area"
   | Min_latency -> "min-latency"
 
+let reason_token = function
+  | Budget.Wall_clock -> "wall-clock"
+  | Budget.Iterations -> "iterations"
+  | Budget.Cancelled -> "cancelled"
+
 let pp_stats ppf s =
   Format.fprintf ppf
     "decisions=%d merges=%d retypes=%d new=%d backtracks=%d upgrades=%d"
     s.decisions s.merges s.retype_merges s.new_instances s.backtracks
-    s.default_upgrades
+    s.default_upgrades;
+  (* Only partial results grow the line, so complete runs render exactly as
+     they always did (golden outputs depend on it). *)
+  match s.completion with
+  | Complete -> ()
+  | Deadline_exceeded { reason; forced } ->
+    Format.fprintf ppf " partial=%s forced=%d" (reason_token reason) forced
 
 type inst_state = {
   inst_id : int;
@@ -59,6 +78,7 @@ type decision =
 
 (* Mutable synthesis state threaded through one [run]. *)
 type state = {
+  budget : Budget.t option;
   g : Graph.t;
   lib : Library.t;
   time_limit : int;
@@ -101,13 +121,23 @@ let locked_list st =
       st.locked_times committed
   else committed
 
+(* Wall-clock / cancellation interrupts only: the iteration cap is checked
+   at engine-iteration boundaries, not inside schedulers or default
+   selection, so a [max_iters] budget still lets each iteration finish. *)
+let interrupted st =
+  match st.budget with None -> None | Some b -> Budget.interrupted b
+
+let cancelled st () = interrupted st <> None
+
 let run_pasap st =
   Pasap.run st.g ~info:(info st) ~horizon:st.time_limit
-    ~power_limit:st.power_limit ~locked:(locked_list st) ()
+    ~power_limit:st.power_limit ~locked:(locked_list st)
+    ~cancelled:(cancelled st) ()
 
 let run_palap st =
   Palap.run st.g ~info:(info st) ~horizon:st.time_limit
-    ~power_limit:st.power_limit ~locked:(locked_list st) ()
+    ~power_limit:st.power_limit ~locked:(locked_list st)
+    ~cancelled:(cancelled st) ()
 
 (* --- initial default-module selection ------------------------------- *)
 
@@ -128,9 +158,20 @@ let ancestors g op =
 (* If the default-policy schedule misses the time constraint, promote the
    blocking operation (or one of its ancestors) to the fastest module whose
    power still fits under the limit. *)
+let deadline_before_feasible r =
+  Printf.sprintf
+    "deadline exceeded before a feasible design was found (%s)"
+    (Budget.reason_to_string r)
+
 let rec settle_defaults st attempts =
   match run_pasap st with
   | Pasap.Feasible s -> Ok s
+  | Pasap.Infeasible _ when interrupted st <> None ->
+    (* The scheduler was cancelled mid-run: there is no valid schedule yet,
+       so there is nothing to wind down to. *)
+    Error
+      (deadline_before_feasible
+         (Option.get (interrupted st)))
   | Pasap.Infeasible { node; reason } ->
     if attempts <= 0 then
       Error
@@ -600,8 +641,8 @@ let self_check_lock st s =
                (List.filteri (fun i _ -> i < 3) ds))))
 
 let run ?(cost_model = Cost_model.default) ?(policy = Min_power)
-    ?(max_instances = []) ?(seed_instances = []) ?(self_check = false) ~library
-    ~time_limit ?(power_limit = infinity) g =
+    ?(max_instances = []) ?(seed_instances = []) ?(self_check = false)
+    ?deadline ~library ~time_limit ?(power_limit = infinity) g =
   if time_limit < 1 then invalid_arg "Engine.run: time_limit < 1";
   if power_limit <= 0. then invalid_arg "Engine.run: power_limit <= 0";
   List.iter
@@ -618,12 +659,13 @@ let run ?(cost_model = Cost_model.default) ?(policy = Min_power)
     invalid_arg
       (Printf.sprintf "Engine.run: library covers no module for: %s"
          (String.concat ", " (List.map Op.to_string kinds))));
-  (* Fault injection (Chaos): dropping the limit here poisons every
-     downstream consumer consistently — schedulers, gain tests and final
-     assembly validation all agree the budget is unbounded, so the bug is
-     invisible to self-checks and only a differential oracle catches it. *)
+  (* Fault injection: dropping the limit here poisons every downstream
+     consumer consistently — schedulers, gain tests and final assembly
+     validation all agree the budget is unbounded, so the bug is invisible
+     to self-checks and only a differential oracle catches it. *)
   let power_limit =
-    if Chaos.armed "no-power-check" then infinity else power_limit
+    if Pchls_resil.Fault.fires ~key:0 "engine.power-check" then infinity
+    else power_limit
   in
   Metrics.incr m_runs;
   Trace.span ~cat:"engine" ~args:[ ("graph", Graph.name g) ] "engine.run"
@@ -648,6 +690,7 @@ let run ?(cost_model = Cost_model.default) ?(policy = Min_power)
   in
   let st =
     {
+      budget = deadline;
       g;
       lib = library;
       time_limit;
@@ -718,6 +761,12 @@ let run ?(cost_model = Cost_model.default) ?(policy = Min_power)
         | Pasap.Feasible next_pasap ->
           note_commit st best;
           `Continue next_pasap
+        | Pasap.Infeasible _ when interrupted st <> None ->
+          (* The re-schedule was cancelled by the deadline, not genuinely
+             infeasible: undo the trial commit (it was never validated) and
+             let [iterate] wind down from the last valid schedule. *)
+          undo.revert ();
+          `Deadline (Option.get (interrupted st))
         | Pasap.Infeasible { node; reason } ->
           Log.debug (fun m -> m "backtrack: node %d, %s" node reason);
           undo.revert ();
@@ -747,23 +796,53 @@ let run ?(cost_model = Cost_model.default) ?(policy = Min_power)
                 "no feasible decision after locking: instance caps leave \
                  some operation no module to run on")))
     in
+    (* Anytime wind-down: commit every remaining operation as a fresh
+       instance of its default module at its start time in the last valid
+       pasap schedule. That schedule already places the unassigned
+       operations with exactly these specs, so precedence and the power
+       limit hold by construction — only sharing quality is lost (and
+       [max_instances] caps may be exceeded by the forced fresh
+       allocations, which partial results document rather than fail on). *)
+    let force_complete valid_pasap reason =
+      let remaining = unassigned st in
+      List.iter
+        (fun op ->
+          let spec = Hashtbl.find st.default_spec op in
+          let start = Schedule.start valid_pasap op in
+          ignore (commit st (Fresh { op; spec; start })))
+        remaining;
+      let forced = List.length remaining in
+      Metrics.incr ~by:forced m_forced;
+      Metrics.incr m_partials;
+      Log.info (fun m ->
+          m "deadline (%s): forced %d remaining operation(s) to fresh \
+             instances"
+            (Budget.reason_to_string reason)
+            forced);
+      Deadline_exceeded { reason; forced }
+    in
     let rec iterate valid_pasap =
-      if unassigned st = [] then Ok ()
-      else begin
-        Metrics.incr m_iterations;
-        match
-          Trace.span ~cat:"engine" "engine.iterate" (fun () ->
-              step valid_pasap)
-        with
-        | `Continue next_pasap -> iterate next_pasap
-        | `Error reason -> Error reason
-      end
+      if unassigned st = [] then Ok Complete
+      else
+        match Option.bind st.budget Budget.check with
+        | Some reason -> Ok (force_complete valid_pasap reason)
+        | None -> begin
+          Option.iter Budget.tick st.budget;
+          Metrics.incr m_iterations;
+          match
+            Trace.span ~cat:"engine" "engine.iterate" (fun () ->
+                step valid_pasap)
+          with
+          | `Continue next_pasap -> iterate next_pasap
+          | `Deadline reason -> Ok (force_complete valid_pasap reason)
+          | `Error reason -> Error reason
+        end
     in
     (match iterate first_pasap with
     | Error reason ->
       Metrics.incr m_infeasible;
       Infeasible { reason }
-    | Ok () -> (
+    | Ok completion -> (
       let instances =
         List.rev st.instances
         |> List.filter (fun i -> i.placed <> [])
@@ -785,6 +864,7 @@ let run ?(cost_model = Cost_model.default) ?(policy = Min_power)
               new_instances = st.n_fresh;
               backtracks = st.n_backtracks;
               default_upgrades = st.n_upgrades;
+              completion;
             } )
       | Error reason ->
         Metrics.incr m_infeasible;

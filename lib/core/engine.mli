@@ -23,6 +23,17 @@
 
 type policy = Min_power | Min_area | Min_latency
 
+(** How a run ended. [Deadline_exceeded] marks an {e anytime} partial
+    result: the engine stopped optimising when its {!Pchls_resil.Budget}
+    ran out and force-completed the [forced] remaining operations as fresh
+    instances of their default modules at their start times in the last
+    valid pasap schedule — still precedence- and power-feasible by
+    construction, just without the sharing a full run would have found
+    (and possibly exceeding [max_instances] caps). *)
+type completion =
+  | Complete
+  | Deadline_exceeded of { reason : Pchls_resil.Budget.reason; forced : int }
+
 type stats = {
   decisions : int;  (** committed decisions (one per operation) *)
   merges : int;  (** same-module sharings *)
@@ -30,6 +41,7 @@ type stats = {
   new_instances : int;
   backtracks : int;  (** paper-style undo-and-lock events *)
   default_upgrades : int;  (** default modules promoted to meet [time_limit] *)
+  completion : completion;  (** [Complete] unless a deadline intervened *)
 }
 
 type outcome =
@@ -56,6 +68,15 @@ type outcome =
     reason (defence in depth — it should never fire, and the run also ends
     with [Design.assemble]'s full validation either way).
 
+    [deadline] makes the run {e anytime}: the budget is polled at every
+    engine-iteration boundary, and its wall clock / cancellation also
+    interrupt the pasap/palap offset loops mid-iteration. On exhaustion the
+    best design so far is completed and returned with
+    [stats.completion = Deadline_exceeded _] — never an exception — or, if
+    no feasible schedule existed yet, [Infeasible] with a
+    ["deadline exceeded before a feasible design was found"] reason.
+    Without [deadline] the run is byte-identical to an unbudgeted one.
+
     @raise Invalid_argument when [time_limit < 1], [power_limit <= 0], a
     cap is negative or names an unknown module, or the library does not
     cover some operation kind of [g]. *)
@@ -65,6 +86,7 @@ val run :
   ?max_instances:(string * int) list ->
   ?seed_instances:Pchls_fulib.Module_spec.t list ->
   ?self_check:bool ->
+  ?deadline:Pchls_resil.Budget.t ->
   library:Pchls_fulib.Library.t ->
   time_limit:int ->
   ?power_limit:float ->

@@ -4,8 +4,11 @@ module Store = Pchls_cache.Store
 module Pool = Pchls_par.Pool
 module Trace = Pchls_obs.Trace
 module Metrics = Pchls_obs.Metrics
+module Budget = Pchls_resil.Budget
+module Fault = Pchls_resil.Fault
 
 let m_points = Metrics.counter "explore.points"
+let m_failed_points = Metrics.counter "explore.failed_points"
 
 let h_point_ns =
   Metrics.histogram ~buckets:Metrics.ns_buckets "explore.point_ns"
@@ -15,6 +18,7 @@ type point = { time_limit : int; power_limit : float; result : result }
 and result =
   | Feasible of { area : float; peak : float; design : Design.t }
   | Infeasible of string
+  | Failed of string
 
 (* Bump whenever an engine change makes previously cached results wrong:
    every key embeds the salt, so old on-disk entries silently go stale. *)
@@ -56,12 +60,14 @@ let summary_of_result = function
             (Design.instances design);
       }
   | Infeasible reason -> Store.Infeasible reason
+  | Failed _ -> assert false (* evaluation failures are never cached *)
 
 (* Solve one grid point, consulting the cache when given. A cached feasible
    entry is rebuilt into a full design via [Design.assemble]; should that
    ever fail (a semantically stale entry), the engine runs and the entry is
    overwritten. *)
-let solve ?cost_model ?policy ~library ?cache ?fp g ~time_limit ~power_limit =
+let solve ?cost_model ?policy ?deadline ~library ?cache ?fp g ~time_limit
+    ~power_limit =
   Metrics.incr m_points;
   Trace.span ~cat:"explore"
     ~args:
@@ -76,7 +82,15 @@ let solve ?cost_model ?policy ~library ?cache ?fp g ~time_limit ~power_limit =
   Metrics.time h_point_ns @@ fun () ->
   let engine () =
     result_of_outcome
-      (Engine.run ?cost_model ?policy ~library ~time_limit ~power_limit g)
+      (Engine.run ?cost_model ?policy ?deadline ~library ~time_limit
+         ~power_limit g)
+  in
+  (* A result produced under an exhausted budget describes the deadline,
+     not the problem: a forced partial design (or an
+     infeasible-before-found) cached here would poison every later
+     unbudgeted run with the same key. *)
+  let cacheable () =
+    match deadline with Some b -> not (Budget.exhausted b) | None -> true
   in
   match cache with
   | None -> engine ()
@@ -89,7 +103,7 @@ let solve ?cost_model ?policy ~library ?cache ?fp g ~time_limit ~power_limit =
     let key = { Store.fingerprint = fp; time_limit; power_limit } in
     let miss () =
       let r = engine () in
-      Store.add store key (summary_of_result r);
+      if cacheable () then Store.add store key (summary_of_result r);
       r
     in
     match Store.find store key with
@@ -112,21 +126,38 @@ let solve ?cost_model ?policy ~library ?cache ?fp g ~time_limit ~power_limit =
           }
       | Error _ -> miss ()))
 
-let sweep ?cost_model ?policy ?(jobs = 1) ?cache ~library g ~times ~powers =
+let sweep ?cost_model ?policy ?(jobs = 1) ?cache ?deadline ~library g ~times
+    ~powers =
   let fp =
     Option.map (fun _ -> fingerprint ?cost_model ?policy ~library g) cache
   in
   let grid =
     List.concat_map (fun t -> List.map (fun p -> (t, p)) powers) times
+    |> List.mapi (fun i tp -> (i, tp))
   in
-  let eval (time_limit, power_limit) =
-    {
-      time_limit;
-      power_limit;
-      result =
-        solve ?cost_model ?policy ~library ?cache ?fp g ~time_limit
-          ~power_limit;
-    }
+  (* Each point is evaluated in isolation: a crash (or an armed
+     "explore.point" fault, keyed by grid index so seeded campaigns kill a
+     deterministic subset) becomes a per-point [Failed] result while every
+     other point still runs. Points reached after the deadline are not
+     evaluated at all. *)
+  let failed_point (time_limit, power_limit) msg =
+    Metrics.incr m_failed_points;
+    { time_limit; power_limit; result = Failed msg }
+  in
+  let eval (i, (time_limit, power_limit)) =
+    match deadline with
+    | Some b when Budget.exhausted b ->
+      failed_point (time_limit, power_limit)
+        "deadline exceeded before evaluation"
+    | Some _ | None ->
+      Fault.inject ~key:i "explore.point";
+      {
+        time_limit;
+        power_limit;
+        result =
+          solve ?cost_model ?policy ?deadline ~library ?cache ?fp g
+            ~time_limit ~power_limit;
+      }
   in
   Trace.span ~cat:"explore"
     ~args:
@@ -138,8 +169,23 @@ let sweep ?cost_model ?policy ?(jobs = 1) ?cache ~library g ~times ~powers =
        else [])
     "explore.sweep"
   @@ fun () ->
-  if jobs <= 1 then List.map eval grid
-  else Pool.with_pool ~jobs (fun pool -> Pool.map pool eval grid)
+  if jobs <= 1 then
+    List.map
+      (fun ((_, tp) as item) ->
+        match eval item with
+        | p -> p
+        | exception exn -> failed_point tp (Printexc.to_string exn))
+      grid
+  else
+    Pool.with_pool ~jobs (fun pool ->
+        List.map2
+          (fun (_, tp) outcome ->
+            match outcome with
+            | Ok p -> p
+            | Error (f : Pool.failure) ->
+              failed_point tp (Printexc.to_string f.exn))
+          grid
+          (Pool.try_map ~retries:1 pool eval grid))
 
 let min_feasible_power points ~time_limit =
   List.fold_left
@@ -149,7 +195,7 @@ let min_feasible_power points ~time_limit =
       | Feasible _, Some best
         when p.time_limit = time_limit && p.power_limit < best ->
         Some p.power_limit
-      | (Feasible _ | Infeasible _), _ -> acc)
+      | (Feasible _ | Infeasible _ | Failed _), _ -> acc)
     None points
 
 let dominates a b =
@@ -161,11 +207,16 @@ let dominates a b =
     && (a.time_limit < b.time_limit
        || a.power_limit < b.power_limit
        || fa.area < fb.area)
-  | (Feasible _ | Infeasible _), _ -> false
+  | (Feasible _ | Infeasible _ | Failed _), _ -> false
 
 let pareto points =
   let feasible =
-    List.filter (fun p -> match p.result with Feasible _ -> true | Infeasible _ -> false) points
+    List.filter
+      (fun p ->
+        match p.result with
+        | Feasible _ -> true
+        | Infeasible _ | Failed _ -> false)
+      points
   in
   List.filter
     (fun p -> not (List.exists (fun q -> dominates q p) feasible))
@@ -175,19 +226,19 @@ let pareto points =
            Int.compare a.time_limit b.time_limit
          else Float.compare a.power_limit b.power_limit)
 
-let tighten ?cost_model ?policy ?(steps = 6) ?cache ~library g ~time_limit
-    ~power_limit =
+let tighten ?cost_model ?policy ?(steps = 6) ?cache ?deadline ~library g
+    ~time_limit ~power_limit =
   Trace.span ~cat:"explore" "explore.tighten" @@ fun () ->
   let fp =
     Option.map (fun _ -> fingerprint ?cost_model ?policy ~library g) cache
   in
   let attempt budget =
     match
-      solve ?cost_model ?policy ~library ?cache ?fp g ~time_limit
+      solve ?cost_model ?policy ?deadline ~library ?cache ?fp g ~time_limit
         ~power_limit:budget
     with
     | Feasible { design; _ } -> Ok design
-    | Infeasible reason -> Error reason
+    | Infeasible reason | Failed reason -> Error reason
   in
   match attempt power_limit with
   | Error _ as e -> e
@@ -241,6 +292,7 @@ let render_table points =
             | Some { result = Feasible { area; _ }; _ } ->
               Printf.sprintf "%8.0f" area
             | Some { result = Infeasible _; _ } -> Printf.sprintf "%8s" "-"
+            | Some { result = Failed _; _ } -> Printf.sprintf "%8s" "!"
             | None -> Printf.sprintf "%8s" "?"
           in
           Buffer.add_string buf cell)

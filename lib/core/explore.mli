@@ -12,6 +12,10 @@ type point = {
 and result =
   | Feasible of { area : float; peak : float; design : Design.t }
   | Infeasible of string
+  | Failed of string
+      (** the point's evaluation crashed (or was skipped past a deadline) —
+          unlike [Infeasible], this says nothing about the problem itself
+          and is never cached *)
 
 (** [fingerprint ~library g] is the content-addressed cache key context of
     one synthesis configuration: an engine-version salt combined with
@@ -30,10 +34,16 @@ val fingerprint :
     consulting [cache] when given (as in {!sweep}); [fp] skips re-deriving
     the {!fingerprint}. This is the unit of work behind {!sweep} and
     {!tighten} — exposed so callers (e.g. [pchls profile]) can run a single
-    cache-backed point under a tracing sink. *)
+    cache-backed point under a tracing sink.
+
+    [deadline] is forwarded to {!Engine.run}; a result produced under an
+    exhausted budget (a forced partial design, or a deadline-caused
+    infeasibility) is returned but never cached, since it describes the
+    deadline rather than the problem. *)
 val solve :
   ?cost_model:Cost_model.t ->
   ?policy:Engine.policy ->
+  ?deadline:Pchls_resil.Budget.t ->
   library:Pchls_fulib.Library.t ->
   ?cache:Pchls_cache.Store.t ->
   ?fp:Pchls_cache.Fingerprint.t ->
@@ -52,12 +62,23 @@ val solve :
     [cache] memoizes each point under {!fingerprint}: hits skip the engine
     entirely (feasible entries are rebuilt into full designs via
     [Design.assemble]); misses are solved and stored. The store is
-    thread-safe, so the same cache may serve a parallel sweep. *)
+    thread-safe, so the same cache may serve a parallel sweep.
+
+    Points are evaluated in isolation: an evaluation that crashes — or an
+    armed ["explore.point"] / ["pool.worker"] fault ({!Pchls_resil.Fault},
+    keyed by grid index) that survives the pool's one retry — yields a
+    per-point [Failed] while every other point still completes. With
+    [deadline], points reached after the budget expires come back
+    [Failed "deadline exceeded before evaluation"] without running the
+    engine, and the point being evaluated when it expires returns the
+    engine's anytime partial result. A sweep never raises because of a
+    single point. *)
 val sweep :
   ?cost_model:Cost_model.t ->
   ?policy:Engine.policy ->
   ?jobs:int ->
   ?cache:Pchls_cache.Store.t ->
+  ?deadline:Pchls_resil.Budget.t ->
   library:Pchls_fulib.Library.t ->
   Pchls_dfg.Graph.t ->
   times:int list ->
@@ -74,7 +95,8 @@ val min_feasible_power : point list -> time_limit:int -> float option
 val pareto : point list -> point list
 
 (** [render_table points] formats the grid as the area table printed by the
-    Figure 2 harness (['-'] marks infeasible points). Rows are time limits,
+    Figure 2 harness (['-'] marks infeasible points, ['!'] points whose
+    evaluation failed). Rows are time limits,
     columns power limits, both sorted ascending with duplicates collapsed,
     so the rendering is stable whatever order or multiplicity the sweep's
     inputs had. *)
@@ -97,6 +119,7 @@ val tighten :
   ?policy:Engine.policy ->
   ?steps:int ->
   ?cache:Pchls_cache.Store.t ->
+  ?deadline:Pchls_resil.Budget.t ->
   library:Pchls_fulib.Library.t ->
   Pchls_dfg.Graph.t ->
   time_limit:int ->

@@ -1,13 +1,7 @@
 module Graph = Pchls_dfg.Graph
 module Text_format = Pchls_dfg.Text_format
 module Fingerprint = Pchls_cache.Fingerprint
-
-let rec mkdirs path =
-  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
-  then begin
-    mkdirs (Filename.dirname path);
-    try Sys.mkdir path 0o755 with Sys_error _ -> ()
-  end
+module Atomic_io = Pchls_resil.Atomic_io
 
 (* Shortest representation that still round-trips exactly. *)
 let float_to_text p =
@@ -35,21 +29,23 @@ let fingerprint inst =
 let write ~dir inst failure =
   let bucket = Oracle.bucket failure in
   let bucket_dir = Filename.concat dir bucket in
-  mkdirs bucket_dir;
+  Atomic_io.mkdirs bucket_dir;
   let name = String.sub (fingerprint inst) 0 12 ^ ".repro" in
   let path = Filename.concat bucket_dir name in
-  let oc = open_out path in
-  Printf.fprintf oc "# pchls-fuzz repro v1\n";
-  Printf.fprintf oc "# bucket: %s\n" bucket;
-  Printf.fprintf oc "# oracle: %s\n" failure.Oracle.oracle;
-  Printf.fprintf oc "# code: %s\n" failure.Oracle.code;
-  Printf.fprintf oc "# detail: %s\n" (one_line failure.Oracle.detail);
-  Printf.fprintf oc "# case: %d\n" inst.Sampler.case;
-  Printf.fprintf oc "# time_limit: %d\n" inst.Sampler.time_limit;
-  Printf.fprintf oc "# power_limit: %s\n"
-    (float_to_text inst.Sampler.power_limit);
-  output_string oc (Text_format.to_string inst.Sampler.graph);
-  close_out oc;
+  (* Atomic publish: a crash mid-write (or two concurrent campaigns
+     minimizing to the same instance) must never leave a truncated repro
+     that poisons every later replay. *)
+  Atomic_io.with_out path (fun oc ->
+      Printf.fprintf oc "# pchls-fuzz repro v1\n";
+      Printf.fprintf oc "# bucket: %s\n" bucket;
+      Printf.fprintf oc "# oracle: %s\n" failure.Oracle.oracle;
+      Printf.fprintf oc "# code: %s\n" failure.Oracle.code;
+      Printf.fprintf oc "# detail: %s\n" (one_line failure.Oracle.detail);
+      Printf.fprintf oc "# case: %d\n" inst.Sampler.case;
+      Printf.fprintf oc "# time_limit: %d\n" inst.Sampler.time_limit;
+      Printf.fprintf oc "# power_limit: %s\n"
+        (float_to_text inst.Sampler.power_limit);
+      output_string oc (Text_format.to_string inst.Sampler.graph));
   path
 
 let header_value lines key =

@@ -20,7 +20,9 @@
     names are stable across runs and machines. *)
 
 (** [write ~dir inst failure] persists [inst] under its failure's bucket
-    (creating directories as needed) and returns the file path. *)
+    (creating directories as needed) and returns the file path. The write
+    is atomic ({!Pchls_resil.Atomic_io}): readers and replays never
+    observe a partially written repro. *)
 val write : dir:string -> Sampler.instance -> Oracle.failure -> string
 
 (** [read path] parses a repro file back into the instance (with

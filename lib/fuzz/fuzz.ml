@@ -4,6 +4,8 @@ module Library = Pchls_fulib.Library
 module Pool = Pchls_par.Pool
 module Trace = Pchls_obs.Trace
 module Metrics = Pchls_obs.Metrics
+module Budget = Pchls_resil.Budget
+module Fault = Pchls_resil.Fault
 
 type config = {
   runs : int;
@@ -13,6 +15,7 @@ type config = {
   exact_max_vertices : int;
   library : Library.t;
   corpus : string option;
+  deadline : Budget.t option;
 }
 
 let default_config =
@@ -24,6 +27,7 @@ let default_config =
     exact_max_vertices = 12;
     library = Library.default;
     corpus = None;
+    deadline = None;
   }
 
 type finding = {
@@ -41,6 +45,8 @@ type summary = {
   infeasible : int;
   exact_checked : int;
   exact_skipped : int;
+  faulted : int;
+  deadline_skipped : int;
   findings : finding list;
 }
 
@@ -49,6 +55,8 @@ let m_feasible = Metrics.counter "fuzz.feasible"
 let m_infeasible = Metrics.counter "fuzz.infeasible"
 let m_failures = Metrics.counter "fuzz.failures"
 let m_exact_skips = Metrics.counter "fuzz.exact_skips"
+let m_faulted = Metrics.counter "fuzz.faulted"
+let m_deadline_skips = Metrics.counter "fuzz.deadline_skips"
 let m_case_ns = Metrics.histogram ~buckets:Metrics.ns_buckets "fuzz.case_ns"
 
 (* The generator only emits these kinds; a library that cannot host them
@@ -64,14 +72,17 @@ let coverage_probe =
   let _ = Builder.output b "out" c in
   Builder.finish_exn b
 
-type case_outcome = {
-  o_case : int;
-  verdict : Oracle.verdict;
-  (* (original, (shrunk, shrunk's failure)) when the case failed *)
-  minimized : (Sampler.instance * (Sampler.instance * Oracle.failure)) option;
-}
+type case_outcome =
+  | Skipped_deadline  (** the campaign budget expired before this case ran *)
+  | Checked of {
+      o_case : int;
+      verdict : Oracle.verdict;
+      (* (original, (shrunk, shrunk's failure)) when the case failed *)
+      minimized :
+        (Sampler.instance * (Sampler.instance * Oracle.failure)) option;
+    }
 
-let check_case config case =
+let checked_case config case =
   Metrics.time m_case_ns @@ fun () ->
   Trace.span ~cat:"fuzz"
     ~args:(if Trace.enabled () then [ ("case", string_of_int case) ] else [])
@@ -90,7 +101,7 @@ let check_case config case =
   | Oracle.Pass { feasible; exact } as verdict ->
     Metrics.incr (if feasible then m_feasible else m_infeasible);
     if exact = Oracle.Skipped then Metrics.incr m_exact_skips;
-    { o_case = case; verdict; minimized = None }
+    Checked { o_case = case; verdict; minimized = None }
   | Oracle.Fail failure as verdict ->
     Metrics.incr m_failures;
     let bucket = Oracle.bucket failure in
@@ -99,7 +110,14 @@ let check_case config case =
     in
     Trace.instant ~cat:"fuzz" ~args:[ ("bucket", bucket) ] "fuzz.failure";
     let minimized = Shrink.minimize ~predicate ~bucket inst in
-    { o_case = case; verdict; minimized = Some (inst, minimized) }
+    Checked { o_case = case; verdict; minimized = Some (inst, minimized) }
+
+let check_case config case =
+  match config.deadline with
+  | Some b when Budget.exhausted b ->
+    Metrics.incr m_deadline_skips;
+    Skipped_deadline
+  | Some _ | None -> checked_case config case
 
 let run (config : config) =
   if config.runs < 1 then Error "fuzz: runs must be >= 1"
@@ -111,53 +129,80 @@ let run (config : config) =
         (Printf.sprintf "fuzz: library covers no module for: %s"
            (String.concat ", " (List.map Pchls_dfg.Op.to_string kinds)))
     | Ok () ->
+      (* [try_map] isolates per-case crashes: an injected fault that kills
+         both attempts of a case is tallied as [faulted] (the chaos leg in
+         CI relies on a fault never masquerading as an oracle finding); any
+         other crash is a real harness bug and is re-raised — earliest case
+         first, since try_map preserves input order. *)
       let outcomes =
         Trace.span ~cat:"fuzz" "fuzz.campaign" @@ fun () ->
         Pool.with_pool ~jobs:config.jobs (fun pool ->
-            Pool.map pool (check_case config) (List.init config.runs Fun.id))
+            Pool.try_map ~retries:1 pool (check_case config)
+              (List.init config.runs Fun.id))
       in
+      (match
+         List.find_map
+           (function
+             | Error (f : Pool.failure) -> (
+               match f.exn with
+               | Fault.Injected _ -> None
+               | _ -> Some f)
+             | Ok _ -> None)
+           outcomes
+       with
+      | Some f -> Printexc.raise_with_backtrace f.exn f.backtrace
+      | None -> ());
       let summary =
         List.fold_left
-          (fun acc o ->
-            match o.verdict with
-            | Oracle.Pass { feasible; exact } ->
-              {
-                acc with
-                feasible = (acc.feasible + if feasible then 1 else 0);
-                infeasible = (acc.infeasible + if feasible then 0 else 1);
-                exact_checked =
-                  (acc.exact_checked
-                  + match exact with Oracle.Checked -> 1 | _ -> 0);
-                exact_skipped =
-                  (acc.exact_skipped
-                  + match exact with Oracle.Skipped -> 1 | _ -> 0);
-              }
-            | Oracle.Fail _ ->
-              let original, (shrunk, failure) =
-                match o.minimized with
-                | Some (original, m) -> (original, m)
-                | None -> assert false
-              in
-              let bucket = Oracle.bucket failure in
-              (* Exact-oracle skips are re-counted from the shrink side as
-                 passes; a failing case contributes to no pass counter. *)
-              let path =
-                Option.map
-                  (fun dir -> Corpus.write ~dir shrunk failure)
-                  config.corpus
-              in
-              {
-                acc with
-                findings =
-                  { case = o.o_case; original; shrunk; failure; bucket; path }
-                  :: acc.findings;
-              })
+          (fun acc outcome ->
+            match outcome with
+            | Error (_ : Pool.failure) ->
+              Metrics.incr m_faulted;
+              { acc with faulted = acc.faulted + 1 }
+            | Ok Skipped_deadline ->
+              { acc with deadline_skipped = acc.deadline_skipped + 1 }
+            | Ok (Checked o) -> (
+              match o.verdict with
+              | Oracle.Pass { feasible; exact } ->
+                {
+                  acc with
+                  feasible = (acc.feasible + if feasible then 1 else 0);
+                  infeasible = (acc.infeasible + if feasible then 0 else 1);
+                  exact_checked =
+                    (acc.exact_checked
+                    + match exact with Oracle.Checked -> 1 | _ -> 0);
+                  exact_skipped =
+                    (acc.exact_skipped
+                    + match exact with Oracle.Skipped -> 1 | _ -> 0);
+                }
+              | Oracle.Fail _ ->
+                let original, (shrunk, failure) =
+                  match o.minimized with
+                  | Some (original, m) -> (original, m)
+                  | None -> assert false
+                in
+                let bucket = Oracle.bucket failure in
+                (* Exact-oracle skips are re-counted from the shrink side as
+                   passes; a failing case contributes to no pass counter. *)
+                let path =
+                  Option.map
+                    (fun dir -> Corpus.write ~dir shrunk failure)
+                    config.corpus
+                in
+                {
+                  acc with
+                  findings =
+                    { case = o.o_case; original; shrunk; failure; bucket; path }
+                    :: acc.findings;
+                }))
           {
             runs = config.runs;
             feasible = 0;
             infeasible = 0;
             exact_checked = 0;
             exact_skipped = 0;
+            faulted = 0;
+            deadline_skipped = 0;
             findings = [];
           }
           outcomes
@@ -169,9 +214,15 @@ let render_summary s =
   Buffer.add_string buf
     (Printf.sprintf
        "fuzz: %d runs: %d feasible, %d infeasible, %d exact-checked, %d \
-        exact-skipped, %d failures\n"
+        exact-skipped, %d failures%s%s\n"
        s.runs s.feasible s.infeasible s.exact_checked s.exact_skipped
-       (List.length s.findings));
+       (List.length s.findings)
+       (* Chaos / deadline tallies only appear when nonzero, so ordinary
+          campaign output stays byte-identical. *)
+       (if s.faulted > 0 then Printf.sprintf ", %d faulted" s.faulted else "")
+       (if s.deadline_skipped > 0 then
+          Printf.sprintf ", %d deadline-skipped" s.deadline_skipped
+        else ""));
   List.iter
     (fun f ->
       Buffer.add_string buf

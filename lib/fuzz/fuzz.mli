@@ -21,10 +21,14 @@ type config = {
   exact_max_vertices : int;  (** exact-oracle cutoff, see {!Oracle.check} *)
   library : Pchls_fulib.Library.t;
   corpus : string option;  (** where to persist minimized repros *)
+  deadline : Pchls_resil.Budget.t option;
+      (** campaign budget: cases reached after it expires are skipped (and
+          tallied), never half-run *)
 }
 
 (** [runs = 100], [seed = 0], [jobs = 1], [max_nodes = 10],
-    [exact_max_vertices = 12], the paper's library, no corpus. *)
+    [exact_max_vertices = 12], the paper's library, no corpus, no
+    deadline. *)
 val default_config : config
 
 type finding = {
@@ -42,12 +46,22 @@ type summary = {
   infeasible : int;
   exact_checked : int;
   exact_skipped : int;  (** instances above the exact-oracle cutoff *)
+  faulted : int;
+      (** cases killed by an injected fault ({!Pchls_resil.Fault}) on both
+          pool attempts — chaos noise, deliberately not a finding *)
+  deadline_skipped : int;  (** cases skipped after the deadline expired *)
   findings : finding list;  (** in case order *)
 }
 
 (** [run config] executes the campaign. [Error] on an unusable config
     (e.g. a library that does not cover the generator's operation kinds)
-    without running anything. *)
+    without running anything.
+
+    Cases run isolated on the pool ({!Pchls_par.Pool.try_map}): a case
+    killed twice by an armed ["pool.worker"] fault counts as [faulted]
+    rather than aborting the campaign or forging a finding, while any
+    other crash of the harness itself is re-raised (earliest case
+    first). *)
 val run : config -> (summary, string) result
 
 (** Deterministic multi-line report: one summary line, then one block per

@@ -1,7 +1,10 @@
 module Metrics = Pchls_obs.Metrics
 module Clock = Pchls_obs.Clock
+module Fault = Pchls_resil.Fault
 
 let m_tasks = Metrics.counter "pool.tasks"
+let m_task_retries = Metrics.counter "pool.task_retries"
+let m_task_failures = Metrics.counter "pool.task_failures"
 
 let h_task_wait_ns =
   Metrics.histogram ~buckets:Metrics.ns_buckets "pool.task_wait_ns"
@@ -137,6 +140,80 @@ let map pool f xs =
 
 let map_reduce pool ~map:f ~reduce ~init xs =
   List.fold_left reduce init (map pool f xs)
+
+type failure = {
+  attempts : int;
+  exn : exn;
+  backtrace : Printexc.raw_backtrace;
+}
+
+(* One isolated item: crashes stay confined to their slot and are retried
+   up to [retries] times before becoming a per-item [Error]. The
+   "pool.worker" fault point fires per (item, attempt), so a seeded
+   sub-unity probability can kill the first attempt and let the retry
+   succeed. *)
+let attempt_item ~retries f i x =
+  let rec go attempt =
+    match
+      Fault.inject ~key:i ~salt:attempt "pool.worker";
+      f x
+    with
+    | y ->
+      if attempt > 0 then Metrics.incr m_task_retries;
+      Ok y
+    | exception exn ->
+      let backtrace = Printexc.get_raw_backtrace () in
+      if attempt < retries then begin
+        Metrics.incr m_task_retries;
+        go (attempt + 1)
+      end
+      else begin
+        Metrics.incr m_task_failures;
+        Error { attempts = attempt + 1; exn; backtrace }
+      end
+  in
+  go 0
+
+let try_map ?(retries = 1) pool f xs =
+  if retries < 0 then
+    invalid_arg (Printf.sprintf "Pool.try_map: retries < 0 (%d)" retries);
+  check_alive pool;
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  if n = 0 then []
+  else if pool.jobs = 1 || n = 1 then
+    (* Inline path: unlike [map], a failure does not stop the remaining
+       items — isolation is the whole point. *)
+    List.mapi (attempt_item ~retries f) xs
+  else begin
+    let results = Array.make n None in
+    let remaining = ref n in
+    let join_mutex = Mutex.create () in
+    let joined = Condition.create () in
+    let run i x queued_ns () =
+      let started_ns = Clock.now_ns () in
+      Metrics.incr m_tasks;
+      Metrics.observe h_task_wait_ns
+        (Int64.to_float (Int64.sub started_ns queued_ns));
+      let outcome = attempt_item ~retries f i x in
+      Metrics.observe h_task_run_ns (Clock.elapsed_ns ~since:started_ns);
+      Mutex.lock join_mutex;
+      results.(i) <- Some outcome;
+      decr remaining;
+      if !remaining = 0 then Condition.signal joined;
+      Mutex.unlock join_mutex
+    in
+    Array.iteri (fun i x -> submit pool (run i x (Clock.now_ns ()))) arr;
+    Mutex.lock join_mutex;
+    while !remaining > 0 do
+      Condition.wait joined join_mutex
+    done;
+    Mutex.unlock join_mutex;
+    Array.to_list
+      (Array.map
+         (function Some r -> r | None -> assert false (* all joined *))
+         results)
+  end
 
 let shutdown pool =
   Mutex.lock pool.mutex;

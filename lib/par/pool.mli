@@ -32,6 +32,32 @@ val jobs : t -> int
     @raise Invalid_argument when the pool has been shut down. *)
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 
+(** The terminal record of one input that kept crashing: the exception of
+    the last attempt, its backtrace, and how many attempts were made. *)
+type failure = {
+  attempts : int;
+  exn : exn;
+  backtrace : Printexc.raw_backtrace;
+}
+
+(** [try_map ?retries pool f xs] is {!map} with per-item crash isolation:
+    an application that raises is retried up to [retries] times (default
+    1), and if every attempt fails the item yields [Error failure] while
+    every other item still runs to completion — including on the inline
+    ([jobs = 1]) path, where {!map} would stop at the first exception.
+    Results preserve input order.
+
+    Each (item, attempt) consults the ["pool.worker"] fault point
+    ({!Pchls_resil.Fault}) keyed by input index and salted by attempt
+    number, so seeded chaos campaigns kill deterministic subsets of tasks.
+    Retries and terminal failures are counted in the [pool.task_retries] /
+    [pool.task_failures] metrics.
+
+    @raise Invalid_argument when [retries < 0] or the pool has been shut
+    down. *)
+val try_map :
+  ?retries:int -> t -> ('a -> 'b) -> 'a list -> ('b, failure) result list
+
 (** [map_reduce pool ~map ~reduce ~init xs] maps in parallel like {!map},
     then folds the results sequentially in input order:
     [reduce (... (reduce init y0) ...) yn]. The fold order is deterministic,

@@ -1,0 +1,35 @@
+let rec mkdirs dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdirs parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.is_directory dir ->
+      (* A concurrent writer won the race; that is fine. *)
+      ()
+  end
+
+(* Unique within the process so concurrent writers in a pool never share a
+   temporary; the pid separates concurrent processes on the same dir. *)
+let seq = Atomic.make 0
+
+let with_out path f =
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+      (Atomic.fetch_and_add seq 1)
+  in
+  let oc = open_out_bin tmp in
+  (match f oc with
+  | () -> close_out oc
+  | exception exn ->
+    let bt = Printexc.get_raw_backtrace () in
+    close_out_noerr oc;
+    (try Sys.remove tmp with Sys_error _ -> ());
+    Printexc.raise_with_backtrace exn bt);
+  match Sys.rename tmp path with
+  | () -> ()
+  | exception exn ->
+    let bt = Printexc.get_raw_backtrace () in
+    (try Sys.remove tmp with Sys_error _ -> ());
+    Printexc.raise_with_backtrace exn bt
+
+let write_file path content = with_out path (fun oc -> output_string oc content)

@@ -1,0 +1,26 @@
+(** Crash-safe small-file writes.
+
+    Readers of a directory of cache entries or corpus reproducers must
+    never observe a half-written file: a crash (or injected fault) between
+    [open_out] and [close_out] would otherwise leave a truncated entry
+    that poisons every later run. Writes here go to a unique temporary in
+    the {e same} directory and are published with [Sys.rename], which is
+    atomic on POSIX filesystems. *)
+
+(** [mkdirs dir] creates [dir] and its missing parents (like
+    [mkdir -p]); existing directories are fine. Raises [Sys_error] /
+    [Unix.Unix_error] on real failures (e.g. a file in the way). *)
+val mkdirs : string -> unit
+
+(** [write_file path content] atomically replaces [path] with [content]:
+    the bytes land in [path ^ ".tmp.<pid>.<seq>"] first and are renamed
+    over [path] only once fully flushed. The temporary is removed on
+    failure. Raises [Sys_error] when the directory is missing or the
+    filesystem rejects the write. *)
+val write_file : string -> string -> unit
+
+(** [with_out path f] is {!write_file} for incremental producers: [f]
+    receives an output channel on the temporary, and the rename happens
+    after [f] returns. On exception the temporary is removed and the
+    exception re-raised; [path] is untouched. *)
+val with_out : string -> (out_channel -> unit) -> unit

@@ -1,0 +1,61 @@
+module Clock = Pchls_obs.Clock
+module Metrics = Pchls_obs.Metrics
+
+let m_retries = Metrics.counter "resil.retries"
+let h_backoff = Metrics.histogram "resil.backoff_ns" ~buckets:Metrics.ns_buckets
+
+type outcome = { attempts : int; slept_ns : int64 }
+
+let default_retryable = function
+  | Fault.Injected _ | Sys_error _ -> true
+  | _ -> false
+
+(* Busy-wait on the monotonic clock: portable (no Unix dependency here)
+   and the default delays are short enough that yielding is sufficient. *)
+let default_sleep ns =
+  let until = Int64.add (Clock.now_ns ()) ns in
+  while Int64.compare (Clock.now_ns ()) until < 0 do
+    Domain.cpu_relax ()
+  done
+
+let run ?(attempts = 3) ?(base_delay_ns = 1_000_000L)
+    ?(max_delay_ns = 100_000_000L) ?(seed = 0) ?(sleep = default_sleep) ?budget
+    ?(retryable = default_retryable) f =
+  if attempts < 1 then
+    invalid_arg (Printf.sprintf "Retry.run: attempts < 1 (%d)" attempts);
+  let rng = Random.State.make [| seed |] in
+  let slept = ref 0L in
+  let rec go attempt prev_delay =
+    match f attempt with
+    | v ->
+      if attempt > 0 then Metrics.incr m_retries;
+      (v, { attempts = attempt + 1; slept_ns = !slept })
+    | exception exn ->
+      let bt = Printexc.get_raw_backtrace () in
+      let give_up =
+        attempt + 1 >= attempts
+        || (not (retryable exn))
+        || (match budget with Some b -> Budget.exhausted b | None -> false)
+      in
+      if give_up then Printexc.raise_with_backtrace exn bt
+      else begin
+        (* Decorrelated jitter: uniform in [base, 3 * previous], capped. *)
+        let span = Int64.sub (Int64.mul 3L prev_delay) base_delay_ns in
+        let delay =
+          Int64.add base_delay_ns
+            (if Int64.compare span 0L > 0 then Random.State.int64 rng span
+             else 0L)
+        in
+        let delay = Int64.min delay max_delay_ns in
+        let delay =
+          match Option.bind budget Budget.remaining_ns with
+          | Some left -> Int64.min delay left
+          | None -> delay
+        in
+        Metrics.observe h_backoff (Int64.to_float delay);
+        sleep delay;
+        slept := Int64.add !slept delay;
+        go (attempt + 1) delay
+      end
+  in
+  go 0 base_delay_ns

@@ -1,0 +1,50 @@
+(** A bounded retry combinator with exponential backoff and decorrelated
+    jitter.
+
+    Retries are for {e transient} failures — a worker domain killed by an
+    injected fault, a cache file mid-rename, contention on a shared
+    resource. Everything else should fail fast, so callers select what is
+    transient with [retryable]; by default nothing outside
+    {!Fault.Injected} and [Sys_error] is retried.
+
+    Backoff follows the "decorrelated jitter" scheme: each delay is drawn
+    uniformly from [[base, 3 * previous]] and capped at [max_delay], from
+    a caller-seeded PRNG so campaigns replay deterministically. *)
+
+type outcome = {
+  attempts : int;  (** how many times [f] was invoked (>= 1) *)
+  slept_ns : int64;  (** total backoff spent between attempts *)
+}
+
+(** [run ?attempts ?base_delay_ns ?max_delay_ns ?seed ?sleep ?budget
+    ?retryable f] invokes [f attempt] (attempt numbers start at 0) until
+    it returns, a non-retryable exception escapes, [attempts] (default 3)
+    invocations have failed, or [budget] is exhausted between attempts.
+
+    - [retryable exn] (default: [Fault.Injected _] and [Sys_error _])
+      selects which exceptions are worth another attempt; others are
+      re-raised immediately with their original backtrace.
+    - [base_delay_ns] (default 1ms) seeds the backoff; [max_delay_ns]
+      (default 100ms) caps it. The PRNG is seeded from [seed] (default 0).
+    - [sleep ns] (default: a monotonic-clock wait) is swappable so tests
+      run without real delays.
+    - When [budget] is exhausted before a retry would start, the last
+      exception is re-raised instead of sleeping; the wait never
+      overshoots [Budget.remaining_ns].
+
+    On success returns [(v, outcome)]; on exhaustion re-raises the last
+    exception. Successful retries (attempt > 0 succeeding) bump the
+    [resil.retries] counter; each backoff is observed in the
+    [resil.backoff_ns] histogram.
+
+    @raise Invalid_argument when [attempts < 1]. *)
+val run :
+  ?attempts:int ->
+  ?base_delay_ns:int64 ->
+  ?max_delay_ns:int64 ->
+  ?seed:int ->
+  ?sleep:(int64 -> unit) ->
+  ?budget:Budget.t ->
+  ?retryable:(exn -> bool) ->
+  (int -> 'a) ->
+  'a * outcome

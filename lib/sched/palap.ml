@@ -7,13 +7,14 @@ let m_runs = Metrics.counter "palap.runs"
 (* palap is pasap on the reversed graph, so its span encloses a pasap.run
    span and its delay bumps land in the shared pasap.offset_delays
    counter. *)
-let run g ~info ~horizon ?power_limit ?(locked = []) () =
+let run g ~info ~horizon ?power_limit ?(locked = []) ?cancelled () =
   Metrics.incr m_runs;
   Trace.span ~cat:"sched" "palap.run" @@ fun () ->
   let mirror id t = horizon - t - (info id).Schedule.latency in
   let locked_rev = List.map (fun (id, t) -> (id, mirror id t)) locked in
   match
-    Pasap.run (Graph.reverse g) ~info ~horizon ?power_limit ~locked:locked_rev ()
+    Pasap.run (Graph.reverse g) ~info ~horizon ?power_limit ~locked:locked_rev
+      ?cancelled ()
   with
   | Pasap.Infeasible _ as inf -> inf
   | Pasap.Feasible rev ->

@@ -6,13 +6,15 @@
     the reversed graph and mirroring start times: [t = horizon - t_rev - d].
     With the default infinite [power_limit] this is classic ALAP. *)
 
-(** [run g ~info ~horizon ?power_limit ?locked ()] — same contract as
-    {!Pasap.run}; [locked] times are in the original (forward) time domain. *)
+(** [run g ~info ~horizon ?power_limit ?locked ?cancelled ()] — same
+    contract as {!Pasap.run}; [locked] times are in the original (forward)
+    time domain. *)
 val run :
   Pchls_dfg.Graph.t ->
   info:(int -> Schedule.op_info) ->
   horizon:int ->
   ?power_limit:float ->
   ?locked:(int * int) list ->
+  ?cancelled:(unit -> bool) ->
   unit ->
   Pasap.outcome

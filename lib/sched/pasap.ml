@@ -23,7 +23,8 @@ type ready = { id : int; est : int; mutable offset : int; priority : int }
 
 exception Stop of outcome
 
-let run g ~info ~horizon ?(power_limit = infinity) ?(locked = []) () =
+let run g ~info ~horizon ?(power_limit = infinity) ?(locked = [])
+    ?(cancelled = fun () -> false) () =
   if horizon < 0 then invalid_arg "Pasap.run: negative horizon";
   List.iter
     (fun (id, _) ->
@@ -121,6 +122,11 @@ let run g ~info ~horizon ?(power_limit = infinity) ?(locked = []) () =
         (Graph.succs g r.id)
     in
     let rec loop () =
+      (* Cooperative cancellation: polled once per placement/offset bump, so
+         a deadline interrupts even a pathologically power-bound schedule
+         (whose offset-delay loop dominates the run time). *)
+      if cancelled () then
+        raise (Stop (Infeasible { node = -1; reason = "cancelled" }));
       match pick () with
       | None -> ()
       | Some r ->

@@ -25,6 +25,11 @@ type outcome =
     locked operation violating a precedence or the horizon makes the run
     infeasible.
 
+    [cancelled] is polled once per placement or offset bump; when it turns
+    true the run stops with [Infeasible {node = -1; reason = "cancelled"}].
+    This is how {!Pchls_core.Engine} deadlines interrupt a scheduler stuck
+    in the power-feasibility delay loop mid-iteration.
+
     @raise Invalid_argument if [horizon < 0], or a locked id is not in [g],
     or is locked twice. *)
 val run :
@@ -33,6 +38,7 @@ val run :
   horizon:int ->
   ?power_limit:float ->
   ?locked:(int * int) list ->
+  ?cancelled:(unit -> bool) ->
   unit ->
   outcome
 

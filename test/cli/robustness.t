@@ -1,0 +1,63 @@
+Anytime synthesis under a budget. An exhausted --max-iters budget is
+deterministic: the engine force-completes the remaining operations on
+their default modules, reports the partial design with a
+partial=iterations stats marker, and exits 3 (not 0, not a crash).
+
+  $ pchls synth -b hal -t 17 -p 10 --max-iters 2 > partial.out; echo "exit=$?"
+  exit=3
+  $ grep -E "^(stats:|# deadline)" partial.out
+  stats: decisions=2 merges=0 retypes=1 new=1 backtracks=0 upgrades=0 partial=iterations forced=19
+  # deadline: partial results (iteration budget exhausted)
+
+The partial result is a complete, well-formed design report: every
+operation is bound and the header/area lines are intact.
+
+  $ grep -cE "^design for hal|^area: " partial.out
+  2
+  $ grep -c "@" partial.out
+  20
+
+A wall-clock deadline that expires before anything feasible exists
+reports a deadline-flavoured infeasibility, still exiting 3:
+
+  $ pchls synth -b hal -t 17 -p 10 --deadline-ms 0
+  hal: infeasible: deadline exceeded before a feasible design was found (wall-clock deadline exceeded)
+  # deadline: partial results (wall-clock deadline exceeded)
+  [3]
+
+A sweep interrupted mid-grid marks the unreached points with "!" and
+keeps every point it did finish; the partial-results trailer and exit
+code tell scripts the table is incomplete:
+
+  $ pchls sweep -b elliptic -t 60 -j 1 --deadline-ms 5 > sweep.out 2>&1; echo "exit=$?"
+  exit=3
+  $ tail -n 1 sweep.out
+  # deadline: partial results (wall-clock deadline exceeded)
+  $ grep -c '!' sweep.out
+  1
+
+An unlimited run is byte-identical to one under a budget that never
+expires (the anytime property):
+
+  $ pchls synth -b hal -t 17 -p 10 > plain.out
+  $ pchls synth -b hal -t 17 -p 10 --deadline-ms 1000000 --max-iters 1000000 > budgeted.out
+  $ cmp plain.out budgeted.out
+
+Chaos spec hygiene: a typo in PCHLS_CHAOS must never silently disarm a
+campaign — the unknown point is diagnosed once on stderr with the
+catalog of known fault points, and the run proceeds normally:
+
+  $ PCHLS_CHAOS=pool.wrker pchls synth -b hal -t 17 -p 100 > /dev/null
+  pchls: warning: PCHLS_CHAOS: unknown fault point "pool.wrker" (known: engine.power-check, cache.read, cache.write, pool.worker, explore.point)
+
+An injected disk-cache write fault degrades the store to cache-off with
+a warning instead of aborting synthesis: the design still comes out and
+the cache line records the degradation.
+
+  $ PCHLS_CHAOS=cache.write pchls synth -b hal -t 17 -p 10 --cache-dir chaos-cache > degraded.out; echo "exit=$?"
+  pchls: warning: cache disk tier disabled, continuing without it: injected fault: cache.write
+  exit=0
+  $ grep "^# cache:" degraded.out
+  # cache: hits=0 (memory=0 disk=0) misses=1 stores=1 degraded
+  $ pchls cache stats --cache-dir chaos-cache
+  cache chaos-cache: 0 entries, 0 bytes

@@ -283,6 +283,95 @@ let test_corrupt_and_stale_entries_skipped () =
   let again = Store.create ~dir () in
   check_summary "overwritten entry parses" sample_summary (Store.find again k)
 
+(* --- resilience: quarantine and degraded disk tier ---------------------- *)
+
+module Fault = Pchls_resil.Fault
+
+let with_chaos spec f =
+  Fault.set (Some spec);
+  Fun.protect ~finally:(fun () -> Fault.set None) f
+
+let test_corrupt_entry_quarantined () =
+  let dir = fresh_dir () in
+  let store = Store.create ~dir () in
+  let k = key "dead" 9 50. in
+  Store.add store k sample_summary;
+  let disk = Option.get (Store.dir store) in
+  Array.iter
+    (fun f ->
+      let oc = open_out (Filename.concat disk f) in
+      output_string oc "not a cache entry at all\n";
+      close_out oc)
+    (Sys.readdir disk);
+  let reopened = Store.create ~dir () in
+  Alcotest.(check bool) "corrupt entry misses" true
+    (Store.find reopened k = None);
+  let s = Store.stats reopened in
+  Alcotest.(check int) "counted as corrupt" 1 s.Store.corrupt;
+  Alcotest.(check bool) "not a disk failure" false s.Store.degraded;
+  let bad, live =
+    Array.to_list (Sys.readdir disk)
+    |> List.partition (fun f -> Filename.check_suffix f ".bad")
+  in
+  Alcotest.(check int) "quarantined to *.bad" 1 (List.length bad);
+  Alcotest.(check (list string)) "no live entry left" [] live;
+  Alcotest.(check bool) "stats line shows it" true
+    (let line = Format.asprintf "%a" Store.pp_stats s in
+     String.length line > 0
+     &&
+     let rec contains i =
+       i + 9 <= String.length line
+       && (String.sub line i 9 = "corrupt=1" || contains (i + 1))
+     in
+     contains 0);
+  (* The slot is writable again: a fresh add round-trips. *)
+  Store.add reopened k sample_summary;
+  check_summary "rewritten entry parses" sample_summary
+    (Store.find (Store.create ~dir ()) k)
+
+let test_write_fault_degrades_to_cache_off () =
+  let dir = fresh_dir () in
+  let k = key "beef" 11 30. in
+  with_chaos "cache.write" (fun () ->
+      let store = Store.create ~dir () in
+      Store.add store k sample_summary;
+      let s = Store.stats store in
+      Alcotest.(check bool) "degraded after write fault" true s.Store.degraded;
+      (* The memory tier keeps the result: synthesis sees a hit, not an
+         abort. *)
+      check_summary "memory tier still serves" sample_summary
+        (Store.find store k);
+      Alcotest.(check (pair int int))
+        "nothing reached the disk" (0, 0) (Store.disk_usage ~dir);
+      (* Degradation is permanent for this store, even once the fault is
+         gone. *)
+      Fault.set None;
+      Store.add store (key "beef" 11 5.) (Store.Infeasible "x");
+      Alcotest.(check (pair int int))
+        "disk tier stays off" (0, 0) (Store.disk_usage ~dir));
+  (* A fresh store over the same directory starts healthy. *)
+  let healthy = Store.create ~dir () in
+  Store.add healthy k sample_summary;
+  Alcotest.(check bool) "fresh store writes through" true
+    (fst (Store.disk_usage ~dir) = 1);
+  Alcotest.(check bool) "fresh store not degraded" false
+    (Store.stats healthy).Store.degraded
+
+let test_read_fault_degrades_to_cache_off () =
+  let dir = fresh_dir () in
+  let k = key "f00d" 13 40. in
+  let writer = Store.create ~dir () in
+  Store.add writer k sample_summary;
+  with_chaos "cache.read" (fun () ->
+      let store = Store.create ~dir () in
+      Alcotest.(check bool) "disk hit lost, not fatal" true
+        (Store.find store k = None);
+      Alcotest.(check bool) "degraded" true (Store.stats store).Store.degraded;
+      (* Misses fall back to engine-and-memory: adds and repeat finds keep
+         working in memory. *)
+      Store.add store k sample_summary;
+      check_summary "memory round-trip" sample_summary (Store.find store k))
+
 (* --- cached exploration ------------------------------------------------- *)
 
 module B = Pchls_dfg.Benchmarks
@@ -293,7 +382,8 @@ let point_signature pt =
     | Explore.Feasible { area; peak; design } ->
       Printf.sprintf "area=%h peak=%h makespan=%d" area peak
         (Design.makespan design)
-    | Explore.Infeasible reason -> "infeasible: " ^ reason)
+    | Explore.Infeasible reason -> "infeasible: " ^ reason
+    | Explore.Failed reason -> "failed: " ^ reason)
 
 let test_cached_sweep_identical_and_engine_free () =
   let times = [ 10; 17 ] and powers = [ 5.; 20.; 100. ] in
@@ -403,6 +493,12 @@ let () =
         [
           Alcotest.test_case "memory roundtrip" `Quick test_memory_roundtrip;
           Alcotest.test_case "disk roundtrip" `Quick test_disk_roundtrip;
+          Alcotest.test_case "corrupt entry quarantined" `Quick
+            test_corrupt_entry_quarantined;
+          Alcotest.test_case "write fault degrades to cache-off" `Quick
+            test_write_fault_degrades_to_cache_off;
+          Alcotest.test_case "read fault degrades to cache-off" `Quick
+            test_read_fault_degrades_to_cache_off;
           Alcotest.test_case "corrupt/stale skipped" `Quick
             test_corrupt_and_stale_entries_skipped;
         ] );

@@ -245,6 +245,113 @@ let test_retype_builds_alu () =
   in
   Alcotest.(check bool) "ALU allocated" true (List.mem "ALU" names)
 
+(* --- anytime synthesis under a budget ----------------------------------- *)
+
+module Budget = Pchls_resil.Budget
+
+let design_signature d =
+  Printf.sprintf "area=%h makespan=%d instances=%s"
+    (Design.area d).Design.total (Design.makespan d)
+    (String.concat ";"
+       (List.map
+          (fun (i : Design.instance) ->
+            Printf.sprintf "%d:%s:%s" i.Design.id
+              i.Design.spec.Module_spec.name
+              (String.concat ","
+                 (List.map
+                    (fun (op, t) -> Printf.sprintf "%d@%d" op t)
+                    i.Design.ops)))
+          (Design.instances d)))
+
+let test_unbounded_budget_byte_identical () =
+  (* The anytime property: threading a budget that never expires must not
+     perturb a single decision. *)
+  let run deadline =
+    match
+      Engine.run ?deadline ~library:lib ~time_limit:17 ~power_limit:10. B.hal
+    with
+    | Engine.Synthesized (d, s) -> (design_signature d, s.Engine.completion)
+    | Engine.Infeasible { reason } -> Alcotest.fail reason
+  in
+  let plain, completion = run None in
+  Alcotest.(check bool) "complete" true (completion = Engine.Complete);
+  let budgeted, completion =
+    run (Some (Budget.make ~deadline_ms:1e9 ~max_iters:max_int ()))
+  in
+  Alcotest.(check bool) "complete under budget" true
+    (completion = Engine.Complete);
+  Alcotest.(check string) "identical design" plain budgeted
+
+let test_exhausted_iterations_force_partial_design () =
+  (* max_iters = 0 refuses the very first engine iteration, so every
+     operation is force-completed on its default module — the worst-case
+     partial result, which must still be a valid design. *)
+  let b = Budget.make ~max_iters:0 () in
+  match
+    Engine.run ~deadline:b ~library:lib ~time_limit:17 ~power_limit:100. B.hal
+  with
+  | Engine.Infeasible { reason } -> Alcotest.fail reason
+  | Engine.Synthesized (d, s) ->
+    check_design B.hal d ~t:17 ~p:100.;
+    (match s.Engine.completion with
+    | Engine.Deadline_exceeded { reason = Budget.Iterations; forced } ->
+      Alcotest.(check int)
+        "every operation forced" (Graph.node_count B.hal) forced
+    | Engine.Deadline_exceeded { reason; _ } ->
+      Alcotest.failf "wrong reason: %s" (Budget.reason_to_string reason)
+    | Engine.Complete -> Alcotest.fail "expected a partial completion");
+    (* A partial design shares nothing, so a full run is never larger. *)
+    let full, _ = synth ~t:17 ~p:100. B.hal in
+    Alcotest.(check bool) "full run no larger" true
+      ((Design.area full).Design.total <= (Design.area d).Design.total)
+
+let test_partial_quality_monotone_in_iterations () =
+  let area_at iters =
+    let b = Budget.make ~max_iters:iters () in
+    match
+      Engine.run ~deadline:b ~library:lib ~time_limit:17 ~power_limit:100.
+        B.hal
+    with
+    | Engine.Synthesized (d, _) -> (Design.area d).Design.total
+    | Engine.Infeasible { reason } -> Alcotest.fail reason
+  in
+  (* More budget never hurts on this instance: each committed decision is
+     a sharing opportunity the forced tail would have missed. *)
+  let a0 = area_at 0 and a3 = area_at 3 and a_full = area_at 10_000 in
+  Alcotest.(check bool) "3 iters <= 0 iters" true (a3 <= a0);
+  Alcotest.(check bool) "full <= 3 iters" true (a_full <= a3)
+
+let test_expired_wall_clock_never_raises () =
+  (* Expiry before the schedulers have produced anything feasible reports
+     a deadline-flavoured infeasibility instead of raising. *)
+  let contains ~needle hay =
+    let n = String.length needle and m = String.length hay in
+    let rec go i =
+      i + n <= m && (String.sub hay i n = needle || go (i + 1))
+    in
+    go 0
+  in
+  let b = Budget.make ~deadline_ms:0. () in
+  (match
+     Engine.run ~deadline:b ~library:lib ~time_limit:17 ~power_limit:10. B.hal
+   with
+  | Engine.Synthesized (_, s) ->
+    Alcotest.(check bool) "partial" true (s.Engine.completion <> Engine.Complete)
+  | Engine.Infeasible { reason } ->
+    Alcotest.(check bool) "reason mentions the deadline" true
+      (contains ~needle:"deadline exceeded" reason));
+  let cancelled = Budget.make () in
+  Budget.cancel cancelled;
+  match
+    Engine.run ~deadline:cancelled ~library:lib ~time_limit:17
+      ~power_limit:10. B.hal
+  with
+  | Engine.Synthesized (_, s) ->
+    Alcotest.(check bool) "partial" true (s.Engine.completion <> Engine.Complete)
+  | Engine.Infeasible { reason } ->
+    Alcotest.(check bool) "reason mentions cancellation" true
+      (contains ~needle:"cancelled" reason)
+
 let () =
   Alcotest.run "engine"
     [
@@ -292,5 +399,16 @@ let () =
           Alcotest.test_case "cost model changes area" `Quick
             test_cost_model_changes_area;
           Alcotest.test_case "deterministic" `Quick test_deterministic;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "unbounded budget byte-identical" `Quick
+            test_unbounded_budget_byte_identical;
+          Alcotest.test_case "forced partial design valid" `Quick
+            test_exhausted_iterations_force_partial_design;
+          Alcotest.test_case "quality monotone in iterations" `Quick
+            test_partial_quality_monotone_in_iterations;
+          Alcotest.test_case "expired budget never raises" `Quick
+            test_expired_wall_clock_never_raises;
         ] );
     ]

@@ -29,14 +29,15 @@ let test_sweep_outcomes () =
   in
   (match result 10 5. with
   | Explore.Infeasible _ -> ()
-  | Explore.Feasible _ -> Alcotest.fail "hal T=10 P=5 should be infeasible");
+  | Explore.Feasible _ -> Alcotest.fail "hal T=10 P=5 should be infeasible"
+  | Explore.Failed r -> Alcotest.fail r);
   match result 17 100. with
   | Explore.Feasible { area; peak; design } ->
     Alcotest.(check bool) "area positive" true (area > 0.);
     Alcotest.(check bool) "peak positive" true (peak > 0.);
     Alcotest.(check bool) "design matches" true
       (Float.equal (Design.area design).Design.total area)
-  | Explore.Infeasible r -> Alcotest.fail r
+  | Explore.Infeasible r | Explore.Failed r -> Alcotest.fail r
 
 let test_min_feasible_power () =
   let points = hal_points () in
@@ -71,7 +72,8 @@ let test_pareto_drops_dominated () =
                    || area_a < area_b)
               in
               Alcotest.(check bool) "no domination inside front" false dominated
-            | (Explore.Feasible _ | Explore.Infeasible _), _ ->
+            | (Explore.Feasible _ | Explore.Infeasible _ | Explore.Failed _), _
+              ->
               Alcotest.fail "front contains infeasible point")
         front)
     front;
@@ -79,7 +81,7 @@ let test_pareto_drops_dominated () =
   List.iter
     (fun p ->
       match p.Explore.result with
-      | Explore.Infeasible _ -> ()
+      | Explore.Infeasible _ | Explore.Failed _ -> ()
       | Explore.Feasible _ ->
         Alcotest.(check bool) "covered" true
           (List.exists
@@ -91,7 +93,10 @@ let test_pareto_drops_dominated () =
                     q.Explore.time_limit <= p.Explore.time_limit
                     && q.Explore.power_limit <= p.Explore.power_limit
                     && area_q <= area_p
-                  | (Explore.Feasible _ | Explore.Infeasible _), _ -> false))
+                  | ( (Explore.Feasible _ | Explore.Infeasible _
+                      | Explore.Failed _),
+                      _ ) ->
+                    false))
              front))
     points
 

@@ -229,6 +229,54 @@ let test_chaos_bug_caught_and_shrunk () =
         Alcotest.(check int) "all fixed" 0 r.Fuzz.still_failing;
         Alcotest.(check int) "all readable" 0 r.Fuzz.unreadable)
 
+(* --- chaos: worker faults are tallied, never forged into findings -------- *)
+
+let test_worker_faults_tallied_not_findings () =
+  Fun.protect
+    ~finally:(fun () -> Chaos.set None)
+    (fun () ->
+      Chaos.set (Some "pool.worker:0.3:5");
+      let config =
+        { Fuzz.default_config with Fuzz.runs = 40; seed = 1; jobs = 2 }
+      in
+      let s =
+        match Fuzz.run config with Ok s -> s | Error m -> Alcotest.fail m
+      in
+      (* The engine is healthy, so injected worker crashes must surface as
+         the faulted tally — zero oracle findings. *)
+      Alcotest.(check (list pass)) "no findings" [] s.Fuzz.findings;
+      Alcotest.(check bool) "some cases faulted" true (s.Fuzz.faulted > 0);
+      Alcotest.(check int) "every case accounted for" config.Fuzz.runs
+        (s.Fuzz.feasible + s.Fuzz.infeasible + s.Fuzz.faulted);
+      (* The faulted tally appears in the report; the summary stays silent
+         about chaos when nothing fired. *)
+      let line = Fuzz.render_summary s in
+      let contains needle hay =
+        let n = String.length needle and m = String.length hay in
+        let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "report shows the tally" true
+        (contains (Printf.sprintf "%d faulted" s.Fuzz.faulted) line);
+      Chaos.set None;
+      let clean =
+        match Fuzz.run config with Ok s -> s | Error m -> Alcotest.fail m
+      in
+      Alcotest.(check int) "disarmed campaign has no faults" 0
+        clean.Fuzz.faulted;
+      Alcotest.(check bool) "disarmed report omits the tally" false
+        (contains "faulted" (Fuzz.render_summary clean)))
+
+let test_expired_deadline_skips_remaining_cases () =
+  let b = Pchls_resil.Budget.make ~deadline_ms:0. () in
+  let config =
+    { Fuzz.default_config with Fuzz.runs = 10; jobs = 2; deadline = Some b }
+  in
+  let s = match Fuzz.run config with Ok s -> s | Error m -> Alcotest.fail m in
+  Alcotest.(check int) "all cases skipped" 10 s.Fuzz.deadline_skipped;
+  Alcotest.(check (list pass)) "no findings" [] s.Fuzz.findings;
+  Alcotest.(check int) "nothing ran" 0 (s.Fuzz.feasible + s.Fuzz.infeasible)
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -261,5 +309,9 @@ let () =
         [
           Alcotest.test_case "seeded bug caught, shrunk, replayed" `Quick
             test_chaos_bug_caught_and_shrunk;
+          Alcotest.test_case "worker faults tallied, not findings" `Quick
+            test_worker_faults_tallied_not_findings;
+          Alcotest.test_case "expired deadline skips cases" `Quick
+            test_expired_deadline_skips_remaining_cases;
         ] );
     ]

@@ -8,6 +8,7 @@ module Design = Pchls_core.Design
 module Generator = Pchls_dfg.Generator
 module Graph = Pchls_dfg.Graph
 module Library = Pchls_fulib.Library
+module B = Pchls_dfg.Benchmarks
 
 let test_map_preserves_order () =
   Pool.with_pool ~jobs:4 (fun pool ->
@@ -91,6 +92,148 @@ let test_pool_reuse_across_maps () =
           (Pool.map pool (fun x -> x + i) xs)
       done)
 
+(* --- try_map: per-item isolation, retries, chaos ------------------------ *)
+
+module Fault = Pchls_resil.Fault
+
+let with_chaos spec f =
+  Fault.set (Some spec);
+  Fun.protect ~finally:(fun () -> Fault.set None) f
+
+let outcome_signature = function
+  | Ok v -> Printf.sprintf "ok:%d" v
+  | Error (f : Pool.failure) ->
+    Printf.sprintf "error(%d):%s" f.Pool.attempts (Printexc.to_string f.exn)
+
+let test_try_map_isolates_failures () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let xs = List.init 20 Fun.id in
+      let results =
+        Pool.try_map pool
+          (fun x -> if x mod 7 = 3 then failwith "boom" else x * x)
+          xs
+      in
+      Alcotest.(check (list string))
+        "failures isolated, order preserved"
+        (List.map
+           (fun x ->
+             if x mod 7 = 3 then "error(2):Failure(\"boom\")"
+             else Printf.sprintf "ok:%d" (x * x))
+           xs)
+        (List.map outcome_signature results))
+
+let test_try_map_inline_continues_past_failures () =
+  (* Unlike map (which stops at the first exception when jobs = 1), the
+     inline try_map path must still evaluate every item. *)
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let evaluated = ref [] in
+      let results =
+        Pool.try_map ~retries:0 pool
+          (fun x ->
+            evaluated := x :: !evaluated;
+            if x = 0 then failwith "boom" else x)
+          [ 0; 1; 2 ]
+      in
+      Alcotest.(check (list int)) "all evaluated" [ 0; 1; 2 ]
+        (List.sort compare !evaluated);
+      Alcotest.(check (list string))
+        "first failed, rest fine"
+        [ "error(1):Failure(\"boom\")"; "ok:1"; "ok:2" ]
+        (List.map outcome_signature results))
+
+let test_try_map_retry_recovers_flaky_item () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let attempts = Hashtbl.create 8 in
+      let results =
+        Pool.try_map ~retries:2 pool
+          (fun x ->
+            let n = try Hashtbl.find attempts x with Not_found -> 0 in
+            Hashtbl.replace attempts x (n + 1);
+            if x = 1 && n < 2 then failwith "flaky" else x)
+          [ 0; 1; 2 ]
+      in
+      Alcotest.(check (list string))
+        "flaky item recovered on third attempt"
+        [ "ok:0"; "ok:1"; "ok:2" ]
+        (List.map outcome_signature results);
+      Alcotest.(check int) "item 1 took 3 attempts" 3
+        (Hashtbl.find attempts 1))
+
+let test_try_map_chaos_kills_seeded_subset () =
+  (* A fault at p=1 kills every attempt of every item; the campaign still
+     returns one terminal failure per item instead of aborting. *)
+  with_chaos "pool.worker" (fun () ->
+      Pool.with_pool ~jobs:4 (fun pool ->
+          let results = Pool.try_map ~retries:1 pool (fun x -> x) [ 1; 2; 3 ] in
+          List.iter
+            (fun r ->
+              match r with
+              | Error { Pool.attempts = 2; exn = Fault.Injected "pool.worker"; _ }
+                ->
+                ()
+              | r -> Alcotest.failf "unexpected: %s" (outcome_signature r))
+            results));
+  (* At p=0.5 the doomed items (both salted attempts firing) are exactly
+     predictable from the pure draw function, whatever the scheduling. *)
+  with_chaos "pool.worker:0.5:11" (fun () ->
+      let doomed key =
+        Fault.fires ~key ~salt:0 "pool.worker"
+        && Fault.fires ~key ~salt:1 "pool.worker"
+      in
+      let expected =
+        List.init 32 (fun i ->
+            if doomed i then "error" else Printf.sprintf "ok:%d" (i * i))
+      in
+      Pool.with_pool ~jobs:4 (fun pool ->
+          let results =
+            Pool.try_map ~retries:1 pool (fun x -> x * x) (List.init 32 Fun.id)
+          in
+          Alcotest.(check (list string))
+            "exactly the doomed subset fails" expected
+            (List.map
+               (function
+                 | Ok v -> Printf.sprintf "ok:%d" v
+                 | Error _ -> "error")
+               results)))
+
+let test_try_map_rejects_negative_retries () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check bool) "invalid" true
+        (try
+           ignore (Pool.try_map ~retries:(-1) pool Fun.id [ 1 ]);
+           false
+         with Invalid_argument _ -> true))
+
+(* Satellite: shutdown while tasks are raising in flight must join every
+   worker exactly once — no deadlock, no leaked domain, and the pool ends
+   cleanly closed. *)
+let test_shutdown_with_in_flight_exceptions () =
+  for round = 0 to 4 do
+    let pool = Pool.create ~jobs:4 () in
+    (try
+       ignore
+         (Pool.map pool
+            (fun x ->
+              if x mod 3 = round mod 3 then failwith "in-flight crash"
+              else x)
+            (List.init 64 Fun.id))
+     with Failure _ -> ());
+    (* try_map failures must not poison shutdown either. *)
+    let results =
+      Pool.try_map ~retries:0 pool
+        (fun x -> if x land 1 = 0 then raise Exit else x)
+        (List.init 16 Fun.id)
+    in
+    Alcotest.(check int)
+      "half the items failed" 8
+      (List.length (List.filter Result.is_error results));
+    Pool.shutdown pool;
+    Pool.shutdown pool;
+    Alcotest.check_raises "closed after crashy rounds"
+      (Invalid_argument "Pool: pool has been shut down") (fun () ->
+        ignore (Pool.try_map pool Fun.id [ 1 ]))
+  done
+
 (* --- parallel sweep equivalence ----------------------------------------- *)
 
 let point_signature pt =
@@ -109,7 +252,54 @@ let point_signature pt =
                         (fun (op, t) -> Printf.sprintf "%d@%d" op t)
                         i.Design.ops)))
               (Design.instances design)))
-    | Explore.Infeasible reason -> "infeasible: " ^ reason)
+    | Explore.Infeasible reason -> "infeasible: " ^ reason
+    | Explore.Failed reason -> "failed: " ^ reason)
+
+(* The acceptance shape for chaos in a sweep: a seeded worker fault fails
+   exactly the affected grid points; every other point of a 16-point grid
+   is byte-identical to the unfaulted sweep. *)
+let test_sweep_under_worker_faults_fails_only_affected_points () =
+  let times = [ 10; 17 ] and powers = [ 5.; 10.; 20.; 30.; 50.; 80.; 100.; 150. ] in
+  let sweep () =
+    Explore.sweep ~jobs:4 ~library:Library.default B.hal ~times ~powers
+  in
+  let baseline = List.map point_signature (sweep ()) in
+  Alcotest.(check int) "16 points" 16 (List.length baseline);
+  (* Pick the first seed whose doomed subset is non-trivial, so the test
+     can never pass vacuously. *)
+  let doomed_under seed =
+    with_chaos (Printf.sprintf "pool.worker:0.5:%d" seed) (fun () ->
+        List.init 16 (fun key ->
+            Fault.fires ~key ~salt:0 "pool.worker"
+            && Fault.fires ~key ~salt:1 "pool.worker"))
+  in
+  let seed =
+    let rec pick seed =
+      let doomed = doomed_under seed in
+      if List.mem true doomed && List.mem false doomed then seed
+      else pick (seed + 1)
+    in
+    pick 0
+  in
+  let doomed = doomed_under seed in
+  let faulted =
+    with_chaos (Printf.sprintf "pool.worker:0.5:%d" seed) (fun () -> sweep ())
+  in
+  List.iteri
+    (fun i (reference, pt) ->
+      if List.nth doomed i then
+        match pt.Explore.result with
+        | Explore.Failed reason ->
+          Alcotest.(check string)
+            (Printf.sprintf "point %d reports the injected fault" i)
+            "injected fault: pool.worker" reason
+        | Explore.Feasible _ | Explore.Infeasible _ ->
+          Alcotest.failf "point %d should have failed" i
+      else
+        Alcotest.(check string)
+          (Printf.sprintf "point %d byte-identical" i)
+          reference (point_signature pt))
+    (List.combine baseline faulted)
 
 let graph_gen =
   QCheck.Gen.(
@@ -166,6 +356,23 @@ let () =
         [
           Alcotest.test_case "shutdown idempotent" `Quick
             test_shutdown_idempotent;
+          Alcotest.test_case "shutdown with in-flight exceptions" `Quick
+            test_shutdown_with_in_flight_exceptions;
+        ] );
+      ( "try_map",
+        [
+          Alcotest.test_case "isolates failures" `Quick
+            test_try_map_isolates_failures;
+          Alcotest.test_case "inline continues past failures" `Quick
+            test_try_map_inline_continues_past_failures;
+          Alcotest.test_case "retry recovers flaky item" `Quick
+            test_try_map_retry_recovers_flaky_item;
+          Alcotest.test_case "chaos kills seeded subset" `Quick
+            test_try_map_chaos_kills_seeded_subset;
+          Alcotest.test_case "rejects negative retries" `Quick
+            test_try_map_rejects_negative_retries;
+          Alcotest.test_case "sweep fails only faulted points" `Quick
+            test_sweep_under_worker_faults_fails_only_affected_points;
         ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest prop_parallel_sweep_identical ] );

@@ -1,0 +1,365 @@
+(* The resilience toolkit: budget tokens (wall clock, iteration caps,
+   cancellation), the seeded fault-injection registry behind PCHLS_CHAOS,
+   the retry combinator's determinism, and crash-safe atomic writes. *)
+
+module Budget = Pchls_resil.Budget
+module Fault = Pchls_resil.Fault
+module Retry = Pchls_resil.Retry
+module Atomic_io = Pchls_resil.Atomic_io
+
+(* --- budgets ------------------------------------------------------------ *)
+
+let reason =
+  Alcotest.testable Budget.pp_reason (fun a b ->
+      (a : Budget.reason) = b)
+
+let test_budget_unlimited_never_expires () =
+  let b = Budget.make () in
+  Alcotest.(check (option reason)) "check" None (Budget.check b);
+  Budget.tick b;
+  Budget.tick b;
+  Alcotest.(check (option reason)) "after ticks" None (Budget.check b);
+  Alcotest.(check bool) "exhausted" false (Budget.exhausted b);
+  Alcotest.(check (option int64)) "no deadline" None (Budget.remaining_ns b)
+
+let test_budget_iteration_cap () =
+  let b = Budget.make ~max_iters:2 () in
+  Alcotest.(check (option reason)) "fresh" None (Budget.check b);
+  Budget.tick b;
+  Alcotest.(check (option reason)) "one tick" None (Budget.check b);
+  Budget.tick b;
+  Alcotest.(check (option reason))
+    "cap reached" (Some Budget.Iterations) (Budget.check b);
+  Alcotest.(check int) "ticks counted" 2 (Budget.ticks b);
+  (* The iteration cap is not an interruption: wall clock and cancel are. *)
+  Alcotest.(check (option reason)) "interrupted" None (Budget.interrupted b)
+
+let test_budget_zero_iters_refuses_immediately () =
+  let b = Budget.make ~max_iters:0 () in
+  Alcotest.(check (option reason))
+    "refused" (Some Budget.Iterations) (Budget.check b)
+
+let test_budget_expired_deadline () =
+  let b = Budget.make ~deadline_ms:0. () in
+  (* A zero deadline is already in the past on the monotonic clock. *)
+  Alcotest.(check (option reason))
+    "expired" (Some Budget.Wall_clock) (Budget.check b);
+  Alcotest.(check (option reason))
+    "interrupting" (Some Budget.Wall_clock) (Budget.interrupted b);
+  Alcotest.(check (option int64))
+    "remaining clamped" (Some 0L) (Budget.remaining_ns b)
+
+let test_budget_cancel () =
+  let b = Budget.make ~deadline_ms:1e9 ~max_iters:1000 () in
+  Alcotest.(check (option reason)) "before" None (Budget.check b);
+  Budget.cancel b;
+  Budget.cancel b;
+  Alcotest.(check (option reason))
+    "after" (Some Budget.Cancelled) (Budget.check b);
+  Alcotest.(check (option reason))
+    "interrupting" (Some Budget.Cancelled) (Budget.interrupted b)
+
+let test_budget_rejects_negatives () =
+  Alcotest.(check bool) "deadline" true
+    (try
+       ignore (Budget.make ~deadline_ms:(-1.) ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "iters" true
+    (try
+       ignore (Budget.make ~max_iters:(-1) ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --- fault registry ----------------------------------------------------- *)
+
+let with_chaos spec f =
+  Fault.set (Some spec);
+  Fun.protect ~finally:(fun () -> Fault.set None) f
+
+let test_fault_parse_full_entry () =
+  let arms, warnings = Fault.parse "pool.worker:0.5:7,cache.write" in
+  Alcotest.(check (list string)) "no warnings" [] warnings;
+  Alcotest.(check int) "two arms" 2 (List.length arms);
+  let p, seed = List.assoc "pool.worker" arms in
+  Alcotest.(check (float 0.)) "probability" 0.5 p;
+  Alcotest.(check int) "seed" 7 seed;
+  let p, seed = List.assoc "cache.write" arms in
+  Alcotest.(check (float 0.)) "default probability" 1. p;
+  Alcotest.(check int) "default seed" 0 seed
+
+let test_fault_parse_legacy_alias () =
+  (* The pre-registry spelling must keep arming the power check. *)
+  let arms, warnings = Fault.parse "no-power-check" in
+  Alcotest.(check (list string)) "no warnings" [] warnings;
+  Alcotest.(check bool) "canonical name armed" true
+    (List.mem_assoc "engine.power-check" arms)
+
+let test_fault_parse_unknown_name_warns () =
+  (* Satellite: a typo must never silently disarm a chaos campaign. *)
+  let arms, warnings = Fault.parse "pool.wrker" in
+  Alcotest.(check (list (pair string (pair (float 0.) int))))
+    "nothing armed" [] arms;
+  match warnings with
+  | [ w ] ->
+    let contains needle =
+      let n = String.length needle and m = String.length w in
+      let rec go i = i + n <= m && (String.sub w i n = needle || go (i + 1)) in
+      go 0
+    in
+    let mentions needle =
+      Alcotest.(check bool)
+        (Printf.sprintf "warning mentions %s" needle)
+        true (contains needle)
+    in
+    mentions "pool.wrker";
+    (* The catalog of known points is part of the message. *)
+    List.iter mentions Fault.known
+  | ws ->
+    Alcotest.failf "expected exactly one warning, got %d" (List.length ws)
+
+let test_fault_parse_bad_fields () =
+  let _, w1 = Fault.parse "pool.worker:zero" in
+  Alcotest.(check bool) "bad probability warns" true (w1 <> []);
+  let _, w2 = Fault.parse "pool.worker:0.5:x" in
+  Alcotest.(check bool) "bad seed warns" true (w2 <> []);
+  let arms, w3 = Fault.parse "pool.worker:7.5" in
+  Alcotest.(check (list string)) "clamp is silent" [] w3;
+  Alcotest.(check (float 0.))
+    "probability clamped to 1" 1.
+    (fst (List.assoc "pool.worker" arms))
+
+let test_fault_unarmed_never_fires () =
+  Fault.set None;
+  Alcotest.(check bool) "fires" false (Fault.fires ~key:0 "pool.worker");
+  Fault.inject ~key:0 "pool.worker"
+
+let test_fault_probability_one_always_fires () =
+  with_chaos "pool.worker" (fun () ->
+      for key = 0 to 20 do
+        Alcotest.(check bool) "fires" true (Fault.fires ~key "pool.worker")
+      done;
+      Alcotest.(check bool) "armed" true (Fault.armed "pool.worker");
+      Alcotest.(check bool) "others unarmed" false (Fault.armed "cache.read"))
+
+let test_fault_seeded_draws_deterministic () =
+  let draws () =
+    with_chaos "pool.worker:0.5:7" (fun () ->
+        List.init 64 (fun key -> Fault.fires ~key "pool.worker"))
+  in
+  let first = draws () in
+  Alcotest.(check (list bool)) "replayed" first (draws ());
+  let fired = List.length (List.filter Fun.id first) in
+  Alcotest.(check bool)
+    (Printf.sprintf "p=0.5 fires some but not all (fired %d/64)" fired)
+    true
+    (fired > 0 && fired < 64);
+  (* A different seed is a different (still deterministic) subset. *)
+  let reseeded =
+    with_chaos "pool.worker:0.5:8" (fun () ->
+        List.init 64 (fun key -> Fault.fires ~key "pool.worker"))
+  in
+  Alcotest.(check bool) "seed matters" true (first <> reseeded);
+  (* The salt distinguishes retry attempts of one key. *)
+  let salted salt =
+    with_chaos "pool.worker:0.5:7" (fun () ->
+        List.init 64 (fun key -> Fault.fires ~key ~salt "pool.worker"))
+  in
+  Alcotest.(check bool) "salt matters" true (salted 0 <> salted 1)
+
+let test_fault_inject_raises () =
+  with_chaos "cache.read" (fun () ->
+      Alcotest.check_raises "inject" (Fault.Injected "cache.read") (fun () ->
+          Fault.inject ~key:3 "cache.read"))
+
+(* --- retry -------------------------------------------------------------- *)
+
+(* A fake sleep: records requested delays, never waits. *)
+let fake_sleep log ns = log := ns :: !log
+
+let test_retry_first_try_no_backoff () =
+  let log = ref [] in
+  let v, outcome =
+    Retry.run ~sleep:(fake_sleep log) (fun attempt -> 10 * (attempt + 1))
+  in
+  Alcotest.(check int) "value" 10 v;
+  Alcotest.(check int) "attempts" 1 outcome.Retry.attempts;
+  Alcotest.(check int64) "slept" 0L outcome.Retry.slept_ns;
+  Alcotest.(check (list int64)) "no sleeps" [] !log
+
+let test_retry_recovers_and_replays_deterministically () =
+  let run () =
+    let log = ref [] in
+    let v, outcome =
+      Retry.run ~attempts:5 ~seed:42 ~sleep:(fake_sleep log) (fun attempt ->
+          if attempt < 2 then raise (Fault.Injected "pool.worker")
+          else attempt)
+    in
+    (v, outcome.Retry.attempts, outcome.Retry.slept_ns, List.rev !log)
+  in
+  let v, attempts, slept, delays = run () in
+  Alcotest.(check int) "succeeded on third attempt" 2 v;
+  Alcotest.(check int) "attempts" 3 attempts;
+  Alcotest.(check int) "two backoffs" 2 (List.length delays);
+  Alcotest.(check int64) "slept is the sum" slept
+    (List.fold_left Int64.add 0L delays);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "delay within [base, cap]" true
+        (d >= 1_000_000L && d <= 100_000_000L))
+    delays;
+  (* Same seed, same failures: the whole outcome replays bit-for-bit. *)
+  Alcotest.(check bool) "deterministic" true (run () = (v, attempts, slept, delays))
+
+let test_retry_nonretryable_fails_fast () =
+  let calls = ref 0 in
+  Alcotest.check_raises "not retried" Exit (fun () ->
+      ignore
+        (Retry.run ~attempts:5
+           ~sleep:(fun _ -> ())
+           (fun _ ->
+             incr calls;
+             raise Exit)));
+  Alcotest.(check int) "single attempt" 1 !calls
+
+let test_retry_exhaustion_reraises_last () =
+  let calls = ref 0 in
+  Alcotest.check_raises "exhausted" (Fault.Injected "pool.worker") (fun () ->
+      ignore
+        (Retry.run ~attempts:3
+           ~sleep:(fun _ -> ())
+           (fun _ ->
+             incr calls;
+             raise (Fault.Injected "pool.worker"))));
+  Alcotest.(check int) "all attempts used" 3 !calls
+
+let test_retry_exhausted_budget_stops_retrying () =
+  let b = Budget.make ~deadline_ms:0. () in
+  let calls = ref 0 in
+  let slept = ref false in
+  Alcotest.check_raises "gives up" (Fault.Injected "pool.worker") (fun () ->
+      ignore
+        (Retry.run ~attempts:10 ~budget:b
+           ~sleep:(fun _ -> slept := true)
+           (fun _ ->
+             incr calls;
+             raise (Fault.Injected "pool.worker"))));
+  Alcotest.(check int) "no second attempt" 1 !calls;
+  Alcotest.(check bool) "never slept" false !slept
+
+let test_retry_rejects_zero_attempts () =
+  Alcotest.(check bool) "invalid" true
+    (try
+       ignore (Retry.run ~attempts:0 (fun _ -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+(* --- atomic writes ------------------------------------------------------ *)
+
+let temp_dir () =
+  let path = Filename.temp_file "pchls_resil_test" "" in
+  Sys.remove path;
+  path
+
+let files dir = Sys.readdir dir |> Array.to_list |> List.sort compare
+
+let read_all path =
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  text
+
+let test_atomic_write_roundtrip_no_temp_left () =
+  let dir = temp_dir () in
+  Atomic_io.mkdirs (Filename.concat dir "a/b");
+  Alcotest.(check bool) "nested dirs" true
+    (Sys.is_directory (Filename.concat dir "a/b"));
+  (* mkdirs is idempotent. *)
+  Atomic_io.mkdirs (Filename.concat dir "a/b");
+  let path = Filename.concat dir "a/b/entry.txt" in
+  Atomic_io.write_file path "one\n";
+  Atomic_io.write_file path "two\n";
+  Alcotest.(check string) "last write wins" "two\n" (read_all path);
+  Alcotest.(check (list string))
+    "no temporaries left" [ "entry.txt" ]
+    (files (Filename.concat dir "a/b"))
+
+let test_atomic_with_out_failure_leaves_target_untouched () =
+  let dir = temp_dir () in
+  Atomic_io.mkdirs dir;
+  let path = Filename.concat dir "entry.txt" in
+  Atomic_io.write_file path "intact\n";
+  Alcotest.check_raises "producer exception escapes" Exit (fun () ->
+      Atomic_io.with_out path (fun oc ->
+          output_string oc "half-writ";
+          raise Exit));
+  Alcotest.(check string) "previous contents survive" "intact\n"
+    (read_all path);
+  Alcotest.(check (list string)) "temporary removed" [ "entry.txt" ]
+    (files dir)
+
+let test_atomic_write_missing_dir_is_sys_error () =
+  let dir = temp_dir () in
+  Alcotest.(check bool) "raises Sys_error" true
+    (try
+       Atomic_io.write_file (Filename.concat dir "missing/entry.txt") "x";
+       false
+     with Sys_error _ -> true)
+
+let () =
+  Alcotest.run "resil"
+    [
+      ( "budget",
+        [
+          Alcotest.test_case "unlimited" `Quick
+            test_budget_unlimited_never_expires;
+          Alcotest.test_case "iteration cap" `Quick test_budget_iteration_cap;
+          Alcotest.test_case "zero iters" `Quick
+            test_budget_zero_iters_refuses_immediately;
+          Alcotest.test_case "expired deadline" `Quick
+            test_budget_expired_deadline;
+          Alcotest.test_case "cancel" `Quick test_budget_cancel;
+          Alcotest.test_case "rejects negatives" `Quick
+            test_budget_rejects_negatives;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "parse full entry" `Quick
+            test_fault_parse_full_entry;
+          Alcotest.test_case "legacy alias" `Quick
+            test_fault_parse_legacy_alias;
+          Alcotest.test_case "unknown name warns" `Quick
+            test_fault_parse_unknown_name_warns;
+          Alcotest.test_case "bad fields" `Quick test_fault_parse_bad_fields;
+          Alcotest.test_case "unarmed" `Quick test_fault_unarmed_never_fires;
+          Alcotest.test_case "probability one" `Quick
+            test_fault_probability_one_always_fires;
+          Alcotest.test_case "seeded draws" `Quick
+            test_fault_seeded_draws_deterministic;
+          Alcotest.test_case "inject raises" `Quick test_fault_inject_raises;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "first try" `Quick
+            test_retry_first_try_no_backoff;
+          Alcotest.test_case "recovers deterministically" `Quick
+            test_retry_recovers_and_replays_deterministically;
+          Alcotest.test_case "non-retryable" `Quick
+            test_retry_nonretryable_fails_fast;
+          Alcotest.test_case "exhaustion" `Quick
+            test_retry_exhaustion_reraises_last;
+          Alcotest.test_case "budget stops retry" `Quick
+            test_retry_exhausted_budget_stops_retrying;
+          Alcotest.test_case "rejects zero attempts" `Quick
+            test_retry_rejects_zero_attempts;
+        ] );
+      ( "atomic-io",
+        [
+          Alcotest.test_case "round trip" `Quick
+            test_atomic_write_roundtrip_no_temp_left;
+          Alcotest.test_case "failed producer" `Quick
+            test_atomic_with_out_failure_leaves_target_untouched;
+          Alcotest.test_case "missing dir" `Quick
+            test_atomic_write_missing_dir_is_sys_error;
+        ] );
+    ]
