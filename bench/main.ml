@@ -3,7 +3,7 @@
 
    Usage: dune exec bench/main.exe [-- section ...]
    Sections: table1 figure1 figure2 ablation-clique ablation-twostep
-             ablation-policy ablation-battery sweep obs timing
+             ablation-policy ablation-battery sweep preflight obs timing
              (default: all).
 
    Grid-shaped sections run through the Pchls_par.Pool domain pool and
@@ -177,7 +177,8 @@ let figure2 () =
               (fun pt ->
                 match pt.Explore.result with
                 | Explore.Feasible { area; _ } -> Format.printf "%7.0f" area
-                | Explore.Infeasible _ -> Format.printf "%7s" "-"
+                | Explore.Infeasible _ | Explore.Pruned _ ->
+                  Format.printf "%7s" "-"
                 | Explore.Failed _ -> Format.printf "%7s" "!")
               (Explore.sweep ~jobs ~library:Library.default g ~times:[ t ]
                  ~powers:figure2_powers);
@@ -562,6 +563,7 @@ let point_signature pt =
       Printf.sprintf "area=%h peak=%h makespan=%d" area peak
         (Design.makespan design)
     | Explore.Infeasible reason -> "infeasible: " ^ reason
+    | Explore.Pruned reason -> "pruned: " ^ reason
     | Explore.Failed reason -> "failed: " ^ reason)
 
 (* The parallel leg uses recommended_domain_count: more domains than cores
@@ -634,6 +636,147 @@ let sweep_bench () =
     cached_identical;
   if not (identical && cached_identical) then begin
     Format.eprintf "sweep-bench: parallel or cached sweep diverged!@.";
+    exit 1
+  end
+
+(* --- Preflight: bounds cost and sweep-pruning win ------------------------ *)
+
+(* Two questions, both recorded in BENCH_preflight.json (gated by
+   bench/compare.exe like the sweep records):
+
+   1. What does one static bound analysis cost next to one engine run, from
+      the paper's benches up to ~1000-node generated DAGs? (The pruning
+      economics: a prune is worth it when the analysis is far cheaper than
+      the run it saves.)
+   2. What does --preflight save on an infeasibility-heavy constraint grid,
+      and is it sound? Every pruned point is cross-checked against the
+      unpruned baseline sweep — a prune of a point the engine can solve
+      exits 1. *)
+let preflight_bench () =
+  section_header "Preflight: static bounds cost and sweep-pruning win";
+  let module Preflight = Pchls_preflight.Preflight in
+  let records = ref [] in
+  let bounds_case (name, g, t, p) =
+    let reps = 20 in
+    let (), pf_total = timed (fun () ->
+        for _ = 1 to reps do
+          ignore
+            (Preflight.analyze ~exact_max_vertices:0 ~library:Library.default
+               ~time_limit:t ~power_limit:p g)
+        done)
+    in
+    let pf_s = pf_total /. float_of_int reps in
+    let _, eng_s = timed (fun () -> synth g t p) in
+    Format.printf
+      "%-12s %5d nodes  bounds %9.6f s  engine %8.3f s  (engine/bounds %.0fx)@."
+      name (Graph.node_count g) pf_s eng_s (eng_s /. pf_s);
+    records :=
+      Printf.sprintf
+        "    {\"section\": \"preflight-bounds-%s\", \"wall_s\": %.6f, \
+         \"engine_s\": %.6f, \"nodes\": %d}"
+        name pf_s eng_s (Graph.node_count g)
+      :: !records
+  in
+  let sized_case ~seed ~layers ~width =
+    (* Generator.sized caps its random shapes at ~24 operations (the
+       fuzzer's territory); the scalability points reuse its layered
+       backend directly to reach the target node counts. *)
+    let g = Generator.layered ~seed ~layers ~width () in
+    let info = table1_info g in
+    let cp =
+      Graph.critical_path g ~latency:(fun id -> (info id).Schedule.latency)
+    in
+    (Printf.sprintf "rand-%d" (Graph.node_count g), g, cp * 2, 15.)
+  in
+  List.iter bounds_case
+    [
+      ("hal", Benchmarks.hal, 17, 10.);
+      ("cosine", Benchmarks.cosine, 19, 25.);
+      sized_case ~seed:11 ~layers:14 ~width:10;
+      sized_case ~seed:13 ~layers:55 ~width:30;
+    ];
+  (* Infeasibility-heavy grid: the low-power band is dominated by points no
+     engine run can satisfy (PRE001 below every module's draw, PRE004 when
+     T*P< is under the energy floor) — exactly what pruning should skip.
+     The generated 300-node row is where the savings live: its whole power
+     ladder sits under the energy floor (boundary ~P<37 at T=34), and the
+     engine burns up to ~0.7 s per point discovering that dynamically while
+     the bound analysis certifies it in ~1 ms. *)
+  let jobs = Domain.recommended_domain_count () in
+  let band_powers = [ 2.5; 5.; 7.5; 10.; 12.5; 15.; 17.5; 20. ] in
+  let grids =
+    [
+      (Benchmarks.hal, [ 10; 17 ], band_powers);
+      (Benchmarks.cosine, [ 19 ], band_powers);
+      (Benchmarks.elliptic, [ 22 ], band_powers);
+      (Generator.layered ~seed:29 ~layers:25 ~width:14 (), [ 34 ], band_powers);
+    ]
+  in
+  let grid_size =
+    List.fold_left
+      (fun acc (_, ts, ps) -> acc + (List.length ts * List.length ps))
+      0 grids
+  in
+  let run ~preflight () =
+    List.concat_map
+      (fun (g, times, powers) ->
+        Explore.sweep ~jobs ~preflight ~library:Library.default g ~times
+          ~powers)
+      grids
+  in
+  let base, t_base = timed (run ~preflight:false) in
+  let pruned, t_pruned = timed (run ~preflight:true) in
+  let false_prunes =
+    List.fold_left2
+      (fun acc b p ->
+        match (b.Explore.result, p.Explore.result) with
+        | Explore.Feasible _, Explore.Pruned reason -> (b, reason) :: acc
+        | _ -> acc)
+      [] base pruned
+  in
+  let count f l = List.length (List.filter f l) in
+  let n_pruned =
+    count (fun p -> match p.Explore.result with Explore.Pruned _ -> true | _ -> false) pruned
+  in
+  let n_infeasible =
+    count
+      (fun p ->
+        match p.Explore.result with
+        | Explore.Infeasible _ | Explore.Pruned _ -> true
+        | Explore.Feasible _ | Explore.Failed _ -> false)
+      base
+  in
+  let infeasible_fraction = float_of_int n_infeasible /. float_of_int grid_size in
+  let win_pct = 100. *. (t_base -. t_pruned) /. t_base in
+  Format.printf
+    "@.grid: %d points, %d infeasible (%.0f%%), %d statically pruned@."
+    grid_size n_infeasible (100. *. infeasible_fraction) n_pruned;
+  Format.printf "sweep without pruning %8.3f s@." t_base;
+  Format.printf "sweep with --preflight %7.3f s  (win %.1f%%)@." t_pruned
+    win_pct;
+  records :=
+    Printf.sprintf
+      "    {\"section\": \"preflight-sweep-pruned\", \"wall_s\": %.6f, \
+       \"grid\": %d, \"jobs\": %d, \"pruned\": %d, \"win_pct\": %.1f}"
+      t_pruned grid_size jobs n_pruned win_pct
+    :: Printf.sprintf
+         "    {\"section\": \"preflight-sweep-baseline\", \"wall_s\": %.6f, \
+          \"grid\": %d, \"jobs\": %d, \"infeasible_fraction\": %.4f}"
+         t_base grid_size jobs infeasible_fraction
+    :: !records;
+  let oc = open_out "BENCH_preflight.json" in
+  Printf.fprintf oc "{\n  \"sections\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.rev !records));
+  close_out oc;
+  Format.printf "@.wrote BENCH_preflight.json@.";
+  if false_prunes <> [] then begin
+    List.iter
+      (fun (pt, reason) ->
+        Format.eprintf
+          "preflight-bench: FALSE PRUNE at T=%d P<=%g (engine found a \
+           design; certificate: %s)@."
+          pt.Explore.time_limit pt.Explore.power_limit reason)
+      false_prunes;
     exit 1
   end
 
@@ -757,6 +900,7 @@ let sections =
     ("ablation-rebind", ablation_rebind);
     ("ablation-modulo", ablation_modulo);
     ("sweep", sweep_bench);
+    ("preflight", preflight_bench);
     ("obs", obs_bench);
     ("timing", timing);
   ]

@@ -16,6 +16,7 @@ module Sim = Pchls_battery.Sim
 module Netlist = Pchls_rtl.Netlist
 module Diag = Pchls_diag.Diag
 module Analysis = Pchls_analysis.Analysis
+module Preflight = Pchls_preflight.Preflight
 module Explore = Pchls_core.Explore
 module Store = Pchls_cache.Store
 module Trace = Pchls_obs.Trace
@@ -307,13 +308,26 @@ let print_cache_line ~jobs = function
     Format.printf "# jobs=%d cache: %a@." jobs Store.pp_stats
       (Store.stats store)
 
-let synthesize ?library ?self_check ?deadline (name, g) t p pol reg mux =
+let synthesize ?library ?self_check ?deadline ?preflight (name, g) t p pol reg
+    mux =
   match
     Engine.run ~cost_model:(cost_model reg mux) ~policy:pol ?self_check
-      ?deadline ~library:(the_library library) ~time_limit:t ~power_limit:p g
+      ?deadline ?preflight ~library:(the_library library) ~time_limit:t
+      ~power_limit:p g
   with
   | Engine.Synthesized (d, stats) -> Ok (name, d, stats)
   | Engine.Infeasible { reason } -> Error (name, reason)
+
+(* Shared by synth / sweep / pareto: consult the static bound analysis
+   before running the engine so provably-infeasible points are rejected
+   (or, in sweeps, pruned) without synthesis. *)
+let preflight_flag =
+  Arg.(
+    value & flag
+    & info [ "preflight" ]
+        ~doc:"Run the static bound analysis first and reject (sweeps: \
+              prune, shown as \xe2\x88\x85) grid points that carry an \
+              infeasibility certificate without running the engine.")
 
 (* --- list -------------------------------------------------------------- *)
 
@@ -364,7 +378,7 @@ let self_check_flag =
 
 let synth_cmd =
   let run bench t p pol reg mux library gantt tighten rebind self_check
-      cache_dir no_cache deadline_ms max_iters trace metrics =
+      preflight cache_dir no_cache deadline_ms max_iters trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     let cache = synth_store no_cache cache_dir in
     let budget = the_budget deadline_ms max_iters in
@@ -384,15 +398,17 @@ let synth_cmd =
              skip the engine; engine stats are not available on a hit. *)
           match
             Explore.sweep ~cost_model:(cost_model reg mux) ~policy:pol ?cache
-              ?deadline:budget ~library:(the_library library) (snd bench)
-              ~times:[ t ] ~powers:[ p ]
+              ?deadline:budget ~preflight ~library:(the_library library)
+              (snd bench) ~times:[ t ] ~powers:[ p ]
           with
           | [ { Explore.result = Explore.Feasible { design; _ }; _ } ] ->
             Ok (fst bench, design, None)
           | [
            {
              Explore.result =
-               Explore.Infeasible reason | Explore.Failed reason;
+               ( Explore.Infeasible reason
+               | Explore.Pruned reason
+               | Explore.Failed reason );
              _;
            };
           ] ->
@@ -400,8 +416,8 @@ let synth_cmd =
           | _ -> assert false)
         | None -> (
           match
-            synthesize ?library ~self_check ?deadline:budget bench t p pol reg
-              mux
+            synthesize ?library ~self_check ?deadline:budget ~preflight bench
+              t p pol reg mux
           with
           | Ok (name, d, stats) -> Ok (name, d, Some stats)
           | Error _ as e -> e)
@@ -447,9 +463,9 @@ let synth_cmd =
     Term.(
       const run $ graph_source $ time_limit $ power_limit $ policy
       $ register_area $ mux_input_area $ library_opt $ gantt_flag
-      $ tighten_flag $ rebind_flag $ self_check_flag $ cache_dir_opt
-      $ no_cache_flag $ deadline_ms_opt $ max_iters_opt $ trace_opt
-      $ metrics_flag)
+      $ tighten_flag $ rebind_flag $ self_check_flag $ preflight_flag
+      $ cache_dir_opt $ no_cache_flag $ deadline_ms_opt $ max_iters_opt
+      $ trace_opt $ metrics_flag)
 
 (* --- check ------------------------------------------------------------- *)
 
@@ -476,11 +492,29 @@ let check_cmd =
           ~doc:"Also report per-checker wall time (with --json: wraps the \
                 diagnostics in an object with a timings_ns field).")
   in
-  let run bench t p pol reg mux library json timings no_color =
+  let bounds_flag =
+    Arg.(
+      value & flag
+      & info [ "bounds" ]
+          ~doc:"Also report the static preflight bounds (latency, power \
+                demand, energy, FU area) as a PRE005 informational \
+                diagnostic.")
+  in
+  let run bench t p pol reg mux library json timings bounds no_color =
     apply_color no_color;
     match synthesize ?library bench t p pol reg mux with
     | Ok (name, d, _) ->
       let ds, times = Analysis.run_all_timed ~library:(the_library library) d in
+      let ds =
+        if bounds then
+          ds
+          @ [
+              Preflight.summary_diag
+                (Preflight.analyze ~library:(the_library library)
+                   ~time_limit:t ~power_limit:p (snd bench));
+            ]
+        else ds
+      in
       if json then
         if timings then
           Format.printf "{\"diagnostics\": %s, \"timings_ns\": {%s}}@."
@@ -515,7 +549,55 @@ let check_cmd =
     Term.(
       const run $ graph_source $ time_limit $ power_limit $ policy
       $ register_area $ mux_input_area $ library_opt $ json_flag
-      $ timings_flag $ no_color_flag)
+      $ timings_flag $ bounds_flag $ no_color_flag)
+
+(* --- preflight ---------------------------------------------------------- *)
+
+let preflight_cmd =
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the bounds and certificates as one JSON object.")
+  in
+  let exact_max =
+    Arg.(
+      value & opt int 12
+      & info [ "exact-max" ] ~docv:"N"
+          ~doc:"Largest graph (in operations) priced with the exact \
+                clique-search area bound; larger graphs use the interval \
+                relaxation. 0 disables the exact search.")
+  in
+  let run (name, g) t p library exact_max json no_color =
+    apply_color no_color;
+    match
+      Preflight.analyze ~exact_max_vertices:exact_max
+        ~library:(the_library library) ~time_limit:t ~power_limit:p g
+    with
+    | exception Invalid_argument msg ->
+      Format.eprintf "%s: %s@." name msg;
+      2
+    | r ->
+      if json then print_endline (Preflight.to_json r)
+      else print_string (Preflight.render r);
+      if Preflight.infeasible r then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "preflight"
+       ~exits:
+         (Cmd.Exit.info 1
+            ~doc:"when the instance is provably infeasible (a certificate \
+                  was emitted)."
+         :: Cmd.Exit.defaults)
+       ~doc:"Statically bound an instance without running the engine: \
+             latency lower bound with a critical-path witness, per-cycle \
+             power-demand lower bounds, energy capacity and functional-unit \
+             area bounds. Emits a machine-checkable infeasibility \
+             certificate (PRE001-PRE004) and exits 1 when the bounds \
+             contradict the (T, P<) constraints.")
+    Term.(
+      const run $ graph_source $ time_limit $ power_limit $ library_opt
+      $ exact_max $ json_flag $ no_color_flag)
 
 (* --- sweep ------------------------------------------------------------- *)
 
@@ -540,21 +622,21 @@ let print_pareto points =
       | Explore.Feasible { area; _ } ->
         Format.printf "  T=%d P<=%g area=%.0f@." pt.Explore.time_limit
           pt.Explore.power_limit area
-      | Explore.Infeasible _ | Explore.Failed _ -> ())
+      | Explore.Infeasible _ | Explore.Pruned _ | Explore.Failed _ -> ())
     (Explore.pareto points)
 
 let sweep_cmd =
   let pareto_flag =
     Arg.(value & flag & info [ "pareto" ] ~doc:"Also print the Pareto front.")
   in
-  let run (name, g) t p_from p_to p_step pol reg mux pareto jobs cache_dir
-      no_cache deadline_ms max_iters trace metrics =
+  let run (name, g) t p_from p_to p_step pol reg mux pareto preflight jobs
+      cache_dir no_cache deadline_ms max_iters trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     let cache = sweep_store no_cache cache_dir in
     let budget = the_budget deadline_ms max_iters in
     let points =
       Explore.sweep ~cost_model:(cost_model reg mux) ~policy:pol ~jobs ?cache
-        ?deadline:budget ~library:Library.default g ~times:[ t ]
+        ?deadline:budget ~preflight ~library:Library.default g ~times:[ t ]
         ~powers:(power_range p_from p_to p_step)
     in
     Format.printf "# benchmark=%s@.%s@." name (Explore.render_table points);
@@ -567,9 +649,9 @@ let sweep_cmd =
        ~doc:"Sweep the power constraint and report area (Figure 2 style).")
     Term.(
       const run $ graph_source $ time_limit $ p_from $ p_to $ p_step $ policy
-      $ register_area $ mux_input_area $ pareto_flag $ jobs_opt
-      $ cache_dir_opt $ no_cache_flag $ deadline_ms_opt $ max_iters_opt
-      $ trace_opt $ metrics_flag)
+      $ register_area $ mux_input_area $ pareto_flag $ preflight_flag
+      $ jobs_opt $ cache_dir_opt $ no_cache_flag $ deadline_ms_opt
+      $ max_iters_opt $ trace_opt $ metrics_flag)
 
 (* --- pareto ------------------------------------------------------------- *)
 
@@ -581,14 +663,14 @@ let pareto_cmd =
       & info [ "times" ] ~docv:"T1,T2,..."
           ~doc:"Latency constraints (cycles) spanning the grid rows.")
   in
-  let run (name, g) times p_from p_to p_step pol reg mux jobs cache_dir
-      no_cache deadline_ms max_iters trace metrics =
+  let run (name, g) times p_from p_to p_step pol reg mux preflight jobs
+      cache_dir no_cache deadline_ms max_iters trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     let cache = sweep_store no_cache cache_dir in
     let budget = the_budget deadline_ms max_iters in
     let points =
       Explore.sweep ~cost_model:(cost_model reg mux) ~policy:pol ~jobs ?cache
-        ?deadline:budget ~library:Library.default g ~times
+        ?deadline:budget ~preflight ~library:Library.default g ~times
         ~powers:(power_range p_from p_to p_step)
     in
     Format.printf "# benchmark=%s@.%s@." name (Explore.render_table points);
@@ -602,9 +684,9 @@ let pareto_cmd =
              report the non-dominated (time, power, area) trade-off front.")
     Term.(
       const run $ graph_source $ times $ p_from $ p_to $ p_step $ policy
-      $ register_area $ mux_input_area $ jobs_opt $ cache_dir_opt
-      $ no_cache_flag $ deadline_ms_opt $ max_iters_opt $ trace_opt
-      $ metrics_flag)
+      $ register_area $ mux_input_area $ preflight_flag $ jobs_opt
+      $ cache_dir_opt $ no_cache_flag $ deadline_ms_opt $ max_iters_opt
+      $ trace_opt $ metrics_flag)
 
 (* --- cache -------------------------------------------------------------- *)
 
@@ -680,7 +762,7 @@ let profile_cmd =
            (Design.profile d));
       report ();
       0
-    | Explore.Infeasible reason ->
+    | Explore.Infeasible reason | Explore.Pruned reason ->
       err_infeasible name reason;
       report ();
       1
@@ -1040,7 +1122,8 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [
-            list_cmd; synth_cmd; check_cmd; sweep_cmd; pareto_cmd; cache_cmd;
+            list_cmd; synth_cmd; check_cmd; preflight_cmd; sweep_cmd;
+            pareto_cmd; cache_cmd;
             profile_cmd; trace_cmd; fuzz_cmd; battery_cmd; report_cmd;
             dot_cmd; rtl_cmd;
           ]))

@@ -30,7 +30,7 @@ let () =
       | Explore.Feasible { area; peak; _ } ->
         Format.printf "  T=%-3d P<=%-5g area=%-6.0f (measured peak %.1f)@."
           p.Explore.time_limit p.Explore.power_limit area peak
-      | Explore.Infeasible _ | Explore.Failed _ -> ())
+      | Explore.Infeasible _ | Explore.Pruned _ | Explore.Failed _ -> ())
     (Explore.pareto points);
   Format.printf "@.budget tightening at T=22, P<=60:@.";
   match

@@ -11,9 +11,24 @@ let lint_hist name =
   Metrics.histogram ~buckets:Metrics.ns_buckets ("check." ^ name ^ "_ns")
 
 let h_dfg = lint_hist "dfg"
+let h_preflight = lint_hist "preflight"
 let h_sched = lint_hist "sched"
 let h_bind = lint_hist "bind"
 let h_netlist = lint_hist "netlist"
+
+(* Static bounds must agree with the constraints the assembled design
+   already satisfies; a certificate here means the bound analysis is
+   unsound (or the design violates its own limits), so surface it. Quiet on
+   healthy designs: only certificate errors are reported, never the
+   informational summary. *)
+let preflight_lint ~library d =
+  let module Preflight = Pchls_preflight.Preflight in
+  match
+    Preflight.analyze ~library ~time_limit:(Design.time_limit d)
+      ~power_limit:(Design.power_limit d) (Design.graph d)
+  with
+  | r -> Preflight.to_diags r
+  | exception Invalid_argument _ -> []
 
 let run_all_timed ?library ?max_instances d =
   let timings = ref [] in
@@ -27,13 +42,19 @@ let run_all_timed ?library ?max_instances d =
     r
   in
   let dfg = pass "dfg" h_dfg (fun () -> Dfg_lint.lint ?library (Design.graph d)) in
+  let pre =
+    match library with
+    | None -> []
+    | Some library ->
+      pass "preflight" h_preflight (fun () -> preflight_lint ~library d)
+  in
   let sched = pass "sched" h_sched (fun () -> Sched_lint.lint_design d) in
   let bind = pass "bind" h_bind (fun () -> Bind_lint.lint ?max_instances d) in
   let net =
     pass "netlist" h_netlist (fun () ->
         Netlist_lint.lint ~design:d (Netlist.of_design d))
   in
-  (Diag.sort (dfg @ sched @ bind @ net), List.rev !timings)
+  (Diag.sort (dfg @ pre @ sched @ bind @ net), List.rev !timings)
 
 let run_all ?library ?max_instances d =
   fst (run_all_timed ?library ?max_instances d)

@@ -13,8 +13,12 @@
 module Diag = Pchls_diag.Diag
 
 (** [run_all ?library ?max_instances d] runs every checker over [d]. With
-    [library], DFG lint also verifies operation-kind coverage ([DFG006]);
-    with [max_instances], binding lint enforces the caps ([BND003]). *)
+    [library], DFG lint also verifies operation-kind coverage ([DFG006])
+    and the static preflight bounds are re-checked against the design's own
+    (T, P<) constraints — a [PRE0xx] error means a bound claims the
+    design's instance infeasible, i.e. the bound analysis is unsound (the
+    design exists), so this should never fire on engine output; with
+    [max_instances], binding lint enforces the caps ([BND003]). *)
 val run_all :
   ?library:Pchls_fulib.Library.t ->
   ?max_instances:(string * int) list ->
@@ -22,7 +26,8 @@ val run_all :
   Diag.t list
 
 (** [run_all_timed] is {!run_all} plus per-pass wall time: [(name, ns)] in
-    run order — ["dfg"], ["sched"], ["bind"], ["netlist"]. Each pass also
+    run order — ["dfg"], ["preflight"] (only with [library]), ["sched"],
+    ["bind"], ["netlist"]. Each pass also
     runs under a ["check.<name>"] trace span and feeds the
     ["check.<name>_ns"] histogram in the {!Pchls_obs.Metrics} registry.
     Powers [pchls check --timings]. *)

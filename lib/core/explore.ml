@@ -13,16 +13,49 @@ let m_failed_points = Metrics.counter "explore.failed_points"
 let h_point_ns =
   Metrics.histogram ~buckets:Metrics.ns_buckets "explore.point_ns"
 
+module Preflight = Pchls_preflight.Preflight
+
 type point = { time_limit : int; power_limit : float; result : result }
 
 and result =
   | Feasible of { area : float; peak : float; design : Design.t }
   | Infeasible of string
+  | Pruned of string
   | Failed of string
 
 (* Bump whenever an engine change makes previously cached results wrong:
    every key embeds the salt, so old on-disk entries silently go stale. *)
 let cache_salt = "pchls-engine-v1"
+
+(* Pruned points are cached as ordinary [Store.Infeasible] entries under
+   this reason prefix, so the store format is unchanged and non-preflight
+   consumers still read them as (sound) infeasibility. *)
+let pruned_prefix = "preflight: "
+
+let prune_reason_of_cached reason =
+  let n = String.length pruned_prefix in
+  if
+    String.length reason >= n
+    && String.equal (String.sub reason 0 n) pruned_prefix
+  then Some (String.sub reason n (String.length reason - n))
+  else None
+
+(* The cheap certificate-only configuration: no exact area search. Never
+   raises — a malformed grid point (T < 1, P <= 0) falls through to the
+   engine, which reports it per-point. *)
+let static_certificate ~library g ~time_limit ~power_limit =
+  match
+    Preflight.analyze ~exact_max_vertices:0 ~library ~time_limit ~power_limit
+      g
+  with
+  | r ->
+    Option.map
+      (fun c ->
+        Printf.sprintf "%s: %s"
+          (Preflight.certificate_code c)
+          (Preflight.certificate_to_string c))
+      (Preflight.first_certificate r)
+  | exception _ -> None
 
 let fingerprint ?(cost_model = Cost_model.default) ?(policy = Engine.Min_power)
     ~library g =
@@ -60,14 +93,15 @@ let summary_of_result = function
             (Design.instances design);
       }
   | Infeasible reason -> Store.Infeasible reason
+  | Pruned reason -> Store.Infeasible (pruned_prefix ^ reason)
   | Failed _ -> assert false (* evaluation failures are never cached *)
 
 (* Solve one grid point, consulting the cache when given. A cached feasible
    entry is rebuilt into a full design via [Design.assemble]; should that
    ever fail (a semantically stale entry), the engine runs and the entry is
    overwritten. *)
-let solve ?cost_model ?policy ?deadline ~library ?cache ?fp g ~time_limit
-    ~power_limit =
+let solve ?cost_model ?policy ?deadline ?(preflight = false) ~library ?cache
+    ?fp g ~time_limit ~power_limit =
   Metrics.incr m_points;
   Trace.span ~cat:"explore"
     ~args:
@@ -81,9 +115,16 @@ let solve ?cost_model ?policy ?deadline ~library ?cache ?fp g ~time_limit
   @@ fun () ->
   Metrics.time h_point_ns @@ fun () ->
   let engine () =
-    result_of_outcome
-      (Engine.run ?cost_model ?policy ?deadline ~library ~time_limit
-         ~power_limit g)
+    match
+      if preflight then
+        static_certificate ~library g ~time_limit ~power_limit
+      else None
+    with
+    | Some reason -> Pruned reason
+    | None ->
+      result_of_outcome
+        (Engine.run ?cost_model ?policy ?deadline ~library ~time_limit
+           ~power_limit g)
   in
   (* A result produced under an exhausted budget describes the deadline,
      not the problem: a forced partial design (or an
@@ -108,7 +149,10 @@ let solve ?cost_model ?policy ?deadline ~library ?cache ?fp g ~time_limit
     in
     match Store.find store key with
     | None -> miss ()
-    | Some (Store.Infeasible reason) -> Infeasible reason
+    | Some (Store.Infeasible reason) -> (
+      match prune_reason_of_cached reason with
+      | Some r -> Pruned r
+      | None -> Infeasible reason)
     | Some (Store.Feasible { instances; _ }) -> (
       let cost_model =
         match cost_model with Some c -> c | None -> Cost_model.default
@@ -126,14 +170,32 @@ let solve ?cost_model ?policy ?deadline ~library ?cache ?fp g ~time_limit
           }
       | Error _ -> miss ()))
 
-let sweep ?cost_model ?policy ?(jobs = 1) ?cache ?deadline ~library g ~times
-    ~powers =
+let sweep ?cost_model ?policy ?(jobs = 1) ?cache ?deadline
+    ?(preflight = false) ~library g ~times ~powers =
   let fp =
     Option.map (fun _ -> fingerprint ?cost_model ?policy ~library g) cache
   in
   let grid =
     List.concat_map (fun t -> List.map (fun p -> (t, p)) powers) times
     |> List.mapi (fun i tp -> (i, tp))
+  in
+  (* Static pruning runs in the calling domain, before any pool dispatch: a
+     certificate costs microseconds, so a provably-doomed point never
+     occupies a worker. Pruned points are cached like engine results. *)
+  let static_prune (time_limit, power_limit) =
+    match deadline with
+    | Some b when Budget.exhausted b -> None
+    | Some _ | None -> (
+      match static_certificate ~library g ~time_limit ~power_limit with
+      | None -> None
+      | Some reason ->
+        (match (cache, fp) with
+        | Some store, Some fp ->
+          Store.add store
+            { Store.fingerprint = fp; time_limit; power_limit }
+            (Store.Infeasible (pruned_prefix ^ reason))
+        | _ -> ());
+        Some { time_limit; power_limit; result = Pruned reason })
   in
   (* Each point is evaluated in isolation: a crash (or an armed
      "explore.point" fault, keyed by grid index so seeded campaigns kill a
@@ -169,23 +231,48 @@ let sweep ?cost_model ?policy ?(jobs = 1) ?cache ?deadline ~library g ~times
        else [])
     "explore.sweep"
   @@ fun () ->
-  if jobs <= 1 then
+  let prepared =
     List.map
-      (fun ((_, tp) as item) ->
-        match eval item with
-        | p -> p
-        | exception exn -> failed_point tp (Printexc.to_string exn))
+      (fun (i, tp) ->
+        (i, tp, if preflight then static_prune tp else None))
       grid
-  else
-    Pool.with_pool ~jobs (fun pool ->
-        List.map2
-          (fun (_, tp) outcome ->
-            match outcome with
-            | Ok p -> p
-            | Error (f : Pool.failure) ->
-              failed_point tp (Printexc.to_string f.exn))
-          grid
-          (Pool.try_map ~retries:1 pool eval grid))
+  in
+  let live =
+    List.filter_map
+      (fun (i, tp, pruned) ->
+        match pruned with None -> Some (i, tp) | Some _ -> None)
+      prepared
+  in
+  let evaluated =
+    if jobs <= 1 then
+      List.map
+        (fun ((_, tp) as item) ->
+          match eval item with
+          | p -> p
+          | exception exn -> failed_point tp (Printexc.to_string exn))
+        live
+    else
+      Pool.with_pool ~jobs (fun pool ->
+          List.map2
+            (fun (_, tp) outcome ->
+              match outcome with
+              | Ok p -> p
+              | Error (f : Pool.failure) ->
+                failed_point tp (Printexc.to_string f.exn))
+            live
+            (Pool.try_map ~retries:1 pool eval live))
+  in
+  (* stitch pruned and evaluated points back into grid order *)
+  let rec merge prepared evaluated =
+    match prepared with
+    | [] -> []
+    | (_, _, Some p) :: rest -> p :: merge rest evaluated
+    | (_, _, None) :: rest -> (
+      match evaluated with
+      | e :: es -> e :: merge rest es
+      | [] -> assert false)
+  in
+  merge prepared evaluated
 
 let min_feasible_power points ~time_limit =
   List.fold_left
@@ -195,7 +282,7 @@ let min_feasible_power points ~time_limit =
       | Feasible _, Some best
         when p.time_limit = time_limit && p.power_limit < best ->
         Some p.power_limit
-      | (Feasible _ | Infeasible _ | Failed _), _ -> acc)
+      | (Feasible _ | Infeasible _ | Pruned _ | Failed _), _ -> acc)
     None points
 
 let dominates a b =
@@ -207,7 +294,7 @@ let dominates a b =
     && (a.time_limit < b.time_limit
        || a.power_limit < b.power_limit
        || fa.area < fb.area)
-  | (Feasible _ | Infeasible _ | Failed _), _ -> false
+  | (Feasible _ | Infeasible _ | Pruned _ | Failed _), _ -> false
 
 let pareto points =
   let feasible =
@@ -215,7 +302,7 @@ let pareto points =
       (fun p ->
         match p.result with
         | Feasible _ -> true
-        | Infeasible _ | Failed _ -> false)
+        | Infeasible _ | Pruned _ | Failed _ -> false)
       points
   in
   List.filter
@@ -238,7 +325,7 @@ let tighten ?cost_model ?policy ?(steps = 6) ?cache ?deadline ~library g
         ~power_limit:budget
     with
     | Feasible { design; _ } -> Ok design
-    | Infeasible reason | Failed reason -> Error reason
+    | Infeasible reason | Pruned reason | Failed reason -> Error reason
   in
   match attempt power_limit with
   | Error _ as e -> e
@@ -292,6 +379,9 @@ let render_table points =
             | Some { result = Feasible { area; _ }; _ } ->
               Printf.sprintf "%8.0f" area
             | Some { result = Infeasible _; _ } -> Printf.sprintf "%8s" "-"
+            (* U+2205 is three bytes, so %8s would misalign: pad by hand to
+               eight visual columns *)
+            | Some { result = Pruned _; _ } -> "       \xe2\x88\x85"
             | Some { result = Failed _; _ } -> Printf.sprintf "%8s" "!"
             | None -> Printf.sprintf "%8s" "?"
           in
@@ -299,4 +389,7 @@ let render_table points =
         powers;
       Buffer.add_char buf '\n')
     times;
+  Buffer.add_string buf
+    "legend: area = feasible, - = infeasible, \xe2\x88\x85 = pruned \
+     (preflight), ! = failed, ? = missing\n";
   Buffer.contents buf

@@ -12,6 +12,13 @@ type point = {
 and result =
   | Feasible of { area : float; peak : float; design : Design.t }
   | Infeasible of string
+  | Pruned of string
+      (** statically proven infeasible by preflight
+          ({!Pchls_preflight.Preflight}) — the engine never ran; the string
+          is the certificate ("PRE0xx: ..."). Cached as [Store.Infeasible]
+          under a ["preflight: "] reason prefix, so warm caches replay
+          prunes as [Pruned] and non-preflight consumers still read them as
+          sound infeasibility. *)
   | Failed of string
       (** the point's evaluation crashed (or was skipped past a deadline) —
           unlike [Infeasible], this says nothing about the problem itself
@@ -39,11 +46,15 @@ val fingerprint :
     [deadline] is forwarded to {!Engine.run}; a result produced under an
     exhausted budget (a forced partial design, or a deadline-caused
     infeasibility) is returned but never cached, since it describes the
-    deadline rather than the problem. *)
+    deadline rather than the problem.
+
+    [preflight] (default [false]) consults the static bound analysis on a
+    cache miss: a certificate yields [Pruned] without running the engine. *)
 val solve :
   ?cost_model:Cost_model.t ->
   ?policy:Engine.policy ->
   ?deadline:Pchls_resil.Budget.t ->
+  ?preflight:bool ->
   library:Pchls_fulib.Library.t ->
   ?cache:Pchls_cache.Store.t ->
   ?fp:Pchls_cache.Fingerprint.t ->
@@ -72,13 +83,21 @@ val solve :
     [Failed "deadline exceeded before evaluation"] without running the
     engine, and the point being evaluated when it expires returns the
     engine's anytime partial result. A sweep never raises because of a
-    single point. *)
+    single point.
+
+    [preflight] (default [false]) statically analyses every grid point in
+    the calling domain first: points with an infeasibility certificate come
+    back [Pruned] without ever being dispatched to the pool (and are cached
+    like engine results), so workers only see points with a chance of a
+    design. Sound — a pruned point is provably infeasible — but off by
+    default so existing sweeps stay byte-identical. *)
 val sweep :
   ?cost_model:Cost_model.t ->
   ?policy:Engine.policy ->
   ?jobs:int ->
   ?cache:Pchls_cache.Store.t ->
   ?deadline:Pchls_resil.Budget.t ->
+  ?preflight:bool ->
   library:Pchls_fulib.Library.t ->
   Pchls_dfg.Graph.t ->
   times:int list ->
@@ -95,8 +114,9 @@ val min_feasible_power : point list -> time_limit:int -> float option
 val pareto : point list -> point list
 
 (** [render_table points] formats the grid as the area table printed by the
-    Figure 2 harness (['-'] marks infeasible points, ['!'] points whose
-    evaluation failed). Rows are time limits,
+    Figure 2 harness (['-'] marks infeasible points, [∅] statically pruned
+    ones, ['!'] points whose evaluation failed), ending with a one-line
+    legend. Rows are time limits,
     columns power limits, both sorted ascending with duplicates collapsed,
     so the rendering is stable whatever order or multiplicity the sweep's
     inputs had. *)

@@ -146,6 +146,11 @@ let registry =
     ("NET003", Error, "the activation table is inconsistent with the schedule");
     ("NET004", Warning, "a register is dangling: never written or never read");
     ("NET005", Error, "the netlist references an unknown functional unit or register");
+    ("PRE001", Error, "an operation kind has no module admissible under the power constraint P<");
+    ("PRE002", Error, "the minimum-latency critical path already exceeds the time constraint T");
+    ("PRE003", Error, "operations pinned to one cycle must together draw more than P<");
+    ("PRE004", Error, "the total minimum execution energy exceeds the T * P< capacity");
+    ("PRE005", Info, "preflight bounds summary: latency, power-demand and area bounds");
   ]
 
 let describe code =

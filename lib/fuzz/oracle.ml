@@ -10,6 +10,7 @@ module Engine = Pchls_core.Engine
 module Design = Pchls_core.Design
 module Analysis = Pchls_analysis.Analysis
 module Diag = Pchls_diag.Diag
+module Preflight = Pchls_preflight.Preflight
 
 type exact_status = Checked | Skipped | Not_run
 
@@ -76,8 +77,75 @@ let exact_fu_floor ?(max_vertices = 12) ~library d =
    accumulated rounding as a violation. *)
 let area_eps = 1e-6
 
+(* The sound-bounds invariant: preflight's lower bounds must never exceed
+   what the engine actually achieved, its upper bound never undercut it,
+   every certificate must re-verify from scratch, and — the pruning safety
+   property — preflight must never call an instance infeasible that the
+   engine just synthesized (a "false prune"). [design = None] when the
+   engine reported infeasible: there is nothing to bracket, but the
+   certificates still have to verify. *)
+let preflight_failure ~exact_max_vertices ~library ~graph ~time_limit
+    ~power_limit design =
+  let fail code fmt =
+    Printf.ksprintf
+      (fun detail -> Some { oracle = "preflight"; code; detail })
+      fmt
+  in
+  match
+    Preflight.analyze ~exact_max_vertices ~library ~time_limit ~power_limit
+      graph
+  with
+  | exception e -> fail "crash" "%s" (Printexc.to_string e)
+  | pf -> (
+    let bad_certificate =
+      List.find_map
+        (fun c ->
+          match Preflight.verify ~library ~time_limit ~power_limit graph c with
+          | Ok () -> None
+          | Error e ->
+            fail "bad_certificate" "%s: %s" (Preflight.certificate_code c) e)
+        pf.Preflight.certificates
+    in
+    match (bad_certificate, design) with
+    | Some _, _ -> bad_certificate
+    | None, None -> None
+    | None, Some d -> (
+      if Preflight.infeasible pf then
+        fail "false_prune" "engine synthesized but preflight proved: %s"
+          (match Preflight.first_certificate pf with
+          | Some c -> Preflight.certificate_to_string c
+          | None -> "?")
+      else
+        match pf.Preflight.bounds with
+        | None ->
+          fail "no_bounds" "no certificate fired yet bounds are missing"
+        | Some b ->
+          let makespan = Design.makespan d in
+          let peak = Profile.peak (Design.profile d) in
+          let fu = (Design.area d).Design.fu in
+          if b.Preflight.latency_lb > makespan then
+            fail "latency_lb" "latency lower bound %d exceeds makespan %d"
+              b.Preflight.latency_lb makespan
+          else if b.Preflight.demand_peak > peak +. Profile.eps then
+            fail "power_lb" "demand lower bound %g exceeds achieved peak %g"
+              b.Preflight.demand_peak peak
+          else if b.Preflight.energy_lb > Design.energy d +. area_eps then
+            fail "energy_lb" "energy lower bound %g exceeds design energy %g"
+              b.Preflight.energy_lb (Design.energy d)
+          else if b.Preflight.fu_area_lb > fu +. area_eps then
+            fail "area_lb" "FU-area lower bound %g exceeds FU area %g"
+              b.Preflight.fu_area_lb fu
+          else if fu > b.Preflight.fu_area_ub +. area_eps then
+            fail "area_ub" "FU area %g exceeds upper bound %g" fu
+              b.Preflight.fu_area_ub
+          else None))
+
 let check ?(exact_max_vertices = 12) ~library inst =
   let { Sampler.graph; time_limit; power_limit; _ } = inst in
+  let preflight design =
+    preflight_failure ~exact_max_vertices ~library ~graph ~time_limit
+      ~power_limit design
+  in
   match
     Engine.run ~library ~time_limit ~power_limit graph
   with
@@ -86,7 +154,10 @@ let check ?(exact_max_vertices = 12) ~library inst =
       String.map (fun c -> if c = '.' then '_' else c) (Printexc.exn_slot_name e)
     in
     Fail { oracle = "crash"; code; detail = Printexc.to_string e }
-  | Engine.Infeasible _ -> Pass { feasible = false; exact = Not_run }
+  | Engine.Infeasible _ -> (
+    match preflight None with
+    | Some f -> Fail f
+    | None -> Pass { feasible = false; exact = Not_run })
   | Engine.Synthesized (d, _) -> (
     let ds = Analysis.run_all ~library d in
     match List.filter (fun d -> d.Diag.severity = Diag.Error) ds with
@@ -120,8 +191,13 @@ let check ?(exact_max_vertices = 12) ~library inst =
                   power_limit;
             }
         else
+          let finish exact =
+            match preflight (Some d) with
+            | Some f -> Fail f
+            | None -> Pass { feasible = true; exact }
+          in
           (match exact_fu_floor ~max_vertices:exact_max_vertices ~library d with
-          | None -> Pass { feasible = true; exact = Skipped }
+          | None -> finish Skipped
           | Some floor ->
             let fu = (Design.area d).Design.fu in
             if fu < floor -. area_eps then
@@ -135,4 +211,4 @@ let check ?(exact_max_vertices = 12) ~library inst =
                        mis-counted"
                       fu floor;
                 }
-            else Pass { feasible = true; exact = Checked }))
+            else finish Checked))

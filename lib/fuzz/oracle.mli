@@ -13,7 +13,15 @@
       design's own schedule — a heuristic that beats the optimum has
       mis-counted sharing. Checked only on instances small enough for the
       exponential search; larger instances are counted as {e skipped}, not
-      as passes.
+      as passes;
+    - {b preflight}: the static bounds ({!Pchls_preflight.Preflight}) must
+      bracket the engine's actuals — [latency_lb <= makespan],
+      [demand_peak <= peak], [energy_lb <= energy],
+      [fu_area_lb <= FU area <= fu_area_ub] — every certificate must
+      re-verify from scratch, and preflight must never prove infeasible an
+      instance the engine just synthesized (sub-code ["false_prune"]: the
+      sweep-pruning safety property). On engine-infeasible instances only
+      the certificate re-verification applies.
 
     An engine exception on a valid instance is its own failure class
     ({b crash}). *)
@@ -24,8 +32,9 @@ type exact_status =
   | Not_run  (** synthesis was infeasible; nothing to compare *)
 
 type failure = {
-  oracle : string;  (** ["crash" | "lint" | "latency" | "power" | "exact"] *)
-  code : string;  (** stable sub-code, e.g. ["SCH005"], ["peak"] *)
+  oracle : string;
+      (** ["crash" | "lint" | "latency" | "power" | "exact" | "preflight"] *)
+  code : string;  (** stable sub-code, e.g. ["SCH005"], ["false_prune"] *)
   detail : string;  (** human-readable, single line *)
 }
 
@@ -49,8 +58,9 @@ val exact_fu_floor :
   float option
 
 (** [check ~library inst] synthesizes [inst] and runs every oracle, in the
-    order crash, lint, latency, power, exact; the first violated oracle
-    wins. [exact_max_vertices] is {!exact_fu_floor}'s cutoff. *)
+    order crash, lint, latency, power, exact, preflight; the first violated
+    oracle wins. [exact_max_vertices] is {!exact_fu_floor}'s cutoff, and
+    also the preflight analysis's exact-area cutoff. *)
 val check :
   ?exact_max_vertices:int ->
   library:Pchls_fulib.Library.t ->

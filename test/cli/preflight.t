@@ -1,0 +1,69 @@
+Static bound analysis: `pchls preflight` bounds an instance without
+running the engine. A feasible-looking instance reports its bounds and
+exits 0 ("cannot prove infeasible" — the bounds are necessary, not
+sufficient):
+
+  $ pchls preflight -b hal -t 17 -p 100
+  preflight 'hal': T=17, P< 100.00
+    latency   lb 8 (critical path: 0 > 6 > 9 > 12 > 13 > 17)
+    power     demand peak 0.00; energy lb 85.30, capacity 1700.00
+    fu area   lb 222.00, ub 2679.00 (relaxed)
+    verdict   cannot prove infeasible
+
+A latency-infeasible instance carries a PRE002 certificate whose
+witness is a dependence chain that cannot fit the deadline, and exits 1:
+
+  $ pchls preflight -b hal -t 5 -p 100
+  preflight 'hal': T=5, P< 100.00
+    latency   lb 8 (critical path: 0 > 6 > 9 > 12 > 13 > 17)
+    power     demand peak 8.10 at cycle 2; energy lb 85.30, capacity 500.00
+    fu area   lb 309.00, ub 2679.00 (relaxed)
+    verdict   infeasible (1 certificate)
+    PRE002  critical path needs >= 8 cycles > T=5 (path: 0 > 6 > 9 > 12 > 13 > 17)
+  [1]
+
+A power-infeasible instance names the overloaded cycle and the witness
+cut — the operations provably executing there and the minimum power
+each must draw (PRE003); here the energy capacity is blown too (PRE004):
+
+  $ pchls preflight -b matmul2 -t 7 -p 8
+  preflight 'matmul2': T=7, P< 8.00
+    latency   lb 14 (critical path: 0 > 8 > 10 > 11)
+    power     demand peak 21.60 at cycle 1; energy lb 104.80, capacity 56.00
+    fu area   lb 824.00, ub 1404.00 (relaxed)
+    verdict   infeasible (2 certificates)
+    PRE003  cycle 1: pinned demand 21.60 > P< 8.00 (cut: 8:2.70, 9:2.70, 12:2.70, 13:2.70, 16:2.70, 17:2.70, 20:2.70, 21:2.70)
+    PRE004  energy lower bound 104.80 > T*P< capacity 56.00
+  [1]
+
+When the power limit is below every module implementing some kind, no
+bounds exist at all (PRE001); --json emits the machine-readable form:
+
+  $ pchls preflight -b hal -t 10 -p 2 --json
+  {"graph":"hal","time_limit":10,"power_limit":2,"infeasible":true,"bounds":null,"certificates":[{"code":"PRE001","kind":"add","power_limit":2,"min_power":2.5,"message":"kind add: no admissible module under P< 2.00 (cheapest candidate draws 2.50)"},{"code":"PRE001","kind":"sub","power_limit":2,"min_power":2.5,"message":"kind sub: no admissible module under P< 2.00 (cheapest candidate draws 2.50)"},{"code":"PRE001","kind":"mult","power_limit":2,"min_power":2.7,"message":"kind mult: no admissible module under P< 2.00 (cheapest candidate draws 2.70)"},{"code":"PRE001","kind":"comp","power_limit":2,"min_power":2.5,"message":"kind comp: no admissible module under P< 2.00 (cheapest candidate draws 2.50)"}]}
+  [1]
+
+Invalid constraints are a usage error (2), mirroring the engine:
+
+  $ pchls preflight -b hal -t 0 -p 10
+  hal: Preflight.analyze: time_limit must be >= 1
+  [2]
+
+`pchls check --bounds` appends the PRE005 bounds summary to the
+cross-layer lint of the synthesized design:
+
+  $ pchls check -b hal -t 17 -p 10 --bounds
+  info[PRE005] dfg design: bounds: latency >= 9, demand peak 0.00, energy >= 85.30, fu area in [222.00, 2679.00]
+  hal (T=17, P<=10): 1 info
+
+Sweeps prune certified-infeasible grid points before any engine work:
+pruned cells render as an empty set, distinct from runtime infeasibility
+"-" and crashed/skipped points "!" (see the legend):
+
+  $ pchls sweep -b hal -t 10 --p-from 2 --p-to 10 --p-step 2 --preflight -j 1 --no-cache
+  # benchmark=hal
+  T \ P<       2.0     4.0     6.0     8.0    10.0
+  10             ∅       ∅       ∅       ∅       -
+  legend: area = feasible, - = infeasible, ∅ = pruned (preflight), ! = failed, ? = missing
+  
+

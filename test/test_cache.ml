@@ -383,6 +383,7 @@ let point_signature pt =
       Printf.sprintf "area=%h peak=%h makespan=%d" area peak
         (Design.makespan design)
     | Explore.Infeasible reason -> "infeasible: " ^ reason
+    | Explore.Pruned reason -> "pruned: " ^ reason
     | Explore.Failed reason -> "failed: " ^ reason)
 
 let test_cached_sweep_identical_and_engine_free () =

@@ -28,7 +28,7 @@ let test_sweep_outcomes () =
       .Explore.result
   in
   (match result 10 5. with
-  | Explore.Infeasible _ -> ()
+  | Explore.Infeasible _ | Explore.Pruned _ -> ()
   | Explore.Feasible _ -> Alcotest.fail "hal T=10 P=5 should be infeasible"
   | Explore.Failed r -> Alcotest.fail r);
   match result 17 100. with
@@ -37,7 +37,8 @@ let test_sweep_outcomes () =
     Alcotest.(check bool) "peak positive" true (peak > 0.);
     Alcotest.(check bool) "design matches" true
       (Float.equal (Design.area design).Design.total area)
-  | Explore.Infeasible r | Explore.Failed r -> Alcotest.fail r
+  | Explore.Infeasible r | Explore.Pruned r | Explore.Failed r ->
+    Alcotest.fail r
 
 let test_min_feasible_power () =
   let points = hal_points () in
@@ -72,8 +73,9 @@ let test_pareto_drops_dominated () =
                    || area_a < area_b)
               in
               Alcotest.(check bool) "no domination inside front" false dominated
-            | (Explore.Feasible _ | Explore.Infeasible _ | Explore.Failed _), _
-              ->
+            | ( ( Explore.Feasible _ | Explore.Infeasible _ | Explore.Pruned _
+                | Explore.Failed _ ),
+                _ ) ->
               Alcotest.fail "front contains infeasible point")
         front)
     front;
@@ -81,7 +83,7 @@ let test_pareto_drops_dominated () =
   List.iter
     (fun p ->
       match p.Explore.result with
-      | Explore.Infeasible _ | Explore.Failed _ -> ()
+      | Explore.Infeasible _ | Explore.Pruned _ | Explore.Failed _ -> ()
       | Explore.Feasible _ ->
         Alcotest.(check bool) "covered" true
           (List.exists
@@ -93,8 +95,8 @@ let test_pareto_drops_dominated () =
                     q.Explore.time_limit <= p.Explore.time_limit
                     && q.Explore.power_limit <= p.Explore.power_limit
                     && area_q <= area_p
-                  | ( (Explore.Feasible _ | Explore.Infeasible _
-                      | Explore.Failed _),
+                  | ( ( Explore.Feasible _ | Explore.Infeasible _
+                      | Explore.Pruned _ | Explore.Failed _ ),
                       _ ) ->
                     false))
              front))
@@ -168,9 +170,34 @@ let test_tighten_infinite_budget () =
 let test_render_table () =
   let s = Explore.render_table (hal_points ()) in
   let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
-  Alcotest.(check int) "header + 2 rows" 3 (List.length lines);
+  Alcotest.(check int) "header + 2 rows + legend" 4 (List.length lines);
   Alcotest.(check bool) "contains dash for infeasible" true
-    (String.contains s '-')
+    (String.contains s '-');
+  match List.rev lines with
+  | legend :: _ ->
+    Alcotest.(check bool) "legend last" true
+      (String.length legend >= 7 && String.sub legend 0 7 = "legend:")
+  | [] -> assert false
+
+let test_render_table_pruned_cell () =
+  (* a statically-pruned point renders as U+2205, distinct from '-'/'!' *)
+  let points =
+    Explore.sweep ~preflight:true ~library:Library.default B.hal
+      ~times:[ 10 ] ~powers:[ 2.0; 100. ]
+  in
+  (match (List.nth points 0).Explore.result with
+  | Explore.Pruned reason ->
+    Alcotest.(check bool) "carries a PRE code" true
+      (String.length reason >= 3 && String.sub reason 0 3 = "PRE")
+  | _ -> Alcotest.fail "P<=2 should be statically pruned");
+  let s = Explore.render_table points in
+  Alcotest.(check bool) "empty-set glyph present" true
+    (let glyph = "\xe2\x88\x85" in
+     let n = String.length s in
+     let rec go i =
+       i + 3 <= n && (String.sub s i 3 = glyph || go (i + 1))
+     in
+     go 0)
 
 let () =
   Alcotest.run "explore"
@@ -182,6 +209,8 @@ let () =
           Alcotest.test_case "min feasible power" `Quick test_min_feasible_power;
           Alcotest.test_case "pareto front" `Quick test_pareto_drops_dominated;
           Alcotest.test_case "render table" `Quick test_render_table;
+          Alcotest.test_case "render table pruned cell" `Quick
+            test_render_table_pruned_cell;
           Alcotest.test_case "tighten never worse" `Quick
             test_tighten_improves_or_keeps;
           Alcotest.test_case "tighten strictly improves cosine" `Quick

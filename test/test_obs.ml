@@ -208,7 +208,9 @@ let test_traced_synthesis_spans () =
            ~time_limit:17 ~power_limit:10.)
    with
   | Explore.Feasible _ -> ()
-  | Explore.Infeasible reason | Explore.Failed reason -> Alcotest.fail reason);
+  | Explore.Infeasible reason | Explore.Pruned reason | Explore.Failed reason
+    ->
+    Alcotest.fail reason);
   let names = event_names sink in
   List.iter
     (fun expected ->

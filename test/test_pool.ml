@@ -253,6 +253,7 @@ let point_signature pt =
                         i.Design.ops)))
               (Design.instances design)))
     | Explore.Infeasible reason -> "infeasible: " ^ reason
+    | Explore.Pruned reason -> "pruned: " ^ reason
     | Explore.Failed reason -> "failed: " ^ reason)
 
 (* The acceptance shape for chaos in a sweep: a seeded worker fault fails
@@ -293,7 +294,7 @@ let test_sweep_under_worker_faults_fails_only_affected_points () =
           Alcotest.(check string)
             (Printf.sprintf "point %d reports the injected fault" i)
             "injected fault: pool.worker" reason
-        | Explore.Feasible _ | Explore.Infeasible _ ->
+        | Explore.Feasible _ | Explore.Infeasible _ | Explore.Pruned _ ->
           Alcotest.failf "point %d should have failed" i
       else
         Alcotest.(check string)
