@@ -614,6 +614,7 @@ let sweep_bench () =
       disk_hits = warm.Store.disk_hits - cold.Store.disk_hits;
       corrupt = warm.Store.corrupt - cold.Store.corrupt;
       degraded = warm.Store.degraded;
+      evictions = warm.Store.evictions - cold.Store.evictions;
     }
   in
   record ~section:"sweep-cache-warm" ~cache_stats:warm_only ~wall_s:t_warm
@@ -828,6 +829,171 @@ let obs_bench () =
   close_out oc;
   Format.printf "@.wrote BENCH_obs.json@."
 
+(* --- Serve: load generator over the HTTP daemon -------------------------- *)
+
+(* Drives an in-process pchls serve instance with a zipf-distributed
+   workload over the paper benchmarks × a constraint grid — the skew
+   models a fleet re-synthesizing a few hot configurations plus a long
+   tail, which is exactly what the coalescing + LRU cache tiers are for.
+   Emits BENCH_serve.json (req/s, p50/p99 latency, cache hit rate),
+   gated in CI by bench/compare.exe against bench/serve_baseline.json. *)
+let serve_bench () =
+  section_header "Serve: zipf load over the benchmark corpus";
+  let module Server = Pchls_serve.Server in
+  (* benchmarks × {loose, tight} time × three power budgets = 36 items *)
+  let corpus =
+    List.concat_map
+      (fun (name, t_lo, t_hi) ->
+        List.concat_map
+          (fun t ->
+            List.map
+              (fun p ->
+                Printf.sprintf
+                  "{\"benchmark\":\"%s\",\"time\":%d,\"power\":%g}" name t p)
+              [ 10.; 25.; 60. ])
+          [ t_lo; t_hi ])
+      [
+        ("hal", 8, 17); ("cosine", 19, 26); ("ar_filter", 12, 18);
+        ("fir16", 10, 16); ("iir_biquad", 8, 14); ("diffeq2", 6, 12);
+      ]
+  in
+  let items = Array.of_list corpus in
+  let n_items = Array.length items in
+  (* Zipf(s=1) over item ranks: rank 1 dominates, long tail thereafter. *)
+  let cumulative =
+    let w = Array.init n_items (fun i -> 1. /. float_of_int (i + 1)) in
+    let total = Array.fold_left ( +. ) 0. w in
+    let acc = ref 0. in
+    Array.map
+      (fun x ->
+        acc := !acc +. (x /. total);
+        !acc)
+      w
+  in
+  let zipf rng =
+    let u = Random.State.float rng 1. in
+    let rec find i =
+      if i >= n_items - 1 || u <= cumulative.(i) then i else find (i + 1)
+    in
+    items.(find 0)
+  in
+  let jobs = Domain.recommended_domain_count () in
+  let threads = 8 and clients = 8 and requests = 240 in
+  let srv =
+    Server.start
+      {
+        Server.default_config with
+        Server.port = 0;
+        threads;
+        jobs;
+        cache_mem_entries = Some 4096;
+      }
+  in
+  let port = Server.port srv in
+  let one_request body =
+    let sock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect ~finally:(fun () -> try Unix.close sock with _ -> ())
+    @@ fun () ->
+    Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    let req =
+      Printf.sprintf
+        "POST /synth HTTP/1.1\r\nhost: bench\r\ncontent-length: %d\r\n\
+         connection: close\r\n\r\n%s"
+        (String.length body) body
+    in
+    let rec send off =
+      if off < String.length req then
+        send (off + Unix.write_substring sock req off (String.length req - off))
+    in
+    send 0;
+    let buf = Buffer.create 1024 in
+    let chunk = Bytes.create 4096 in
+    let rec recv () =
+      match Unix.read sock chunk 0 4096 with
+      | 0 -> ()
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        recv ()
+    in
+    recv ();
+    int_of_string (String.trim (String.sub (Buffer.contents buf) 9 3))
+  in
+  let latencies = Array.make requests 0. in
+  let statuses = Array.make requests 0 in
+  let next = Atomic.make 0 in
+  let coalesced_counter = Metrics.counter "serve.coalesced" in
+  let coalesced0 = Metrics.counter_value coalesced_counter in
+  let client id =
+    let rng = Random.State.make [| 0xbeef; id |] in
+    let rec go () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < requests then begin
+        let body = zipf rng in
+        let t0 = Unix.gettimeofday () in
+        let status = one_request body in
+        latencies.(i) <- Unix.gettimeofday () -. t0;
+        statuses.(i) <- status;
+        go ()
+      end
+    in
+    go ()
+  in
+  let (), wall_s =
+    timed (fun () ->
+        let workers = List.init clients (fun id -> Thread.create client id) in
+        List.iter Thread.join workers)
+  in
+  let stats =
+    match Server.store srv with
+    | Some store -> Store.stats store
+    | None -> assert false
+  in
+  Server.stop srv;
+  let sorted = Array.copy latencies in
+  Array.sort compare sorted;
+  let percentile p =
+    sorted.(min (requests - 1) (int_of_float (p *. float_of_int requests)))
+  in
+  let p50_ms = 1000. *. percentile 0.50
+  and p99_ms = 1000. *. percentile 0.99 in
+  let req_per_s = float_of_int requests /. wall_s in
+  let coalesced = Metrics.counter_value coalesced_counter - coalesced0 in
+  let count status =
+    Array.fold_left (fun n s -> if s = status then n + 1 else n) 0 statuses
+  in
+  let ok = count 200 and infeasible = count 422 in
+  let errors = requests - ok - infeasible in
+  let rate = hit_rate (Some stats) in
+  Format.printf
+    "%d requests, %d clients, %d handler threads, %d worker domains@."
+    requests clients threads jobs;
+  Format.printf "wall %.3f s  (%.1f req/s)@." wall_s req_per_s;
+  Format.printf "latency p50 %.2f ms  p99 %.2f ms@." p50_ms p99_ms;
+  Format.printf "statuses: %d feasible, %d infeasible, %d other@." ok
+    infeasible errors;
+  Format.printf "cache: %d hits / %d misses (%.0f%% hit rate), %d coalesced@."
+    stats.Store.hits stats.Store.misses (100. *. rate) coalesced;
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"sections\": [\n\
+    \    {\"section\": \"serve-load\", \"wall_s\": %.6f, \"requests\": %d,\n\
+    \     \"clients\": %d, \"threads\": %d, \"jobs\": %d,\n\
+    \     \"req_per_s\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f,\n\
+    \     \"hit_rate\": %.4f, \"coalesced\": %d,\n\
+    \     \"status_200\": %d, \"status_422\": %d, \"status_other\": %d}\n\
+    \  ]\n\
+     }\n"
+    wall_s requests clients threads jobs req_per_s p50_ms p99_ms rate
+    coalesced ok infeasible errors;
+  close_out oc;
+  Format.printf "@.wrote BENCH_serve.json@.";
+  if errors > 0 then begin
+    Format.eprintf "serve-bench: %d request(s) answered neither 200 nor 422@."
+      errors;
+    exit 1
+  end
+
 (* --- Timing ------------------------------------------------------------- *)
 
 let timing () =
@@ -901,6 +1067,7 @@ let sections =
     ("ablation-modulo", ablation_modulo);
     ("sweep", sweep_bench);
     ("preflight", preflight_bench);
+    ("serve", serve_bench);
     ("obs", obs_bench);
     ("timing", timing);
   ]

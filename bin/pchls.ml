@@ -1099,6 +1099,114 @@ let rtl_cmd =
       $ register_area $ mux_input_area $ lang $ width $ testbench_flag
       $ control_flag $ vcd_flag $ functional_flag)
 
+(* --- serve -------------------------------------------------------------- *)
+
+let serve_cmd =
+  let host_opt =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+  in
+  let port_opt =
+    Arg.(
+      value & opt int 8080
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:"Listening port; 0 picks an ephemeral port (printed on \
+                startup).")
+  in
+  let threads_opt =
+    Arg.(
+      value & opt int 8
+      & info [ "threads" ] ~docv:"N"
+          ~doc:"Handler threads — the number of connections served \
+                concurrently. Engine work runs on the $(b,--jobs) worker \
+                domains, not on these threads.")
+  in
+  let mem_entries_opt =
+    Arg.(
+      value
+      & opt (some int) (Some 4096)
+      & info [ "cache-mem-entries" ] ~docv:"N"
+          ~doc:"LRU cap on the in-memory cache tier; least recently used \
+                entries are evicted past it (cache.evictions metric). Pass \
+                0 for unbounded.")
+  in
+  let serve_deadline_opt =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Ceiling on (and default for) per-request synthesis \
+                budgets. A request whose budget expires gets HTTP 206 with \
+                its best partial (anytime) result.")
+  in
+  let max_body_opt =
+    Arg.(
+      value
+      & opt int (1024 * 1024)
+      & info [ "max-body-bytes" ] ~docv:"BYTES"
+          ~doc:"Request body size cap; larger bodies get HTTP 413.")
+  in
+  let serve_trace_flag =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Install a process-wide trace sink and serve its Chrome \
+                trace_event JSON at GET /trace.")
+  in
+  let run host port threads jobs library cache_dir no_cache mem_entries
+      deadline_ms max_body trace no_color =
+    apply_color no_color;
+    let config =
+      {
+        Pchls_serve.Server.host;
+        port;
+        threads;
+        jobs;
+        library = the_library library;
+        cache = not no_cache;
+        cache_dir;
+        cache_mem_entries =
+          (match mem_entries with Some 0 -> None | other -> other);
+        max_deadline_ms = deadline_ms;
+        max_body_bytes = max_body;
+        trace;
+      }
+    in
+    match Pchls_serve.Server.run config with
+    | code -> code
+    | exception Unix.Unix_error (e, _, _) ->
+      Format.eprintf "serve: %s@." (Unix.error_message e);
+      2
+    | exception Invalid_argument msg ->
+      Format.eprintf "serve: %s@." msg;
+      2
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run synthesis as a long-lived HTTP service."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Serves the synthesis engine over HTTP/1.1: POST /synth, \
+              /sweep, /pareto, /check and /preflight take JSON bodies \
+              (one of benchmark/dfg/beh plus constraints); GET /metrics, \
+              /trace and /healthz expose observability. Engine exit \
+              semantics map onto statuses: 200 complete, 422 infeasible, \
+              500 internal error, 206 partial (budget expired). One \
+              shared result cache serves all requests and identical \
+              in-flight requests are coalesced. See docs/SERVING.md.";
+           `P
+             "SIGINT/SIGTERM drains in-flight requests and exits 0; a \
+              second signal force-exits 1.";
+         ])
+    Term.(
+      const run $ host_opt $ port_opt $ threads_opt $ jobs_opt $ library_opt
+      $ cache_dir_opt $ no_cache_flag $ mem_entries_opt $ serve_deadline_opt
+      $ max_body_opt $ serve_trace_flag $ no_color_flag)
+
 (* --- main -------------------------------------------------------------- *)
 
 (* Debug logging (cache hits/misses, engine decisions) is opt-in via the
@@ -1125,5 +1233,5 @@ let () =
             list_cmd; synth_cmd; check_cmd; preflight_cmd; sweep_cmd;
             pareto_cmd; cache_cmd;
             profile_cmd; trace_cmd; fuzz_cmd; battery_cmd; report_cmd;
-            dot_cmd; rtl_cmd;
+            dot_cmd; rtl_cmd; serve_cmd;
           ]))

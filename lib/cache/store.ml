@@ -16,6 +16,7 @@ let m_miss = Metrics.counter "cache.miss"
 let m_store = Metrics.counter "cache.store"
 let m_corrupt = Metrics.counter "cache.corrupt_entries"
 let m_degraded = Metrics.counter "cache.degraded"
+let m_evictions = Metrics.counter "cache.evictions"
 
 let h_memory_lookup_ns =
   Metrics.histogram ~buckets:Metrics.ns_buckets "cache.memory_lookup_ns"
@@ -41,18 +42,29 @@ type stats = {
   disk_hits : int;
   corrupt : int;
   degraded : bool;
+  evictions : int;
 }
+
+(* A memory-tier entry: the summary plus its last-access sequence number,
+   shared with the LRU queue below for lazy invalidation. *)
+type entry = { summary : summary; mutable last_access : int }
 
 type t = {
   mutex : Mutex.t;
-  table : (string, summary) Hashtbl.t;
+  table : (string, entry) Hashtbl.t;
   disk : string option;  (** the versioned subdirectory *)
+  mem_entries : int option;  (** memory-tier capacity; [None] = unbounded *)
+  lru : (string * int) Queue.t;
+      (** (key, access sequence) in access order; stale pairs — the key was
+          touched again later or already evicted — are skipped on pop *)
+  mutable access_seq : int;
   mutable hits : int;
   mutable misses : int;
   mutable stores : int;
   mutable memory_hits : int;
   mutable disk_hits : int;
   mutable corrupt : int;
+  mutable evictions : int;
   mutable disk_failed : bool;  (** disk tier permanently off after an error *)
 }
 
@@ -66,17 +78,26 @@ let key_id k =
   Printf.sprintf "%s-t%d-p%Lx" k.fingerprint k.time_limit
     (Int64.bits_of_float k.power_limit)
 
-let create ?dir () =
+let create ?dir ?mem_entries () =
+  (match mem_entries with
+  | Some n when n < 1 ->
+    invalid_arg
+      (Printf.sprintf "Store.create: mem_entries must be >= 1, got %d" n)
+  | Some _ | None -> ());
   {
     mutex = Mutex.create ();
     table = Hashtbl.create 64;
     disk = Option.map (fun d -> Filename.concat d version) dir;
+    mem_entries;
+    lru = Queue.create ();
+    access_seq = 0;
     hits = 0;
     misses = 0;
     stores = 0;
     memory_hits = 0;
     disk_hits = 0;
     corrupt = 0;
+    evictions = 0;
     disk_failed = false;
   }
 
@@ -252,6 +273,49 @@ let disk_add t disk id summary =
       Atomic_io.write_file (entry_path disk id) (render_summary summary)
     with Sys_error msg -> degrade t msg
 
+(* --- memory tier LRU cap ------------------------------------------------ *)
+
+(* All three helpers run with the store mutex held.
+
+   [touch] records an access: the entry remembers its latest sequence
+   number and the queue gains an (id, seq) pair, so every earlier pair for
+   the same id becomes stale — the classic lazy-deletion LRU, O(1) per
+   access with queue length bounded by the access count between evictions.
+   Unbounded stores skip all of it (the queue would only grow). *)
+let touch t entry id =
+  match t.mem_entries with
+  | None -> ()
+  | Some _ ->
+    t.access_seq <- t.access_seq + 1;
+    entry.last_access <- t.access_seq;
+    Queue.push (id, t.access_seq) t.lru
+
+let rec evict_over_capacity t =
+  match t.mem_entries with
+  | None -> ()
+  | Some cap ->
+    if Hashtbl.length t.table > cap then begin
+      match Queue.pop t.lru with
+      | exception Queue.Empty -> () (* cap >= 1 keeps this unreachable *)
+      | id, seq ->
+        (match Hashtbl.find_opt t.table id with
+        | Some e when e.last_access = seq ->
+          (* Freshest pair for a resident entry: genuinely least recently
+             used, out it goes. Stale pairs just get skipped. *)
+          Hashtbl.remove t.table id;
+          t.evictions <- t.evictions + 1;
+          Metrics.incr m_evictions;
+          Log.debug (fun m -> m "evicted %s (memory cap %d)" id cap)
+        | Some _ | None -> ());
+        evict_over_capacity t
+    end
+
+let mem_insert t id summary =
+  let entry = { summary; last_access = 0 } in
+  Hashtbl.replace t.table id entry;
+  touch t entry id;
+  evict_over_capacity t
+
 (* Which tier satisfied a lookup; [None] on miss. *)
 type tier = Memory | Disk
 
@@ -264,7 +328,9 @@ let find t k =
   Metrics.observe h_memory_lookup_ns (Clock.elapsed_ns ~since:memory_start);
   let outcome, tier =
     match memory with
-    | Some _ as s -> (s, Some Memory)
+    | Some e ->
+      touch t e id;
+      (Some e.summary, Some Memory)
     | None -> (
       match t.disk with
       | None -> (None, None)
@@ -275,7 +341,7 @@ let find t k =
         Metrics.observe h_disk_lookup_ns (Clock.elapsed_ns ~since:disk_start);
         match found with
         | Some s ->
-          Hashtbl.replace t.table id s;
+          mem_insert t id s;
           (Some s, Some Disk)
         | None -> (None, None)))
   in
@@ -308,7 +374,7 @@ let add t k summary =
   Trace.span ~cat:"cache" "cache.add" @@ fun () ->
   locked t @@ fun () ->
   let id = key_id k in
-  Hashtbl.replace t.table id summary;
+  mem_insert t id summary;
   t.stores <- t.stores + 1;
   Metrics.incr m_store;
   Log.debug (fun m ->
@@ -326,6 +392,7 @@ let stats t =
     disk_hits = t.disk_hits;
     corrupt = t.corrupt;
     degraded = t.disk_failed;
+    evictions = t.evictions;
   }
 
 let size t = locked t @@ fun () -> Hashtbl.length t.table
@@ -341,6 +408,7 @@ let entries_of_disk disk =
 let clear t =
   locked t @@ fun () ->
   Hashtbl.reset t.table;
+  Queue.clear t.lru;
   match t.disk with
   | None -> ()
   | Some disk ->
@@ -364,11 +432,21 @@ let disk_usage ~dir =
     (0, 0) (entries_of_disk disk)
 
 let pp_stats ppf
-    ({ hits; misses; stores; memory_hits; disk_hits; corrupt; degraded } :
+    ({
+       hits;
+       misses;
+       stores;
+       memory_hits;
+       disk_hits;
+       corrupt;
+       degraded;
+       evictions;
+     } :
       stats) =
   Format.fprintf ppf "hits=%d (memory=%d disk=%d) misses=%d stores=%d" hits
     memory_hits disk_hits misses stores;
-  (* Degradation facts only appear when something went wrong, keeping the
+  (* Degradation/eviction facts only appear when they happened, keeping the
      healthy-path rendering (and the golden CLI outputs) unchanged. *)
+  if evictions > 0 then Format.fprintf ppf " evictions=%d" evictions;
   if corrupt > 0 then Format.fprintf ppf " corrupt=%d" corrupt;
   if degraded then Format.fprintf ppf " degraded"

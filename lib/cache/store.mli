@@ -46,13 +46,24 @@ type stats = {
   disk_hits : int;  (** hits satisfied (and promoted) from the disk tier *)
   corrupt : int;  (** entries quarantined to [*.bad] on parse failure *)
   degraded : bool;  (** disk tier disabled after an I/O error *)
+  evictions : int;  (** memory entries dropped by the [mem_entries] cap *)
 }
 
 type t
 
-(** [create ?dir ()] makes a store; [dir] enables the on-disk tier (the
-    versioned subdirectory is created on demand). *)
-val create : ?dir:string -> unit -> t
+(** [create ?dir ?mem_entries ()] makes a store; [dir] enables the on-disk
+    tier (the versioned subdirectory is created on demand).
+
+    [mem_entries] caps the in-memory tier: once more than that many
+    distinct keys are resident, the least recently used entry is evicted
+    (counted in [stats.evictions] and the [cache.evictions] metric) so a
+    long-running process — the [pchls serve] daemon in particular — holds
+    a bounded working set. Evicted entries are only forgotten by the
+    memory tier; with a disk tier they remain on disk and re-promote on
+    the next lookup. Omitted means unbounded, as before.
+
+    @raise Invalid_argument when [mem_entries < 1]. *)
+val create : ?dir:string -> ?mem_entries:int -> unit -> t
 
 (** [in_memory ()] is [create ()]. *)
 val in_memory : unit -> t

@@ -205,7 +205,43 @@ let member key = function
   | Obj fields -> List.assoc_opt key fields
   | Null | Bool _ | Number _ | String _ | List _ -> None
 
-let escape s =
+(* Compact writer, the inverse of [parse] for everything the parser can
+   produce. Floats that carry an integral value print as integers (the
+   common case: counters, cycle counts, status codes); anything non-finite
+   has no JSON spelling and becomes [null]. *)
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Number f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string buf (Printf.sprintf "%.0f" f)
+    else if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.17g" f)
+    else Buffer.add_string buf "null"
+  | String s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        write buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape k);
+        Buffer.add_string buf "\":";
+        write buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+and escape s =
   let b = Buffer.create (String.length s + 8) in
   String.iter
     (fun c ->
@@ -220,3 +256,8 @@ let escape s =
       | c -> Buffer.add_char b c)
     s;
   Buffer.contents b
+
+let to_string json =
+  let buf = Buffer.create 256 in
+  write buf json;
+  Buffer.contents buf

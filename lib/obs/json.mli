@@ -24,3 +24,9 @@ val member : string -> t -> t option
 (** [escape s] backslash-escapes [s] for embedding inside a JSON string
     literal (without the surrounding quotes). *)
 val escape : string -> string
+
+(** [to_string json] renders [json] compactly. Integral numbers print
+    without a decimal point, so [parse (to_string j)] round-trips values
+    the parser can produce; non-finite numbers (which RFC 8259 cannot
+    express) render as [null]. *)
+val to_string : t -> string

@@ -138,6 +138,40 @@ let map pool f xs =
            results)
   end
 
+let run pool f =
+  check_alive pool;
+  if pool.jobs = 1 then f ()
+  else begin
+    let join_mutex = Mutex.create () in
+    let joined = Condition.create () in
+    let result = ref None in
+    let queued_ns = Clock.now_ns () in
+    submit pool (fun () ->
+        let started_ns = Clock.now_ns () in
+        Metrics.incr m_tasks;
+        Metrics.observe h_task_wait_ns
+          (Int64.to_float (Int64.sub started_ns queued_ns));
+        let outcome =
+          match f () with
+          | y -> Ok y
+          | exception e -> Error (e, Printexc.get_raw_backtrace ())
+        in
+        Metrics.observe h_task_run_ns (Clock.elapsed_ns ~since:started_ns);
+        Mutex.lock join_mutex;
+        result := Some outcome;
+        Condition.signal joined;
+        Mutex.unlock join_mutex);
+    Mutex.lock join_mutex;
+    while Option.is_none !result do
+      Condition.wait joined join_mutex
+    done;
+    Mutex.unlock join_mutex;
+    match !result with
+    | Some (Ok y) -> y
+    | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+    | None -> assert false (* joined *)
+  end
+
 let map_reduce pool ~map:f ~reduce ~init xs =
   List.fold_left reduce init (map pool f xs)
 

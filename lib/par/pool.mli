@@ -58,6 +58,19 @@ type failure = {
 val try_map :
   ?retries:int -> t -> ('a -> 'b) -> 'a list -> ('b, failure) result list
 
+(** [run pool f] executes [f ()] on a pool worker domain, blocks the
+    calling thread until it finishes, and returns its result — re-raising
+    any exception with its backtrace. Unlike a one-element {!map} (which
+    runs inline as an optimisation), the task really is dispatched, so
+    callers that overlap many independent single computations — the
+    [pchls serve] request handlers — get true multi-domain parallelism
+    while their own (sys-)threads only block. With [jobs = 1] it runs
+    inline on the calling domain. Calling {!run} from inside a pool task
+    may deadlock, like any submission from a task.
+
+    @raise Invalid_argument when the pool has been shut down. *)
+val run : t -> (unit -> 'a) -> 'a
+
 (** [map_reduce pool ~map ~reduce ~init xs] maps in parallel like {!map},
     then folds the results sequentially in input order:
     [reduce (... (reduce init y0) ...) yn]. The fold order is deterministic,

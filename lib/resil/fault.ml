@@ -16,6 +16,8 @@ let known =
     "cache.write";
     "pool.worker";
     "explore.point";
+    "serve.accept";
+    "serve.handler";
   ]
 
 let canonical = function "no-power-check" -> "engine.power-check" | n -> n

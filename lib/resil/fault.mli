@@ -29,7 +29,13 @@
     - ["pool.worker"]: a {!Pchls_par.Pool.try_map} task crashes before
       running, exercising per-item isolation and retry;
     - ["explore.point"]: one {!Pchls_core.Explore.sweep} grid point
-      crashes, exercising per-point failure reporting. *)
+      crashes, exercising per-point failure reporting;
+    - ["serve.accept"]: one [pchls serve] accept-loop iteration fails
+      before handing the connection to a worker — the daemon must log and
+      keep accepting, never die;
+    - ["serve.handler"]: a [pchls serve] request handler crashes before
+      dispatch, exercising the catch-all 500 response path (the
+      connection still gets an answer and the daemon survives). *)
 
 (** Raised by {!inject}; carries the fault-point name. Registered with
     [Printexc] so reports read ["injected fault: pool.worker"]. *)

@@ -1,0 +1,306 @@
+type request = {
+  meth : string;
+  target : string;
+  path : string;
+  query : (string * string) list;
+  version : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+let header r name = List.assoc_opt (String.lowercase_ascii name) r.headers
+
+let keep_alive r =
+  match Option.map String.lowercase_ascii (header r "connection") with
+  | Some "close" -> false
+  | Some "keep-alive" -> true
+  | Some _ | None -> String.equal r.version "HTTP/1.1"
+
+type error =
+  | Eof
+  | Bad_request of string
+  | Payload_too_large of string
+
+let error_to_string = function
+  | Eof -> "end of stream"
+  | Bad_request msg -> "bad request: " ^ msg
+  | Payload_too_large msg -> "payload too large: " ^ msg
+
+type reader = {
+  fill : bytes -> int -> int -> int;
+  chunk : bytes;
+  mutable pending : string;  (** received but not yet consumed *)
+  mutable closed : bool;  (** [fill] returned 0 *)
+  max_header_bytes : int;
+  max_body_bytes : int;
+}
+
+let reader ?(max_header_bytes = 16 * 1024) ?(max_body_bytes = 1024 * 1024)
+    fill =
+  {
+    fill;
+    chunk = Bytes.create 8192;
+    pending = "";
+    closed = false;
+    max_header_bytes;
+    max_body_bytes;
+  }
+
+let of_string ?max_header_bytes ?max_body_bytes text =
+  let consumed = ref 0 in
+  reader ?max_header_bytes ?max_body_bytes (fun buf pos len ->
+      let n = min len (String.length text - !consumed) in
+      Bytes.blit_string text !consumed buf pos n;
+      consumed := !consumed + n;
+      n)
+
+(* Pull one more chunk into [pending]; false once the stream has ended. *)
+let refill r =
+  if r.closed then false
+  else
+    let n = r.fill r.chunk 0 (Bytes.length r.chunk) in
+    if n = 0 then begin
+      r.closed <- true;
+      false
+    end
+    else begin
+      r.pending <- r.pending ^ Bytes.sub_string r.chunk 0 n;
+      true
+    end
+
+exception Parse_error of error
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Parse_error (Bad_request m))) fmt
+
+(* Next LF-terminated line, trailing CR stripped (so both CRLF and bare-LF
+   framing parse); [header_budget] caps the bytes buffered while hunting
+   for the newline. *)
+let read_line r ~header_budget =
+  let rec go () =
+    match String.index_opt r.pending '\n' with
+    | Some i ->
+      let line = String.sub r.pending 0 i in
+      r.pending <-
+        String.sub r.pending (i + 1) (String.length r.pending - i - 1);
+      let line =
+        if line <> "" && line.[String.length line - 1] = '\r' then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      Some line
+    | None ->
+      if String.length r.pending > header_budget then
+        bad "header section exceeds %d bytes" r.max_header_bytes;
+      if refill r then go () else None
+  in
+  go ()
+
+(* Best-effort percent decoding: malformed escapes pass through verbatim
+   rather than failing the request — the route table never depends on
+   them. *)
+let percent_decode ?(plus_as_space = false) s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | _ -> None
+  in
+  let rec go i =
+    if i < n then
+      match s.[i] with
+      | '%' when i + 2 < n -> (
+        match (hex s.[i + 1], hex s.[i + 2]) with
+        | Some hi, Some lo ->
+          Buffer.add_char b (Char.chr ((hi * 16) + lo));
+          go (i + 3)
+        | _ ->
+          Buffer.add_char b '%';
+          go (i + 1))
+      | '+' when plus_as_space ->
+        Buffer.add_char b ' ';
+        go (i + 1)
+      | c ->
+        Buffer.add_char b c;
+        go (i + 1)
+  in
+  go 0;
+  Buffer.contents b
+
+let parse_target target =
+  if target = "" || target.[0] <> '/' then
+    bad "request target must start with '/', got %S" target;
+  match String.index_opt target '?' with
+  | None -> (percent_decode target, [])
+  | Some q ->
+    let path = String.sub target 0 q in
+    let rest = String.sub target (q + 1) (String.length target - q - 1) in
+    let query =
+      String.split_on_char '&' rest
+      |> List.filter (fun kv -> kv <> "")
+      |> List.map (fun kv ->
+             match String.index_opt kv '=' with
+             | None -> (percent_decode ~plus_as_space:true kv, "")
+             | Some e ->
+               ( percent_decode ~plus_as_space:true (String.sub kv 0 e),
+                 percent_decode ~plus_as_space:true
+                   (String.sub kv (e + 1) (String.length kv - e - 1)) ))
+    in
+    (percent_decode path, query)
+
+let is_method_char = function 'A' .. 'Z' -> true | _ -> false
+
+(* Header field names are RFC 9110 tokens; the subset check below rejects
+   whitespace, control characters and separators, which is what matters
+   for never confusing a folded or garbled line with a field. *)
+let is_token_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true
+  | '!' | '#' | '$' | '%' | '&' | '\'' | '*' | '+' | '-' | '.' | '^' | '_'
+  | '`' | '|' | '~' ->
+    true
+  | _ -> false
+
+let parse_request_line line =
+  match String.split_on_char ' ' line with
+  | [ meth; target; version ] ->
+    if meth = "" || not (String.for_all is_method_char meth) then
+      bad "malformed method %S" meth;
+    if not (String.equal version "HTTP/1.1" || String.equal version "HTTP/1.0")
+    then bad "unsupported version %S" version;
+    let path, query = parse_target target in
+    (meth, target, path, query, version)
+  | _ -> bad "malformed request line %S" line
+
+let parse_header_line line =
+  match String.index_opt line ':' with
+  | None -> bad "malformed header line %S" line
+  | Some 0 -> bad "empty header name in %S" line
+  | Some c ->
+    let name = String.sub line 0 c in
+    if not (String.for_all is_token_char name) then
+      bad "malformed header name %S" name;
+    let value = String.trim (String.sub line (c + 1) (String.length line - c - 1)) in
+    (String.lowercase_ascii name, value)
+
+let content_length r headers =
+  if List.mem_assoc "transfer-encoding" headers then
+    bad "transfer-encoding is not supported (use content-length)";
+  match List.filter (fun (k, _) -> k = "content-length") headers with
+  | [] -> 0
+  | (_, v) :: rest ->
+    if List.exists (fun (_, v') -> v' <> v) rest then
+      bad "conflicting content-length headers";
+    if v = "" || not (String.for_all (function '0' .. '9' -> true | _ -> false) v)
+    then bad "malformed content-length %S" v;
+    let len =
+      match int_of_string_opt v with
+      | Some n -> n
+      | None ->
+        (* All digits but unrepresentable: necessarily over any sane cap. *)
+        raise
+          (Parse_error
+             (Payload_too_large
+                (Printf.sprintf "content-length %s exceeds the %d byte limit"
+                   v r.max_body_bytes)))
+    in
+    if len > r.max_body_bytes then
+      raise
+        (Parse_error
+           (Payload_too_large
+              (Printf.sprintf "content-length %d exceeds the %d byte limit"
+                 len r.max_body_bytes)));
+    len
+
+let read_body r len =
+  let rec go () =
+    if String.length r.pending >= len then begin
+      let body = String.sub r.pending 0 len in
+      r.pending <-
+        String.sub r.pending len (String.length r.pending - len);
+      body
+    end
+    else if refill r then go ()
+    else bad "stream ended %d bytes into a %d byte body"
+        (String.length r.pending) len
+  in
+  go ()
+
+let read_request r =
+  try
+    (* Tolerate blank line(s) between pipelined requests (RFC 9112 §2.2)
+       but bound them by the header budget so a stream of newlines cannot
+       spin forever. *)
+    let rec first_line skipped =
+      if skipped > r.max_header_bytes then
+        bad "header section exceeds %d bytes" r.max_header_bytes;
+      match read_line r ~header_budget:r.max_header_bytes with
+      | None ->
+        if r.pending = "" then raise (Parse_error Eof)
+        else bad "stream ended inside the request line"
+      | Some "" -> first_line (skipped + 2)
+      | Some line -> line
+    in
+    let line = first_line 0 in
+    let meth, target, path, query, version = parse_request_line line in
+    let rec headers acc consumed =
+      if consumed > r.max_header_bytes then
+        bad "header section exceeds %d bytes" r.max_header_bytes
+      else
+        match read_line r ~header_budget:(r.max_header_bytes - consumed) with
+        | None -> bad "stream ended inside the header section"
+        | Some "" -> List.rev acc
+        | Some line when line.[0] = ' ' || line.[0] = '\t' ->
+          bad "obsolete header folding is not supported"
+        | Some line ->
+          headers (parse_header_line line :: acc)
+            (consumed + String.length line + 2)
+    in
+    let headers = headers [] (String.length line) in
+    let body = read_body r (content_length r headers) in
+    Ok { meth; target; path; query; version; headers; body }
+  with Parse_error e -> Error e
+
+type response = {
+  status : int;
+  headers : (string * string) list;
+  body : string;
+}
+
+let reason_phrase = function
+  | 200 -> "OK"
+  | 202 -> "Accepted"
+  | 204 -> "No Content"
+  | 206 -> "Partial Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 413 -> "Content Too Large"
+  | 422 -> "Unprocessable Content"
+  | 500 -> "Internal Server Error"
+  | 501 -> "Not Implemented"
+  | 503 -> "Service Unavailable"
+  | _ -> "Status"
+
+let response ?(content_type = "application/json") ?(headers = []) status body
+    =
+  { status; headers = ("content-type", content_type) :: headers; body }
+
+let to_string ~keep_alive resp =
+  let b = Buffer.create (String.length resp.body + 256) in
+  Buffer.add_string b
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" resp.status
+       (reason_phrase resp.status));
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v))
+    resp.headers;
+  Buffer.add_string b
+    (Printf.sprintf "content-length: %d\r\n" (String.length resp.body));
+  Buffer.add_string b
+    (if keep_alive then "connection: keep-alive\r\n"
+     else "connection: close\r\n");
+  Buffer.add_string b "\r\n";
+  Buffer.add_string b resp.body;
+  Buffer.contents b

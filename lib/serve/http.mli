@@ -1,0 +1,84 @@
+(** A dependency-free HTTP/1.1 reader/writer for [pchls serve].
+
+    Just enough of RFC 9112 for a JSON API daemon: request line, headers,
+    [Content-Length]-framed bodies and sequential keep-alive on one
+    connection. No chunked transfer encoding, no pipelining, no TLS. The
+    parser is total — malformed input yields [Error], never an exception —
+    and incremental: it pulls bytes through a caller-supplied chunk
+    function, so it parses identically whatever byte boundaries the
+    transport delivers (qcheck-verified over arbitrary split points).
+
+    Limits guard the daemon: header sections over [max_header_bytes]
+    (default 16 KiB) and declared bodies over [max_body_bytes] (default
+    1 MiB) are rejected before buffering them. *)
+
+type request = {
+  meth : string;  (** e.g. ["GET"], ["POST"] — verbatim from the wire *)
+  target : string;  (** the raw request target, e.g. ["/synth?x=1"] *)
+  path : string;  (** target up to the first [?], percent-decoded *)
+  query : (string * string) list;  (** decoded key/value pairs, in order *)
+  version : string;  (** ["HTTP/1.0"] or ["HTTP/1.1"] *)
+  headers : (string * string) list;
+      (** names lowercased, values trimmed, in wire order *)
+  body : string;
+}
+
+(** [header r name] is the first header named [name] (case-insensitive). *)
+val header : request -> string -> string option
+
+(** [keep_alive r] — should the connection stay open after this exchange?
+    HTTP/1.1 defaults to yes unless [Connection: close]; HTTP/1.0 defaults
+    to no unless [Connection: keep-alive]. *)
+val keep_alive : request -> bool
+
+type error =
+  | Eof  (** clean end of stream before the first request byte *)
+  | Bad_request of string  (** syntax/framing violation → 400 *)
+  | Payload_too_large of string  (** body over [max_body_bytes] → 413 *)
+
+val error_to_string : error -> string
+
+(** A connection reader: buffered pull source plus the bytes left over
+    from the previous request (keep-alive framing). [fill buf pos len]
+    must return the number of bytes written, 0 for end of stream, and may
+    raise — exceptions pass through to the [read_request] caller. *)
+type reader
+
+val reader :
+  ?max_header_bytes:int ->
+  ?max_body_bytes:int ->
+  (bytes -> int -> int -> int) ->
+  reader
+
+(** [of_string text] is a reader over a fixed byte string (tests). *)
+val of_string :
+  ?max_header_bytes:int -> ?max_body_bytes:int -> string -> reader
+
+(** [read_request r] parses the next request off the stream. Accepts both
+    CRLF and bare-LF line endings. [Error Eof] means the peer closed
+    between requests; end of stream mid-request is a [Bad_request]. *)
+val read_request : reader -> (request, error) result
+
+type response = {
+  status : int;
+  headers : (string * string) list;
+  body : string;
+}
+
+(** [response ?content_type ?headers status body] — [content_type]
+    defaults to ["application/json"]. [Content-Length] is added by
+    {!to_string}. *)
+val response :
+  ?content_type:string ->
+  ?headers:(string * string) list ->
+  int ->
+  string ->
+  response
+
+(** [to_string ~keep_alive resp] renders the full wire form, including
+    [Content-Length] and a [Connection] header matching [keep_alive]. *)
+val to_string : keep_alive:bool -> response -> string
+
+(** [reason_phrase 422] is ["Unprocessable Content"], etc.; unknown codes
+    get ["Status"]. *)
+val reason_phrase : int -> string

@@ -1,0 +1,842 @@
+let src = Logs.Src.create "pchls.serve" ~doc:"synthesis service daemon"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+module Graph = Pchls_dfg.Graph
+module Benchmarks = Pchls_dfg.Benchmarks
+module Text_format = Pchls_dfg.Text_format
+module Library = Pchls_fulib.Library
+module Module_spec = Pchls_fulib.Module_spec
+module Engine = Pchls_core.Engine
+module Design = Pchls_core.Design
+module Explore = Pchls_core.Explore
+module Analysis = Pchls_analysis.Analysis
+module Diag = Pchls_diag.Diag
+module Preflight = Pchls_preflight.Preflight
+module Store = Pchls_cache.Store
+module Pool = Pchls_par.Pool
+module Json = Pchls_obs.Json
+module Metrics = Pchls_obs.Metrics
+module Trace = Pchls_obs.Trace
+module Clock = Pchls_obs.Clock
+module Budget = Pchls_resil.Budget
+module Fault = Pchls_resil.Fault
+
+let m_requests = Metrics.counter "serve.requests"
+let m_partial = Metrics.counter "serve.partial"
+let m_accept_faults = Metrics.counter "serve.accept_faults"
+let g_inflight = Metrics.gauge "serve.inflight"
+
+let h_request_ns =
+  Metrics.histogram ~buckets:Metrics.ns_buckets "serve.request_ns"
+
+(* Response-class counters are registered eagerly so the catalogue shows
+   them at zero (the OBSERVABILITY.md convention). *)
+let m_response_class =
+  let mk c = (c, Metrics.counter (Printf.sprintf "serve.response.%dxx" c)) in
+  [ mk 2; mk 4; mk 5 ]
+
+let count_response status =
+  match List.assoc_opt (status / 100) m_response_class with
+  | Some c -> Metrics.incr c
+  | None -> ()
+
+type config = {
+  host : string;
+  port : int;
+  threads : int;
+  jobs : int;
+  library : Library.t;
+  cache : bool;
+  cache_dir : string option;
+  cache_mem_entries : int option;
+  max_deadline_ms : float option;
+  max_body_bytes : int;
+  trace : bool;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 8080;
+    threads = 8;
+    jobs = 1;
+    library = Library.default;
+    cache = true;
+    cache_dir = None;
+    cache_mem_entries = Some 4096;
+    max_deadline_ms = None;
+    max_body_bytes = 1024 * 1024;
+    trace = false;
+  }
+
+(* The value shared through a coalesced flight: the engine outcome plus
+   the leader's budget verdict, so followers report the same partiality
+   the leader observed. *)
+type work =
+  | Solved of Explore.result
+  | Swept of Explore.point list
+
+type flight = { work : work; partial : string option }
+
+type t = {
+  config : config;
+  lsock : Unix.file_descr;
+  bound_port : int;
+  cache : Store.t option;
+  pool : Pool.t;
+  flights : flight Coalesce.t;
+  queue : Unix.file_descr Queue.t;
+  qmutex : Mutex.t;
+  qcond : Condition.t;
+  stopping : bool Atomic.t;
+  inflight_count : int Atomic.t;
+  sink : Trace.sink option;
+  started_ns : int64;
+  mutable acceptor : Thread.t option;
+  mutable handlers : Thread.t list;
+}
+
+let port t = t.bound_port
+let store t = t.cache
+let inflight t = Atomic.get t.inflight_count
+
+(* --- request decoding --------------------------------------------------- *)
+
+(* A caller error in the request body; mapped to 400. *)
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let opt_string name json =
+  match Json.member name json with
+  | Some (Json.String s) -> Some s
+  | Some _ -> bad "%S must be a string" name
+  | None -> None
+
+let opt_number name json =
+  match Json.member name json with
+  | Some (Json.Number f) -> Some f
+  | Some _ -> bad "%S must be a number" name
+  | None -> None
+
+let opt_int name json =
+  match opt_number name json with
+  | Some f when Float.is_integer f -> Some (int_of_float f)
+  | Some _ -> bad "%S must be an integer" name
+  | None -> None
+
+let opt_bool name json =
+  match Json.member name json with
+  | Some (Json.Bool b) -> Some b
+  | Some _ -> bad "%S must be a boolean" name
+  | None -> None
+
+let number_list name json =
+  match Json.member name json with
+  | Some (Json.List items) ->
+    Some
+      (List.map
+         (function
+           | Json.Number f -> f
+           | _ -> bad "%S must be an array of numbers" name)
+         items)
+  | Some _ -> bad "%S must be an array of numbers" name
+  | None -> None
+
+let parse_body (req : Http.request) =
+  if req.Http.body = "" then bad "a JSON request body is required";
+  match Json.parse req.Http.body with
+  | Ok json -> json
+  | Error msg -> bad "invalid JSON body: %s" msg
+
+(* Exactly one graph source, mirroring the CLI's -b/--file/--beh. *)
+let resolve_graph json =
+  let benchmark = opt_string "benchmark" json in
+  let dfg = opt_string "dfg" json in
+  let beh = opt_string "beh" json in
+  match (benchmark, dfg, beh) with
+  | Some name, None, None -> (
+    match Benchmarks.find name with
+    | Some g -> (name, g)
+    | None ->
+      bad "unknown benchmark %S (try: %s)" name
+        (String.concat ", " (List.map fst Benchmarks.all)))
+  | None, Some text, None -> (
+    match Text_format.of_string text with
+    | Ok g -> (Graph.name g, g)
+    | Error msg -> bad "dfg: %s" msg)
+  | None, None, Some source -> (
+    let name = Option.value (opt_string "name" json) ~default:"request" in
+    match Pchls_lang.Elaborate.compile ~name source with
+    | Ok { Pchls_lang.Elaborate.graph; _ } -> (name, graph)
+    | Error msg -> bad "beh: %s" msg)
+  | None, None, None -> bad "a graph is required: benchmark, dfg or beh"
+  | _ -> bad "pass exactly one of benchmark, dfg, beh"
+
+let time_field json =
+  match opt_int "time" json with
+  | Some t when t >= 1 -> t
+  | Some t -> bad "\"time\" must be >= 1, got %d" t
+  | None -> bad "\"time\" is required"
+
+let power_field json =
+  match opt_number "power" json with
+  | Some p when p > 0. -> p
+  | Some p -> bad "\"power\" must be > 0, got %g" p
+  | None -> infinity
+
+let times_field json =
+  match number_list "times" json with
+  | Some [] -> bad "\"times\" must not be empty"
+  | Some ts ->
+    List.map
+      (fun f ->
+        if Float.is_integer f && f >= 1. then int_of_float f
+        else bad "\"times\" entries must be integers >= 1")
+      ts
+  | None -> [ time_field json ]
+
+let powers_field json =
+  match number_list "powers" json with
+  | Some [] -> bad "\"powers\" must not be empty"
+  | Some ps ->
+    List.iter (fun p -> if p <= 0. then bad "\"powers\" entries must be > 0") ps;
+    ps
+  | None -> (
+    match
+      (opt_number "p_from" json, opt_number "p_to" json, opt_number "p_step" json)
+    with
+    | None, None, None -> [ power_field json ]
+    | Some p_from, Some p_to, p_step ->
+      let p_step = Option.value p_step ~default:2.5 in
+      if p_from <= 0. || p_step <= 0. then
+        bad "\"p_from\" and \"p_step\" must be > 0";
+      let rec range p = if p > p_to +. 1e-9 then [] else p :: range (p +. p_step) in
+      let ps = range p_from in
+      if ps = [] then bad "empty power range [%g, %g]" p_from p_to;
+      ps
+    | _ -> bad "a power range needs both \"p_from\" and \"p_to\"")
+
+let max_grid_points = 10_000
+
+let grid_fields json =
+  let times = times_field json in
+  let powers = powers_field json in
+  if List.length times * List.length powers > max_grid_points then
+    bad "constraint grid exceeds %d points" max_grid_points;
+  (times, powers)
+
+let policy_field json =
+  match opt_string "policy" json with
+  | None -> None
+  | Some "min-power" -> Some Engine.Min_power
+  | Some "min-area" -> Some Engine.Min_area
+  | Some "min-latency" -> Some Engine.Min_latency
+  | Some s -> bad "unknown policy %S (min-power, min-area, min-latency)" s
+
+let preflight_field json = Option.value (opt_bool "preflight" json) ~default:false
+
+(* The per-request budget: the request's own deadline_ms/max_iters,
+   ceilinged by (and defaulting to) the server-wide max_deadline_ms. *)
+let request_budget config json =
+  let deadline_ms =
+    match (opt_number "deadline_ms" json, config.max_deadline_ms) with
+    | Some d, _ when d < 0. -> bad "\"deadline_ms\" must be >= 0"
+    | Some d, Some cap -> Some (Float.min d cap)
+    | Some d, None -> Some d
+    | None, cap -> cap
+  in
+  let max_iters =
+    match opt_int "max_iters" json with
+    | Some i when i < 0 -> bad "\"max_iters\" must be >= 0"
+    | other -> other
+  in
+  match (deadline_ms, max_iters) with
+  | None, None -> None
+  | _ -> Some (Budget.make ?deadline_ms ?max_iters ())
+
+let budget_signature json config =
+  Printf.sprintf "dl=%s,mi=%s"
+    (match (opt_number "deadline_ms" json, config.max_deadline_ms) with
+    | Some d, Some cap -> string_of_float (Float.min d cap)
+    | Some d, None -> string_of_float d
+    | None, Some cap -> string_of_float cap
+    | None, None -> "-")
+    (match opt_int "max_iters" json with
+    | Some i -> string_of_int i
+    | None -> "-")
+
+(* --- response encoding -------------------------------------------------- *)
+
+let number_or_null f = if Float.is_finite f then Json.Number f else Json.Null
+
+let error_body ~error reason =
+  Json.to_string
+    (Json.Obj [ ("error", Json.String error); ("reason", Json.String reason) ])
+
+let json_of_design name (d : Design.t) ~area ~peak =
+  let breakdown = Design.area d in
+  Json.Obj
+    [
+      ("name", Json.String name);
+      ("feasible", Json.Bool true);
+      ("time_limit", Json.Number (float_of_int (Design.time_limit d)));
+      ("power_limit", number_or_null (Design.power_limit d));
+      ("area", Json.Number area);
+      ("peak", Json.Number peak);
+      ( "area_breakdown",
+        Json.Obj
+          [
+            ("fu", Json.Number breakdown.Design.fu);
+            ("registers", Json.Number breakdown.Design.registers);
+            ("mux", Json.Number breakdown.Design.mux);
+            ("total", Json.Number breakdown.Design.total);
+          ] );
+      ("makespan", Json.Number (float_of_int (Design.makespan d)));
+      ("registers", Json.Number (float_of_int (Design.register_count d)));
+      ("energy", Json.Number (Design.energy d));
+      ( "instances",
+        Json.List
+          (List.map
+             (fun (inst : Design.instance) ->
+               Json.Obj
+                 [
+                   ("module", Json.String inst.Design.spec.Module_spec.name);
+                   ( "ops",
+                     Json.List
+                       (List.map
+                          (fun (op, start) ->
+                            Json.List
+                              [
+                                Json.Number (float_of_int op);
+                                Json.Number (float_of_int start);
+                              ])
+                          inst.Design.ops) );
+                 ])
+             (Design.instances d)) );
+    ]
+
+let json_of_point (pt : Explore.point) =
+  let base =
+    [
+      ("time", Json.Number (float_of_int pt.Explore.time_limit));
+      ("power", number_or_null pt.Explore.power_limit);
+    ]
+  in
+  Json.Obj
+    (base
+    @
+    match pt.Explore.result with
+    | Explore.Feasible { area; peak; _ } ->
+      [
+        ("status", Json.String "feasible");
+        ("area", Json.Number area);
+        ("peak", Json.Number peak);
+      ]
+    | Explore.Infeasible reason ->
+      [ ("status", Json.String "infeasible"); ("reason", Json.String reason) ]
+    | Explore.Pruned reason ->
+      [ ("status", Json.String "pruned"); ("reason", Json.String reason) ]
+    | Explore.Failed reason ->
+      [ ("status", Json.String "failed"); ("reason", Json.String reason) ])
+
+(* Add the partial marker and downgrade a success to 206 Partial Content
+   when the request's budget expired — the HTTP spelling of exit code 3. *)
+let apply_partial status body_fields = function
+  | None -> (status, body_fields)
+  | Some reason ->
+    Metrics.incr m_partial;
+    let status = if status = 200 || status = 422 then 206 else status in
+    (status, body_fields @ [ ("partial", Json.String reason) ])
+
+(* --- handlers ----------------------------------------------------------- *)
+
+let dispatch srv f = Pool.run srv.pool f
+
+let coalesce srv ~key compute =
+  let outcome, role = Coalesce.run srv.flights ~key compute in
+  match outcome with
+  | Ok flight -> (flight, role)
+  | Error e -> raise e
+
+let respond status fields =
+  Http.response status (Json.to_string (Json.Obj fields))
+
+let handle_synth srv req =
+  let json = parse_body req in
+  let name, g = resolve_graph json in
+  let time_limit = time_field json in
+  let power_limit = power_field json in
+  let policy = policy_field json in
+  let preflight = preflight_field json in
+  let fp = Explore.fingerprint ?policy ~library:srv.config.library g in
+  let key =
+    Printf.sprintf "synth|%s|t=%d|p=%h|pf=%b|%s" fp time_limit power_limit
+      preflight
+      (budget_signature json srv.config)
+  in
+  let compute () =
+    let budget = request_budget srv.config json in
+    let result =
+      dispatch srv (fun () ->
+          Explore.solve ?policy ?deadline:budget ~preflight
+            ~library:srv.config.library ?cache:srv.cache ~fp g ~time_limit
+            ~power_limit)
+    in
+    {
+      work = Solved result;
+      partial =
+        Option.map Budget.reason_to_string (Option.bind budget Budget.check);
+    }
+  in
+  let flight, role = coalesce srv ~key compute in
+  let coalesced = ("coalesced", Json.Bool (role = Coalesce.Joined)) in
+  match flight.work with
+  | Solved (Explore.Feasible { area; peak; design }) ->
+    let status, fields =
+      apply_partial 200
+        (match json_of_design name design ~area ~peak with
+        | Json.Obj fields -> fields
+        | _ -> assert false)
+        flight.partial
+    in
+    respond status (fields @ [ coalesced ])
+  | Solved (Explore.Infeasible reason | Explore.Pruned reason) ->
+    let status, fields =
+      apply_partial 422
+        [
+          ("name", Json.String name);
+          ("error", Json.String "infeasible");
+          ("reason", Json.String reason);
+        ]
+        flight.partial
+    in
+    respond status (fields @ [ coalesced ])
+  | Solved (Explore.Failed reason) ->
+    Http.response 500 (error_body ~error:"internal" reason)
+  | Swept _ -> assert false (* key namespaces are disjoint *)
+
+let handle_sweep srv req ~pareto =
+  let json = parse_body req in
+  let name, g = resolve_graph json in
+  let times, powers = grid_fields json in
+  let policy = policy_field json in
+  let preflight = preflight_field json in
+  let fp = Explore.fingerprint ?policy ~library:srv.config.library g in
+  let key =
+    Printf.sprintf "sweep|%s|t=%s|p=%s|pf=%b|%s" fp
+      (String.concat "," (List.map string_of_int times))
+      (String.concat "," (List.map (Printf.sprintf "%h") powers))
+      preflight
+      (budget_signature json srv.config)
+  in
+  let compute () =
+    let budget = request_budget srv.config json in
+    (* The whole grid is one pool task: grid points run sequentially
+       against the shared cache while concurrent requests spread across
+       the pool's domains. *)
+    let points =
+      dispatch srv (fun () ->
+          Explore.sweep ?policy ?deadline:budget ~preflight
+            ~library:srv.config.library ?cache:srv.cache g ~times ~powers)
+    in
+    {
+      work = Swept points;
+      partial =
+        Option.map Budget.reason_to_string (Option.bind budget Budget.check);
+    }
+  in
+  let flight, role = coalesce srv ~key compute in
+  match flight.work with
+  | Swept points ->
+    let fields =
+      [
+        ("name", Json.String name);
+        ("points", Json.List (List.map json_of_point points));
+      ]
+      @ (if pareto then
+           [
+             ( "pareto",
+               Json.List (List.map json_of_point (Explore.pareto points)) );
+           ]
+         else [])
+      @ [ ("coalesced", Json.Bool (role = Coalesce.Joined)) ]
+    in
+    let status, fields = apply_partial 200 fields flight.partial in
+    respond status fields
+  | Solved _ -> assert false (* key namespaces are disjoint *)
+
+let handle_check srv req =
+  let json = parse_body req in
+  let name, g = resolve_graph json in
+  let time_limit = time_field json in
+  let power_limit = power_field json in
+  let policy = policy_field json in
+  let budget = request_budget srv.config json in
+  let fp = Explore.fingerprint ?policy ~library:srv.config.library g in
+  let result =
+    dispatch srv (fun () ->
+        Explore.solve ?policy ?deadline:budget ~library:srv.config.library
+          ?cache:srv.cache ~fp g ~time_limit ~power_limit)
+  in
+  let partial =
+    Option.map Budget.reason_to_string (Option.bind budget Budget.check)
+  in
+  match result with
+  | Explore.Feasible { design; _ } ->
+    let ds =
+      dispatch srv (fun () ->
+          Analysis.run_all ~library:srv.config.library design)
+    in
+    let status = if Diag.has_errors ds then 422 else 200 in
+    let status, fields =
+      apply_partial status
+        [
+          ("name", Json.String name);
+          ("summary", Json.String (Analysis.summary ds));
+          ("errors", Json.Number (float_of_int (Diag.count Diag.Error ds)));
+        ]
+        partial
+    in
+    (* The diagnostics array is spliced verbatim from the Diag layer (the
+       same payload `pchls check --json` prints), so both surfaces stay
+       in lockstep. *)
+    let body =
+      Printf.sprintf "%s,\"diagnostics\":%s}"
+        (let s = Json.to_string (Json.Obj fields) in
+         String.sub s 0 (String.length s - 1))
+        (String.trim (Diag.list_to_json ds))
+    in
+    Http.response status body
+  | Explore.Infeasible reason | Explore.Pruned reason ->
+    let status, fields =
+      apply_partial 422
+        [
+          ("name", Json.String name);
+          ("error", Json.String "infeasible");
+          ("reason", Json.String reason);
+        ]
+        partial
+    in
+    respond status fields
+  | Explore.Failed reason -> Http.response 500 (error_body ~error:"internal" reason)
+
+let handle_preflight srv req =
+  let json = parse_body req in
+  let name, g = resolve_graph json in
+  let time_limit = time_field json in
+  let power_limit = power_field json in
+  let exact_max = opt_int "exact_max" json in
+  let r =
+    dispatch srv (fun () ->
+        Preflight.analyze ?exact_max_vertices:exact_max
+          ~library:srv.config.library ~time_limit ~power_limit g)
+  in
+  let status = if Preflight.infeasible r then 422 else 200 in
+  (* Splice the Preflight layer's own JSON rendering under "report" so the
+     HTTP payload and `pchls preflight --json` never drift. *)
+  let body =
+    Printf.sprintf "{\"name\":\"%s\",\"infeasible\":%b,\"report\":%s}"
+      (Json.escape name)
+      (Preflight.infeasible r)
+      (String.trim (Preflight.to_json r))
+  in
+  Http.response status body
+
+let handle_healthz srv =
+  let cache =
+    match srv.cache with
+    | None -> Json.Null
+    | Some store ->
+      let s = Store.stats store in
+      Json.Obj
+        [
+          ("hits", Json.Number (float_of_int s.Store.hits));
+          ("misses", Json.Number (float_of_int s.Store.misses));
+          ("stores", Json.Number (float_of_int s.Store.stores));
+          ("evictions", Json.Number (float_of_int s.Store.evictions));
+          ("entries", Json.Number (float_of_int (Store.size store)));
+        ]
+  in
+  respond 200
+    [
+      ("status", Json.String "ok");
+      ( "uptime_s",
+        Json.Number (Clock.elapsed_ns ~since:srv.started_ns /. 1e9) );
+      ("inflight", Json.Number (float_of_int (inflight srv)));
+      ("cache", cache);
+    ]
+
+let handle_trace srv =
+  match srv.sink with
+  | Some sink -> Http.response 200 (Trace.to_chrome sink)
+  | None ->
+    Http.response 404
+      (error_body ~error:"not found"
+         "tracing is off; start the server with --trace")
+
+let method_not_allowed allow =
+  Http.response 405 ~headers:[ ("allow", allow) ]
+    (error_body ~error:"method not allowed" ("use " ^ allow))
+
+let route srv (req : Http.request) =
+  match (req.Http.meth, req.Http.path) with
+  | "POST", "/synth" -> handle_synth srv req
+  | "POST", "/sweep" -> handle_sweep srv req ~pareto:false
+  | "POST", "/pareto" -> handle_sweep srv req ~pareto:true
+  | "POST", "/check" -> handle_check srv req
+  | "POST", "/preflight" -> handle_preflight srv req
+  | "GET", "/healthz" -> handle_healthz srv
+  | "GET", "/metrics" -> Http.response 200 (Metrics.to_json ())
+  | "GET", "/trace" -> handle_trace srv
+  | _, ("/synth" | "/sweep" | "/pareto" | "/check" | "/preflight") ->
+    method_not_allowed "POST"
+  | _, ("/healthz" | "/metrics" | "/trace") -> method_not_allowed "GET"
+  | _, path -> Http.response 404 (error_body ~error:"not found" path)
+
+let handle_request srv req =
+  Metrics.incr m_requests;
+  Atomic.incr srv.inflight_count;
+  Metrics.set g_inflight (float_of_int (Atomic.get srv.inflight_count));
+  let started_ns = Clock.now_ns () in
+  let resp =
+    try
+      (* The chaos seam: an armed serve.handler fault is a handler crash,
+         which must surface as a 500 response, never kill the daemon. *)
+      Fault.inject "serve.handler";
+      route srv req
+    with
+    | Bad msg -> Http.response 400 (error_body ~error:"bad request" msg)
+    | e ->
+      Log.warn (fun m ->
+          m "handler for %s %s crashed: %s" req.Http.meth req.Http.path
+            (Printexc.to_string e));
+      Http.response 500 (error_body ~error:"internal" (Printexc.to_string e))
+  in
+  Metrics.observe h_request_ns (Clock.elapsed_ns ~since:started_ns);
+  count_response resp.Http.status;
+  Atomic.decr srv.inflight_count;
+  Metrics.set g_inflight (float_of_int (Atomic.get srv.inflight_count));
+  resp
+
+(* --- connection plumbing ------------------------------------------------ *)
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring fd s off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+        go off
+  in
+  try go 0 with Unix.Unix_error ((EPIPE | ECONNRESET), _, _) -> ()
+
+(* One connection, serially: read a request, answer it, repeat while the
+   client keeps the connection alive and the server is not draining. The
+   receive timeout makes idle keep-alive connections poll the stopping
+   flag, so a drain never waits on a silent client. *)
+let serve_connection srv conn =
+  (try Unix.setsockopt_float conn Unix.SO_RCVTIMEO 0.25
+   with Unix.Unix_error _ -> ());
+  let fill buf pos len =
+    let rec go () =
+      match Unix.read conn buf pos len with
+      | n -> n
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+        if Atomic.get srv.stopping then 0 else go ()
+      | exception Unix.Unix_error (ECONNRESET, _, _) -> 0
+    in
+    go ()
+  in
+  let rdr =
+    Http.reader ~max_body_bytes:srv.config.max_body_bytes fill
+  in
+  let rec exchange () =
+    match Http.read_request rdr with
+    | Error Http.Eof -> ()
+    | Error (Http.Bad_request msg) ->
+      write_all conn
+        (Http.to_string ~keep_alive:false
+           (Http.response 400 (error_body ~error:"bad request" msg)))
+    | Error (Http.Payload_too_large msg) ->
+      write_all conn
+        (Http.to_string ~keep_alive:false
+           (Http.response 413 (error_body ~error:"payload too large" msg)))
+    | Ok req ->
+      let keep_alive = Http.keep_alive req && not (Atomic.get srv.stopping) in
+      let resp = handle_request srv req in
+      write_all conn (Http.to_string ~keep_alive resp);
+      if keep_alive then exchange ()
+  in
+  Fun.protect ~finally:(fun () -> close_quietly conn) exchange
+
+let next_connection srv =
+  Mutex.lock srv.qmutex;
+  let rec go () =
+    match Queue.take_opt srv.queue with
+    | Some conn -> Some conn
+    | None ->
+      if Atomic.get srv.stopping then None
+      else begin
+        Condition.wait srv.qcond srv.qmutex;
+        go ()
+      end
+  in
+  let conn = go () in
+  Mutex.unlock srv.qmutex;
+  conn
+
+let handler_loop srv =
+  let rec go () =
+    match next_connection srv with
+    | None -> ()
+    | Some conn ->
+      serve_connection srv conn;
+      go ()
+  in
+  go ()
+
+(* The acceptor polls the listening socket under a short select timeout so
+   it observes the stopping flag without signals or socket tricks. An
+   armed serve.accept fault models a connection lost at the accept
+   boundary: the client is dropped, the daemon keeps accepting. *)
+let accept_loop srv =
+  while not (Atomic.get srv.stopping) do
+    match Unix.select [ srv.lsock ] [] [] 0.25 with
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+      match Unix.accept ~cloexec:true srv.lsock with
+      | exception Unix.Unix_error _ -> ()
+      | conn, _ ->
+        if Fault.fires "serve.accept" then begin
+          Metrics.incr m_accept_faults;
+          Log.warn (fun m -> m "injected fault: serve.accept — dropping connection");
+          close_quietly conn
+        end
+        else begin
+          Mutex.lock srv.qmutex;
+          Queue.push conn srv.queue;
+          Condition.signal srv.qcond;
+          Mutex.unlock srv.qmutex
+        end)
+  done
+
+(* --- lifecycle ---------------------------------------------------------- *)
+
+let start config =
+  if config.threads < 1 then
+    invalid_arg
+      (Printf.sprintf "Server.start: threads must be >= 1, got %d"
+         config.threads);
+  (* A dying client must surface as EPIPE on write, not kill the daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port) in
+  let lsock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+     Unix.bind lsock addr;
+     Unix.listen lsock 128
+   with e ->
+     close_quietly lsock;
+     raise e);
+  let bound_port =
+    match Unix.getsockname lsock with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> config.port
+  in
+  let cache =
+    if config.cache then
+      Some
+        (Store.create ?dir:config.cache_dir
+           ?mem_entries:config.cache_mem_entries ())
+    else None
+  in
+  let sink =
+    if config.trace then begin
+      let sink = Trace.make () in
+      Trace.install sink;
+      Some sink
+    end
+    else None
+  in
+  let srv =
+    {
+      config;
+      lsock;
+      bound_port;
+      cache;
+      pool = Pool.create ~jobs:config.jobs ();
+      flights = Coalesce.create ();
+      queue = Queue.create ();
+      qmutex = Mutex.create ();
+      qcond = Condition.create ();
+      stopping = Atomic.make false;
+      inflight_count = Atomic.make 0;
+      sink;
+      started_ns = Clock.now_ns ();
+      acceptor = None;
+      handlers = [];
+    }
+  in
+  srv.acceptor <- Some (Thread.create accept_loop srv);
+  srv.handlers <-
+    List.init config.threads (fun _ -> Thread.create handler_loop srv);
+  Log.info (fun m ->
+      m "listening on %s:%d (threads=%d jobs=%d)" config.host bound_port
+        config.threads config.jobs);
+  srv
+
+let stop srv =
+  if not (Atomic.exchange srv.stopping true) then begin
+    (* Drain: the acceptor exits at its next poll, handler threads serve
+       every already-accepted connection to completion, then the worker
+       pool is released. Disk-tier cache entries were written atomically
+       as they were produced, so there is nothing further to flush. *)
+    Option.iter Thread.join srv.acceptor;
+    srv.acceptor <- None;
+    Mutex.lock srv.qmutex;
+    Condition.broadcast srv.qcond;
+    Mutex.unlock srv.qmutex;
+    List.iter Thread.join srv.handlers;
+    srv.handlers <- [];
+    Pool.shutdown srv.pool;
+    if Option.is_some srv.sink then Trace.uninstall ();
+    close_quietly srv.lsock;
+    Option.iter
+      (fun store ->
+        Log.info (fun m ->
+            m "final cache stats: %s"
+              (Format.asprintf "%a" Store.pp_stats (Store.stats store))))
+      srv.cache
+  end
+
+let run config =
+  let srv = start config in
+  let stop_requested = Atomic.make false in
+  let on_signal _ =
+    (* Second signal: the operator is done waiting — force-exit. *)
+    if Atomic.exchange stop_requested true then Stdlib.exit 1
+  in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Printf.printf "# pchls serve listening on %s:%d (threads=%d jobs=%d cache=%s)\n%!"
+    config.host (port srv) config.threads config.jobs
+    (if not config.cache then "off"
+     else
+       match config.cache_dir with
+       | Some dir -> "memory+disk:" ^ dir
+       | None -> "memory");
+  while not (Atomic.get stop_requested) do
+    (try Thread.delay 0.1 with Unix.Unix_error (EINTR, _, _) -> ())
+  done;
+  Printf.printf "# pchls serve: draining (%d in flight)\n%!" (inflight srv);
+  stop srv;
+  Option.iter
+    (fun store ->
+      Format.printf "# cache: %a@." Store.pp_stats (Store.stats store))
+    srv.cache;
+  0

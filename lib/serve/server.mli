@@ -1,0 +1,87 @@
+(** [pchls serve] — synthesis as a long-running service.
+
+    A dependency-free HTTP/1.1 daemon over [Unix] sockets: one acceptor
+    thread multiplexes the listening socket, a fixed pool of handler
+    (sys-)threads parses requests and writes responses, and all engine
+    work is dispatched onto a shared {!Pchls_par.Pool} of worker domains
+    ({!Pchls_par.Pool.run}), so many concurrent requests synthesize in
+    parallel while handler threads only block.
+
+    Endpoints ([POST] unless noted):
+    - [/synth] — one (T, P<) point; body as below.
+    - [/sweep] — a times × powers constraint grid.
+    - [/pareto] — [/sweep] plus the non-dominated front.
+    - [/check] — synthesize then run every {!Pchls_analysis} checker.
+    - [/preflight] — static bounds and infeasibility certificates only.
+    - [GET /metrics] — the {!Pchls_obs.Metrics} registry as JSON.
+    - [GET /trace] — Chrome trace_event JSON of the run so far (404
+      unless the server was started with [trace = true]).
+    - [GET /healthz] — liveness: status, uptime, in-flight count.
+
+    Request bodies are JSON objects: exactly one graph source
+    ([{"benchmark": "hal"}], [{"dfg": "<Text_format>"}] or
+    [{"beh": "<behavioural program>"}]) plus [time] (or [times] for
+    grids), [power] / [powers] / [p_from]/[p_to]/[p_step], and optional
+    [policy], [preflight], [deadline_ms], [max_iters].
+
+    Engine exit semantics map onto HTTP statuses exactly as the CLI's
+    exit codes 0/1/2/3 do: 200 a complete result, 422 provably/reportedly
+    infeasible, 500 an internal error, and 206 a {e partial} (anytime)
+    result whose request budget expired — the body then carries a
+    ["partial"] field with the budget reason. Malformed requests get 400,
+    oversized bodies 413, unknown routes 404 and wrong methods 405.
+
+    One process-wide two-tier {!Pchls_cache.Store} (optionally bounded by
+    [cache_mem_entries], see [--cache-mem-entries]) is shared across
+    requests, and identical in-flight requests are coalesced by
+    WL-fingerprint ({!Coalesce}): a thundering herd on one DFG runs
+    synthesis once.
+
+    Fault points ["serve.accept"] (a connection dropped at accept; the
+    daemon keeps accepting) and ["serve.handler"] (a handler crash,
+    answered with 500) wire the server into the {!Pchls_resil.Fault}
+    chaos machinery. *)
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** 0 picks an ephemeral port (see {!port}) *)
+  threads : int;  (** handler threads — concurrent connections served *)
+  jobs : int;  (** worker domains for engine work; 1 = inline *)
+  library : Pchls_fulib.Library.t;
+  cache : bool;  (** master switch for the shared result cache *)
+  cache_dir : string option;  (** adds the on-disk tier *)
+  cache_mem_entries : int option;  (** LRU cap on the memory tier *)
+  max_deadline_ms : float option;
+      (** server-side ceiling on (and default for) per-request budgets *)
+  max_body_bytes : int;  (** request body cap, → 413 *)
+  trace : bool;  (** install a process-wide sink serving [GET /trace] *)
+}
+
+val default_config : config
+
+type t
+
+(** [start config] binds, listens and spawns the acceptor and handler
+    threads; returns once the server is accepting. @raise Unix.Unix_error
+    when the address cannot be bound. *)
+val start : config -> t
+
+(** [port t] — the bound port (useful with [config.port = 0]). *)
+val port : t -> int
+
+(** [store t] — the shared result cache, when caching is on. *)
+val store : t -> Pchls_cache.Store.t option
+
+(** [inflight t] — requests currently being handled. *)
+val inflight : t -> int
+
+(** [stop t] — graceful shutdown: stop accepting, serve every accepted
+    connection to completion, then release the worker pool. Idempotent.
+    The cache's disk tier needs no flushing (entries are written
+    atomically as they are produced); its final stats are logged. *)
+val stop : t -> unit
+
+(** [run config] is the CLI entry point: {!start}, then block until
+    SIGINT/SIGTERM, then {!stop} and return exit code 0. A second signal
+    during the drain force-exits the process with code 1. *)
+val run : config -> int

@@ -372,6 +372,60 @@ let test_read_fault_degrades_to_cache_off () =
       Store.add store k sample_summary;
       check_summary "memory round-trip" sample_summary (Store.find store k))
 
+(* --- LRU-capped memory tier --------------------------------------------- *)
+
+let test_lru_caps_memory_tier () =
+  let store = Store.create ~mem_entries:2 () in
+  Store.add store (key "aa" 1 1.) (Store.Infeasible "a");
+  Store.add store (key "bb" 1 1.) (Store.Infeasible "b");
+  Store.add store (key "cc" 1 1.) (Store.Infeasible "c");
+  Alcotest.(check int) "resident set capped" 2 (Store.size store);
+  Alcotest.(check bool) "oldest entry evicted" true
+    (Store.find store (key "aa" 1 1.) = None);
+  check_summary "newest survives" (Store.Infeasible "c")
+    (Store.find store (key "cc" 1 1.));
+  Alcotest.(check int) "eviction counted" 1 (Store.stats store).Store.evictions
+
+let test_lru_access_refreshes_recency () =
+  let store = Store.create ~mem_entries:2 () in
+  Store.add store (key "aa" 1 1.) (Store.Infeasible "a");
+  Store.add store (key "bb" 1 1.) (Store.Infeasible "b");
+  (* Touch aa: bb becomes the least recently used entry. *)
+  check_summary "touch aa" (Store.Infeasible "a")
+    (Store.find store (key "aa" 1 1.));
+  Store.add store (key "cc" 1 1.) (Store.Infeasible "c");
+  check_summary "recently used entry kept" (Store.Infeasible "a")
+    (Store.find store (key "aa" 1 1.));
+  Alcotest.(check bool) "least recently used entry evicted" true
+    (Store.find store (key "bb" 1 1.) = None)
+
+let test_lru_eviction_keeps_disk_tier () =
+  let dir = fresh_dir () in
+  let store = Store.create ~dir ~mem_entries:1 () in
+  Store.add store (key "aa" 1 1.) (Store.Infeasible "a");
+  Store.add store (key "bb" 1 1.) (Store.Infeasible "b");
+  Alcotest.(check int) "memory holds one" 1 (Store.size store);
+  Alcotest.(check int) "disk holds both" 2 (fst (Store.disk_usage ~dir));
+  (* The evicted key re-promotes from disk (evicting the other one). *)
+  check_summary "evicted entry re-promotes from disk" (Store.Infeasible "a")
+    (Store.find store (key "aa" 1 1.));
+  let s = Store.stats store in
+  Alcotest.(check int) "promotion was a disk hit" 1 s.Store.disk_hits;
+  Alcotest.(check int) "memory still capped" 1 (Store.size store)
+
+let test_lru_unbounded_by_default () =
+  let store = Store.in_memory () in
+  for i = 0 to 99 do
+    Store.add store (key (Printf.sprintf "%04x" i) 1 1.) (Store.Infeasible "x")
+  done;
+  Alcotest.(check int) "no cap, no evictions" 100 (Store.size store);
+  Alcotest.(check int) "zero evictions" 0 (Store.stats store).Store.evictions
+
+let test_lru_invalid_cap_rejected () =
+  Alcotest.check_raises "mem_entries = 0"
+    (Invalid_argument "Store.create: mem_entries must be >= 1, got 0")
+    (fun () -> ignore (Store.create ~mem_entries:0 ()))
+
 (* --- cached exploration ------------------------------------------------- *)
 
 module B = Pchls_dfg.Benchmarks
@@ -502,6 +556,19 @@ let () =
             test_read_fault_degrades_to_cache_off;
           Alcotest.test_case "corrupt/stale skipped" `Quick
             test_corrupt_and_stale_entries_skipped;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "caps the memory tier" `Quick
+            test_lru_caps_memory_tier;
+          Alcotest.test_case "access refreshes recency" `Quick
+            test_lru_access_refreshes_recency;
+          Alcotest.test_case "eviction keeps the disk tier" `Quick
+            test_lru_eviction_keeps_disk_tier;
+          Alcotest.test_case "unbounded by default" `Quick
+            test_lru_unbounded_by_default;
+          Alcotest.test_case "invalid cap rejected" `Quick
+            test_lru_invalid_cap_rejected;
         ] );
       ( "exploration",
         [

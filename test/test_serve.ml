@@ -1,0 +1,600 @@
+(* The serve subsystem: HTTP parser totality and chunking-invariance
+   (qcheck over arbitrary split points), single-flight request coalescing
+   (N concurrent identical requests -> exactly one engine run), and
+   live-socket integration of the daemon: endpoint status mapping
+   (200/422/400/206/404/405), keep-alive, and graceful shutdown. *)
+
+module Http = Pchls_serve.Http
+module Coalesce = Pchls_serve.Coalesce
+module Server = Pchls_serve.Server
+module Store = Pchls_cache.Store
+module Json = Pchls_obs.Json
+module Metrics = Pchls_obs.Metrics
+
+(* --- HTTP parser -------------------------------------------------------- *)
+
+let sample_request =
+  "POST /synth?debug=1&x=a%20b HTTP/1.1\r\n\
+   Host: localhost\r\n\
+   Content-Type: application/json\r\n\
+   Content-Length: 28\r\n\
+   \r\n\
+   {\"benchmark\":\"hal\",\"time\":8}"
+
+let test_parse_request () =
+  match Http.read_request (Http.of_string sample_request) with
+  | Error e -> Alcotest.fail (Http.error_to_string e)
+  | Ok req ->
+    Alcotest.(check string) "method" "POST" req.Http.meth;
+    Alcotest.(check string) "path" "/synth" req.Http.path;
+    Alcotest.(check string) "target" "/synth?debug=1&x=a%20b" req.Http.target;
+    Alcotest.(check (list (pair string string)))
+      "query decoded"
+      [ ("debug", "1"); ("x", "a b") ]
+      req.Http.query;
+    Alcotest.(check (option string))
+      "header lookup is case-insensitive" (Some "application/json")
+      (Http.header req "CONTENT-type");
+    Alcotest.(check string)
+      "body framed by content-length" "{\"benchmark\":\"hal\",\"time\":8}"
+      req.Http.body;
+    Alcotest.(check bool) "HTTP/1.1 defaults to keep-alive" true
+      (Http.keep_alive req)
+
+let test_bare_lf_accepted () =
+  let raw = "GET /healthz HTTP/1.1\nHost: x\n\n" in
+  match Http.read_request (Http.of_string raw) with
+  | Ok req -> Alcotest.(check string) "path" "/healthz" req.Http.path
+  | Error e -> Alcotest.fail (Http.error_to_string e)
+
+let test_keep_alive_matrix () =
+  let req ?connection version =
+    let hdr =
+      match connection with
+      | None -> ""
+      | Some c -> Printf.sprintf "Connection: %s\r\n" c
+    in
+    match
+      Http.read_request
+        (Http.of_string (Printf.sprintf "GET / %s\r\n%s\r\n" version hdr))
+    with
+    | Ok r -> Http.keep_alive r
+    | Error e -> Alcotest.fail (Http.error_to_string e)
+  in
+  Alcotest.(check bool) "1.1 default" true (req "HTTP/1.1");
+  Alcotest.(check bool) "1.1 close" false (req ~connection:"close" "HTTP/1.1");
+  Alcotest.(check bool) "1.0 default" false (req "HTTP/1.0");
+  Alcotest.(check bool) "1.0 keep-alive" true
+    (req ~connection:"keep-alive" "HTTP/1.0")
+
+let test_two_requests_one_stream () =
+  let rdr =
+    Http.of_string
+      "POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi\
+       GET /b HTTP/1.1\r\n\r\n"
+  in
+  (match Http.read_request rdr with
+  | Ok r ->
+    Alcotest.(check string) "first path" "/a" r.Http.path;
+    Alcotest.(check string) "first body" "hi" r.Http.body
+  | Error e -> Alcotest.fail (Http.error_to_string e));
+  (match Http.read_request rdr with
+  | Ok r -> Alcotest.(check string) "second path" "/b" r.Http.path
+  | Error e -> Alcotest.fail (Http.error_to_string e));
+  match Http.read_request rdr with
+  | Error Http.Eof -> ()
+  | Ok _ -> Alcotest.fail "expected Eof after the last request"
+  | Error e -> Alcotest.fail (Http.error_to_string e)
+
+let expect_bad raw msg =
+  match Http.read_request (Http.of_string raw) with
+  | Error (Http.Bad_request _) -> ()
+  | Ok _ -> Alcotest.fail (msg ^ ": accepted")
+  | Error e -> Alcotest.fail (msg ^ ": " ^ Http.error_to_string e)
+
+let test_malformed_rejected () =
+  expect_bad "GET\r\n\r\n" "one-token request line";
+  expect_bad "GET / HTTP/1.1 extra\r\n\r\n" "four-token request line";
+  expect_bad "GET / HTTP/2.0\r\n\r\n" "unknown version";
+  expect_bad "GET nopath HTTP/1.1\r\n\r\n" "target without /";
+  expect_bad "g3t / HTTP/1.1\r\n\r\n" "lowercase method";
+  expect_bad "GET / HTTP/1.1\r\nno-colon\r\n\r\n" "header without colon";
+  expect_bad "GET / HTTP/1.1\r\nA: 1\r\n folded\r\n\r\n" "obs-folding";
+  expect_bad "GET / HTTP/1.1\r\nContent-Length: abc\r\n\r\n"
+    "non-numeric content-length";
+  expect_bad
+    "GET / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\nhi"
+    "conflicting content-lengths";
+  expect_bad "GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+    "chunked transfer encoding";
+  expect_bad "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"
+    "stream ends inside the body";
+  expect_bad "GET / HTT" "stream ends inside the request line"
+
+let test_limits () =
+  (match
+     Http.read_request
+       (Http.of_string ~max_body_bytes:4
+          "POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello")
+   with
+  | Error (Http.Payload_too_large _) -> ()
+  | _ -> Alcotest.fail "body over the cap must be 413");
+  let huge_header =
+    "GET / HTTP/1.1\r\nX: " ^ String.make 20_000 'a' ^ "\r\n\r\n"
+  in
+  match Http.read_request (Http.of_string ~max_header_bytes:1024 huge_header) with
+  | Error (Http.Bad_request _ | Http.Payload_too_large _) -> ()
+  | Ok _ -> Alcotest.fail "oversized header section accepted"
+  | Error Http.Eof -> Alcotest.fail "oversized header section: Eof"
+
+let test_eof_between_requests () =
+  match Http.read_request (Http.of_string "") with
+  | Error Http.Eof -> ()
+  | _ -> Alcotest.fail "empty stream must be a clean Eof"
+
+(* A reader that hands the text over in the exact chunk sizes given —
+   the transport boundaries a real socket might produce. *)
+let chunked_reader chunks =
+  let rem = ref chunks in
+  Http.reader (fun buf pos len ->
+      match !rem with
+      | [] -> 0
+      | s :: rest ->
+        let n = min len (String.length s) in
+        Bytes.blit_string s 0 buf pos n;
+        rem :=
+          (if n < String.length s then
+             String.sub s n (String.length s - n) :: rest
+           else rest);
+        n)
+
+(* Cut [text] at the (sorted, deduplicated, in-range) positions. *)
+let cut_at positions text =
+  let len = String.length text in
+  let cuts =
+    List.sort_uniq compare
+      (List.filter (fun p -> p > 0 && p < len) positions)
+  in
+  let rec go start = function
+    | [] -> [ String.sub text start (len - start) ]
+    | p :: rest -> String.sub text start (p - start) :: go p rest
+  in
+  go 0 cuts
+
+let prop_split_invariant =
+  QCheck.Test.make ~count:200
+    ~name:"parse is invariant under transport chunking"
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 12) small_nat)
+    (fun positions ->
+      let whole = Http.read_request (Http.of_string sample_request) in
+      let split =
+        Http.read_request (chunked_reader (cut_at positions sample_request))
+      in
+      match (whole, split) with
+      | Ok a, Ok b -> a = b
+      | Error a, Error b -> a = b
+      | _ -> false)
+
+let prop_garbage_never_raises =
+  QCheck.Test.make ~count:500 ~name:"malformed bytes never raise"
+    QCheck.(string_of Gen.printable)
+    (fun garbage ->
+      match Http.read_request (Http.of_string garbage) with
+      | Ok _ | Error _ -> true)
+
+let prop_mutated_request_never_raises =
+  (* Flip one byte of a valid request to an arbitrary printable char:
+     close-to-valid inputs probe different parser paths than pure noise. *)
+  QCheck.Test.make ~count:500 ~name:"one-byte mutations never raise"
+    QCheck.(pair (int_bound (String.length sample_request - 1)) printable_char)
+    (fun (i, c) ->
+      let b = Bytes.of_string sample_request in
+      Bytes.set b i c;
+      match Http.read_request (Http.of_string (Bytes.to_string b)) with
+      | Ok _ | Error _ -> true)
+
+let test_response_roundtrip () =
+  let wire =
+    Http.to_string ~keep_alive:true
+      (Http.response ~headers:[ ("x-extra", "1") ] 422 "{\"error\":\"e\"}")
+  in
+  let has s = Alcotest.(check bool) s true in
+  (has "status line")
+    (String.length wire > 30
+    && String.sub wire 0 30 = "HTTP/1.1 422 Unprocessable Con");
+  let contains needle =
+    let n = String.length needle and h = String.length wire in
+    let rec go i = i + n <= h && (String.sub wire i n = needle || go (i + 1)) in
+    go 0
+  in
+  (has "content-length") (contains "content-length: 13");
+  (has "keep-alive") (contains "connection: keep-alive");
+  (has "extra header") (contains "x-extra: 1");
+  (has "body") (contains "{\"error\":\"e\"}")
+
+(* --- coalescing --------------------------------------------------------- *)
+
+let test_coalesce_single_flight () =
+  let t = Coalesce.create () in
+  let runs = Atomic.make 0 in
+  let gate = Mutex.create () in
+  let opened = ref false in
+  let gate_cond = Condition.create () in
+  let leader_started = Atomic.make false in
+  let followers = 7 in
+  let arrived = Atomic.make 0 in
+  let work () =
+    Atomic.set leader_started true;
+    Atomic.incr runs;
+    Mutex.lock gate;
+    while not !opened do
+      Condition.wait gate_cond gate
+    done;
+    Mutex.unlock gate;
+    42
+  in
+  let results = Array.make (followers + 1) None in
+  let spawn i =
+    Thread.create
+      (fun () ->
+        Atomic.incr arrived;
+        results.(i) <- Some (Coalesce.run t ~key:"k" work))
+      ()
+  in
+  let leader = spawn 0 in
+  while not (Atomic.get leader_started) do
+    Thread.yield ()
+  done;
+  let rest = List.init followers (fun i -> spawn (i + 1)) in
+  while Atomic.get arrived < followers + 1 do
+    Thread.yield ()
+  done;
+  (* All callers are at (or inside) run; give the stragglers a beat to
+     reach the flight table, then release the leader. *)
+  Thread.delay 0.05;
+  Mutex.lock gate;
+  opened := true;
+  Condition.broadcast gate_cond;
+  Mutex.unlock gate;
+  List.iter Thread.join (leader :: rest);
+  Alcotest.(check int) "exactly one run" 1 (Atomic.get runs);
+  let led = ref 0 and joined = ref 0 in
+  Array.iter
+    (function
+      | Some (Ok 42, Coalesce.Led) -> incr led
+      | Some (Ok 42, Coalesce.Joined) -> incr joined
+      | Some _ -> Alcotest.fail "wrong coalesced result"
+      | None -> Alcotest.fail "caller missing")
+    results;
+  Alcotest.(check int) "one leader" 1 !led;
+  Alcotest.(check int) "everyone else joined" followers !joined;
+  Alcotest.(check int) "flight forgotten" 0 (Coalesce.in_flight t)
+
+let test_coalesce_exception_shared () =
+  let t = Coalesce.create () in
+  match Coalesce.run t ~key:"boom" (fun () -> failwith "engine crashed") with
+  | Error (Failure _), Coalesce.Led ->
+    (* The flight is forgotten: a retry runs afresh rather than replaying
+       the cached crash. *)
+    (match Coalesce.run t ~key:"boom" (fun () -> 7) with
+    | Ok 7, Coalesce.Led -> ()
+    | _ -> Alcotest.fail "retry after a crash must lead a fresh flight")
+  | _ -> Alcotest.fail "leader must observe its own exception"
+
+let test_coalesce_sequential_not_shared () =
+  let t = Coalesce.create () in
+  let runs = ref 0 in
+  let go () =
+    match Coalesce.run t ~key:"seq" (fun () -> incr runs; !runs) with
+    | Ok n, Coalesce.Led -> n
+    | _ -> Alcotest.fail "sequential calls must each lead"
+  in
+  Alcotest.(check int) "first" 1 (go ());
+  Alcotest.(check int) "second recomputes" 2 (go ())
+
+(* --- live-socket integration -------------------------------------------- *)
+
+let base_config =
+  {
+    Server.default_config with
+    Server.port = 0;
+    threads = 4;
+    jobs = 1;
+    cache_mem_entries = Some 64;
+  }
+
+let with_server ?(config = base_config) f =
+  let srv = Server.start config in
+  Fun.protect ~finally:(fun () -> Server.stop srv) (fun () -> f srv)
+
+let connect port =
+  let sock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  sock
+
+let send_string sock s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then go (off + Unix.write_substring sock s off (len - off))
+  in
+  go 0
+
+let format_request ~meth ~path ~keep_alive body =
+  Printf.sprintf "%s %s HTTP/1.1\r\nhost: t\r\ncontent-length: %d\r\n%s\r\n%s"
+    meth path (String.length body)
+    (if keep_alive then "" else "connection: close\r\n")
+    body
+
+(* Read one Content-Length-framed response off the socket; leftover bytes
+   stay in [buf] for the next response on a kept-alive connection. *)
+let recv_response sock buf =
+  let chunk = Bytes.create 4096 in
+  let refill () =
+    match Unix.read sock chunk 0 4096 with
+    | 0 -> Alcotest.fail "peer closed mid-response"
+    | n -> Buffer.add_subbytes buf chunk 0 n
+  in
+  let find_headers_end () =
+    let rec go () =
+      let s = Buffer.contents buf in
+      match
+        let rec search i =
+          if i + 4 > String.length s then None
+          else if String.sub s i 4 = "\r\n\r\n" then Some (i + 4)
+          else search (i + 1)
+        in
+        search 0
+      with
+      | Some e -> e
+      | None ->
+        refill ();
+        go ()
+    in
+    go ()
+  in
+  let hdr_end = find_headers_end () in
+  let raw = Buffer.contents buf in
+  let head = String.sub raw 0 hdr_end in
+  let status = int_of_string (String.trim (String.sub head 9 3)) in
+  let content_length =
+    let lower = String.lowercase_ascii head in
+    let tag = "content-length:" in
+    let rec search i =
+      if i + String.length tag > String.length lower then
+        Alcotest.fail "response without content-length"
+      else if String.sub lower i (String.length tag) = tag then
+        let start = i + String.length tag in
+        let rest =
+          String.sub head start (min 32 (String.length head - start))
+        in
+        int_of_string (String.trim (List.hd (String.split_on_char '\r' rest)))
+      else search (i + 1)
+    in
+    search 0
+  in
+  while Buffer.length buf < hdr_end + content_length do
+    refill ()
+  done;
+  let body = String.sub (Buffer.contents buf) hdr_end content_length in
+  let rest =
+    let all = Buffer.contents buf in
+    String.sub all (hdr_end + content_length)
+      (String.length all - hdr_end - content_length)
+  in
+  Buffer.clear buf;
+  Buffer.add_string buf rest;
+  (status, body)
+
+let request srv ~meth ~path body =
+  let sock = connect (Server.port srv) in
+  Fun.protect ~finally:(fun () -> Unix.close sock) @@ fun () ->
+  send_string sock (format_request ~meth ~path ~keep_alive:false body);
+  recv_response sock (Buffer.create 1024)
+
+let json_field name body =
+  match Json.parse body with
+  | Ok json -> Json.member name json
+  | Error msg -> Alcotest.fail ("response is not JSON: " ^ msg)
+
+let test_healthz () =
+  with_server @@ fun srv ->
+  let status, body = request srv ~meth:"GET" ~path:"/healthz" "" in
+  Alcotest.(check int) "200" 200 status;
+  match json_field "status" body with
+  | Some (Json.String "ok") -> ()
+  | _ -> Alcotest.fail ("healthz body: " ^ body)
+
+let test_synth_statuses () =
+  with_server @@ fun srv ->
+  let status, body =
+    request srv ~meth:"POST" ~path:"/synth"
+      "{\"benchmark\":\"hal\",\"time\":8,\"power\":60}"
+  in
+  Alcotest.(check int) "feasible -> 200" 200 status;
+  (match json_field "feasible" body with
+  | Some (Json.Bool true) -> ()
+  | _ -> Alcotest.fail ("synth body: " ^ body));
+  let status, body =
+    request srv ~meth:"POST" ~path:"/synth"
+      "{\"benchmark\":\"hal\",\"time\":4,\"power\":10}"
+  in
+  Alcotest.(check int) "infeasible -> 422" 422 status;
+  (match json_field "error" body with
+  | Some (Json.String "infeasible") -> ()
+  | _ -> Alcotest.fail ("infeasible body: " ^ body));
+  let status, body =
+    request srv ~meth:"POST" ~path:"/synth"
+      "{\"benchmark\":\"hal\",\"time\":8,\"max_iters\":0}"
+  in
+  Alcotest.(check int) "expired budget -> 206" 206 status;
+  match json_field "partial" body with
+  | Some (Json.String _) -> ()
+  | _ -> Alcotest.fail ("partial body: " ^ body)
+
+let test_client_errors () =
+  with_server @@ fun srv ->
+  let check_400 name body =
+    let status, _ = request srv ~meth:"POST" ~path:"/synth" body in
+    Alcotest.(check int) (name ^ " -> 400") 400 status
+  in
+  check_400 "unparsable json" "not json at all";
+  check_400 "no graph source" "{\"time\":8}";
+  check_400 "two graph sources"
+    "{\"benchmark\":\"hal\",\"beh\":\"x = a + b\",\"time\":8}";
+  check_400 "unknown benchmark" "{\"benchmark\":\"nope\",\"time\":8}";
+  check_400 "missing time" "{\"benchmark\":\"hal\"}";
+  check_400 "time of wrong type" "{\"benchmark\":\"hal\",\"time\":\"8\"}";
+  check_400 "non-positive power"
+    "{\"benchmark\":\"hal\",\"time\":8,\"power\":-3}";
+  check_400 "bad policy"
+    "{\"benchmark\":\"hal\",\"time\":8,\"policy\":\"min-cost\"}";
+  check_400 "empty body" "";
+  let status, _ = request srv ~meth:"GET" ~path:"/nope" "" in
+  Alcotest.(check int) "unknown route -> 404" 404 status;
+  let status, _ = request srv ~meth:"GET" ~path:"/synth" "" in
+  Alcotest.(check int) "wrong method -> 405" 405 status;
+  let status, _ = request srv ~meth:"POST" ~path:"/metrics" "" in
+  Alcotest.(check int) "wrong method on GET route -> 405" 405 status
+
+let test_payload_too_large () =
+  with_server ~config:{ base_config with Server.max_body_bytes = 64 }
+  @@ fun srv ->
+  let big =
+    Printf.sprintf "{\"benchmark\":\"hal\",\"time\":8,\"pad\":\"%s\"}"
+      (String.make 256 'x')
+  in
+  let status, _ = request srv ~meth:"POST" ~path:"/synth" big in
+  Alcotest.(check int) "413" 413 status
+
+let test_metrics_and_trace () =
+  with_server @@ fun srv ->
+  let status, body = request srv ~meth:"GET" ~path:"/metrics" "" in
+  Alcotest.(check int) "metrics 200" 200 status;
+  (match Json.parse body with
+  | Ok (Json.Obj _) -> ()
+  | _ -> Alcotest.fail "metrics must be a JSON object");
+  let status, _ = request srv ~meth:"GET" ~path:"/trace" "" in
+  Alcotest.(check int) "trace off -> 404" 404 status
+
+let test_sweep_and_pareto () =
+  with_server @@ fun srv ->
+  let body =
+    "{\"benchmark\":\"hal\",\"times\":[6,8],\"p_from\":20,\"p_to\":60,\
+     \"p_step\":20}"
+  in
+  let status, text = request srv ~meth:"POST" ~path:"/pareto" body in
+  Alcotest.(check int) "pareto 200" 200 status;
+  match (json_field "points" text, json_field "pareto" text) with
+  | Some (Json.List points), Some (Json.List _) ->
+    Alcotest.(check int) "2x3 grid" 6 (List.length points)
+  | _ -> Alcotest.fail ("pareto body: " ^ text)
+
+let test_keep_alive_connection () =
+  with_server @@ fun srv ->
+  let sock = connect (Server.port srv) in
+  Fun.protect ~finally:(fun () -> Unix.close sock) @@ fun () ->
+  let buf = Buffer.create 1024 in
+  send_string sock (format_request ~meth:"GET" ~path:"/healthz" ~keep_alive:true "");
+  let s1, _ = recv_response sock buf in
+  send_string sock (format_request ~meth:"GET" ~path:"/healthz" ~keep_alive:true "");
+  let s2, _ = recv_response sock buf in
+  Alcotest.(check (pair int int)) "two exchanges, one connection" (200, 200)
+    (s1, s2)
+
+(* N concurrent identical requests: the engine must run exactly once —
+   the leader computes, concurrent followers coalesce onto its flight,
+   and stragglers hit the shared cache. Either way the store records one
+   miss and one store for the key. *)
+let test_concurrent_identical_requests_run_engine_once () =
+  with_server ~config:{ base_config with Server.jobs = 2 } @@ fun srv ->
+  let coalesced = Metrics.counter "serve.coalesced" in
+  let coalesced0 = Metrics.counter_value coalesced in
+  let clients = 6 in
+  let body = "{\"benchmark\":\"elliptic\",\"time\":25,\"power\":40}" in
+  let results = Array.make clients (0, "") in
+  let threads =
+    List.init clients (fun i ->
+        Thread.create
+          (fun () -> results.(i) <- request srv ~meth:"POST" ~path:"/synth" body)
+          ())
+  in
+  List.iter Thread.join threads;
+  Array.iteri
+    (fun i (status, text) ->
+      Alcotest.(check int) (Printf.sprintf "client %d status" i) 200 status;
+      match json_field "feasible" text with
+      | Some (Json.Bool true) -> ()
+      | _ -> Alcotest.fail ("client body: " ^ text))
+    results;
+  match Server.store srv with
+  | None -> Alcotest.fail "server should be caching"
+  | Some store ->
+    let s = Store.stats store in
+    Alcotest.(check int) "one engine run (one cache miss)" 1 s.Store.misses;
+    Alcotest.(check int) "one cache store" 1 s.Store.stores;
+    Alcotest.(check int) "every other client shared it"
+      (clients - 1)
+      (s.Store.hits + (Metrics.counter_value coalesced - coalesced0))
+
+let test_graceful_shutdown () =
+  let srv = Server.start base_config in
+  let port = Server.port srv in
+  let status, _ =
+    let sock = connect port in
+    Fun.protect ~finally:(fun () -> Unix.close sock) @@ fun () ->
+    send_string sock (format_request ~meth:"GET" ~path:"/healthz" ~keep_alive:false "");
+    recv_response sock (Buffer.create 256)
+  in
+  Alcotest.(check int) "alive before stop" 200 status;
+  Server.stop srv;
+  Server.stop srv (* idempotent *);
+  Alcotest.(check int) "drained" 0 (Server.inflight srv);
+  match connect port with
+  | sock ->
+    Unix.close sock;
+    Alcotest.fail "listener must be closed after stop"
+  | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ()
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "http",
+        [
+          Alcotest.test_case "parse request" `Quick test_parse_request;
+          Alcotest.test_case "bare LF" `Quick test_bare_lf_accepted;
+          Alcotest.test_case "keep-alive matrix" `Quick test_keep_alive_matrix;
+          Alcotest.test_case "two requests, one stream" `Quick
+            test_two_requests_one_stream;
+          Alcotest.test_case "malformed rejected" `Quick test_malformed_rejected;
+          Alcotest.test_case "size limits" `Quick test_limits;
+          Alcotest.test_case "eof between requests" `Quick
+            test_eof_between_requests;
+          Alcotest.test_case "response wire format" `Quick
+            test_response_roundtrip;
+          QCheck_alcotest.to_alcotest prop_split_invariant;
+          QCheck_alcotest.to_alcotest prop_garbage_never_raises;
+          QCheck_alcotest.to_alcotest prop_mutated_request_never_raises;
+        ] );
+      ( "coalesce",
+        [
+          Alcotest.test_case "single flight" `Quick test_coalesce_single_flight;
+          Alcotest.test_case "exception shared, flight forgotten" `Quick
+            test_coalesce_exception_shared;
+          Alcotest.test_case "sequential calls recompute" `Quick
+            test_coalesce_sequential_not_shared;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "healthz" `Quick test_healthz;
+          Alcotest.test_case "synth status mapping" `Quick test_synth_statuses;
+          Alcotest.test_case "client errors" `Quick test_client_errors;
+          Alcotest.test_case "payload too large" `Quick test_payload_too_large;
+          Alcotest.test_case "metrics and trace" `Quick test_metrics_and_trace;
+          Alcotest.test_case "sweep and pareto" `Quick test_sweep_and_pareto;
+          Alcotest.test_case "keep-alive connection" `Quick
+            test_keep_alive_connection;
+          Alcotest.test_case "concurrent identical requests" `Quick
+            test_concurrent_identical_requests_run_engine_once;
+          Alcotest.test_case "graceful shutdown" `Quick test_graceful_shutdown;
+        ] );
+    ]
