@@ -34,6 +34,7 @@ module Pool = Pchls_par.Pool
 module Store = Pchls_cache.Store
 module Trace = Pchls_obs.Trace
 module Metrics = Pchls_obs.Metrics
+module Flight = Pchls_obs.Flight
 
 let section_header name = Format.printf "@.======== %s ========@.@." name
 
@@ -783,9 +784,12 @@ let preflight_bench () =
 
 (* --- Observability: tracing overhead and metrics dump ------------------- *)
 
-(* Measures what a trace sink costs: the same synthesis with tracing off
-   (the zero-observer path), then with a sink installed; writes the traced
-   run's counters to BENCH_obs.json. *)
+(* Measures what each observer costs: the same synthesis with nothing
+   watching (the zero-observer path), with a trace sink installed, and
+   with the flight recorder armed; writes the traced run's counters and a
+   compare.exe-gated "sections" array to BENCH_obs.json. The flight leg
+   is the always-on price `pchls serve` pays — it must stay within a few
+   percent of untraced. *)
 let obs_bench () =
   section_header "Observability: tracing overhead (elliptic, T=22, P<=15)";
   let g = Benchmarks.elliptic and t = 22 and p = 15. in
@@ -796,16 +800,25 @@ let obs_bench () =
     done
   in
   let recorded_before = Trace.total_recorded () in
+  let flight_before = Flight.total_recorded () in
   let (), plain_s = timed run in
   assert (Trace.total_recorded () = recorded_before);
+  assert (Flight.total_recorded () = flight_before);
   Metrics.reset ();
   let sink = Trace.make () in
   let (), traced_s = timed (fun () -> Trace.with_sink sink run) in
   let events = Trace.count sink in
+  let recorder = Flight.create () in
+  let (), flight_s = timed (fun () -> Flight.with_armed recorder run) in
   let overhead_pct = 100. *. ((traced_s /. plain_s) -. 1.) in
+  let flight_pct = 100. *. ((flight_s /. plain_s) -. 1.) in
   Format.printf "untraced (%d runs)  %8.3f s@." reps plain_s;
   Format.printf "traced   (%d runs)  %8.3f s  (%+.1f%%, %d events)@." reps
     traced_s overhead_pct events;
+  Format.printf "flight   (%d runs)  %8.3f s  (%+.1f%%, %d recorded, %d \
+                 retained, %d dropped)@."
+    reps flight_s flight_pct (Flight.recorded recorder)
+    (Flight.retained recorder) (Flight.dropped recorder);
   let counter name =
     Metrics.counter_value (Metrics.counter name)
   in
@@ -821,11 +834,23 @@ let obs_bench () =
     \  \"benchmark\": \"elliptic\", \"t\": %d, \"p\": %g, \"reps\": %d,\n\
     \  \"plain_s\": %.6f,\n\
     \  \"traced_s\": %.6f,\n\
+    \  \"flight_s\": %.6f,\n\
     \  \"overhead_pct\": %.2f,\n\
+    \  \"flight_overhead_pct\": %.2f,\n\
     \  \"trace_events\": %d,\n\
+    \  \"flight_recorded\": %d,\n\
+    \  \"flight_retained\": %d,\n\
+    \  \"flight_dropped\": %d,\n\
+    \  \"sections\": [\n\
+    \    {\"section\": \"obs-untraced\", \"wall_s\": %.6f},\n\
+    \    {\"section\": \"obs-traced\", \"wall_s\": %.6f},\n\
+    \    {\"section\": \"obs-flight\", \"wall_s\": %.6f}\n\
+    \  ],\n\
     \  \"metrics\": %s\n\
      }\n"
-    t p reps plain_s traced_s overhead_pct events (Metrics.to_json ());
+    t p reps plain_s traced_s flight_s overhead_pct flight_pct events
+    (Flight.recorded recorder) (Flight.retained recorder)
+    (Flight.dropped recorder) plain_s traced_s flight_s (Metrics.to_json ());
   close_out oc;
   Format.printf "@.wrote BENCH_obs.json@."
 

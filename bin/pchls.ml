@@ -22,6 +22,8 @@ module Store = Pchls_cache.Store
 module Trace = Pchls_obs.Trace
 module Metrics = Pchls_obs.Metrics
 module Style = Pchls_obs.Style
+module Event = Pchls_obs.Event
+module Flight = Pchls_obs.Flight
 module Budget = Pchls_resil.Budget
 
 open Cmdliner
@@ -183,6 +185,33 @@ let metrics_flag =
         ~doc:"Print the metrics registry (counters, histograms) after the \
               run.")
 
+let flight_flag =
+  Arg.(
+    value & flag
+    & info [ "flight" ]
+        ~doc:"Arm the in-memory flight recorder for the run: recent \
+              span/instant events are retained in a bounded ring, dumped \
+              as Chrome trace_event JSON on crash paths and on SIGUSR1 \
+              ($(b,pchls flight dump PID)).")
+
+let log_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log" ] ~docv:"LEVEL"
+        ~doc:"Enable diagnostic logging at $(docv) (debug, info, warning, \
+              error); same effect as setting PCHLS_LOG=$(docv).")
+
+(* Shared by --log and the PCHLS_LOG environment hook below: golden-output
+   tests stay byte-stable because neither is on by default. *)
+let apply_log_level level =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  match Logs.level_of_string level with
+  | Ok l -> Logs.set_level l
+  | Error _ -> Logs.set_level (Some Logs.Debug)
+
+let apply_log = Option.iter apply_log_level
+
 let no_color_flag =
   Arg.(
     value & flag
@@ -198,10 +227,12 @@ let write_file path text =
   close_out oc
 
 (* Wraps a command body: installs a trace sink when --trace was given and
-   writes the Chrome JSON afterwards; dumps the metrics registry when
-   --metrics was given. The body's exit code passes through. *)
-let with_obs ~trace ~metrics f =
-  let code =
+   writes the Chrome JSON afterwards; arms the flight recorder (plus its
+   SIGUSR1 dump handler) when --flight was given; dumps the metrics
+   registry when --metrics was given. The body's exit code passes
+   through. *)
+let with_obs ?(flight = false) ~trace ~metrics f =
+  let traced () =
     match trace with
     | None -> f ()
     | Some path ->
@@ -210,6 +241,17 @@ let with_obs ~trace ~metrics f =
       write_file path (Trace.to_chrome sink);
       Format.printf "# trace: %d events -> %s@." (Trace.count sink) path;
       code
+  in
+  let code =
+    if not flight then traced ()
+    else begin
+      let recorder = Flight.create () in
+      let path = Flight.install_sigusr1 () in
+      Format.eprintf
+        "# flight: armed (%d events/shard); kill -USR1 %d dumps to %s@."
+        (Flight.capacity recorder) (Unix.getpid ()) path;
+      Flight.with_armed recorder traced
+    end
   in
   if metrics then print_string (Metrics.dump ());
   code
@@ -378,8 +420,10 @@ let self_check_flag =
 
 let synth_cmd =
   let run bench t p pol reg mux library gantt tighten rebind self_check
-      preflight cache_dir no_cache deadline_ms max_iters trace metrics =
-    with_obs ~trace ~metrics @@ fun () ->
+      preflight cache_dir no_cache deadline_ms max_iters trace metrics flight
+      log_level =
+    apply_log log_level;
+    with_obs ~flight ~trace ~metrics @@ fun () ->
     let cache = synth_store no_cache cache_dir in
     let budget = the_budget deadline_ms max_iters in
     let outcome =
@@ -465,7 +509,7 @@ let synth_cmd =
       $ register_area $ mux_input_area $ library_opt $ gantt_flag
       $ tighten_flag $ rebind_flag $ self_check_flag $ preflight_flag
       $ cache_dir_opt $ no_cache_flag $ deadline_ms_opt $ max_iters_opt
-      $ trace_opt $ metrics_flag)
+      $ trace_opt $ metrics_flag $ flight_flag $ log_opt)
 
 (* --- check ------------------------------------------------------------- *)
 
@@ -630,8 +674,9 @@ let sweep_cmd =
     Arg.(value & flag & info [ "pareto" ] ~doc:"Also print the Pareto front.")
   in
   let run (name, g) t p_from p_to p_step pol reg mux pareto preflight jobs
-      cache_dir no_cache deadline_ms max_iters trace metrics =
-    with_obs ~trace ~metrics @@ fun () ->
+      cache_dir no_cache deadline_ms max_iters trace metrics flight log_level =
+    apply_log log_level;
+    with_obs ~flight ~trace ~metrics @@ fun () ->
     let cache = sweep_store no_cache cache_dir in
     let budget = the_budget deadline_ms max_iters in
     let points =
@@ -651,7 +696,7 @@ let sweep_cmd =
       const run $ graph_source $ time_limit $ p_from $ p_to $ p_step $ policy
       $ register_area $ mux_input_area $ pareto_flag $ preflight_flag
       $ jobs_opt $ cache_dir_opt $ no_cache_flag $ deadline_ms_opt
-      $ max_iters_opt $ trace_opt $ metrics_flag)
+      $ max_iters_opt $ trace_opt $ metrics_flag $ flight_flag $ log_opt)
 
 (* --- pareto ------------------------------------------------------------- *)
 
@@ -664,8 +709,9 @@ let pareto_cmd =
           ~doc:"Latency constraints (cycles) spanning the grid rows.")
   in
   let run (name, g) times p_from p_to p_step pol reg mux preflight jobs
-      cache_dir no_cache deadline_ms max_iters trace metrics =
-    with_obs ~trace ~metrics @@ fun () ->
+      cache_dir no_cache deadline_ms max_iters trace metrics flight log_level =
+    apply_log log_level;
+    with_obs ~flight ~trace ~metrics @@ fun () ->
     let cache = sweep_store no_cache cache_dir in
     let budget = the_budget deadline_ms max_iters in
     let points =
@@ -686,7 +732,7 @@ let pareto_cmd =
       const run $ graph_source $ times $ p_from $ p_to $ p_step $ policy
       $ register_area $ mux_input_area $ preflight_flag $ jobs_opt
       $ cache_dir_opt $ no_cache_flag $ deadline_ms_opt $ max_iters_opt
-      $ trace_opt $ metrics_flag)
+      $ trace_opt $ metrics_flag $ flight_flag $ log_opt)
 
 (* --- cache -------------------------------------------------------------- *)
 
@@ -784,11 +830,11 @@ let profile_cmd =
 (* --- trace -------------------------------------------------------------- *)
 
 let trace_cmd =
-  let file_arg =
+  let file_arg ~doc =
     Arg.(
       required
       & pos 0 (some Arg.file) None
-      & info [] ~docv:"FILE.json" ~doc:"Trace file to validate.")
+      & info [] ~docv:"FILE.json" ~doc)
   in
   let validate_cmd =
     let run path =
@@ -804,12 +850,103 @@ let trace_cmd =
       (Cmd.info "validate"
          ~doc:"Strictly parse a Chrome trace_event JSON file and check the \
                schema pchls emits; exits 1 on any violation.")
-      Term.(const run $ file_arg)
+      Term.(const run $ file_arg ~doc:"Trace file to validate.")
+  in
+  let tree_cmd =
+    let run path =
+      match Event.of_chrome (read_file path) with
+      | Ok events ->
+        print_string (Event.render_tree events);
+        0
+      | Error msg ->
+        Format.eprintf "%s: %s: %s@." path (Style.red "invalid trace") msg;
+        1
+    in
+    Cmd.v
+      (Cmd.info "tree"
+         ~doc:"Render a saved Chrome trace_event JSON file (from --trace, a \
+               flight-recorder dump or GET /trace) as the same indented \
+               span tree $(b,pchls profile --trace -) prints, offline.")
+      Term.(const run $ file_arg ~doc:"Trace file to render.")
   in
   Cmd.group
     (Cmd.info "trace"
-       ~doc:"Work with Chrome trace_event JSON profiles written by --trace.")
+       ~doc:"Work with Chrome trace_event JSON profiles written by --trace \
+             and the flight recorder.")
+    [ validate_cmd; tree_cmd ]
+
+(* --- metrics ------------------------------------------------------------ *)
+
+let metrics_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some Arg.file) None
+      & info [] ~docv:"FILE.prom"
+          ~doc:"Prometheus text-exposition file to validate (e.g. a saved \
+                GET /metrics response).")
+  in
+  let validate_cmd =
+    let run path =
+      match Metrics.validate_prometheus (read_file path) with
+      | Ok n ->
+        Format.printf "%s: valid Prometheus exposition, %d samples@." path n;
+        0
+      | Error msg ->
+        Format.eprintf "%s: %s: %s@." path
+          (Style.red "invalid exposition")
+          msg;
+        1
+    in
+    Cmd.v
+      (Cmd.info "validate"
+         ~doc:"Check a Prometheus text-exposition document: TYPE lines, \
+               sample syntax, histogram bucket monotonicity and the \
+               _count/+Inf invariant; exits 1 on any violation.")
+      Term.(const run $ file_arg)
+  in
+  Cmd.group
+    (Cmd.info "metrics"
+       ~doc:"Work with Prometheus text expositions served by GET /metrics.")
     [ validate_cmd ]
+
+(* --- flight ------------------------------------------------------------- *)
+
+let flight_cmd =
+  let pid_arg =
+    Arg.(
+      required
+      & pos 0 (some int) None
+      & info [] ~docv:"PID"
+          ~doc:"Process id of a pchls run started with --flight (or pchls \
+                serve).")
+  in
+  let dump_cmd =
+    let run pid =
+      match Unix.kill pid Sys.sigusr1 with
+      | () ->
+        Format.printf
+          "sent SIGUSR1 to %d; it dumps its flight ring to the path it \
+           printed at startup@."
+          pid;
+        0
+      | exception Unix.Unix_error (e, _, _) ->
+        Format.eprintf "flight dump: kill %d: %s@." pid
+          (Unix.error_message e);
+        1
+    in
+    Cmd.v
+      (Cmd.info "dump"
+         ~doc:"Ask a running pchls process (started with --flight, or pchls \
+               serve) to dump its flight-recorder ring as Chrome \
+               trace_event JSON by sending it SIGUSR1.")
+      Term.(const run $ pid_arg)
+  in
+  Cmd.group
+    (Cmd.info "flight"
+       ~doc:"Interact with the in-memory flight recorder of a running \
+             pchls process.")
+    [ dump_cmd ]
 
 (* --- fuzz --------------------------------------------------------------- *)
 
@@ -856,9 +993,10 @@ let fuzz_run_term =
                 on top).")
   in
   let run runs seed jobs max_nodes exact_max_vertices library corpus
-      deadline_ms max_iters trace metrics no_color =
+      deadline_ms max_iters trace metrics flight log_level no_color =
     apply_color no_color;
-    with_obs ~trace ~metrics @@ fun () ->
+    apply_log log_level;
+    with_obs ~flight ~trace ~metrics @@ fun () ->
     let budget = the_budget deadline_ms max_iters in
     let config =
       {
@@ -887,7 +1025,8 @@ let fuzz_run_term =
   Term.(
     const run $ runs_opt $ seed_opt $ jobs_opt $ max_nodes_opt
     $ exact_max_vertices_opt $ library_opt $ corpus_opt $ deadline_ms_opt
-    $ max_iters_opt $ trace_opt $ metrics_flag $ no_color_flag)
+    $ max_iters_opt $ trace_opt $ metrics_flag $ flight_flag $ log_opt
+    $ no_color_flag)
 
 let fuzz_cmd =
   let replay_cmd =
@@ -1155,9 +1294,35 @@ let serve_cmd =
           ~doc:"Install a process-wide trace sink and serve its Chrome \
                 trace_event JSON at GET /trace.")
   in
+  let flight_capacity_opt =
+    Arg.(
+      value
+      & opt int Flight.default_capacity
+      & info [ "flight-capacity" ] ~docv:"N"
+          ~doc:"Per-shard ring size of the always-on flight recorder \
+                (dumped on crashes, on SIGUSR1 and at GET /debug/flight). \
+                0 turns the recorder off.")
+  in
+  let access_log_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"PATH"
+          ~doc:"Write a JSON-lines access log (one object per request, \
+                with its x-request-id) to $(docv); $(b,-) logs to stdout.")
+  in
+  let slow_ms_opt =
+    Arg.(
+      value & opt float 1000.
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:"Requests taking at least $(docv) milliseconds are logged \
+                as slow-request at warn level in the access log.")
+  in
   let run host port threads jobs library cache_dir no_cache mem_entries
-      deadline_ms max_body trace no_color =
+      deadline_ms max_body trace flight_capacity access_log slow_ms log_level
+      no_color =
     apply_color no_color;
+    apply_log log_level;
     let config =
       {
         Pchls_serve.Server.host;
@@ -1172,6 +1337,9 @@ let serve_cmd =
         max_deadline_ms = deadline_ms;
         max_body_bytes = max_body;
         trace;
+        flight_capacity = max 0 flight_capacity;
+        access_log;
+        slow_ms;
       }
     in
     match Pchls_serve.Server.run config with
@@ -1192,8 +1360,11 @@ let serve_cmd =
            `P
              "Serves the synthesis engine over HTTP/1.1: POST /synth, \
               /sweep, /pareto, /check and /preflight take JSON bodies \
-              (one of benchmark/dfg/beh plus constraints); GET /metrics, \
-              /trace and /healthz expose observability. Engine exit \
+              (one of benchmark/dfg/beh plus constraints); GET /metrics \
+              (JSON, or Prometheus text under Accept: text/plain), \
+              /trace, /debug/flight and /healthz expose observability, \
+              and every response carries an x-request-id header that also \
+              tags the request's trace spans and access-log line. Engine \
               semantics map onto statuses: 200 complete, 422 infeasible, \
               500 internal error, 206 partial (budget expired). One \
               shared result cache serves all requests and identical \
@@ -1205,26 +1376,20 @@ let serve_cmd =
     Term.(
       const run $ host_opt $ port_opt $ threads_opt $ jobs_opt $ library_opt
       $ cache_dir_opt $ no_cache_flag $ mem_entries_opt $ serve_deadline_opt
-      $ max_body_opt $ serve_trace_flag $ no_color_flag)
+      $ max_body_opt $ serve_trace_flag $ flight_capacity_opt $ access_log_opt
+      $ slow_ms_opt $ log_opt $ no_color_flag)
 
 (* --- main -------------------------------------------------------------- *)
 
 (* Debug logging (cache hits/misses, engine decisions) is opt-in via the
    environment so golden-output tests stay byte-stable:
    PCHLS_LOG=debug pchls sweep ... *)
-let setup_logs () =
-  match Sys.getenv_opt "PCHLS_LOG" with
-  | None -> ()
-  | Some level ->
-    Logs.set_reporter (Logs_fmt.reporter ());
-    (match Logs.level_of_string level with
-    | Ok l -> Logs.set_level l
-    | Error _ -> Logs.set_level (Some Logs.Debug))
+let setup_logs () = apply_log (Sys.getenv_opt "PCHLS_LOG")
 
 let () =
   setup_logs ();
   let doc = "power-constrained high-level synthesis (Nielsen & Madsen, DATE'03)" in
-  let info = Cmd.info "pchls" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "pchls" ~version:Pchls_serve.Server.version ~doc in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
     (Cmd.eval'
@@ -1232,6 +1397,7 @@ let () =
           [
             list_cmd; synth_cmd; check_cmd; preflight_cmd; sweep_cmd;
             pareto_cmd; cache_cmd;
-            profile_cmd; trace_cmd; fuzz_cmd; battery_cmd; report_cmd;
+            profile_cmd; trace_cmd; metrics_cmd; flight_cmd; fuzz_cmd;
+            battery_cmd; report_cmd;
             dot_cmd; rtl_cmd; serve_cmd;
           ]))

@@ -598,7 +598,7 @@ let note_commit st decision =
   | Merge { retype = Some _; _ } ->
     st.n_retypes <- st.n_retypes + 1;
     Metrics.incr m_retypes);
-  if Trace.enabled () then
+  if Trace.observed () then
     Trace.instant ~cat:"engine"
       ~args:
         [
@@ -690,8 +690,12 @@ let run ?(cost_model = Cost_model.default) ?(policy = Min_power)
   | Some reason -> Infeasible { reason }
   | None ->
   Metrics.incr m_runs;
-  Trace.span ~cat:"engine" ~args:[ ("graph", Graph.name g) ] "engine.run"
-  @@ fun () ->
+  (* The whole search is delimited so an escaping exception hits the
+     flight-recorder crash hook before the caller unwinds further — the
+     ring then holds the engine's last moments. *)
+  let synthesize () =
+    Trace.span ~cat:"engine" ~args:[ ("graph", Graph.name g) ] "engine.run"
+    @@ fun () ->
   let select =
     match policy with
     | Min_power -> Library.min_power
@@ -794,7 +798,7 @@ let run ?(cost_model = Cost_model.default) ?(policy = Min_power)
           undo.revert ();
           st.n_backtracks <- st.n_backtracks + 1;
           Metrics.incr m_backtracks;
-          if Trace.enabled () then
+          if Trace.observed () then
             Trace.instant ~cat:"engine"
               ~args:[ ("node", string_of_int node); ("reason", reason) ]
               "engine.backtrack";
@@ -891,3 +895,9 @@ let run ?(cost_model = Cost_model.default) ?(policy = Min_power)
       | Error reason ->
         Metrics.incr m_infeasible;
         Infeasible { reason = "final design validation failed: " ^ reason }))
+  in
+  (try synthesize ()
+   with e ->
+     let bt = Printexc.get_raw_backtrace () in
+     Pchls_obs.Flight.note_crash ~origin:"engine.run" e;
+     Printexc.raise_with_backtrace e bt)

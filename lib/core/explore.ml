@@ -105,7 +105,7 @@ let solve ?cost_model ?policy ?deadline ?(preflight = false) ~library ?cache
   Metrics.incr m_points;
   Trace.span ~cat:"explore"
     ~args:
-      (if Trace.enabled () then
+      (if Trace.observed () then
          [
            ("T", string_of_int time_limit);
            ("P<", Printf.sprintf "%g" power_limit);
@@ -223,7 +223,7 @@ let sweep ?cost_model ?policy ?(jobs = 1) ?cache ?deadline
   in
   Trace.span ~cat:"explore"
     ~args:
-      (if Trace.enabled () then
+      (if Trace.observed () then
          [
            ("grid", string_of_int (List.length grid));
            ("jobs", string_of_int jobs);

@@ -85,7 +85,7 @@ type case_outcome =
 let checked_case config case =
   Metrics.time m_case_ns @@ fun () ->
   Trace.span ~cat:"fuzz"
-    ~args:(if Trace.enabled () then [ ("case", string_of_int case) ] else [])
+    ~args:(if Trace.observed () then [ ("case", string_of_int case) ] else [])
     "fuzz.case"
   @@ fun () ->
   Metrics.incr m_cases;

@@ -1,0 +1,184 @@
+type phase = Complete of { dur_ns : int64 } | Instant
+
+type t = {
+  name : string;
+  cat : string;
+  phase : phase;
+  ts_ns : int64;
+  tid : int;
+  args : (string * string) list;
+}
+
+let end_ns ev =
+  match ev.phase with
+  | Complete { dur_ns } -> Int64.add ev.ts_ns dur_ns
+  | Instant -> ev.ts_ns
+
+(* Spans are recorded when they *finish*, so raw lists are in completion
+   order; sort by start time, longer spans first on ties, so a parent
+   always precedes the children it encloses. *)
+let sort evs =
+  List.stable_sort
+    (fun a b ->
+      let c = Int64.compare a.ts_ns b.ts_ns in
+      if c <> 0 then c else Int64.compare (end_ns b) (end_ns a))
+    evs
+
+(* --- Chrome trace_event JSON ------------------------------------------- *)
+
+let us ns = Printf.sprintf "%.3f" (Int64.to_float ns /. 1e3)
+
+let args_json args =
+  if args = [] then ""
+  else
+    Printf.sprintf ",\"args\":{%s}"
+      (String.concat ","
+         (List.map
+            (fun (k, v) ->
+              Printf.sprintf "\"%s\":\"%s\"" (Json.escape k) (Json.escape v))
+            args))
+
+let to_json ev =
+  let common =
+    Printf.sprintf "\"name\":\"%s\",\"cat\":\"%s\",\"pid\":0,\"tid\":%d,\"ts\":%s"
+      (Json.escape ev.name) (Json.escape ev.cat) ev.tid (us ev.ts_ns)
+  in
+  match ev.phase with
+  | Complete { dur_ns } ->
+    Printf.sprintf "{%s,\"ph\":\"X\",\"dur\":%s%s}" common (us dur_ns)
+      (args_json ev.args)
+  | Instant ->
+    Printf.sprintf "{%s,\"ph\":\"i\",\"s\":\"t\"%s}" common (args_json ev.args)
+
+let chrome_document evs =
+  let evs = sort evs in
+  let buf = Buffer.create (256 * (1 + List.length evs)) in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n  ";
+      Buffer.add_string buf (to_json ev))
+    evs;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+(* The inverse, for offline rendering of saved dumps. Microsecond floats
+   carry 3 decimals, so rounding back to nanoseconds is exact. *)
+let of_chrome text =
+  let ( let* ) = Result.bind in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let* json = Json.parse text in
+  let* evs =
+    match Json.member "traceEvents" json with
+    | Some (Json.List evs) -> Ok evs
+    | Some _ -> fail "traceEvents is not an array"
+    | None -> fail "missing traceEvents"
+  in
+  let ns_of_us f = Int64.of_float (Float.round (f *. 1e3)) in
+  let event i ev =
+    let str field =
+      match Json.member field ev with
+      | Some (Json.String s) -> Some s
+      | _ -> None
+    in
+    let num field =
+      match Json.member field ev with
+      | Some (Json.Number f) -> Some f
+      | _ -> None
+    in
+    let* name =
+      match str "name" with
+      | Some s when s <> "" -> Ok s
+      | _ -> fail "event %d: missing name" i
+    in
+    let cat = Option.value (str "cat") ~default:"" in
+    let* ts =
+      match num "ts" with
+      | Some f when f >= 0. -> Ok f
+      | _ -> fail "event %d: missing or negative ts" i
+    in
+    let tid =
+      match num "tid" with Some f -> int_of_float f | None -> 0
+    in
+    let* args =
+      match Json.member "args" ev with
+      | None -> Ok []
+      | Some (Json.Obj fields) ->
+        if
+          List.for_all
+            (fun (_, v) -> match v with Json.String _ -> true | _ -> false)
+            fields
+        then
+          Ok
+            (List.map
+               (fun (k, v) ->
+                 match v with Json.String s -> (k, s) | _ -> assert false)
+               fields)
+        else fail "event %d: non-string arg value" i
+      | Some _ -> fail "event %d: args is not an object" i
+    in
+    let* phase =
+      match str "ph" with
+      | Some "X" -> (
+        match num "dur" with
+        | Some d when d >= 0. -> Ok (Complete { dur_ns = ns_of_us d })
+        | _ -> fail "event %d: complete event without a dur" i)
+      | Some "i" -> Ok Instant
+      | Some ph -> fail "event %d: unsupported phase %S" i ph
+      | None -> fail "event %d: missing ph" i
+    in
+    Ok { name; cat; phase; ts_ns = ns_of_us ts; tid; args }
+  in
+  let rec all i acc = function
+    | [] -> Ok (List.rev acc)
+    | ev :: rest ->
+      let* e = event i ev in
+      all (i + 1) (e :: acc) rest
+  in
+  all 0 [] evs
+
+(* --- human-readable tree ------------------------------------------------ *)
+
+let pp_dur ns =
+  let f = Int64.to_float ns in
+  if f >= 1e9 then Printf.sprintf "%.2f s" (f /. 1e9)
+  else if f >= 1e6 then Printf.sprintf "%.2f ms" (f /. 1e6)
+  else if f >= 1e3 then Printf.sprintf "%.1f us" (f /. 1e3)
+  else Printf.sprintf "%Ld ns" ns
+
+let render_tree evs =
+  let evs = sort evs in
+  let tids = List.sort_uniq Int.compare (List.map (fun e -> e.tid) evs) in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun tid ->
+      Buffer.add_string buf (Printf.sprintf "domain %d\n" tid);
+      let stack = ref [] in
+      List.iter
+        (fun ev ->
+          if ev.tid = tid then begin
+            (* Pop finished ancestors: ev starts at or after their end. *)
+            stack :=
+              List.filter (fun e -> Int64.compare ev.ts_ns e < 0) !stack;
+            let indent = String.make (2 * (1 + List.length !stack)) ' ' in
+            let args =
+              if ev.args = [] then ""
+              else
+                Printf.sprintf "  [%s]"
+                  (String.concat " "
+                     (List.map (fun (k, v) -> k ^ "=" ^ v) ev.args))
+            in
+            (match ev.phase with
+            | Complete { dur_ns } ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s%-40s %10s%s\n" indent ev.name
+                   (pp_dur dur_ns) args);
+              stack := end_ns ev :: !stack
+            | Instant ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s- %s%s\n" indent ev.name args))
+          end)
+        evs)
+    tids;
+  Buffer.contents buf

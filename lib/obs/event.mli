@@ -1,0 +1,55 @@
+(** The span/instant event datatype shared by the {!Trace} sink and the
+    {!Flight} recorder, together with its Chrome [trace_event] JSON
+    renderings.
+
+    Both observers record the same events; they differ only in retention
+    policy (a sink keeps everything, the flight recorder keeps a bounded
+    ring). Factoring the datatype and the export formats here lets either
+    side produce byte-identical Chrome documents and the same
+    human-readable tree, and lets saved documents round-trip back into
+    event lists ({!of_chrome}) for offline rendering
+    ([pchls trace tree]). *)
+
+type phase =
+  | Complete of { dur_ns : int64 }  (** a span: [ts_ns .. ts_ns + dur_ns] *)
+  | Instant  (** a point event *)
+
+type t = {
+  name : string;
+  cat : string;  (** coarse subsystem: ["engine"], ["sched"], ["cache"]… *)
+  phase : phase;
+  ts_ns : int64;  (** relative to the observer's epoch *)
+  tid : int;  (** recording domain id *)
+  args : (string * string) list;
+}
+
+(** [end_ns ev] — where the event stops occupying its lane: [ts_ns] plus
+    the duration for spans, [ts_ns] itself for instants. *)
+val end_ns : t -> int64
+
+(** [sort evs] — chronological by start time, longer spans first on ties,
+    so a parent always precedes the children it encloses. Stable. *)
+val sort : t list -> t list
+
+(** [to_json ev] — one Chrome [trace_event] object ([ph:"X"] for spans,
+    [ph:"i"] for instants; [ts]/[dur] in microseconds). *)
+val to_json : t -> string
+
+(** [chrome_document evs] — the full [{"traceEvents": [...]}] document
+    over [sort evs]. *)
+val chrome_document : t list -> string
+
+(** [of_chrome text] parses a Chrome [trace_event] document (strict
+    {!Json} parser) back into events — the inverse of {!chrome_document}
+    for the subset pchls emits ([ph] of ["X"] or ["i"], string args).
+    Microsecond timestamps convert back to nanoseconds exactly at the
+    3-decimal precision {!to_json} writes. *)
+val of_chrome : string -> (t list, string) result
+
+(** [pp_dur ns] — a human-scaled duration (["1.24 ms"], ["312 ns"]…). *)
+val pp_dur : int64 -> string
+
+(** [render_tree evs] — an indented per-domain span tree with durations
+    and arguments, for terminal consumption ([pchls profile],
+    [pchls trace tree]). Sorts internally. *)
+val render_tree : t list -> string

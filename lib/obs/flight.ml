@@ -1,0 +1,164 @@
+(* Each shard is an independent mutex-protected ring: recording takes one
+   short critical section on the recording domain's shard, so workers
+   never contend with each other on the hot path. *)
+type ring = {
+  mutex : Mutex.t;
+  slots : Event.t option array;
+  mutable next : int;
+  mutable shard_dropped : int;
+}
+
+type t = {
+  epoch_ns : int64;
+  cap : int;
+  shards : ring array;
+  n_recorded : int Atomic.t;
+}
+
+let n_shards = 8
+let default_capacity = 4096
+
+let create ?(capacity = default_capacity) () =
+  let cap = max 1 capacity in
+  {
+    epoch_ns = Clock.now_ns ();
+    cap;
+    shards =
+      Array.init n_shards (fun _ ->
+          {
+            mutex = Mutex.create ();
+            slots = Array.make cap None;
+            next = 0;
+            shard_dropped = 0;
+          });
+    n_recorded = Atomic.make 0;
+  }
+
+let installed : t option Atomic.t = Atomic.make None
+let total : int Atomic.t = Atomic.make 0
+
+let arm t = Atomic.set installed (Some t)
+let disarm () = Atomic.set installed None
+
+let with_armed t f =
+  arm t;
+  Fun.protect ~finally:disarm f
+
+let armed () = Option.is_some (Atomic.get installed)
+let current () = Atomic.get installed
+
+let record ev =
+  match Atomic.get installed with
+  | None -> ()
+  | Some t ->
+    let shard = t.shards.((ev.Event.tid land max_int) mod n_shards) in
+    Mutex.lock shard.mutex;
+    if Option.is_some shard.slots.(shard.next) then
+      shard.shard_dropped <- shard.shard_dropped + 1;
+    shard.slots.(shard.next) <- Some ev;
+    shard.next <- (shard.next + 1) mod t.cap;
+    Mutex.unlock shard.mutex;
+    Atomic.incr t.n_recorded;
+    Atomic.incr total
+
+(* Events are stored with absolute timestamps (the recorder may be armed
+   long after process start, and re-armed); relativize to the recorder's
+   epoch at read time. An event recorded across an arm boundary can land
+   a hair before the epoch — clamp rather than emit a negative ts the
+   Chrome schema rejects. *)
+let events t =
+  let collect shard =
+    Mutex.lock shard.mutex;
+    let evs = Array.to_list shard.slots in
+    Mutex.unlock shard.mutex;
+    List.filter_map Fun.id evs
+  in
+  let relativize ev =
+    let ts = Int64.sub ev.Event.ts_ns t.epoch_ns in
+    { ev with Event.ts_ns = (if Int64.compare ts 0L < 0 then 0L else ts) }
+  in
+  Array.to_list t.shards
+  |> List.concat_map collect
+  |> List.map relativize
+  |> Event.sort
+
+let recorded t = Atomic.get t.n_recorded
+
+let dropped t =
+  Array.fold_left
+    (fun acc shard ->
+      Mutex.lock shard.mutex;
+      let d = shard.shard_dropped in
+      Mutex.unlock shard.mutex;
+      acc + d)
+    0 t.shards
+
+let retained t =
+  Array.fold_left
+    (fun acc shard ->
+      Mutex.lock shard.mutex;
+      let n =
+        Array.fold_left
+          (fun n s -> if Option.is_some s then n + 1 else n)
+          0 shard.slots
+      in
+      Mutex.unlock shard.mutex;
+      acc + n)
+    0 t.shards
+let capacity t = t.cap
+let total_recorded () = Atomic.get total
+
+let to_chrome t = Event.chrome_document (events t)
+
+let dump_to_file t path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (to_chrome t);
+  close_out oc;
+  Sys.rename tmp path
+
+(* --- crash and signal dumps --------------------------------------------- *)
+
+let crash_path =
+  Atomic.make
+    (Option.value
+       (Sys.getenv_opt "PCHLS_FLIGHT_CRASH")
+       ~default:"pchls-flight-crash.json")
+
+let set_crash_path path = Atomic.set crash_path path
+
+let note_crash ~origin exn =
+  match Atomic.get installed with
+  | None -> ()
+  | Some t -> (
+    try
+      record
+        {
+          Event.name = "flight.crash";
+          cat = "flight";
+          phase = Event.Instant;
+          ts_ns = Clock.now_ns ();
+          tid = (Domain.self () :> int);
+          args =
+            [ ("origin", origin); ("exn", Printexc.to_string exn) ];
+        };
+      dump_to_file t (Atomic.get crash_path)
+    with _ -> ())
+
+let install_sigusr1 ?path () =
+  let path =
+    match path with
+    | Some p -> p
+    | None -> Printf.sprintf "pchls-flight-%d.json" (Unix.getpid ())
+  in
+  (* OCaml signal handlers run at safe points on the main execution, so
+     dumping (which allocates) is fine here. *)
+  (try
+     Sys.set_signal Sys.sigusr1
+       (Sys.Signal_handle
+          (fun _ ->
+            match Atomic.get installed with
+            | None -> ()
+            | Some t -> ( try dump_to_file t path with _ -> ())))
+   with Invalid_argument _ -> ());
+  path

@@ -1,0 +1,78 @@
+type level = Debug | Info | Warn | Error
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+type t = {
+  mutex : Mutex.t;
+  oc : out_channel;
+  owns_channel : bool;
+  mutable lvl : level;
+}
+
+let create ?(level = Info) oc =
+  { mutex = Mutex.create (); oc; owns_channel = false; lvl = level }
+
+let open_file ?(level = Info) path =
+  if path = "-" then
+    { mutex = Mutex.create (); oc = stdout; owns_channel = false; lvl = level }
+  else
+    let oc =
+      open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+    in
+    { mutex = Mutex.create (); oc; owns_channel = true; lvl = level }
+
+let set_level t lvl = t.lvl <- lvl
+let min_level t = t.lvl
+let enabled t lvl = severity lvl >= severity t.lvl
+
+let timestamp () =
+  let now = Unix.gettimeofday () in
+  let tm = Unix.gmtime now in
+  let ms = int_of_float ((now -. Float.of_int (int_of_float now)) *. 1000.) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ"
+    (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+    tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+    (max 0 (min 999 ms))
+
+let log t lvl ?(fields = []) msg =
+  if enabled t lvl then begin
+    let line =
+      Json.to_string
+        (Json.Obj
+           ([
+              ("ts", Json.String (timestamp ()));
+              ("level", Json.String (level_to_string lvl));
+              ("msg", Json.String msg);
+            ]
+           @ fields))
+    in
+    Mutex.lock t.mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.mutex)
+      (fun () ->
+        output_string t.oc line;
+        output_char t.oc '\n';
+        flush t.oc)
+  end
+
+let close t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      flush t.oc;
+      if t.owns_channel then close_out t.oc)

@@ -173,6 +173,264 @@ let dump () =
     (snapshot ());
   Buffer.contents buf
 
+(* --- Prometheus text exposition ----------------------------------------- *)
+
+(* Registry names are dotted ([serve.request_ns]); Prometheus names admit
+   only [a-zA-Z0-9_:]. Sanitize, prefix with the product name, and give
+   counters the conventional [_total] suffix. *)
+let prom_name name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ()
+      | _ -> Bytes.set b i '_')
+    b;
+  "pchls_" ^ Bytes.to_string b
+
+let prom_float f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let to_prometheus () =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, v) ->
+      let pname = prom_name name in
+      match v with
+      | Counter n ->
+        Printf.bprintf buf "# TYPE %s_total counter\n%s_total %d\n" pname
+          pname n
+      | Gauge f ->
+        Printf.bprintf buf "# TYPE %s gauge\n%s %s\n" pname pname
+          (prom_float f)
+      | Histogram s ->
+        Printf.bprintf buf "# TYPE %s histogram\n" pname;
+        let cum = ref 0 in
+        List.iter2
+          (fun b n ->
+            cum := !cum + n;
+            Printf.bprintf buf "%s_bucket{le=\"%s\"} %d\n" pname (pp_bound b)
+              !cum)
+          s.bounds s.counts;
+        Printf.bprintf buf "%s_bucket{le=\"+Inf\"} %d\n" pname
+          (!cum + s.overflow);
+        Printf.bprintf buf "%s_sum %s\n" pname (prom_float s.sum);
+        Printf.bprintf buf "%s_count %d\n" pname s.count)
+    (snapshot ());
+  Buffer.contents buf
+
+(* A promtool-style grammar check over exposition text, so CI can gate
+   GET /metrics without pulling in Prometheus itself. Deliberately
+   strict on what [to_prometheus] promises: name/label syntax, float
+   values, TYPE-before-samples, and histogram coherence (cumulative
+   non-decreasing buckets ending at le="+Inf" whose value matches
+   [_count]). *)
+let validate_prometheus text =
+  let ( let* ) = Result.bind in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let is_name_start c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+  in
+  let is_name_char c = is_name_start c || (c >= '0' && c <= '9') in
+  let valid_name s =
+    s <> ""
+    && is_name_start s.[0]
+    && String.for_all is_name_char s
+  in
+  let parse_value s =
+    match String.lowercase_ascii s with
+    | "+inf" | "inf" -> Some Float.infinity
+    | "-inf" -> Some Float.neg_infinity
+    | "nan" -> Some Float.nan
+    | _ -> float_of_string_opt s
+  in
+  (* name{label="value",...} — returns (name, labels, rest-after-'}'). *)
+  let parse_sample_head lineno line =
+    let n = String.length line in
+    let rec name_end i = if i < n && is_name_char line.[i] then name_end (i + 1) else i in
+    let ne = name_end 0 in
+    let name = String.sub line 0 ne in
+    if not (valid_name name) then fail "line %d: invalid metric name" lineno
+    else if ne < n && line.[ne] = '{' then begin
+      (* Scan label pairs, honoring backslash escapes inside values. *)
+      let labels = ref [] in
+      let i = ref (ne + 1) in
+      let err = ref None in
+      let finished = ref false in
+      while not !finished && !err = None do
+        if !i >= n then begin
+          err := Some "unterminated label set"
+        end
+        else if line.[!i] = '}' then begin
+          i := !i + 1;
+          finished := true
+        end
+        else begin
+          let ls = !i in
+          let rec lname_end j =
+            if j < n && is_name_char line.[j] then lname_end (j + 1) else j
+          in
+          let le = lname_end ls in
+          let lname = String.sub line ls (le - ls) in
+          if lname = "" || not (is_name_start lname.[0]) then
+            err := Some "invalid label name"
+          else if le >= n - 1 || line.[le] <> '=' || line.[le + 1] <> '"' then
+            err := Some "label value must be quoted"
+          else begin
+            let vbuf = Buffer.create 16 in
+            let j = ref (le + 2) in
+            let closed = ref false in
+            while not !closed && !err = None do
+              if !j >= n then err := Some "unterminated label value"
+              else
+                match line.[!j] with
+                | '"' ->
+                  closed := true;
+                  j := !j + 1
+                | '\\' ->
+                  if !j + 1 >= n then err := Some "dangling escape"
+                  else begin
+                    (match line.[!j + 1] with
+                    | '\\' -> Buffer.add_char vbuf '\\'
+                    | '"' -> Buffer.add_char vbuf '"'
+                    | 'n' -> Buffer.add_char vbuf '\n'
+                    | _ -> err := Some "bad escape in label value");
+                    j := !j + 2
+                  end
+                | c ->
+                  Buffer.add_char vbuf c;
+                  j := !j + 1
+            done;
+            if !err = None then begin
+              labels := (lname, Buffer.contents vbuf) :: !labels;
+              i := !j;
+              if !i < n && line.[!i] = ',' then i := !i + 1
+              else if !i >= n || line.[!i] <> '}' then
+                err := Some "expected ',' or '}' after label"
+            end
+          end
+        end
+      done;
+      match !err with
+      | Some msg -> fail "line %d: %s" lineno msg
+      | None -> Ok (name, List.rev !labels, String.sub line !i (n - !i))
+    end
+    else Ok (name, [], String.sub line ne (n - ne))
+  in
+  let types : (string, string) Hashtbl.t = Hashtbl.create 32 in
+  let sampled : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  (* (base histogram name, le, cumulative count) in file order, plus the
+     _count samples, checked for coherence at the end. *)
+  let hist_buckets : (string * float * float) list ref = ref [] in
+  let hist_counts : (string * float) list ref = ref [] in
+  let samples = ref 0 in
+  let check_line lineno line =
+    if line = "" then Ok ()
+    else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+      match String.split_on_char ' ' (String.sub line 7 (String.length line - 7)) with
+      | [ name; kind ] ->
+        if not (valid_name name) then
+          fail "line %d: invalid metric name in TYPE" lineno
+        else if
+          not (List.mem kind [ "counter"; "gauge"; "histogram"; "summary"; "untyped" ])
+        then fail "line %d: unknown TYPE %S" lineno kind
+        else if Hashtbl.mem types name then
+          fail "line %d: duplicate TYPE for %s" lineno name
+        else if Hashtbl.mem sampled name then
+          fail "line %d: TYPE for %s after its samples" lineno name
+        else begin
+          Hashtbl.replace types name kind;
+          Ok ()
+        end
+      | _ -> fail "line %d: malformed TYPE line" lineno
+    end
+    else if line.[0] = '#' then Ok () (* HELP or free comment *)
+    else
+      let* name, labels, rest = parse_sample_head lineno line in
+      let rest = String.trim rest in
+      let* value =
+        match String.split_on_char ' ' rest with
+        | [ v ] | [ v; _ ] -> (
+          (* optional trailing timestamp *)
+          match parse_value v with
+          | Some f -> Ok f
+          | None -> fail "line %d: invalid sample value %S" lineno v)
+        | _ -> fail "line %d: malformed sample" lineno
+      in
+      Hashtbl.replace sampled name ();
+      samples := !samples + 1;
+      let strip suffix =
+        let ls = String.length suffix and ln = String.length name in
+        if ln > ls && String.sub name (ln - ls) ls = suffix then
+          Some (String.sub name 0 (ln - ls))
+        else None
+      in
+      (match (strip "_bucket", List.assoc_opt "le" labels) with
+      | Some base, Some le when Hashtbl.find_opt types base = Some "histogram"
+        -> (
+        match parse_value le with
+        | Some b -> hist_buckets := (base, b, value) :: !hist_buckets
+        | None -> ())
+      | _ -> ());
+      (match strip "_count" with
+      | Some base when Hashtbl.find_opt types base = Some "histogram" ->
+        hist_counts := (base, value) :: !hist_counts
+      | _ -> ());
+      Ok ()
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec all lineno = function
+    | [] -> Ok ()
+    | line :: rest ->
+      let* () = check_line lineno line in
+      all (lineno + 1) rest
+  in
+  let* () = all 1 lines in
+  (* Histogram coherence, per base name in file order. *)
+  let bases =
+    List.sort_uniq String.compare (List.map (fun (b, _, _) -> b) !hist_buckets)
+  in
+  let rec check_bases = function
+    | [] -> Ok !samples
+    | base :: rest ->
+      let buckets =
+        List.rev
+          (List.filter_map
+             (fun (b, le, v) -> if b = base then Some (le, v) else None)
+             !hist_buckets)
+      in
+      let rec non_decreasing = function
+        | (_, a) :: ((_, b) :: _ as tl) ->
+          if a > b then false else non_decreasing tl
+        | _ -> true
+      in
+      if not (non_decreasing buckets) then
+        fail "histogram %s: bucket counts are not cumulative" base
+      else if
+        match List.rev buckets with
+        | (le, _) :: _ -> le <> Float.infinity
+        | [] -> true
+      then fail "histogram %s: missing le=\"+Inf\" bucket" base
+      else
+        let inf_count =
+          match List.rev buckets with (_, v) :: _ -> v | [] -> 0.
+        in
+        let* () =
+          match List.assoc_opt base !hist_counts with
+          | Some c when c <> inf_count ->
+            fail "histogram %s: _count %g disagrees with +Inf bucket %g" base
+              c inf_count
+          | _ -> Ok ()
+        in
+        check_bases rest
+  in
+  check_bases bases
+
 let to_json () =
   let field (name, v) =
     let rendered =

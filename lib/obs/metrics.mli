@@ -66,3 +66,21 @@ val dump : unit -> string
     counters are integers, gauges numbers, histograms
     [{"count","sum","overflow","buckets":[{"le","n"}…]}]. *)
 val to_json : unit -> string
+
+(** [to_prometheus ()] — the snapshot in Prometheus text exposition
+    format (version 0.0.4): dotted registry names sanitized to
+    [pchls_<name>] with dots as underscores, counters suffixed [_total],
+    histograms as cumulative [_bucket{le="…"}] series ending at
+    [le="+Inf"] plus [_sum] and [_count], each family preceded by its
+    [# TYPE] line. Served by [pchls serve] at [GET /metrics] under
+    [Accept: text/plain]. *)
+val to_prometheus : unit -> string
+
+(** [validate_prometheus text] — a promtool-style grammar check over
+    exposition text (no external dependency): metric/label name syntax,
+    quoted-and-escaped label values, float sample values, [# TYPE] lines
+    that are unique and precede their samples, and histogram coherence
+    (cumulative non-decreasing buckets ending at [le="+Inf"] whose value
+    equals [_count]). Returns the number of sample lines. CI scrapes
+    [GET /metrics] and gates on this via [pchls metrics validate]. *)
+val validate_prometheus : string -> (int, string) result

@@ -1,6 +1,6 @@
-type phase = Complete of { dur_ns : int64 } | Instant
+type phase = Event.phase = Complete of { dur_ns : int64 } | Instant
 
-type event = {
+type event = Event.t = {
   name : string;
   cat : string;
   phase : phase;
@@ -34,7 +34,8 @@ let with_sink sink f =
   install sink;
   Fun.protect ~finally:uninstall f
 
-let enabled () = Atomic.get installed <> None
+let enabled () = Option.is_some (Atomic.get installed)
+let observed () = Option.is_some (Atomic.get installed) || Flight.armed ()
 let tid () = (Domain.self () :> int)
 
 let record sink ev =
@@ -44,56 +45,39 @@ let record sink ev =
   Mutex.unlock sink.mutex;
   Atomic.incr total
 
-let span ?(cat = "pchls") ?(args = []) name f =
-  match Atomic.get installed with
-  | None -> f ()
+(* The observer tee: the sink keeps everything (timestamps relative to
+   its epoch), the flight recorder keeps a bounded ring (absolute
+   timestamps, relativized at dump time). [t0_ns] is absolute. *)
+let emit ~name ~cat ~args ~t0_ns ~phase =
+  let tid = tid () in
+  (match Atomic.get installed with
+  | None -> ()
   | Some sink ->
+    record sink
+      { name; cat; phase; ts_ns = Int64.sub t0_ns sink.epoch_ns; tid; args });
+  if Flight.armed () then
+    Flight.record { name; cat; phase; ts_ns = t0_ns; tid; args }
+
+let span ?(cat = "pchls") ?(args = []) name f =
+  if not (observed ()) then f ()
+  else
     let t0 = Clock.now_ns () in
     Fun.protect
       ~finally:(fun () ->
         let t1 = Clock.now_ns () in
-        record sink
-          {
-            name;
-            cat;
-            phase = Complete { dur_ns = Int64.sub t1 t0 };
-            ts_ns = Int64.sub t0 sink.epoch_ns;
-            tid = tid ();
-            args;
-          })
+        emit ~name ~cat ~args ~t0_ns:t0
+          ~phase:(Complete { dur_ns = Int64.sub t1 t0 }))
       f
 
 let instant ?(cat = "pchls") ?(args = []) name =
-  match Atomic.get installed with
-  | None -> ()
-  | Some sink ->
-    record sink
-      {
-        name;
-        cat;
-        phase = Instant;
-        ts_ns = Int64.sub (Clock.now_ns ()) sink.epoch_ns;
-        tid = tid ();
-        args;
-      }
+  if observed () then
+    emit ~name ~cat ~args ~t0_ns:(Clock.now_ns ()) ~phase:Instant
 
-let end_ns ev =
-  match ev.phase with
-  | Complete { dur_ns } -> Int64.add ev.ts_ns dur_ns
-  | Instant -> ev.ts_ns
-
-(* Spans are recorded when they *finish*, so the raw list is in completion
-   order; sort by start time, longer spans first on ties, so a parent
-   always precedes the children it encloses. *)
 let events sink =
   Mutex.lock sink.mutex;
   let evs = List.rev sink.rev_events in
   Mutex.unlock sink.mutex;
-  List.stable_sort
-    (fun a b ->
-      let c = Int64.compare a.ts_ns b.ts_ns in
-      if c <> 0 then c else Int64.compare (end_ns b) (end_ns a))
-    evs
+  Event.sort evs
 
 let count sink =
   Mutex.lock sink.mutex;
@@ -105,42 +89,7 @@ let total_recorded () = Atomic.get total
 
 (* --- Chrome trace_event JSON ------------------------------------------- *)
 
-let us ns = Printf.sprintf "%.3f" (Int64.to_float ns /. 1e3)
-
-let args_json args =
-  if args = [] then ""
-  else
-    Printf.sprintf ",\"args\":{%s}"
-      (String.concat ","
-         (List.map
-            (fun (k, v) ->
-              Printf.sprintf "\"%s\":\"%s\"" (Json.escape k) (Json.escape v))
-            args))
-
-let event_json ev =
-  let common =
-    Printf.sprintf "\"name\":\"%s\",\"cat\":\"%s\",\"pid\":0,\"tid\":%d,\"ts\":%s"
-      (Json.escape ev.name) (Json.escape ev.cat) ev.tid (us ev.ts_ns)
-  in
-  match ev.phase with
-  | Complete { dur_ns } ->
-    Printf.sprintf "{%s,\"ph\":\"X\",\"dur\":%s%s}" common (us dur_ns)
-      (args_json ev.args)
-  | Instant ->
-    Printf.sprintf "{%s,\"ph\":\"i\",\"s\":\"t\"%s}" common (args_json ev.args)
-
-let to_chrome sink =
-  let evs = events sink in
-  let buf = Buffer.create (256 * (1 + List.length evs)) in
-  Buffer.add_string buf "{\"traceEvents\":[";
-  List.iteri
-    (fun i ev ->
-      if i > 0 then Buffer.add_char buf ',';
-      Buffer.add_string buf "\n  ";
-      Buffer.add_string buf (event_json ev))
-    evs;
-  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
-  Buffer.contents buf
+let to_chrome sink = Event.chrome_document (events sink)
 
 (* --- validation --------------------------------------------------------- *)
 
@@ -211,45 +160,4 @@ let validate_chrome text =
 
 (* --- human-readable tree ------------------------------------------------ *)
 
-let pp_dur ns =
-  let f = Int64.to_float ns in
-  if f >= 1e9 then Printf.sprintf "%.2f s" (f /. 1e9)
-  else if f >= 1e6 then Printf.sprintf "%.2f ms" (f /. 1e6)
-  else if f >= 1e3 then Printf.sprintf "%.1f us" (f /. 1e3)
-  else Printf.sprintf "%Ld ns" ns
-
-let render_tree sink =
-  let evs = events sink in
-  let tids = List.sort_uniq Int.compare (List.map (fun e -> e.tid) evs) in
-  let buf = Buffer.create 1024 in
-  List.iter
-    (fun tid ->
-      Buffer.add_string buf (Printf.sprintf "domain %d\n" tid);
-      let stack = ref [] in
-      List.iter
-        (fun ev ->
-          if ev.tid = tid then begin
-            (* Pop finished ancestors: ev starts at or after their end. *)
-            stack :=
-              List.filter (fun e -> Int64.compare ev.ts_ns e < 0) !stack;
-            let indent = String.make (2 * (1 + List.length !stack)) ' ' in
-            let args =
-              if ev.args = [] then ""
-              else
-                Printf.sprintf "  [%s]"
-                  (String.concat " "
-                     (List.map (fun (k, v) -> k ^ "=" ^ v) ev.args))
-            in
-            (match ev.phase with
-            | Complete { dur_ns } ->
-              Buffer.add_string buf
-                (Printf.sprintf "%s%-40s %10s%s\n" indent ev.name
-                   (pp_dur dur_ns) args);
-              stack := end_ns ev :: !stack
-            | Instant ->
-              Buffer.add_string buf
-                (Printf.sprintf "%s- %s%s\n" indent ev.name args))
-          end)
-        evs)
-    tids;
-  Buffer.contents buf
+let render_tree sink = Event.render_tree (events sink)

@@ -1,11 +1,13 @@
 (** Low-overhead span/event tracing for the synthesis pipeline.
 
     A {!sink} collects events; at most one sink is installed process-wide
-    at a time. With no sink installed the tracer is off: {!span} runs its
-    thunk directly and records nothing — the zero-observer path allocates
-    no trace events (asserted by the test suite via {!total_recorded}).
-    Hot call sites that would build argument lists should guard them with
-    {!enabled}.
+    at a time. Independently, a {!Flight} recorder may be armed: {!span}
+    and {!instant} record into both observers. With neither present the
+    tracer is off: {!span} runs its thunk directly and records nothing —
+    the zero-observer path allocates no trace events (asserted by the
+    test suite via {!total_recorded} and {!Flight.total_recorded}). Hot
+    call sites that would build argument lists should guard them with
+    {!observed}.
 
     Timestamps come from {!Clock.now_ns} (monotonic, strictly increasing
     across domains); events carry the recording domain's id, so traces
@@ -16,11 +18,15 @@
     Perfetto or [chrome://tracing]) and a human-readable nested tree
     ({!render_tree}). See docs/OBSERVABILITY.md. *)
 
-type phase =
+(** The event types live in {!Event} (shared with {!Flight}) and are
+    re-exported here, so [Trace.Complete] and [ev.Trace.name] patterns
+    keep working. *)
+
+type phase = Event.phase =
   | Complete of { dur_ns : int64 }  (** a span: [ts_ns .. ts_ns + dur_ns] *)
   | Instant  (** a point event *)
 
-type event = {
+type event = Event.t = {
   name : string;
   cat : string;  (** coarse subsystem: ["engine"], ["sched"], ["cache"]… *)
   phase : phase;
@@ -42,16 +48,23 @@ val uninstall : unit -> unit
 (** [with_sink sink f] installs, runs [f], uninstalls (also on raise). *)
 val with_sink : sink -> (unit -> 'a) -> 'a
 
-(** [enabled ()] — is any sink installed? Guard eager argument-list
-    construction with this in hot loops. *)
+(** [enabled ()] — is a sink installed? (Does not cover the flight
+    recorder; prefer {!observed} for guarding instrumentation.) *)
 val enabled : unit -> bool
 
+(** [observed ()] — is any observer (sink or armed {!Flight} recorder)
+    present? Guard eager argument-list construction with this in hot
+    loops. *)
+val observed : unit -> bool
+
 (** [span ?cat ?args name f] times [f] and records a [Complete] event on
-    the installed sink (none → just runs [f]). The event is recorded even
-    when [f] raises, so aborted phases still show up in the trace. *)
+    the installed sink and/or the armed flight recorder (neither → just
+    runs [f]). The event is recorded even when [f] raises, so aborted
+    phases still show up in the trace. *)
 val span : ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 
-(** [instant ?cat ?args name] records a point event (no sink → no-op). *)
+(** [instant ?cat ?args name] records a point event (no observer →
+    no-op). *)
 val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
 
 (** [events sink] — chronological (start time, then longer spans first, so

@@ -1,5 +1,6 @@
 module Metrics = Pchls_obs.Metrics
 module Clock = Pchls_obs.Clock
+module Flight = Pchls_obs.Flight
 module Fault = Pchls_resil.Fault
 
 let m_tasks = Metrics.counter "pool.tasks"
@@ -130,7 +131,11 @@ let map pool f xs =
     done;
     Mutex.unlock join_mutex;
     match !failure with
-    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | Some (_, e, bt) ->
+      (* Crash-path hook: the worker's exception escapes at the join —
+         dump the flight ring before the caller loses the context. *)
+      Flight.note_crash ~origin:"pool.map" e;
+      Printexc.raise_with_backtrace e bt
     | None ->
       Array.to_list
         (Array.map
@@ -168,7 +173,9 @@ let run pool f =
     Mutex.unlock join_mutex;
     match !result with
     | Some (Ok y) -> y
-    | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+    | Some (Error (e, bt)) ->
+      Flight.note_crash ~origin:"pool.run" e;
+      Printexc.raise_with_backtrace e bt
     | None -> assert false (* joined *)
   end
 
@@ -203,6 +210,7 @@ let attempt_item ~retries f i x =
       end
       else begin
         Metrics.incr m_task_failures;
+        Flight.note_crash ~origin:"pool.task" exn;
         Error { attempts = attempt + 1; exn; backtrace }
       end
   in

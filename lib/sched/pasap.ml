@@ -179,7 +179,7 @@ let run g ~info ~horizon ?(power_limit = infinity) ?(locked = [])
     Metrics.incr m_infeasible;
     (match o with
     | Infeasible { node; reason } ->
-      if Trace.enabled () then
+      if Trace.observed () then
         Trace.instant ~cat:"sched"
           ~args:[ ("node", string_of_int node); ("reason", reason) ]
           "pasap.infeasible"

@@ -17,6 +17,8 @@ module Pool = Pchls_par.Pool
 module Json = Pchls_obs.Json
 module Metrics = Pchls_obs.Metrics
 module Trace = Pchls_obs.Trace
+module Flight = Pchls_obs.Flight
+module Jsonlog = Pchls_obs.Log
 module Clock = Pchls_obs.Clock
 module Budget = Pchls_resil.Budget
 module Fault = Pchls_resil.Fault
@@ -40,6 +42,8 @@ let count_response status =
   | Some c -> Metrics.incr c
   | None -> ()
 
+let version = "1.0.0"
+
 type config = {
   host : string;
   port : int;
@@ -52,6 +56,9 @@ type config = {
   max_deadline_ms : float option;
   max_body_bytes : int;
   trace : bool;
+  flight_capacity : int;
+  access_log : string option;
+  slow_ms : float;
 }
 
 let default_config =
@@ -67,6 +74,9 @@ let default_config =
     max_deadline_ms = None;
     max_body_bytes = 1024 * 1024;
     trace = false;
+    flight_capacity = Flight.default_capacity;
+    access_log = None;
+    slow_ms = 1000.;
   }
 
 (* The value shared through a coalesced flight: the engine outcome plus
@@ -91,6 +101,12 @@ type t = {
   stopping : bool Atomic.t;
   inflight_count : int Atomic.t;
   sink : Trace.sink option;
+  flight : Flight.t option;
+  access : Jsonlog.t option;
+  (* Request-id generation: a per-boot prefix plus an atomic sequence, so
+     ids are unique within a boot and distinguishable across restarts. *)
+  id_prefix : string;
+  req_seq : int Atomic.t;
   started_ns : int64;
   mutable acceptor : Thread.t option;
   mutable handlers : Thread.t list;
@@ -561,9 +577,26 @@ let handle_healthz srv =
   respond 200
     [
       ("status", Json.String "ok");
+      ("version", Json.String version);
       ( "uptime_s",
         Json.Number (Clock.elapsed_ns ~since:srv.started_ns /. 1e9) );
       ("inflight", Json.Number (float_of_int (inflight srv)));
+      ( "pool",
+        Json.Obj
+          [
+            ("jobs", Json.Number (float_of_int (Pool.jobs srv.pool)));
+            ("threads", Json.Number (float_of_int srv.config.threads));
+          ] );
+      ( "flight",
+        match srv.flight with
+        | None -> Json.Null
+        | Some fr ->
+          Json.Obj
+            [
+              ("retained", Json.Number (float_of_int (Flight.retained fr)));
+              ("recorded", Json.Number (float_of_int (Flight.recorded fr)));
+              ("dropped", Json.Number (float_of_int (Flight.dropped fr)));
+            ] );
       ("cache", cache);
     ]
 
@@ -574,6 +607,41 @@ let handle_trace srv =
     Http.response 404
       (error_body ~error:"not found"
          "tracing is off; start the server with --trace")
+
+let handle_flight srv =
+  match srv.flight with
+  | Some fr -> Http.response 200 (Flight.to_chrome fr)
+  | None ->
+    Http.response 404
+      (error_body ~error:"not found"
+         "flight recorder is off; start the server with a non-zero \
+          --flight-capacity")
+
+(* Content negotiation on GET /metrics: Prometheus scrapers send
+   Accept: text/plain (and ?format=prometheus forces it from a browser);
+   everyone else keeps the JSON document. *)
+let wants_prometheus (req : Http.request) =
+  let contains_text_plain s =
+    let n = String.length s and m = 10 (* "text/plain" *) in
+    let rec go i =
+      i + m <= n && (String.sub s i m = "text/plain" || go (i + 1))
+    in
+    go 0
+  in
+  match List.assoc_opt "format" req.Http.query with
+  | Some ("prometheus" | "text") -> true
+  | Some _ -> false
+  | None -> (
+    match Http.header req "accept" with
+    | Some accept -> contains_text_plain accept
+    | None -> false)
+
+let handle_metrics req =
+  if wants_prometheus req then
+    Http.response
+      ~content_type:"text/plain; version=0.0.4; charset=utf-8" 200
+      (Metrics.to_prometheus ())
+  else Http.response 200 (Metrics.to_json ())
 
 let method_not_allowed allow =
   Http.response 405 ~headers:[ ("allow", allow) ]
@@ -587,19 +655,72 @@ let route srv (req : Http.request) =
   | "POST", "/check" -> handle_check srv req
   | "POST", "/preflight" -> handle_preflight srv req
   | "GET", "/healthz" -> handle_healthz srv
-  | "GET", "/metrics" -> Http.response 200 (Metrics.to_json ())
+  | "GET", "/metrics" -> handle_metrics req
   | "GET", "/trace" -> handle_trace srv
+  | "GET", "/debug/flight" -> handle_flight srv
   | _, ("/synth" | "/sweep" | "/pareto" | "/check" | "/preflight") ->
     method_not_allowed "POST"
-  | _, ("/healthz" | "/metrics" | "/trace") -> method_not_allowed "GET"
+  | _, ("/healthz" | "/metrics" | "/trace" | "/debug/flight") ->
+    method_not_allowed "GET"
   | _, path -> Http.response 404 (error_body ~error:"not found" path)
 
+(* --- request-scoped telemetry ------------------------------------------- *)
+
+(* A client-supplied X-Request-Id is honored when it is shaped like an id
+   (so a hostile header cannot smuggle log-breaking bytes); anything else
+   gets a generated one. *)
+let request_id srv (req : Http.request) =
+  let is_id_char = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> true
+    | _ -> false
+  in
+  match Http.header req "x-request-id" with
+  | Some id when id <> "" && String.length id <= 64 && String.for_all is_id_char id
+    -> id
+  | Some _ | None ->
+    Printf.sprintf "%s-%06d" srv.id_prefix
+      (Atomic.fetch_and_add srv.req_seq 1)
+
+let access_log srv (req : Http.request) ~id ~status ~dur_ns =
+  match srv.access with
+  | None -> ()
+  | Some log ->
+    let dur_ms = dur_ns /. 1e6 in
+    let slow = dur_ms >= srv.config.slow_ms in
+    let level =
+      if status >= 500 then Jsonlog.Error
+      else if slow then Jsonlog.Warn
+      else Jsonlog.Info
+    in
+    Jsonlog.log log level
+      ~fields:
+        [
+          ("request_id", Json.String id);
+          ("method", Json.String req.Http.meth);
+          ("path", Json.String req.Http.path);
+          ("status", Json.Number (float_of_int status));
+          ("dur_ms", Json.Number dur_ms);
+        ]
+      (if slow then "slow-request" else "access")
+
 let handle_request srv req =
+  let id = request_id srv req in
   Metrics.incr m_requests;
   Atomic.incr srv.inflight_count;
   Metrics.set g_inflight (float_of_int (Atomic.get srv.inflight_count));
   let started_ns = Clock.now_ns () in
   let resp =
+    Trace.span ~cat:"serve"
+      ~args:
+        (if Trace.observed () then
+           [
+             ("request_id", id);
+             ("method", req.Http.meth);
+             ("path", req.Http.path);
+           ]
+         else [])
+      "serve.request"
+    @@ fun () ->
     try
       (* The chaos seam: an armed serve.handler fault is a handler crash,
          which must surface as a 500 response, never kill the daemon. *)
@@ -608,16 +729,19 @@ let handle_request srv req =
     with
     | Bad msg -> Http.response 400 (error_body ~error:"bad request" msg)
     | e ->
+      Flight.note_crash ~origin:"serve.handler" e;
       Log.warn (fun m ->
           m "handler for %s %s crashed: %s" req.Http.meth req.Http.path
             (Printexc.to_string e));
       Http.response 500 (error_body ~error:"internal" (Printexc.to_string e))
   in
-  Metrics.observe h_request_ns (Clock.elapsed_ns ~since:started_ns);
+  let dur_ns = Clock.elapsed_ns ~since:started_ns in
+  Metrics.observe h_request_ns dur_ns;
   count_response resp.Http.status;
   Atomic.decr srv.inflight_count;
   Metrics.set g_inflight (float_of_int (Atomic.get srv.inflight_count));
-  resp
+  access_log srv req ~id ~status:resp.Http.status ~dur_ns;
+  { resp with Http.headers = ("x-request-id", id) :: resp.Http.headers }
 
 (* --- connection plumbing ------------------------------------------------ *)
 
@@ -763,6 +887,18 @@ let start config =
     end
     else None
   in
+  (* The flight recorder is on by default ("always-on"): a crashed or
+     slow request leaves evidence without anyone having opted in.
+     flight_capacity = 0 turns it off. *)
+  let flight =
+    if config.flight_capacity > 0 then begin
+      let fr = Flight.create ~capacity:config.flight_capacity () in
+      Flight.arm fr;
+      Some fr
+    end
+    else None
+  in
+  let access = Option.map (fun path -> Jsonlog.open_file path) config.access_log in
   let srv =
     {
       config;
@@ -777,6 +913,12 @@ let start config =
       stopping = Atomic.make false;
       inflight_count = Atomic.make 0;
       sink;
+      flight;
+      access;
+      id_prefix =
+        Printf.sprintf "%08Lx"
+          (Int64.logand (Clock.now_ns ()) 0xFFFFFFFFL);
+      req_seq = Atomic.make 0;
       started_ns = Clock.now_ns ();
       acceptor = None;
       handlers = [];
@@ -805,6 +947,8 @@ let stop srv =
     srv.handlers <- [];
     Pool.shutdown srv.pool;
     if Option.is_some srv.sink then Trace.uninstall ();
+    if Option.is_some srv.flight then Flight.disarm ();
+    Option.iter Jsonlog.close srv.access;
     close_quietly srv.lsock;
     Option.iter
       (fun store ->
@@ -830,6 +974,13 @@ let run config =
        match config.cache_dir with
        | Some dir -> "memory+disk:" ^ dir
        | None -> "memory");
+  if Option.is_some srv.flight then begin
+    let path = Flight.install_sigusr1 () in
+    Printf.printf
+      "# flight recorder armed (%d events/shard); SIGUSR1 dumps to %s, \
+       live at GET /debug/flight\n%!"
+      config.flight_capacity path
+  end;
   while not (Atomic.get stop_requested) do
     (try Thread.delay 0.1 with Unix.Unix_error (EINTR, _, _) -> ())
   done;

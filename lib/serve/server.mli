@@ -13,10 +13,23 @@
     - [/pareto] — [/sweep] plus the non-dominated front.
     - [/check] — synthesize then run every {!Pchls_analysis} checker.
     - [/preflight] — static bounds and infeasibility certificates only.
-    - [GET /metrics] — the {!Pchls_obs.Metrics} registry as JSON.
+    - [GET /metrics] — the {!Pchls_obs.Metrics} registry as JSON, or as
+      Prometheus text exposition under [Accept: text/plain] (or
+      [?format=prometheus]).
     - [GET /trace] — Chrome trace_event JSON of the run so far (404
       unless the server was started with [trace = true]).
-    - [GET /healthz] — liveness: status, uptime, in-flight count.
+    - [GET /debug/flight] — the always-on {!Pchls_obs.Flight} recorder's
+      retained ring as Chrome trace_event JSON (404 when started with
+      [flight_capacity = 0]).
+    - [GET /healthz] — liveness: status, version, uptime, in-flight
+      count, pool size, flight-recorder and cache stats.
+
+    Every response carries an [x-request-id] header — the client's
+    [X-Request-Id] when it sent a well-formed one, else generated — and
+    the same id appears in that request's trace spans
+    ([serve.request]) and, when [access_log] is set, in its JSON-lines
+    access-log record ({!Pchls_obs.Log}; requests at or above [slow_ms]
+    log as [slow-request] at Warn).
 
     Request bodies are JSON objects: exactly one graph source
     ([{"benchmark": "hal"}], [{"dfg": "<Text_format>"}] or
@@ -42,6 +55,9 @@
     answered with 500) wire the server into the {!Pchls_resil.Fault}
     chaos machinery. *)
 
+(** The server's version string, surfaced in [/healthz]. *)
+val version : string
+
 type config = {
   host : string;  (** bind address, default ["127.0.0.1"] *)
   port : int;  (** 0 picks an ephemeral port (see {!port}) *)
@@ -55,6 +71,13 @@ type config = {
       (** server-side ceiling on (and default for) per-request budgets *)
   max_body_bytes : int;  (** request body cap, → 413 *)
   trace : bool;  (** install a process-wide sink serving [GET /trace] *)
+  flight_capacity : int;
+      (** per-shard ring size of the always-on {!Pchls_obs.Flight}
+          recorder; [0] disarms it (and 404s [GET /debug/flight]) *)
+  access_log : string option;
+      (** JSON-lines access log path; ["-"] = stdout; [None] = off *)
+  slow_ms : float;
+      (** requests at or above this log as [slow-request] at Warn *)
 }
 
 val default_config : config

@@ -1,0 +1,51 @@
+Request-scoped telemetry, end to end: the probe starts a real server on
+an ephemeral port and pins the /healthz document shape (numbers redacted
+to <n>), the x-request-id echo, Prometheus content negotiation on
+GET /metrics, the live flight-recorder dump at GET /debug/flight, the
+SIGUSR1 dump and the JSON-lines access log.
+
+  $ pchls-serve-probe
+  healthz: 200 {"status":"ok","version":"1.0.0","uptime_s":"<n>","inflight":"<n>","pool":{"jobs":"<n>","threads":"<n>"},"flight":{"retained":"<n>","recorded":"<n>","dropped":"<n>"},"cache":{"hits":"<n>","misses":"<n>","stores":"<n>","evictions":"<n>","entries":"<n>"}}
+  request-id echoed: cram-rid-1
+  metrics: 200 text/plain; version=0.0.4; charset=utf-8 valid-prometheus
+  debug/flight: 200 valid-chrome-trace
+  synth: 200 feasible=true
+  sigusr1: dumped flight-sig.json
+  access-log: 4 records, ids=true statuses=true
+
+The SIGUSR1 dump is a well-formed Chrome trace by the CLI's own strict
+validator, and the offline tree renderer accepts it:
+
+  $ pchls trace validate flight-sig.json | sed 's/, [0-9]* events/, N events/'
+  flight-sig.json: valid Chrome trace, N events
+
+  $ pchls trace tree flight-sig.json | grep -c 'serve.request' > /dev/null && echo has-serve-spans
+  has-serve-spans
+
+A synthesis run can arm the same recorder from the CLI; the validator and
+renderer accept what `--trace` writes too:
+
+  $ pchls synth -b hal -t 8 -p 90 --trace run.json > /dev/null
+  $ pchls trace tree run.json | head -n 2 | awk '{print $1, $NF}'
+  domain 0
+  engine.run [graph=hal]
+
+The Prometheus checker is exposed as `pchls metrics validate`:
+
+  $ cat > ok.prom << 'EOF'
+  > # TYPE pchls_demo_total counter
+  > pchls_demo_total 3
+  > EOF
+  $ pchls metrics validate ok.prom
+  ok.prom: valid Prometheus exposition, 1 samples
+
+  $ cat > bad.prom << 'EOF'
+  > # TYPE h histogram
+  > h_bucket{le="1"} 5
+  > h_bucket{le="+Inf"} 3
+  > h_sum 1
+  > h_count 3
+  > EOF
+  $ pchls metrics validate bad.prom
+  bad.prom: invalid exposition: histogram h: bucket counts are not cumulative
+  [1]

@@ -7,6 +7,9 @@ module Trace = Pchls_obs.Trace
 module Metrics = Pchls_obs.Metrics
 module Json = Pchls_obs.Json
 module Clock = Pchls_obs.Clock
+module Event = Pchls_obs.Event
+module Flight = Pchls_obs.Flight
+module Log = Pchls_obs.Log
 module Pool = Pchls_par.Pool
 module Engine = Pchls_core.Engine
 module Explore = Pchls_core.Explore
@@ -30,6 +33,33 @@ let test_clock_monotonic () =
       go t (n - 1)
   in
   go (Clock.now_ns ()) 1000
+
+(* Handler threads in lib/serve sample the clock concurrently; the CAS
+   monotonizer must keep it strictly increasing per thread and globally
+   collision-free even within one gettimeofday quantum. *)
+let test_clock_monotonic_across_threads () =
+  let threads = 4 and samples = 500 in
+  let per_thread = Array.make threads [||] in
+  let worker i () =
+    per_thread.(i) <- Array.init samples (fun _ -> Clock.now_ns ())
+  in
+  let ths = Array.init threads (fun i -> Thread.create (worker i) ()) in
+  Array.iter Thread.join ths;
+  Array.iteri
+    (fun i ts ->
+      for j = 1 to samples - 1 do
+        if Int64.compare ts.(j) ts.(j - 1) <= 0 then
+          Alcotest.fail
+            (Printf.sprintf "thread %d: sample %d not increasing" i j)
+      done)
+    per_thread;
+  let all =
+    Array.to_list per_thread |> List.concat_map Array.to_list
+    |> List.sort_uniq Int64.compare
+  in
+  Alcotest.(check int)
+    "no two threads ever observe the same tick" (threads * samples)
+    (List.length all)
 
 (* --- spans --------------------------------------------------------------- *)
 
@@ -183,11 +213,118 @@ let prop_counter_domain_safe =
       Metrics.counter_value c - before
       = List.fold_left ( + ) 0 increments)
 
+(* --- flight recorder ----------------------------------------------------- *)
+
+let instant_ev ?(tid = 0) name =
+  {
+    Event.name;
+    cat = "test";
+    phase = Event.Instant;
+    ts_ns = Clock.now_ns ();
+    tid;
+    args = [];
+  }
+
+let test_flight_ring_bounds () =
+  let f = Flight.create ~capacity:8 () in
+  Alcotest.(check bool) "not armed before with_armed" false (Flight.armed ());
+  Flight.with_armed f (fun () ->
+      Alcotest.(check bool) "armed inside" true (Flight.armed ());
+      for i = 1 to 20 do
+        Flight.record (instant_ev (Printf.sprintf "ev%d" i))
+      done);
+  Alcotest.(check bool) "disarmed after" false (Flight.armed ());
+  Alcotest.(check int) "every record counted" 20 (Flight.recorded f);
+  Alcotest.(check int) "ring keeps only the newest" 8 (Flight.retained f);
+  Alcotest.(check int) "the rest are accounted as dropped" 12
+    (Flight.dropped f);
+  let names = List.map (fun e -> e.Event.name) (Flight.events f) in
+  Alcotest.(check (list string))
+    "retained events are the most recent, in order"
+    [ "ev13"; "ev14"; "ev15"; "ev16"; "ev17"; "ev18"; "ev19"; "ev20" ]
+    names;
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "timestamps relative to the recorder epoch" true
+        (Int64.compare e.Event.ts_ns 0L >= 0))
+    (Flight.events f)
+
+let test_flight_records_synthesis () =
+  let f = Flight.create () in
+  (match
+     Flight.with_armed f (fun () ->
+         Alcotest.(check bool) "flight alone => observed" true
+           (Trace.observed ());
+         Alcotest.(check bool) "but no sink is installed" false
+           (Trace.enabled ());
+         Engine.run ~library:Library.default ~time_limit:17 ~power_limit:10.
+           hal)
+   with
+  | Engine.Synthesized _ -> ()
+  | Engine.Infeasible { reason } -> Alcotest.fail reason);
+  let names = List.map (fun e -> e.Event.name) (Flight.events f) in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) (expected ^ " recorded in flight") true
+        (List.mem expected names))
+    [ "engine.run"; "engine.iterate"; "pasap.run"; "palap.run" ];
+  match Trace.validate_chrome (Flight.to_chrome f) with
+  | Ok n -> Alcotest.(check int) "flight dump validates" (Flight.retained f) n
+  | Error msg -> Alcotest.fail ("flight dump invalid: " ^ msg)
+
+let test_flight_crash_dump () =
+  let path = Filename.temp_file "pchls_crash" ".json" in
+  Flight.set_crash_path path;
+  let f = Flight.create ~capacity:64 () in
+  Flight.with_armed f (fun () ->
+      Flight.record (instant_ev "before-crash");
+      Flight.note_crash ~origin:"test.crash" (Failure "boom"));
+  (* Restore the default so later tests (and crashes) don't write here. *)
+  Flight.set_crash_path "pchls-flight-crash.json";
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  (match Trace.validate_chrome text with
+  | Ok n -> Alcotest.(check bool) "crash dump has events" true (n >= 2)
+  | Error msg -> Alcotest.fail ("crash dump invalid: " ^ msg));
+  let events = Result.get_ok (Event.of_chrome text) in
+  let crash =
+    List.find (fun e -> e.Event.name = "flight.crash") events
+  in
+  Alcotest.(check (option string))
+    "crash event names its origin" (Some "test.crash")
+    (List.assoc_opt "origin" crash.Event.args);
+  Alcotest.(check bool) "crash event carries the exception" true
+    (match List.assoc_opt "exn" crash.Event.args with
+    | Some s -> String.length s > 0
+    | None -> false)
+
+(* pchls trace tree FILE.json renders a saved trace identically to the
+   live renderer: to_chrome >> of_chrome >> Event.render_tree is the
+   identity on the tree. *)
+let test_offline_tree_roundtrip () =
+  let sink = Trace.make () in
+  Trace.with_sink sink (fun () ->
+      Trace.span "outer" (fun () ->
+          Trace.span ~cat:"x" "inner" (fun () ->
+              Trace.instant ~args:[ ("k", "v") ] "tick")));
+  let offline =
+    match Event.of_chrome (Trace.to_chrome sink) with
+    | Ok evs -> Event.render_tree evs
+    | Error msg -> Alcotest.fail ("round-trip parse failed: " ^ msg)
+  in
+  Alcotest.(check string)
+    "offline tree equals the live one" (Trace.render_tree sink) offline
+
 (* --- zero-observer path -------------------------------------------------- *)
 
 let test_no_sink_records_nothing () =
   Alcotest.(check bool) "tracing off" false (Trace.enabled ());
+  Alcotest.(check bool) "flight disarmed" false (Flight.armed ());
+  Alcotest.(check bool) "nothing observes" false (Trace.observed ());
   let before = Trace.total_recorded () in
+  let flight_before = Flight.total_recorded () in
   (match
      Engine.run ~library:Library.default ~time_limit:17 ~power_limit:10. hal
    with
@@ -195,7 +332,141 @@ let test_no_sink_records_nothing () =
   | Engine.Infeasible { reason } -> Alcotest.fail reason);
   Alcotest.(check int)
     "an untraced synthesis allocates no trace events" before
-    (Trace.total_recorded ())
+    (Trace.total_recorded ());
+  Alcotest.(check int)
+    "and records nothing into any flight ring" flight_before
+    (Flight.total_recorded ())
+
+(* --- Prometheus text exposition ------------------------------------------ *)
+
+let test_prometheus_exposition () =
+  Metrics.reset ();
+  Metrics.incr ~by:3 (Metrics.counter "obs_test.prom_requests");
+  Metrics.set (Metrics.gauge "obs_test.prom_inflight") 2.;
+  let h = Metrics.histogram ~buckets:[ 10.; 100. ] "obs_test.prom_lat" in
+  List.iter (Metrics.observe h) [ 5.; 50.; 500. ];
+  let text = Metrics.to_prometheus () in
+  (match Metrics.validate_prometheus text with
+  | Ok n -> Alcotest.(check bool) "checker counts samples" true (n > 0)
+  | Error msg -> Alcotest.fail ("own exposition rejected: " ^ msg));
+  let has needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("exposition contains " ^ needle) true (has needle))
+    [
+      "# TYPE pchls_obs_test_prom_requests_total counter";
+      "pchls_obs_test_prom_requests_total 3";
+      "# TYPE pchls_obs_test_prom_inflight gauge";
+      "pchls_obs_test_prom_inflight 2";
+      "# TYPE pchls_obs_test_prom_lat histogram";
+      "pchls_obs_test_prom_lat_bucket{le=\"10\"} 1";
+      "pchls_obs_test_prom_lat_bucket{le=\"100\"} 2";
+      "pchls_obs_test_prom_lat_bucket{le=\"+Inf\"} 3";
+      "pchls_obs_test_prom_lat_sum 555";
+      "pchls_obs_test_prom_lat_count 3";
+    ]
+
+let test_prometheus_validator_rejects () =
+  let reject text =
+    match Metrics.validate_prometheus text with
+    | Ok _ -> Alcotest.fail ("accepted: " ^ text)
+    | Error _ -> ()
+  in
+  reject "1bad_name 3\n";
+  reject "# TYPE x frobnicator\nx 1\n";
+  reject "x{le=\"unterminated} 1\n";
+  reject "x nan-ish\n";
+  (* Cumulative buckets must be non-decreasing and end at +Inf. *)
+  reject
+    "# TYPE h histogram\n\
+     h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n";
+  reject "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n";
+  (* _count must agree with the +Inf bucket. *)
+  reject
+    "# TYPE h histogram\n\
+     h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 4\n";
+  match
+    Metrics.validate_prometheus
+      "# TYPE h histogram\n\
+       h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 5\nh_sum 1.5\nh_count 5\n"
+  with
+  | Ok n -> Alcotest.(check int) "well-formed histogram accepted" 4 n
+  | Error msg -> Alcotest.fail ("rejected well-formed histogram: " ^ msg)
+
+let test_reset_zeroes_gauges () =
+  let g = Metrics.gauge "obs_test.reset_gauge" in
+  Metrics.set g 7.5;
+  Alcotest.(check (float 0.)) "set" 7.5 (Metrics.gauge_value g);
+  Metrics.reset ();
+  Alcotest.(check (float 0.))
+    "reset returns gauges to zero, not to their last value" 0.
+    (Metrics.gauge_value g)
+
+(* --- structured JSON-lines log ------------------------------------------- *)
+
+let test_log_json_lines () =
+  let path = Filename.temp_file "pchls_log" ".jsonl" in
+  let log = Log.open_file ~level:Log.Info path in
+  Log.log log Log.Info
+    ~fields:[ ("request_id", Json.String "r-1"); ("status", Json.Number 200.) ]
+    "access";
+  Log.log log Log.Debug "filtered out";
+  Log.log log Log.Error "boom";
+  Log.close log;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  let lines = List.rev !lines in
+  Alcotest.(check int) "debug line filtered below Info" 2 (List.length lines);
+  let parsed =
+    List.map
+      (fun line ->
+        match Json.parse line with
+        | Ok (Json.Obj fields) -> fields
+        | Ok _ -> Alcotest.fail "log line is not a JSON object"
+        | Error msg -> Alcotest.fail ("log line unparseable: " ^ msg))
+      lines
+  in
+  let first = List.nth parsed 0 and second = List.nth parsed 1 in
+  Alcotest.(check bool) "every line has a ts" true
+    (List.for_all (fun f -> List.mem_assoc "ts" f) parsed);
+  Alcotest.(check (option string))
+    "msg" (Some "access")
+    (match List.assoc_opt "msg" first with
+    | Some (Json.String s) -> Some s
+    | _ -> None);
+  Alcotest.(check (option string))
+    "structured field survives" (Some "r-1")
+    (match List.assoc_opt "request_id" first with
+    | Some (Json.String s) -> Some s
+    | _ -> None);
+  Alcotest.(check (option string))
+    "level rendered" (Some "error")
+    (match List.assoc_opt "level" second with
+    | Some (Json.String s) -> Some s
+    | _ -> None)
+
+let test_log_level_parsing () =
+  Alcotest.(check bool) "warning is an alias for warn" true
+    (Log.level_of_string "WARNING" = Some Log.Warn);
+  Alcotest.(check bool) "unknown level rejected" true
+    (Log.level_of_string "loud" = None);
+  List.iter
+    (fun lvl ->
+      Alcotest.(check bool)
+        ("round-trips " ^ Log.level_to_string lvl)
+        true
+        (Log.level_of_string (Log.level_to_string lvl) = Some lvl))
+    [ Log.Debug; Log.Info; Log.Warn; Log.Error ]
 
 (* --- integration: a traced cache-backed synthesis ------------------------ *)
 
@@ -227,7 +498,12 @@ let test_traced_synthesis_spans () =
 let () =
   Alcotest.run "obs"
     [
-      ("clock", [ Alcotest.test_case "monotonic" `Quick test_clock_monotonic ]);
+      ( "clock",
+        [
+          Alcotest.test_case "monotonic" `Quick test_clock_monotonic;
+          Alcotest.test_case "monotonic across threads" `Quick
+            test_clock_monotonic_across_threads;
+        ] );
       ( "trace",
         [
           Alcotest.test_case "nesting and order" `Quick
@@ -244,7 +520,28 @@ let () =
           Alcotest.test_case "bucket boundaries" `Quick
             test_histogram_bucket_boundaries;
           Alcotest.test_case "kind mismatch" `Quick test_metric_kind_mismatch;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_prometheus_exposition;
+          Alcotest.test_case "prometheus validator rejects" `Quick
+            test_prometheus_validator_rejects;
+          Alcotest.test_case "reset zeroes gauges" `Quick
+            test_reset_zeroes_gauges;
           QCheck_alcotest.to_alcotest prop_counter_domain_safe;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "ring bounds and drop accounting" `Quick
+            test_flight_ring_bounds;
+          Alcotest.test_case "records a synthesis" `Quick
+            test_flight_records_synthesis;
+          Alcotest.test_case "crash dump" `Quick test_flight_crash_dump;
+          Alcotest.test_case "offline tree round-trip" `Quick
+            test_offline_tree_roundtrip;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "json lines" `Quick test_log_json_lines;
+          Alcotest.test_case "level parsing" `Quick test_log_level_parsing;
         ] );
       ( "pipeline",
         [

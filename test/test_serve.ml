@@ -10,6 +10,9 @@ module Server = Pchls_serve.Server
 module Store = Pchls_cache.Store
 module Json = Pchls_obs.Json
 module Metrics = Pchls_obs.Metrics
+module Event = Pchls_obs.Event
+module Flight = Pchls_obs.Flight
+module Trace = Pchls_obs.Trace
 
 (* --- HTTP parser -------------------------------------------------------- *)
 
@@ -319,15 +322,18 @@ let send_string sock s =
   in
   go 0
 
-let format_request ~meth ~path ~keep_alive body =
-  Printf.sprintf "%s %s HTTP/1.1\r\nhost: t\r\ncontent-length: %d\r\n%s\r\n%s"
+let format_request ?(headers = []) ~meth ~path ~keep_alive body =
+  Printf.sprintf "%s %s HTTP/1.1\r\nhost: t\r\ncontent-length: %d\r\n%s%s\r\n%s"
     meth path (String.length body)
+    (String.concat ""
+       (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers))
     (if keep_alive then "" else "connection: close\r\n")
     body
 
 (* Read one Content-Length-framed response off the socket; leftover bytes
-   stay in [buf] for the next response on a kept-alive connection. *)
-let recv_response sock buf =
+   stay in [buf] for the next response on a kept-alive connection. Returns
+   the status, the raw header block and the body. *)
+let recv_response_full sock buf =
   let chunk = Bytes.create 4096 in
   let refill () =
     match Unix.read sock chunk 0 4096 with
@@ -383,13 +389,36 @@ let recv_response sock buf =
   in
   Buffer.clear buf;
   Buffer.add_string buf rest;
+  (status, head, body)
+
+let recv_response sock buf =
+  let status, _, body = recv_response_full sock buf in
   (status, body)
 
-let request srv ~meth ~path body =
+(* First value of [name] in a raw response header block, if any. *)
+let header_value head name =
+  let lower = String.lowercase_ascii head in
+  let tag = String.lowercase_ascii name ^ ":" in
+  let tl = String.length tag in
+  let rec search i =
+    if i + tl > String.length lower then None
+    else if String.sub lower i tl = tag then
+      let start = i + tl in
+      let rest = String.sub head start (String.length head - start) in
+      Some (String.trim (List.hd (String.split_on_char '\r' rest)))
+    else search (i + 1)
+  in
+  search 0
+
+let request_full srv ?headers ~meth ~path body =
   let sock = connect (Server.port srv) in
   Fun.protect ~finally:(fun () -> Unix.close sock) @@ fun () ->
-  send_string sock (format_request ~meth ~path ~keep_alive:false body);
-  recv_response sock (Buffer.create 1024)
+  send_string sock (format_request ?headers ~meth ~path ~keep_alive:false body);
+  recv_response_full sock (Buffer.create 1024)
+
+let request srv ~meth ~path body =
+  let status, _, body = request_full srv ~meth ~path body in
+  (status, body)
 
 let json_field name body =
   match Json.parse body with
@@ -400,9 +429,32 @@ let test_healthz () =
   with_server @@ fun srv ->
   let status, body = request srv ~meth:"GET" ~path:"/healthz" "" in
   Alcotest.(check int) "200" 200 status;
-  match json_field "status" body with
+  (match json_field "status" body with
   | Some (Json.String "ok") -> ()
-  | _ -> Alcotest.fail ("healthz body: " ^ body)
+  | _ -> Alcotest.fail ("healthz body: " ^ body));
+  (match json_field "version" body with
+  | Some (Json.String v) ->
+    Alcotest.(check string) "version surfaced" Server.version v
+  | _ -> Alcotest.fail ("healthz without version: " ^ body));
+  (match json_field "uptime_s" body with
+  | Some (Json.Number s) ->
+    Alcotest.(check bool) "uptime non-negative" true (s >= 0.)
+  | _ -> Alcotest.fail ("healthz without uptime_s: " ^ body));
+  (match json_field "pool" body with
+  | Some pool -> (
+    match (Json.member "jobs" pool, Json.member "threads" pool) with
+    | Some (Json.Number jobs), Some (Json.Number threads) ->
+      Alcotest.(check (pair int int))
+        "pool shape" (1, 4)
+        (int_of_float jobs, int_of_float threads)
+    | _ -> Alcotest.fail ("healthz pool shape: " ^ body))
+  | None -> Alcotest.fail ("healthz without pool: " ^ body));
+  match json_field "flight" body with
+  | Some flight -> (
+    match Json.member "retained" flight with
+    | Some (Json.Number _) -> ()
+    | _ -> Alcotest.fail ("healthz flight shape: " ^ body))
+  | None -> Alcotest.fail ("healthz without flight: " ^ body)
 
 let test_synth_statuses () =
   with_server @@ fun srv ->
@@ -555,6 +607,184 @@ let test_graceful_shutdown () =
     Alcotest.fail "listener must be closed after stop"
   | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ()
 
+(* --- request-scoped telemetry -------------------------------------------- *)
+
+let test_request_id_on_every_response () =
+  with_server @@ fun srv ->
+  let _, head, _ = request_full srv ~meth:"GET" ~path:"/healthz" "" in
+  (match header_value head "x-request-id" with
+  | Some id -> Alcotest.(check bool) "generated id non-empty" true (id <> "")
+  | None -> Alcotest.fail "no x-request-id on a 200");
+  let _, head404, _ = request_full srv ~meth:"GET" ~path:"/nope" "" in
+  (match header_value head404 "x-request-id" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "no x-request-id on a 404");
+  let _, head_echo, _ =
+    request_full srv
+      ~headers:[ ("X-Request-Id", "client-id-42") ]
+      ~meth:"GET" ~path:"/healthz" ""
+  in
+  Alcotest.(check (option string))
+    "well-formed client id echoed" (Some "client-id-42")
+    (header_value head_echo "x-request-id");
+  let _, head_bad, _ =
+    request_full srv
+      ~headers:[ ("X-Request-Id", String.make 200 'a') ]
+      ~meth:"GET" ~path:"/healthz" ""
+  in
+  match header_value head_bad "x-request-id" with
+  | Some id ->
+    Alcotest.(check bool) "oversized client id replaced" true
+      (String.length id <= 64)
+  | None -> Alcotest.fail "no x-request-id when the client id is rejected"
+
+let test_request_id_in_flight_trace () =
+  with_server @@ fun srv ->
+  let _, head, _ =
+    request_full srv
+      ~headers:[ ("X-Request-Id", "rid-traced-7") ]
+      ~meth:"GET" ~path:"/healthz" ""
+  in
+  Alcotest.(check (option string))
+    "id echoed" (Some "rid-traced-7")
+    (header_value head "x-request-id");
+  let recorder =
+    match Flight.current () with
+    | Some f -> f
+    | None -> Alcotest.fail "server must arm the flight recorder by default"
+  in
+  let spans =
+    List.filter (fun e -> e.Event.name = "serve.request")
+      (Flight.events recorder)
+  in
+  Alcotest.(check bool) "serve.request span recorded in flight" true
+    (spans <> []);
+  Alcotest.(check bool) "the span carries the request id" true
+    (List.exists
+       (fun e ->
+         List.assoc_opt "request_id" e.Event.args = Some "rid-traced-7")
+       spans)
+
+let test_metrics_prometheus_negotiation () =
+  with_server @@ fun srv ->
+  let sock = connect (Server.port srv) in
+  Fun.protect ~finally:(fun () -> Unix.close sock) @@ fun () ->
+  send_string sock
+    (format_request
+       ~headers:[ ("Accept", "text/plain") ]
+       ~meth:"GET" ~path:"/metrics" ~keep_alive:false "");
+  let status, head, body = recv_response_full sock (Buffer.create 4096) in
+  Alcotest.(check int) "prometheus 200" 200 status;
+  (match header_value head "content-type" with
+  | Some ct ->
+    Alcotest.(check string) "prometheus content type"
+      "text/plain; version=0.0.4; charset=utf-8" ct
+  | None -> Alcotest.fail "no content-type");
+  (match Metrics.validate_prometheus body with
+  | Ok n -> Alcotest.(check bool) "exposition has samples" true (n > 0)
+  | Error msg -> Alcotest.fail ("served exposition invalid: " ^ msg));
+  (* ?format=prometheus forces the text form without an Accept header. *)
+  let status, body = request srv ~meth:"GET" ~path:"/metrics?format=prometheus" "" in
+  Alcotest.(check int) "forced prometheus 200" 200 status;
+  match Metrics.validate_prometheus body with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail ("forced exposition invalid: " ^ msg)
+
+let test_debug_flight_endpoint () =
+  with_server @@ fun srv ->
+  ignore (request srv ~meth:"GET" ~path:"/healthz" "");
+  let status, body = request srv ~meth:"GET" ~path:"/debug/flight" "" in
+  Alcotest.(check int) "flight 200 by default" 200 status;
+  (match Trace.validate_chrome body with
+  | Ok n -> Alcotest.(check bool) "live flight dump validates" true (n > 0)
+  | Error msg -> Alcotest.fail ("live flight dump invalid: " ^ msg));
+  Alcotest.(check bool) "requests appear in the live dump" true
+    (match Event.of_chrome body with
+    | Ok evs -> List.exists (fun e -> e.Event.name = "serve.request") evs
+    | Error _ -> false)
+
+let test_debug_flight_disabled () =
+  with_server ~config:{ base_config with Server.flight_capacity = 0 }
+  @@ fun srv ->
+  let status, body = request srv ~meth:"GET" ~path:"/debug/flight" "" in
+  Alcotest.(check int) "flight off -> 404" 404 status;
+  (match json_field "error" body with
+  | Some (Json.String _) -> ()
+  | _ -> Alcotest.fail ("flight 404 body: " ^ body));
+  let _, health = request srv ~meth:"GET" ~path:"/healthz" "" in
+  match json_field "flight" health with
+  | Some Json.Null -> ()
+  | _ -> Alcotest.fail ("healthz must report flight off: " ^ health)
+
+let test_inflight_gauge_drains_to_zero () =
+  with_server @@ fun srv ->
+  for _ = 1 to 3 do
+    ignore (request srv ~meth:"GET" ~path:"/healthz" "")
+  done;
+  ignore
+    (request srv ~meth:"POST" ~path:"/synth"
+       "{\"benchmark\":\"hal\",\"time\":8,\"power\":60}");
+  (* Metrics.reset would zero it too — the point is that the gauge tracks
+     live requests and returns to zero on its own once they drain. *)
+  Alcotest.(check (float 0.))
+    "serve.inflight back to zero after the requests drain" 0.
+    (Metrics.gauge_value (Metrics.gauge "serve.inflight"))
+
+let test_access_log_lines () =
+  let path = Filename.temp_file "pchls_access" ".jsonl" in
+  with_server
+    ~config:{ base_config with Server.access_log = Some path; slow_ms = 1e9 }
+    (fun srv ->
+      let _, head, _ =
+        request_full srv
+          ~headers:[ ("X-Request-Id", "rid-logged-3") ]
+          ~meth:"GET" ~path:"/healthz" ""
+      in
+      Alcotest.(check (option string))
+        "id echoed" (Some "rid-logged-3")
+        (header_value head "x-request-id");
+      ignore (request srv ~meth:"GET" ~path:"/nope" ""));
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  let records =
+    List.rev_map
+      (fun line ->
+        match Json.parse line with
+        | Ok json -> json
+        | Error msg -> Alcotest.fail ("access line unparseable: " ^ msg))
+      !lines
+  in
+  Alcotest.(check int) "one record per request" 2 (List.length records);
+  let by_path p =
+    match
+      List.find_opt
+        (fun r -> Json.member "path" r = Some (Json.String p))
+        records
+    with
+    | Some r -> r
+    | None -> Alcotest.fail ("no access record for " ^ p)
+  in
+  let health = by_path "/healthz" in
+  (match Json.member "request_id" health with
+  | Some (Json.String "rid-logged-3") -> ()
+  | _ -> Alcotest.fail "access record without the request id");
+  (match Json.member "status" health with
+  | Some (Json.Number 200.) -> ()
+  | _ -> Alcotest.fail "access record without status 200");
+  (match Json.member "dur_ms" health with
+  | Some (Json.Number d) ->
+    Alcotest.(check bool) "duration non-negative" true (d >= 0.)
+  | _ -> Alcotest.fail "access record without dur_ms");
+  match Json.member "status" (by_path "/nope") with
+  | Some (Json.Number 404.) -> ()
+  | _ -> Alcotest.fail "404 not logged"
+
 let () =
   Alcotest.run "serve"
     [
@@ -596,5 +826,21 @@ let () =
           Alcotest.test_case "concurrent identical requests" `Quick
             test_concurrent_identical_requests_run_engine_once;
           Alcotest.test_case "graceful shutdown" `Quick test_graceful_shutdown;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "x-request-id on every response" `Quick
+            test_request_id_on_every_response;
+          Alcotest.test_case "request id in flight trace" `Quick
+            test_request_id_in_flight_trace;
+          Alcotest.test_case "prometheus negotiation" `Quick
+            test_metrics_prometheus_negotiation;
+          Alcotest.test_case "debug flight endpoint" `Quick
+            test_debug_flight_endpoint;
+          Alcotest.test_case "debug flight disabled" `Quick
+            test_debug_flight_disabled;
+          Alcotest.test_case "inflight gauge drains" `Quick
+            test_inflight_gauge_drains_to_zero;
+          Alcotest.test_case "access log lines" `Quick test_access_log_lines;
         ] );
     ]
