@@ -8,21 +8,33 @@
    at that scale scheduler jitter dominates and a ratio is meaningless.
    Sections present on only one side are reported as added/removed and
    do not gate either, so the baseline does not have to be regenerated
-   in the same commit that introduces a new bench. *)
+   in the same commit that introduces a new bench.
+
+   Exit codes: 0 clean, 1 regression, 2 usage error, 3 input file
+   missing or malformed. A missing or unparseable baseline is a wiring
+   problem (uncommitted baseline, wrong artifact path), not a perf
+   regression — CI must be able to tell the two apart from the code
+   alone. *)
 
 module Json = Pchls_obs.Json
 
 let noise_floor_s = 0.05
 let max_regression = 0.25
 
-let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 2) fmt
+let usage_error fmt =
+  Printf.ksprintf (fun msg -> prerr_endline msg; exit 2) fmt
+
+let input_error fmt =
+  Printf.ksprintf
+    (fun msg -> prerr_endline ("compare: bad input: " ^ msg); exit 3)
+    fmt
 
 let load path =
   match In_channel.with_open_text path In_channel.input_all with
-  | exception Sys_error msg -> die "%s" msg
+  | exception Sys_error msg -> input_error "%s" msg
   | text -> (
     match Json.parse text with
-    | Error msg -> die "%s: %s" path msg
+    | Error msg -> input_error "%s: %s" path msg
     | Ok json -> json)
 
 let sections path json =
@@ -35,13 +47,13 @@ let sections path json =
           Some (name, wall_s)
         | _ -> None)
       items
-  | _ -> die "%s: no \"sections\" array" path
+  | _ -> input_error "%s: no \"sections\" array" path
 
 let () =
   let baseline_path, current_path =
     match Sys.argv with
     | [| _; b; c |] -> (b, c)
-    | _ -> die "usage: compare <baseline.json> <current.json>"
+    | _ -> usage_error "usage: compare <baseline.json> <current.json>"
   in
   let baseline = sections baseline_path (load baseline_path) in
   let current = sections current_path (load current_path) in

@@ -1,0 +1,51 @@
+#!/bin/sh
+# Consolidated bench regression gate: re-runs every compare.exe-gated
+# bench section and diffs it against its committed baseline. Adding a
+# gate is one line in the GATES table below. Every section runs even
+# after a failure, so one regression cannot mask another; the summary at
+# the end names each failed section, with compare.exe's per-section diff
+# (or its distinct missing/malformed-baseline message, exit 3) above it.
+#
+# Usage: [DUNE="opam exec -- dune"] sh bench/gate.sh [section ...]
+#   with no arguments every gated section runs; otherwise only the named
+#   ones (e.g. `sh bench/gate.sh scaling` for the nightly smoke).
+set -u
+
+DUNE=${DUNE:-dune}
+
+# section    committed baseline              bench output
+GATES="
+sweep      bench/sweep_baseline.json      BENCH_sweep.json
+preflight  bench/preflight_baseline.json  BENCH_preflight.json
+serve      bench/serve_baseline.json      BENCH_serve.json
+obs        bench/obs_baseline.json        BENCH_obs.json
+scaling    bench/scaling_baseline.json    BENCH_scaling.json
+"
+
+failed=""
+while read -r section baseline current; do
+  [ -z "$section" ] && continue
+  if [ "$#" -gt 0 ]; then
+    case " $* " in
+    *" $section "*) ;;
+    *) continue ;;
+    esac
+  fi
+  echo "==== bench gate: $section ===="
+  if ! $DUNE exec bench/main.exe -- "$section"; then
+    echo "bench gate: $section: bench run itself failed"
+    failed="$failed $section(run)"
+    continue
+  fi
+  if ! $DUNE exec bench/compare.exe -- "$baseline" "$current"; then
+    failed="$failed $section"
+  fi
+done <<EOF
+$GATES
+EOF
+
+if [ -n "$failed" ]; then
+  echo "bench gate FAILED:$failed"
+  exit 1
+fi
+echo "bench gate: all sections ok"

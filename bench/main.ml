@@ -3,8 +3,9 @@
 
    Usage: dune exec bench/main.exe [-- section ...]
    Sections: table1 figure1 figure2 ablation-clique ablation-twostep
-             ablation-policy ablation-battery sweep preflight obs timing
-             (default: all).
+             ablation-policy ablation-battery ablation-fds ablation-shared
+             ablation-rebind ablation-modulo sweep preflight serve obs
+             scaling timing (default: all).
 
    Grid-shaped sections run through the Pchls_par.Pool domain pool and
    append wall-time/grid/cache records to BENCH_sweep.json. *)
@@ -19,6 +20,7 @@ module Profile = Pchls_power.Profile
 module Schedule = Pchls_sched.Schedule
 module Asap = Pchls_sched.Asap
 module Pasap = Pchls_sched.Pasap
+module Palap = Pchls_sched.Palap
 module Two_step = Pchls_sched.Two_step
 module Cgraph = Pchls_compat.Cgraph
 module Clique = Pchls_compat.Clique
@@ -1019,6 +1021,77 @@ let serve_bench () =
     exit 1
   end
 
+(* --- Scaling: 100/1k/10k-node random DFGs ------------------------------ *)
+
+(* Times the hot paths the engine rewrite targets, on fixed-seed
+   [Generator.sized] graphs at 100, 1k and 10k operation nodes: the
+   pasap/palap schedulers on all three legs, the full engine on the 100-
+   and 1k-node legs. The 10k leg is schedulers-only by design — the
+   engine re-validates every commit by re-running both schedulers, so a
+   full 10k run is O(n) scheduler re-runs (minutes of wall time) and
+   tells the gate nothing the 1k leg doesn't. Writes a compare.exe-gated
+   "sections" array to BENCH_scaling.json. *)
+let scaling_bench () =
+  section_header "Scaling: scheduler/engine wall time on sized DFGs (P<=40)";
+  let records = ref [] in
+  let leg ~label ~max_nodes ~seed ~engine =
+    let g = Generator.sized ~seed ~max_nodes () in
+    let info = table1_info g in
+    let latency id = (info id).Schedule.latency in
+    let cp = Graph.critical_path g ~latency in
+    let nodes = Graph.node_count g in
+    let horizon = (cp * 2) + (nodes / 4) in
+    let power_limit = 40. in
+    let add section wall_s extra =
+      records :=
+        Printf.sprintf
+          "    {\"section\": \"%s\", \"wall_s\": %.6f, \"nodes\": %d, \
+           \"horizon\": %d%s}"
+          section wall_s nodes horizon extra
+        :: !records
+    in
+    let sched name run =
+      let outcome, t = timed run in
+      (match outcome with
+      | Pasap.Feasible _ -> ()
+      | Pasap.Infeasible { reason; _ } ->
+        Format.eprintf "scaling: %s-%s infeasible: %s@." name label reason;
+        exit 1);
+      Format.printf "%-14s %8.3fs  (%d nodes, horizon %d)@."
+        (Printf.sprintf "%s-%s" name label)
+        t nodes horizon;
+      add (Printf.sprintf "scaling-%s-%s" name label) t ""
+    in
+    sched "pasap" (fun () -> Pasap.run g ~info ~horizon ~power_limit ());
+    sched "palap" (fun () -> Palap.run g ~info ~horizon ~power_limit ());
+    if engine then
+      let outcome, t =
+        timed (fun () ->
+            Engine.run ~library:Library.default ~time_limit:horizon
+              ~power_limit g)
+      in
+      match outcome with
+      | Engine.Synthesized (_, stats) ->
+        Format.printf "%-14s %8.3fs  (%a)@."
+          (Printf.sprintf "engine-%s" label)
+          t Engine.pp_stats stats;
+        add
+          (Printf.sprintf "scaling-engine-%s" label)
+          t
+          (Printf.sprintf ", \"decisions\": %d" stats.Engine.decisions)
+      | Engine.Infeasible { reason } ->
+        Format.eprintf "scaling: engine-%s infeasible: %s@." label reason;
+        exit 1
+  in
+  leg ~label:"100" ~max_nodes:100 ~seed:2 ~engine:true;
+  leg ~label:"1k" ~max_nodes:1000 ~seed:2 ~engine:true;
+  leg ~label:"10k" ~max_nodes:10000 ~seed:2 ~engine:false;
+  let oc = open_out "BENCH_scaling.json" in
+  Printf.fprintf oc "{\n  \"sections\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.rev !records));
+  close_out oc;
+  Format.printf "@.wrote BENCH_scaling.json@."
+
 (* --- Timing ------------------------------------------------------------- *)
 
 let timing () =
@@ -1094,6 +1167,7 @@ let sections =
     ("preflight", preflight_bench);
     ("serve", serve_bench);
     ("obs", obs_bench);
+    ("scaling", scaling_bench);
     ("timing", timing);
   ]
 

@@ -27,6 +27,12 @@ val add_edge : t -> int -> int -> float -> unit
 (** [remove_edge g u v] makes the pair incompatible again. *)
 val remove_edge : t -> int -> int -> unit
 
+(** [remove_vertex g u] removes every edge incident to [u] in
+    O(degree u) — the incremental invalidation the synthesis engine runs
+    after committing a clique, instead of rebuilding the graph.
+    @raise Invalid_argument if [u] is out of range. *)
+val remove_vertex : t -> int -> unit
+
 val compatible : t -> int -> int -> bool
 val weight : t -> int -> int -> float option
 
@@ -37,6 +43,10 @@ val edge_count : t -> int
 
 (** [neighbours g u] lists the vertices compatible with [u], increasing. *)
 val neighbours : t -> int -> int list
+
+(** [iter_neighbours g u f] applies [f] to each neighbour of [u] in
+    increasing order without allocating the list. *)
+val iter_neighbours : t -> int -> (int -> unit) -> unit
 
 (** [is_clique g vs] checks all pairs of [vs] are compatible. *)
 val is_clique : t -> int list -> bool

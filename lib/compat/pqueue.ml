@@ -1,0 +1,77 @@
+(* Classic binary heap in a manually-grown array (no Dynarray — the CI
+   matrix still builds on OCaml 5.1). Slot 0 is the root; children of [i]
+   are [2i+1] and [2i+2]. Slots above [len] hold a copy of some previously
+   pushed element as type-correct filler; they are never read. *)
+
+type 'a t = { cmp : 'a -> 'a -> int; mutable data : 'a array; mutable len : int }
+
+let create ~cmp = { cmp; data = [||]; len = 0 }
+let length q = q.len
+let is_empty q = q.len = 0
+
+let grow q x =
+  (* First push stores the element itself as filler, so the array never
+     holds a value of the wrong type. *)
+  let cap = Array.length q.data in
+  if q.len >= cap then begin
+    let ncap = max 8 (2 * cap) in
+    let data = Array.make ncap x in
+    Array.blit q.data 0 data 0 q.len;
+    q.data <- data
+  end
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if q.cmp q.data.(i) q.data.(parent) < 0 then begin
+      let tmp = q.data.(i) in
+      q.data.(i) <- q.data.(parent);
+      q.data.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.len && q.cmp q.data.(l) q.data.(!smallest) < 0 then smallest := l;
+  if r < q.len && q.cmp q.data.(r) q.data.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    let tmp = q.data.(i) in
+    q.data.(i) <- q.data.(!smallest);
+    q.data.(!smallest) <- tmp;
+    sift_down q !smallest
+  end
+
+let add q x =
+  grow q x;
+  q.data.(q.len) <- x;
+  q.len <- q.len + 1;
+  sift_up q (q.len - 1)
+
+let peek q = if q.len = 0 then None else Some q.data.(0)
+
+let pop q =
+  if q.len = 0 then None
+  else begin
+    let top = q.data.(0) in
+    q.len <- q.len - 1;
+    if q.len > 0 then begin
+      q.data.(0) <- q.data.(q.len);
+      sift_down q 0
+    end;
+    Some top
+  end
+
+let clear q = q.len <- 0
+
+let of_list ~cmp xs =
+  match xs with
+  | [] -> create ~cmp
+  | _ ->
+    let data = Array.of_list xs in
+    let q = { cmp; data; len = Array.length data } in
+    for i = (q.len / 2) - 1 downto 0 do
+      sift_down q i
+    done;
+    q

@@ -1,0 +1,30 @@
+(** Mutable array-backed binary min-heaps.
+
+    The ordering is supplied at creation, so "min" means least under that
+    comparison — pass a reversed comparison for a max-heap. Elements compare
+    equal under [cmp] pop in unspecified relative order; callers needing a
+    total order must encode the tie-break in [cmp] itself (both schedulers
+    and the engine do). Push and pop are O(log n); peek is O(1). *)
+
+type 'a t
+
+(** [create ~cmp] is an empty heap ordered by [cmp]. *)
+val create : cmp:('a -> 'a -> int) -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [add q x] pushes [x]. *)
+val add : 'a t -> 'a -> unit
+
+(** [peek q] is the least element, without removing it. *)
+val peek : 'a t -> 'a option
+
+(** [pop q] removes and returns the least element. *)
+val pop : 'a t -> 'a option
+
+(** [clear q] drops every element, keeping the backing storage. *)
+val clear : 'a t -> unit
+
+(** [of_list ~cmp xs] heapifies [xs] in O(n). *)
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t

@@ -380,56 +380,59 @@ let gain_of st = function
     in
     saved -. upgrade_cost -. mux_penalty st op
 
-let merge_candidates st pasap palap op =
+(* Best merge of [op] onto one specific [inst], or [None]. Split out from
+   the all-instances enumeration so the candidate store can evaluate a
+   single (operation, instance) entry on demand. *)
+let merge_candidate st pasap palap op inst =
   let kind = Graph.kind st.g op in
   let locked_at = Hashtbl.find_opt st.locked_times op in
-  List.filter_map
-    (fun inst ->
-      let same_spec_ok = Module_spec.implements inst.spec kind in
-      let consider (m : Module_spec.t) retype =
-        let d = m.Module_spec.latency in
-        let lo = earliest_start st pasap ?trial:(Option.map (fun r -> (inst, r)) retype) op in
-        let hi = deadline st palap op - d in
-        let lo, hi =
-          match (st.time_locked, locked_at) with
-          | true, Some t -> (max lo t, min hi t)
-          | true, None | false, _ -> (lo, hi)
-        in
-        if st.time_locked && not (Module_spec.equal m (Hashtbl.find st.default_spec op))
-        then None (* locked mode must not change the power profile shape *)
-        else
-          let placements =
-            if (not st.time_locked) && prefer_late st op then
-              [ latest_slot inst ~d ~lo ~hi; earliest_slot inst ~d ~lo ~hi ]
-            else [ earliest_slot inst ~d ~lo ~hi ]
-          in
-          List.find_map
-            (fun slot ->
-              match slot with
-              | None -> None
-              | Some start ->
-                if
-                  power_precheck st inst retype ~start ~d
-                    ~power:m.Module_spec.power
-                then Some (Merge { op; inst; start; retype })
-                else None)
-            placements
+  let same_spec_ok = Module_spec.implements inst.spec kind in
+  let consider (m : Module_spec.t) retype =
+    let d = m.Module_spec.latency in
+    let lo = earliest_start st pasap ?trial:(Option.map (fun r -> (inst, r)) retype) op in
+    let hi = deadline st palap op - d in
+    let lo, hi =
+      match (st.time_locked, locked_at) with
+      | true, Some t -> (max lo t, min hi t)
+      | true, None | false, _ -> (lo, hi)
+    in
+    if st.time_locked && not (Module_spec.equal m (Hashtbl.find st.default_spec op))
+    then None (* locked mode must not change the power profile shape *)
+    else
+      let placements =
+        if (not st.time_locked) && prefer_late st op then
+          [ latest_slot inst ~d ~lo ~hi; earliest_slot inst ~d ~lo ~hi ]
+        else [ earliest_slot inst ~d ~lo ~hi ]
       in
-      if same_spec_ok then consider inst.spec None
-      else if st.time_locked then None
-      else
-        let kinds =
-          kind
-          :: List.map (fun (q, _) -> Graph.kind st.g q) inst.placed
-          |> List.sort_uniq Op.compare
-        in
-        match retype_spec st inst.spec kinds with
-        | Some m
-          when retype_timing_ok st palap inst m
-               && under_cap st m.Module_spec.name ->
-          consider m (Some m)
-        | Some _ | None -> None)
-    (List.rev st.instances)
+      List.find_map
+        (fun slot ->
+          match slot with
+          | None -> None
+          | Some start ->
+            if
+              power_precheck st inst retype ~start ~d
+                ~power:m.Module_spec.power
+            then Some (Merge { op; inst; start; retype })
+            else None)
+        placements
+  in
+  if same_spec_ok then consider inst.spec None
+  else if st.time_locked then None
+  else
+    let kinds =
+      kind
+      :: List.map (fun (q, _) -> Graph.kind st.g q) inst.placed
+      |> List.sort_uniq Op.compare
+    in
+    match retype_spec st inst.spec kinds with
+    | Some m
+      when retype_timing_ok st palap inst m
+           && under_cap st m.Module_spec.name ->
+      consider m (Some m)
+    | Some _ | None -> None
+
+let merge_candidates st pasap palap op =
+  List.filter_map (merge_candidate st pasap palap op) (List.rev st.instances)
 
 (* A fresh instance usually starts its operation at the pasap time (as early
    as possible). When [prefer_late] holds (sinks, and operations whose only
@@ -506,6 +509,11 @@ let decision_order st pasap palap a b =
         in
         Int.compare (inst_rank a) (inst_rank b)
 
+(* Reference enumeration: every candidate of every unassigned operation,
+   fully sorted. This is the pre-store selection rule; the store below must
+   agree with its head on every iteration, and [self_check] asserts that it
+   does. Only used for that oracle (and by equivalence tests) — the hot
+   path is [select_decision]. *)
 let candidates st pasap palap =
   let cands =
     List.concat_map
@@ -517,6 +525,214 @@ let candidates st pasap palap =
       (unassigned st)
   in
   List.sort (decision_order st pasap palap) cands
+
+(* --- persistent candidate store --------------------------------------
+
+   One entry per (operation, placement target), kept across iterations in
+   buckets keyed by the decision's gain — the primary sort key of
+   [decision_order]. Selection scans gain levels downward and, within the
+   first level holding a feasible decision, breaks ties with the full
+   [decision_order]; since every candidate of a strictly higher gain was
+   found infeasible, this reproduces exactly the head of the old full
+   re-sort without enumerating the other levels.
+
+   Gains are cached, not recomputed wholesale: a Fresh entry's gain
+   (-default area) and a same-module merge's gain (saved area - mux
+   penalty) never change after default selection settles, and a
+   retype-merge's gain only moves when the instance's module or kind set
+   changes. Kind sets only grow and only push the cheapest covering module
+   upward, so a stale cached gain can only be too HIGH — the scan detects
+   that (recomputed gain <> bucket key) and sinks the entry to its true
+   level, preserving the downward-scan invariant. The one event that can
+   RAISE a gain — a committed retype changing [inst.spec] — triggers an
+   eager regrade of that instance's entries instead. Entries whose
+   operation has been assigned are dropped lazily when a scan meets them;
+   this is safe because trial commits are always reverted before the next
+   scan runs.
+
+   An entry whose retype target disappears (no library module covers the
+   grown kind set) is parked on its instance and revisited only if a
+   retype changes that instance's module — the only event that can bring
+   a target back. *)
+
+module Gain_map = Map.Make (Float)
+
+type ctarget = T_fresh | T_inst of inst_state
+type centry = { c_op : int; c_target : ctarget }
+
+type store = {
+  mutable levels : centry list ref Gain_map.t;
+  parked : (int, centry list ref) Hashtbl.t; (* inst_id -> dead retypes *)
+}
+
+(* Current gain of an entry, mirroring [gain_of] on the decision the entry
+   would produce; [None] when no retype target exists (park it). *)
+let entry_gain st e =
+  let default op = (Hashtbl.find st.default_spec op : Module_spec.t) in
+  match e.c_target with
+  | T_fresh -> Some (-.(default e.c_op).Module_spec.area)
+  | T_inst inst ->
+    let kind = Graph.kind st.g e.c_op in
+    let saved = (default e.c_op).Module_spec.area in
+    if Module_spec.implements inst.spec kind then
+      Some (saved -. mux_penalty st e.c_op)
+    else (
+      let kinds =
+        kind :: List.map (fun (q, _) -> Graph.kind st.g q) inst.placed
+        |> List.sort_uniq Op.compare
+      in
+      match retype_spec st inst.spec kinds with
+      | Some (m : Module_spec.t) ->
+        let upgrade_cost = m.area -. inst.spec.Module_spec.area in
+        Some (saved -. upgrade_cost -. mux_penalty st e.c_op)
+      | None -> None)
+
+let store_insert sto gain e =
+  match Gain_map.find_opt gain sto.levels with
+  | Some b -> b := e :: !b
+  | None -> sto.levels <- Gain_map.add gain (ref [ e ]) sto.levels
+
+let store_park sto inst e =
+  let b =
+    match Hashtbl.find_opt sto.parked inst.inst_id with
+    | Some b -> b
+    | None ->
+      let b = ref [] in
+      Hashtbl.replace sto.parked inst.inst_id b;
+      b
+  in
+  b := e :: !b
+
+let store_add st sto e =
+  match entry_gain st e with
+  | Some g -> store_insert sto g e
+  | None -> (
+    match e.c_target with
+    | T_inst inst -> store_park sto inst e
+    | T_fresh -> assert false (* fresh gains always exist *))
+
+let store_init st =
+  let sto = { levels = Gain_map.empty; parked = Hashtbl.create 16 } in
+  List.iter
+    (fun op ->
+      store_add st sto { c_op = op; c_target = T_fresh };
+      List.iter
+        (fun inst -> store_add st sto { c_op = op; c_target = T_inst inst })
+        st.instances)
+    (unassigned st);
+  sto
+
+(* A committed retype can raise the gains of other entries on the same
+   instance (the upgrade cost shrinks), which would break the
+   stale-gains-only-sink invariant — so pull every entry of that instance
+   out of the buckets (and its parked list) and re-add them at their
+   recomputed gains. Retypes are rare, so the full-store sweep is cheap
+   amortised. *)
+let store_regrade_inst st sto inst =
+  let mine = ref [] in
+  sto.levels <-
+    Gain_map.filter_map
+      (fun _ b ->
+        let keep, pulled =
+          List.partition
+            (fun e ->
+              match e.c_target with
+              | T_inst i -> not (i == inst)
+              | T_fresh -> true)
+            !b
+        in
+        mine := pulled @ !mine;
+        if keep = [] then None
+        else begin
+          b := keep;
+          Some b
+        end)
+      sto.levels;
+  (match Hashtbl.find_opt sto.parked inst.inst_id with
+  | Some b ->
+    mine := !b @ !mine;
+    Hashtbl.remove sto.parked inst.inst_id
+  | None -> ());
+  List.iter
+    (fun e -> if not (Hashtbl.mem st.assigned e.c_op) then store_add st sto e)
+    !mine
+
+(* Store maintenance after a VALIDATED commit (never after a trial that
+   may be reverted — reverted commits must leave the store untouched). *)
+let store_note_commit st sto decision =
+  match decision with
+  | Fresh _ -> (
+    (* The commit just pushed the new instance onto the head. *)
+    match st.instances with
+    | inst :: _ ->
+      List.iter
+        (fun op -> store_add st sto { c_op = op; c_target = T_inst inst })
+        (unassigned st)
+    | [] -> assert false)
+  | Merge { inst; retype = Some _; _ } -> store_regrade_inst st sto inst
+  | Merge { retype = None; _ } -> ()
+
+(* Head of the old full re-sort, computed by descending the gain levels.
+   Within a level every entry is revalidated (dead entries dropped, sunken
+   gains moved) and evaluated against the current schedules; the first
+   level with feasible decisions yields the winner under the full
+   [decision_order]. Feasibility is re-established every call — only the
+   gain keys persist between iterations. *)
+let select_decision st sto pasap palap =
+  let rec go bound =
+    match Gain_map.find_last_opt (fun k -> k < bound) sto.levels with
+    | None -> None
+    | Some (gain, bucket) ->
+      let feasible = ref [] in
+      let keep = ref [] in
+      List.iter
+        (fun e ->
+          if Hashtbl.mem st.assigned e.c_op then () (* lazily dropped *)
+          else
+            match entry_gain st e with
+            | None -> (
+              match e.c_target with
+              | T_inst inst -> store_park sto inst e
+              | T_fresh -> assert false)
+            | Some g when not (Float.equal g gain) ->
+              store_insert sto g e (* sank; rescanned at its new level *)
+            | Some _ -> (
+              keep := e :: !keep;
+              let d =
+                match e.c_target with
+                | T_fresh -> fresh_candidate st pasap palap e.c_op
+                | T_inst inst -> merge_candidate st pasap palap e.c_op inst
+              in
+              match d with
+              | Some d -> feasible := d :: !feasible
+              | None -> ()))
+        !bucket;
+      (match !keep with
+      | [] -> sto.levels <- Gain_map.remove gain sto.levels
+      | kept -> bucket := List.rev kept);
+      Metrics.incr ~by:(List.length !feasible) m_gain_evaluated;
+      (match !feasible with
+      | [] -> go gain
+      | fs -> Some (List.hd (List.sort (decision_order st pasap palap) fs)))
+  in
+  go infinity
+
+(* Structural agreement between the store's pick and the reference
+   enumeration's head, for the [self_check] oracle. Instances compare by
+   identity — the store and the enumeration share the same records. *)
+let same_decision a b =
+  match (a, b) with
+  | ( Merge { op = oa; inst = ia; start = sa; retype = ra },
+      Merge { op = ob; inst = ib; start = sb; retype = rb } ) ->
+    oa = ob && ia == ib && sa = sb
+    && (match (ra, rb) with
+       | None, None -> true
+       | Some x, Some y -> Module_spec.equal x y
+       | None, Some _ | Some _, None -> false)
+  | ( Fresh { op = oa; spec = ma; start = sa },
+      Fresh { op = ob; spec = mb; start = sb } ) ->
+    oa = ob && Module_spec.equal ma mb && sa = sb
+  | Merge _, Fresh _ | Fresh _, Merge _ -> false
 
 (* --- commit / undo --------------------------------------------------- *)
 
@@ -749,16 +965,34 @@ let run ?(cost_model = Cost_model.default) ?(policy = Min_power)
        the best, re-schedule, and fall back to backtrack-and-lock when the
        commit kills feasibility. Pulled out of [iterate] so each iteration
        is its own trace span without nesting the whole tail under it. *)
+    let sto = store_init st in
+    (* Store pick, optionally cross-checked against the reference
+       enumeration: any divergence is a selection bug, reported rather
+       than silently synthesized through. *)
+    let pick pasap palap =
+      let picked = select_decision st sto pasap palap in
+      if not self_check then Ok picked
+      else
+        let reference =
+          match candidates st pasap palap with [] -> None | c :: _ -> Some c
+        in
+        match (picked, reference) with
+        | None, None -> Ok picked
+        | Some a, Some b when same_decision a b -> Ok picked
+        | Some _, Some _ | Some _, None | None, Some _ ->
+          Error
+            "self-check: candidate store selection diverges from the full \
+             enumeration"
+    in
     let step valid_pasap =
       let palap =
         match run_palap st with
         | Pasap.Feasible s -> s
         | Pasap.Infeasible _ -> valid_pasap (* degenerate windows *)
       in
-      let cands = candidates st valid_pasap palap in
-      Metrics.incr ~by:(List.length cands) m_gain_evaluated;
-      match cands with
-      | [] ->
+      match pick valid_pasap palap with
+      | Error e -> `Error e
+      | Ok None ->
         let op =
           match unassigned st with op :: _ -> op | [] -> -1
         in
@@ -768,7 +1002,7 @@ let run ?(cost_model = Cost_model.default) ?(policy = Min_power)
               leave it no module to run on"
              op
              (Graph.node_name st.g op))
-      | best :: _ -> (
+      | Ok (Some best) -> (
         Log.debug (fun m ->
             m "commit %s (gain %.1f)"
               (match best with
@@ -786,6 +1020,7 @@ let run ?(cost_model = Cost_model.default) ?(policy = Min_power)
         match run_pasap st with
         | Pasap.Feasible next_pasap ->
           note_commit st best;
+          store_note_commit st sto best;
           `Continue next_pasap
         | Pasap.Infeasible _ when interrupted st <> None ->
           (* The re-schedule was cancelled by the deadline, not genuinely
@@ -810,14 +1045,14 @@ let run ?(cost_model = Cost_model.default) ?(policy = Min_power)
           | Ok () -> (
             (* In locked mode decisions keep the valid pasap's times and
                module choices, so the schedule stays feasible as-is. *)
-            let locked_cands = candidates st valid_pasap valid_pasap in
-            Metrics.incr ~by:(List.length locked_cands) m_gain_evaluated;
-            match locked_cands with
-            | locked_best :: _ ->
+            match pick valid_pasap valid_pasap with
+            | Error e -> `Error e
+            | Ok (Some locked_best) ->
               let _ = commit st locked_best in
               note_commit st locked_best;
+              store_note_commit st sto locked_best;
               `Continue valid_pasap
-            | [] ->
+            | Ok None ->
               `Error
                 "no feasible decision after locking: instance caps leave \
                  some operation no module to run on")))

@@ -63,10 +63,13 @@ type outcome =
     hosting no operation are dropped from the resulting design.
 
     [self_check] re-lints the locked schedule after every
-    backtrack-and-lock event via {!Pchls_sched.Schedule.validate}; a failed
-    check aborts synthesis as [Infeasible] with the diagnostic codes in the
-    reason (defence in depth — it should never fire, and the run also ends
-    with [Design.assemble]'s full validation either way).
+    backtrack-and-lock event via {!Pchls_sched.Schedule.validate}, and
+    additionally cross-checks every iteration's candidate pick from the
+    persistent gain-ordered store against a full enumeration-and-sort of
+    all candidates; a failed check aborts synthesis as [Infeasible] with
+    the diagnostic in the reason (defence in depth — it should never fire,
+    and the run also ends with [Design.assemble]'s full validation either
+    way).
 
     [preflight] (default [false]) runs the static bound analysis
     ({!Pchls_preflight.Preflight.analyze}, without the exact area search)

@@ -12,14 +12,20 @@ let pick_kind rng mult_ratio =
    earlier ops picked uniformly, so every node is reachable from layer 0 and
    the graph is acyclic by construction. [used] tracks ops consumed by a later
    op, so the leftovers can be terminated by Output nodes. *)
-let layered ~seed ~layers ~width ?(mult_ratio = 0.3) ?(io = true) () =
+let layered ~seed ~layers ~width ?(mult_ratio = 0.3) ?(io = true)
+    ?(fill = false) () =
   if layers < 1 then invalid_arg "Generator.layered: layers < 1";
   if width < 1 then invalid_arg "Generator.layered: width < 1";
   let rng = Random.State.make [| seed; layers; width |] in
   let b = Builder.create (Printf.sprintf "rand_s%d_l%d_w%d" seed layers width) in
   let used = ref Int_set.empty in
+  (* [fill] pins every layer at exactly [width] operations (no size draw),
+     so [layers * width] is the exact operation count — the scaling bench
+     needs predictable sizes. Off by default: the draw sequence of existing
+     seeds must stay byte-identical. *)
+  let layer_size () = if fill then width else 1 + Random.State.int rng width in
   let first_layer =
-    let n = 1 + Random.State.int rng width in
+    let n = layer_size () in
     List.init n (fun i ->
         let deps =
           if io then [ Builder.input b (Printf.sprintf "in%d" i) ] else []
@@ -29,7 +35,7 @@ let layered ~seed ~layers ~width ?(mult_ratio = 0.3) ?(io = true) () =
   let rec grow layer pool =
     if layer >= layers then pool
     else
-      let n = 1 + Random.State.int rng width in
+      let n = layer_size () in
       let arr = Array.of_list pool in
       let pick () = arr.(Random.State.int rng (Array.length arr)) in
       let fresh =
@@ -64,12 +70,32 @@ let layered ~seed ~layers ~width ?(mult_ratio = 0.3) ?(io = true) () =
 let sized ~seed ~max_nodes ?io () =
   if max_nodes < 1 then invalid_arg "Generator.sized: max_nodes < 1";
   let rng = Random.State.make [| 0x51ED; seed; max_nodes |] in
-  let layers = 1 + Random.State.int rng (min 4 max_nodes) in
-  let width_cap = max 1 (max_nodes / layers) in
-  let width = 1 + Random.State.int rng (min 6 width_cap) in
-  let mult_ratio = 0.1 +. Random.State.float rng 0.5 in
-  let io =
-    match io with Some io -> io | None -> Random.State.bool rng
-  in
-  layered ~seed:(Random.State.int rng 0x3FFFFFFF) ~layers ~width ~mult_ratio
-    ~io ()
+  if max_nodes <= 32 then begin
+    (* The historical small-graph regime, byte-identical for every
+       (seed, max_nodes) the fuzzer and its pinned campaigns have ever
+       drawn: shapes cap at 4 layers of 6 operations. *)
+    let layers = 1 + Random.State.int rng (min 4 max_nodes) in
+    let width_cap = max 1 (max_nodes / layers) in
+    let width = 1 + Random.State.int rng (min 6 width_cap) in
+    let mult_ratio = 0.1 +. Random.State.float rng 0.5 in
+    let io =
+      match io with Some io -> io | None -> Random.State.bool rng
+    in
+    layered ~seed:(Random.State.int rng 0x3FFFFFFF) ~layers ~width ~mult_ratio
+      ~io ()
+  end
+  else begin
+    (* Large-graph regime: draw a layer count around sqrt(max_nodes) and
+       fill every layer, so the operation count lands within a few percent
+       of [max_nodes] (never above it) instead of the ~width/2 thinning the
+       free-running draw produces. *)
+    let hi = int_of_float (Float.round (sqrt (float_of_int max_nodes))) in
+    let layers = max 2 ((hi / 2) + 1 + Random.State.int rng (max 1 (hi / 2))) in
+    let width = max 1 (max_nodes / layers) in
+    let mult_ratio = 0.1 +. Random.State.float rng 0.5 in
+    let io =
+      match io with Some io -> io | None -> Random.State.bool rng
+    in
+    layered ~seed:(Random.State.int rng 0x3FFFFFFF) ~layers ~width ~mult_ratio
+      ~io ~fill:true ()
+  end

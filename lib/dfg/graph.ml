@@ -215,6 +215,14 @@ let distance_to_sink g ~latency id =
   | Some d -> d
   | None -> raise Not_found
 
+(* Shadows the map-returning helper above with the exported closure form:
+   partial application [distances_to_sink g ~latency] pays the topological
+   pass once and each lookup is then a map find. *)
+let distances_to_sink g ~latency =
+  let dist = distances_to_sink g ~latency in
+  fun id ->
+    match Int_map.find_opt id dist with Some d -> d | None -> raise Not_found
+
 let distance_from_source g ~latency id =
   match Int_map.find_opt id (distances_from_source g ~latency) with
   | Some d -> d

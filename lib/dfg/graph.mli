@@ -82,6 +82,14 @@ val critical_path : t -> latency:(int -> int) -> int
     [id] (inclusive) to any sink. Used as a list-scheduling priority. *)
 val distance_to_sink : t -> latency:(int -> int) -> int -> int
 
+(** [distances_to_sink g ~latency] is {!distance_to_sink} for every node at
+    once: the partial application [distances_to_sink g ~latency] runs the
+    single O(V+E) topological pass, and the returned lookup is a map find.
+    Use this when priorities are needed for the whole graph — calling
+    {!distance_to_sink} per node recomputes the pass each time. The lookup
+    raises [Not_found] on absent ids. *)
+val distances_to_sink : t -> latency:(int -> int) -> int -> int
+
 (** [distance_from_source g ~latency id] is the longest latency-weighted path
     from any source up to and including [id]. *)
 val distance_from_source : t -> latency:(int -> int) -> int -> int

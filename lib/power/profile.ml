@@ -1,13 +1,36 @@
-type t = { cycles : float array }
+(* The per-cycle array stays the single source of truth — every feasibility
+   decision reads the same floats as before — but a block-max summary (one
+   float per [block] cycles, always the true maximum of its block) lets the
+   hot probes skip whole blocks. Soundness rests on [+.] being weakly
+   monotone: if [bmax +. power <= limit +. eps] then every cycle [v <= bmax]
+   in the block satisfies [v +. power <= limit +. eps] too, so skipping the
+   block reaches exactly the per-cycle verdict. When the summary test fails
+   the code falls back to the per-cycle scan, so no decision ever differs
+   from the naive implementation. *)
+
+type t = { cycles : float array; block_max : float array }
 
 let eps = 1e-9
+let block = 32
+let block_count horizon = (horizon + block - 1) / block
 
 let create ~horizon =
   if horizon < 0 then invalid_arg "Profile.create: negative horizon";
-  { cycles = Array.make horizon 0. }
+  { cycles = Array.make horizon 0.; block_max = Array.make (block_count horizon) 0. }
 
 let horizon p = Array.length p.cycles
-let copy p = { cycles = Array.copy p.cycles }
+let copy p = { cycles = Array.copy p.cycles; block_max = Array.copy p.block_max }
+
+(* Recompute one block's max by scanning its cycles — needed after
+   [remove], which can lower the max. *)
+let rescan_block p b =
+  let lo = b * block in
+  let hi = min (lo + block) (horizon p) - 1 in
+  let m = ref 0. in
+  for c = lo to hi do
+    if p.cycles.(c) > !m then m := p.cycles.(c)
+  done;
+  p.block_max.(b) <- !m
 
 let check_cycle p c who =
   if c < 0 || c >= horizon p then
@@ -28,7 +51,10 @@ let check_interval p ~start ~latency ~power who =
 let add p ~start ~latency ~power =
   check_interval p ~start ~latency ~power "add";
   for c = start to start + latency - 1 do
-    p.cycles.(c) <- p.cycles.(c) +. power
+    let v = p.cycles.(c) +. power in
+    p.cycles.(c) <- v;
+    let b = c / block in
+    if v > p.block_max.(b) then p.block_max.(b) <- v
   done
 
 let remove p ~start ~latency ~power =
@@ -36,20 +62,55 @@ let remove p ~start ~latency ~power =
   for c = start to start + latency - 1 do
     let v = p.cycles.(c) -. power in
     p.cycles.(c) <- (if Float.abs v < eps then 0. else v)
+  done;
+  for b = start / block to (start + latency - 1) / block do
+    rescan_block p b
   done
 
 let fits p ~start ~latency ~power ~limit =
   if latency < 1 || power < 0. then
     invalid_arg "Profile.fits: latency < 1 or negative power"
   else if start < 0 || start + latency > horizon p then false
-  else
-    let rec ok c =
-      c >= start + latency
-      || (p.cycles.(c) +. power <= limit +. eps && ok (c + 1))
-    in
-    ok start
+  else begin
+    let stop = start + latency in
+    let ok = ref true in
+    let c = ref start in
+    while !ok && !c < stop do
+      let b = !c / block in
+      if p.block_max.(b) +. power <= limit +. eps then
+        (* Whole block passes; jump to its end (or the interval's). *)
+        c := min ((b + 1) * block) stop
+      else if p.cycles.(!c) +. power <= limit +. eps then incr c
+      else ok := false
+    done;
+    !ok
+  end
 
-let peak p = Array.fold_left max 0. p.cycles
+(* [first_fit] finds the smallest start >= [start] whose whole interval
+   fits, or [None] when no such start keeps the interval inside the
+   horizon. On a violation at cycle [c] every candidate start <= [c]
+   whose window covers [c] fails too, so the scan restarts at [c + 1] —
+   each cycle is inspected at most once, O(horizon) overall instead of
+   O(horizon * latency). *)
+let first_fit p ~start ~latency ~power ~limit =
+  if latency < 1 || power < 0. then
+    invalid_arg "Profile.first_fit: latency < 1 or negative power";
+  if start < 0 then invalid_arg "Profile.first_fit: negative start";
+  let h = horizon p in
+  let rec go s c =
+    if s + latency > h then None
+    else if c >= s + latency then Some s
+    else begin
+      let b = c / block in
+      if p.block_max.(b) +. power <= limit +. eps then
+        go s (min ((b + 1) * block) (s + latency))
+      else if p.cycles.(c) +. power <= limit +. eps then go s (c + 1)
+      else go (c + 1) (c + 1)
+    end
+  in
+  go start start
+
+let peak p = Array.fold_left max 0. p.block_max
 
 let peak_cycle p =
   let top = peak p in
@@ -59,8 +120,21 @@ let peak_cycle p =
     find 0
 
 let busy_length p =
-  let rec last c = if c < 0 then 0 else if p.cycles.(c) > eps then c + 1 else last (c - 1) in
-  last (horizon p - 1)
+  (* Walk blocks from the top; a block whose max is <= eps holds no busy
+     cycle, so only the first busy block from the right is scanned. *)
+  let rec last_block b =
+    if b < 0 then 0
+    else if p.block_max.(b) <= eps then last_block (b - 1)
+    else begin
+      let rec last c =
+        if c < b * block then last_block (b - 1)
+        else if p.cycles.(c) > eps then c + 1
+        else last (c - 1)
+      in
+      last (min ((b + 1) * block) (horizon p) - 1)
+    end
+  in
+  last_block (Array.length p.block_max - 1)
 
 let energy p = Array.fold_left ( +. ) 0. p.cycles
 
@@ -74,7 +148,11 @@ let of_array a =
   Array.iter
     (fun v -> if v < 0. then invalid_arg "Profile.of_array: negative entry")
     a;
-  { cycles = Array.copy a }
+  let p = { cycles = Array.copy a; block_max = Array.make (block_count (Array.length a)) 0. } in
+  for b = 0 to Array.length p.block_max - 1 do
+    rescan_block p b
+  done;
+  p
 
 let render ?(width = 50) ?limit p =
   let scale_top =

@@ -41,6 +41,16 @@ val remove : t -> start:int -> latency:int -> power:float -> unit
     (within {!eps}). Intervals that leave [0, horizon) never fit. *)
 val fits : t -> start:int -> latency:int -> power:float -> limit:float -> bool
 
+(** [first_fit p ~start ~latency ~power ~limit] is the smallest start
+    [s >= start] at which the whole interval [s, s+latency) fits (same
+    verdict as {!fits} at every candidate), or [None] when no start keeps
+    the interval inside the horizon. Single forward scan: a violation at
+    cycle [c] rules out every start whose window covers [c], so the search
+    resumes at [c+1] — O(horizon) total instead of per-offset rescans.
+    @raise Invalid_argument if [latency < 1], [power < 0] or [start < 0]. *)
+val first_fit :
+  t -> start:int -> latency:int -> power:float -> limit:float -> int option
+
 (** [peak p] is the maximum per-cycle power ([0.] for an empty profile). *)
 val peak : t -> float
 

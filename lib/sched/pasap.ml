@@ -1,5 +1,6 @@
 module Graph = Pchls_dfg.Graph
 module Profile = Pchls_power.Profile
+module Pqueue = Pchls_compat.Pqueue
 module Trace = Pchls_obs.Trace
 module Metrics = Pchls_obs.Metrics
 
@@ -23,6 +24,19 @@ type ready = { id : int; est : int; mutable offset : int; priority : int }
 
 exception Stop of outcome
 
+(* Heap entries snapshot the tentative start at push time; an entry whose
+   snapshot no longer matches [est + offset] (the operation was re-pushed
+   at a later start) or whose operation has been placed is stale and is
+   dropped on pop — lazy deletion. The ordering reproduces the total order
+   the old Hashtbl.fold selection used: earliest tentative start first,
+   then highest priority, then lowest id. *)
+type entry = { e_t : int; e_priority : int; e_id : int }
+
+let entry_cmp a b =
+  if a.e_t <> b.e_t then Int.compare a.e_t b.e_t
+  else if a.e_priority <> b.e_priority then Int.compare b.e_priority a.e_priority
+  else Int.compare a.e_id b.e_id
+
 let run g ~info ~horizon ?(power_limit = infinity) ?(locked = [])
     ?(cancelled = fun () -> false) () =
   if horizon < 0 then invalid_arg "Pasap.run: negative horizon";
@@ -38,10 +52,16 @@ let run g ~info ~horizon ?(power_limit = infinity) ?(locked = [])
   Metrics.incr m_runs;
   Trace.span ~cat:"sched" "pasap.run" @@ fun () ->
   let latency id = (info id).Schedule.latency in
+  (* One topological pass for every priority, not one pass per node. *)
+  let priority_of = Graph.distances_to_sink g ~latency in
   let profile = Profile.create ~horizon in
   let sched = ref Schedule.empty in
   let remaining_preds = Hashtbl.create 64 in
   let ready : (int, ready) Hashtbl.t = Hashtbl.create 64 in
+  let heap = Pqueue.create ~cmp:entry_cmp in
+  let push r =
+    Pqueue.add heap { e_t = r.est + r.offset; e_priority = r.priority; e_id = r.id }
+  in
   let locked_tbl = Hashtbl.create 16 in
   List.iter (fun (id, t) -> Hashtbl.replace locked_tbl id t) locked;
   let is_locked id = Hashtbl.mem locked_tbl id in
@@ -84,28 +104,15 @@ let run g ~info ~horizon ?(power_limit = infinity) ?(locked = [])
         0 (Graph.preds g id)
     in
     let enter id =
-      if Hashtbl.find remaining_preds id = 0 then
-        Hashtbl.replace ready id
-          { id; est = est_of id; offset = 0;
-            priority = Graph.distance_to_sink g ~latency id }
+      if Hashtbl.find remaining_preds id = 0 then begin
+        let r = { id; est = est_of id; offset = 0; priority = priority_of id } in
+        Hashtbl.replace ready id r;
+        push r
+      end
     in
     List.iter
       (fun id -> if not (is_locked id) then enter id)
       (Graph.node_ids g);
-    let better a b =
-      let ta = a.est + a.offset and tb = b.est + b.offset in
-      if ta <> tb then ta < tb
-      else if a.priority <> b.priority then a.priority > b.priority
-      else a.id < b.id
-    in
-    let pick () =
-      Hashtbl.fold
-        (fun _ r best ->
-          match best with
-          | None -> Some r
-          | Some b -> if better r b then Some r else best)
-        ready None
-    in
     let place r =
       let t = r.est + r.offset in
       let { Schedule.latency = d; power } = info r.id in
@@ -122,37 +129,64 @@ let run g ~info ~horizon ?(power_limit = infinity) ?(locked = [])
         (Graph.succs g r.id)
     in
     let rec loop () =
-      (* Cooperative cancellation: polled once per placement/offset bump, so
-         a deadline interrupts even a pathologically power-bound schedule
-         (whose offset-delay loop dominates the run time). *)
+      (* Cooperative cancellation: polled once per heap pop, so a deadline
+         interrupts even a pathologically power-bound schedule. *)
       if cancelled () then
         raise (Stop (Infeasible { node = -1; reason = "cancelled" }));
-      match pick () with
+      match Pqueue.pop heap with
       | None -> ()
-      | Some r ->
-        let t = r.est + r.offset in
-        let { Schedule.latency = d; power } = info r.id in
-        if t + d > horizon then
-          raise
-            (Stop
-               (Infeasible
-                  {
-                    node = r.id;
-                    reason =
-                      Printf.sprintf
-                        "no power-feasible start in [%d, %d] within horizon %d"
-                        r.est (horizon - d) horizon;
-                  }));
-        if Profile.fits profile ~start:t ~latency:d ~power ~limit:power_limit
-        then place r
-        else begin
-          (* The paper's power-feasibility delay loop: each bump pushes the
-             tentative start one cycle right. Its count is the direct
-             measure of how power-bound a schedule is. *)
-          Metrics.incr m_offset_delays;
-          r.offset <- r.offset + 1
-        end;
-        loop ()
+      | Some e -> (
+        match Hashtbl.find_opt ready e.e_id with
+        | None -> loop () (* already placed; stale entry *)
+        | Some r when r.est + r.offset <> e.e_t -> loop () (* superseded *)
+        | Some r ->
+          let t = r.est + r.offset in
+          let { Schedule.latency = d; power } = info r.id in
+          if t + d > horizon then
+            raise
+              (Stop
+                 (Infeasible
+                    {
+                      node = r.id;
+                      reason =
+                        Printf.sprintf
+                          "no power-feasible start in [%d, %d] within horizon %d"
+                          r.est (horizon - d) horizon;
+                    }));
+          if Profile.fits profile ~start:t ~latency:d ~power ~limit:power_limit
+          then place r
+          else begin
+            (* The paper's power-feasibility delay loop, batched: the
+               profile only ever gains power while an operation waits, so
+               every start the current profile rejects stays rejected — the
+               whole run of doomed one-cycle bumps can be taken at once via
+               [first_fit]. The operation is re-tested when its new start
+               reaches the head of the heap (the profile may have hardened
+               since, pushing it further right), so placements interleave
+               exactly as they would under one-at-a-time bumping. The
+               offset-delay counter still advances by one per skipped
+               cycle — it remains the direct measure of how power-bound the
+               schedule is. *)
+            let next =
+              match
+                Profile.first_fit profile ~start:t ~latency:d ~power
+                  ~limit:power_limit
+              with
+              | Some s -> s
+              | None ->
+                (* No fit within the horizon under the current profile: the
+                   old loop would bump cycle-by-cycle to the first start
+                   past the horizon and report infeasibility only when that
+                   entry surfaced — after any other operation with an
+                   earlier tentative start had its own chance to fail. Park
+                   the entry there to preserve that order. *)
+                horizon - d + 1
+            in
+            Metrics.incr ~by:(next - t) m_offset_delays;
+            r.offset <- r.offset + (next - t);
+            push r
+          end;
+          loop ())
     in
     loop ();
     (* Locked operations may have been placed inconsistently with their

@@ -1,0 +1,69 @@
+The bench regression gate must tell three failure modes apart by exit
+code alone: a genuine wall-time regression (1), a bad invocation (2),
+and a missing or malformed input file (3). CI keys off these — a
+forgotten baseline must not read as a perf regression.
+
+  $ cat > baseline.json <<'EOF'
+  > {
+  >   "sections": [
+  >     {"section": "fast", "wall_s": 1.0},
+  >     {"section": "tiny", "wall_s": 0.001}
+  >   ]
+  > }
+  > EOF
+
+A clean run exits 0; sub-noise-floor sections never gate:
+
+  $ cat > same.json <<'EOF'
+  > {
+  >   "sections": [
+  >     {"section": "fast", "wall_s": 1.1},
+  >     {"section": "tiny", "wall_s": 0.9}
+  >   ]
+  > }
+  > EOF
+  $ pchls-bench-compare baseline.json same.json
+  section                    baseline    current    delta  verdict
+  fast                         1.000s     1.100s   +10.0%  ok
+  tiny                         0.001s     0.900s +89900.0%  ok (below noise floor)
+
+A >25% regression exits 1:
+
+  $ cat > slow.json <<'EOF'
+  > {
+  >   "sections": [
+  >     {"section": "fast", "wall_s": 2.0}
+  >   ]
+  > }
+  > EOF
+  $ pchls-bench-compare baseline.json slow.json
+  section                    baseline    current    delta  verdict
+  fast                         1.000s     2.000s  +100.0%  REGRESSED
+  tiny                         0.001s          -        -  removed
+  1 section(s) regressed more than 25%
+  [1]
+
+A bad invocation exits 2:
+
+  $ pchls-bench-compare baseline.json
+  usage: compare <baseline.json> <current.json>
+  [2]
+
+A missing baseline exits 3 with a distinct message, not 1 or 2:
+
+  $ pchls-bench-compare no_such_file.json same.json
+  compare: bad input: no_such_file.json: No such file or directory
+  [3]
+
+So does a baseline that is not JSON, or JSON without a "sections"
+array:
+
+  $ printf '{ not json' > broken.json
+  $ pchls-bench-compare broken.json same.json 2>&1 | head -c 19; echo
+  compare: bad input:
+  $ pchls-bench-compare broken.json same.json >/dev/null 2>&1
+  [3]
+  $ printf '{"x": 1}' > nosections.json
+  $ pchls-bench-compare nosections.json same.json
+  compare: bad input: nosections.json: no "sections" array
+  [3]

@@ -1,0 +1,352 @@
+(* Equivalence suites pinning the hot-path rewrite to its naive
+   reference semantics: the block-max profile against per-cycle rescans,
+   the incremental compatibility graph against a from-scratch rebuild,
+   and heap-ordered selection against a full sort. Each property drives
+   the fast structure and a deliberately naive model through the same
+   random operation sequence and requires identical answers. The
+   engine's own store-vs-enumeration cross-check runs via
+   [~self_check:true] on random syntheses. *)
+
+module H = Test_helpers
+module Generator = Pchls_dfg.Generator
+module Graph = Pchls_dfg.Graph
+module Profile = Pchls_power.Profile
+module Schedule = Pchls_sched.Schedule
+module Bitset = Pchls_compat.Bitset
+module Pqueue = Pchls_compat.Pqueue
+module Cgraph = Pchls_compat.Cgraph
+module Engine = Pchls_core.Engine
+module Library = Pchls_fulib.Library
+
+let table1_info g id = H.table1_info () g id
+
+(* --- Profile: block-max structure == naive per-cycle rescans ----------- *)
+
+(* A profile state: horizon, the adds applied, and the subset of them
+   later removed — exercising [remove]'s block rescans too. *)
+let profile_gen =
+  QCheck.Gen.(
+    let* horizon = 1 -- 100 in
+    let op =
+      let* latency = 1 -- min 8 horizon in
+      let* start = 0 -- (horizon - latency) in
+      let* power = float_range 0. 10. in
+      return (start, latency, power)
+    in
+    let* ops = list_size (0 -- 40) op in
+    let* removed = list (map (fun b -> b) bool) in
+    return (horizon, ops, removed))
+
+let build_both (horizon, ops, removed) =
+  let p = Profile.create ~horizon in
+  let a = Array.make horizon 0. in
+  List.iter
+    (fun (start, latency, power) ->
+      Profile.add p ~start ~latency ~power;
+      for c = start to start + latency - 1 do
+        a.(c) <- a.(c) +. power
+      done)
+    ops;
+  List.iteri
+    (fun i (start, latency, power) ->
+      if List.nth_opt removed i = Some true then begin
+        Profile.remove p ~start ~latency ~power;
+        for c = start to start + latency - 1 do
+          (* Mirror Profile.remove's eps-clamp so float residue from a
+             matched add/remove pair cancels in both models. *)
+          let v = a.(c) -. power in
+          a.(c) <- (if Float.abs v < Profile.eps then 0. else v)
+        done
+      end)
+    ops;
+  (p, a)
+
+let naive_fits a ~start ~latency ~power ~limit =
+  let h = Array.length a in
+  start >= 0
+  && start + latency <= h
+  &&
+  let ok = ref true in
+  for c = start to start + latency - 1 do
+    if a.(c) +. power > limit +. Profile.eps then ok := false
+  done;
+  !ok
+
+let naive_first_fit a ~start ~latency ~power ~limit =
+  let h = Array.length a in
+  let rec go s =
+    if s + latency > h then None
+    else if naive_fits a ~start:s ~latency ~power ~limit then Some s
+    else go (s + 1)
+  in
+  go start
+
+let print_profile_state (horizon, ops, removed) =
+  Format.asprintf "horizon=%d ops=[%s] removed=[%s]" horizon
+    (String.concat "; "
+       (List.map
+          (fun (s, l, p) -> Printf.sprintf "(%d,%d,%.3f)" s l p)
+          ops))
+    (String.concat ";" (List.map string_of_bool removed))
+
+let prop_profile_cells =
+  QCheck.Test.make ~name:"profile cells == naive array" ~count:300
+    (QCheck.make profile_gen ~print:print_profile_state)
+    (fun state ->
+      let p, a = build_both state in
+      Array.for_all2
+        (fun x y -> Float.abs (x -. y) <= 1e-6)
+        (Profile.to_array p) a)
+
+let prop_profile_aggregates =
+  QCheck.Test.make ~name:"profile peak/busy/energy == naive" ~count:300
+    (QCheck.make profile_gen ~print:print_profile_state)
+    (fun state ->
+      let p, a = build_both state in
+      let naive_peak = Array.fold_left Float.max 0. a in
+      let naive_busy = ref 0 in
+      Array.iteri
+        (fun c x -> if x > Profile.eps then naive_busy := c + 1)
+        a;
+      let naive_energy = Array.fold_left ( +. ) 0. a in
+      Float.abs (Profile.peak p -. naive_peak) <= 1e-6
+      && Profile.busy_length p = !naive_busy
+      && Float.abs (Profile.energy p -. naive_energy) <= 1e-6)
+
+let query_gen =
+  QCheck.Gen.(
+    let* state = profile_gen in
+    let horizon, _, _ = state in
+    let* start = 0 -- horizon in
+    let* latency = 1 -- 10 in
+    let* power = float_range 0. 10. in
+    let* limit = float_range 0. 25. in
+    return (state, start, latency, power, limit))
+
+let prop_profile_fits =
+  QCheck.Test.make ~name:"profile fits == naive rescan" ~count:500
+    (QCheck.make query_gen ~print:(fun (state, s, l, pw, lim) ->
+         Printf.sprintf "%s query=(%d,%d,%.3f,%.3f)"
+           (print_profile_state state) s l pw lim))
+    (fun (state, start, latency, power, limit) ->
+      let p, a = build_both state in
+      Profile.fits p ~start ~latency ~power ~limit
+      = naive_fits a ~start ~latency ~power ~limit)
+
+let prop_profile_first_fit =
+  QCheck.Test.make ~name:"profile first_fit == naive scan" ~count:500
+    (QCheck.make query_gen ~print:(fun (state, s, l, pw, lim) ->
+         Printf.sprintf "%s query=(%d,%d,%.3f,%.3f)"
+           (print_profile_state state) s l pw lim))
+    (fun (state, start, latency, power, limit) ->
+      let p, a = build_both state in
+      Profile.first_fit p ~start ~latency ~power ~limit
+      = naive_first_fit a ~start ~latency ~power ~limit)
+
+(* --- Cgraph: incremental invalidation == full rebuild ------------------ *)
+
+(* Random edit scripts over a small vertex set: adds, edge removals and
+   the engine's post-commit [remove_vertex] invalidation, interleaved.
+   The model replays the same script into a plain association table and
+   the final graphs must agree edge-for-edge. *)
+type cedit =
+  | Add of int * int * float
+  | Remove_edge of int * int
+  | Remove_vertex of int
+
+let cgraph_gen =
+  QCheck.Gen.(
+    let* n = 2 -- 24 in
+    let pair =
+      let* u = 0 -- (n - 1) in
+      let* v = 0 -- (n - 1) in
+      return (u, if v = u then (u + 1) mod n else v)
+    in
+    let edit =
+      frequency
+        [
+          ( 5,
+            let* u, v = pair in
+            let* w = float_range (-2.) 5. in
+            return (Add (u, v, w)) );
+          ( 1,
+            let* u, v = pair in
+            return (Remove_edge (u, v)) );
+          ( 2,
+            let* u = 0 -- (n - 1) in
+            return (Remove_vertex u) );
+        ]
+    in
+    let* edits = list_size (0 -- 80) edit in
+    return (n, edits))
+
+let print_cgraph_case (n, edits) =
+  Format.asprintf "n=%d [%s]" n
+    (String.concat "; "
+       (List.map
+          (function
+            | Add (u, v, w) -> Printf.sprintf "add %d-%d %.3f" u v w
+            | Remove_edge (u, v) -> Printf.sprintf "del %d-%d" u v
+            | Remove_vertex u -> Printf.sprintf "delv %d" u)
+          edits))
+
+let prop_cgraph_incremental =
+  QCheck.Test.make ~name:"cgraph edits == full rebuild" ~count:300
+    (QCheck.make cgraph_gen ~print:print_cgraph_case)
+    (fun (n, edits) ->
+      let g = Cgraph.create ~n in
+      let model : (int * int, float) Hashtbl.t = Hashtbl.create 16 in
+      let key u v = if u < v then (u, v) else (v, u) in
+      List.iter
+        (function
+          | Add (u, v, w) ->
+            Cgraph.add_edge g u v w;
+            Hashtbl.replace model (key u v) w
+          | Remove_edge (u, v) ->
+            Cgraph.remove_edge g u v;
+            Hashtbl.remove model (key u v)
+          | Remove_vertex u ->
+            Cgraph.remove_vertex g u;
+            Hashtbl.iter
+              (fun (a, b) _ ->
+                if a = u || b = u then Hashtbl.remove model (a, b))
+              (Hashtbl.copy model))
+        edits;
+      let rebuilt = Cgraph.create ~n in
+      Hashtbl.iter (fun (u, v) w -> Cgraph.add_edge rebuilt u v w) model;
+      Cgraph.edges g = Cgraph.edges rebuilt
+      && Cgraph.edge_count g = Cgraph.edge_count rebuilt
+      && List.for_all
+           (fun u -> Cgraph.neighbours g u = Cgraph.neighbours rebuilt u)
+           (List.init n Fun.id))
+
+(* --- Bitset: set algebra == Stdlib.Set ---------------------------------- *)
+
+let bitset_gen =
+  QCheck.Gen.(
+    let* n = 1 -- 200 in
+    let* adds = list_size (0 -- 100) (0 -- (n - 1)) in
+    let* dels = list_size (0 -- 50) (0 -- (n - 1)) in
+    return (n, adds, dels))
+
+module Int_set = Set.Make (Int)
+
+let prop_bitset_model =
+  QCheck.Test.make ~name:"bitset == Set.Make(Int)" ~count:300
+    (QCheck.make bitset_gen ~print:(fun (n, adds, dels) ->
+         Printf.sprintf "n=%d adds=%s dels=%s" n
+           (String.concat "," (List.map string_of_int adds))
+           (String.concat "," (List.map string_of_int dels))))
+    (fun (n, adds, dels) ->
+      let b = Bitset.create n in
+      let m = ref Int_set.empty in
+      List.iter
+        (fun x ->
+          Bitset.add b x;
+          m := Int_set.add x !m)
+        adds;
+      List.iter
+        (fun x ->
+          Bitset.remove b x;
+          m := Int_set.remove x !m)
+        dels;
+      Bitset.to_list b = Int_set.elements !m
+      && Bitset.cardinal b = Int_set.cardinal !m
+      && Bitset.is_empty b = Int_set.is_empty !m
+      && List.for_all
+           (fun x -> Bitset.mem b x = Int_set.mem x !m)
+           (List.init n Fun.id))
+
+(* --- Pqueue: heap pop order == full sort -------------------------------- *)
+
+let prop_pqueue_sorts =
+  QCheck.Test.make ~name:"pqueue drain == List.sort" ~count:300
+    QCheck.(list_of_size (QCheck.Gen.int_bound 200) small_int)
+    (fun xs ->
+      let q = Pqueue.of_list ~cmp:Int.compare xs in
+      let rec drain acc =
+        match Pqueue.pop q with
+        | None -> List.rev acc
+        | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort Int.compare xs)
+
+(* Interleaved adds and pops against a sorted-list model: every prefix of
+   the pop sequence must match, not just the final drain. *)
+let prop_pqueue_interleaved =
+  QCheck.Test.make ~name:"pqueue interleaved add/pop == sorted model"
+    ~count:300
+    QCheck.(list (pair bool small_int))
+    (fun script ->
+      let q = Pqueue.create ~cmp:Int.compare in
+      let model = ref [] in
+      List.for_all
+        (fun (is_pop, x) ->
+          if is_pop then
+            match (Pqueue.pop q, !model) with
+            | None, [] -> true
+            | Some a, b :: rest ->
+              model := rest;
+              a = b
+            | None, _ :: _ | Some _, [] -> false
+          else begin
+            Pqueue.add q x;
+            model := List.sort Int.compare (x :: !model);
+            true
+          end)
+        script)
+
+(* --- Engine: store-driven pick == full enumeration --------------------- *)
+
+(* [~self_check:true] re-derives every iteration's candidate pick by full
+   enumeration and sort, and aborts the run as Infeasible with a
+   "self-check" reason on any divergence from the gain-ordered store —
+   so the property is simply that no such reason ever surfaces. *)
+let engine_case_gen =
+  QCheck.Gen.(
+    let* seed = int_bound 10_000 in
+    let* layers = 1 -- 5 in
+    let* width = 1 -- 4 in
+    let* power = oneofl [ 10.; 15.; 25. ] in
+    return (Generator.layered ~seed ~layers ~width (), power))
+
+let prop_engine_store_matches_enumeration =
+  QCheck.Test.make
+    ~name:"engine store pick == full enumeration (self-check)" ~count:60
+    (QCheck.make engine_case_gen ~print:(fun (g, power) ->
+         Format.asprintf "%a P<=%g" Graph.pp g power))
+    (fun (g, power) ->
+      let info = table1_info g in
+      let latency id = (info id).Schedule.latency in
+      let time_limit = max 1 (Graph.critical_path g ~latency * 2) in
+      match
+        Engine.run ~self_check:true ~library:Library.default ~time_limit
+          ~power_limit:power g
+      with
+      | Engine.Synthesized _ -> true
+      | Engine.Infeasible { reason } ->
+        (* Genuine infeasibility is fine; a self-check diagnostic is the
+           equivalence violation this suite exists to catch. *)
+        not
+          (String.length reason >= 10
+          && String.sub reason 0 10 = "self-check"))
+
+let () =
+  let to_alcotest = QCheck_alcotest.to_alcotest in
+  Alcotest.run "equiv"
+    [
+      ( "profile",
+        List.map to_alcotest
+          [
+            prop_profile_cells;
+            prop_profile_aggregates;
+            prop_profile_fits;
+            prop_profile_first_fit;
+          ] );
+      ( "cgraph",
+        List.map to_alcotest [ prop_cgraph_incremental; prop_bitset_model ] );
+      ( "pqueue",
+        List.map to_alcotest [ prop_pqueue_sorts; prop_pqueue_interleaved ] );
+      ( "engine",
+        List.map to_alcotest [ prop_engine_store_matches_enumeration ] );
+    ]
