@@ -18,6 +18,7 @@ GATES="
 sweep      bench/sweep_baseline.json      BENCH_sweep.json
 preflight  bench/preflight_baseline.json  BENCH_preflight.json
 serve      bench/serve_baseline.json      BENCH_serve.json
+overload   bench/overload_baseline.json   BENCH_overload.json
 obs        bench/obs_baseline.json        BENCH_obs.json
 scaling    bench/scaling_baseline.json    BENCH_scaling.json
 "

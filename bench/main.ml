@@ -1021,6 +1021,242 @@ let serve_bench () =
     exit 1
   end
 
+(* --- Overload: open-loop load at 2x capacity ---------------------------- *)
+
+(* What does the daemon do when offered twice the load it can serve?
+   Calibrates uncontended capacity closed-loop (cache off, so every
+   request costs real engine work), then drives an open-loop arrival
+   process at 2x that rate against a deliberately small admission queue
+   with degradation armed. Emits BENCH_overload.json (goodput, shed
+   rate, admitted/shed p99 — wall_s gated by compare.exe against
+   bench/overload_baseline.json) and enforces the overload contract
+   directly: every request is answered (no daemon crash, no connection
+   reset), shed responses return in under 5 ms, and the p99 of admitted
+   requests stays within 2x the uncontended p99 — the queue-age bound
+   and the degrade tiers are doing their jobs. *)
+let overload_bench () =
+  section_header "Overload: open-loop load at 2x capacity";
+  let module Server = Pchls_serve.Server in
+  let body = "{\"benchmark\":\"cosine\",\"time\":19,\"power\":25}" in
+  (* One closed connection per request; returns the status (0 on any
+     transport failure — a daemon crash would show up here) and whether
+     the answer was served degraded. *)
+  let one_request port =
+    try
+      let sock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect ~finally:(fun () -> try Unix.close sock with _ -> ())
+      @@ fun () ->
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req =
+        Printf.sprintf
+          "POST /synth HTTP/1.1\r\nhost: bench\r\ncontent-length: %d\r\n\
+           connection: close\r\n\r\n%s"
+          (String.length body) body
+      in
+      let rec send off =
+        if off < String.length req then
+          send (off + Unix.write_substring sock req off (String.length req - off))
+      in
+      send 0;
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec recv () =
+        match Unix.read sock chunk 0 4096 with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          recv ()
+      in
+      recv ();
+      let text = Buffer.contents buf in
+      let status = int_of_string (String.trim (String.sub text 9 3)) in
+      let contains needle =
+        let n = String.length needle and h = String.length text in
+        let rec go i =
+          i + n <= h && (String.sub text i n = needle || go (i + 1))
+        in
+        go 0
+      in
+      (status, contains "x-pchls-degraded", contains "waited too long")
+    with _ -> (0, false, false)
+  in
+  let percentile latencies p =
+    let sorted = Array.copy latencies in
+    Array.sort compare sorted;
+    let n = Array.length sorted in
+    sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  (* At least two worker domains even on a one-CPU host: with jobs = 1
+     the engine computes inline on handler sys-threads, pinning the main
+     domain's runtime lock for tens of ms at a time — the acceptor (and
+     its sub-ms shed path) must never sit behind that. *)
+  let jobs = max 2 (min 4 (Domain.recommended_domain_count ())) in
+  let threads = 4 in
+  let base =
+    { Server.default_config with Server.port = 0; threads; jobs; cache = false }
+  in
+  (* Calibration: closed-loop at handler-thread concurrency, no queueing
+     beyond capacity — the uncontended service rate and p99. *)
+  let calib_n = 48 in
+  let calib_lat = Array.make calib_n 0. in
+  let calib = Server.start base in
+  let cport = Server.port calib in
+  for _ = 1 to 4 do
+    ignore (one_request cport)
+  done;
+  let next = Atomic.make 0 in
+  let client () =
+    let rec go () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < calib_n then begin
+        let t0 = Unix.gettimeofday () in
+        ignore (one_request cport);
+        calib_lat.(i) <- Unix.gettimeofday () -. t0;
+        go ()
+      end
+    in
+    go ()
+  in
+  let (), calib_wall =
+    timed (fun () ->
+        let workers = List.init threads (fun _ -> Thread.create client ()) in
+        List.iter Thread.join workers)
+  in
+  Server.stop calib;
+  let capacity_rps = float_of_int calib_n /. calib_wall in
+  let unc_p99 = percentile calib_lat 0.99 in
+  Format.printf "uncontended: %.1f req/s, p99 %.2f ms@." capacity_rps
+    (1000. *. unc_p99);
+  (* The overload target: a small queue whose age bound sits under the
+     uncontended p99, so admitted latency = bounded wait + service stays
+     within the 2x contract, with the degrade tiers armed. *)
+  let srv =
+    Server.start
+      {
+        base with
+        Server.max_queue = 8;
+        queue_age_ms = Float.max 10. (330. *. unc_p99);
+        shed_threshold = 0.5;
+        degrade_deadline_ms = 25.;
+        watchdog_ms = Some 2000.;
+      }
+  in
+  let port = Server.port srv in
+  let requests = 96 in
+  let interarrival = 1. /. (2. *. capacity_rps) in
+  let latencies = Array.make requests 0. in
+  let statuses = Array.make requests 0 in
+  let degraded_flags = Array.make requests false in
+  let stale_flags = Array.make requests false in
+  let (), wall_s =
+    timed (fun () ->
+        let t_start = Unix.gettimeofday () in
+        let workers =
+          List.init requests (fun i ->
+              (* Open loop: arrivals are paced by the wall clock, not by
+                 responses — the defining property of overload. *)
+              let due = t_start +. (float_of_int i *. interarrival) in
+              let wait = due -. Unix.gettimeofday () in
+              if wait > 0. then Thread.delay wait;
+              Thread.create
+                (fun () ->
+                  let t0 = Unix.gettimeofday () in
+                  let status, degraded, stale = one_request port in
+                  latencies.(i) <- Unix.gettimeofday () -. t0;
+                  statuses.(i) <- status;
+                  degraded_flags.(i) <- degraded;
+                  stale_flags.(i) <- stale)
+                ())
+        in
+        List.iter Thread.join workers)
+  in
+  Server.stop srv;
+  let select pred =
+    let picked = ref [] in
+    Array.iteri
+      (fun i s -> if pred i s then picked := latencies.(i) :: !picked)
+      statuses;
+    Array.of_list !picked
+  in
+  let admitted = select (fun _ s -> s = 200 || s = 206 || s = 422) in
+  (* Queue-full rejections answer without ever queueing; CoDel stale
+     drops spent up to queue_age_ms waiting before their 503, so the
+     client-observed split matters for the 5 ms contract below. *)
+  let shed_fast = select (fun i s -> s = 503 && not stale_flags.(i)) in
+  let shed_stale = select (fun i s -> s = 503 && stale_flags.(i)) in
+  let n_admitted = Array.length admitted in
+  let n_fast = Array.length shed_fast and n_stale = Array.length shed_stale in
+  let n_shed = n_fast + n_stale in
+  let other = requests - n_admitted - n_shed in
+  let n_degraded =
+    Array.fold_left (fun n d -> if d then n + 1 else n) 0 degraded_flags
+  in
+  let goodput_rps = float_of_int n_admitted /. wall_s in
+  let admitted_p99 =
+    if n_admitted = 0 then 0. else percentile admitted 0.99
+  in
+  let shed_p99 = if n_fast = 0 then 0. else percentile shed_fast 0.99 in
+  (* Server-side accept->503-written worst case: the "shedding costs
+     milliseconds" contract, free of the client-thread scheduling noise a
+     one-CPU in-process harness adds to round-trip times. *)
+  let shed_server_max_ms = Metrics.gauge_value (Metrics.gauge "serve.shed_max_ms") in
+  Format.printf
+    "%d requests at %.1f req/s (2x capacity), %d threads, %d worker domains@."
+    requests (2. *. capacity_rps) threads jobs;
+  Format.printf
+    "admitted %d (%.1f req/s goodput, %d degraded), shed %d (%d at the door, \
+     %d stale), other %d@."
+    n_admitted goodput_rps n_degraded n_shed n_fast n_stale other;
+  Format.printf
+    "p99: admitted %.2f ms, shed-at-the-door %.2f ms (server-side max \
+     %.2f ms)@."
+    (1000. *. admitted_p99) (1000. *. shed_p99) shed_server_max_ms;
+  let oc = open_out "BENCH_overload.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"sections\": [\n\
+    \    {\"section\": \"overload\", \"wall_s\": %.6f, \"requests\": %d,\n\
+    \     \"threads\": %d, \"jobs\": %d, \"capacity_rps\": %.1f,\n\
+    \     \"uncontended_p99_ms\": %.3f, \"admitted\": %d, \"shed\": %d,\n\
+    \     \"shed_fast\": %d, \"shed_stale\": %d, \"degraded\": %d,\n\
+    \     \"status_other\": %d, \"goodput_rps\": %.1f,\n\
+    \     \"admitted_p99_ms\": %.3f, \"shed_p99_ms\": %.3f,\n\
+    \     \"shed_server_max_ms\": %.3f}\n\
+    \  ]\n\
+     }\n"
+    wall_s requests threads jobs capacity_rps (1000. *. unc_p99) n_admitted
+    n_shed n_fast n_stale n_degraded other goodput_rps (1000. *. admitted_p99)
+    (1000. *. shed_p99) shed_server_max_ms;
+  close_out oc;
+  Format.printf "@.wrote BENCH_overload.json@.";
+  (* The overload contract, enforced: answered, fast sheds, bounded
+     admitted tail. *)
+  if other > 0 then begin
+    Format.eprintf
+      "overload-bench: %d request(s) got no well-formed answer under load@."
+      other;
+    exit 1
+  end;
+  if n_fast > 0 && shed_server_max_ms > 5. then begin
+    Format.eprintf
+      "overload-bench: worst server-side shed %.2f ms exceeds the 5 ms bound@."
+      shed_server_max_ms;
+    exit 1
+  end;
+  (* 2x the uncontended p99, with a 10 ms floor on the reference and a
+     15 ms grace on the bound: both p99s are single-digit-sample order
+     statistics and the harness shares one process (and possibly one
+     CPU) between 96 client threads and the server — the same reasoning
+     as compare.ml's noise floor. *)
+  let admitted_bound = (2. *. Float.max unc_p99 0.010) +. 0.015 in
+  if n_admitted > 0 && admitted_p99 > admitted_bound then begin
+    Format.eprintf
+      "overload-bench: admitted p99 %.2f ms exceeds 2x uncontended (%.2f ms)@."
+      (1000. *. admitted_p99)
+      (1000. *. admitted_bound);
+    exit 1
+  end
+
 (* --- Scaling: 100/1k/10k-node random DFGs ------------------------------ *)
 
 (* Times the hot paths the engine rewrite targets, on fixed-seed
@@ -1166,6 +1402,7 @@ let sections =
     ("sweep", sweep_bench);
     ("preflight", preflight_bench);
     ("serve", serve_bench);
+    ("overload", overload_bench);
     ("obs", obs_bench);
     ("scaling", scaling_bench);
     ("timing", timing);

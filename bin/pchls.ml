@@ -1318,9 +1318,49 @@ let serve_cmd =
           ~doc:"Requests taking at least $(docv) milliseconds are logged \
                 as slow-request at warn level in the access log.")
   in
+  let max_queue_opt =
+    Arg.(
+      value & opt int 64
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:"Admission queue depth: connections past $(docv) waiting \
+                entries are shed with HTTP 503 and a Retry-After header.")
+  in
+  let queue_age_opt =
+    Arg.(
+      value & opt float 1000.
+      & info [ "queue-age-ms" ] ~docv:"MS"
+          ~doc:"Connections that waited over $(docv) milliseconds in the \
+                admission queue are answered 503 instead of served \
+                (CoDel-style head drop of stale work).")
+  in
+  let shed_threshold_opt =
+    Arg.(
+      value & opt float 0.75
+      & info [ "shed-threshold" ] ~docv:"FRACTION"
+          ~doc:"Queue-fullness fraction past which /synth and /sweep \
+                degrade (clamped deadlines, then preflight-only answers, \
+                marked with an x-pchls-degraded header). Values above 1 \
+                disable degradation.")
+  in
+  let breaker_opt =
+    Arg.(
+      value & opt bool true
+      & info [ "breaker" ] ~docv:"BOOL"
+          ~doc:"Per-endpoint circuit breakers: a burst of 5xx outcomes \
+                opens the endpoint and callers fast-fail 503 until a \
+                cooldown probe succeeds.")
+  in
+  let watchdog_opt =
+    Arg.(
+      value & opt float 0.
+      & info [ "watchdog-ms" ] ~docv:"MS"
+          ~doc:"Reclaim engine tasks stuck past $(docv) milliseconds of \
+                wall time (cooperative budget cancellation; the request \
+                is answered 500). 0 disables the watchdog.")
+  in
   let run host port threads jobs library cache_dir no_cache mem_entries
-      deadline_ms max_body trace flight_capacity access_log slow_ms log_level
-      no_color =
+      deadline_ms max_body trace flight_capacity access_log slow_ms max_queue
+      queue_age_ms shed_threshold breaker watchdog_ms log_level no_color =
     apply_color no_color;
     apply_log log_level;
     let config =
@@ -1340,6 +1380,15 @@ let serve_cmd =
         flight_capacity = max 0 flight_capacity;
         access_log;
         slow_ms;
+        max_queue;
+        queue_age_ms;
+        shed_threshold;
+        degrade_deadline_ms =
+          Pchls_serve.Server.default_config.Pchls_serve.Server.degrade_deadline_ms;
+        breaker;
+        breaker_cooldown_ms =
+          Pchls_serve.Server.default_config.Pchls_serve.Server.breaker_cooldown_ms;
+        watchdog_ms = (if watchdog_ms > 0. then Some watchdog_ms else None);
       }
     in
     match Pchls_serve.Server.run config with
@@ -1370,6 +1419,15 @@ let serve_cmd =
               shared result cache serves all requests and identical \
               in-flight requests are coalesced. See docs/SERVING.md.";
            `P
+             "Overload protection: a bounded admission queue sheds excess \
+              connections with 503 + Retry-After ($(b,--max-queue), \
+              $(b,--queue-age-ms)), pressure past $(b,--shed-threshold) \
+              degrades /synth and /sweep to fast partial or \
+              preflight-only answers (x-pchls-degraded header), circuit \
+              breakers ($(b,--breaker)) fast-fail endpoints that keep \
+              returning 5xx, and $(b,--watchdog-ms) reclaims hung engine \
+              tasks. See docs/ROBUSTNESS.md.";
+           `P
              "SIGINT/SIGTERM drains in-flight requests and exits 0; a \
               second signal force-exits 1.";
          ])
@@ -1377,7 +1435,8 @@ let serve_cmd =
       const run $ host_opt $ port_opt $ threads_opt $ jobs_opt $ library_opt
       $ cache_dir_opt $ no_cache_flag $ mem_entries_opt $ serve_deadline_opt
       $ max_body_opt $ serve_trace_flag $ flight_capacity_opt $ access_log_opt
-      $ slow_ms_opt $ log_opt $ no_color_flag)
+      $ slow_ms_opt $ max_queue_opt $ queue_age_opt $ shed_threshold_opt
+      $ breaker_opt $ watchdog_opt $ log_opt $ no_color_flag)
 
 (* --- main -------------------------------------------------------------- *)
 

@@ -1,0 +1,92 @@
+module Clock = Pchls_obs.Clock
+module Metrics = Pchls_obs.Metrics
+
+let m_rejected = Metrics.counter "admission.rejected"
+let m_stale = Metrics.counter "admission.stale"
+let g_depth = Metrics.gauge "admission.depth"
+
+type 'a entry = { item : 'a; enqueued_ns : int64 }
+
+type 'a t = {
+  max_depth : int;
+  max_age_ms : float;
+  now : unit -> int64;
+  q : 'a entry Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+}
+
+let create ?(now = Clock.now_ns) ~max_depth ~max_age_ms () =
+  if max_depth < 0 then
+    invalid_arg
+      (Printf.sprintf "Admission.create: max_depth < 0 (%d)" max_depth);
+  if max_age_ms <= 0. then
+    invalid_arg
+      (Printf.sprintf "Admission.create: max_age_ms <= 0 (%g)" max_age_ms);
+  {
+    max_depth;
+    max_age_ms;
+    now;
+    q = Queue.create ();
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    closed = false;
+  }
+
+let max_depth t = t.max_depth
+let max_age_ms t = t.max_age_ms
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.q in
+  Mutex.unlock t.mutex;
+  n
+
+let offer t item =
+  Mutex.lock t.mutex;
+  let admitted =
+    if t.closed || Queue.length t.q >= t.max_depth then false
+    else begin
+      Queue.push { item; enqueued_ns = t.now () } t.q;
+      Metrics.set g_depth (float_of_int (Queue.length t.q));
+      Condition.signal t.nonempty;
+      true
+    end
+  in
+  Mutex.unlock t.mutex;
+  if not admitted then Metrics.incr m_rejected;
+  admitted
+
+type 'a taken = Fresh of 'a * float | Stale of 'a * float | Closed
+
+let take t =
+  Mutex.lock t.mutex;
+  let rec go () =
+    match Queue.take_opt t.q with
+    | Some e ->
+      Metrics.set g_depth (float_of_int (Queue.length t.q));
+      let age_ms = Int64.to_float (Int64.sub (t.now ()) e.enqueued_ns) /. 1e6 in
+      if age_ms > t.max_age_ms then begin
+        Metrics.incr m_stale;
+        Stale (e.item, age_ms)
+      end
+      else Fresh (e.item, age_ms)
+    | None ->
+      if t.closed then Closed
+      else begin
+        Condition.wait t.nonempty t.mutex;
+        go ()
+      end
+  in
+  let out = go () in
+  Mutex.unlock t.mutex;
+  out
+
+let close t =
+  Mutex.lock t.mutex;
+  if not t.closed then begin
+    t.closed <- true;
+    Condition.broadcast t.nonempty
+  end;
+  Mutex.unlock t.mutex

@@ -1,0 +1,65 @@
+(** A bounded FIFO admission queue with a maximum depth and a maximum
+    queue age — the front door of an overloaded service.
+
+    Accepting work unboundedly is how a daemon dies under load twice:
+    first the queue grows without limit (memory), then every admitted
+    request spends so long queued that by the time it runs its client
+    has given up (wasted work on dead requests). An admission queue
+    bounds both failure modes:
+
+    - {!offer} refuses new work outright once [max_depth] entries are
+      waiting — the caller answers with the cheapest possible rejection
+      (HTTP 503 + [Retry-After]) instead of queueing doomed work;
+    - {!take} drops entries that have waited longer than [max_age_ms]
+      before handing out a fresh one (CoDel-style head drop: the oldest,
+      stalest work is discarded first, keeping the queue short and the
+      sojourn time of everything actually served bounded by the age cap).
+
+    Dropped-as-stale entries are handed back to the taker (as
+    {!taken.Stale}) rather than silently discarded, so the caller can
+    still answer their clients cheaply.
+
+    All operations are thread-safe; {!take} blocks until an entry or
+    {!close}. Rejections and stale drops are counted in the
+    [admission.rejected] / [admission.stale] metrics and the current
+    depth is mirrored in the [admission.depth] gauge (shared by all
+    queues in the process). *)
+
+type 'a t
+
+(** [create ?now ~max_depth ~max_age_ms ()] — a queue admitting at most
+    [max_depth] waiting entries, each valid for [max_age_ms]
+    milliseconds of queueing. [now] (default {!Pchls_obs.Clock.now_ns})
+    is swappable so tests control queue age without sleeping.
+
+    @raise Invalid_argument when [max_depth < 0] or [max_age_ms <= 0]. *)
+val create :
+  ?now:(unit -> int64) -> max_depth:int -> max_age_ms:float -> unit -> 'a t
+
+(** [offer t x] — enqueue [x], or refuse ([false]) when [max_depth]
+    entries are already waiting or the queue is closed. Never blocks. *)
+val offer : 'a t -> 'a -> bool
+
+(** What {!take} hands out. *)
+type 'a taken =
+  | Fresh of 'a * float
+      (** an admissible entry and the milliseconds it spent queued *)
+  | Stale of 'a * float
+      (** an entry that overstayed [max_age_ms] (its age attached): the
+          caller must answer it cheaply and call {!take} again *)
+  | Closed  (** the queue is closed and drained — no more entries *)
+
+(** [take t] blocks until an entry is available or the queue is both
+    closed and empty. Entries still queued when {!close} is called are
+    drained normally (a graceful shutdown serves what it accepted). *)
+val take : 'a t -> 'a taken
+
+(** [length t] — entries currently waiting. *)
+val length : 'a t -> int
+
+(** [close t] — refuse further {!offer}s and wake blocked {!take}rs;
+    already-queued entries drain. Idempotent. *)
+val close : 'a t -> unit
+
+val max_depth : 'a t -> int
+val max_age_ms : 'a t -> float

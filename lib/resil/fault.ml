@@ -18,6 +18,8 @@ let known =
     "explore.point";
     "serve.accept";
     "serve.handler";
+    "serve.shed";
+    "serve.hang";
   ]
 
 let canonical = function "no-power-check" -> "engine.power-check" | n -> n

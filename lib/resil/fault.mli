@@ -35,7 +35,13 @@
       keep accepting, never die;
     - ["serve.handler"]: a [pchls serve] request handler crashes before
       dispatch, exercising the catch-all 500 response path (the
-      connection still gets an answer and the daemon survives). *)
+      connection still gets an answer and the daemon survives);
+    - ["serve.shed"]: a [pchls serve] admission-queue offer is forced to
+      fail, exercising the load-shed path (503 + [Retry-After]) without
+      actually saturating the queue;
+    - ["serve.hang"]: a [pchls serve] engine task hangs (cooperatively —
+      it spins polling its budget) until the {!Watchdog} cancels it,
+      exercising the kill/reclaim path. *)
 
 (** Raised by {!inject}; carries the fault-point name. Registered with
     [Printexc] so reports read ["injected fault: pool.worker"]. *)

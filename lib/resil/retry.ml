@@ -55,7 +55,13 @@ let run ?(attempts = 3) ?(base_delay_ns = 1_000_000L)
         Metrics.observe h_backoff (Int64.to_float delay);
         sleep delay;
         slept := Int64.add !slept delay;
-        go (attempt + 1) delay
+        (* The sleep itself may have consumed the enclosing deadline
+           (the clamp bounds the requested delay, not what a slow
+           scheduler actually delivered): re-check before burning
+           another attempt the caller no longer has time for. *)
+        match budget with
+        | Some b when Budget.exhausted b -> Printexc.raise_with_backtrace exn bt
+        | Some _ | None -> go (attempt + 1) delay
       end
   in
   go 0 base_delay_ns

@@ -30,7 +30,10 @@ type outcome = {
       run without real delays.
     - When [budget] is exhausted before a retry would start, the last
       exception is re-raised instead of sleeping; the wait never
-      overshoots [Budget.remaining_ns].
+      overshoots [Budget.remaining_ns], and a backoff that nevertheless
+      consumes the deadline (a slow scheduler, a coarse [sleep]) is
+      caught by a post-sleep re-check — [f] is never invoked on an
+      exhausted budget.
 
     On success returns [(v, outcome)]; on exhaustion re-raises the last
     exception. Successful retries (attempt > 0 succeeding) bump the

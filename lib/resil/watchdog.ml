@@ -1,0 +1,123 @@
+module Clock = Pchls_obs.Clock
+module Metrics = Pchls_obs.Metrics
+
+let m_kills = Metrics.counter "watchdog.kills"
+let g_live = Metrics.gauge "watchdog.live"
+
+type watched = {
+  id : string;
+  budget : Budget.t;
+  started_ns : int64;
+  task_killed : bool Atomic.t;
+}
+
+type t = {
+  limit_ms : float;
+  poll_ms : float;
+  now : unit -> int64;
+  on_kill : id:string -> age_ms:float -> unit;
+  mutex : Mutex.t;
+  live_tasks : (int, watched) Hashtbl.t;
+  mutable next_key : int;
+  kill_count : int Atomic.t;
+  stopping : bool Atomic.t;
+  mutable thread : Thread.t option;
+}
+
+(* The registry key rides inside the handle so [complete] is O(1); the
+   handle itself stays usable (for [killed]) after removal. *)
+type task = { key : int; task : watched }
+
+let scan t =
+  let victims =
+    Mutex.lock t.mutex;
+    let now = t.now () in
+    let found =
+      Hashtbl.fold
+        (fun key task acc ->
+          let age_ms =
+            Int64.to_float (Int64.sub now task.started_ns) /. 1e6
+          in
+          if age_ms > t.limit_ms && not (Atomic.get task.task_killed) then
+            (key, task, age_ms) :: acc
+          else acc)
+        t.live_tasks []
+    in
+    Mutex.unlock t.mutex;
+    found
+  in
+  List.iter
+    (fun (_, task, age_ms) ->
+      if not (Atomic.exchange task.task_killed true) then begin
+        Budget.cancel task.budget;
+        Atomic.incr t.kill_count;
+        Metrics.incr m_kills;
+        t.on_kill ~id:task.id ~age_ms
+      end)
+    victims
+
+let loop t =
+  while not (Atomic.get t.stopping) do
+    (try Thread.delay (t.poll_ms /. 1000.)
+     with Unix.Unix_error (EINTR, _, _) -> ());
+    if not (Atomic.get t.stopping) then scan t
+  done
+
+let start ?(now = Clock.now_ns) ?(poll_ms = 25.)
+    ?(on_kill = fun ~id:_ ~age_ms:_ -> ()) ~limit_ms () =
+  if limit_ms <= 0. then
+    invalid_arg (Printf.sprintf "Watchdog.start: limit_ms <= 0 (%g)" limit_ms);
+  if poll_ms <= 0. then
+    invalid_arg (Printf.sprintf "Watchdog.start: poll_ms <= 0 (%g)" poll_ms);
+  let t =
+    {
+      limit_ms;
+      poll_ms;
+      now;
+      on_kill;
+      mutex = Mutex.create ();
+      live_tasks = Hashtbl.create 16;
+      next_key = 0;
+      kill_count = Atomic.make 0;
+      stopping = Atomic.make false;
+      thread = None;
+    }
+  in
+  t.thread <- Some (Thread.create loop t);
+  t
+
+let watch t ~id ~budget =
+  let task =
+    { id; budget; started_ns = t.now (); task_killed = Atomic.make false }
+  in
+  Mutex.lock t.mutex;
+  let key = t.next_key in
+  t.next_key <- key + 1;
+  Hashtbl.replace t.live_tasks key task;
+  Metrics.set g_live (float_of_int (Hashtbl.length t.live_tasks));
+  Mutex.unlock t.mutex;
+  { key; task }
+
+let complete t handle =
+  Mutex.lock t.mutex;
+  Hashtbl.remove t.live_tasks handle.key;
+  Metrics.set g_live (float_of_int (Hashtbl.length t.live_tasks));
+  Mutex.unlock t.mutex
+
+let killed handle = Atomic.get handle.task.task_killed
+let kills t = Atomic.get t.kill_count
+
+let live t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.live_tasks in
+  Mutex.unlock t.mutex;
+  n
+
+let limit_ms t = t.limit_ms
+let poll_ms t = t.poll_ms
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    Option.iter Thread.join t.thread;
+    t.thread <- None
+  end

@@ -1,0 +1,67 @@
+(** A watchdog thread that reclaims handlers stuck past a hard wall
+    limit.
+
+    Budgets ({!Budget}) make long computations {e cooperatively}
+    interruptible, but nothing interrupts a computation whose caller set
+    no deadline — a hung handler pins its pool domain forever and the
+    service loses capacity one hang at a time. The watchdog closes the
+    loop: every in-flight task {!watch}es itself in, a dedicated
+    sys-thread polls the live set every [poll_ms], and any task older
+    than [limit_ms] is {e killed} — its budget is {!Budget.cancel}led
+    (the cooperative-cancellation seam every engine loop already polls),
+    the kill is counted ([watchdog.kills]) and reported through
+    [on_kill].
+
+    A kill is observed by the victim, not imposed on it: the computation
+    winds down at its next budget poll and the caller checks {!killed}
+    to distinguish "budget spent" (a partial anytime answer) from
+    "watchdog reclaimed me" (an error — the serve layer answers 500 and
+    dumps the flight recorder).
+
+    All operations are thread-safe. *)
+
+type t
+
+(** A handle for one watched computation. *)
+type task
+
+(** [start ?now ?poll_ms ?on_kill ~limit_ms ()] spawns the watchdog
+    thread. [poll_ms] (default 25) is the scan interval — a hang is
+    detected within [limit_ms + poll_ms]. [on_kill ~id ~age_ms] runs on
+    the watchdog thread after the victim's budget is cancelled. [now]
+    (default {!Pchls_obs.Clock.now_ns}) is swappable for tests.
+
+    @raise Invalid_argument when [limit_ms <= 0] or [poll_ms <= 0]. *)
+val start :
+  ?now:(unit -> int64) ->
+  ?poll_ms:float ->
+  ?on_kill:(id:string -> age_ms:float -> unit) ->
+  limit_ms:float ->
+  unit ->
+  t
+
+(** [watch t ~id ~budget] registers a computation starting now. [budget]
+    is the token the computation polls; the watchdog cancels it on
+    kill. *)
+val watch : t -> id:string -> budget:Budget.t -> task
+
+(** [complete t task] removes [task] from the live set (call when the
+    computation returns, killed or not). Idempotent. *)
+val complete : t -> task -> unit
+
+(** [killed task] — was this task reclaimed by the watchdog? Readable
+    after {!complete}. *)
+val killed : task -> bool
+
+(** [kills t] — tasks this watchdog has killed since {!start}. *)
+val kills : t -> int
+
+(** [live t] — tasks currently watched. *)
+val live : t -> int
+
+val limit_ms : t -> float
+val poll_ms : t -> float
+
+(** [stop t] joins the watchdog thread. Idempotent; watched tasks are
+    left alone (their budgets are not cancelled). *)
+val stop : t -> unit

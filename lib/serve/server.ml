@@ -22,10 +22,20 @@ module Jsonlog = Pchls_obs.Log
 module Clock = Pchls_obs.Clock
 module Budget = Pchls_resil.Budget
 module Fault = Pchls_resil.Fault
+module Admission = Pchls_resil.Admission
+module Breaker = Pchls_resil.Breaker
+module Watchdog = Pchls_resil.Watchdog
 
 let m_requests = Metrics.counter "serve.requests"
 let m_partial = Metrics.counter "serve.partial"
 let m_accept_faults = Metrics.counter "serve.accept_faults"
+let m_shed = Metrics.counter "serve.shed"
+let m_degraded = Metrics.counter "serve.degraded"
+
+(* Worst accept->503-written time over the process lifetime: the direct
+   observable for the "shedding costs milliseconds" contract, free of
+   client-side scheduling noise. Only the acceptor writes it. *)
+let g_shed_max_ms = Metrics.gauge "serve.shed_max_ms"
 let g_inflight = Metrics.gauge "serve.inflight"
 
 let h_request_ns =
@@ -59,6 +69,13 @@ type config = {
   flight_capacity : int;
   access_log : string option;
   slow_ms : float;
+  max_queue : int;
+  queue_age_ms : float;
+  shed_threshold : float;
+  degrade_deadline_ms : float;
+  breaker : bool;
+  breaker_cooldown_ms : float;
+  watchdog_ms : float option;
 }
 
 let default_config =
@@ -77,6 +94,13 @@ let default_config =
     flight_capacity = Flight.default_capacity;
     access_log = None;
     slow_ms = 1000.;
+    max_queue = 64;
+    queue_age_ms = 1000.;
+    shed_threshold = 0.75;
+    degrade_deadline_ms = 200.;
+    breaker = true;
+    breaker_cooldown_ms = 1000.;
+    watchdog_ms = None;
   }
 
 (* The value shared through a coalesced flight: the engine outcome plus
@@ -95,11 +119,12 @@ type t = {
   cache : Store.t option;
   pool : Pool.t;
   flights : flight Coalesce.t;
-  queue : Unix.file_descr Queue.t;
-  qmutex : Mutex.t;
-  qcond : Condition.t;
+  admission : Unix.file_descr Admission.t;
+  breakers : (string * Breaker.t) list;
+  watchdog : Watchdog.t option;
   stopping : bool Atomic.t;
   inflight_count : int Atomic.t;
+  shed_count : int Atomic.t;
   sink : Trace.sink option;
   flight : Flight.t option;
   access : Jsonlog.t option;
@@ -115,6 +140,42 @@ type t = {
 let port t = t.bound_port
 let store t = t.cache
 let inflight t = Atomic.get t.inflight_count
+
+(* --- overload state ------------------------------------------------------ *)
+
+(* Raised (by the handler that registered the watch) when the watchdog
+   reclaimed its engine task; carries the coalescing key for the log. *)
+exception Killed of string
+
+let () =
+  Printexc.register_printer (function
+    | Killed key -> Some ("watchdog reclaimed handler: " ^ key)
+    | _ -> None)
+
+(* Queue pressure in [0, 1]: how full the admission queue is. 0 while
+   handlers keep up; approaching 1 as the backlog nears the shed point. *)
+let pressure srv =
+  float_of_int (Admission.length srv.admission)
+  /. float_of_int (max 1 (Admission.max_depth srv.admission))
+
+type degrade = [ `None | `Clamp | `Preflight ]
+
+let degrade_to_string = function
+  | `None -> "none"
+  | `Clamp -> "clamped"
+  | `Preflight -> "preflight"
+
+(* Two pressure tiers: past [shed_threshold] the anytime engine runs
+   under a clamped deadline (fast 206s); past the midpoint between the
+   threshold and saturation, /synth and /sweep answer from preflight
+   bounds alone without touching the pool. A threshold above 1 can never
+   be reached — the operator's way of turning degradation off. *)
+let degrade_level srv : degrade =
+  let p = pressure srv in
+  let t = srv.config.shed_threshold in
+  if p >= (t +. 1.) /. 2. then `Preflight
+  else if p >= t then `Clamp
+  else `None
 
 (* --- request decoding --------------------------------------------------- *)
 
@@ -252,15 +313,35 @@ let policy_field json =
 
 let preflight_field json = Option.value (opt_bool "preflight" json) ~default:false
 
+(* The degraded mode for this request: normally the server's current
+   pressure tier, but the body may pin one explicitly ("degraded":
+   "preflight" asks for the bounds-only answer, "none" opts out of
+   pressure degradation) — load tests and clients that prefer a fast
+   coarse answer use this. *)
+let degrade_mode srv json : degrade =
+  match opt_string "degraded" json with
+  | None -> degrade_level srv
+  | Some "none" -> `None
+  | Some "clamped" -> `Clamp
+  | Some "preflight" -> `Preflight
+  | Some s -> bad "unknown \"degraded\" mode %S (none, clamped, preflight)" s
+
 (* The per-request budget: the request's own deadline_ms/max_iters,
-   ceilinged by (and defaulting to) the server-wide max_deadline_ms. *)
-let request_budget config json =
+   ceilinged by (and defaulting to) the server-wide max_deadline_ms.
+   [clamp_ms] (degraded mode) forces a deadline at most that tight, so
+   the anytime engine answers quickly with whatever it has. *)
+let request_budget ?clamp_ms config json =
   let deadline_ms =
     match (opt_number "deadline_ms" json, config.max_deadline_ms) with
     | Some d, _ when d < 0. -> bad "\"deadline_ms\" must be >= 0"
     | Some d, Some cap -> Some (Float.min d cap)
     | Some d, None -> Some d
     | None, cap -> cap
+  in
+  let deadline_ms =
+    match clamp_ms with
+    | None -> deadline_ms
+    | Some c -> Some (match deadline_ms with None -> c | Some d -> Float.min d c)
   in
   let max_iters =
     match opt_int "max_iters" json with
@@ -369,8 +450,48 @@ let apply_partial status body_fields = function
 
 let dispatch srv f = Pool.run srv.pool f
 
+(* The serve.hang chaos seam: an armed fault turns this engine task into
+   a cooperative hang — it spins polling its budget exactly like a stuck
+   optimization loop would, until the watchdog cancels it, the server
+   drains, or a hard cap gives up (so an unwatched hang cannot pin a
+   domain forever). *)
+let maybe_hang srv budget =
+  if Fault.fires "serve.hang" then begin
+    Log.warn (fun m -> m "injected fault: serve.hang — task spinning until cancelled");
+    let give_up = Int64.add (Clock.now_ns ()) 5_000_000_000L in
+    let interrupted () =
+      match budget with
+      | Some b -> Budget.interrupted b <> None
+      | None -> false
+    in
+    while
+      (not (interrupted ()))
+      && (not (Atomic.get srv.stopping))
+      && Int64.compare (Clock.now_ns ()) give_up < 0
+    do
+      Thread.delay 0.002
+    done
+  end
+
+(* Engine work under watchdog supervision. The watchdog cancels the
+   budget of a task past the wall limit; the engine winds down at its
+   next poll, and [killed] tells us the partial result is not a budget
+   verdict but a reclaim — answered as 500, never 206. *)
+let supervised srv ~key ~budget f =
+  match (srv.watchdog, budget) with
+  | Some wd, Some b ->
+    let task = Watchdog.watch wd ~id:key ~budget:b in
+    let v = Fun.protect ~finally:(fun () -> Watchdog.complete wd task) f in
+    if Watchdog.killed task then raise (Killed key);
+    v
+  | _ -> f ()
+
+(* A watchdog-killed leader says nothing about the computation, so a
+   coalesced follower reruns once as its own request instead of sharing
+   the corpse. *)
 let coalesce srv ~key compute =
-  let outcome, role = Coalesce.run srv.flights ~key compute in
+  let retry_on = function Killed _ -> true | _ -> false in
+  let outcome, role = Coalesce.run ~retry_on srv.flights ~key compute in
   match outcome with
   | Ok flight -> (flight, role)
   | Error e -> raise e
@@ -378,109 +499,205 @@ let coalesce srv ~key compute =
 let respond status fields =
   Http.response status (Json.to_string (Json.Obj fields))
 
+(* Stamp a degraded answer: the x-pchls-degraded header is the contract
+   clients key on (the body shape varies by endpoint and mode). *)
+let with_degraded (mode : degrade) resp =
+  match mode with
+  | `None -> resp
+  | `Clamp | `Preflight ->
+    Metrics.incr m_degraded;
+    { resp with
+      Http.headers =
+        ("x-pchls-degraded", degrade_to_string mode) :: resp.Http.headers;
+    }
+
+(* Requests under watchdog supervision always get a budget — a request
+   with no limits of its own still needs the cancellation seam the
+   watchdog kills through. *)
+let ensure_cancellable srv budget =
+  match (budget, srv.watchdog) with
+  | None, Some _ -> Some (Budget.make ())
+  | b, _ -> b
+
+(* Degraded-to-preflight answers: static bounds alone, computed inline —
+   no pool slot, no engine iteration. Infeasibility proved by the bounds
+   is exact and keeps its 422; anything else is an honest "unknown"
+   answered as 206 partial. *)
+let degraded_synth srv ~name g ~time_limit ~power_limit =
+  let r =
+    Preflight.analyze ~library:srv.config.library ~time_limit ~power_limit g
+  in
+  let infeasible = Preflight.infeasible r in
+  let body =
+    Printf.sprintf
+      "{\"name\":\"%s\",\"degraded\":\"preflight\",\"partial\":\"degraded\",\
+       \"infeasible\":%b,\"report\":%s}"
+      (Json.escape name) infeasible
+      (String.trim (Preflight.to_json r))
+  in
+  Http.response (if infeasible then 422 else 206) body
+
 let handle_synth srv req =
   let json = parse_body req in
   let name, g = resolve_graph json in
   let time_limit = time_field json in
   let power_limit = power_field json in
-  let policy = policy_field json in
-  let preflight = preflight_field json in
-  let fp = Explore.fingerprint ?policy ~library:srv.config.library g in
-  let key =
-    Printf.sprintf "synth|%s|t=%d|p=%h|pf=%b|%s" fp time_limit power_limit
-      preflight
-      (budget_signature json srv.config)
+  match degrade_mode srv json with
+  | `Preflight ->
+    with_degraded `Preflight (degraded_synth srv ~name g ~time_limit ~power_limit)
+  | (`None | `Clamp) as mode ->
+    let policy = policy_field json in
+    let preflight = preflight_field json in
+    let fp = Explore.fingerprint ?policy ~library:srv.config.library g in
+    let key =
+      Printf.sprintf "synth|%s|t=%d|p=%h|pf=%b|%s|deg=%s" fp time_limit
+        power_limit preflight
+        (budget_signature json srv.config)
+        (degrade_to_string mode)
+    in
+    let clamp_ms =
+      match mode with
+      | `Clamp -> Some srv.config.degrade_deadline_ms
+      | `None -> None
+    in
+    let compute () =
+      let budget =
+        ensure_cancellable srv (request_budget ?clamp_ms srv.config json)
+      in
+      let result =
+        supervised srv ~key ~budget (fun () ->
+            dispatch srv (fun () ->
+                maybe_hang srv budget;
+                Explore.solve ?policy ?deadline:budget ~preflight
+                  ~library:srv.config.library ?cache:srv.cache ~fp g ~time_limit
+                  ~power_limit))
+      in
+      {
+        work = Solved result;
+        partial =
+          Option.map Budget.reason_to_string (Option.bind budget Budget.check);
+      }
+    in
+    let flight, role = coalesce srv ~key compute in
+    let coalesced = ("coalesced", Json.Bool (role = Coalesce.Joined)) in
+    with_degraded mode
+      (match flight.work with
+      | Solved (Explore.Feasible { area; peak; design }) ->
+        let status, fields =
+          apply_partial 200
+            (match json_of_design name design ~area ~peak with
+            | Json.Obj fields -> fields
+            | _ -> assert false)
+            flight.partial
+        in
+        respond status (fields @ [ coalesced ])
+      | Solved (Explore.Infeasible reason | Explore.Pruned reason) ->
+        let status, fields =
+          apply_partial 422
+            [
+              ("name", Json.String name);
+              ("error", Json.String "infeasible");
+              ("reason", Json.String reason);
+            ]
+            flight.partial
+        in
+        respond status (fields @ [ coalesced ])
+      | Solved (Explore.Failed reason) ->
+        Http.response 500 (error_body ~error:"internal" reason)
+      | Swept _ -> assert false (* key namespaces are disjoint *))
+
+let degraded_sweep srv ~name g ~times ~powers =
+  let points =
+    List.concat_map
+      (fun time_limit ->
+        List.map
+          (fun power_limit ->
+            let r =
+              Preflight.analyze ~library:srv.config.library ~time_limit
+                ~power_limit g
+            in
+            Json.Obj
+              [
+                ("time", Json.Number (float_of_int time_limit));
+                ("power", number_or_null power_limit);
+                ( "status",
+                  Json.String
+                    (if Preflight.infeasible r then "infeasible" else "unknown")
+                );
+              ])
+          powers)
+      times
   in
-  let compute () =
-    let budget = request_budget srv.config json in
-    let result =
-      dispatch srv (fun () ->
-          Explore.solve ?policy ?deadline:budget ~preflight
-            ~library:srv.config.library ?cache:srv.cache ~fp g ~time_limit
-            ~power_limit)
-    in
-    {
-      work = Solved result;
-      partial =
-        Option.map Budget.reason_to_string (Option.bind budget Budget.check);
-    }
-  in
-  let flight, role = coalesce srv ~key compute in
-  let coalesced = ("coalesced", Json.Bool (role = Coalesce.Joined)) in
-  match flight.work with
-  | Solved (Explore.Feasible { area; peak; design }) ->
-    let status, fields =
-      apply_partial 200
-        (match json_of_design name design ~area ~peak with
-        | Json.Obj fields -> fields
-        | _ -> assert false)
-        flight.partial
-    in
-    respond status (fields @ [ coalesced ])
-  | Solved (Explore.Infeasible reason | Explore.Pruned reason) ->
-    let status, fields =
-      apply_partial 422
-        [
-          ("name", Json.String name);
-          ("error", Json.String "infeasible");
-          ("reason", Json.String reason);
-        ]
-        flight.partial
-    in
-    respond status (fields @ [ coalesced ])
-  | Solved (Explore.Failed reason) ->
-    Http.response 500 (error_body ~error:"internal" reason)
-  | Swept _ -> assert false (* key namespaces are disjoint *)
+  respond 206
+    [
+      ("name", Json.String name);
+      ("degraded", Json.String "preflight");
+      ("partial", Json.String "degraded");
+      ("points", Json.List points);
+    ]
 
 let handle_sweep srv req ~pareto =
   let json = parse_body req in
   let name, g = resolve_graph json in
   let times, powers = grid_fields json in
-  let policy = policy_field json in
-  let preflight = preflight_field json in
-  let fp = Explore.fingerprint ?policy ~library:srv.config.library g in
-  let key =
-    Printf.sprintf "sweep|%s|t=%s|p=%s|pf=%b|%s" fp
-      (String.concat "," (List.map string_of_int times))
-      (String.concat "," (List.map (Printf.sprintf "%h") powers))
-      preflight
-      (budget_signature json srv.config)
-  in
-  let compute () =
-    let budget = request_budget srv.config json in
-    (* The whole grid is one pool task: grid points run sequentially
-       against the shared cache while concurrent requests spread across
-       the pool's domains. *)
-    let points =
-      dispatch srv (fun () ->
-          Explore.sweep ?policy ?deadline:budget ~preflight
-            ~library:srv.config.library ?cache:srv.cache g ~times ~powers)
+  match degrade_mode srv json with
+  | `Preflight -> with_degraded `Preflight (degraded_sweep srv ~name g ~times ~powers)
+  | (`None | `Clamp) as mode ->
+    let policy = policy_field json in
+    let preflight = preflight_field json in
+    let fp = Explore.fingerprint ?policy ~library:srv.config.library g in
+    let key =
+      Printf.sprintf "sweep|%s|t=%s|p=%s|pf=%b|%s|deg=%s" fp
+        (String.concat "," (List.map string_of_int times))
+        (String.concat "," (List.map (Printf.sprintf "%h") powers))
+        preflight
+        (budget_signature json srv.config)
+        (degrade_to_string mode)
     in
-    {
-      work = Swept points;
-      partial =
-        Option.map Budget.reason_to_string (Option.bind budget Budget.check);
-    }
-  in
-  let flight, role = coalesce srv ~key compute in
-  match flight.work with
-  | Swept points ->
-    let fields =
-      [
-        ("name", Json.String name);
-        ("points", Json.List (List.map json_of_point points));
-      ]
-      @ (if pareto then
-           [
-             ( "pareto",
-               Json.List (List.map json_of_point (Explore.pareto points)) );
-           ]
-         else [])
-      @ [ ("coalesced", Json.Bool (role = Coalesce.Joined)) ]
+    let clamp_ms =
+      match mode with
+      | `Clamp -> Some srv.config.degrade_deadline_ms
+      | `None -> None
     in
-    let status, fields = apply_partial 200 fields flight.partial in
-    respond status fields
-  | Solved _ -> assert false (* key namespaces are disjoint *)
+    let compute () =
+      let budget =
+        ensure_cancellable srv (request_budget ?clamp_ms srv.config json)
+      in
+      (* The whole grid is one pool task: grid points run sequentially
+         against the shared cache while concurrent requests spread across
+         the pool's domains. *)
+      let points =
+        supervised srv ~key ~budget (fun () ->
+            dispatch srv (fun () ->
+                maybe_hang srv budget;
+                Explore.sweep ?policy ?deadline:budget ~preflight
+                  ~library:srv.config.library ?cache:srv.cache g ~times ~powers))
+      in
+      {
+        work = Swept points;
+        partial =
+          Option.map Budget.reason_to_string (Option.bind budget Budget.check);
+      }
+    in
+    let flight, role = coalesce srv ~key compute in
+    (match flight.work with
+    | Swept points ->
+      let fields =
+        [
+          ("name", Json.String name);
+          ("points", Json.List (List.map json_of_point points));
+        ]
+        @ (if pareto then
+             [
+               ( "pareto",
+                 Json.List (List.map json_of_point (Explore.pareto points)) );
+             ]
+           else [])
+        @ [ ("coalesced", Json.Bool (role = Coalesce.Joined)) ]
+      in
+      let status, fields = apply_partial 200 fields flight.partial in
+      with_degraded mode (respond status fields)
+    | Solved _ -> assert false (* key namespaces are disjoint *))
 
 let handle_check srv req =
   let json = parse_body req in
@@ -488,12 +705,14 @@ let handle_check srv req =
   let time_limit = time_field json in
   let power_limit = power_field json in
   let policy = policy_field json in
-  let budget = request_budget srv.config json in
+  let budget = ensure_cancellable srv (request_budget srv.config json) in
   let fp = Explore.fingerprint ?policy ~library:srv.config.library g in
   let result =
-    dispatch srv (fun () ->
-        Explore.solve ?policy ?deadline:budget ~library:srv.config.library
-          ?cache:srv.cache ~fp g ~time_limit ~power_limit)
+    supervised srv ~key:("check|" ^ fp) ~budget (fun () ->
+        dispatch srv (fun () ->
+            maybe_hang srv budget;
+            Explore.solve ?policy ?deadline:budget ~library:srv.config.library
+              ?cache:srv.cache ~fp g ~time_limit ~power_limit))
   in
   let partial =
     Option.map Budget.reason_to_string (Option.bind budget Budget.check)
@@ -598,6 +817,37 @@ let handle_healthz srv =
               ("dropped", Json.Number (float_of_int (Flight.dropped fr)));
             ] );
       ("cache", cache);
+      ( "queue",
+        Json.Obj
+          [
+            ( "depth",
+              Json.Number (float_of_int (Admission.length srv.admission)) );
+            ( "max",
+              Json.Number (float_of_int (Admission.max_depth srv.admission)) );
+            ("age_limit_ms", Json.Number (Admission.max_age_ms srv.admission));
+          ] );
+      ("pressure", Json.Number (pressure srv));
+      ("degraded", Json.String (degrade_to_string (degrade_level srv)));
+      ("shed", Json.Number (float_of_int (Atomic.get srv.shed_count)));
+      ( "breakers",
+        match srv.breakers with
+        | [] -> Json.Null
+        | bs ->
+          Json.Obj
+            (List.map
+               (fun (name, b) ->
+                 (name, Json.String (Breaker.state_to_string (Breaker.state b))))
+               bs) );
+      ( "watchdog",
+        match srv.watchdog with
+        | None -> Json.Null
+        | Some wd ->
+          Json.Obj
+            [
+              ("limit_ms", Json.Number (Watchdog.limit_ms wd));
+              ("kills", Json.Number (float_of_int (Watchdog.kills wd)));
+              ("live", Json.Number (float_of_int (Watchdog.live wd)));
+            ] );
     ]
 
 let handle_trace srv =
@@ -681,7 +931,7 @@ let request_id srv (req : Http.request) =
     Printf.sprintf "%s-%06d" srv.id_prefix
       (Atomic.fetch_and_add srv.req_seq 1)
 
-let access_log srv (req : Http.request) ~id ~status ~dur_ns =
+let access_log srv (req : Http.request) ~id ~status ~dur_ns ~queue_ms =
   match srv.access with
   | None -> ()
   | Some log ->
@@ -694,16 +944,89 @@ let access_log srv (req : Http.request) ~id ~status ~dur_ns =
     in
     Jsonlog.log log level
       ~fields:
-        [
-          ("request_id", Json.String id);
-          ("method", Json.String req.Http.meth);
-          ("path", Json.String req.Http.path);
-          ("status", Json.Number (float_of_int status));
-          ("dur_ms", Json.Number dur_ms);
-        ]
+        ([
+           ("request_id", Json.String id);
+           ("method", Json.String req.Http.meth);
+           ("path", Json.String req.Http.path);
+           ("status", Json.Number (float_of_int status));
+           ("dur_ms", Json.Number dur_ms);
+         ]
+        @
+        match queue_ms with
+        | None -> []
+        | Some q -> [ ("queue_ms", Json.Number q) ])
       (if slow then "slow-request" else "access")
 
-let handle_request srv req =
+(* Which breaker guards this request, if any: POSTs to the engine-backed
+   endpoints. GETs (health, metrics, debug) are never broken — an
+   operator must be able to look at a sick server. *)
+let endpoint_of (req : Http.request) =
+  if req.Http.meth <> "POST" then None
+  else
+    match req.Http.path with
+    | "/synth" -> Some "synth"
+    | "/sweep" -> Some "sweep"
+    | "/pareto" -> Some "pareto"
+    | "/check" -> Some "check"
+    | "/preflight" -> Some "preflight"
+    | _ -> None
+
+let retry_after_s ms = max 1 (int_of_float (Float.ceil (ms /. 1000.)))
+
+let routed srv req =
+  try
+    (* The chaos seam: an armed serve.handler fault is a handler crash,
+       which must surface as a 500 response, never kill the daemon. *)
+    Fault.inject "serve.handler";
+    route srv req
+  with
+  | Bad msg -> Http.response 400 (error_body ~error:"bad request" msg)
+  | Killed key as e ->
+    Flight.note_crash ~origin:"serve.watchdog" e;
+    Log.warn (fun m -> m "watchdog reclaimed handler for %s" key);
+    let limit =
+      match srv.watchdog with Some wd -> Watchdog.limit_ms wd | None -> 0.
+    in
+    Http.response 500
+      (error_body ~error:"watchdog"
+         (Printf.sprintf
+            "handler exceeded the %gms wall limit and was reclaimed" limit))
+  | e ->
+    Flight.note_crash ~origin:"serve.handler" e;
+    Log.warn (fun m ->
+        m "handler for %s %s crashed: %s" req.Http.meth req.Http.path
+          (Printexc.to_string e));
+    Http.response 500 (error_body ~error:"internal" (Printexc.to_string e))
+
+(* The breaker guard around [routed]: an open breaker answers 503 without
+   touching the pool; outcomes of admitted calls feed the window (any 5xx
+   counts as a failure — handler crashes and watchdog kills included). *)
+let guarded srv req =
+  let breaker =
+    match endpoint_of req with
+    | None -> None
+    | Some ep ->
+      Option.map (fun b -> (ep, b)) (List.assoc_opt ep srv.breakers)
+  in
+  match breaker with
+  | None -> routed srv req
+  | Some (ep, b) ->
+    if Breaker.acquire b then begin
+      let resp = routed srv req in
+      if resp.Http.status >= 500 then Breaker.failure b else Breaker.success b;
+      resp
+    end
+    else
+      Http.response 503
+        ~headers:
+          [
+            ( "retry-after",
+              string_of_int (retry_after_s (Breaker.retry_after_ms b)) );
+          ]
+        (error_body ~error:"breaker open"
+           (Printf.sprintf "endpoint %s is failing; backing off" ep))
+
+let handle_request srv ~queue_ms req =
   let id = request_id srv req in
   Metrics.incr m_requests;
   Atomic.incr srv.inflight_count;
@@ -720,27 +1043,14 @@ let handle_request srv req =
            ]
          else [])
       "serve.request"
-    @@ fun () ->
-    try
-      (* The chaos seam: an armed serve.handler fault is a handler crash,
-         which must surface as a 500 response, never kill the daemon. *)
-      Fault.inject "serve.handler";
-      route srv req
-    with
-    | Bad msg -> Http.response 400 (error_body ~error:"bad request" msg)
-    | e ->
-      Flight.note_crash ~origin:"serve.handler" e;
-      Log.warn (fun m ->
-          m "handler for %s %s crashed: %s" req.Http.meth req.Http.path
-            (Printexc.to_string e));
-      Http.response 500 (error_body ~error:"internal" (Printexc.to_string e))
+    @@ fun () -> guarded srv req
   in
   let dur_ns = Clock.elapsed_ns ~since:started_ns in
   Metrics.observe h_request_ns dur_ns;
   count_response resp.Http.status;
   Atomic.decr srv.inflight_count;
   Metrics.set g_inflight (float_of_int (Atomic.get srv.inflight_count));
-  access_log srv req ~id ~status:resp.Http.status ~dur_ns;
+  access_log srv req ~id ~status:resp.Http.status ~dur_ns ~queue_ms;
   { resp with Http.headers = ("x-request-id", id) :: resp.Http.headers }
 
 (* --- connection plumbing ------------------------------------------------ *)
@@ -762,7 +1072,7 @@ let write_all fd s =
    client keeps the connection alive and the server is not draining. The
    receive timeout makes idle keep-alive connections poll the stopping
    flag, so a drain never waits on a silent client. *)
-let serve_connection srv conn =
+let serve_connection srv ~queue_ms conn =
   (try Unix.setsockopt_float conn Unix.SO_RCVTIMEO 0.25
    with Unix.Unix_error _ -> ());
   let fill buf pos len =
@@ -778,6 +1088,9 @@ let serve_connection srv conn =
   let rdr =
     Http.reader ~max_body_bytes:srv.config.max_body_bytes fill
   in
+  (* The queue delay belongs to the first request only: later keep-alive
+     exchanges never sat in the admission queue. *)
+  let queue_ms = ref (Some queue_ms) in
   let rec exchange () =
     match Http.read_request rdr with
     | Error Http.Eof -> ()
@@ -791,34 +1104,94 @@ let serve_connection srv conn =
            (Http.response 413 (error_body ~error:"payload too large" msg)))
     | Ok req ->
       let keep_alive = Http.keep_alive req && not (Atomic.get srv.stopping) in
-      let resp = handle_request srv req in
+      let resp = handle_request srv ~queue_ms:!queue_ms req in
+      queue_ms := None;
       write_all conn (Http.to_string ~keep_alive resp);
       if keep_alive then exchange ()
   in
   Fun.protect ~finally:(fun () -> close_quietly conn) exchange
 
-let next_connection srv =
-  Mutex.lock srv.qmutex;
-  let rec go () =
-    match Queue.take_opt srv.queue with
-    | Some conn -> Some conn
-    | None ->
-      if Atomic.get srv.stopping then None
-      else begin
-        Condition.wait srv.qcond srv.qmutex;
-        go ()
-      end
+(* --- load shedding ------------------------------------------------------- *)
+
+let shed_body_full = error_body ~error:"overloaded" "admission queue full; retry later"
+
+let shed_body_stale =
+  error_body ~error:"overloaded" "request waited too long in the admission queue"
+
+let note_shed srv ~why =
+  Metrics.incr m_shed;
+  Atomic.incr srv.shed_count;
+  Trace.instant ~cat:"serve" ~args:[ ("why", why) ] "serve.shed";
+  match srv.access with
+  | None -> ()
+  | Some log ->
+    Jsonlog.log log Jsonlog.Warn
+      ~fields:[ ("status", Json.Number 503.); ("why", Json.String why) ]
+      "shed"
+
+let shed_response srv body =
+  Http.response 503
+    ~headers:
+      [ ("retry-after", string_of_int (retry_after_s srv.config.queue_age_ms)) ]
+    body
+
+(* Shed at the front door: answer 503 immediately (the whole point is
+   that rejection costs milliseconds), then drain and close off-thread —
+   closing with unread request bytes in the socket would RST the
+   response away before the client reads it, and the acceptor must never
+   block on a slow client. The write itself is synchronous: the send
+   buffer of a just-accepted socket is empty, so a ~150-byte response
+   cannot block, and keeping it on the acceptor keeps rejection latency
+   free of a thread hand-off. *)
+let shed_connection srv ~why conn =
+  let t0 = Clock.now_ns () in
+  note_shed srv ~why;
+  let resp = Http.to_string ~keep_alive:false (shed_response srv shed_body_full) in
+  (try write_all conn resp with Unix.Unix_error _ -> ());
+  let ms = Clock.elapsed_ns ~since:t0 /. 1e6 in
+  if ms > Metrics.gauge_value g_shed_max_ms then Metrics.set g_shed_max_ms ms;
+  let finish () =
+    (try Unix.shutdown conn Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+    (try Unix.setsockopt_float conn Unix.SO_RCVTIMEO 0.2
+     with Unix.Unix_error _ -> ());
+    let buf = Bytes.create 1024 in
+    (try
+       while Unix.read conn buf 0 1024 > 0 do
+         ()
+       done
+     with Unix.Unix_error _ -> ());
+    close_quietly conn
   in
-  let conn = go () in
-  Mutex.unlock srv.qmutex;
-  conn
+  ignore (Thread.create finish () : Thread.t)
+
+(* A stale connection is answered from a handler thread, which can afford
+   to read the request first: a complete, well-formed 503 exchange. *)
+let shed_stale srv ~age_ms conn =
+  note_shed srv ~why:(Printf.sprintf "stale after %.0fms queued" age_ms);
+  (try Unix.setsockopt_float conn Unix.SO_RCVTIMEO 0.25
+   with Unix.Unix_error _ -> ());
+  let fill buf pos len =
+    match Unix.read conn buf pos len with
+    | n -> n
+    | exception
+        Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR | ECONNRESET), _, _) ->
+      0
+  in
+  let rdr = Http.reader ~max_body_bytes:srv.config.max_body_bytes fill in
+  ignore (Http.read_request rdr);
+  write_all conn
+    (Http.to_string ~keep_alive:false (shed_response srv shed_body_stale));
+  close_quietly conn
 
 let handler_loop srv =
   let rec go () =
-    match next_connection srv with
-    | None -> ()
-    | Some conn ->
-      serve_connection srv conn;
+    match Admission.take srv.admission with
+    | Admission.Closed -> ()
+    | Admission.Stale (conn, age_ms) ->
+      shed_stale srv ~age_ms conn;
+      go ()
+    | Admission.Fresh (conn, queue_ms) ->
+      serve_connection srv ~queue_ms conn;
       go ()
   in
   go ()
@@ -826,7 +1199,9 @@ let handler_loop srv =
 (* The acceptor polls the listening socket under a short select timeout so
    it observes the stopping flag without signals or socket tricks. An
    armed serve.accept fault models a connection lost at the accept
-   boundary: the client is dropped, the daemon keeps accepting. *)
+   boundary: the client is dropped, the daemon keeps accepting. An armed
+   serve.shed fault forces the admission refusal path without actually
+   filling the queue. *)
 let accept_loop srv =
   while not (Atomic.get srv.stopping) do
     match Unix.select [ srv.lsock ] [] [] 0.25 with
@@ -841,12 +1216,10 @@ let accept_loop srv =
           Log.warn (fun m -> m "injected fault: serve.accept — dropping connection");
           close_quietly conn
         end
-        else begin
-          Mutex.lock srv.qmutex;
-          Queue.push conn srv.queue;
-          Condition.signal srv.qcond;
-          Mutex.unlock srv.qmutex
-        end)
+        else if Fault.fires "serve.shed" then
+          shed_connection srv ~why:"injected fault: serve.shed" conn
+        else if not (Admission.offer srv.admission conn) then
+          shed_connection srv ~why:"queue full" conn)
   done
 
 (* --- lifecycle ---------------------------------------------------------- *)
@@ -899,6 +1272,43 @@ let start config =
     else None
   in
   let access = Option.map (fun path -> Jsonlog.open_file path) config.access_log in
+  let breakers =
+    if not config.breaker then []
+    else
+      List.map
+        (fun name ->
+          let on_transition old_state new_state =
+            Log.warn (fun m ->
+                m "breaker %s: %s -> %s" name
+                  (Breaker.state_to_string old_state)
+                  (Breaker.state_to_string new_state));
+            Trace.instant ~cat:"serve"
+              ~args:
+                [
+                  ("breaker", name);
+                  ("state", Breaker.state_to_string new_state);
+                ]
+              "serve.breaker"
+          in
+          ( name,
+            Breaker.create ~cooldown_ms:config.breaker_cooldown_ms
+              ~on_transition ~name () ))
+        [ "synth"; "sweep"; "pareto"; "check"; "preflight" ]
+  in
+  let watchdog =
+    Option.map
+      (fun limit_ms ->
+        Watchdog.start ~limit_ms
+          ~on_kill:(fun ~id ~age_ms ->
+            Log.warn (fun m ->
+                m "watchdog: killed %s after %.0fms (limit %.0fms)" id age_ms
+                  limit_ms);
+            Trace.instant ~cat:"serve"
+              ~args:[ ("id", id); ("age_ms", Printf.sprintf "%.0f" age_ms) ]
+              "serve.watchdog.kill")
+          ())
+      config.watchdog_ms
+  in
   let srv =
     {
       config;
@@ -907,11 +1317,14 @@ let start config =
       cache;
       pool = Pool.create ~jobs:config.jobs ();
       flights = Coalesce.create ();
-      queue = Queue.create ();
-      qmutex = Mutex.create ();
-      qcond = Condition.create ();
+      admission =
+        Admission.create ~max_depth:config.max_queue
+          ~max_age_ms:config.queue_age_ms ();
+      breakers;
+      watchdog;
       stopping = Atomic.make false;
       inflight_count = Atomic.make 0;
+      shed_count = Atomic.make 0;
       sink;
       flight;
       access;
@@ -934,18 +1347,18 @@ let start config =
 
 let stop srv =
   if not (Atomic.exchange srv.stopping true) then begin
-    (* Drain: the acceptor exits at its next poll, handler threads serve
-       every already-accepted connection to completion, then the worker
+    (* Drain: the acceptor exits at its next poll, the admission queue
+       closes (already-queued connections still drain), handler threads
+       serve every accepted connection to completion, then the worker
        pool is released. Disk-tier cache entries were written atomically
        as they were produced, so there is nothing further to flush. *)
     Option.iter Thread.join srv.acceptor;
     srv.acceptor <- None;
-    Mutex.lock srv.qmutex;
-    Condition.broadcast srv.qcond;
-    Mutex.unlock srv.qmutex;
+    Admission.close srv.admission;
     List.iter Thread.join srv.handlers;
     srv.handlers <- [];
     Pool.shutdown srv.pool;
+    Option.iter Watchdog.stop srv.watchdog;
     if Option.is_some srv.sink then Trace.uninstall ();
     if Option.is_some srv.flight then Flight.disarm ();
     Option.iter Jsonlog.close srv.access;

@@ -50,10 +50,40 @@
     WL-fingerprint ({!Coalesce}): a thundering herd on one DFG runs
     synthesis once.
 
+    {b Overload protection.} Accepted connections pass through a bounded
+    admission queue ({!Pchls_resil.Admission}): when [max_queue] entries
+    are already waiting, the connection is {e shed} — answered 503 with a
+    [Retry-After] header and a constant JSON body, within milliseconds —
+    and a connection that waited longer than [queue_age_ms] before a
+    handler picked it up is answered the same way (CoDel-style head
+    drop). As the queue fills past [shed_threshold] (a fraction of
+    [max_queue]), [/synth] and [/sweep]/[/pareto] {e degrade}: first the
+    request deadline is clamped to [degrade_deadline_ms] so the anytime
+    engine answers quickly (usually 206), and past the midpoint between
+    the threshold and saturation they answer from
+    {!Pchls_preflight.Preflight} bounds alone without touching the worker
+    pool. Degraded responses carry an [x-pchls-degraded] header
+    (["clamped"] or ["preflight"]); a request body may pin a mode with
+    ["degraded": "none" | "clamped" | "preflight"]. Each engine-backed
+    endpoint is guarded by a circuit breaker ({!Pchls_resil.Breaker},
+    [breaker = true]): a burst of 5xx outcomes opens it and callers
+    fast-fail 503 + [Retry-After] until a cooldown probe succeeds. With
+    [watchdog_ms] set, a {!Pchls_resil.Watchdog} reclaims engine tasks
+    stuck past that wall limit through cooperative budget cancellation;
+    the victim's request is answered 500 (["error": "watchdog"]) and the
+    crash is noted in the flight recorder, while coalesced followers of a
+    killed leader retry once as their own request. All of it is visible
+    in [/healthz] ([queue], [pressure], [degraded], [shed], [breakers],
+    [watchdog]), [/metrics] ([serve.shed], [serve.degraded],
+    [admission.*], [breaker.*], [watchdog.*]) and the access log
+    ([queue_ms] on served requests, [shed] records on rejections).
+
     Fault points ["serve.accept"] (a connection dropped at accept; the
-    daemon keeps accepting) and ["serve.handler"] (a handler crash,
-    answered with 500) wire the server into the {!Pchls_resil.Fault}
-    chaos machinery. *)
+    daemon keeps accepting), ["serve.handler"] (a handler crash, answered
+    with 500), ["serve.shed"] (a forced admission refusal — the 503 shed
+    path without a full queue) and ["serve.hang"] (an engine task that
+    spins until cancelled, exercising the watchdog) wire the server into
+    the {!Pchls_resil.Fault} chaos machinery. *)
 
 (** The server's version string, surfaced in [/healthz]. *)
 val version : string
@@ -78,6 +108,21 @@ type config = {
       (** JSON-lines access log path; ["-"] = stdout; [None] = off *)
   slow_ms : float;
       (** requests at or above this log as [slow-request] at Warn *)
+  max_queue : int;
+      (** admission-queue depth; further connections are shed with 503 *)
+  queue_age_ms : float;
+      (** max queueing delay before a connection is answered 503 instead
+          of served (and the [Retry-After] hint on shed responses) *)
+  shed_threshold : float;
+      (** queue-fullness fraction past which requests degrade; a value
+          above 1 disables degradation *)
+  degrade_deadline_ms : float;
+      (** deadline clamp applied to degraded (clamped-mode) requests *)
+  breaker : bool;  (** per-endpoint circuit breakers on 5xx bursts *)
+  breaker_cooldown_ms : float;
+      (** open-state dwell before a breaker admits a probe *)
+  watchdog_ms : float option;
+      (** hard wall limit on engine tasks; [None] = no watchdog *)
 }
 
 val default_config : config

@@ -1,0 +1,23 @@
+Overload protection, end to end: the probe starts a real server on an
+ephemeral port and pins the whole contract — a forced admission refusal
+(503, Retry-After, constant body), degraded answers and their
+x-pchls-degraded header (preflight bounds keep their exact 422), a
+circuit breaker tripping on a burst of injected handler crashes then
+recovering through a cooldown probe, and a watchdog reclaiming an
+injected hang as a 500 with the kill visible in /healthz.
+
+  $ pchls-overload-probe | sed 's/"windows":\[[^]]*\]/"windows":[...]/'
+  shed: 503 retry-after=<n> {"error":"overloaded","reason":"admission queue full; retry later"}
+  degraded-preflight: 206 header=preflight {"name":"hal","degraded":"preflight","partial":"degraded","infeasible":false,"report":{"graph":"hal","time_limit":"<n>","power_limit":"<n>","infeasible":false,"bounds":{"horizon":"<n>","latency_lb":"<n>","critical_path":["<n>","<n>","<n>","<n>","<n>","<n>"],"demand_peak":"<n>","demand_peak_cycle":"<n>","energy_lb":"<n>","energy_capacity":"<n>","fu_area_lb":"<n>","fu_area_ub":"<n>","fu_area_exact":false,"windows":[...]},"certificates":[]}}
+  degraded-infeasible: 422 header=preflight infeasible=true
+  degraded-clamped: 200 header=clamped feasible=true
+  breaker-open: 503 retry-after=<n> {"error":"breaker open","reason":"endpoint synth is failing; backing off"} state=open
+  breaker-recovered: 200 state=closed
+  watchdog-kill: 500 {"error":"watchdog","reason":"handler exceeded the 100ms wall limit and was reclaimed"}
+  watchdog-health: limit=100ms kills>=1=true
+
+The new fault points are first-class chaos citizens: a typo'd spec
+diagnoses against a catalog that includes them.
+
+  $ PCHLS_CHAOS="serve.shedd" pchls synth -b hal -t 8 -p 90 > /dev/null
+  pchls: warning: PCHLS_CHAOS: unknown fault point "serve.shedd" (known: engine.power-check, cache.read, cache.write, pool.worker, explore.point, serve.accept, serve.handler, serve.shed, serve.hang)

@@ -1,0 +1,197 @@
+(* Deterministic end-to-end probe for `overload.t`: starts an in-process
+   server and walks the overload-protection surface — a forced shed (503
+   + Retry-After), degraded preflight/clamped answers and their
+   x-pchls-degraded header, a breaker tripping on a seeded 5xx burst and
+   recovering after its cooldown, and a watchdog kill of an injected
+   hang — printing byte-stable lines (volatile numbers redacted to <n>)
+   for cram to pin. *)
+
+module Server = Pchls_serve.Server
+module Fault = Pchls_resil.Fault
+module Json = Pchls_obs.Json
+
+let connect port =
+  let sock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  sock
+
+let send_all sock s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then go (off + Unix.write_substring sock s off (len - off))
+  in
+  go 0
+
+(* One request per connection; read to EOF (the probe always sends
+   Connection: close). Returns (status, header block, body). *)
+let request port ?(headers = []) ~meth ~path body =
+  let sock = connect port in
+  Fun.protect ~finally:(fun () -> Unix.close sock) @@ fun () ->
+  send_all sock
+    (Printf.sprintf
+       "%s %s HTTP/1.1\r\nhost: probe\r\ncontent-length: %d\r\n%sconnection: \
+        close\r\n\r\n%s"
+       meth path (String.length body)
+       (String.concat ""
+          (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers))
+       body);
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read sock chunk 0 4096 with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      drain ()
+  in
+  drain ();
+  let raw = Buffer.contents buf in
+  let hdr_end =
+    let rec search i =
+      if i + 4 > String.length raw then failwith "no header terminator"
+      else if String.sub raw i 4 = "\r\n\r\n" then i + 4
+      else search (i + 1)
+    in
+    search 0
+  in
+  let status = int_of_string (String.trim (String.sub raw 9 3)) in
+  ( status,
+    String.sub raw 0 hdr_end,
+    String.sub raw hdr_end (String.length raw - hdr_end) )
+
+let header_value head name =
+  let lower = String.lowercase_ascii head in
+  let tag = String.lowercase_ascii name ^ ":" in
+  let tl = String.length tag in
+  let rec search i =
+    if i + tl > String.length lower then None
+    else if String.sub lower i tl = tag then
+      let rest = String.sub head (i + tl) (String.length head - i - tl) in
+      Some (String.trim (List.hd (String.split_on_char '\r' rest)))
+    else search (i + 1)
+  in
+  search 0
+
+let rec redact = function
+  | Json.Number _ -> Json.String "<n>"
+  | Json.Obj fields -> Json.Obj (List.map (fun (k, v) -> (k, redact v)) fields)
+  | Json.List items -> Json.List (List.map redact items)
+  | (Json.String _ | Json.Bool _ | Json.Null) as j -> j
+
+let redacted body =
+  match Json.parse body with
+  | Ok json -> Json.to_string (redact json)
+  | Error msg -> failwith ("unparseable JSON: " ^ msg)
+
+let breaker_state port name =
+  let _, _, body = request port ~meth:"GET" ~path:"/healthz" "" in
+  match Json.parse body with
+  | Ok json -> (
+    match Json.member "breakers" json with
+    | Some breakers -> (
+      match Json.member name breakers with
+      | Some (Json.String s) -> s
+      | _ -> "<missing>")
+    | None -> "<missing>")
+  | Error _ -> "<unparseable>"
+
+let with_chaos spec f =
+  Fault.set (Some spec);
+  Fun.protect ~finally:(fun () -> Fault.set None) f
+
+let () =
+  let config =
+    {
+      Server.default_config with
+      Server.port = 0;
+      threads = 2;
+      jobs = 1;
+      breaker_cooldown_ms = 100.;
+      watchdog_ms = Some 100.;
+    }
+  in
+  let srv = Server.start config in
+  let port = Server.port srv in
+
+  (* A forced admission refusal: the full shed contract on one line. *)
+  let status, head, body =
+    with_chaos "serve.shed" (fun () ->
+        request port ~meth:"GET" ~path:"/healthz" "")
+  in
+  Printf.printf "shed: %d retry-after=%s %s\n" status
+    (match header_value head "retry-after" with
+    | Some s when int_of_string_opt s <> None -> "<n>"
+    | Some s -> s
+    | None -> "<missing>")
+    body;
+
+  (* Degraded answers, pinned by the request-body override. *)
+  let status, head, body =
+    request port ~meth:"POST" ~path:"/synth"
+      "{\"benchmark\":\"hal\",\"time\":8,\"power\":60,\"degraded\":\"preflight\"}"
+  in
+  Printf.printf "degraded-preflight: %d header=%s %s\n" status
+    (Option.value ~default:"<missing>" (header_value head "x-pchls-degraded"))
+    (redacted body);
+  let status, head, body =
+    request port ~meth:"POST" ~path:"/synth"
+      "{\"benchmark\":\"hal\",\"time\":4,\"power\":10,\"degraded\":\"preflight\"}"
+  in
+  Printf.printf "degraded-infeasible: %d header=%s infeasible=%b\n" status
+    (Option.value ~default:"<missing>" (header_value head "x-pchls-degraded"))
+    (match Json.parse body with
+    | Ok json -> Json.member "infeasible" json = Some (Json.Bool true)
+    | Error _ -> false);
+  let status, head, body =
+    request port ~meth:"POST" ~path:"/synth"
+      "{\"benchmark\":\"hal\",\"time\":8,\"power\":60,\"degraded\":\"clamped\"}"
+  in
+  Printf.printf "degraded-clamped: %d header=%s feasible=%b\n" status
+    (Option.value ~default:"<missing>" (header_value head "x-pchls-degraded"))
+    (match Json.parse body with
+    | Ok json -> Json.member "feasible" json = Some (Json.Bool true)
+    | Error _ -> false);
+
+  (* Trip the synth breaker with five injected handler crashes, watch it
+     fast-fail, then recover through a cooldown probe. *)
+  let body = "{\"benchmark\":\"hal\",\"time\":8,\"power\":60}" in
+  with_chaos "serve.handler" (fun () ->
+      for _ = 1 to 5 do
+        ignore (request port ~meth:"POST" ~path:"/synth" body)
+      done);
+  let status, head, text = request port ~meth:"POST" ~path:"/synth" body in
+  Printf.printf "breaker-open: %d retry-after=%s %s state=%s\n" status
+    (match header_value head "retry-after" with
+    | Some s when int_of_string_opt s <> None -> "<n>"
+    | Some s -> s
+    | None -> "<missing>")
+    text
+    (breaker_state port "synth");
+  Thread.delay 0.15;
+  let status, _, _ = request port ~meth:"POST" ~path:"/synth" body in
+  Printf.printf "breaker-recovered: %d state=%s\n" status
+    (breaker_state port "synth");
+
+  (* An injected hang: the watchdog reclaims the handler and the request
+     is answered 500, not left dangling. *)
+  let status, _, text =
+    with_chaos "serve.hang" (fun () ->
+        request port ~meth:"POST" ~path:"/synth" body)
+  in
+  Printf.printf "watchdog-kill: %d %s\n" status text;
+  let _, _, health = request port ~meth:"GET" ~path:"/healthz" "" in
+  (match Json.parse health with
+  | Ok json -> (
+    match Json.member "watchdog" json with
+    | Some wd ->
+      Printf.printf "watchdog-health: limit=%s kills>=1=%b\n"
+        (match Json.member "limit_ms" wd with
+        | Some (Json.Number l) -> Printf.sprintf "%gms" l
+        | _ -> "<missing>")
+        (match Json.member "kills" wd with
+        | Some (Json.Number k) -> k >= 1.
+        | _ -> false)
+    | None -> print_endline "watchdog-health: <missing>")
+  | Error _ -> print_endline "watchdog-health: <unparseable>");
+
+  Server.stop srv

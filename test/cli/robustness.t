@@ -49,7 +49,7 @@ campaign — the unknown point is diagnosed once on stderr with the
 catalog of known fault points, and the run proceeds normally:
 
   $ PCHLS_CHAOS=pool.wrker pchls synth -b hal -t 17 -p 100 > /dev/null
-  pchls: warning: PCHLS_CHAOS: unknown fault point "pool.wrker" (known: engine.power-check, cache.read, cache.write, pool.worker, explore.point, serve.accept, serve.handler)
+  pchls: warning: PCHLS_CHAOS: unknown fault point "pool.wrker" (known: engine.power-check, cache.read, cache.write, pool.worker, explore.point, serve.accept, serve.handler, serve.shed, serve.hang)
 
 An injected disk-cache write fault degrades the store to cache-off with
 a warning instead of aborting synthesis: the design still comes out and

@@ -5,7 +5,7 @@ GET /metrics, the live flight-recorder dump at GET /debug/flight, the
 SIGUSR1 dump and the JSON-lines access log.
 
   $ pchls-serve-probe
-  healthz: 200 {"status":"ok","version":"1.0.0","uptime_s":"<n>","inflight":"<n>","pool":{"jobs":"<n>","threads":"<n>"},"flight":{"retained":"<n>","recorded":"<n>","dropped":"<n>"},"cache":{"hits":"<n>","misses":"<n>","stores":"<n>","evictions":"<n>","entries":"<n>"}}
+  healthz: 200 {"status":"ok","version":"1.0.0","uptime_s":"<n>","inflight":"<n>","pool":{"jobs":"<n>","threads":"<n>"},"flight":{"retained":"<n>","recorded":"<n>","dropped":"<n>"},"cache":{"hits":"<n>","misses":"<n>","stores":"<n>","evictions":"<n>","entries":"<n>"},"queue":{"depth":"<n>","max":"<n>","age_limit_ms":"<n>"},"pressure":"<n>","degraded":"none","shed":"<n>","breakers":{"synth":"closed","sweep":"closed","pareto":"closed","check":"closed","preflight":"closed"},"watchdog":null}
   request-id echoed: cram-rid-1
   metrics: 200 text/plain; version=0.0.4; charset=utf-8 valid-prometheus
   debug/flight: 200 valid-chrome-trace

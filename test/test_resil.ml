@@ -6,6 +6,9 @@ module Budget = Pchls_resil.Budget
 module Fault = Pchls_resil.Fault
 module Retry = Pchls_resil.Retry
 module Atomic_io = Pchls_resil.Atomic_io
+module Admission = Pchls_resil.Admission
+module Breaker = Pchls_resil.Breaker
+module Watchdog = Pchls_resil.Watchdog
 
 (* --- budgets ------------------------------------------------------------ *)
 
@@ -247,12 +250,273 @@ let test_retry_exhausted_budget_stops_retrying () =
   Alcotest.(check int) "no second attempt" 1 !calls;
   Alcotest.(check bool) "never slept" false !slept
 
+let test_retry_delay_clamped_to_remaining () =
+  (* A backoff must never overshoot the enclosing deadline: with a 10s
+     base delay but only 500ms of budget left, the requested sleep is
+     bounded by the remaining time. *)
+  let b = Budget.make ~deadline_ms:500. () in
+  let log = ref [] in
+  let v, _ =
+    Retry.run ~attempts:2 ~budget:b ~base_delay_ns:10_000_000_000L
+      ~max_delay_ns:10_000_000_000L ~sleep:(fake_sleep log) (fun attempt ->
+        if attempt = 0 then raise (Fault.Injected "pool.worker") else attempt)
+  in
+  Alcotest.(check int) "recovered" 1 v;
+  match !log with
+  | [ d ] ->
+    Alcotest.(check bool)
+      (Printf.sprintf "delay %Ld <= remaining deadline" d)
+      true
+      (d <= 500_000_000L)
+  | ds -> Alcotest.failf "expected one backoff, got %d" (List.length ds)
+
+let test_retry_post_sleep_exhaustion_gives_up () =
+  (* The clamp bounds the requested delay, not what a slow scheduler
+     delivers: when the sleep itself consumes the deadline, the combinator
+     re-raises instead of burning an attempt the caller has no time for.
+     The budget-cancelling sleep models exactly that. *)
+  let b = Budget.make ~deadline_ms:1e9 () in
+  let calls = ref 0 in
+  Alcotest.check_raises "gives up after the sleep" (Fault.Injected "pool.worker")
+    (fun () ->
+      ignore
+        (Retry.run ~attempts:5 ~budget:b
+           ~sleep:(fun _ -> Budget.cancel b)
+           (fun _ ->
+             incr calls;
+             raise (Fault.Injected "pool.worker"))));
+  Alcotest.(check int) "no attempt on an exhausted budget" 1 !calls
+
 let test_retry_rejects_zero_attempts () =
   Alcotest.(check bool) "invalid" true
     (try
        ignore (Retry.run ~attempts:0 (fun _ -> ()));
        false
      with Invalid_argument _ -> true)
+
+(* --- admission queue ---------------------------------------------------- *)
+
+let ms_to_ns ms = Int64.of_float (ms *. 1e6)
+
+let test_admission_rejects_past_depth () =
+  let q = Admission.create ~max_depth:2 ~max_age_ms:1000. () in
+  Alcotest.(check bool) "first" true (Admission.offer q 1);
+  Alcotest.(check bool) "second" true (Admission.offer q 2);
+  Alcotest.(check bool) "third refused" false (Admission.offer q 3);
+  Alcotest.(check int) "depth" 2 (Admission.length q);
+  (match Admission.take q with
+  | Admission.Fresh (1, _) -> ()
+  | _ -> Alcotest.fail "expected Fresh 1");
+  Alcotest.(check bool) "slot freed" true (Admission.offer q 4)
+
+let test_admission_stale_head_drop () =
+  (* CoDel-style drop ordering under a fake clock: everything older than
+     max_age_ms is handed back as Stale, oldest first, before the first
+     fresh entry comes out. *)
+  let t = ref 0L in
+  let q = Admission.create ~now:(fun () -> !t) ~max_depth:8 ~max_age_ms:10. () in
+  ignore (Admission.offer q "a");
+  ignore (Admission.offer q "b");
+  t := ms_to_ns 11.;
+  ignore (Admission.offer q "c");
+  (match Admission.take q with
+  | Admission.Stale ("a", age) ->
+    Alcotest.(check (float 0.001)) "age of a" 11. age
+  | _ -> Alcotest.fail "expected Stale a first");
+  (match Admission.take q with
+  | Admission.Stale ("b", _) -> ()
+  | _ -> Alcotest.fail "expected Stale b second");
+  (match Admission.take q with
+  | Admission.Fresh ("c", age) ->
+    Alcotest.(check (float 0.001)) "age of c" 0. age
+  | _ -> Alcotest.fail "expected Fresh c last");
+  Alcotest.(check int) "drained" 0 (Admission.length q)
+
+let test_admission_close_drains () =
+  let q = Admission.create ~max_depth:4 ~max_age_ms:1000. () in
+  ignore (Admission.offer q "queued");
+  Admission.close q;
+  Alcotest.(check bool) "closed refuses" false (Admission.offer q "late");
+  (match Admission.take q with
+  | Admission.Fresh ("queued", _) -> ()
+  | _ -> Alcotest.fail "queued entry must drain after close");
+  (match Admission.take q with
+  | Admission.Closed -> ()
+  | _ -> Alcotest.fail "drained closed queue must report Closed")
+
+let test_admission_rejects_bad_args () =
+  Alcotest.(check bool) "negative depth" true
+    (try
+       ignore (Admission.create ~max_depth:(-1) ~max_age_ms:1. ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "zero age" true
+    (try
+       ignore (Admission.create ~max_depth:1 ~max_age_ms:0. ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --- circuit breaker ---------------------------------------------------- *)
+
+let state =
+  Alcotest.testable
+    (fun fmt s -> Format.pp_print_string fmt (Breaker.state_to_string s))
+    (fun a b -> (a : Breaker.state) = b)
+
+let test_breaker_trips_on_failure_rate () =
+  let t = ref 0L in
+  let transitions = ref [] in
+  let b =
+    Breaker.create
+      ~now:(fun () -> !t)
+      ~window:10 ~threshold:0.5 ~min_samples:4 ~cooldown_ms:100.
+      ~on_transition:(fun o n -> transitions := (o, n) :: !transitions)
+      ~name:"test" ()
+  in
+  Alcotest.(check state) "starts closed" Breaker.Closed (Breaker.state b);
+  (* Two successes, then failures: the rate only counts once min_samples
+     outcomes are in the window. *)
+  for _ = 1 to 2 do
+    Alcotest.(check bool) "closed admits" true (Breaker.acquire b);
+    Breaker.success b
+  done;
+  Alcotest.(check bool) "still admits" true (Breaker.acquire b);
+  Breaker.failure b;
+  Alcotest.(check state) "one failure is not a trip" Breaker.Closed
+    (Breaker.state b);
+  Alcotest.(check bool) "still admits" true (Breaker.acquire b);
+  Breaker.failure b;
+  (* s s f f: 4 samples, rate 0.5 >= threshold -> open. *)
+  Alcotest.(check state) "tripped" Breaker.Open (Breaker.state b);
+  Alcotest.(check int) "trips counted" 1 (Breaker.trips b);
+  Alcotest.(check bool) "open fast-fails" false (Breaker.acquire b);
+  let retry = Breaker.retry_after_ms b in
+  Alcotest.(check bool)
+    (Printf.sprintf "cooldown %.1f in [100, 125]" retry)
+    true
+    (retry >= 100. && retry <= 125.);
+  (* After the cooldown: exactly one probe goes through. *)
+  t := ms_to_ns (retry +. 1.);
+  Alcotest.(check bool) "probe admitted" true (Breaker.acquire b);
+  Alcotest.(check state) "half-open" Breaker.Half_open (Breaker.state b);
+  Alcotest.(check bool) "second probe refused" false (Breaker.acquire b);
+  Breaker.success b;
+  Alcotest.(check state) "probe success closes" Breaker.Closed (Breaker.state b);
+  Alcotest.(check (list (pair state state)))
+    "transitions, most recent first"
+    [
+      (Breaker.Half_open, Breaker.Closed);
+      (Breaker.Open, Breaker.Half_open);
+      (Breaker.Closed, Breaker.Open);
+    ]
+    !transitions
+
+let test_breaker_failed_probe_reopens () =
+  let t = ref 0L in
+  let b =
+    Breaker.create
+      ~now:(fun () -> !t)
+      ~window:4 ~threshold:0.5 ~min_samples:2 ~cooldown_ms:50. ~name:"probe" ()
+  in
+  Alcotest.(check bool) "admit" true (Breaker.acquire b);
+  Breaker.failure b;
+  Alcotest.(check bool) "admit" true (Breaker.acquire b);
+  Breaker.failure b;
+  Alcotest.(check state) "tripped" Breaker.Open (Breaker.state b);
+  t := ms_to_ns (Breaker.retry_after_ms b +. 1.);
+  Alcotest.(check bool) "probe" true (Breaker.acquire b);
+  Breaker.failure b;
+  Alcotest.(check state) "failed probe reopens" Breaker.Open (Breaker.state b);
+  Alcotest.(check int) "second trip" 2 (Breaker.trips b)
+
+let test_breaker_seeded_cooldowns_replay () =
+  (* The jitter draw is a pure function of (name, seed, trip count):
+     identical breakers replay identical cooldowns; a different seed
+     explores a different (deterministic) schedule. *)
+  let cooldowns ~seed =
+    let t = ref 0L in
+    let b =
+      Breaker.create
+        ~now:(fun () -> !t)
+        ~window:4 ~threshold:0.5 ~min_samples:2 ~cooldown_ms:100. ~seed
+        ~name:"seeded" ()
+    in
+    List.init 4 (fun _ ->
+        (match Breaker.state b with
+        | Breaker.Closed ->
+          Alcotest.(check bool) "admit" true (Breaker.acquire b);
+          Breaker.failure b;
+          Alcotest.(check bool) "admit" true (Breaker.acquire b);
+          Breaker.failure b
+        | _ ->
+          t := Int64.add !t (ms_to_ns (Breaker.retry_after_ms b +. 1.));
+          Alcotest.(check bool) "probe" true (Breaker.acquire b);
+          Breaker.failure b);
+        Breaker.retry_after_ms b)
+  in
+  Alcotest.(check (list (float 0.)))
+    "same seed replays" (cooldowns ~seed:7) (cooldowns ~seed:7);
+  Alcotest.(check bool) "different seed differs" true
+    (cooldowns ~seed:7 <> cooldowns ~seed:8)
+
+(* --- watchdog ----------------------------------------------------------- *)
+
+let wait_for ?(timeout_s = 5.) pred =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if pred () then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Thread.delay 0.002;
+      go ()
+    end
+  in
+  go ()
+
+let test_watchdog_kills_overdue_task () =
+  (* Wall time is faked; only the poll cadence is real. *)
+  let t = ref 0L in
+  let killed_ids = ref [] in
+  let wd =
+    Watchdog.start
+      ~now:(fun () -> !t)
+      ~poll_ms:2. ~limit_ms:50.
+      ~on_kill:(fun ~id ~age_ms:_ -> killed_ids := id :: !killed_ids)
+      ()
+  in
+  let b = Budget.make () in
+  let task = Watchdog.watch wd ~id:"req-1" ~budget:b in
+  Alcotest.(check int) "watched" 1 (Watchdog.live wd);
+  Thread.delay 0.02;
+  Alcotest.(check int) "within the limit: no kills" 0 (Watchdog.kills wd);
+  t := ms_to_ns 51.;
+  Alcotest.(check bool) "killed within a few polls" true
+    (wait_for (fun () -> Watchdog.kills wd = 1));
+  Alcotest.(check (option reason))
+    "budget cancelled" (Some Budget.Cancelled) (Budget.check b);
+  Watchdog.complete wd task;
+  Alcotest.(check bool) "killed flag survives completion" true
+    (Watchdog.killed task);
+  Alcotest.(check int) "live drained" 0 (Watchdog.live wd);
+  Alcotest.(check (list string)) "on_kill saw the id" [ "req-1" ] !killed_ids;
+  Watchdog.stop wd
+
+let test_watchdog_leaves_completed_tasks_alone () =
+  let t = ref 0L in
+  let wd =
+    Watchdog.start ~now:(fun () -> !t) ~poll_ms:2. ~limit_ms:10. ()
+  in
+  let b = Budget.make () in
+  let task = Watchdog.watch wd ~id:"fast" ~budget:b in
+  Watchdog.complete wd task;
+  t := ms_to_ns 1000.;
+  Thread.delay 0.02;
+  Alcotest.(check int) "no kills" 0 (Watchdog.kills wd);
+  Alcotest.(check bool) "not killed" false (Watchdog.killed task);
+  Alcotest.(check (option reason)) "budget untouched" None (Budget.check b);
+  Watchdog.stop wd;
+  (* stop is idempotent and leaves watched budgets alone. *)
+  Watchdog.stop wd
 
 (* --- atomic writes ------------------------------------------------------ *)
 
@@ -350,8 +614,38 @@ let () =
             test_retry_exhaustion_reraises_last;
           Alcotest.test_case "budget stops retry" `Quick
             test_retry_exhausted_budget_stops_retrying;
+          Alcotest.test_case "delay clamped to budget" `Quick
+            test_retry_delay_clamped_to_remaining;
+          Alcotest.test_case "post-sleep exhaustion" `Quick
+            test_retry_post_sleep_exhaustion_gives_up;
           Alcotest.test_case "rejects zero attempts" `Quick
             test_retry_rejects_zero_attempts;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "depth bound" `Quick
+            test_admission_rejects_past_depth;
+          Alcotest.test_case "stale head drop" `Quick
+            test_admission_stale_head_drop;
+          Alcotest.test_case "close drains" `Quick test_admission_close_drains;
+          Alcotest.test_case "rejects bad args" `Quick
+            test_admission_rejects_bad_args;
+        ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "trips on failure rate" `Quick
+            test_breaker_trips_on_failure_rate;
+          Alcotest.test_case "failed probe reopens" `Quick
+            test_breaker_failed_probe_reopens;
+          Alcotest.test_case "seeded cooldowns" `Quick
+            test_breaker_seeded_cooldowns_replay;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "kills overdue task" `Quick
+            test_watchdog_kills_overdue_task;
+          Alcotest.test_case "leaves completed alone" `Quick
+            test_watchdog_leaves_completed_tasks_alone;
         ] );
       ( "atomic-io",
         [

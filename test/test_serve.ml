@@ -13,6 +13,7 @@ module Metrics = Pchls_obs.Metrics
 module Event = Pchls_obs.Event
 module Flight = Pchls_obs.Flight
 module Trace = Pchls_obs.Trace
+module Fault = Pchls_resil.Fault
 
 (* --- HTTP parser -------------------------------------------------------- *)
 
@@ -785,6 +786,355 @@ let test_access_log_lines () =
   | Some (Json.Number 404.) -> ()
   | _ -> Alcotest.fail "404 not logged"
 
+(* --- overload protection -------------------------------------------------- *)
+
+let with_chaos spec f =
+  Fault.set (Some spec);
+  Fun.protect ~finally:(fun () -> Fault.set None) f
+
+let counter_delta name f =
+  let c = Metrics.counter name in
+  let before = Metrics.counter_value c in
+  let result = f () in
+  (result, Metrics.counter_value c - before)
+
+(* A follower whose leader dies a death matching [retry_on] must not
+   inherit it: it re-runs the computation once as its own request. *)
+let test_coalesce_follower_retries_once () =
+  let exception Reclaimed in
+  let t = Coalesce.create () in
+  let runs = Atomic.make 0 in
+  let gate = Mutex.create () in
+  let gate_cond = Condition.create () in
+  let opened = ref false in
+  let work () =
+    if Atomic.fetch_and_add runs 1 = 0 then begin
+      Mutex.lock gate;
+      while not !opened do
+        Condition.wait gate_cond gate
+      done;
+      Mutex.unlock gate;
+      raise Reclaimed
+    end
+    else 7
+  in
+  let leader_result = ref None in
+  let leader =
+    Thread.create (fun () -> leader_result := Some (Coalesce.run t ~key:"k" work)) ()
+  in
+  while Atomic.get runs = 0 do
+    Thread.yield ()
+  done;
+  let follower_result = ref None in
+  let (follower, ()), retried =
+    counter_delta "serve.coalesce_retries" @@ fun () ->
+    let follower =
+      Thread.create
+        (fun () ->
+          follower_result :=
+            Some
+              (Coalesce.run
+                 ~retry_on:(function Reclaimed -> true | _ -> false)
+                 t ~key:"k" work))
+        ()
+    in
+    (* Give the follower a beat to join the leader's flight, then let the
+       leader die. *)
+    Thread.delay 0.05;
+    Mutex.lock gate;
+    opened := true;
+    Condition.broadcast gate_cond;
+    Mutex.unlock gate;
+    Thread.join leader;
+    Thread.join follower;
+    (follower, ())
+  in
+  ignore follower;
+  (match !leader_result with
+  | Some (Error Reclaimed, Coalesce.Led) -> ()
+  | _ -> Alcotest.fail "leader must observe its own death");
+  (match !follower_result with
+  | Some (Ok 7, _) -> ()
+  | Some (Error _, _) -> Alcotest.fail "follower inherited the leader's death"
+  | _ -> Alcotest.fail "follower result missing");
+  Alcotest.(check int) "computation ran twice" 2 (Atomic.get runs);
+  Alcotest.(check int) "retry counted" 1 retried
+
+let test_shed_on_forced_admission_refusal () =
+  with_server @@ fun srv ->
+  let (status, head, body), shed =
+    counter_delta "serve.shed" @@ fun () ->
+    with_chaos "serve.shed" @@ fun () ->
+    request_full srv ~meth:"GET" ~path:"/healthz" ""
+  in
+  Alcotest.(check int) "shed -> 503" 503 status;
+  (match header_value head "retry-after" with
+  | Some s ->
+    Alcotest.(check bool) "retry-after is a positive integer" true
+      (match int_of_string_opt s with Some n -> n >= 1 | None -> false)
+  | None -> Alcotest.fail "shed response without retry-after");
+  (match json_field "error" body with
+  | Some (Json.String "overloaded") -> ()
+  | _ -> Alcotest.fail ("shed body: " ^ body));
+  (match json_field "reason" body with
+  | Some (Json.String "admission queue full; retry later") -> ()
+  | _ -> Alcotest.fail ("shed reason: " ^ body));
+  Alcotest.(check bool) "shed counted" true (shed >= 1);
+  (* Disarmed again, the daemon serves normally and reports the shed. *)
+  let status, health = request srv ~meth:"GET" ~path:"/healthz" "" in
+  Alcotest.(check int) "alive after shedding" 200 status;
+  match json_field "shed" health with
+  | Some (Json.Number n) ->
+    Alcotest.(check bool) "healthz counts the shed" true (n >= 1.)
+  | _ -> Alcotest.fail ("healthz without shed count: " ^ health)
+
+let test_degraded_preflight_mode () =
+  with_server @@ fun srv ->
+  let status, head, body =
+    request_full srv ~meth:"POST" ~path:"/synth"
+      "{\"benchmark\":\"hal\",\"time\":8,\"power\":60,\"degraded\":\"preflight\"}"
+  in
+  Alcotest.(check int) "bounds can't prove -> 206 partial" 206 status;
+  Alcotest.(check (option string))
+    "degraded header" (Some "preflight")
+    (header_value head "x-pchls-degraded");
+  (match json_field "degraded" body with
+  | Some (Json.String "preflight") -> ()
+  | _ -> Alcotest.fail ("degraded body: " ^ body));
+  (match json_field "partial" body with
+  | Some (Json.String "degraded") -> ()
+  | _ -> Alcotest.fail ("degraded body without partial: " ^ body));
+  (match json_field "report" body with
+  | Some (Json.Obj _) -> ()
+  | _ -> Alcotest.fail ("degraded body without the preflight report: " ^ body));
+  (* Infeasibility proved by the bounds is exact: still a 422, and still
+     marked degraded. *)
+  let status, head, body =
+    request_full srv ~meth:"POST" ~path:"/synth"
+      "{\"benchmark\":\"hal\",\"time\":4,\"power\":10,\"degraded\":\"preflight\"}"
+  in
+  Alcotest.(check int) "provably infeasible -> 422" 422 status;
+  Alcotest.(check (option string))
+    "422 keeps the degraded header" (Some "preflight")
+    (header_value head "x-pchls-degraded");
+  match json_field "infeasible" body with
+  | Some (Json.Bool true) -> ()
+  | _ -> Alcotest.fail ("infeasible degraded body: " ^ body)
+
+let test_degraded_clamped_mode () =
+  with_server @@ fun srv ->
+  let status, head, body =
+    request_full srv ~meth:"POST" ~path:"/synth"
+      "{\"benchmark\":\"hal\",\"time\":8,\"power\":60,\"degraded\":\"clamped\"}"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "clamped answers 200 or 206 (got %d)" status)
+    true
+    (status = 200 || status = 206);
+  Alcotest.(check (option string))
+    "degraded header" (Some "clamped")
+    (header_value head "x-pchls-degraded");
+  (match json_field "feasible" body with
+  | Some (Json.Bool _) -> ()
+  | _ -> Alcotest.fail ("clamped body: " ^ body));
+  let status, _ =
+    request srv ~meth:"POST" ~path:"/synth"
+      "{\"benchmark\":\"hal\",\"time\":8,\"power\":60,\"degraded\":\"bogus\"}"
+  in
+  Alcotest.(check int) "unknown degraded mode -> 400" 400 status
+
+let test_degraded_sweep_preflight () =
+  with_server @@ fun srv ->
+  let status, head, body =
+    request_full srv ~meth:"POST" ~path:"/sweep"
+      "{\"benchmark\":\"hal\",\"times\":[4,8],\"powers\":[10,60],\
+       \"degraded\":\"preflight\"}"
+  in
+  Alcotest.(check int) "degraded sweep -> 206" 206 status;
+  Alcotest.(check (option string))
+    "degraded header" (Some "preflight")
+    (header_value head "x-pchls-degraded");
+  match json_field "points" body with
+  | Some (Json.List points) ->
+    Alcotest.(check int) "2x2 grid" 4 (List.length points);
+    List.iter
+      (fun p ->
+        match Json.member "status" p with
+        | Some (Json.String ("infeasible" | "unknown")) -> ()
+        | _ -> Alcotest.fail ("degraded sweep point: " ^ body))
+      points
+  | _ -> Alcotest.fail ("degraded sweep body: " ^ body)
+
+let test_breaker_opens_and_recovers () =
+  with_server ~config:{ base_config with Server.breaker_cooldown_ms = 100. }
+  @@ fun srv ->
+  let body = "{\"benchmark\":\"hal\",\"time\":8,\"power\":60}" in
+  (* Five consecutive handler crashes: enough samples at a 100% failure
+     rate to trip the default breaker (window 20, threshold 0.5,
+     min_samples 5). *)
+  with_chaos "serve.handler" (fun () ->
+      for i = 1 to 5 do
+        let status, _ = request srv ~meth:"POST" ~path:"/synth" body in
+        Alcotest.(check int) (Printf.sprintf "crash %d -> 500" i) 500 status
+      done);
+  let status, head, text = request_full srv ~meth:"POST" ~path:"/synth" body in
+  Alcotest.(check int) "open breaker fast-fails 503" 503 status;
+  (match header_value head "retry-after" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "breaker 503 without retry-after");
+  (match json_field "error" text with
+  | Some (Json.String "breaker open") -> ()
+  | _ -> Alcotest.fail ("breaker 503 body: " ^ text));
+  let _, health = request srv ~meth:"GET" ~path:"/healthz" "" in
+  (match json_field "breakers" health with
+  | Some breakers -> (
+    match Json.member "synth" breakers with
+    | Some (Json.String "open") -> ()
+    | _ -> Alcotest.fail ("healthz breakers while open: " ^ health))
+  | None -> Alcotest.fail ("healthz without breakers: " ^ health));
+  (* Other endpoints keep their own breakers: /preflight still serves. *)
+  let status, _ = request srv ~meth:"POST" ~path:"/preflight" body in
+  Alcotest.(check int) "other endpoints unaffected" 200 status;
+  (* Past the cooldown (100ms + <=25% jitter) the probe is admitted, the
+     fault is disarmed, and a success closes the breaker. *)
+  Thread.delay 0.15;
+  let status, _ = request srv ~meth:"POST" ~path:"/synth" body in
+  Alcotest.(check int) "probe succeeds after cooldown" 200 status;
+  let _, health = request srv ~meth:"GET" ~path:"/healthz" "" in
+  match json_field "breakers" health with
+  | Some breakers -> (
+    match Json.member "synth" breakers with
+    | Some (Json.String "closed") -> ()
+    | _ -> Alcotest.fail ("healthz breakers after recovery: " ^ health))
+  | None -> Alcotest.fail ("healthz without breakers: " ^ health)
+
+let test_watchdog_reclaims_hung_handler () =
+  let limit_ms = 100. and poll_ms = 25. in
+  with_server ~config:{ base_config with Server.watchdog_ms = Some limit_ms }
+  @@ fun srv ->
+  let (status, body), elapsed =
+    with_chaos "serve.hang" @@ fun () ->
+    let t0 = Unix.gettimeofday () in
+    let r =
+      request srv ~meth:"POST" ~path:"/synth"
+        "{\"benchmark\":\"hal\",\"time\":8,\"power\":60}"
+    in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  Alcotest.(check int) "watchdog kill -> 500" 500 status;
+  (match json_field "error" body with
+  | Some (Json.String "watchdog") -> ()
+  | _ -> Alcotest.fail ("watchdog body: " ^ body));
+  (match json_field "reason" body with
+  | Some (Json.String r) ->
+    Alcotest.(check bool) "reason names the wall limit" true
+      (String.length r > 0)
+  | _ -> Alcotest.fail ("watchdog body without reason: " ^ body));
+  (* The hang spins until cancelled, so the request cannot return before
+     the wall limit; the kill lands within limit + one poll interval, plus
+     grace for engine wind-down and scheduling. Without the watchdog the
+     injected hang would pin the handler for its full 5s cap. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "hung for at least the wall limit (%.0fms)" (elapsed *. 1e3))
+    true
+    (elapsed >= (limit_ms /. 1000.) -. 0.02);
+  Alcotest.(check bool)
+    (Printf.sprintf "reclaimed near limit + poll (%.0fms)" (elapsed *. 1e3))
+    true
+    (elapsed <= ((limit_ms +. poll_ms) /. 1000.) +. 0.375);
+  (* The kill is visible everywhere: healthz and the flight recorder. *)
+  let _, health = request srv ~meth:"GET" ~path:"/healthz" "" in
+  (match json_field "watchdog" health with
+  | Some wd -> (
+    match Json.member "kills" wd with
+    | Some (Json.Number n) ->
+      Alcotest.(check bool) "healthz counts the kill" true (n >= 1.)
+    | _ -> Alcotest.fail ("healthz watchdog shape: " ^ health))
+  | None -> Alcotest.fail ("healthz without watchdog: " ^ health));
+  let recorder =
+    match Flight.current () with
+    | Some f -> f
+    | None -> Alcotest.fail "flight recorder must be armed"
+  in
+  Alcotest.(check bool) "kill noted as a flight crash" true
+    (List.exists
+       (fun e ->
+         e.Event.name = "flight.crash"
+         && List.assoc_opt "origin" e.Event.args = Some "serve.watchdog")
+       (Flight.events recorder))
+
+(* The leader of a coalesced flight is watchdog-killed; its follower must
+   not be answered with the leader's 500 — it retries once as its own
+   request and succeeds (the fault is disarmed by then). *)
+let test_killed_leader_follower_retries () =
+  with_server
+    ~config:{ base_config with Server.watchdog_ms = Some 100.; jobs = 2 }
+  @@ fun srv ->
+  let body = "{\"benchmark\":\"elliptic\",\"time\":25,\"power\":40}" in
+  let results = Array.make 2 (0, "") in
+  let results, retried =
+    counter_delta "serve.coalesce_retries" @@ fun () ->
+    Fault.set (Some "serve.hang");
+    Fun.protect ~finally:(fun () -> Fault.set None) @@ fun () ->
+    let threads =
+      List.init 2 (fun i ->
+          Thread.create
+            (fun () ->
+              results.(i) <- request srv ~meth:"POST" ~path:"/synth" body)
+            ())
+    in
+    (* Both requests are in flight (one leads, one joins). Disarm the
+       fault before the watchdog fires at ~125ms so the follower's retry
+       runs clean. *)
+    Thread.delay 0.05;
+    Fault.set None;
+    List.iter Thread.join threads;
+    results
+  in
+  let statuses = List.sort compare (Array.to_list (Array.map fst results)) in
+  Alcotest.(check (list int))
+    "leader killed with 500, follower retried to 200" [ 200; 500 ] statuses;
+  Array.iter
+    (fun (status, text) ->
+      if status = 500 then
+        match json_field "error" text with
+        | Some (Json.String "watchdog") -> ()
+        | _ -> Alcotest.fail ("killed leader body: " ^ text))
+    results;
+  Alcotest.(check int) "exactly one follower retry" 1 retried
+
+let test_healthz_overload_fields () =
+  with_server ~config:{ base_config with Server.watchdog_ms = Some 250. }
+  @@ fun srv ->
+  let _, body = request srv ~meth:"GET" ~path:"/healthz" "" in
+  (match json_field "queue" body with
+  | Some q -> (
+    match (Json.member "depth" q, Json.member "max" q, Json.member "age_limit_ms" q) with
+    | Some (Json.Number depth), Some (Json.Number max), Some (Json.Number age) ->
+      Alcotest.(check bool) "queue shape" true
+        (depth >= 0. && max = 64. && age = 1000.)
+    | _ -> Alcotest.fail ("healthz queue shape: " ^ body))
+  | None -> Alcotest.fail ("healthz without queue: " ^ body));
+  (match json_field "pressure" body with
+  | Some (Json.Number p) ->
+    Alcotest.(check bool) "pressure in [0,1]" true (p >= 0. && p <= 1.)
+  | _ -> Alcotest.fail ("healthz without pressure: " ^ body));
+  (match json_field "degraded" body with
+  | Some (Json.String "none") -> ()
+  | _ -> Alcotest.fail ("healthz idle degraded tier: " ^ body));
+  (match json_field "watchdog" body with
+  | Some wd -> (
+    match Json.member "limit_ms" wd with
+    | Some (Json.Number 250.) -> ()
+    | _ -> Alcotest.fail ("healthz watchdog shape: " ^ body))
+  | None -> Alcotest.fail ("healthz without watchdog: " ^ body));
+  (* Breakers off: healthz says so explicitly. *)
+  with_server ~config:{ base_config with Server.breaker = false } @@ fun srv ->
+  let _, body = request srv ~meth:"GET" ~path:"/healthz" "" in
+  match json_field "breakers" body with
+  | Some Json.Null -> ()
+  | _ -> Alcotest.fail ("healthz with breakers off: " ^ body)
+
 let () =
   Alcotest.run "serve"
     [
@@ -812,6 +1162,8 @@ let () =
             test_coalesce_exception_shared;
           Alcotest.test_case "sequential calls recompute" `Quick
             test_coalesce_sequential_not_shared;
+          Alcotest.test_case "follower retries a reclaimed leader" `Quick
+            test_coalesce_follower_retries_once;
         ] );
       ( "server",
         [
@@ -842,5 +1194,23 @@ let () =
           Alcotest.test_case "inflight gauge drains" `Quick
             test_inflight_gauge_drains_to_zero;
           Alcotest.test_case "access log lines" `Quick test_access_log_lines;
+        ] );
+      ( "overload",
+        [
+          Alcotest.test_case "forced shed answers 503 + retry-after" `Quick
+            test_shed_on_forced_admission_refusal;
+          Alcotest.test_case "degraded preflight mode" `Quick
+            test_degraded_preflight_mode;
+          Alcotest.test_case "degraded clamped mode" `Quick
+            test_degraded_clamped_mode;
+          Alcotest.test_case "degraded sweep" `Quick test_degraded_sweep_preflight;
+          Alcotest.test_case "breaker opens and recovers" `Quick
+            test_breaker_opens_and_recovers;
+          Alcotest.test_case "watchdog reclaims a hung handler" `Quick
+            test_watchdog_reclaims_hung_handler;
+          Alcotest.test_case "killed leader: follower retries" `Quick
+            test_killed_leader_follower_retries;
+          Alcotest.test_case "healthz overload fields" `Quick
+            test_healthz_overload_fields;
         ] );
     ]
